@@ -1,0 +1,49 @@
+// Fixed-parameter explicit-state checking vs parameterized verification —
+// the contrast the paper's related-work section draws with TLC/NuSMV/
+// Apalache-style tools: explicit checking is exact for one (n,t,f) but its
+// state space explodes with n, while one schema-based run covers *all*
+// parameters at once.
+
+#include <cstdio>
+
+#include "hv/checker/explicit_checker.h"
+#include "hv/checker/parameterized.h"
+#include "hv/models/bv_broadcast.h"
+
+int main() {
+  const hv::ta::ThresholdAutomaton ta = hv::models::bv_broadcast();
+  const auto v = [&](const char* name) { return *ta.find_variable(name); };
+  hv::spec::Property property;
+  for (auto& candidate : hv::models::bv_properties(ta)) {
+    // BV-Term explores the automaton's full reachable space (no premise
+    // prunes the initial configurations), which makes the explicit-state
+    // growth visible.
+    if (candidate.name == "BV-Term") property = std::move(candidate);
+  }
+
+  std::puts("BV-Term on the bv-broadcast automaton");
+  std::puts("explicit-state checking, one (n,t,f) at a time:");
+  std::printf("  %4s %3s %3s %12s %10s %s\n", "n", "t", "f", "states", "time", "verdict");
+  for (const auto& [n, t, f] : std::initializer_list<std::tuple<int, int, int>>{
+           {4, 1, 1}, {5, 1, 1}, {6, 1, 1}, {7, 2, 2}, {8, 2, 2}, {9, 2, 2},
+           {10, 3, 3}, {13, 4, 4}, {16, 5, 5}, {19, 6, 6}}) {
+    hv::ta::ParamValuation params{{v("n"), n}, {v("t"), t}, {v("f"), f}};
+    hv::checker::ExplicitOptions options;
+    options.max_states = 3'000'000;
+    const hv::checker::ExplicitResult result =
+        hv::checker::check_explicit(ta, property, params, options);
+    std::printf("  %4d %3d %3d %12lld %9.2fs %s %s\n", n, t, f,
+                static_cast<long long>(result.states_explored), result.seconds,
+                hv::checker::to_string(result.verdict).c_str(), result.note.c_str());
+  }
+
+  std::puts("\nparameterized checking, all (n,t,f) with n > 3t >= 3f at once:");
+  const hv::checker::PropertyResult result = hv::checker::check_property(ta, property);
+  std::printf("  schemas=%lld pruned=%lld time=%.2fs verdict=%s\n",
+              static_cast<long long>(result.schemas_checked),
+              static_cast<long long>(result.schemas_pruned), result.seconds,
+              hv::checker::to_string(result.verdict).c_str());
+  std::puts("\nExpected shape: explicit-state cost grows steeply with n (and covers a");
+  std::puts("single valuation); the parameterized run is constant and covers them all.");
+  return 0;
+}

@@ -1,0 +1,24 @@
+// Regenerates the paper's automata figures as Graphviz DOT:
+//   Figure 2 — the bv-broadcast TA,
+//   Figure 3 — the naive composite consensus TA (round switches dotted),
+//   Figure 4 — the simplified consensus TA (round switches dotted).
+// Pipe any section into `dot -Tpdf` to render.
+
+#include <cstdio>
+
+#include "hv/models/bv_broadcast.h"
+#include "hv/models/naive_consensus.h"
+#include "hv/models/simplified_consensus.h"
+#include "hv/ta/dot.h"
+
+int main() {
+  std::puts("// ===== Figure 2: binary value broadcast =====");
+  std::fputs(hv::ta::to_dot(hv::models::bv_broadcast()).c_str(), stdout);
+
+  std::puts("\n// ===== Figure 3: naive threshold automaton of the consensus =====");
+  std::fputs(hv::ta::to_dot(hv::models::naive_consensus()).c_str(), stdout);
+
+  std::puts("\n// ===== Figure 4: simplified threshold automaton of the consensus =====");
+  std::fputs(hv::ta::to_dot(hv::models::simplified_consensus()).c_str(), stdout);
+  return 0;
+}

@@ -1,0 +1,66 @@
+// google-benchmark microbenchmarks of the execution substrate: message
+// throughput of the simulator and full DBFT consensus instances at several
+// system sizes.
+
+#include <benchmark/benchmark.h>
+
+#include "hv/algo/bv_instance.h"
+#include "hv/sim/runner.h"
+
+namespace {
+
+void BM_BvInstanceReception(benchmark::State& state) {
+  for (auto _ : state) {
+    hv::algo::BvBroadcastInstance instance(7, 2);
+    for (int sender = 0; sender < 7; ++sender) {
+      benchmark::DoNotOptimize(instance.on_bv(sender, sender % 2));
+    }
+  }
+}
+BENCHMARK(BM_BvInstanceReception);
+
+void BM_DbftConsensusFair(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int t = (n - 1) / 3;
+  std::int64_t deliveries = 0;
+  for (auto _ : state) {
+    hv::sim::RunnerConfig config;
+    config.n = n;
+    config.t = t;
+    config.inputs.assign(static_cast<std::size_t>(n), 0);
+    for (int i = 0; i < n; i += 2) config.inputs[static_cast<std::size_t>(i)] = 1;
+    hv::sim::Runner runner(config);
+    runner.start();
+    hv::sim::GoodRoundScheduler scheduler;
+    deliveries += runner.run(scheduler, 5'000'000);
+    if (!runner.all_correct_decided()) state.SkipWithError("consensus did not terminate");
+  }
+  state.counters["deliveries/run"] =
+      benchmark::Counter(static_cast<double>(deliveries) / state.iterations());
+}
+BENCHMARK(BM_DbftConsensusFair)->Arg(4)->Arg(7)->Arg(10)->Arg(16);
+
+void BM_DbftConsensusRandomWithByzantine(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int t = (n - 1) / 3;
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    hv::sim::RunnerConfig config;
+    config.n = n;
+    config.t = t;
+    config.seed = ++seed;
+    config.inputs.assign(static_cast<std::size_t>(n), 0);
+    for (int i = 0; i < n; i += 2) config.inputs[static_cast<std::size_t>(i)] = 1;
+    if (t > 0) config.byzantine = {0};
+    hv::sim::Runner runner(config, std::make_unique<hv::sim::EquivocatingAdversary>());
+    runner.start();
+    hv::sim::RandomScheduler scheduler;
+    benchmark::DoNotOptimize(runner.run(scheduler, 500'000));
+    if (!runner.agreement_violation().empty()) state.SkipWithError("agreement violated");
+  }
+}
+BENCHMARK(BM_DbftConsensusRandomWithByzantine)->Arg(4)->Arg(7);
+
+}  // namespace
+
+BENCHMARK_MAIN();

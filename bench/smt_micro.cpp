@@ -1,0 +1,111 @@
+// google-benchmark microbenchmarks of the verification substrates: exact
+// arithmetic, the simplex core, the integer solver, and one end-to-end
+// schema check. These are the pieces whose cost multiplies by the tens of
+// thousands of schemas in Table 2.
+
+#include <benchmark/benchmark.h>
+
+#include "hv/checker/encoder.h"
+#include "hv/checker/guard_analysis.h"
+#include "hv/models/bv_broadcast.h"
+#include "hv/smt/solver.h"
+#include "hv/util/bigint.h"
+#include "hv/util/rational.h"
+
+namespace {
+
+void BM_BigIntSmallArithmetic(benchmark::State& state) {
+  hv::BigInt a = 123456789;
+  const hv::BigInt b = 987654;
+  for (auto _ : state) {
+    a += b;
+    a *= 3;
+    a -= b * 2;
+    a /= 3;
+    benchmark::DoNotOptimize(a);
+  }
+}
+BENCHMARK(BM_BigIntSmallArithmetic);
+
+void BM_BigIntMultiLimbMultiply(benchmark::State& state) {
+  const hv::BigInt a = hv::BigInt::from_string("123456789012345678901234567890123456789");
+  const hv::BigInt b = hv::BigInt::from_string("987654321098765432109876543210987654321");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a * b);
+  }
+}
+BENCHMARK(BM_BigIntMultiLimbMultiply);
+
+void BM_RationalPivotArithmetic(benchmark::State& state) {
+  const hv::Rational a(hv::BigInt(7), hv::BigInt(3));
+  const hv::Rational b(hv::BigInt(-5), hv::BigInt(11));
+  hv::Rational acc;
+  for (auto _ : state) {
+    acc += a * b;
+    acc -= a / b;
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_RationalPivotArithmetic);
+
+void BM_SimplexThresholdSystem(benchmark::State& state) {
+  for (auto _ : state) {
+    hv::smt::Simplex simplex;
+    const int n = simplex.add_variable();
+    const int t = simplex.add_variable();
+    const int f = simplex.add_variable();
+    std::vector<int> counters;
+    for (int i = 0; i < 8; ++i) counters.push_back(simplex.add_variable());
+    for (int var = 0; var < simplex.variable_count(); ++var) {
+      benchmark::DoNotOptimize(simplex.assert_lower(var, hv::Rational(0)));
+    }
+    const int resilience = simplex.add_row({{n, 1}, {t, -3}});
+    benchmark::DoNotOptimize(simplex.assert_lower(resilience, hv::Rational(1)));
+    const int faults = simplex.add_row({{t, 1}, {f, -1}});
+    benchmark::DoNotOptimize(simplex.assert_lower(faults, hv::Rational(0)));
+    std::vector<std::pair<int, hv::BigInt>> total{{n, 1}, {f, -1}};
+    for (const int counter : counters) total.emplace_back(counter, -1);
+    const int partition = simplex.add_row(total);
+    benchmark::DoNotOptimize(simplex.assert_lower(partition, hv::Rational(0)));
+    benchmark::DoNotOptimize(simplex.assert_upper(partition, hv::Rational(0)));
+    const int guard = simplex.add_row({{counters[0], 1}, {t, -2}, {f, 1}});
+    benchmark::DoNotOptimize(simplex.assert_lower(guard, hv::Rational(1)));
+    benchmark::DoNotOptimize(simplex.check());
+  }
+}
+BENCHMARK(BM_SimplexThresholdSystem);
+
+void BM_SolverIntegerCompletion(benchmark::State& state) {
+  for (auto _ : state) {
+    hv::smt::Solver solver;
+    const auto x = solver.new_variable("x");
+    const auto y = solver.new_variable("y");
+    solver.add_lower_bound(x, 1);
+    solver.add_lower_bound(y, 1);
+    solver.add(hv::smt::make_eq(hv::smt::LinearExpr::term(x, 2) + hv::smt::LinearExpr::term(y, 3),
+                                hv::smt::LinearExpr(12)));
+    benchmark::DoNotOptimize(solver.check());
+  }
+}
+BENCHMARK(BM_SolverIntegerCompletion);
+
+void BM_EndToEndSchemaCheck(benchmark::State& state) {
+  const hv::ta::ThresholdAutomaton ta = hv::models::bv_broadcast();
+  const hv::checker::GuardAnalysis analysis(ta);
+  hv::spec::Property property;
+  for (auto& candidate : hv::models::bv_properties(ta)) {
+    if (candidate.name == "BV-Just0") property = std::move(candidate);
+  }
+  // The full four-guard schema of the bv-broadcast automaton.
+  hv::checker::Schema schema;
+  for (int g = 0; g < analysis.guard_count(); ++g) schema.unlock_order.push_back(g);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        hv::checker::solve_schema(analysis, schema, property.queries[0], 1'000'000));
+  }
+}
+BENCHMARK(BM_EndToEndSchemaCheck);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,137 @@
+// Regenerates Table 2 of the paper — the central experiment:
+//
+//   TA                     Property      # schemas  Avg. length   Time
+//   bv-broadcast           BV-Just0 ...
+//   Naive consensus        Inv1_0   ...  (budget/timeout, like ByMC's >24h)
+//   Simplified consensus   Inv1_0   ...
+//
+// Absolute numbers differ from the paper (different machine, reimplemented
+// checker and SMT backend), but the shape must match: the bv-broadcast and
+// the simplified consensus verify within seconds each — the whole positive
+// part in well under the paper's 70 seconds budget on this hardware class —
+// while the naive composite automaton exhausts any reasonable budget.
+//
+// Flags:
+//   --fast             skip the naive attempts (they deliberately time out)
+//   --naive-timeout S  per-property timeout for the naive TA (default 60)
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "hv/checker/parameterized.h"
+#include "hv/models/bv_broadcast.h"
+#include "hv/models/naive_consensus.h"
+#include "hv/models/simplified_consensus.h"
+#include "hv/util/text.h"
+
+namespace {
+
+struct PaperRow {
+  const char* property;
+  const char* schemas;
+  const char* avg_length;
+  const char* time;
+};
+
+void print_header() {
+  std::printf("  %-22s %-12s %10s %8s %10s %10s   %s\n", "TA", "Property", "#schemas",
+              "avg.len", "time", "verdict", "paper: #schemas/len/time");
+}
+
+void print_section(const char* ta_name, const char* size_line,
+                   const hv::ta::ThresholdAutomaton& ta,
+                   const std::vector<hv::spec::Property>& properties,
+                   const hv::checker::CheckOptions& options,
+                   const std::vector<PaperRow>& paper) {
+  std::printf("%s  (%s)\n", ta_name, size_line);
+  bool first = true;
+  for (const hv::spec::Property& property : properties) {
+    const hv::checker::PropertyResult result = hv::checker::check_property(ta, property, options);
+    const PaperRow* reference = nullptr;
+    for (const PaperRow& row : paper) {
+      if (property.name == row.property) reference = &row;
+    }
+    char avg[32];
+    std::snprintf(avg, sizeof avg, "%.0f", result.avg_schema_length);
+    char time[32];
+    std::snprintf(time, sizeof time, "%.2fs", result.seconds);
+    std::printf("  %-22s %-12s %10lld %8s %10s %10s   %s\n", first ? ta_name : "",
+                property.name.c_str(), static_cast<long long>(result.schemas_checked), avg,
+                time, hv::checker::to_string(result.verdict).c_str(),
+                reference ? (std::string(reference->schemas) + " / " + reference->avg_length +
+                             " / " + reference->time)
+                                .c_str()
+                          : "-");
+    if (!result.note.empty()) std::printf("  %34s[%s]\n", "", result.note.c_str());
+    first = false;
+  }
+  std::puts("");
+}
+
+std::string size_line(const hv::ta::ThresholdAutomaton& ta) {
+  return std::to_string(ta.unique_guard_atoms().size()) + " unique guards, " +
+         std::to_string(ta.location_count()) + " locations, " +
+         std::to_string(ta.rule_count()) + " rules";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool fast = false;
+  double naive_timeout = 60.0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--fast") == 0) {
+      fast = true;
+    } else if (std::strcmp(argv[i], "--naive-timeout") == 0 && i + 1 < argc) {
+      naive_timeout = std::atof(argv[++i]);
+    } else {
+      std::fprintf(stderr, "usage: %s [--fast] [--naive-timeout seconds]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  std::puts("Table 2: parameterized verification results (any n > 3t, any f <= t)\n");
+  print_header();
+
+  hv::checker::CheckOptions options;
+
+  // --- bv-broadcast ----------------------------------------------------------
+  const hv::ta::ThresholdAutomaton bv = hv::models::bv_broadcast();
+  print_section("bv-broadcast (Fig.2)", size_line(bv).c_str(), bv, hv::models::bv_properties(bv),
+                options,
+                {{"BV-Just0", "90", "54", "5.61s"},
+                 {"BV-Obl0", "90", "79", "6.87s"},
+                 {"BV-Unif0", "760", "97", "27.64s"},
+                 {"BV-Term", "90", "79", "6.75s"}});
+
+  // --- naive composite consensus ----------------------------------------------
+  if (!fast) {
+    const hv::ta::ThresholdAutomaton naive = hv::models::naive_consensus_one_round();
+    hv::checker::CheckOptions naive_options = options;
+    naive_options.timeout_seconds = naive_timeout;
+    print_section("Naive consensus (Fig.3)", size_line(naive).c_str(), naive,
+                  hv::models::naive_table2_properties(naive), naive_options,
+                  {{"Inv1_0", ">100000", "-", ">24h"},
+                   {"Inv2_0", ">100000", "-", ">24h"},
+                   {"SRoundTerm", ">100000", "-", ">24h"}});
+  } else {
+    std::puts("  Naive consensus (Fig.3): skipped (--fast); expected outcome: timeouts\n");
+  }
+
+  // --- simplified consensus -----------------------------------------------------
+  const hv::ta::ThresholdAutomaton simplified = hv::models::simplified_consensus_one_round();
+  print_section("Simplified (Fig.4)", size_line(simplified).c_str(), simplified,
+                hv::models::simplified_table2_properties(simplified), options,
+                {{"Inv1_0", "6", "102", "4.68s"},
+                 {"Inv2_0", "2", "73", "4.56s"},
+                 {"SRoundTerm", "2", "109", "4.13s"},
+                 {"Good_0", "2", "67", "4.55s"},
+                 {"Dec_0", "2", "73", "4.62s"}});
+
+  std::puts("Expected shape: bv-broadcast and the simplified consensus verify in seconds");
+  std::puts("per property; the naive composite automaton exhausts its budget (paper: >24h).");
+  return 0;
+}

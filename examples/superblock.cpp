@@ -1,0 +1,56 @@
+// Vector (superblock) consensus — how the Red Belly Blockchain combines
+// everything the paper verifies: each process reliably broadcasts a
+// proposal (Bracha RBC), n binary DBFT instances decide which proposals are
+// included, and all correct processes agree on a superblock containing at
+// least n - t of them.
+//
+// Build & run:  ./build/examples/superblock
+
+#include <cstdio>
+
+#include "hv/sim/vector_runner.h"
+
+namespace {
+
+void run_scenario(const char* title, hv::algo::VectorRunner::Config config) {
+  hv::algo::VectorRunner runner(std::move(config));
+  runner.start();
+  const std::int64_t steps = runner.run_fair(10'000'000);
+  std::printf("=== %s ===\n", title);
+  std::printf("deliveries: %lld\n", static_cast<long long>(steps));
+  for (const hv::sim::ProcessId id : runner.correct_ids()) {
+    const auto vector = runner.process(id).decision();
+    std::printf("  p%d superblock:", id);
+    if (!vector) {
+      std::puts(" (undecided)");
+      continue;
+    }
+    for (const auto& [proposer, value] : *vector) {
+      std::printf(" [p%d: %d]", proposer, value);
+    }
+    std::puts("");
+  }
+  const std::string agreement = runner.agreement_violation();
+  std::printf("agreement: %s\n\n", agreement.empty() ? "ok" : agreement.c_str());
+}
+
+}  // namespace
+
+int main() {
+  {
+    hv::algo::VectorRunner::Config config;
+    config.n = 4;
+    config.t = 1;
+    config.proposals = {1001, 1002, 1003, 1004};
+    run_scenario("n=4, t=1, no faults: all four proposals agreed", config);
+  }
+  {
+    hv::algo::VectorRunner::Config config;
+    config.n = 7;
+    config.t = 2;
+    config.proposals = {1, 2, 3, 4, 5, 6, 7};
+    config.byzantine = {5, 6};  // silent: their slots decide 0
+    run_scenario("n=7, t=2, two silent Byzantine processes", config);
+  }
+  return 0;
+}

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Reproduces every experiment of the paper end to end:
+#   1. build,
+#   2. full test suite (~340 tests: unit, integration, property sweeps,
+#      differential fuzzing, conformance),
+#   3. the headline pipeline (Agreement/Validity/Termination in ~30 s),
+#   4. every table/figure benchmark (includes two deliberate 60 s timeouts
+#      on the naive automaton).
+# Outputs land in test_output.txt and bench_output.txt at the repo root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+./build/examples/verify_redbelly
+
+for b in build/bench/*; do "$b"; done 2>&1 | tee bench_output.txt

@@ -1,0 +1,20 @@
+#include "hv/algo/bv_instance.h"
+
+namespace hv::algo {
+
+BvBroadcastInstance::Effects BvBroadcastInstance::on_bv(sim::ProcessId from, int value) {
+  Effects effects;
+  if (!senders_[value].insert(from).second) return effects;  // duplicate sender
+  const int count = distinct_senders(value);
+  if (count >= t_ + 1 && !broadcast_[value]) {
+    broadcast_[value] = true;
+    effects.echo = value;
+  }
+  if (count >= 2 * t_ + 1 && !delivered_.contains(value)) {
+    delivered_.insert(value);
+    effects.deliver = value;
+  }
+  return effects;
+}
+
+}  // namespace hv::algo

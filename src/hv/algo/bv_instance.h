@@ -1,0 +1,53 @@
+// Receiver-side state of one binary-value-broadcast instance (Fig. 1),
+// for one process and one round.
+//
+// The instance counts *distinct* senders per value (Byzantine processes
+// cannot inflate counts by repeating themselves), echoes a value once t+1
+// distinct senders are seen (if not yet broadcast), and delivers it into
+// the contestants set at 2t+1.
+#ifndef HV_ALGO_BV_INSTANCE_H
+#define HV_ALGO_BV_INSTANCE_H
+
+#include <optional>
+#include <set>
+
+#include "hv/sim/message.h"
+
+namespace hv::algo {
+
+class BvBroadcastInstance {
+ public:
+  BvBroadcastInstance(int n, int t) : n_(n), t_(t) {}
+
+  /// Marks `value` as already broadcast by this process (Fig. 1 line 2 for
+  /// the input value; line 5 when echoing).
+  void note_broadcast(int value) { broadcast_[value] = true; }
+
+  bool has_broadcast(int value) const { return broadcast_[value]; }
+
+  /// What a reception triggered.
+  struct Effects {
+    std::optional<int> echo;     // value to re-broadcast (line 5)
+    std::optional<int> deliver;  // value entering contestants (line 7)
+  };
+
+  /// Processes the reception of (BV, <value, from>). Repeated receptions
+  /// from the same sender have no effect.
+  Effects on_bv(sim::ProcessId from, int value);
+
+  /// Values delivered so far (the process's contribution to contestants).
+  sim::BitSet2 delivered() const { return delivered_; }
+
+  int distinct_senders(int value) const { return static_cast<int>(senders_[value].size()); }
+
+ private:
+  int n_;
+  int t_;
+  std::set<sim::ProcessId> senders_[2];
+  bool broadcast_[2] = {false, false};
+  sim::BitSet2 delivered_;
+};
+
+}  // namespace hv::algo
+
+#endif  // HV_ALGO_BV_INSTANCE_H

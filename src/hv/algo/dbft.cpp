@@ -1,0 +1,150 @@
+#include "hv/algo/dbft.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "hv/util/error.h"
+
+namespace hv::algo {
+
+DbftProcess::DbftProcess(sim::ProcessId id, int input, const DbftConfig& config, SendFn send)
+    : id_(id), estimate_(input), config_(config), send_(std::move(send)) {
+  HV_REQUIRE(input == 0 || input == 1);
+}
+
+void DbftProcess::start() { enter_round(1); }
+
+DbftProcess::RoundState& DbftProcess::round_state(int round) {
+  const auto it = rounds_.find(round);
+  if (it != rounds_.end()) return it->second;
+  return rounds_.emplace(round, RoundState(config_)).first->second;
+}
+
+void DbftProcess::broadcast(sim::MsgType type, sim::BitSet2 payload) {
+  for (sim::ProcessId to = 0; to < config_.n; ++to) {
+    send_({id_, to, round_, type, payload});
+  }
+}
+
+void DbftProcess::enter_round(int round) {
+  if (round > config_.max_rounds ||
+      (decision_ && round > decided_round_ + config_.extra_rounds_after_decide)) {
+    halted_ = true;
+    return;
+  }
+  round_ = round;
+  estimate_history_.push_back(estimate_);
+  RoundState& state = round_state(round);
+  // Line 6: bv-broadcast(est).
+  state.bv.note_broadcast(estimate_);
+  broadcast(sim::MsgType::kBv, sim::BitSet2::single(estimate_));
+  // Replay messages that arrived for this round before we entered it. Each
+  // replayed message may advance the round (recursively re-entering here),
+  // so rescan from the start after every hit.
+  bool progressed = true;
+  while (progressed && !halted_) {
+    progressed = false;
+    for (std::size_t i = 0; i < buffered_.size(); ++i) {
+      if (buffered_[i].round != round_) continue;
+      const sim::Message message = buffered_[i];
+      buffered_.erase(buffered_.begin() + static_cast<std::ptrdiff_t>(i));
+      handle_current(message);
+      progressed = true;
+      break;
+    }
+  }
+}
+
+DbftProcess::RoundView DbftProcess::round_view(int round) const {
+  RoundView view;
+  const auto it = rounds_.find(round);
+  if (it == rounds_.end()) return view;
+  const RoundState& state = it->second;
+  view.entered = round <= round_;
+  for (const int value : {0, 1}) {
+    if (state.bv.has_broadcast(value)) view.bv_broadcast.insert(value);
+  }
+  view.aux_sent = state.aux_sent;
+  view.aux_payload = state.aux_payload;
+  view.contestants = state.contestants;
+  view.advanced = state.advanced;
+  view.qualifiers = state.qualifiers;
+  view.estimate_after = state.estimate_after;
+  view.decided_here = state.decided_here;
+  return view;
+}
+
+void DbftProcess::on_message(const sim::Message& message) {
+  if (halted_) return;
+  HV_REQUIRE(message.to == id_);
+  if (message.round < round_) return;  // communication-closed: stale round
+  if (message.round > round_) {
+    buffered_.push_back(message);
+    return;
+  }
+  handle_current(message);
+}
+
+void DbftProcess::handle_current(const sim::Message& message) {
+  RoundState& state = round_state(round_);
+  if (message.type == sim::MsgType::kBv) {
+    if (message.payload.size() != 1) return;  // malformed (Byzantine) payload
+    const auto effects = state.bv.on_bv(message.from, message.payload.singleton_value());
+    if (effects.echo) {
+      // Line 5: re-broadcast the value seen from t+1 distinct processes.
+      broadcast(sim::MsgType::kBv, sim::BitSet2::single(*effects.echo));
+    }
+    if (effects.deliver) {
+      state.contestants.insert(*effects.deliver);
+      if (!state.aux_sent) {
+        // Lines 7-8: first delivery releases the aux broadcast.
+        state.aux_sent = true;
+        state.aux_payload = state.contestants;
+        broadcast(sim::MsgType::kAux, state.contestants);
+      }
+    }
+  } else {
+    if (message.payload.empty()) return;  // malformed (Byzantine) payload
+    const bool seen = std::any_of(state.favorites.begin(), state.favorites.end(),
+                                  [&](const auto& entry) { return entry.first == message.from; });
+    if (!seen) state.favorites.emplace_back(message.from, message.payload);
+  }
+  try_advance();
+}
+
+void DbftProcess::try_advance() {
+  RoundState& state = round_state(round_);
+  if (state.advanced) return;
+  // Line 9: among the received aux messages, the qualifying senders are
+  // those whose reported set is contained in contestants; the wait is over
+  // once n-t of them qualify. A real process proceeds at the first moment
+  // the condition holds, with the qualifiers of the n-t earliest qualifying
+  // senders.
+  sim::BitSet2 qualifiers;
+  int qualifying = 0;
+  for (const auto& [sender, payload] : state.favorites) {
+    if (!payload.subset_of(state.contestants)) continue;
+    qualifiers = qualifiers.union_with(payload);
+    if (++qualifying == config_.n - config_.t) break;
+  }
+  if (qualifying < config_.n - config_.t) return;
+  state.advanced = true;
+  state.qualifiers = qualifiers;
+
+  const int parity = round_ % 2;
+  if (qualifiers.is_singleton()) {
+    const int v = qualifiers.singleton_value();
+    estimate_ = v;  // line 11
+    if (v == parity && !decision_) {
+      decision_ = v;  // line 12
+      decided_round_ = round_;
+      state.decided_here = true;
+    }
+  } else {
+    estimate_ = parity;  // line 13
+  }
+  state.estimate_after = estimate_;
+  enter_round(round_ + 1);  // line 14
+}
+
+}  // namespace hv::algo

@@ -1,0 +1,114 @@
+// The DBFT binary Byzantine consensus, Algorithm 1 of the paper (the
+// coordinator-free variant used by the Red Belly Blockchain), runnable on
+// the hv::sim substrate.
+//
+// Each round r (starting at 1, so that odd rounds favour value 1 like the
+// paper's superround structure):
+//   1. bv-broadcast the current estimate (line 6);
+//   2. once contestants becomes non-empty, broadcast it in an aux message
+//      (line 8);
+//   3. wait until n-t distinct processes sent aux values whose union
+//      `qualifiers` is contained in contestants (line 9);
+//   4. if qualifiers == {v}: est <- v, and decide v when v == r mod 2
+//      (lines 10-12); if qualifiers == {0,1}: est <- r mod 2 (line 13).
+//
+// The process is message-driven and communication-closed: messages tagged
+// with a future round are buffered, messages from past rounds discarded.
+#ifndef HV_ALGO_DBFT_H
+#define HV_ALGO_DBFT_H
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "hv/algo/bv_instance.h"
+#include "hv/sim/message.h"
+
+namespace hv::algo {
+
+struct DbftConfig {
+  int n = 4;
+  int t = 1;
+  /// Processes halt (stop reacting) after this round — a run-away guard for
+  /// adversarial schedules, not part of the algorithm.
+  int max_rounds = 64;
+  /// Rounds a process keeps participating after deciding, so that slower
+  /// processes can catch up (the paper notes two rounds always suffice).
+  int extra_rounds_after_decide = 2;
+};
+
+class DbftProcess {
+ public:
+  using SendFn = std::function<void(sim::Message)>;
+
+  DbftProcess(sim::ProcessId id, int input, const DbftConfig& config, SendFn send);
+
+  /// propose(input): enters round 1 and bv-broadcasts the estimate.
+  void start();
+
+  /// Feeds one delivered message (any round; buffering is internal).
+  void on_message(const sim::Message& message);
+
+  /// Observability for the TA-conformance harness and tests.
+  struct RoundView {
+    bool entered = false;
+    /// Values this process has bv-broadcast in the round (estimate + echoes).
+    sim::BitSet2 bv_broadcast;
+    bool aux_sent = false;
+    sim::BitSet2 aux_payload;    // the contestants snapshot broadcast at line 8
+    sim::BitSet2 contestants;
+    bool advanced = false;
+    sim::BitSet2 qualifiers;     // valid once advanced
+    int estimate_after = -1;     // valid once advanced
+    bool decided_here = false;   // decided in this round (first decision)
+  };
+  RoundView round_view(int round) const;
+
+  sim::ProcessId id() const noexcept { return id_; }
+  int estimate() const noexcept { return estimate_; }
+  int current_round() const noexcept { return round_; }
+  bool halted() const noexcept { return halted_; }
+  std::optional<int> decision() const noexcept { return decision_; }
+  /// Estimate at the start of each round (index 0 = round 1), for the
+  /// oscillation analyses of Appendix B.
+  const std::vector<int>& estimate_history() const noexcept { return estimate_history_; }
+
+ private:
+  struct RoundState {
+    explicit RoundState(const DbftConfig& config) : bv(config.n, config.t) {}
+    BvBroadcastInstance bv;
+    sim::BitSet2 contestants;
+    bool aux_sent = false;
+    /// First aux payload per sender, in arrival order.
+    std::vector<std::pair<sim::ProcessId, sim::BitSet2>> favorites;
+    bool advanced = false;
+    sim::BitSet2 aux_payload;
+    sim::BitSet2 qualifiers;
+    int estimate_after = -1;
+    bool decided_here = false;
+  };
+
+  RoundState& round_state(int round);
+  void enter_round(int round);
+  void handle_current(const sim::Message& message);
+  /// Line 9: checks the qualifiers condition and applies lines 10-13.
+  void try_advance();
+  void broadcast(sim::MsgType type, sim::BitSet2 payload);
+
+  sim::ProcessId id_;
+  int estimate_;
+  DbftConfig config_;
+  SendFn send_;
+  int round_ = 0;
+  bool halted_ = false;
+  std::optional<int> decision_;
+  int decided_round_ = -1;
+  std::map<int, RoundState> rounds_;
+  std::vector<sim::Message> buffered_;
+  std::vector<int> estimate_history_;
+};
+
+}  // namespace hv::algo
+
+#endif  // HV_ALGO_DBFT_H

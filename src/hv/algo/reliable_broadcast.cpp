@@ -1,0 +1,46 @@
+#include "hv/algo/reliable_broadcast.h"
+
+namespace hv::algo {
+
+RbcInstance::Effects RbcInstance::on_init(sim::ProcessId from, std::int32_t value) {
+  (void)from;  // the INIT is only meaningful from the proposer; the caller
+               // routes it here exactly for messages claiming that origin
+  Effects effects;
+  if (init_seen_) return effects;
+  init_seen_ = true;
+  if (!echoed_) {
+    echoed_ = true;
+    effects.send_echo = value;
+  }
+  return effects;
+}
+
+RbcInstance::Effects RbcInstance::on_echo(sim::ProcessId from, std::int32_t value) {
+  if (!echoes_[value].insert(from).second) return {};
+  return after_update(value);
+}
+
+RbcInstance::Effects RbcInstance::on_ready(sim::ProcessId from, std::int32_t value) {
+  if (!readies_[value].insert(from).second) return {};
+  return after_update(value);
+}
+
+RbcInstance::Effects RbcInstance::after_update(std::int32_t value) {
+  Effects effects;
+  const int echo_count = static_cast<int>(echoes_[value].size());
+  const int ready_count = static_cast<int>(readies_[value].size());
+  // READY on 2t+1 echoes, or by amplification on t+1 readies.
+  if (!readied_ && (echo_count >= 2 * t_ + 1 || ready_count >= t_ + 1)) {
+    readied_ = true;
+    effects.send_ready = value;
+  }
+  // Deliver on 2t+1 readies (at least t+1 of them are from correct
+  // processes, which guarantees totality via the amplification rule).
+  if (!delivered_ && ready_count >= 2 * t_ + 1) {
+    delivered_ = value;
+    effects.deliver = value;
+  }
+  return effects;
+}
+
+}  // namespace hv::algo

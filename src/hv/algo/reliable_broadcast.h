@@ -1,0 +1,60 @@
+// Bracha's Byzantine reliable broadcast (the classic echo/ready protocol),
+// used by the vector consensus to disseminate proposals: if any correct
+// process delivers a value for proposer p, every correct process delivers
+// the same value for p — even when p itself equivocates.
+//
+//   INIT(v)  from the proposer
+//   ECHO(v)  once: on INIT, or on 2t+1 ECHO(v)... (we echo on INIT only;
+//            readiness amplification below suffices for totality)
+//   READY(v) once: on 2t+1 ECHO(v), or on t+1 READY(v)   (amplification)
+//   deliver v on 2t+1 READY(v)
+//
+// Receiver-side state machine for one (proposer) instance; duplicate
+// senders are ignored, and conflicting values from the same sender count
+// only the first time (Byzantine equivocation cannot double-count).
+#ifndef HV_ALGO_RELIABLE_BROADCAST_H
+#define HV_ALGO_RELIABLE_BROADCAST_H
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+
+#include "hv/sim/message.h"
+
+namespace hv::algo {
+
+class RbcInstance {
+ public:
+  RbcInstance(int n, int t) : n_(n), t_(t) {}
+
+  struct Effects {
+    std::optional<std::int32_t> send_echo;
+    std::optional<std::int32_t> send_ready;
+    std::optional<std::int32_t> deliver;
+  };
+
+  /// The proposer's INIT; a correct receiver echoes the first value seen.
+  Effects on_init(sim::ProcessId from, std::int32_t value);
+  Effects on_echo(sim::ProcessId from, std::int32_t value);
+  Effects on_ready(sim::ProcessId from, std::int32_t value);
+
+  bool delivered() const noexcept { return delivered_.has_value(); }
+  std::optional<std::int32_t> delivered_value() const noexcept { return delivered_; }
+
+ private:
+  Effects after_update(std::int32_t value);
+
+  int n_;
+  int t_;
+  bool echoed_ = false;
+  bool readied_ = false;
+  bool init_seen_ = false;
+  std::map<std::int32_t, std::set<sim::ProcessId>> echoes_;
+  std::map<std::int32_t, std::set<sim::ProcessId>> readies_;
+  std::optional<std::int32_t> delivered_;
+};
+
+}  // namespace hv::algo
+
+#endif  // HV_ALGO_RELIABLE_BROADCAST_H

@@ -1,0 +1,149 @@
+#include "hv/algo/vector_consensus.h"
+
+#include <algorithm>
+
+#include "hv/util/error.h"
+
+namespace hv::algo {
+
+VectorConsensusProcess::VectorConsensusProcess(sim::ProcessId id, std::int32_t proposal,
+                                               const DbftConfig& config, SendFn send)
+    : id_(id), proposal_(proposal), config_(config), send_(std::move(send)) {
+  rbc_.assign(static_cast<std::size_t>(config_.n), RbcInstance(config_.n, config_.t));
+  binary_.resize(static_cast<std::size_t>(config_.n));
+  buffered_.resize(static_cast<std::size_t>(config_.n));
+}
+
+void VectorConsensusProcess::start() {
+  for (sim::ProcessId to = 0; to < config_.n; ++to) {
+    sim::Message message;
+    message.from = id_;
+    message.to = to;
+    message.type = sim::MsgType::kRbcInit;
+    message.instance = id_;
+    message.subject = id_;
+    message.data = proposal_;
+    send_(message);
+  }
+}
+
+void VectorConsensusProcess::start_instance(int instance, int input) {
+  if (binary_[instance] != nullptr) return;
+  binary_[instance] = std::make_unique<DbftProcess>(
+      id_, input, config_, [this, instance](sim::Message message) {
+        message.instance = instance;
+        send_(message);
+      });
+  binary_[instance]->start();
+  // Feed messages that arrived before the instance existed.
+  std::vector<sim::Message> replay;
+  replay.swap(buffered_[instance]);
+  for (const sim::Message& message : replay) binary_[instance]->on_message(message);
+  maybe_close_remaining();
+}
+
+void VectorConsensusProcess::maybe_close_remaining() {
+  // Once n - t instances decided 1, propose 0 for everything still unknown
+  // (the DBFT/Red Belly rule that bounds the superblock wait).
+  if (closed_remaining_ || decided_one_count() < config_.n - config_.t) return;
+  closed_remaining_ = true;
+  for (int instance = 0; instance < config_.n; ++instance) {
+    if (binary_[instance] == nullptr) start_instance(instance, 0);
+  }
+}
+
+void VectorConsensusProcess::handle_rbc(const sim::Message& message) {
+  const int instance = message.instance;
+  if (instance < 0 || instance >= config_.n) return;  // malformed
+  if (message.subject != instance) return;            // malformed
+  RbcInstance& rbc = rbc_[instance];
+  RbcInstance::Effects effects;
+  switch (message.type) {
+    case sim::MsgType::kRbcInit:
+      // Only the proposer may originate an INIT for its own slot.
+      if (message.from != instance) return;
+      effects = rbc.on_init(message.from, message.data);
+      break;
+    case sim::MsgType::kRbcEcho:
+      effects = rbc.on_echo(message.from, message.data);
+      break;
+    case sim::MsgType::kRbcReady:
+      effects = rbc.on_ready(message.from, message.data);
+      break;
+    default:
+      return;
+  }
+  const auto relay = [&](sim::MsgType type, std::int32_t value) {
+    for (sim::ProcessId to = 0; to < config_.n; ++to) {
+      sim::Message out;
+      out.from = id_;
+      out.to = to;
+      out.type = type;
+      out.instance = instance;
+      out.subject = instance;
+      out.data = value;
+      send_(out);
+    }
+  };
+  if (effects.send_echo) relay(sim::MsgType::kRbcEcho, *effects.send_echo);
+  if (effects.send_ready) relay(sim::MsgType::kRbcReady, *effects.send_ready);
+  if (effects.deliver) {
+    // Proposal received: vote 1 for including it (unless the instance was
+    // already closed with input 0, in which case the RBC value is simply
+    // recorded for the final vector).
+    start_instance(instance, 1);
+  }
+}
+
+void VectorConsensusProcess::on_message(const sim::Message& message) {
+  HV_REQUIRE(message.to == id_);
+  switch (message.type) {
+    case sim::MsgType::kRbcInit:
+    case sim::MsgType::kRbcEcho:
+    case sim::MsgType::kRbcReady:
+      handle_rbc(message);
+      return;
+    case sim::MsgType::kBv:
+    case sim::MsgType::kAux: {
+      const int instance = message.instance;
+      if (instance < 0 || instance >= config_.n) return;
+      if (binary_[instance] == nullptr) {
+        buffered_[instance].push_back(message);
+        return;
+      }
+      binary_[instance]->on_message(message);
+      maybe_close_remaining();
+      return;
+    }
+  }
+}
+
+std::optional<int> VectorConsensusProcess::instance_decision(int instance) const {
+  if (binary_[instance] == nullptr) return std::nullopt;
+  return binary_[instance]->decision();
+}
+
+int VectorConsensusProcess::decided_one_count() const {
+  int count = 0;
+  for (int instance = 0; instance < config_.n; ++instance) {
+    count += instance_decision(instance) == std::optional<int>(1) ? 1 : 0;
+  }
+  return count;
+}
+
+std::optional<std::map<sim::ProcessId, std::int32_t>> VectorConsensusProcess::decision() const {
+  std::map<sim::ProcessId, std::int32_t> vector;
+  for (int instance = 0; instance < config_.n; ++instance) {
+    const std::optional<int> bit = instance_decision(instance);
+    if (!bit) return std::nullopt;
+    if (*bit == 1) {
+      // RBC totality: if the instance decided 1, some correct process
+      // delivered the proposal, so everyone eventually does.
+      if (!rbc_[instance].delivered()) return std::nullopt;
+      vector[instance] = *rbc_[instance].delivered_value();
+    }
+  }
+  return vector;
+}
+
+}  // namespace hv::algo

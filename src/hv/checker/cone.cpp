@@ -1,0 +1,137 @@
+#include "hv/checker/cone.h"
+
+#include <algorithm>
+
+namespace hv::checker {
+
+namespace {
+
+// Recognizes a unit clause forcing a location to be empty at the initial
+// configuration: kappa[L] == 0 or kappa[L] <= 0.
+int as_empty_location_unit(const ta::ThresholdAutomaton& ta, const spec::Clause& clause) {
+  if (clause.literals.size() != 1) return -1;
+  const smt::LinearConstraint& literal = clause.literals[0];
+  if (literal.relation == smt::Relation::kGe) return -1;
+  if (!literal.expr.constant().is_zero()) return -1;
+  const auto& terms = literal.expr.terms();
+  if (terms.size() != 1 || terms[0].second != BigInt(1)) return -1;
+  const smt::VarId var = terms[0].first;
+  if (var < ta.variable_count()) return -1;
+  return var - ta.variable_count();
+}
+
+// Recognizes a literal requiring a location to be non-empty:
+// kappa[L] >= c with c >= 1. Returns the location, or -1.
+int as_nonempty_location(const ta::ThresholdAutomaton& ta,
+                         const smt::LinearConstraint& literal) {
+  if (literal.relation != smt::Relation::kGe) return -1;
+  if (!literal.expr.constant().is_negative()) return -1;
+  const auto& terms = literal.expr.terms();
+  if (terms.size() != 1 || terms[0].second != BigInt(1)) return -1;
+  const smt::VarId var = terms[0].first;
+  if (var < ta.variable_count()) return -1;
+  return var - ta.variable_count();
+}
+
+}  // namespace
+
+QueryCone::QueryCone(const GuardAnalysis& analysis, const spec::ReachQuery& query)
+    : analysis_(analysis),
+      query_(query),
+      frozen_(query.zero_rules.begin(), query.zero_rules.end()) {
+  const ta::ThresholdAutomaton& ta = analysis.automaton();
+  initial_allowed_.assign(ta.location_count(), false);
+  for (const ta::LocationId location : ta.initial_locations()) initial_allowed_[location] = true;
+  for (const spec::Clause& clause : query.initial.clauses) {
+    const int location = as_empty_location_unit(ta, clause);
+    if (location >= 0) initial_allowed_[location] = false;
+  }
+}
+
+const std::vector<bool>& QueryCone::reachable(GuardSet context) const {
+  {
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    const auto it = cache_.find(context);
+    // std::map references are stable across later insertions.
+    if (it != cache_.end()) return it->second;
+  }
+  const ta::ThresholdAutomaton& ta = analysis_.automaton();
+  std::vector<bool> reachable = initial_allowed_;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (ta::RuleId rule = 0; rule < ta.rule_count(); ++rule) {
+      const ta::Rule& r = ta.rule(rule);
+      if (r.is_self_loop() || frozen_.contains(rule)) continue;
+      if (!reachable[r.from] || reachable[r.to]) continue;
+      const auto& guards = analysis_.rule_guards(rule);
+      const bool unlocked = std::all_of(guards.begin(), guards.end(),
+                                        [context](int g) { return (context >> g) & 1; });
+      if (unlocked) {
+        reachable[r.to] = true;
+        changed = true;
+      }
+    }
+  }
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  return cache_.emplace(context, std::move(reachable)).first->second;
+}
+
+bool QueryCone::rule_fireable(ta::RuleId rule, GuardSet context) const {
+  if (frozen_.contains(rule)) return false;
+  const auto& guards = analysis_.rule_guards(rule);
+  const bool unlocked = std::all_of(guards.begin(), guards.end(),
+                                    [context](int g) { return (context >> g) & 1; });
+  if (!unlocked) return false;
+  return reachable(context)[analysis_.automaton().rule(rule).from];
+}
+
+bool QueryCone::clause_possible(const spec::Clause& clause, GuardSet context) const {
+  const std::vector<bool>& cone = reachable(context);
+  for (const auto& literal : clause.literals) {
+    const int location = as_nonempty_location(analysis_.automaton(), literal);
+    if (location < 0) return true;  // not a pure non-emptiness demand: assume possible
+    if (cone[location]) return true;
+  }
+  return false;
+}
+
+bool QueryCone::guard_can_unlock(int guard, GuardSet context) const {
+  if (analysis_.can_hold_at_zero(guard)) return true;
+  const std::vector<bool>& cone = reachable(context);
+  for (const ta::RuleId rule : analysis_.incrementers(guard)) {
+    if (frozen_.contains(rule)) continue;
+    const auto& guards = analysis_.rule_guards(rule);
+    const bool unlocked = std::all_of(guards.begin(), guards.end(),
+                                      [context](int g) { return (context >> g) & 1; });
+    if (unlocked && cone[analysis_.automaton().rule(rule).from]) return true;
+  }
+  return false;
+}
+
+bool QueryCone::schema_feasible(const Schema& schema) const {
+  // Contexts at each segment start.
+  GuardSet context = 0;
+  std::vector<GuardSet> contexts{context};
+  for (std::size_t i = 0; i < schema.unlock_order.size(); ++i) {
+    // The guard must be unlockable under the context of the segment that
+    // precedes its unlock boundary.
+    if (!guard_can_unlock(schema.unlock_order[i], context)) return false;
+    context |= GuardSet{1} << schema.unlock_order[i];
+    contexts.push_back(context);
+  }
+  const GuardSet final_context = contexts.back();
+  // Cuts are witnessed inside their segment.
+  for (std::size_t cut = 0; cut < schema.cut_positions.size(); ++cut) {
+    const GuardSet cut_context = contexts[schema.cut_positions[cut]];
+    for (const spec::Clause& clause : query_.cuts[cut].clauses) {
+      if (!clause_possible(clause, cut_context)) return false;
+    }
+  }
+  for (const spec::Clause& clause : query_.final_cnf.clauses) {
+    if (!clause_possible(clause, final_context)) return false;
+  }
+  return true;
+}
+
+}  // namespace hv::checker

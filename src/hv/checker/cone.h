@@ -1,0 +1,57 @@
+// Property-directed pruning (the counterpart of ByMC's schema
+// optimizations): a per-query reachability cone that accounts for the
+// query's frozen rules and forced-empty initial locations, used to
+//   * discard schemas statically — a cut or final clause that needs a
+//     location to be non-empty is infeasible if that location is not
+//     reachable under the context at the witnessing point, and a guard
+//     cannot unlock if none of its incrementing rules can ever fire;
+//   * skip rule applications whose source location cannot be populated in
+//     a given segment (shrinking the SMT encoding).
+// All prunings are sound: they only remove schemas/rules that no execution
+// consistent with the query can realize.
+#ifndef HV_CHECKER_CONE_H
+#define HV_CHECKER_CONE_H
+
+#include <map>
+#include <mutex>
+#include <set>
+#include <vector>
+
+#include "hv/checker/guard_analysis.h"
+#include "hv/checker/schema.h"
+#include "hv/spec/query.h"
+
+namespace hv::checker {
+
+class QueryCone {
+ public:
+  QueryCone(const GuardAnalysis& analysis, const spec::ReachQuery& query);
+
+  /// Locations that may hold processes under the given context, starting
+  /// from the query's admissible initial locations and using only
+  /// non-frozen rules whose guards are unlocked.
+  const std::vector<bool>& reachable(GuardSet context) const;
+
+  /// True iff the rule may fire at all in this query under the context:
+  /// not frozen, guards unlocked, source reachable.
+  bool rule_fireable(ta::RuleId rule, GuardSet context) const;
+
+  /// Static feasibility of a schema against the query; false means no
+  /// execution can realize it (skip the SMT call).
+  bool schema_feasible(const Schema& schema) const;
+
+ private:
+  bool clause_possible(const spec::Clause& clause, GuardSet context) const;
+  bool guard_can_unlock(int guard, GuardSet context) const;
+
+  const GuardAnalysis& analysis_;
+  const spec::ReachQuery& query_;
+  std::set<ta::RuleId> frozen_;
+  std::vector<bool> initial_allowed_;  // per location: may start non-empty
+  mutable std::mutex cache_mutex_;  // workers query the cone concurrently
+  mutable std::map<GuardSet, std::vector<bool>> cache_;
+};
+
+}  // namespace hv::checker
+
+#endif  // HV_CHECKER_CONE_H

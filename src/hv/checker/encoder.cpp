@@ -1,0 +1,281 @@
+#include "hv/checker/encoder.h"
+
+#include <algorithm>
+#include <set>
+
+#include "hv/smt/solver.h"
+#include "hv/spec/state.h"
+#include "hv/util/error.h"
+
+namespace hv::checker {
+
+namespace {
+
+class SchemaEncoder {
+ public:
+  SchemaEncoder(const GuardAnalysis& analysis, const Schema& schema,
+                const spec::ReachQuery& query, std::int64_t branch_budget,
+                const QueryCone* cone, double time_budget_seconds)
+      : analysis_(analysis),
+        ta_(analysis.automaton()),
+        schema_(schema),
+        query_(query),
+        cone_(cone) {
+    solver_.set_branch_budget(branch_budget);
+    solver_.set_time_budget(time_budget_seconds);
+  }
+
+  EncodeResult run() {
+    declare_parameters();
+    declare_initial_configuration();
+    add_cnf(query_.initial);
+    walk_segments();
+    assert_never_unlocked_guards_false();
+    add_cnf(query_.final_cnf);
+
+    EncodeResult result;
+    result.length = static_cast<std::int64_t>(steps_.size());
+    if (solver_.check() == smt::CheckResult::kSat) {
+      result.sat = true;
+      result.counterexample = extract_counterexample();
+    }
+    return result;
+  }
+
+ private:
+  // --- variable universe -----------------------------------------------------
+
+  void declare_parameters() {
+    param_vars_.assign(ta_.variable_count(), -1);
+    for (const ta::VarId id : ta_.parameters()) {
+      param_vars_[id] = solver_.new_variable(ta_.variable_name(id));
+      solver_.add_lower_bound(param_vars_[id], 0);
+    }
+    for (const auto& constraint : ta_.resilience()) {
+      solver_.add(substitute_state(constraint));
+    }
+  }
+
+  void declare_initial_configuration() {
+    counters_.assign(ta_.location_count(), smt::LinearExpr(0));
+    shared_.assign(ta_.shared_variables().size(), smt::LinearExpr(0));
+    shared_index_.assign(ta_.variable_count(), -1);
+    {
+      int index = 0;
+      for (const ta::VarId id : ta_.shared_variables()) shared_index_[id] = index++;
+    }
+    smt::LinearExpr total;
+    for (const ta::LocationId location : ta_.initial_locations()) {
+      const smt::VarId var =
+          solver_.new_variable("k0[" + ta_.location(location).name + "]");
+      solver_.add_lower_bound(var, 0);
+      initial_counter_vars_.emplace_back(location, var);
+      counters_[location] = smt::LinearExpr::variable(var);
+      total += counters_[location];
+    }
+    // The initial counters partition the processes executing the automaton.
+    solver_.add(smt::make_eq(total, substitute_params(ta_.process_count())));
+  }
+
+  // Rewrites an expression over TA variables into solver variables
+  // (parameters only; shared variables resolve to their current symbolic
+  // value).
+  smt::LinearExpr substitute_params(const smt::LinearExpr& expr) const {
+    smt::LinearExpr out(expr.constant());
+    for (const auto& [var, coeff] : expr.terms()) {
+      HV_REQUIRE(ta_.is_parameter(var));
+      out.add_term(param_vars_[var], coeff);
+    }
+    return out;
+  }
+
+  // Rewrites a constraint over *state* variables (TA variables + location
+  // counters) against the current symbolic configuration.
+  smt::LinearConstraint substitute_state(const smt::LinearConstraint& constraint) const {
+    smt::LinearExpr out(constraint.expr.constant());
+    for (const auto& [var, coeff] : constraint.expr.terms()) {
+      if (var >= ta_.variable_count()) {
+        smt::LinearExpr counter = counters_[var - ta_.variable_count()];
+        counter *= coeff;
+        out += counter;
+      } else if (ta_.is_parameter(var)) {
+        out.add_term(param_vars_[var], coeff);
+      } else {
+        smt::LinearExpr value = shared_[shared_index_[var]];
+        value *= coeff;
+        out += value;
+      }
+    }
+    return {std::move(out), constraint.relation};
+  }
+
+  void add_cnf(const spec::Cnf& cnf) {
+    for (const spec::Clause& clause : cnf.clauses) {
+      if (clause.literals.size() == 1) {
+        solver_.add(substitute_state(clause.literals[0]));
+        continue;
+      }
+      std::vector<smt::Literal> literals;
+      literals.reserve(clause.literals.size());
+      for (const auto& literal : clause.literals) {
+        literals.push_back({solver_.add_atom(substitute_state(literal)), true});
+      }
+      solver_.add_clause(std::move(literals));
+    }
+  }
+
+  // --- schema walk -------------------------------------------------------------
+
+  void walk_segments() {
+    const std::vector<ta::RuleId> topo = ta_.rules_in_topological_order();
+    const std::set<ta::RuleId> frozen(query_.zero_rules.begin(), query_.zero_rules.end());
+
+    GuardSet unlocked = 0;
+    for (int segment = 0; segment < schema_.segment_count(); ++segment) {
+      if (segment > 0) {
+        // The guard unlocking at this boundary holds from here on.
+        const int guard = schema_.unlock_order[segment - 1];
+        solver_.add(substitute_state(analysis_.guard(guard)));
+        unlocked |= GuardSet{1} << guard;
+      }
+      if (segment < static_cast<int>(schema_.unlock_order.size())) {
+        // The next guard to unlock is still false at the segment start
+        // (strongest point: monotonicity gives falsity at all earlier ones).
+        // EXCEPT for guards that can hold with all-zero counters for some
+        // parameters (e.g. "b >= 1 - f" with f >= 1): those may be true
+        // from time zero, with no point at which they are false — their
+        // executions are covered by the chain that unlocks them over an
+        // empty segment, which must not assert their falsity anywhere.
+        const int guard = schema_.unlock_order[segment];
+        if (!analysis_.can_hold_at_zero(guard)) {
+          solver_.add(substitute_state(analysis_.guard(guard).negated()));
+        }
+      }
+
+      // Cut points witnessed inside this segment split it into copies.
+      std::vector<int> cuts_here;
+      for (std::size_t cut = 0; cut < schema_.cut_positions.size(); ++cut) {
+        if (schema_.cut_positions[cut] == segment) cuts_here.push_back(static_cast<int>(cut));
+      }
+      const int copies = static_cast<int>(cuts_here.size()) + 1;
+      for (int copy = 0; copy < copies; ++copy) {
+        for (const ta::RuleId rule_id : topo) {
+          if (frozen.contains(rule_id)) continue;
+          if (!rule_enabled_in_context(rule_id, unlocked)) continue;
+          // With a cone: a rule whose source cannot be populated under this
+          // context can never fire here; omitting it shrinks the encoding.
+          if (cone_ != nullptr &&
+              !cone_->reachable(unlocked)[ta_.rule(rule_id).from]) {
+            continue;
+          }
+          apply_rule(rule_id, segment);
+        }
+        if (copy < static_cast<int>(cuts_here.size())) {
+          add_cnf(query_.cuts[cuts_here[copy]]);
+        }
+      }
+    }
+  }
+
+  bool rule_enabled_in_context(ta::RuleId rule_id, GuardSet unlocked) const {
+    for (const int guard : analysis_.rule_guards(rule_id)) {
+      if (((unlocked >> guard) & 1) == 0) return false;
+    }
+    return true;
+  }
+
+  void apply_rule(ta::RuleId rule_id, int segment) {
+    const ta::Rule& rule = ta_.rule(rule_id);
+    const smt::VarId delta = solver_.new_variable(
+        "d" + std::to_string(steps_.size()) + "[" + rule.name + "]");
+    solver_.add_lower_bound(delta, 0);
+    steps_.push_back({rule_id, delta});
+
+    // Parameter-only guard atoms (not tracked as threshold guards) must hold
+    // whenever the rule actually fires: (delta <= 0) || atom.
+    for (const auto& atom : rule.guard.atoms) {
+      const bool tracked =
+          std::any_of(analysis_.rule_guards(rule_id).begin(),
+                      analysis_.rule_guards(rule_id).end(), [&](int g) {
+                        return analysis_.guard(g) == atom;
+                      });
+      if (tracked) continue;
+      const int zero_atom = solver_.add_atom(
+          smt::make_le(smt::LinearExpr::variable(delta), smt::LinearExpr(0)));
+      const int guard_atom = solver_.add_atom(substitute_state(atom));
+      solver_.add_clause({{zero_atom, true}, {guard_atom, true}});
+    }
+
+    counters_[rule.from] -= smt::LinearExpr::variable(delta);
+    counters_[rule.to] += smt::LinearExpr::variable(delta);
+    for (const auto& [var, amount] : rule.update.increments) {
+      shared_[shared_index_[var]] += smt::LinearExpr::term(delta, amount);
+    }
+    // Only the source counter decreases; it must stay non-negative.
+    solver_.add(smt::make_ge(counters_[rule.from], smt::LinearExpr(0)));
+    (void)segment;
+  }
+
+  void assert_never_unlocked_guards_false() {
+    for (int guard = 0; guard < analysis_.guard_count(); ++guard) {
+      const bool unlocked = std::find(schema_.unlock_order.begin(), schema_.unlock_order.end(),
+                                      guard) != schema_.unlock_order.end();
+      if (!unlocked) {
+        // Canonicity: the guard never became true in this schema. For
+        // guards that may hold at time zero this forces the parameters
+        // where they do not (their true-at-zero executions live in the
+        // chains that unlock them).
+        solver_.add(substitute_state(analysis_.guard(guard).negated()));
+      }
+    }
+  }
+
+  // --- model extraction --------------------------------------------------------
+
+  Counterexample extract_counterexample() const {
+    Counterexample cex;
+    cex.query_description = query_.description;
+    for (const ta::VarId id : ta_.parameters()) {
+      cex.params[id] = solver_.model_value(param_vars_[id]).to_int64();
+    }
+    cex.initial.counters.assign(ta_.location_count(), 0);
+    cex.initial.shared.assign(shared_.size(), 0);
+    for (const auto& [location, var] : initial_counter_vars_) {
+      cex.initial.counters[location] = solver_.model_value(var).to_int64();
+    }
+    for (const auto& [rule, delta] : steps_) {
+      const std::int64_t factor = solver_.model_value(delta).to_int64();
+      if (factor > 0) cex.steps.push_back({rule, factor});
+    }
+    return cex;
+  }
+
+  struct Step {
+    ta::RuleId rule;
+    smt::VarId delta;
+  };
+
+  const GuardAnalysis& analysis_;
+  const ta::ThresholdAutomaton& ta_;
+  const Schema& schema_;
+  const spec::ReachQuery& query_;
+  const QueryCone* cone_;
+  smt::Solver solver_;
+  std::vector<smt::VarId> param_vars_;
+  std::vector<int> shared_index_;
+  std::vector<std::pair<ta::LocationId, smt::VarId>> initial_counter_vars_;
+  std::vector<smt::LinearExpr> counters_;
+  std::vector<smt::LinearExpr> shared_;
+  std::vector<Step> steps_;
+};
+
+}  // namespace
+
+EncodeResult solve_schema(const GuardAnalysis& analysis, const Schema& schema,
+                          const spec::ReachQuery& query, std::int64_t branch_budget,
+                          const QueryCone* cone, double time_budget_seconds) {
+  SchemaEncoder encoder(analysis, schema, query, branch_budget, cone, time_budget_seconds);
+  return encoder.run();
+}
+
+}  // namespace hv::checker

@@ -1,0 +1,41 @@
+// SMT encoding of one (schema, query) pair.
+//
+// The encoding introduces integer variables for the parameters, the initial
+// per-location counters and one acceleration factor per rule application;
+// configurations along the schema are *linear expressions* over these, so
+// the whole question "do some parameters and factors realize this schema
+// together with the query?" is a single linear-integer-arithmetic problem.
+#ifndef HV_CHECKER_ENCODER_H
+#define HV_CHECKER_ENCODER_H
+
+#include <cstdint>
+#include <optional>
+
+#include "hv/checker/cone.h"
+#include "hv/checker/guard_analysis.h"
+#include "hv/checker/result.h"
+#include "hv/checker/schema.h"
+#include "hv/spec/query.h"
+
+namespace hv::checker {
+
+struct EncodeResult {
+  bool sat = false;
+  /// Number of rule applications in the encoded schema (the paper's
+  /// "schema length").
+  std::int64_t length = 0;
+  std::optional<Counterexample> counterexample;  // present iff sat
+};
+
+/// Encodes and solves one schema against one query. `branch_budget` bounds
+/// the SMT branch-and-bound effort (hv::Error escapes on exhaustion). When a
+/// QueryCone is supplied, rules whose source cannot be populated under the
+/// segment context are omitted from the encoding (sound: such rules can
+/// never fire there).
+EncodeResult solve_schema(const GuardAnalysis& analysis, const Schema& schema,
+                          const spec::ReachQuery& query, std::int64_t branch_budget,
+                          const QueryCone* cone = nullptr, double time_budget_seconds = 0.0);
+
+}  // namespace hv::checker
+
+#endif  // HV_CHECKER_ENCODER_H

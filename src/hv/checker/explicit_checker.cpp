@@ -1,0 +1,100 @@
+#include "hv/checker/explicit_checker.h"
+
+#include <deque>
+#include <set>
+
+#include "hv/spec/state.h"
+#include "hv/util/stopwatch.h"
+
+namespace hv::checker {
+
+namespace {
+
+// Search node: configuration plus how many cuts have been witnessed.
+struct Node {
+  ta::Config config;
+  std::size_t cuts_done = 0;
+
+  friend auto operator<=>(const Node& lhs, const Node& rhs) = default;
+};
+
+// Checks one query by BFS; returns a witness config if the query is
+// satisfiable, nullopt if exhausted, and sets `truncated` on budget.
+std::optional<ta::Config> search_query(const ta::CounterSystem& system,
+                                       const spec::ReachQuery& query,
+                                       std::int64_t max_states, std::int64_t& states,
+                                       bool& truncated) {
+  const ta::ThresholdAutomaton& ta = system.automaton();
+  std::set<ta::RuleId> frozen(query.zero_rules.begin(), query.zero_rules.end());
+
+  std::deque<Node> frontier;
+  std::set<Node> visited;
+  const auto push = [&](ta::Config config, std::size_t cuts_done) {
+    // Greedily consume every cut satisfied at this configuration: cuts are
+    // witnessed at "some" points, and consuming early never hurts (a later
+    // point satisfying the next cut is still reachable from here).
+    while (cuts_done < query.cuts.size() &&
+           spec::evaluate(system, query.cuts[cuts_done], config)) {
+      ++cuts_done;
+    }
+    Node node{std::move(config), cuts_done};
+    if (visited.insert(node).second) frontier.push_back(std::move(node));
+  };
+
+  for (ta::Config& config : system.initial_configs()) {
+    if (spec::evaluate(system, query.initial, config)) push(std::move(config), 0);
+  }
+
+  while (!frontier.empty()) {
+    const Node node = std::move(frontier.front());
+    frontier.pop_front();
+    ++states;
+    if (states > max_states) {
+      truncated = true;
+      return std::nullopt;
+    }
+    if (node.cuts_done == query.cuts.size() &&
+        spec::evaluate(system, query.final_cnf, node.config)) {
+      return node.config;
+    }
+    for (ta::RuleId rule = 0; rule < ta.rule_count(); ++rule) {
+      if (ta.rule(rule).is_self_loop() || frozen.contains(rule)) continue;
+      if (!system.enabled(rule, node.config)) continue;
+      push(system.successor(node.config, rule), node.cuts_done);
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+ExplicitResult check_explicit(const ta::ThresholdAutomaton& ta, const spec::Property& property,
+                              const ta::ParamValuation& params,
+                              const ExplicitOptions& options) {
+  const Stopwatch stopwatch;
+  ExplicitResult result;
+  const ta::CounterSystem system(ta, params);
+  bool truncated = false;
+  for (const spec::ReachQuery& query : property.queries) {
+    const std::optional<ta::Config> witness =
+        search_query(system, query, options.max_states, result.states_explored, truncated);
+    if (witness) {
+      result.verdict = Verdict::kViolated;
+      result.witness = *witness;
+      result.note = query.description;
+      result.seconds = stopwatch.seconds();
+      return result;
+    }
+    if (truncated) {
+      result.verdict = Verdict::kUnknown;
+      result.note = "state budget exhausted";
+      result.seconds = stopwatch.seconds();
+      return result;
+    }
+  }
+  result.verdict = Verdict::kHolds;
+  result.seconds = stopwatch.seconds();
+  return result;
+}
+
+}  // namespace hv::checker

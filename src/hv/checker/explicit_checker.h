@@ -1,0 +1,48 @@
+// Explicit-state baseline: checks a Property for one *fixed* parameter
+// valuation by breadth-first exploration of the concrete counter system.
+//
+// This is the class of tools the paper's related-work section contrasts
+// with (TLC, NuSMV, Apalache with fixed parameters): exact for one (n,t,f)
+// but blind to all others, and exponential in n. We use it as
+//   * a correctness oracle for the parameterized checker on small instances
+//     (agreeing verdicts for sampled parameters), and
+//   * the baseline of the explicit-vs-parameterized scaling benchmark.
+//
+// Liveness needs no special machinery here: compiled liveness queries carry
+// their justice-stability constraint inside final_cnf, so "reach a stable
+// violation" is plain reachability.
+#ifndef HV_CHECKER_EXPLICIT_CHECKER_H
+#define HV_CHECKER_EXPLICIT_CHECKER_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "hv/checker/result.h"
+#include "hv/spec/query.h"
+#include "hv/ta/automaton.h"
+#include "hv/ta/counter_system.h"
+
+namespace hv::checker {
+
+struct ExplicitOptions {
+  /// Abort with kUnknown once this many states were expanded.
+  std::int64_t max_states = 5'000'000;
+};
+
+struct ExplicitResult {
+  Verdict verdict = Verdict::kUnknown;
+  std::int64_t states_explored = 0;
+  double seconds = 0.0;
+  std::string note;
+  /// A violating final configuration, if one was found.
+  std::optional<ta::Config> witness;
+};
+
+ExplicitResult check_explicit(const ta::ThresholdAutomaton& ta, const spec::Property& property,
+                              const ta::ParamValuation& params,
+                              const ExplicitOptions& options = {});
+
+}  // namespace hv::checker
+
+#endif  // HV_CHECKER_EXPLICIT_CHECKER_H

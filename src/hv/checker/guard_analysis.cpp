@@ -1,0 +1,128 @@
+#include "hv/checker/guard_analysis.h"
+
+#include <algorithm>
+
+#include "hv/smt/solver.h"
+#include "hv/util/error.h"
+
+namespace hv::checker {
+
+namespace {
+
+// Builds a solver over the TA variables with the ambient facts: resilience
+// and non-negativity of every variable. TA variable ids map 1:1 to solver
+// variable ids.
+smt::Solver ambient_solver(const ta::ThresholdAutomaton& ta) {
+  smt::Solver solver;
+  for (smt::VarId id = 0; id < ta.variable_count(); ++id) {
+    const smt::VarId solver_id = solver.new_variable(ta.variable_name(id));
+    HV_REQUIRE(solver_id == id);
+    solver.add_lower_bound(id, 0);
+  }
+  for (const auto& constraint : ta.resilience()) solver.add(constraint);
+  return solver;
+}
+
+// Substitutes zero for every shared variable, leaving a parameter-only
+// constraint.
+smt::LinearConstraint at_zero(const ta::ThresholdAutomaton& ta,
+                              const smt::LinearConstraint& constraint) {
+  smt::LinearExpr expr(constraint.expr.constant());
+  for (const auto& [var, coeff] : constraint.expr.terms()) {
+    if (ta.is_parameter(var)) expr.add_term(var, coeff);
+  }
+  return {std::move(expr), constraint.relation};
+}
+
+}  // namespace
+
+GuardAnalysis::GuardAnalysis(const ta::ThresholdAutomaton& ta) : ta_(ta) {
+  guards_ = ta.unique_guard_atoms();
+  if (guards_.size() > 63) throw InvalidArgument("more than 63 unique guards are not supported");
+
+  rule_guards_.resize(ta.rule_count());
+  for (ta::RuleId rule = 0; rule < ta.rule_count(); ++rule) {
+    for (const auto& atom : ta.rule(rule).guard.atoms) {
+      const auto it = std::find(guards_.begin(), guards_.end(), atom);
+      if (it != guards_.end()) {
+        rule_guards_[rule].push_back(static_cast<int>(it - guards_.begin()));
+      }
+    }
+  }
+
+  // Pairwise implications, decided exactly: a implies b iff
+  // ambient && a && !b is unsatisfiable.
+  const int count = guard_count();
+  implies_.assign(count, std::vector<bool>(count, false));
+  for (int a = 0; a < count; ++a) {
+    for (int b = 0; b < count; ++b) {
+      if (a == b) continue;
+      smt::Solver solver = ambient_solver(ta_);
+      solver.add(guards_[a]);
+      solver.add(guards_[b].negated());
+      implies_[a][b] = solver.check() == smt::CheckResult::kUnsat;
+    }
+  }
+
+  holds_at_zero_.assign(count, false);
+  for (int g = 0; g < count; ++g) {
+    smt::Solver solver = ambient_solver(ta_);
+    solver.add(at_zero(ta_, guards_[g]));
+    holds_at_zero_[g] = solver.check() == smt::CheckResult::kSat;
+  }
+
+  incrementers_.assign(count, {});
+  for (int g = 0; g < count; ++g) {
+    for (ta::RuleId rule = 0; rule < ta.rule_count(); ++rule) {
+      for (const auto& [var, amount] : ta.rule(rule).update.increments) {
+        if (amount.is_zero()) continue;
+        const BigInt& coeff = guards_[g].expr.coefficient(var);
+        const bool pushes_true = guards_[g].relation == smt::Relation::kGe
+                                     ? coeff.is_positive()
+                                     : coeff.is_negative();
+        if (pushes_true) {
+          incrementers_[g].push_back(rule);
+          break;
+        }
+      }
+    }
+  }
+}
+
+const std::vector<bool>& GuardAnalysis::reachable_locations(GuardSet unlocked) const {
+  const auto it = reachability_cache_.find(unlocked);
+  if (it != reachability_cache_.end()) return it->second;
+
+  std::vector<bool> reachable(ta_.location_count(), false);
+  for (const ta::LocationId location : ta_.initial_locations()) reachable[location] = true;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (ta::RuleId rule = 0; rule < ta_.rule_count(); ++rule) {
+      const ta::Rule& r = ta_.rule(rule);
+      if (r.is_self_loop() || !reachable[r.from] || reachable[r.to]) continue;
+      const bool guards_unlocked =
+          std::all_of(rule_guards_[rule].begin(), rule_guards_[rule].end(),
+                      [unlocked](int g) { return (unlocked >> g) & 1; });
+      if (guards_unlocked) {
+        reachable[r.to] = true;
+        changed = true;
+      }
+    }
+  }
+  return reachability_cache_.emplace(unlocked, std::move(reachable)).first->second;
+}
+
+bool GuardAnalysis::incrementable(int index, GuardSet unlocked) const {
+  const std::vector<bool>& reachable = reachable_locations(unlocked);
+  for (const ta::RuleId rule : incrementers_[index]) {
+    if (!reachable[ta_.rule(rule).from]) continue;
+    const bool guards_unlocked =
+        std::all_of(rule_guards_[rule].begin(), rule_guards_[rule].end(),
+                    [unlocked](int g) { return (unlocked >> g) & 1; });
+    if (guards_unlocked) return true;
+  }
+  return false;
+}
+
+}  // namespace hv::checker

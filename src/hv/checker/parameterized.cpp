@@ -1,0 +1,242 @@
+#include "hv/checker/parameterized.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <utility>
+
+#include "hv/checker/cone.h"
+#include "hv/checker/encoder.h"
+#include "hv/checker/guard_analysis.h"
+#include "hv/util/error.h"
+#include "hv/util/stopwatch.h"
+
+namespace hv::checker {
+
+namespace {
+
+// Shared state of one property run; workers and the enumerating producer
+// communicate through it.
+struct RunState {
+  std::mutex mutex;
+  std::condition_variable work_available;
+  std::condition_variable space_available;
+  std::deque<std::pair<std::size_t, Schema>> queue;  // (query index, schema)
+  bool done_producing = false;
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::int64_t> schemas_checked{0};
+  std::atomic<std::int64_t> schemas_pruned{0};
+  std::atomic<std::int64_t> total_length{0};
+
+  // First failure wins; guarded by mutex.
+  std::optional<Counterexample> counterexample;
+  std::string error_note;
+};
+
+void solve_task(const GuardAnalysis& analysis, const spec::Property& property,
+                std::size_t query_index, const Schema& schema, const CheckOptions& options,
+                const QueryCone* cone, double remaining_seconds, RunState& state) {
+  const spec::ReachQuery& query = property.queries[query_index];
+  // A non-positive remaining budget would disable the solver deadline;
+  // clamp it so a task started at the deadline still aborts promptly.
+  if (options.timeout_seconds > 0.0 && remaining_seconds <= 0.0) {
+    remaining_seconds = 0.01;
+  }
+  EncodeResult result;
+  try {
+    result = solve_schema(analysis, schema, query, options.branch_budget, cone,
+                          remaining_seconds);
+  } catch (const Error& error) {
+    std::lock_guard<std::mutex> lock(state.mutex);
+    if (state.error_note.empty()) state.error_note = error.what();
+    state.stop.store(true);
+    return;
+  }
+  state.schemas_checked.fetch_add(1);
+  state.total_length.fetch_add(result.length);
+  if (result.sat) {
+    result.counterexample->property = property.name;
+    if (options.validate_counterexamples) {
+      const std::string diagnostic = validate_counterexample(
+          analysis.automaton(), *result.counterexample, query);
+      if (!diagnostic.empty()) {
+        std::lock_guard<std::mutex> lock(state.mutex);
+        if (state.error_note.empty()) {
+          state.error_note = "internal: counterexample failed replay validation: " + diagnostic;
+        }
+        state.stop.store(true);
+        return;
+      }
+    }
+    if (options.minimize_counterexamples) {
+      *result.counterexample =
+          minimize_counterexample(analysis.automaton(), *result.counterexample, query);
+    }
+    std::lock_guard<std::mutex> lock(state.mutex);
+    if (!state.counterexample) state.counterexample = std::move(*result.counterexample);
+    state.stop.store(true);
+  }
+}
+
+}  // namespace
+
+PropertyResult check_property(const ta::ThresholdAutomaton& ta, const spec::Property& property,
+                              const CheckOptions& options) {
+  const Stopwatch stopwatch;
+  PropertyResult result;
+  result.property = property.name;
+
+  const GuardAnalysis analysis(ta);
+  // deque: QueryCone is immovable (it owns a mutex) and references must
+  // stay stable while workers use them.
+  std::deque<QueryCone> cones;
+  for (const spec::ReachQuery& query : property.queries) cones.emplace_back(analysis, query);
+  const auto cone_for = [&](std::size_t query) -> const QueryCone* {
+    return options.property_directed_pruning ? &cones[query] : nullptr;
+  };
+  RunState state;
+  bool budget_exhausted = false;
+  bool timed_out = false;
+
+  const auto out_of_time = [&] {
+    return options.timeout_seconds > 0.0 && stopwatch.seconds() > options.timeout_seconds;
+  };
+
+  if (options.workers <= 1) {
+    // Single-threaded: enumerate and solve inline.
+    for (std::size_t q = 0; q < property.queries.size() && !state.stop.load(); ++q) {
+      const int cut_count = static_cast<int>(property.queries[q].cuts.size());
+      EnumerationOptions enumeration = options.enumeration;
+      enumeration.max_schemas =
+          options.enumeration.max_schemas - state.schemas_checked.load();
+      const EnumerationOutcome outcome =
+          enumerate_schemas(analysis, cut_count, enumeration, [&](const Schema& schema) {
+            if (out_of_time()) {
+              timed_out = true;
+              return false;
+            }
+            if (options.property_directed_pruning && !cones[q].schema_feasible(schema)) {
+              state.schemas_pruned.fetch_add(1);
+              return true;
+            }
+            const double remaining =
+                options.timeout_seconds > 0.0
+                    ? options.timeout_seconds - stopwatch.seconds()
+                    : 0.0;
+            solve_task(analysis, property, q, schema, options, cone_for(q), remaining, state);
+            return !state.stop.load();
+          });
+      budget_exhausted = budget_exhausted || outcome.budget_exhausted;
+    }
+  } else {
+    // Producer enumerates into a bounded queue; workers drain it.
+    constexpr std::size_t kQueueLimit = 256;
+    std::vector<std::jthread> workers;
+    workers.reserve(static_cast<std::size_t>(options.workers));
+    for (int w = 0; w < options.workers; ++w) {
+      workers.emplace_back([&] {
+        for (;;) {
+          std::pair<std::size_t, Schema> task;
+          {
+            std::unique_lock<std::mutex> lock(state.mutex);
+            state.work_available.wait(lock, [&] {
+              return !state.queue.empty() || state.done_producing || state.stop.load();
+            });
+            if (state.stop.load() || (state.queue.empty() && state.done_producing)) return;
+            task = std::move(state.queue.front());
+            state.queue.pop_front();
+          }
+          state.space_available.notify_one();
+          solve_task(analysis, property, task.first, task.second, options,
+                     cone_for(task.first),
+                     options.timeout_seconds > 0.0
+                         ? options.timeout_seconds - stopwatch.seconds()
+                         : 0.0,
+                     state);
+          if (state.stop.load()) {
+            state.work_available.notify_all();
+            return;
+          }
+        }
+      });
+    }
+    for (std::size_t q = 0; q < property.queries.size() && !state.stop.load(); ++q) {
+      const int cut_count = static_cast<int>(property.queries[q].cuts.size());
+      const EnumerationOutcome outcome = enumerate_schemas(
+          analysis, cut_count, options.enumeration, [&](const Schema& schema) {
+            if (out_of_time()) {
+              timed_out = true;
+              return false;
+            }
+            if (options.property_directed_pruning && !cones[q].schema_feasible(schema)) {
+              state.schemas_pruned.fetch_add(1);
+              return true;
+            }
+            std::unique_lock<std::mutex> lock(state.mutex);
+            state.space_available.wait(
+                lock, [&] { return state.queue.size() < kQueueLimit || state.stop.load(); });
+            if (state.stop.load()) return false;
+            state.queue.emplace_back(q, schema);
+            lock.unlock();
+            state.work_available.notify_one();
+            return true;
+          });
+      budget_exhausted = budget_exhausted || outcome.budget_exhausted;
+    }
+    {
+      std::lock_guard<std::mutex> lock(state.mutex);
+      state.done_producing = true;
+    }
+    state.work_available.notify_all();
+    workers.clear();  // join
+  }
+
+  result.schemas_checked = state.schemas_checked.load();
+  result.schemas_pruned = state.schemas_pruned.load();
+  result.avg_schema_length =
+      result.schemas_checked == 0
+          ? 0.0
+          : static_cast<double>(state.total_length.load()) /
+                static_cast<double>(result.schemas_checked);
+  result.seconds = stopwatch.seconds();
+
+  if (state.counterexample) {
+    result.verdict = Verdict::kViolated;
+    result.counterexample = std::move(state.counterexample);
+  } else if (!state.error_note.empty()) {
+    result.verdict = Verdict::kUnknown;
+    result.note = state.error_note;
+  } else if (timed_out) {
+    result.verdict = Verdict::kUnknown;
+    result.note = "timeout after " + std::to_string(options.timeout_seconds) + "s";
+  } else if (budget_exhausted) {
+    result.verdict = Verdict::kUnknown;
+    result.note = "schema budget exhausted (" +
+                  std::to_string(options.enumeration.max_schemas) + ")";
+  } else {
+    result.verdict = Verdict::kHolds;
+  }
+  return result;
+}
+
+PropertyResult check_property(const ta::MultiRoundTa& ta, const spec::Property& property,
+                              const CheckOptions& options) {
+  return check_property(ta.one_round_reduction(), property, options);
+}
+
+std::vector<PropertyResult> check_properties(const ta::ThresholdAutomaton& ta,
+                                             const std::vector<spec::Property>& properties,
+                                             const CheckOptions& options) {
+  std::vector<PropertyResult> results;
+  results.reserve(properties.size());
+  for (const spec::Property& property : properties) {
+    results.push_back(check_property(ta, property, options));
+  }
+  return results;
+}
+
+}  // namespace hv::checker

@@ -1,0 +1,75 @@
+// Verdicts, counterexamples and per-property statistics.
+#ifndef HV_CHECKER_RESULT_H
+#define HV_CHECKER_RESULT_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "hv/spec/query.h"
+#include "hv/ta/automaton.h"
+#include "hv/ta/counter_system.h"
+
+namespace hv::checker {
+
+enum class Verdict {
+  kHolds,     // every violation query is unsatisfiable over all parameters
+  kViolated,  // a concrete counterexample was found
+  kUnknown,   // budget or timeout exhausted before a verdict
+};
+
+std::string to_string(Verdict verdict);
+
+/// One accelerated step of a counterexample: `factor` processes traverse
+/// `rule` back to back.
+struct TraceStep {
+  ta::RuleId rule = -1;
+  std::int64_t factor = 0;
+};
+
+/// A concrete witness execution violating a property, for specific
+/// parameter values. Replayable against the concrete counter-system
+/// semantics (see validate()).
+struct Counterexample {
+  std::string property;
+  std::string query_description;
+  ta::ParamValuation params;
+  ta::Config initial;
+  std::vector<TraceStep> steps;
+
+  /// Human-readable replay: parameters, initial configuration, steps and
+  /// intermediate configurations.
+  std::string to_string(const ta::ThresholdAutomaton& ta) const;
+};
+
+/// Replays the counterexample under concrete semantics and re-checks the
+/// query (initial constraint, cuts in order, final constraint). Returns an
+/// empty string on success, else a diagnostic. This guards against encoder
+/// bugs: every reported violation is independently validated.
+std::string validate_counterexample(const ta::ThresholdAutomaton& ta, const Counterexample& cex,
+                                    const spec::ReachQuery& query);
+
+/// Greedily shrinks a counterexample (dropping steps and reducing
+/// acceleration factors from the end backwards) while it still replays
+/// against the query. Returns the minimized copy; the input is untouched.
+/// Deterministic, and the result always passes validate_counterexample.
+Counterexample minimize_counterexample(const ta::ThresholdAutomaton& ta,
+                                       const Counterexample& cex,
+                                       const spec::ReachQuery& query);
+
+struct PropertyResult {
+  std::string property;
+  Verdict verdict = Verdict::kUnknown;
+  std::int64_t schemas_checked = 0;
+  /// Schemas discarded by static (cone) analysis without an SMT call.
+  std::int64_t schemas_pruned = 0;
+  double avg_schema_length = 0.0;
+  double seconds = 0.0;
+  std::optional<Counterexample> counterexample;
+  std::string note;  // budget/timeout diagnostics
+};
+
+}  // namespace hv::checker
+
+#endif  // HV_CHECKER_RESULT_H

@@ -1,0 +1,97 @@
+#include "hv/checker/schema.h"
+
+namespace hv::checker {
+
+namespace {
+
+class Enumerator {
+ public:
+  Enumerator(const GuardAnalysis& analysis, int cut_count, const EnumerationOptions& options,
+             const std::function<bool(const Schema&)>& visit)
+      : analysis_(analysis), cut_count_(cut_count), options_(options), visit_(visit) {}
+
+  EnumerationOutcome run() {
+    Schema schema;
+    chain(schema, 0);
+    return outcome_;
+  }
+
+ private:
+  bool exhausted() const {
+    return outcome_.budget_exhausted || outcome_.stopped_by_callback;
+  }
+
+  // Extends the chain in all admissible ways; every prefix is itself a
+  // schema (guards that never unlock are simply asserted false at the end).
+  void chain(Schema& schema, GuardSet unlocked) {
+    if (exhausted()) return;
+    cuts(schema, 0, 0);
+    if (exhausted()) return;
+    for (int g = 0; g < analysis_.guard_count(); ++g) {
+      if ((unlocked >> g) & 1) continue;
+      if (options_.prune_implications) {
+        // g cannot become true while a guard it implies is still false.
+        bool blocked = false;
+        for (int h = 0; h < analysis_.guard_count(); ++h) {
+          if (h == g || ((unlocked >> h) & 1)) continue;
+          if (analysis_.implies(g, h)) {
+            blocked = true;
+            break;
+          }
+        }
+        if (blocked) continue;
+      }
+      if (options_.prune_dead_unlocks && !analysis_.can_hold_at_zero(g) &&
+          !analysis_.incrementable(g, unlocked)) {
+        continue;
+      }
+      schema.unlock_order.push_back(g);
+      chain(schema, unlocked | (GuardSet{1} << g));
+      schema.unlock_order.pop_back();
+      if (exhausted()) return;
+    }
+  }
+
+  // Places `cut_count_` cuts into segments 0..k, non-decreasing.
+  void cuts(Schema& schema, int cut_index, int min_segment) {
+    if (exhausted()) return;
+    if (cut_index == cut_count_) {
+      ++outcome_.schemas;
+      if (outcome_.schemas > options_.max_schemas) {
+        outcome_.budget_exhausted = true;
+        return;
+      }
+      if (!visit_(schema)) outcome_.stopped_by_callback = true;
+      return;
+    }
+    for (int segment = min_segment; segment < schema.segment_count(); ++segment) {
+      schema.cut_positions.push_back(segment);
+      cuts(schema, cut_index + 1, segment);
+      schema.cut_positions.pop_back();
+      if (exhausted()) return;
+    }
+  }
+
+  const GuardAnalysis& analysis_;
+  const int cut_count_;
+  const EnumerationOptions& options_;
+  const std::function<bool(const Schema&)>& visit_;
+  EnumerationOutcome outcome_;
+};
+
+}  // namespace
+
+EnumerationOutcome enumerate_schemas(const GuardAnalysis& analysis, int cut_count,
+                                     const EnumerationOptions& options,
+                                     const std::function<bool(const Schema&)>& visit) {
+  Enumerator enumerator(analysis, cut_count, options, visit);
+  return enumerator.run();
+}
+
+std::int64_t count_chains(const GuardAnalysis& analysis, const EnumerationOptions& options) {
+  const EnumerationOutcome outcome =
+      enumerate_schemas(analysis, /*cut_count=*/0, options, [](const Schema&) { return true; });
+  return outcome.schemas;
+}
+
+}  // namespace hv::checker

@@ -1,0 +1,74 @@
+// Schema enumeration — the core of the ByMC-style parameterized checker
+// [Konnov, Lazić, Veith, Widder, POPL'17].
+//
+// All guards of the paper's automata are monotone rise guards, so along any
+// execution the set of true guards only grows. A *schema* fixes:
+//   * the order in which guards unlock (a chain of growing contexts), and
+//   * for each property cut point, the segment in which it is witnessed.
+//
+// Within one segment the context is constant; because the automaton is a
+// DAG (up to self-loops), any in-segment execution can be reordered into a
+// single topological pass where each rule fires once with an acceleration
+// factor (a classical mover argument: a rule's source is only fed by
+// topologically earlier rules, so moving earlier-topo rules first never
+// disables anything). The SMT encoder (encoder.h) then asks whether *some*
+// parameters, initial configuration and acceleration factors realize the
+// schema together with the query constraints. The property holds iff every
+// schema is unsatisfiable for every query.
+//
+// Enumeration prunes:
+//   * implication order: a guard cannot unlock strictly before a guard it
+//     implies (decided exactly under the resilience condition);
+//   * dead unlocks: a guard can only be appended if some rule incrementing
+//     it is fireable under the current context (source reachable, guards
+//     unlocked), or the guard can hold with all-zero shared variables.
+// Both prunings are sound: they only discard chains no execution realizes.
+#ifndef HV_CHECKER_SCHEMA_H
+#define HV_CHECKER_SCHEMA_H
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "hv/checker/guard_analysis.h"
+
+namespace hv::checker {
+
+struct Schema {
+  /// Guard indices in unlock order; segment i runs under the context
+  /// {unlock_order[0..i)}. There are unlock_order.size()+1 segments.
+  std::vector<int> unlock_order;
+  /// One entry per property cut, non-decreasing: the segment in which the
+  /// cut is witnessed (the segment is split at the cut point).
+  std::vector<int> cut_positions;
+
+  int segment_count() const noexcept { return static_cast<int>(unlock_order.size()) + 1; }
+};
+
+struct EnumerationOptions {
+  bool prune_implications = true;
+  bool prune_dead_unlocks = true;
+  /// Stop after this many schemas (budget exhausted -> enumeration reports
+  /// incompleteness).
+  std::int64_t max_schemas = 1'000'000;
+};
+
+struct EnumerationOutcome {
+  std::int64_t schemas = 0;
+  bool budget_exhausted = false;
+  bool stopped_by_callback = false;
+};
+
+/// Calls `visit` for every schema with `cut_count` cut points. The callback
+/// returns false to stop enumeration early (e.g. a counterexample was
+/// found).
+EnumerationOutcome enumerate_schemas(const GuardAnalysis& analysis, int cut_count,
+                                     const EnumerationOptions& options,
+                                     const std::function<bool(const Schema&)>& visit);
+
+/// Number of chains only (no cut placement), for reporting.
+std::int64_t count_chains(const GuardAnalysis& analysis, const EnumerationOptions& options);
+
+}  // namespace hv::checker
+
+#endif  // HV_CHECKER_SCHEMA_H

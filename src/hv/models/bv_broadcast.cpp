@@ -1,0 +1,157 @@
+#include "hv/models/bv_broadcast.h"
+
+#include "hv/spec/ltl.h"
+#include "hv/ta/parser.h"
+#include "hv/util/error.h"
+
+namespace hv::models {
+
+namespace {
+
+// The automaton in the textual format, matching Figure 2 rule for rule.
+// Guards compare the number of (BV, <v, *>) messages sent by correct
+// processes against the reception thresholds minus the f messages Byzantine
+// processes may contribute.
+constexpr const char* kBvBroadcastTemplate = R"(
+ta BvBroadcast {
+  parameters n, t, f;
+  shared b0, b1;
+  resilience n > RESILIENCE*t;
+  resilience t >= f;
+  resilience f >= 0;
+  processes n - f;
+  initial V0, V1;
+  locations B0, B1, B01, C0, C1, CB0, CB1, C01;
+  # initial broadcast of the input value (Fig. 1 line 2)
+  rule r1: V0 -> B0 do b0 += 1;
+  rule r2: V1 -> B1 do b1 += 1;
+  # deliver own value after 2t+1 distinct receptions (lines 6-7)
+  rule r3: B0 -> C0 when b0 >= 2*t + 1 - f;
+  # echo the other value after t+1 distinct receptions (lines 4-5)
+  rule r4: B0 -> B01 when b1 >= t + 1 - f do b1 += 1;
+  rule r5: B1 -> B01 when b0 >= t + 1 - f do b0 += 1;
+  rule r6: B1 -> C1 when b1 >= 2*t + 1 - f;
+  # after delivering 0, a process may still echo and deliver 1 (and dually)
+  rule r7: C0 -> CB0 when b1 >= t + 1 - f do b1 += 1;
+  rule r8: B01 -> CB0 when b0 >= 2*t + 1 - f;
+  rule r9: B01 -> CB1 when b1 >= 2*t + 1 - f;
+  rule r10: C1 -> CB1 when b0 >= t + 1 - f do b0 += 1;
+  rule r11: CB0 -> C01 when b1 >= 2*t + 1 - f;
+  rule r12: CB1 -> C01 when b0 >= 2*t + 1 - f;
+  selfloop B0;
+  selfloop B1;
+  selfloop C0;
+  selfloop C1;
+  selfloop CB0;
+  selfloop CB1;
+  selfloop C01;
+}
+)";
+
+ta::ThresholdAutomaton instantiate(const std::string& resilience) {
+  std::string text = kBvBroadcastTemplate;
+  const std::string placeholder = "RESILIENCE";
+  text.replace(text.find(placeholder), placeholder.size(), resilience);
+  ta::MultiRoundTa parsed = ta::parse_ta(text);
+  HV_REQUIRE(parsed.switches().empty());
+  return parsed.one_round_reduction();
+}
+
+// Justice override for one rule: "source empty or fewer than `threshold`
+// correct messages of the watched counter".
+spec::StabilityOverride justice(const ta::ThresholdAutomaton& ta, const char* rule_name,
+                                const std::string& condition) {
+  spec::StabilityOverride override_entry;
+  override_entry.rule = -1;
+  for (ta::RuleId id = 0; id < ta.rule_count(); ++id) {
+    if (ta.rule(id).name == rule_name) {
+      override_entry.rule = id;
+      break;
+    }
+  }
+  HV_REQUIRE(override_entry.rule >= 0);
+  override_entry.replacement =
+      spec::predicate_to_cnf(spec::parse_ltl(ta, condition));
+  return override_entry;
+}
+
+}  // namespace
+
+ta::ThresholdAutomaton bv_broadcast() { return instantiate("3"); }
+
+ta::ThresholdAutomaton bv_broadcast_weakened() { return instantiate("2"); }
+
+spec::CompileOptions bv_liveness_options(const ta::ThresholdAutomaton& ta) {
+  spec::CompileOptions options;
+  // Echo rules (guard b >= t+1-f) are guaranteed once t+1 *correct*
+  // processes have sent; delivery rules (guard b >= 2t+1-f) once 2t+1 have.
+  options.overrides.push_back(justice(ta, "r3", "locB0 == 0 || b0 <= 2*t"));
+  options.overrides.push_back(justice(ta, "r4", "locB0 == 0 || b1 <= t"));
+  options.overrides.push_back(justice(ta, "r5", "locB1 == 0 || b0 <= t"));
+  options.overrides.push_back(justice(ta, "r6", "locB1 == 0 || b1 <= 2*t"));
+  options.overrides.push_back(justice(ta, "r7", "locC0 == 0 || b1 <= t"));
+  options.overrides.push_back(justice(ta, "r8", "locB01 == 0 || b0 <= 2*t"));
+  options.overrides.push_back(justice(ta, "r9", "locB01 == 0 || b1 <= 2*t"));
+  options.overrides.push_back(justice(ta, "r10", "locC1 == 0 || b0 <= t"));
+  options.overrides.push_back(justice(ta, "r11", "locCB0 == 0 || b1 <= 2*t"));
+  options.overrides.push_back(justice(ta, "r12", "locCB1 == 0 || b0 <= 2*t"));
+  return options;
+}
+
+std::vector<spec::Property> bv_properties(const ta::ThresholdAutomaton& ta) {
+  const spec::CompileOptions liveness = bv_liveness_options(ta);
+  std::vector<spec::Property> properties;
+
+  // (BV-Just_v): if v was not proposed by a correct process, no correct
+  // process ever delivers v.
+  properties.push_back(spec::compile(
+      ta, "BV-Just0", "locV0 == 0 -> [](locC0 == 0 && locCB0 == 0 && locC01 == 0)"));
+  properties.push_back(spec::compile(
+      ta, "BV-Just1", "locV1 == 0 -> [](locC1 == 0 && locCB1 == 0 && locC01 == 0)"));
+
+  // (BV-Obl_v): if t+1 correct processes broadcast v, every correct process
+  // eventually delivers v (leaves the "v not delivered" locations Locs_v).
+  properties.push_back(spec::compile(
+      ta, "BV-Obl0",
+      "[](b0 >= t + 1 -> <>(locV0 == 0 && locV1 == 0 && locB0 == 0 && locB1 == 0 && "
+      "locB01 == 0 && locC1 == 0 && locCB1 == 0))",
+      liveness));
+  properties.push_back(spec::compile(
+      ta, "BV-Obl1",
+      "[](b1 >= t + 1 -> <>(locV0 == 0 && locV1 == 0 && locB0 == 0 && locB1 == 0 && "
+      "locB01 == 0 && locC0 == 0 && locCB0 == 0))",
+      liveness));
+
+  // (BV-Unif_v): if some correct process delivers v, all eventually do.
+  properties.push_back(spec::compile(
+      ta, "BV-Unif0",
+      "<>(locC0 != 0 || locCB0 != 0 || locC01 != 0) -> "
+      "<>(locV0 == 0 && locV1 == 0 && locB0 == 0 && locB1 == 0 && locB01 == 0 && "
+      "locC1 == 0 && locCB1 == 0)",
+      liveness));
+  properties.push_back(spec::compile(
+      ta, "BV-Unif1",
+      "<>(locC1 != 0 || locCB1 != 0 || locC01 != 0) -> "
+      "<>(locV0 == 0 && locV1 == 0 && locB0 == 0 && locB1 == 0 && locB01 == 0 && "
+      "locC0 == 0 && locCB0 == 0)",
+      liveness));
+
+  // (BV-Term): eventually every correct process has delivered something.
+  properties.push_back(spec::compile(
+      ta, "BV-Term",
+      "<>(locV0 == 0 && locV1 == 0 && locB0 == 0 && locB1 == 0 && locB01 == 0)",
+      liveness));
+
+  return properties;
+}
+
+std::vector<LocationSemantics> bv_location_semantics() {
+  return {
+      {"V0", "/", "/"},      {"V1", "/", "/"},      {"B0", "0", "/"},
+      {"B1", "1", "/"},      {"B01", "0,1", "/"},   {"C0", "0", "0"},
+      {"CB0", "0,1", "0"},   {"C1", "1", "1"},      {"CB1", "0,1", "1"},
+      {"C01", "0,1", "0,1"},
+  };
+}
+
+}  // namespace hv::models

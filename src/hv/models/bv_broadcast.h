@@ -1,0 +1,48 @@
+// The binary value broadcast threshold automaton (Figure 2) and its LTL
+// specification (Section 3.2): BV-Justification, BV-Obligation,
+// BV-Uniformity and BV-Termination, each for both binary values.
+#ifndef HV_MODELS_BV_BROADCAST_H
+#define HV_MODELS_BV_BROADCAST_H
+
+#include <string>
+#include <vector>
+
+#include "hv/spec/compile.h"
+#include "hv/spec/query.h"
+#include "hv/ta/automaton.h"
+
+namespace hv::models {
+
+/// Figure 2: 10 locations, 19 rules (12 guarded/updating + 7 self-loops),
+/// 4 unique guards, parameters n, t, f with n > 3t && t >= f >= 0 and
+/// n - f correct processes.
+ta::ThresholdAutomaton bv_broadcast();
+
+/// Negative control: the same automaton under the weakened resilience
+/// n > 2t. Safety still holds (the -f slack never exceeds t), but
+/// BV-Uniformity/Obligation break: with n = 2t+1 the correct processes
+/// alone cannot push a counter to 2t+1, so some processes may never
+/// deliver. Used by the counterexample example/benchmarks.
+ta::ThresholdAutomaton bv_broadcast_weakened();
+
+/// Justice for liveness checking, faithful to the paper's modelling: a rule
+/// waiting for "t+1 distinct senders" is *guaranteed* to fire only once t+1
+/// correct processes have sent (b >= t+1, without the -f Byzantine slack
+/// that the guard itself enjoys), and similarly 2t+1 for delivery.
+spec::CompileOptions bv_liveness_options(const ta::ThresholdAutomaton& ta);
+
+/// The eight properties of Section 3.2 (four per value), compiled.
+std::vector<spec::Property> bv_properties(const ta::ThresholdAutomaton& ta);
+
+/// Table 1: which values a correct process has broadcast/delivered at each
+/// location.
+struct LocationSemantics {
+  std::string location;
+  std::string broadcast;
+  std::string delivered;
+};
+std::vector<LocationSemantics> bv_location_semantics();
+
+}  // namespace hv::models
+
+#endif  // HV_MODELS_BV_BROADCAST_H

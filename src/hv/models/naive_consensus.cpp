@@ -1,0 +1,203 @@
+#include "hv/models/naive_consensus.h"
+
+#include <algorithm>
+
+#include "hv/spec/compile.h"
+#include "hv/ta/parser.h"
+#include "hv/util/error.h"
+
+namespace hv::models {
+
+namespace {
+
+// Figure 3 / Table 3. The embedded bv-broadcast occupies V*/B*/C* and the
+// consensus decision logic the E*/D* locations; "x" suffixes the second
+// (even) round, whose decision targets are swapped by round parity. The V'
+// locations of the figure are merged into r20-r22 (which perform the second
+// round's initial broadcast), giving the 24-location encoding of Table 2.
+constexpr const char* kNaiveText = R"(
+ta NaiveConsensus {
+  parameters n, t, f;
+  shared b0, b1, a0, a1, b0x, b1x, a0x, a1x;
+  resilience n > 3*t;
+  resilience t >= f;
+  resilience f >= 0;
+  processes n - f;
+  initial V0, V1;
+  locations B0, B1, B01, C0, C1, CB0, CB1, C01, E0, E1, D1,
+            B0x, B1x, B01x, C0x, C1x, CB0x, CB1x, C01x, E0x, E1x, D0;
+
+  # --- odd round: embedded bv-broadcast (cf. Fig. 2), aux on delivery ------
+  rule r1: V0 -> B0 do b0 += 1;
+  rule r2: V1 -> B1 do b1 += 1;
+  rule r3: B0 -> C0 when b0 >= 2*t + 1 - f do a0 += 1;
+  rule r4: B0 -> B01 when b1 >= t + 1 - f do b1 += 1;
+  rule r5: B1 -> B01 when b0 >= t + 1 - f do b0 += 1;
+  rule r6: B1 -> C1 when b1 >= 2*t + 1 - f do a1 += 1;
+  rule r7: C1 -> D1 when a1 >= n - t - f;
+  rule r8: C0 -> CB0 when b1 >= t + 1 - f do b1 += 1;
+  rule r9: B01 -> CB1 when b1 >= 2*t + 1 - f do a1 += 1;
+  rule r10: B01 -> CB0 when b0 >= 2*t + 1 - f do a0 += 1;
+  rule r11: C1 -> CB1 when b0 >= t + 1 - f do b0 += 1;
+  rule r12: CB0 -> C01 when b1 >= 2*t + 1 - f;
+  rule r13: CB1 -> C01 when b0 >= 2*t + 1 - f;
+  rule r14: C0 -> E0 when a0 >= n - t - f;
+  rule r15: CB0 -> E0 when a0 >= n - t - f;
+  rule r16: C01 -> E0 when a0 >= n - t - f;
+  rule r17: C01 -> E1 when a0 + a1 >= n - t - f;
+  rule r18: CB1 -> D1 when a1 >= n - t - f;
+  rule r19: C01 -> D1 when a1 >= n - t - f;
+
+  # --- round switch (odd -> even), absorbing the V' locations --------------
+  rule r20: E0 -> B0x do b0x += 1;
+  rule r21: E1 -> B1x do b1x += 1;
+  rule r22: D1 -> B1x do b1x += 1;
+
+  # --- even round: decision targets swapped (qualifiers == {0} decides) ----
+  rule r3x: B0x -> C0x when b0x >= 2*t + 1 - f do a0x += 1;
+  rule r4x: B0x -> B01x when b1x >= t + 1 - f do b1x += 1;
+  rule r5x: B1x -> B01x when b0x >= t + 1 - f do b0x += 1;
+  rule r6x: B1x -> C1x when b1x >= 2*t + 1 - f do a1x += 1;
+  rule r7x: C1x -> E1x when a1x >= n - t - f;
+  rule r8x: C0x -> CB0x when b1x >= t + 1 - f do b1x += 1;
+  rule r9x: B01x -> CB1x when b1x >= 2*t + 1 - f do a1x += 1;
+  rule r10x: B01x -> CB0x when b0x >= 2*t + 1 - f do a0x += 1;
+  rule r11x: C1x -> CB1x when b0x >= t + 1 - f do b0x += 1;
+  rule r12x: CB0x -> C01x when b1x >= 2*t + 1 - f;
+  rule r13x: CB1x -> C01x when b0x >= 2*t + 1 - f;
+  rule r14x: C0x -> D0 when a0x >= n - t - f;
+  rule r15x: CB0x -> D0 when a0x >= n - t - f;
+  rule r16x: C01x -> D0 when a0x >= n - t - f;
+  rule r17x: C01x -> E0x when a0x + a1x >= n - t - f;
+  rule r18x: CB1x -> E1x when a1x >= n - t - f;
+  rule r19x: C01x -> E1x when a1x >= n - t - f;
+
+  selfloop B01;
+  selfloop C01;
+  selfloop C01x;
+  selfloop D0;
+  selfloop E0x;
+  selfloop E1x;
+
+  switch D0 -> V0;
+  switch E0x -> V0;
+  switch E1x -> V1;
+}
+)";
+
+// The justice premise for SRoundTerm on the composite automaton, derived
+// like Appendix F: guaranteed thresholds use only correct messages (t+1,
+// 2t+1, n-t — no -f slack), and the bv-broadcast properties appear as
+// assumptions exactly like the gadget conditions of the simplified TA:
+//   * BV-Obligation: once t+1 correct processes broadcast v, every
+//     process still waiting to deliver v eventually does (locations B0,
+//     B01, CB1 wait for 0; B1, B01, CB0 wait for 1; C0/C1 drain via their
+//     echo clauses);
+//   * BV-Uniformity: once some process delivers v first (witnessed by the
+//     aux counter a_v), every process waiting for v eventually delivers it.
+// Without these, the composite automaton admits genuine starvation — the
+// "porosity" of Section 4.2: a process that advances to the next round
+// stops echoing in the old one, so plain reliable communication is not
+// enough to drain the waiters.
+constexpr const char* kNaiveSRoundTermination = R"(
+<>[](
+  (locV0 == 0) && (locV1 == 0) &&
+  (locB0 == 0 || b0 < 2*T + 1) && (locB0 == 0 || b1 < T + 1) &&
+  (locB1 == 0 || b0 < T + 1) && (locB1 == 0 || b1 < 2*T + 1) &&
+  (locC1 == 0 || a1 < N - T) && (locC0 == 0 || b1 < T + 1) &&
+  (locB01 == 0 || b1 < 2*T + 1) && (locB01 == 0 || b0 < 2*T + 1) &&
+  (locC1 == 0 || b0 < T + 1) &&
+  (locCB0 == 0 || b1 < 2*T + 1) && (locCB1 == 0 || b0 < 2*T + 1) &&
+  (locC0 == 0 || a0 < N - T) && (locCB0 == 0 || a0 < N - T) &&
+  (locC01 == 0 || a0 < N - T) && (locC01 == 0 || a0 + a1 < N - T) &&
+  (locCB1 == 0 || a1 < N - T) && (locC01 == 0 || a1 < N - T) &&
+
+  # BV-Obligation for the embedded broadcast
+  (locB0 == 0 || b0 < T + 1) && (locB01 == 0 || b0 < T + 1) &&
+  (locCB1 == 0 || b0 < T + 1) &&
+  (locB1 == 0 || b1 < T + 1) && (locB01 == 0 || b1 < T + 1) &&
+  (locCB0 == 0 || b1 < T + 1) &&
+  # BV-Uniformity for the embedded broadcast
+  (locB0 == 0 || a0 == 0) && (locB01 == 0 || a0 == 0) &&
+  (locCB1 == 0 || a0 == 0) &&
+  (locB1 == 0 || a1 == 0) && (locB01 == 0 || a1 == 0) &&
+  (locCB0 == 0 || a1 == 0) &&
+
+  (locE0 == 0) && (locE1 == 0) && (locD1 == 0) &&
+  (locB0x == 0 || b0x < 2*T + 1) && (locB0x == 0 || b1x < T + 1) &&
+  (locB1x == 0 || b0x < T + 1) && (locB1x == 0 || b1x < 2*T + 1) &&
+  (locC1x == 0 || a1x < N - T) && (locC0x == 0 || b1x < T + 1) &&
+  (locB01x == 0 || b1x < 2*T + 1) && (locB01x == 0 || b0x < 2*T + 1) &&
+  (locC1x == 0 || b0x < T + 1) &&
+  (locCB0x == 0 || b1x < 2*T + 1) && (locCB1x == 0 || b0x < 2*T + 1) &&
+  (locC0x == 0 || a0x < N - T) && (locCB0x == 0 || a0x < N - T) &&
+  (locC01x == 0 || a0x < N - T) && (locC01x == 0 || a0x + a1x < N - T) &&
+  (locCB1x == 0 || a1x < N - T) && (locC01x == 0 || a1x < N - T) &&
+
+  (locB0x == 0 || b0x < T + 1) && (locB01x == 0 || b0x < T + 1) &&
+  (locCB1x == 0 || b0x < T + 1) &&
+  (locB1x == 0 || b1x < T + 1) && (locB01x == 0 || b1x < T + 1) &&
+  (locCB0x == 0 || b1x < T + 1) &&
+  (locB0x == 0 || a0x == 0) && (locB01x == 0 || a0x == 0) &&
+  (locCB1x == 0 || a0x == 0) &&
+  (locB1x == 0 || a1x == 0) && (locB01x == 0 || a1x == 0) &&
+  (locCB0x == 0 || a1x == 0)
+)
+->
+<>(
+  locV0 == 0 && locV1 == 0 &&
+  locB0 == 0 && locB1 == 0 && locB01 == 0 &&
+  locC0 == 0 && locC1 == 0 && locCB0 == 0 && locCB1 == 0 && locC01 == 0 &&
+  locE0 == 0 && locE1 == 0 && locD1 == 0 &&
+  locB0x == 0 && locB1x == 0 && locB01x == 0 &&
+  locC0x == 0 && locC1x == 0 && locCB0x == 0 && locCB1x == 0 && locC01x == 0
+)
+)";
+
+}  // namespace
+
+ta::MultiRoundTa naive_consensus() { return ta::parse_ta(kNaiveText); }
+
+ta::ThresholdAutomaton naive_consensus_one_round() {
+  return naive_consensus().one_round_reduction();
+}
+
+std::vector<spec::Property> naive_table2_properties(const ta::ThresholdAutomaton& ta) {
+  std::vector<spec::Property> properties;
+  properties.push_back(
+      spec::compile(ta, "Inv1_0", "<>(locD0 != 0) -> [](locD1 == 0 && locE1x == 0)"));
+  properties.push_back(
+      spec::compile(ta, "Inv2_0", "[](locV0 == 0) -> [](locD0 == 0 && locE0x == 0)"));
+  properties.push_back(spec::compile(ta, "SRoundTerm", kNaiveSRoundTermination));
+  return properties;
+}
+
+std::vector<RuleRow> naive_rule_table(const ta::ThresholdAutomaton& ta) {
+  // Table 3 covers the first half of the automaton (rules r1..r22), with
+  // rules sharing a guard and update grouped into one row.
+  std::vector<RuleRow> rows;
+  for (ta::RuleId id = 0; id < ta.rule_count(); ++id) {
+    const ta::Rule& rule = ta.rule(id);
+    if (rule.is_self_loop() || rule.name.back() == 'x') continue;
+    const std::string guard = ta.guard_to_string(rule.guard);
+    std::string update = "-";
+    if (!rule.update.empty()) {
+      update.clear();
+      for (const auto& [var, amount] : rule.update.increments) {
+        if (!update.empty()) update += ", ";
+        update += ta.variable_name(var) + (amount == BigInt(1) ? "++" : "+=" + amount.to_string());
+      }
+    }
+    const auto existing = std::find_if(rows.begin(), rows.end(), [&](const RuleRow& row) {
+      return row.guard == guard && row.update == update;
+    });
+    if (existing != rows.end()) {
+      existing->rules += ", " + rule.name;
+    } else {
+      rows.push_back({rule.name, guard, update});
+    }
+  }
+  return rows;
+}
+
+}  // namespace hv::models

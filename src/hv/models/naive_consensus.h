@@ -1,0 +1,38 @@
+// The naive (composite) threshold automaton of the DBFT Byzantine consensus
+// (Figure 3, rules in Table 3/Appendix D): the bv-broadcast automaton is
+// embedded twice, once per round of the superround, rather than replaced by
+// the proven gadget. This is the automaton ByMC could *not* verify within
+// days (Table 2) — we reproduce the blow-up with a schema budget.
+#ifndef HV_MODELS_NAIVE_CONSENSUS_H
+#define HV_MODELS_NAIVE_CONSENSUS_H
+
+#include <string>
+#include <vector>
+
+#include "hv/spec/query.h"
+#include "hv/ta/automaton.h"
+
+namespace hv::models {
+
+/// Figure 3 with round-switch edges: 24 locations, 45 rules (39 guarded/
+/// updating + 6 self-loops), 14 unique guards.
+ta::MultiRoundTa naive_consensus();
+
+/// The one-round reduction (what the checker consumes).
+ta::ThresholdAutomaton naive_consensus_one_round();
+
+/// The three Table 2 rows attempted on this automaton: Inv1_0, Inv2_0 and
+/// SRoundTerm.
+std::vector<spec::Property> naive_table2_properties(const ta::ThresholdAutomaton& ta);
+
+/// Table 3: rule name, guard and update, rendered from the model itself.
+struct RuleRow {
+  std::string rules;
+  std::string guard;
+  std::string update;
+};
+std::vector<RuleRow> naive_rule_table(const ta::ThresholdAutomaton& ta);
+
+}  // namespace hv::models
+
+#endif  // HV_MODELS_NAIVE_CONSENSUS_H

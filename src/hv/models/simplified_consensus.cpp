@@ -1,0 +1,201 @@
+#include "hv/models/simplified_consensus.h"
+
+#include <string>
+
+#include "hv/ta/parser.h"
+#include "hv/util/error.h"
+
+namespace hv::models {
+
+namespace {
+
+// Figure 4, with second-round locations/counters suffixed "x" (Appendix F
+// naming). The V'-locations drawn in the figure are merged into the
+// round-switch rules s12-s14 (which immediately perform the next round's
+// bv-broadcast), matching the 16-location encoding of Appendix F.
+constexpr const char* kSimplifiedTemplate = R"(
+ta SimplifiedConsensus {
+  parameters n, t, f;
+  shared bvb0, bvb1, aux0, aux1, bvb0x, bvb1x, aux0x, aux1x;
+  resilience n > RESILIENCE*t;
+  resilience t >= f;
+  resilience f >= 0;
+  processes n - f;
+  initial V0, V1;
+  locations M, M0, M1, M01, E0, E1, D1, Mx, M0x, M1x, M01x, D0, E0x, E1x;
+
+  # --- odd round 2R-1 (parity 1: qualifiers == {1} decides) ---------------
+  # bv-broadcast the estimate (Alg. 1 line 6)
+  rule s1: V0 -> M do bvb0 += 1;
+  rule s2: V1 -> M do bvb1 += 1;
+  # first bv-delivery: leave the wait of line 7 and broadcast aux (line 8)
+  rule s3: M -> M0 when bvb0 >= 1 do aux0 += 1;
+  rule s4: M -> M1 when bvb1 >= 1 do aux1 += 1;
+  # enough aux<{0}> messages: qualifiers = {0}, est <- 0 (line 11)
+  rule s5: M0 -> E0 when aux0 >= n - t - f;
+  # second bv-delivery: contestants = {0,1}
+  rule s6: M0 -> M01 when bvb1 >= 1;
+  rule s7: M1 -> M01 when bvb0 >= 1;
+  # qualifiers = {1} = parity: decide 1 (line 12)
+  rule s8: M1 -> D1 when aux1 >= n - t - f;
+  rule s9: M01 -> E0 when aux0 >= n - t - f;
+  # qualifiers = {0,1}: est <- parity = 1 (line 13)
+  rule s10: M01 -> E1 when aux0 + aux1 >= n - t - f;
+  rule s11: M01 -> D1 when aux1 >= n - t - f;
+
+  # --- round switch into even round 2R (absorbs the V' locations) ---------
+  rule s12: D1 -> Mx do bvb1x += 1;
+  rule s13: E0 -> Mx do bvb0x += 1;
+  rule s14: E1 -> Mx do bvb1x += 1;
+
+  # --- even round 2R (parity 0: qualifiers == {0} decides) ----------------
+  rule s3x: Mx -> M0x when bvb0x >= 1 do aux0x += 1;
+  rule s4x: Mx -> M1x when bvb1x >= 1 do aux1x += 1;
+  rule s5x: M0x -> D0 when aux0x >= n - t - f;
+  rule s6x: M0x -> M01x when bvb1x >= 1;
+  rule s7x: M1x -> M01x when bvb0x >= 1;
+  rule s8x: M1x -> E1x when aux1x >= n - t - f;
+  rule s9x: M01x -> D0 when aux0x >= n - t - f;
+  rule s10x: M01x -> E0x when aux0x + aux1x >= n - t - f;
+  rule s11x: M01x -> E1x when aux1x >= n - t - f;
+
+  selfloop M;
+  selfloop M0;
+  selfloop M1;
+  selfloop M01;
+  selfloop E0;
+  selfloop E1;
+  selfloop D1;
+  selfloop Mx;
+  selfloop M0x;
+  selfloop M1x;
+  selfloop M01x;
+  selfloop D0;
+  selfloop E0x;
+  selfloop E1x;
+
+  # --- superround switch (dotted in Fig. 4) --------------------------------
+  switch D0 -> V0;
+  switch E0x -> V0;
+  switch E1x -> V1;
+}
+)";
+
+ta::MultiRoundTa instantiate(const std::string& resilience) {
+  std::string text = kSimplifiedTemplate;
+  const std::string placeholder = "RESILIENCE";
+  text.replace(text.find(placeholder), placeholder.size(), resilience);
+  return ta::parse_ta(text);
+}
+
+// Appendix F, s_round_termination: the <>[] premise bundles the justice
+// assumptions — BV-Termination/Obligation/Uniformity for the bv-broadcast
+// gadget, reliable communication for the aux thresholds (without the -f
+// Byzantine slack: only correct messages are guaranteed to arrive) — and
+// the conclusion is superround termination (every location empty except the
+// final D0, E0x, E1x).
+constexpr const char* kSRoundTermination = R"(
+<>[](
+  (locV0 == 0) &&
+  (locV1 == 0) &&
+
+  # BV-Termination
+  (locM == 0) &&
+  # BV-Obligation
+  (locM1 == 0 || bvb0 < T + 1) &&
+  (locM0 == 0 || bvb1 < T + 1) &&
+  # BV-Uniformity
+  (locM1 == 0 || aux0 == 0) &&
+  (locM0 == 0 || aux1 == 0) &&
+
+  # Business as usual
+  (locM1 == 0 || aux1 < N - T) &&
+  (locM0 == 0 || aux0 < N - T) &&
+  (locM01 == 0 || aux0 + aux1 < N - T) &&
+
+  (locD1 == 0) &&
+  (locE0 == 0) &&
+  (locE1 == 0) &&
+
+  # BV-Termination
+  (locMx == 0) &&
+  # BV-Obligation
+  (locM1x == 0 || bvb0x < T + 1) &&
+  (locM0x == 0 || bvb1x < T + 1) &&
+  # BV-Uniformity
+  (locM1x == 0 || aux0x == 0) &&
+  (locM0x == 0 || aux1x == 0) &&
+
+  (locM1x == 0 || aux1x < N - T) &&
+  (locM0x == 0 || aux0x < N - T) &&
+  (locM01x == 0 || aux1x < N - T) &&
+  (locM01x == 0 || aux0x < N - T) &&
+  (locM01x == 0 || aux0x + aux1x < N - T)
+)
+->
+<>(
+  locV0 == 0 &&
+  locV1 == 0 &&
+  locM == 0 &&
+  locM0 == 0 &&
+  locM1 == 0 &&
+  locM01 == 0 &&
+  locE0 == 0 &&
+  locE1 == 0 &&
+  locD1 == 0 &&
+  locMx == 0 &&
+  locM0x == 0 &&
+  locM1x == 0 &&
+  locM01x == 0
+)
+)";
+
+}  // namespace
+
+ta::MultiRoundTa simplified_consensus() { return instantiate("3"); }
+
+ta::ThresholdAutomaton simplified_consensus_one_round() {
+  return simplified_consensus().one_round_reduction();
+}
+
+ta::ThresholdAutomaton simplified_consensus_weakened_one_round() {
+  return instantiate("2").one_round_reduction();
+}
+
+std::vector<spec::Property> simplified_properties(const ta::ThresholdAutomaton& ta) {
+  std::vector<spec::Property> properties;
+  // Appendix F, safety: agreement/validity invariants (Inv1_v, Inv2_v imply
+  // Agree_v and Valid_v by [10, Proposition 2]).
+  properties.push_back(
+      spec::compile(ta, "Inv1_0", "<>(locD0 != 0) -> [](locD1 == 0 && locE1x == 0)"));
+  properties.push_back(
+      spec::compile(ta, "Inv2_0", "[](locV0 == 0) -> [](locD0 == 0 && locE0x == 0)"));
+  properties.push_back(
+      spec::compile(ta, "Inv1_1", "<>(locD1 != 0) -> [](locD0 == 0 && locE0x == 0)"));
+  properties.push_back(
+      spec::compile(ta, "Inv2_1", "[](locV1 == 0) -> [](locD1 == 0 && locE1x == 0)"));
+  // Appendix F, liveness ingredients of Theorem 6.
+  properties.push_back(
+      spec::compile(ta, "Dec_0", "[](locV0 == 0) -> [](locE0 == 0 && locE1 == 0)"));
+  properties.push_back(
+      spec::compile(ta, "Dec_1", "[](locV1 == 0) -> [](locE0x == 0 && locE1x == 0)"));
+  properties.push_back(
+      spec::compile(ta, "Good_0", "[](locM0 == 0) -> [](locD0 == 0 && locE0x == 0)"));
+  properties.push_back(spec::compile(ta, "Good_1", "[](locM1x == 0) -> [](locE1x == 0)"));
+  properties.push_back(spec::compile(ta, "SRoundTerm", kSRoundTermination));
+  return properties;
+}
+
+std::vector<spec::Property> simplified_table2_properties(const ta::ThresholdAutomaton& ta) {
+  std::vector<spec::Property> properties;
+  const std::vector<spec::Property> all = simplified_properties(ta);
+  for (const char* name : {"Inv1_0", "Inv2_0", "SRoundTerm", "Good_0", "Dec_0"}) {
+    for (const spec::Property& property : all) {
+      if (property.name == name) properties.push_back(property);
+    }
+  }
+  HV_REQUIRE(properties.size() == 5);
+  return properties;
+}
+
+}  // namespace hv::models

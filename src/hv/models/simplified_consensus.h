@@ -1,0 +1,45 @@
+// The simplified threshold automaton of the DBFT Byzantine consensus
+// (Figure 4) and its ByMC specification (Appendix F).
+//
+// One superround concatenates an odd round (decide 1) and an even round
+// (decide 0). The inner bv-broadcast is replaced by the gadget locations
+// M/M0/M1/M01: the shared counters bvb0/bvb1 stand for "some correct
+// process bv-broadcast v", and the proven BV properties justify both the
+// gadget's transitions and the justice assumptions used for liveness.
+// Primed (second-round) names carry an "x" suffix exactly like Appendix F
+// (locM0x, aux0x, ...), so the specification strings below are the
+// appendix's formulas nearly verbatim.
+#ifndef HV_MODELS_SIMPLIFIED_CONSENSUS_H
+#define HV_MODELS_SIMPLIFIED_CONSENSUS_H
+
+#include <vector>
+
+#include "hv/spec/compile.h"
+#include "hv/spec/query.h"
+#include "hv/ta/automaton.h"
+
+namespace hv::models {
+
+/// Figure 4 with the round-switch edges (dotted in the paper): 16 locations,
+/// 37 rules (23 guarded/updating + 14 self-loops), 10 unique guards.
+ta::MultiRoundTa simplified_consensus();
+
+/// The one-round reduction checked by ByMC (Appendix A).
+ta::ThresholdAutomaton simplified_consensus_one_round();
+
+/// Negative control with resilience weakened to n > 2t: agreement breaks
+/// (the paper reports generating such an Inv1_0 counterexample in ~4s).
+ta::ThresholdAutomaton simplified_consensus_weakened_one_round();
+
+/// All properties checked in Table 2 and used by Theorem 6:
+/// Inv1_v, Inv2_v (safety; imply Agreement and Validity), Dec_v, Good_v and
+/// SRoundTerm (liveness ingredients of Termination).
+std::vector<spec::Property> simplified_properties(const ta::ThresholdAutomaton& ta);
+
+/// The five Table 2 rows for this automaton: Inv1_0, Inv2_0, SRoundTerm,
+/// Good_0, Dec_0.
+std::vector<spec::Property> simplified_table2_properties(const ta::ThresholdAutomaton& ta);
+
+}  // namespace hv::models
+
+#endif  // HV_MODELS_SIMPLIFIED_CONSENSUS_H

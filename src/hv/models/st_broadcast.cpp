@@ -1,0 +1,73 @@
+#include "hv/models/st_broadcast.h"
+
+#include "hv/spec/ltl.h"
+#include "hv/ta/parser.h"
+#include "hv/util/error.h"
+
+namespace hv::models {
+
+namespace {
+
+constexpr const char* kStBroadcastText = R"(
+ta StBroadcast {
+  parameters n, t, f;
+  shared nsnt;
+  resilience n > 3*t;
+  resilience t >= f;
+  resilience f >= 0;
+  processes n - f;
+  initial V0, V1;
+  locations SE, AC;
+  # received the broadcaster's INIT: send <echo>
+  rule r1: V1 -> SE do nsnt += 1;
+  # t+1 distinct echoes (f may be Byzantine): echo too
+  rule r2: V0 -> SE when nsnt >= t + 1 - f do nsnt += 1;
+  # 2t+1 distinct echoes: accept
+  rule r3: SE -> AC when nsnt >= 2*t + 1 - f;
+  selfloop V0;
+  selfloop SE;
+  selfloop AC;
+}
+)";
+
+spec::StabilityOverride justice(const ta::ThresholdAutomaton& ta, const char* rule_name,
+                                const std::string& condition) {
+  spec::StabilityOverride override_entry;
+  override_entry.rule = -1;
+  for (ta::RuleId id = 0; id < ta.rule_count(); ++id) {
+    if (ta.rule(id).name == rule_name) override_entry.rule = id;
+  }
+  HV_REQUIRE(override_entry.rule >= 0);
+  override_entry.replacement = spec::predicate_to_cnf(spec::parse_ltl(ta, condition));
+  return override_entry;
+}
+
+}  // namespace
+
+ta::ThresholdAutomaton st_broadcast() {
+  return ta::parse_ta(kStBroadcastText).one_round_reduction();
+}
+
+spec::CompileOptions st_liveness_options(const ta::ThresholdAutomaton& ta) {
+  spec::CompileOptions options;
+  options.overrides.push_back(justice(ta, "r2", "locV0 == 0 || nsnt <= t"));
+  options.overrides.push_back(justice(ta, "r3", "locSE == 0 || nsnt <= 2*t"));
+  return options;
+}
+
+std::vector<spec::Property> st_properties(const ta::ThresholdAutomaton& ta) {
+  const spec::CompileOptions liveness = st_liveness_options(ta);
+  std::vector<spec::Property> properties;
+  // Unforgeability: if no correct process received the INIT, none accepts.
+  properties.push_back(spec::compile(ta, "Unforg", "locV1 == 0 -> [](locAC == 0)"));
+  // Correctness: if every correct process received the INIT, every correct
+  // process eventually accepts.
+  properties.push_back(spec::compile(
+      ta, "Corr", "locV0 == 0 -> <>(locV0 == 0 && locV1 == 0 && locSE == 0)", liveness));
+  // Relay: if some correct process accepts, every correct process does.
+  properties.push_back(spec::compile(
+      ta, "Relay", "<>(locAC != 0) -> <>(locV0 == 0 && locV1 == 0 && locSE == 0)", liveness));
+  return properties;
+}
+
+}  // namespace hv::models

@@ -1,0 +1,36 @@
+// The Srikanth-Toueg-style asynchronous reliable broadcast threshold
+// automaton — the classic benchmark of the threshold-automata literature
+// (John et al. SPIN'13, Konnov et al. POPL'17) and a building block the
+// paper's related work discusses. Included both as a second worked model
+// for library users and as an independent regression target for the
+// checker.
+//
+// One broadcast instance: a correct process either received the
+// broadcaster's INIT (location V1) or not (V0); it sends an <echo> when it
+// has the INIT or t+1 echoes (the Byzantine -f slack applies), and accepts
+// at 2t+1 echoes.
+#ifndef HV_MODELS_ST_BROADCAST_H
+#define HV_MODELS_ST_BROADCAST_H
+
+#include <vector>
+
+#include "hv/spec/compile.h"
+#include "hv/spec/query.h"
+#include "hv/ta/automaton.h"
+
+namespace hv::models {
+
+/// 4 locations (V0, V1, SE, AC), 2 unique guards, parameters n, t, f with
+/// n > 3t && t >= f >= 0.
+ta::ThresholdAutomaton st_broadcast();
+
+/// Justice for liveness: echoes are guaranteed at t+1 *correct* echoes and
+/// acceptance at 2t+1 (no -f slack).
+spec::CompileOptions st_liveness_options(const ta::ThresholdAutomaton& ta);
+
+/// Unforgeability, Correctness and Relay, compiled.
+std::vector<spec::Property> st_properties(const ta::ThresholdAutomaton& ta);
+
+}  // namespace hv::models
+
+#endif  // HV_MODELS_ST_BROADCAST_H

@@ -1,0 +1,130 @@
+#include "hv/pipeline/holistic.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "hv/models/bv_broadcast.h"
+#include "hv/models/naive_consensus.h"
+#include "hv/models/simplified_consensus.h"
+#include "hv/util/stopwatch.h"
+
+namespace hv::pipeline {
+
+namespace {
+
+using checker::PropertyResult;
+using checker::Verdict;
+
+// Combines dependencies: all hold -> holds; any violated -> violated;
+// otherwise unknown.
+Verdict combine(const std::vector<const PropertyResult*>& dependencies) {
+  bool all_hold = true;
+  for (const PropertyResult* result : dependencies) {
+    if (result == nullptr) return Verdict::kUnknown;
+    if (result->verdict == Verdict::kViolated) return Verdict::kViolated;
+    if (result->verdict != Verdict::kHolds) all_hold = false;
+  }
+  return all_hold ? Verdict::kHolds : Verdict::kUnknown;
+}
+
+const PropertyResult* find(const std::vector<PropertyResult>& results, const char* name) {
+  const auto it = std::find_if(results.begin(), results.end(),
+                               [name](const PropertyResult& r) { return r.property == name; });
+  return it == results.end() ? nullptr : &*it;
+}
+
+}  // namespace
+
+bool HolisticReport::fully_verified() const {
+  const auto all_hold = [](const std::vector<PropertyResult>& results) {
+    return std::all_of(results.begin(), results.end(), [](const PropertyResult& r) {
+      return r.verdict == Verdict::kHolds;
+    });
+  };
+  return !bv_results.empty() && !consensus_results.empty() && all_hold(bv_results) &&
+         all_hold(consensus_results);
+}
+
+void compose_verdicts(HolisticReport& report) {
+  // The gadget inside the simplified TA is justified only if every
+  // bv-broadcast property holds; its verdicts gate everything downstream.
+  std::vector<const PropertyResult*> gadget;
+  for (const PropertyResult& result : report.bv_results) gadget.push_back(&result);
+
+  const auto with_gadget = [&gadget](std::vector<const PropertyResult*> own) {
+    own.insert(own.end(), gadget.begin(), gadget.end());
+    return own;
+  };
+
+  // [10, Proposition 2]: Inv1_v and Inv2_v imply Agree_v and Valid_v.
+  report.agreement = combine(with_gadget({find(report.consensus_results, "Inv1_0"),
+                                          find(report.consensus_results, "Inv1_1"),
+                                          find(report.consensus_results, "Inv2_0"),
+                                          find(report.consensus_results, "Inv2_1")}));
+  report.validity = combine(with_gadget({find(report.consensus_results, "Inv2_0"),
+                                         find(report.consensus_results, "Inv2_1")}));
+  // Theorem 6: fairness (Def. 3) gives a good round; Corollary 5 turns it
+  // into an empty M0 (or M1x) superround; (Good) and (Dec) then force every
+  // process to decide, and (SRoundTerm) makes the termination formula
+  // well-formed.
+  report.termination = combine(with_gadget({find(report.consensus_results, "SRoundTerm"),
+                                            find(report.consensus_results, "Dec_0"),
+                                            find(report.consensus_results, "Dec_1"),
+                                            find(report.consensus_results, "Good_0"),
+                                            find(report.consensus_results, "Good_1")}));
+}
+
+HolisticReport verify_red_belly_consensus(const HolisticOptions& options) {
+  const Stopwatch stopwatch;
+  HolisticReport report;
+
+  if (options.include_naive_attempt) {
+    const ta::ThresholdAutomaton naive = models::naive_consensus_one_round();
+    checker::CheckOptions naive_options = options.check;
+    naive_options.timeout_seconds = options.naive_timeout_seconds;
+    report.naive_results =
+        checker::check_properties(naive, models::naive_table2_properties(naive), naive_options);
+  }
+
+  const ta::ThresholdAutomaton bv = models::bv_broadcast();
+  report.bv_results = checker::check_properties(bv, models::bv_properties(bv), options.check);
+
+  const bool gadget_justified =
+      std::all_of(report.bv_results.begin(), report.bv_results.end(),
+                  [](const PropertyResult& r) { return r.verdict == Verdict::kHolds; });
+  if (gadget_justified) {
+    const ta::ThresholdAutomaton consensus = models::simplified_consensus_one_round();
+    report.consensus_results = checker::check_properties(
+        consensus, models::simplified_properties(consensus), options.check);
+  }
+
+  compose_verdicts(report);
+  report.total_seconds = stopwatch.seconds();
+  return report;
+}
+
+std::string HolisticReport::to_string() const {
+  std::ostringstream os;
+  const auto section = [&os](const char* title, const std::vector<PropertyResult>& results) {
+    if (results.empty()) return;
+    os << title << "\n";
+    for (const PropertyResult& result : results) {
+      os << "  " << result.property << ": " << checker::to_string(result.verdict) << " ("
+         << result.schemas_checked << " schemas, " << result.seconds << "s)";
+      if (!result.note.empty()) os << " [" << result.note << "]";
+      os << "\n";
+    }
+  };
+  section("naive composite automaton (expected to exhaust its budget):", naive_results);
+  section("binary value broadcast (Fig. 2):", bv_results);
+  section("simplified consensus (Fig. 4, Appendix F):", consensus_results);
+  os << "composed verdicts:\n";
+  os << "  Agreement:  " << checker::to_string(agreement) << "\n";
+  os << "  Validity:   " << checker::to_string(validity) << "\n";
+  os << "  Termination (under Definition 3 fairness): " << checker::to_string(termination)
+     << "\n";
+  os << "total time: " << total_seconds << "s\n";
+  return os.str();
+}
+
+}  // namespace hv::pipeline

@@ -1,0 +1,63 @@
+// The holistic verification pipeline of the paper, end to end:
+//
+//   1. model-check the binary value broadcast TA (Fig. 2) — all four
+//      properties, both values (Section 3.2);
+//   2. on success, the bv-broadcast gadget inside the simplified consensus
+//      TA (Fig. 4) is justified, and its Appendix-F specification is
+//      checked: Inv1/Inv2 (safety), Dec/Good/SRoundTerm (liveness
+//      ingredients);
+//   3. the verdicts compose into the consensus properties:
+//        Agreement, Validity  <-  Inv1_v && Inv2_v        [10, Prop. 2]
+//        Termination (under the fairness of Def. 3)
+//                             <-  SRoundTerm && Dec_v && Good_v
+//                                 (Theorem 6)
+//
+// The composition logic is ordinary code — exactly the glue proof of
+// Theorem 6 — and is itself unit-tested.
+#ifndef HV_PIPELINE_HOLISTIC_H
+#define HV_PIPELINE_HOLISTIC_H
+
+#include <string>
+#include <vector>
+
+#include "hv/checker/parameterized.h"
+#include "hv/checker/result.h"
+
+namespace hv::pipeline {
+
+struct HolisticOptions {
+  checker::CheckOptions check;
+  /// Also attempt the naive composite automaton first (Table 2's negative
+  /// result); bounded by naive_timeout_seconds.
+  bool include_naive_attempt = false;
+  double naive_timeout_seconds = 60.0;
+};
+
+struct HolisticReport {
+  std::vector<checker::PropertyResult> bv_results;
+  std::vector<checker::PropertyResult> consensus_results;
+  std::vector<checker::PropertyResult> naive_results;  // when attempted
+
+  checker::Verdict agreement = checker::Verdict::kUnknown;
+  checker::Verdict validity = checker::Verdict::kUnknown;
+  /// Termination under the fairness assumption of Definition 3.
+  checker::Verdict termination = checker::Verdict::kUnknown;
+
+  double total_seconds = 0.0;
+
+  /// True iff every checked property of both automata holds.
+  bool fully_verified() const;
+  /// Multi-line human-readable account of the run.
+  std::string to_string() const;
+};
+
+/// Runs the whole pipeline on the paper's models.
+HolisticReport verify_red_belly_consensus(const HolisticOptions& options = {});
+
+/// The composition step alone (exposed for tests): derives the consensus
+/// verdicts from per-property results named as in the paper.
+void compose_verdicts(HolisticReport& report);
+
+}  // namespace hv::pipeline
+
+#endif  // HV_PIPELINE_HOLISTIC_H

@@ -1,0 +1,76 @@
+// Model conformance: checks that *live executions of the real pseudocode*
+// project onto runs of the paper's threshold automata.
+//
+// The paper's holistic claim is that the verified model matches the
+// pseudocode; these harnesses test that claim empirically. While a DBFT run
+// unfolds on the simulator, every delivery is followed by projecting each
+// correct process onto a TA location, and the resulting configuration
+// sequence is validated against the counter-system semantics: consecutive
+// configurations must be connected by a path of enabled rules with exactly
+// the observed shared-counter updates.
+//
+// Two projections are provided:
+//   * the simplified consensus TA (Fig. 4) over the first superround
+//     (rounds 1 and 2 of Algorithm 1), with the gadget counters
+//     bvb_v/aux_v projected from what correct processes sent;
+//   * the bv-broadcast TA (Fig. 2) over round 1 only, using Table 1's
+//     location semantics (which values a process has broadcast/delivered).
+#ifndef HV_SIM_CONFORMANCE_H
+#define HV_SIM_CONFORMANCE_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "hv/sim/runner.h"
+#include "hv/ta/automaton.h"
+#include "hv/ta/counter_system.h"
+
+namespace hv::sim {
+
+struct ConformanceResult {
+  bool ok = false;
+  std::string diagnostic;           // empty iff ok
+  std::int64_t deliveries = 0;      // simulator steps driven
+  std::int64_t transitions = 0;     // projected TA transitions validated
+};
+
+/// Validates a sequence of projected configurations against a TA's counter
+/// system: each consecutive pair must be connected by a path of enabled
+/// rules moving a single process. Reusable for any projection.
+class TaProjectionChecker {
+ public:
+  TaProjectionChecker(const ta::ThresholdAutomaton& ta, const ta::ParamValuation& params);
+
+  const ta::ThresholdAutomaton& automaton() const noexcept { return ta_; }
+  const ta::CounterSystem& system() const noexcept { return system_; }
+
+  /// True iff `after` is reachable from `before` by zero or one process
+  /// moving along enabled rules with matching shared updates; on failure a
+  /// diagnostic is written.
+  bool validate_transition(const ta::Config& before, const ta::Config& after,
+                           std::string* diagnostic) const;
+
+ private:
+  bool search_path(const ta::Config& current, const ta::Config& target, ta::LocationId at,
+                   ta::LocationId goal) const;
+
+  const ta::ThresholdAutomaton& ta_;
+  ta::CounterSystem system_;
+};
+
+/// Drives `runner` (already constructed, not yet started) with the given
+/// scheduler for up to `max_steps` deliveries, validating the projection
+/// onto the simplified consensus TA after every step. The runner's n/t and
+/// actual Byzantine count become the TA parameters (n, t, f).
+ConformanceResult check_simplified_ta_conformance(Runner& runner, Scheduler& scheduler,
+                                                  std::int64_t max_steps);
+
+/// Same driving loop, but projecting round 1 onto the bv-broadcast TA of
+/// Fig. 2 via Table 1's semantics (broadcast set x delivered set).
+ConformanceResult check_bv_broadcast_conformance(Runner& runner, Scheduler& scheduler,
+                                                 std::int64_t max_steps);
+
+}  // namespace hv::sim
+
+#endif  // HV_SIM_CONFORMANCE_H

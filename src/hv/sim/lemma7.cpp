@@ -1,0 +1,118 @@
+#include "hv/sim/lemma7.h"
+
+namespace hv::sim {
+
+namespace {
+
+constexpr ProcessId kByzantine = 3;
+
+RunnerConfig lemma7_config() {
+  RunnerConfig config;
+  config.n = 4;
+  config.t = 1;
+  config.byzantine = {kByzantine};
+  config.inputs = {0, 0, 1, 0};  // the Byzantine slot's input is unused
+  config.dbft.max_rounds = 1000;
+  return config;
+}
+
+}  // namespace
+
+Lemma7Script::Lemma7Script() : runner_(lemma7_config()) { runner_.start(); }
+
+std::string Lemma7Script::play_round() {
+  const int parity = round_ % 2;
+  const int m = parity;      // the minority estimate, favoured by this round
+  const int big = 1 - parity;  // the majority estimate M
+
+  const auto bv = [&](ProcessId from, ProcessId to, int value) {
+    return runner_.deliver_first([&, from, to, value](const Message& msg) {
+      return msg.type == MsgType::kBv && msg.from == from && msg.to == to &&
+             msg.round == round_ && msg.payload == BitSet2::single(value);
+    });
+  };
+  const auto aux = [&](ProcessId from, ProcessId to) {
+    return runner_.deliver_first([&, from, to](const Message& msg) {
+      return msg.type == MsgType::kAux && msg.from == from && msg.to == to &&
+             msg.round == round_;
+    });
+  };
+  const auto fail = [&](const std::string& step) {
+    return "round " + std::to_string(round_) + ": delivery failed at step " + step;
+  };
+
+  // Byzantine equivocation for this round.
+  runner_.inject({kByzantine, maj1_, round_, MsgType::kBv, BitSet2::single(big)});
+  runner_.inject({kByzantine, maj2_, round_, MsgType::kBv, BitSet2::single(big)});
+  runner_.inject({kByzantine, maj2_, round_, MsgType::kBv, BitSet2::single(m)});
+  runner_.inject({kByzantine, min_, round_, MsgType::kBv, BitSet2::single(m)});
+  runner_.inject({kByzantine, maj1_, round_, MsgType::kAux, BitSet2::single(big)});
+  runner_.inject({kByzantine, maj2_, round_, MsgType::kAux, BitSet2::single(m)});
+  runner_.inject({kByzantine, min_, round_, MsgType::kAux, BitSet2::single(m)});
+
+  // (a) maj1 and maj2 bv-deliver M first (senders: maj1, maj2, Byzantine).
+  for (const ProcessId to : {maj1_, maj2_}) {
+    if (!bv(maj1_, to, big)) return fail("BV(M) from maj1");
+    if (!bv(maj2_, to, big)) return fail("BV(M) from maj2");
+    if (!bv(kByzantine, to, big)) return fail("BV(M) from byz");
+  }
+  // (b) maj2 sees m from min and the Byzantine process, echoes m, and
+  // bv-delivers m second.
+  if (!bv(min_, maj2_, m)) return fail("BV(m) min->maj2");
+  if (!bv(kByzantine, maj2_, m)) return fail("BV(m) byz->maj2");
+  if (!bv(maj2_, maj2_, m)) return fail("echo BV(m) maj2->maj2");
+  // (c) min bv-delivers its own value m first (senders: min, Byzantine,
+  // maj2's echo)...
+  if (!bv(min_, min_, m)) return fail("BV(m) min->min");
+  if (!bv(kByzantine, min_, m)) return fail("BV(m) byz->min");
+  if (!bv(maj2_, min_, m)) return fail("echo BV(m) maj2->min");
+  // ...then sees M from maj1 and maj2, echoes it, and delivers M second.
+  if (!bv(maj1_, min_, big)) return fail("BV(M) maj1->min");
+  if (!bv(maj2_, min_, big)) return fail("BV(M) maj2->min");
+  if (!bv(min_, min_, big)) return fail("echo BV(M) min->min");
+
+  // (d) aux phase. maj1 sees only {M}: qualifiers {M}, M != parity, so it
+  // keeps estimate M and does not decide.
+  if (!aux(maj1_, maj1_)) return fail("aux maj1->maj1");
+  if (!aux(maj2_, maj1_)) return fail("aux maj2->maj1");
+  if (!aux(kByzantine, maj1_)) return fail("aux byz->maj1");
+  // maj2 and min see both values: qualifiers {0,1}, estimate <- parity m.
+  if (!aux(maj1_, maj2_)) return fail("aux maj1->maj2");
+  if (!aux(maj2_, maj2_)) return fail("aux maj2->maj2");
+  if (!aux(kByzantine, maj2_)) return fail("aux byz->maj2");
+  if (!aux(min_, min_)) return fail("aux min->min");
+  if (!aux(kByzantine, min_)) return fail("aux byz->min");
+  if (!aux(maj1_, min_)) return fail("aux maj1->min");
+
+  // Validate the oscillation invariant.
+  for (const ProcessId id : runner_.correct_ids()) {
+    if (runner_.process(id).current_round() != round_ + 1) {
+      return "round " + std::to_string(round_) + ": p" + std::to_string(id) +
+             " did not advance";
+    }
+    if (runner_.process(id).decision()) {
+      return "round " + std::to_string(round_) + ": p" + std::to_string(id) +
+             " unexpectedly decided";
+    }
+  }
+  if (runner_.process(maj1_).estimate() != big) return "maj1 estimate diverged";
+  if (runner_.process(maj2_).estimate() != m) return "maj2 estimate diverged";
+  if (runner_.process(min_).estimate() != m) return "min estimate diverged";
+
+  // Rotate roles: the two m-holders are the next majority.
+  const ProcessId old_maj1 = maj1_;
+  maj1_ = min_;
+  min_ = old_maj1;
+  ++round_;
+  return {};
+}
+
+std::string Lemma7Script::play_rounds(int rounds) {
+  for (int i = 0; i < rounds; ++i) {
+    const std::string diagnostic = play_round();
+    if (!diagnostic.empty()) return diagnostic;
+  }
+  return {};
+}
+
+}  // namespace hv::sim

@@ -1,0 +1,51 @@
+// Scripted replay of the non-termination execution of Lemma 7 / Appendix B:
+// with n = 4, t = f = 1 and inputs 0,0,1, a Byzantine process plus a
+// carefully chosen delivery order keep the correct estimates oscillating
+// between (0,0,1) and (0,1,1) forever, so Algorithm 1 never terminates
+// without the fairness assumption of Definition 3.
+//
+// Each scripted round has a two-against-one estimate pattern: maj1 and maj2
+// hold the majority value M = 1 - (r mod 2), min holds the parity value
+// m = r mod 2. The Byzantine process equivocates so that
+//   * maj1 sees only M: qualifiers {M}, M != parity, no decision;
+//   * maj2 and min see both values: qualifiers {0,1}, estimate <- parity.
+// The new round starts with roles rotated (old min keeps m and becomes
+// maj1', old maj2 flipped to m becomes maj2', old maj1 becomes min') and
+// the pattern repeats with values swapped.
+#ifndef HV_SIM_LEMMA7_H
+#define HV_SIM_LEMMA7_H
+
+#include <string>
+
+#include "hv/sim/runner.h"
+
+namespace hv::sim {
+
+class Lemma7Script {
+ public:
+  /// Builds the n=4 runner (processes 0,1,2 correct with inputs 0,0,1;
+  /// process 3 Byzantine) and starts it.
+  Lemma7Script();
+
+  /// Plays one more round of the oscillation. Returns an empty string on
+  /// success, else a diagnostic describing where the replay diverged.
+  std::string play_round();
+
+  /// Convenience: plays `rounds` rounds; empty string iff all succeed and
+  /// no correct process ever decides.
+  std::string play_rounds(int rounds);
+
+  const Runner& runner() const noexcept { return runner_; }
+  Runner& runner() noexcept { return runner_; }
+
+ private:
+  Runner runner_;
+  int round_ = 1;
+  ProcessId maj1_ = 0;
+  ProcessId maj2_ = 1;
+  ProcessId min_ = 2;
+};
+
+}  // namespace hv::sim
+
+#endif  // HV_SIM_LEMMA7_H

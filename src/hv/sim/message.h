@@ -1,0 +1,88 @@
+// Messages of the DBFT protocol stack (Fig. 1 and Alg. 1).
+//
+// All payloads are over binary values, so sets of values fit in a 2-bit
+// mask. Messages carry their round tag: the algorithms are
+// communication-closed, and the runtime buffers future-round messages and
+// discards past-round ones.
+#ifndef HV_SIM_MESSAGE_H
+#define HV_SIM_MESSAGE_H
+
+#include <cstdint>
+#include <string>
+
+namespace hv::sim {
+
+using ProcessId = int;
+
+enum class MsgType {
+  kBv,        // (BV, <v, i>) of the binary value broadcast (Fig. 1)
+  kAux,       // (aux, <contestants, i>) of the consensus (Alg. 1 line 8)
+  kRbcInit,   // Bracha reliable broadcast: proposer's initial send
+  kRbcEcho,   // Bracha reliable broadcast: witness echo
+  kRbcReady,  // Bracha reliable broadcast: commit-ready
+};
+
+/// Set over {0,1} as a bitmask.
+class BitSet2 {
+ public:
+  constexpr BitSet2() = default;
+  constexpr explicit BitSet2(unsigned mask) : mask_(mask & 3u) {}
+  static constexpr BitSet2 single(int value) { return BitSet2(1u << value); }
+
+  constexpr bool contains(int value) const { return (mask_ >> value) & 1u; }
+  constexpr bool empty() const { return mask_ == 0; }
+  constexpr bool is_singleton() const { return mask_ == 1 || mask_ == 2; }
+  constexpr int singleton_value() const { return mask_ == 1 ? 0 : 1; }
+  constexpr unsigned mask() const { return mask_; }
+  constexpr int size() const { return static_cast<int>((mask_ & 1u) + (mask_ >> 1)); }
+
+  constexpr void insert(int value) { mask_ |= 1u << value; }
+  constexpr bool subset_of(BitSet2 other) const { return (mask_ & ~other.mask_) == 0; }
+  constexpr BitSet2 union_with(BitSet2 other) const { return BitSet2(mask_ | other.mask_); }
+
+  friend constexpr bool operator==(BitSet2 lhs, BitSet2 rhs) = default;
+
+  std::string to_string() const {
+    if (mask_ == 0) return "{}";
+    if (mask_ == 1) return "{0}";
+    if (mask_ == 2) return "{1}";
+    return "{0,1}";
+  }
+
+ private:
+  unsigned mask_ = 0;
+};
+
+struct Message {
+  ProcessId from = -1;
+  ProcessId to = -1;
+  int round = 0;
+  MsgType type = MsgType::kBv;
+  /// kBv: the broadcast binary value as a singleton; kAux: the contestants
+  /// set the sender reports. Unused by the RBC message kinds.
+  BitSet2 payload;
+  /// Which concurrent instance this message belongs to (the vector
+  /// consensus runs one binary consensus and one reliable broadcast per
+  /// proposer; plain DBFT uses instance 0).
+  int instance = 0;
+  /// RBC kinds: the proposer whose value is being relayed (`from` is the
+  /// relayer, not necessarily the proposer).
+  ProcessId subject = -1;
+  /// RBC kinds: the proposed value being disseminated.
+  std::int32_t data = 0;
+
+  std::string to_string() const {
+    const char* kind = type == MsgType::kBv        ? "BV"
+                       : type == MsgType::kAux      ? "AUX"
+                       : type == MsgType::kRbcInit  ? "RBC-INIT"
+                       : type == MsgType::kRbcEcho  ? "RBC-ECHO"
+                                                    : "RBC-READY";
+    return std::string(kind) + "(r" + std::to_string(round) + ", i" +
+           std::to_string(instance) + ", p" + std::to_string(from) + "->p" +
+           std::to_string(to) + ", " + payload.to_string() + ")";
+  }
+};
+
+}  // namespace hv::sim
+
+#endif  // HV_SIM_MESSAGE_H

@@ -1,0 +1,22 @@
+#include "hv/sim/network.h"
+
+#include "hv/util/error.h"
+
+namespace hv::sim {
+
+Message Network::take(std::size_t index) {
+  HV_REQUIRE(index < pending_.size());
+  Message message = pending_[index];
+  pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(index));
+  return message;
+}
+
+std::optional<Message> Network::take_first(
+    const std::function<bool(const Message&)>& predicate) {
+  for (std::size_t i = 0; i < pending_.size(); ++i) {
+    if (predicate(pending_[i])) return take(i);
+  }
+  return std::nullopt;
+}
+
+}  // namespace hv::sim

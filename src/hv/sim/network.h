@@ -1,0 +1,47 @@
+// Asynchronous reliable point-to-point network (Section 2): no bound on
+// message delay, but every message sent is eventually deliverable. The
+// network holds the multiset of in-flight messages; a scheduler (or a
+// scripted test) chooses which one to deliver next, which is the only
+// source of non-determinism besides Byzantine injections.
+#ifndef HV_SIM_NETWORK_H
+#define HV_SIM_NETWORK_H
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "hv/sim/message.h"
+
+namespace hv::sim {
+
+class Network {
+ public:
+  /// Queues a message for later delivery.
+  void send(Message message) { pending_.push_back(message); }
+
+  bool idle() const noexcept { return pending_.empty(); }
+  std::size_t pending_count() const noexcept { return pending_.size(); }
+  const std::vector<Message>& pending() const noexcept { return pending_; }
+
+  /// Removes and returns the pending message at `index`.
+  Message take(std::size_t index);
+
+  /// Removes and returns the first pending message matching the predicate,
+  /// or nullopt. Used by scripted executions (e.g. the Lemma 7 replay).
+  std::optional<Message> take_first(const std::function<bool(const Message&)>& predicate);
+
+  std::int64_t total_sent() const noexcept { return total_sent_; }
+  std::int64_t total_delivered() const noexcept { return total_delivered_; }
+  void count_delivery() noexcept { ++total_delivered_; }
+  void count_send() noexcept { ++total_sent_; }
+
+ private:
+  std::vector<Message> pending_;
+  std::int64_t total_sent_ = 0;
+  std::int64_t total_delivered_ = 0;
+};
+
+}  // namespace hv::sim
+
+#endif  // HV_SIM_NETWORK_H

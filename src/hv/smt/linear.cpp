@@ -1,0 +1,161 @@
+#include "hv/smt/linear.h"
+
+#include <algorithm>
+
+#include "hv/util/error.h"
+
+namespace hv::smt {
+
+namespace {
+const BigInt kZero = 0;
+}  // namespace
+
+LinearExpr LinearExpr::term(VarId var, BigInt coeff) {
+  LinearExpr expr;
+  expr.add_term(var, coeff);
+  return expr;
+}
+
+const BigInt& LinearExpr::coefficient(VarId var) const noexcept {
+  const auto it = std::lower_bound(
+      terms_.begin(), terms_.end(), var,
+      [](const std::pair<VarId, BigInt>& term, VarId v) { return term.first < v; });
+  if (it != terms_.end() && it->first == var) return it->second;
+  return kZero;
+}
+
+LinearExpr& LinearExpr::add_term(VarId var, const BigInt& coeff) {
+  if (coeff.is_zero()) return *this;
+  const auto it = std::lower_bound(
+      terms_.begin(), terms_.end(), var,
+      [](const std::pair<VarId, BigInt>& term, VarId v) { return term.first < v; });
+  if (it != terms_.end() && it->first == var) {
+    it->second += coeff;
+    if (it->second.is_zero()) terms_.erase(it);
+  } else {
+    terms_.insert(it, {var, coeff});
+  }
+  return *this;
+}
+
+LinearExpr& LinearExpr::operator+=(const LinearExpr& rhs) {
+  for (const auto& [var, coeff] : rhs.terms_) add_term(var, coeff);
+  constant_ += rhs.constant_;
+  return *this;
+}
+
+LinearExpr& LinearExpr::operator-=(const LinearExpr& rhs) {
+  for (const auto& [var, coeff] : rhs.terms_) add_term(var, -coeff);
+  constant_ -= rhs.constant_;
+  return *this;
+}
+
+LinearExpr& LinearExpr::operator*=(const BigInt& scalar) {
+  if (scalar.is_zero()) {
+    terms_.clear();
+    constant_ = 0;
+    return *this;
+  }
+  for (auto& [var, coeff] : terms_) coeff *= scalar;
+  constant_ *= scalar;
+  return *this;
+}
+
+LinearExpr LinearExpr::operator-() const {
+  LinearExpr result = *this;
+  result *= BigInt(-1);
+  return result;
+}
+
+BigInt LinearExpr::evaluate(const std::function<BigInt(VarId)>& value_of) const {
+  BigInt total = constant_;
+  for (const auto& [var, coeff] : terms_) total += coeff * value_of(var);
+  return total;
+}
+
+std::string LinearExpr::to_string(const std::function<std::string(VarId)>& name_of) const {
+  std::string out;
+  for (const auto& [var, coeff] : terms_) {
+    if (out.empty()) {
+      if (coeff == BigInt(-1)) {
+        out += "-";
+      } else if (coeff != BigInt(1)) {
+        out += coeff.to_string() + "*";
+      }
+    } else {
+      out += coeff.is_negative() ? " - " : " + ";
+      const BigInt magnitude = coeff.abs();
+      if (magnitude != BigInt(1)) out += magnitude.to_string() + "*";
+    }
+    out += name_of(var);
+  }
+  if (out.empty()) return constant_.to_string();
+  if (!constant_.is_zero()) {
+    out += constant_.is_negative() ? " - " : " + ";
+    out += constant_.abs().to_string();
+  }
+  return out;
+}
+
+LinearConstraint LinearConstraint::negated() const {
+  // Over the integers: !(e <= 0) is e >= 1, and !(e >= 0) is e <= -1.
+  switch (relation) {
+    case Relation::kLe:
+      return {expr - LinearExpr(1), Relation::kGe};
+    case Relation::kGe:
+      return {expr + LinearExpr(1), Relation::kLe};
+    case Relation::kEq:
+      throw InvalidArgument("cannot negate an equality atom; use a clause of two inequalities");
+  }
+  throw InternalError("unreachable relation");
+}
+
+bool LinearConstraint::holds(const std::function<BigInt(VarId)>& value_of) const {
+  const BigInt value = expr.evaluate(value_of);
+  switch (relation) {
+    case Relation::kLe:
+      return value <= BigInt(0);
+    case Relation::kGe:
+      return value >= BigInt(0);
+    case Relation::kEq:
+      return value.is_zero();
+  }
+  throw InternalError("unreachable relation");
+}
+
+std::string LinearConstraint::to_string(
+    const std::function<std::string(VarId)>& name_of) const {
+  const char* symbol = relation == Relation::kLe   ? " <= 0"
+                       : relation == Relation::kGe ? " >= 0"
+                                                   : " == 0";
+  return expr.to_string(name_of) + symbol;
+}
+
+LinearConstraint make_le(LinearExpr lhs, LinearExpr rhs) {
+  lhs -= rhs;
+  return {std::move(lhs), Relation::kLe};
+}
+
+LinearConstraint make_ge(LinearExpr lhs, LinearExpr rhs) {
+  lhs -= rhs;
+  return {std::move(lhs), Relation::kGe};
+}
+
+LinearConstraint make_lt(LinearExpr lhs, LinearExpr rhs) {
+  lhs -= rhs;
+  lhs += LinearExpr(1);
+  return {std::move(lhs), Relation::kLe};
+}
+
+LinearConstraint make_gt(LinearExpr lhs, LinearExpr rhs) {
+  lhs -= rhs;
+  lhs -= LinearExpr(1);
+  return {std::move(lhs), Relation::kGe};
+}
+
+LinearConstraint make_eq(LinearExpr lhs, LinearExpr rhs) {
+  lhs -= rhs;
+  return {std::move(lhs), Relation::kEq};
+}
+
+}  // namespace hv::smt

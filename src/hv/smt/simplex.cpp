@@ -1,0 +1,222 @@
+#include "hv/smt/simplex.h"
+
+#include <utility>
+
+#include "hv/util/error.h"
+
+namespace hv::smt {
+
+namespace {
+const Rational kZeroRational;
+}  // namespace
+
+const Rational& Simplex::coeff_at(const Row& row, int var) noexcept {
+  if (var < static_cast<int>(row.coeffs.size())) return row.coeffs[var];
+  return kZeroRational;
+}
+
+Rational& Simplex::coeff_ref(Row& row, int var) {
+  if (var >= static_cast<int>(row.coeffs.size())) {
+    row.coeffs.resize(static_cast<std::size_t>(var) + 1);
+  }
+  return row.coeffs[var];
+}
+
+int Simplex::add_variable() {
+  // Existing rows keep their width: the new column is implicitly zero.
+  columns_.push_back(Column{});
+  return static_cast<int>(columns_.size()) - 1;
+}
+
+int Simplex::add_row(const std::vector<std::pair<int, BigInt>>& combination) {
+  const int slack = add_variable();
+  Row row;
+  row.basic_var = slack;
+  for (const auto& [var, coeff] : combination) {
+    HV_REQUIRE(var >= 0 && var < slack);
+    const Rational factor{coeff};
+    if (is_basic(var)) {
+      // Substitute the defining row of the basic variable.
+      const Row& defining = rows_[columns_[var].row];
+      for (int j = 0; j < static_cast<int>(defining.coeffs.size()); ++j) {
+        if (!defining.coeffs[j].is_zero()) coeff_ref(row, j) += factor * defining.coeffs[j];
+      }
+    } else {
+      coeff_ref(row, var) += factor;
+    }
+  }
+  // The slack starts basic; its assignment is the row value.
+  Rational value;
+  for (int j = 0; j < static_cast<int>(row.coeffs.size()); ++j) {
+    if (!row.coeffs[j].is_zero()) value += row.coeffs[j] * columns_[j].assignment;
+  }
+  columns_[slack].assignment = std::move(value);
+  columns_[slack].row = static_cast<int>(rows_.size());
+  rows_.push_back(std::move(row));
+  return slack;
+}
+
+bool Simplex::assert_lower(int var, const Rational& bound) {
+  Column& column = columns_[var];
+  if (column.lower && *column.lower >= bound) return true;  // not tighter
+  if (column.upper && bound > *column.upper) return false;  // conflict
+  trail_.push_back({TrailKind::kLower, var, column.lower});
+  column.lower = bound;
+  if (!is_basic(var) && column.assignment < bound) update_nonbasic(var, bound);
+  return true;
+}
+
+bool Simplex::assert_upper(int var, const Rational& bound) {
+  Column& column = columns_[var];
+  if (column.upper && *column.upper <= bound) return true;
+  if (column.lower && bound < *column.lower) return false;
+  trail_.push_back({TrailKind::kUpper, var, column.upper});
+  column.upper = bound;
+  if (!is_basic(var) && column.assignment > bound) update_nonbasic(var, bound);
+  return true;
+}
+
+void Simplex::push() { trail_.push_back({TrailKind::kMark, -1, std::nullopt}); }
+
+void Simplex::pop() {
+  while (!trail_.empty()) {
+    TrailEntry& entry = trail_.back();
+    if (entry.kind == TrailKind::kMark) {
+      trail_.pop_back();
+      return;
+    }
+    Column& column = columns_[entry.var];
+    if (entry.kind == TrailKind::kLower) {
+      column.lower = std::move(entry.previous);
+    } else {
+      column.upper = std::move(entry.previous);
+    }
+    trail_.pop_back();
+    // Assignments are left as-is: they may violate nothing anymore, and
+    // check() repairs any remaining violations.
+  }
+  throw InternalError("Simplex::pop without matching push");
+}
+
+void Simplex::update_nonbasic(int var, const Rational& new_value) {
+  const Rational delta = new_value - columns_[var].assignment;
+  if (delta.is_zero()) return;
+  for (Row& row : rows_) {
+    const Rational& coeff = coeff_at(row, var);
+    if (!coeff.is_zero()) {
+      columns_[row.basic_var].assignment += coeff * delta;
+    }
+  }
+  columns_[var].assignment = new_value;
+}
+
+bool Simplex::within_lower(int var) const {
+  const Column& column = columns_[var];
+  return !column.lower || column.assignment >= *column.lower;
+}
+
+bool Simplex::within_upper(int var) const {
+  const Column& column = columns_[var];
+  return !column.upper || column.assignment <= *column.upper;
+}
+
+void Simplex::pivot(int row_index, int entering_var) {
+  Row& row = rows_[row_index];
+  const int leaving_var = row.basic_var;
+  const Rational pivot_coeff = coeff_at(row, entering_var);
+  HV_REQUIRE(!pivot_coeff.is_zero());
+
+  // Rewrite the pivot row to define the entering variable:
+  //   leaving = sum a_j x_j  ==>  entering = leaving/a_e - sum_{j!=e} (a_j/a_e) x_j
+  coeff_ref(row, entering_var) = Rational();
+  for (Rational& coeff : row.coeffs) {
+    if (!coeff.is_zero()) coeff = -(coeff / pivot_coeff);
+  }
+  coeff_ref(row, leaving_var) = Rational(1) / pivot_coeff;
+  row.basic_var = entering_var;
+  columns_[entering_var].row = row_index;
+  columns_[leaving_var].row = -1;
+
+  // Substitute the entering variable out of all other rows.
+  for (int r = 0; r < static_cast<int>(rows_.size()); ++r) {
+    if (r == row_index) continue;
+    Row& other = rows_[r];
+    const Rational factor = coeff_at(other, entering_var);
+    if (factor.is_zero()) continue;
+    coeff_ref(other, entering_var) = Rational();
+    for (int j = 0; j < static_cast<int>(row.coeffs.size()); ++j) {
+      if (!row.coeffs[j].is_zero()) coeff_ref(other, j) += factor * row.coeffs[j];
+    }
+  }
+}
+
+void Simplex::pivot_and_update(int row_index, int entering_var, const Rational& target) {
+  const int leaving_var = rows_[row_index].basic_var;
+  const Rational coeff = coeff_at(rows_[row_index], entering_var);
+  const Rational theta = (target - columns_[leaving_var].assignment) / coeff;
+  columns_[leaving_var].assignment = target;
+  columns_[entering_var].assignment += theta;
+  for (int r = 0; r < static_cast<int>(rows_.size()); ++r) {
+    if (r == row_index) continue;
+    const Row& row = rows_[r];
+    const Rational& c = coeff_at(row, entering_var);
+    if (!c.is_zero()) columns_[row.basic_var].assignment += c * theta;
+  }
+  pivot(row_index, entering_var);
+}
+
+bool Simplex::check() {
+  for (;;) {
+    // Bland's rule: the violating basic variable with the smallest index.
+    int violating = -1;
+    bool needs_increase = false;
+    for (int var = 0; var < static_cast<int>(columns_.size()); ++var) {
+      if (!is_basic(var)) continue;
+      if (!within_lower(var)) {
+        violating = var;
+        needs_increase = true;
+        break;
+      }
+      if (!within_upper(var)) {
+        violating = var;
+        needs_increase = false;
+        break;
+      }
+    }
+    if (violating == -1) return true;
+
+    const Row& row = rows_[columns_[violating].row];
+    const Rational target =
+        needs_increase ? *columns_[violating].lower : *columns_[violating].upper;
+    int entering = -1;
+    for (int var = 0; var < static_cast<int>(columns_.size()); ++var) {
+      if (is_basic(var) || var == violating) continue;
+      const Rational& coeff = coeff_at(row, var);
+      if (coeff.is_zero()) continue;
+      const bool coeff_positive = coeff.is_positive();
+      // To increase the basic value we can raise a positive-coefficient
+      // variable below its upper bound or lower a negative-coefficient
+      // variable above its lower bound (and symmetrically to decrease).
+      const bool can_help =
+          needs_increase
+              ? (coeff_positive ? !columns_[var].upper || columns_[var].assignment <
+                                                              *columns_[var].upper
+                                : !columns_[var].lower ||
+                                      columns_[var].assignment > *columns_[var].lower)
+              : (coeff_positive ? !columns_[var].lower || columns_[var].assignment >
+                                                              *columns_[var].lower
+                                : !columns_[var].upper ||
+                                      columns_[var].assignment < *columns_[var].upper);
+      if (can_help) {
+        entering = var;
+        break;  // Bland: smallest index.
+      }
+    }
+    if (entering == -1) return false;  // No way to repair: infeasible.
+    pivot_and_update(columns_[violating].row, entering, target);
+  }
+}
+
+const Rational& Simplex::value(int var) const { return columns_[var].assignment; }
+
+}  // namespace hv::smt

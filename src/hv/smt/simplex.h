@@ -1,0 +1,102 @@
+// Exact-rational general simplex for linear-arithmetic feasibility.
+//
+// This is the theory core of the SMT solver, in the style of
+// Dutertre & de Moura, "A fast linear-arithmetic solver for DPLL(T)":
+// every variable carries optional lower/upper bounds; linear rows define
+// slack variables; feasibility search pivots with Bland's rule (which
+// guarantees termination). Asserting a constraint during search only
+// tightens a bound, so backtracking restores bounds from a trail and never
+// has to undo pivots.
+//
+// All arithmetic is exact (hv::Rational over BigInt); there is no epsilon
+// and no numerical drift, which matters because the checker's verdicts are
+// claimed for *all* parameter values.
+#ifndef HV_SMT_SIMPLEX_H
+#define HV_SMT_SIMPLEX_H
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "hv/smt/linear.h"
+#include "hv/util/rational.h"
+
+namespace hv::smt {
+
+class Simplex {
+ public:
+  /// Creates a new unbounded variable and returns its index.
+  int add_variable();
+
+  int variable_count() const noexcept { return static_cast<int>(columns_.size()); }
+
+  /// Defines a new slack variable equal to the given combination of existing
+  /// variables and returns its index. The defining row is permanent.
+  int add_row(const std::vector<std::pair<int, BigInt>>& combination);
+
+  /// Tightens bounds; weaker-than-current bounds are ignored. Changes are
+  /// recorded on the trail and undone by pop(). Returns false if the new
+  /// bound contradicts the opposite bound (immediate conflict).
+  [[nodiscard]] bool assert_lower(int var, const Rational& bound);
+  [[nodiscard]] bool assert_upper(int var, const Rational& bound);
+
+  /// Bound-trail checkpointing for DPLL and branch-and-bound.
+  void push();
+  void pop();
+
+  /// Searches for an assignment within all bounds. Returns true iff the
+  /// current constraint system is feasible over the rationals.
+  [[nodiscard]] bool check();
+
+  /// Value of a variable in the last satisfying assignment (valid after a
+  /// successful check()).
+  const Rational& value(int var) const;
+
+  const std::optional<Rational>& lower_bound(int var) const { return columns_[var].lower; }
+  const std::optional<Rational>& upper_bound(int var) const { return columns_[var].upper; }
+
+ private:
+  struct Column {
+    std::optional<Rational> lower;
+    std::optional<Rational> upper;
+    Rational assignment;
+    // Index into rows_ if basic, -1 if nonbasic.
+    int row = -1;
+  };
+
+  struct Row {
+    int basic_var = -1;
+    // Coefficients over variables; the vector only extends as far as the
+    // row's highest written column — columns beyond coeffs.size() are
+    // implicitly zero, so adding a variable never touches existing rows.
+    // Entries for basic variables are zero except the implicit -1 on
+    // basic_var itself (row reads basic_var = sum coeffs[j]*var_j).
+    std::vector<Rational> coeffs;
+  };
+
+  // Implicit-zero column accessors.
+  static const Rational& coeff_at(const Row& row, int var) noexcept;
+  static Rational& coeff_ref(Row& row, int var);
+
+  enum class TrailKind { kLower, kUpper, kMark };
+  struct TrailEntry {
+    TrailKind kind;
+    int var = -1;
+    std::optional<Rational> previous;
+  };
+
+  bool is_basic(int var) const noexcept { return columns_[var].row >= 0; }
+  void update_nonbasic(int var, const Rational& new_value);
+  void pivot(int row_index, int entering_var);
+  void pivot_and_update(int row_index, int entering_var, const Rational& target);
+  bool within_lower(int var) const;
+  bool within_upper(int var) const;
+
+  std::vector<Column> columns_;
+  std::vector<Row> rows_;
+  std::vector<TrailEntry> trail_;
+};
+
+}  // namespace hv::smt
+
+#endif  // HV_SMT_SIMPLEX_H

@@ -1,0 +1,335 @@
+#include "hv/smt/solver.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "hv/util/error.h"
+
+namespace hv::smt {
+
+Solver::Solver() = default;
+
+VarId Solver::new_variable(std::string name) {
+  const int var = simplex_.add_variable();
+  HV_REQUIRE(var == static_cast<int>(names_.size()));
+  names_.push_back(std::move(name));
+  return var;
+}
+
+void Solver::add_lower_bound(VarId var, const BigInt& bound) {
+  if (!simplex_.assert_lower(var, Rational(bound))) trivially_unsat_ = true;
+}
+
+void Solver::add_upper_bound(VarId var, const BigInt& bound) {
+  if (!simplex_.assert_upper(var, Rational(bound))) trivially_unsat_ = true;
+}
+
+int Solver::slack_for(const std::vector<std::pair<int, BigInt>>& terms) {
+  std::string key;
+  for (const auto& [var, coeff] : terms) {
+    key += std::to_string(var);
+    key += ':';
+    key += coeff.to_string();
+    key += ',';
+  }
+  const auto it = slack_pool_.find(key);
+  if (it != slack_pool_.end()) return it->second;
+  const int slack = simplex_.add_row(terms);
+  names_.push_back("slack#" + std::to_string(slack));
+  slack_pool_.emplace(key, slack);
+  return slack;
+}
+
+Solver::NormalizedAtom Solver::normalize(const LinearConstraint& constraint) {
+  NormalizedAtom atom;
+  const LinearExpr& expr = constraint.expr;
+  if (expr.is_constant()) {
+    atom.constant = true;
+    const int sign = expr.constant().sign();
+    switch (constraint.relation) {
+      case Relation::kLe:
+        atom.constant_value = sign <= 0;
+        break;
+      case Relation::kGe:
+        atom.constant_value = sign >= 0;
+        break;
+      case Relation::kEq:
+        atom.constant_value = sign == 0;
+        break;
+    }
+    return atom;
+  }
+
+  // Divide the term vector by its content so shared slacks are canonical and
+  // integer tightening of the bound is as strong as possible.
+  BigInt content = 0;
+  for (const auto& [var, coeff] : expr.terms()) content = BigInt::gcd(content, coeff);
+  HV_REQUIRE(content.is_positive());
+
+  std::vector<std::pair<int, BigInt>> terms;
+  terms.reserve(expr.terms().size());
+  for (const auto& [var, coeff] : expr.terms()) terms.emplace_back(var, coeff / content);
+
+  if (terms.size() == 1 && terms[0].second == BigInt(1)) {
+    atom.var = terms[0].first;
+  } else {
+    atom.var = slack_for(terms);
+  }
+
+  // expr rel 0  <=>  content * slack + constant rel 0  <=>  slack rel' bound.
+  const BigInt& constant = expr.constant();
+  switch (constraint.relation) {
+    case Relation::kLe:
+      // slack <= -constant/content, floored (slack is integer-valued).
+      atom.kind = BoundKind::kLe;
+      atom.bound = BigInt::floor_div(-constant, content);
+      break;
+    case Relation::kGe:
+      atom.kind = BoundKind::kGe;
+      atom.bound = BigInt::ceil_div(-constant, content);
+      break;
+    case Relation::kEq: {
+      BigInt quotient;
+      BigInt remainder;
+      BigInt::div_mod(-constant, content, quotient, remainder);
+      if (!remainder.is_zero()) {
+        atom.constant = true;
+        atom.constant_value = false;  // divisibility violated: never equal
+        return atom;
+      }
+      atom.kind = BoundKind::kEq;
+      atom.bound = std::move(quotient);
+      atom.negatable = false;
+      break;
+    }
+  }
+  return atom;
+}
+
+void Solver::add(const LinearConstraint& constraint) {
+  const NormalizedAtom atom = normalize(constraint);
+  if (atom.constant) {
+    if (!atom.constant_value) trivially_unsat_ = true;
+    return;
+  }
+  if (!assert_atom(atom, /*positive=*/true)) trivially_unsat_ = true;
+}
+
+int Solver::add_atom(const LinearConstraint& constraint) {
+  atoms_.push_back(normalize(constraint));
+  return static_cast<int>(atoms_.size()) - 1;
+}
+
+void Solver::add_clause(std::vector<Literal> literals) {
+  for (const Literal& literal : literals) {
+    HV_REQUIRE(literal.atom >= 0 && literal.atom < static_cast<int>(atoms_.size()));
+    const NormalizedAtom& atom = atoms_[literal.atom];
+    if (!literal.positive && !atom.constant && !atom.negatable) {
+      throw InvalidArgument("equality atoms may not appear negatively in clauses");
+    }
+  }
+  clauses_.push_back(std::move(literals));
+}
+
+bool Solver::assert_atom(const NormalizedAtom& atom, bool positive) {
+  HV_REQUIRE(!atom.constant);
+  const Rational bound{atom.bound};
+  switch (atom.kind) {
+    case BoundKind::kLe:
+      return positive ? simplex_.assert_upper(atom.var, bound)
+                      : simplex_.assert_lower(atom.var, bound + Rational(1));
+    case BoundKind::kGe:
+      return positive ? simplex_.assert_lower(atom.var, bound)
+                      : simplex_.assert_upper(atom.var, bound - Rational(1));
+    case BoundKind::kEq:
+      HV_REQUIRE(positive);
+      return simplex_.assert_lower(atom.var, bound) && simplex_.assert_upper(atom.var, bound);
+  }
+  throw InternalError("unreachable bound kind");
+}
+
+CheckResult Solver::check() {
+  check_stopwatch_.reset();
+  deadline_poll_counter_ = 0;
+  if (trivially_unsat_) return CheckResult::kUnsat;
+  assignment_.assign(atoms_.size(), -1);
+  // Pre-assign constant atoms.
+  for (std::size_t i = 0; i < atoms_.size(); ++i) {
+    if (atoms_[i].constant) assignment_[i] = atoms_[i].constant_value ? 1 : 0;
+  }
+  branch_nodes_used_ = 0;
+  return search();
+}
+
+bool Solver::set_atom(int atom, bool value) {
+  signed char& slot = assignment_[atom];
+  if (slot != -1) return (slot == 1) == value;
+  slot = value ? 1 : 0;
+  const NormalizedAtom& normalized = atoms_[atom];
+  if (normalized.constant) return normalized.constant_value == value;
+  if (!value && !normalized.negatable) {
+    // The negation of an equality is a disjunction the theory cannot take
+    // as a bound. Leaving it unasserted is sound: negative equality
+    // literals are banned from clauses, so no clause relies on the
+    // negation being true — the boolean assignment is bookkeeping only.
+    return true;
+  }
+  return assert_atom(normalized, value);
+}
+
+void Solver::enforce_deadline() {
+  if (time_budget_seconds_ <= 0.0) return;
+  // Poll the clock sparsely; the counter makes the common path cheap.
+  if ((++deadline_poll_counter_ & 0xff) != 0) return;
+  if (check_stopwatch_.seconds() > time_budget_seconds_) {
+    throw Error("smt: time budget exceeded");
+  }
+}
+
+int Solver::propagate_and_select() {
+  enforce_deadline();
+  for (;;) {
+    bool propagated = false;
+    int branch_clause = -1;
+    for (int c = 0; c < static_cast<int>(clauses_.size()); ++c) {
+      const auto& clause = clauses_[c];
+      bool satisfied = false;
+      int unassigned_count = 0;
+      const Literal* unit = nullptr;
+      for (const Literal& literal : clause) {
+        const signed char value = assignment_[literal.atom];
+        if (value == -1) {
+          ++unassigned_count;
+          unit = &literal;
+        } else if ((value == 1) == literal.positive) {
+          satisfied = true;
+          break;
+        }
+      }
+      if (satisfied) continue;
+      if (unassigned_count == 0) return -2;  // conflict
+      if (unassigned_count == 1) {
+        ++stats_.propagations;
+        if (!set_atom(unit->atom, unit->positive)) return -2;
+        ++stats_.simplex_checks;
+        if (!simplex_.check()) return -2;
+        propagated = true;
+      } else if (branch_clause == -1) {
+        branch_clause = c;
+      }
+    }
+    if (!propagated) return branch_clause;
+  }
+}
+
+CheckResult Solver::search() {
+  simplex_.push();
+  std::vector<signed char> saved_assignment = assignment_;
+  const auto restore = [&] {
+    simplex_.pop();
+    assignment_ = saved_assignment;
+  };
+
+  const int clause_index = propagate_and_select();
+  if (clause_index == -2) {
+    restore();
+    return CheckResult::kUnsat;
+  }
+  if (clause_index == -1) {
+    ++stats_.simplex_checks;
+    if (simplex_.check() && branch_and_bound(0)) {
+      // Keep the state: the model was captured by branch_and_bound.
+      simplex_.pop();
+      assignment_ = std::move(saved_assignment);
+      return CheckResult::kSat;
+    }
+    restore();
+    return CheckResult::kUnsat;
+  }
+
+  // Branch on the first unassigned literal of the selected clause: try it
+  // true, then false (both sides explored; the clause is re-examined after).
+  const auto clause = clauses_[clause_index];  // copy: clauses_ stable anyway
+  int pick = -1;
+  for (const Literal& literal : clause) {
+    if (assignment_[literal.atom] == -1) {
+      pick = literal.atom;
+      break;
+    }
+  }
+  HV_REQUIRE(pick != -1);
+  for (const bool value : {true, false}) {
+    enforce_deadline();
+    ++stats_.decisions;
+    simplex_.push();
+    std::vector<signed char> snapshot = assignment_;
+    bool feasible = set_atom(pick, value);
+    if (feasible) {
+      ++stats_.simplex_checks;
+      feasible = simplex_.check();
+    }
+    if (feasible && search() == CheckResult::kSat) {
+      simplex_.pop();
+      assignment_ = std::move(snapshot);
+      simplex_.pop();
+      assignment_ = std::move(saved_assignment);
+      return CheckResult::kSat;
+    }
+    simplex_.pop();
+    assignment_ = std::move(snapshot);
+  }
+  restore();
+  return CheckResult::kUnsat;
+}
+
+bool Solver::branch_and_bound(int depth) {
+  enforce_deadline();
+  ++stats_.branch_nodes;
+  if (++branch_nodes_used_ > branch_budget_) {
+    throw Error("smt: branch-and-bound budget exceeded");
+  }
+  // Find a fractional variable. All variables (including slacks, which are
+  // integer combinations of integer variables) must take integer values.
+  int fractional = -1;
+  for (int var = 0; var < simplex_.variable_count(); ++var) {
+    if (!simplex_.value(var).is_integer()) {
+      fractional = var;
+      break;
+    }
+  }
+  if (fractional == -1) {
+    capture_model();
+    return true;
+  }
+  const Rational value = simplex_.value(fractional);
+  const BigInt floor = value.floor();
+  for (const bool low_side : {true, false}) {
+    simplex_.push();
+    const bool ok = low_side ? simplex_.assert_upper(fractional, Rational(floor))
+                             : simplex_.assert_lower(fractional, Rational(floor + 1));
+    ++stats_.simplex_checks;
+    if (ok && simplex_.check() && branch_and_bound(depth + 1)) {
+      simplex_.pop();
+      return true;
+    }
+    simplex_.pop();
+  }
+  return false;
+}
+
+void Solver::capture_model() {
+  model_.clear();
+  model_.reserve(simplex_.variable_count());
+  for (int var = 0; var < simplex_.variable_count(); ++var) {
+    model_.push_back(simplex_.value(var));
+  }
+}
+
+BigInt Solver::model_value(VarId var) const {
+  HV_REQUIRE(var >= 0 && var < static_cast<int>(model_.size()));
+  const Rational& value = model_[var];
+  HV_REQUIRE(value.is_integer());
+  return value.numerator();
+}
+
+}  // namespace hv::smt

@@ -1,0 +1,141 @@
+// Satisfiability solver for quantifier-free linear integer arithmetic with
+// clause-level disjunction.
+//
+// This plays the role Z3/MathSAT play behind ByMC: the schema encoder emits
+// a conjunction of linear constraints plus a few disjunctive clauses
+// (liveness stability conditions are per-rule disjunctions "source empty OR
+// guard false"), and asks for an integer model.
+//
+// Architecture (classical DPLL(T)):
+//   * permanent constraints become bounds on (shared) slack variables of an
+//     exact-rational simplex (hv/smt/simplex.h);
+//   * clauses range over *atoms*, each atom being a linear constraint that
+//     is asserted/retracted as bound tightenings on its slack;
+//   * a recursive DPLL with unit propagation decides atoms, pruning with
+//     rational (LP) feasibility after every assertion;
+//   * at a full boolean assignment, branch-and-bound closes the
+//     integrality gap and produces an integer model.
+//
+// Integer tightening is applied everywhere (bounds are floored/ceiled after
+// dividing rows by their content), so negation of atoms stays exact.
+#ifndef HV_SMT_SOLVER_H
+#define HV_SMT_SOLVER_H
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "hv/smt/linear.h"
+#include "hv/smt/simplex.h"
+#include "hv/util/bigint.h"
+#include "hv/util/stopwatch.h"
+
+namespace hv::smt {
+
+enum class CheckResult { kSat, kUnsat };
+
+/// A literal in a clause: the atom with the given id, possibly negated.
+struct Literal {
+  int atom = -1;
+  bool positive = true;
+};
+
+class Solver {
+ public:
+  Solver();
+
+  /// Declares a fresh integer variable.
+  VarId new_variable(std::string name);
+
+  int variable_count() const noexcept { return static_cast<int>(names_.size()); }
+  const std::string& name(VarId var) const { return names_[var]; }
+
+  /// Permanent conjuncts (asserted before search, never retracted).
+  void add(const LinearConstraint& constraint);
+  void add_lower_bound(VarId var, const BigInt& bound);
+  void add_upper_bound(VarId var, const BigInt& bound);
+
+  /// Registers an atom for use in clauses; returns its id. Equality atoms
+  /// may only appear positively.
+  int add_atom(const LinearConstraint& constraint);
+
+  /// Adds a disjunction of literals (empty clause makes the problem unsat).
+  void add_clause(std::vector<Literal> literals);
+
+  /// Decides satisfiability; on kSat a model is available.
+  CheckResult check();
+
+  /// Value of a variable in the last model (valid after check() == kSat).
+  BigInt model_value(VarId var) const;
+
+  struct Stats {
+    std::int64_t decisions = 0;
+    std::int64_t propagations = 0;
+    std::int64_t simplex_checks = 0;
+    std::int64_t branch_nodes = 0;
+  };
+  const Stats& stats() const noexcept { return stats_; }
+
+  /// Branch-and-bound node budget; exceeded budgets throw hv::Error.
+  void set_branch_budget(std::int64_t budget) noexcept { branch_budget_ = budget; }
+
+  /// Wall-clock budget for a single check() (seconds; <= 0 disables).
+  /// Exceeding it throws hv::Error — the caller must treat the check as
+  /// inconclusive, never as unsat.
+  void set_time_budget(double seconds) noexcept { time_budget_seconds_ = seconds; }
+
+ private:
+  enum class BoundKind { kLe, kGe, kEq };
+
+  // A constraint normalized to a bound on a slack (or structural) variable,
+  // or to a constant truth value when it mentions no variables.
+  struct NormalizedAtom {
+    bool constant = false;
+    bool constant_value = false;
+    int var = -1;  // simplex variable carrying the bound
+    BoundKind kind = BoundKind::kLe;
+    BigInt bound;
+    bool negatable = true;  // kEq atoms are not
+  };
+
+  NormalizedAtom normalize(const LinearConstraint& constraint);
+  int slack_for(const std::vector<std::pair<int, BigInt>>& terms);
+  // Asserts a normalized atom (or its negation) on the simplex; returns
+  // false on immediate bound conflict.
+  [[nodiscard]] bool assert_atom(const NormalizedAtom& atom, bool positive);
+
+  // DPLL over clauses; assignment_ holds per-atom values.
+  CheckResult search();
+  // Returns the clause index to branch on, -1 if all satisfied, -2 on
+  // conflict; performs unit propagation as a side effect (returns -2 if a
+  // propagated literal conflicts).
+  int propagate_and_select();
+  [[nodiscard]] bool set_atom(int atom, bool value);
+
+  // Integer completion at a full boolean assignment.
+  bool branch_and_bound(int depth);
+  // Throws hv::Error once the wall-clock budget is exceeded.
+  void enforce_deadline();
+  void capture_model();
+
+  Simplex simplex_;
+  std::vector<std::string> names_;
+  std::map<std::string, int> slack_pool_;  // canonical term-vector -> slack var
+  std::vector<NormalizedAtom> atoms_;
+  std::vector<std::vector<Literal>> clauses_;
+  std::vector<signed char> assignment_;  // -1 unassigned, 0 false, 1 true
+  bool trivially_unsat_ = false;
+  std::vector<Rational> model_;
+  Stats stats_;
+  std::int64_t branch_budget_ = 1'000'000;
+  std::int64_t branch_nodes_used_ = 0;
+  double time_budget_seconds_ = 0.0;
+  Stopwatch check_stopwatch_;
+  std::int64_t deadline_poll_counter_ = 0;
+};
+
+}  // namespace hv::smt
+
+#endif  // HV_SMT_SOLVER_H

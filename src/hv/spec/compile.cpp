@@ -1,0 +1,384 @@
+#include "hv/spec/compile.h"
+
+#include <algorithm>
+#include <optional>
+#include <set>
+#include <utility>
+
+#include "hv/util/error.h"
+
+namespace hv::spec {
+
+namespace {
+
+// --- atom classification -----------------------------------------------------
+
+// kappa[L] == 0 (or kappa[L] <= 0), as a single-location emptiness atom.
+std::optional<ta::LocationId> as_counter_empty(const ta::ThresholdAutomaton& ta,
+                                               const FormulaPtr& formula) {
+  if (formula->kind != FormulaKind::kAtom) return std::nullopt;
+  const smt::LinearConstraint& constraint = formula->atom;
+  if (constraint.relation != smt::Relation::kEq && constraint.relation != smt::Relation::kLe) {
+    return std::nullopt;
+  }
+  if (!constraint.expr.constant().is_zero()) return std::nullopt;
+  const auto& terms = constraint.expr.terms();
+  if (terms.size() != 1 || terms[0].second != BigInt(1)) return std::nullopt;
+  const smt::VarId var = terms[0].first;
+  if (var < ta.variable_count()) return std::nullopt;
+  return var - ta.variable_count();
+}
+
+// kappa[L] >= c with c >= 1, or !(kappa[L] == 0).
+std::optional<ta::LocationId> as_counter_nonempty(const ta::ThresholdAutomaton& ta,
+                                                  const FormulaPtr& formula) {
+  if (formula->kind == FormulaKind::kNot) {
+    return as_counter_empty(ta, formula->children[0]);
+  }
+  if (formula->kind != FormulaKind::kAtom) return std::nullopt;
+  const smt::LinearConstraint& constraint = formula->atom;
+  if (constraint.relation != smt::Relation::kGe) return std::nullopt;
+  const auto& terms = constraint.expr.terms();
+  if (terms.size() != 1 || terms[0].second != BigInt(1)) return std::nullopt;
+  if (!constraint.expr.constant().is_negative()) return std::nullopt;  // kappa >= c, c >= 1
+  const smt::VarId var = terms[0].first;
+  if (var < ta.variable_count()) return std::nullopt;
+  return var - ta.variable_count();
+}
+
+// An atom over shared variables and parameters only that can never flip from
+// true to false (a rise guard): Ge with non-negative shared coefficients, or
+// Le with non-positive shared coefficients. Parameter-only atoms qualify.
+bool is_rise_atom(const ta::ThresholdAutomaton& ta, const FormulaPtr& formula) {
+  if (formula->kind != FormulaKind::kAtom) return false;
+  const smt::LinearConstraint& constraint = formula->atom;
+  if (constraint.relation == smt::Relation::kEq) {
+    // Equality over parameters only is static; over shared it is not.
+    return std::all_of(constraint.expr.terms().begin(), constraint.expr.terms().end(),
+                       [&ta](const auto& term) {
+                         return term.first < ta.variable_count() && ta.is_parameter(term.first);
+                       });
+  }
+  for (const auto& [var, coeff] : constraint.expr.terms()) {
+    if (var >= ta.variable_count()) return false;  // mentions a counter
+    if (ta.is_parameter(var)) continue;
+    const bool rise = constraint.relation == smt::Relation::kGe ? !coeff.is_negative()
+                                                                : !coeff.is_positive();
+    if (!rise) return false;
+  }
+  return true;
+}
+
+// No non-self-loop rule enters the set from outside.
+bool inflow_free(const ta::ThresholdAutomaton& ta, const std::set<ta::LocationId>& set) {
+  for (const ta::Rule& rule : ta.rules()) {
+    if (rule.is_self_loop()) continue;
+    if (set.contains(rule.to) && !set.contains(rule.from)) return false;
+  }
+  return true;
+}
+
+// No non-self-loop rule leaves the set.
+bool outflow_closed(const ta::ThresholdAutomaton& ta, const std::set<ta::LocationId>& set) {
+  for (const ta::Rule& rule : ta.rules()) {
+    if (rule.is_self_loop()) continue;
+    if (set.contains(rule.from) && !set.contains(rule.to)) return false;
+  }
+  return true;
+}
+
+// Collects a conjunction of emptiness atoms; nullopt when not of that form.
+std::optional<std::set<ta::LocationId>> as_emptiness_conjunction(
+    const ta::ThresholdAutomaton& ta, const FormulaPtr& formula) {
+  std::set<ta::LocationId> set;
+  const std::vector<FormulaPtr> children =
+      formula->kind == FormulaKind::kAnd ? formula->children : std::vector<FormulaPtr>{formula};
+  for (const FormulaPtr& child : children) {
+    const auto location = as_counter_empty(ta, child);
+    if (!location) return std::nullopt;
+    set.insert(*location);
+  }
+  return set;
+}
+
+// Collects a disjunction of non-emptiness atoms; nullopt when not that form.
+std::optional<std::set<ta::LocationId>> as_nonemptiness_disjunction(
+    const ta::ThresholdAutomaton& ta, const FormulaPtr& formula) {
+  std::set<ta::LocationId> set;
+  const std::vector<FormulaPtr> children =
+      formula->kind == FormulaKind::kOr ? formula->children : std::vector<FormulaPtr>{formula};
+  for (const FormulaPtr& child : children) {
+    const auto location = as_counter_nonempty(ta, child);
+    if (!location) return std::nullopt;
+    set.insert(*location);
+  }
+  return set;
+}
+
+}  // namespace
+
+bool is_persistent(const ta::ThresholdAutomaton& ta, const FormulaPtr& predicate) {
+  // Grouped forms first: they are persistent as a whole even when their
+  // members are not persistent individually.
+  if (const auto set = as_emptiness_conjunction(ta, predicate)) {
+    return inflow_free(ta, *set);
+  }
+  if (const auto set = as_nonemptiness_disjunction(ta, predicate)) {
+    return outflow_closed(ta, *set);
+  }
+  switch (predicate->kind) {
+    case FormulaKind::kAtom:
+      return is_rise_atom(ta, predicate);
+    case FormulaKind::kAnd:
+    case FormulaKind::kOr:
+      return std::all_of(predicate->children.begin(), predicate->children.end(),
+                         [&](const FormulaPtr& child) { return is_persistent(ta, child); });
+    case FormulaKind::kNot:
+      // Handled by the grouped forms above (!= atoms); anything else is out
+      // of the syntactic fragment.
+      return false;
+    default:
+      return false;
+  }
+}
+
+Cnf stability_constraint(const ta::ThresholdAutomaton& ta, const CompileOptions& options) {
+  Cnf cnf;
+  for (ta::RuleId id = 0; id < ta.rule_count(); ++id) {
+    const ta::Rule& rule = ta.rule(id);
+    if (rule.is_self_loop()) continue;
+    const auto override_it =
+        std::find_if(options.overrides.begin(), options.overrides.end(),
+                     [id](const StabilityOverride& o) { return o.rule == id; });
+    if (override_it != options.overrides.end()) {
+      cnf.append(override_it->replacement);
+      continue;
+    }
+    Clause clause;
+    clause.literals.push_back(
+        smt::make_le(counter_expr(ta, rule.from), smt::LinearExpr(0)));
+    for (const auto& atom : rule.guard.atoms) {
+      if (atom.relation == smt::Relation::kEq) {
+        throw InvalidArgument("cannot negate an equality guard in a stability clause; "
+                              "provide a StabilityOverride for rule '" + rule.name + "'");
+      }
+      clause.literals.push_back(atom.negated());
+    }
+    cnf.clauses.push_back(std::move(clause));
+  }
+  return cnf;
+}
+
+namespace {
+
+void require_state_predicate(const FormulaPtr& formula, const char* role) {
+  if (!is_state_predicate(formula)) {
+    throw InvalidArgument(std::string("expected a state predicate as ") + role);
+  }
+}
+
+void require_persistent(const ta::ThresholdAutomaton& ta, const FormulaPtr& formula,
+                        const char* role) {
+  if (!is_persistent(ta, formula)) {
+    throw InvalidArgument(std::string("liveness compilation requires a persistent predicate as ") +
+                          role + "; got a predicate that may flip back to false");
+  }
+}
+
+std::vector<ta::RuleId> inflow_rules(const ta::ThresholdAutomaton& ta,
+                                     const std::set<ta::LocationId>& set) {
+  std::vector<ta::RuleId> rules;
+  for (ta::RuleId id = 0; id < ta.rule_count(); ++id) {
+    const ta::Rule& rule = ta.rule(id);
+    if (!rule.is_self_loop() && set.contains(rule.to)) rules.push_back(id);
+  }
+  return rules;
+}
+
+Cnf emptiness_cnf(const ta::ThresholdAutomaton& ta, const std::set<ta::LocationId>& set) {
+  Cnf cnf;
+  for (const ta::LocationId location : set) {
+    cnf.add_unit(smt::make_le(counter_expr(ta, location), smt::LinearExpr(0)));
+  }
+  return cnf;
+}
+
+}  // namespace
+
+Property compile(const ta::ThresholdAutomaton& ta, std::string name, const FormulaPtr& formula,
+                 const CompileOptions& options) {
+  Property property;
+  property.name = std::move(name);
+  property.formula_text = to_string(ta, formula);
+
+  // Shape 4: [](A -> <>(B)).
+  if (formula->kind == FormulaKind::kGlobally &&
+      formula->children[0]->kind == FormulaKind::kImplies &&
+      formula->children[0]->children[1]->kind == FormulaKind::kEventually) {
+    const FormulaPtr& premise = formula->children[0]->children[0];
+    const FormulaPtr& goal = formula->children[0]->children[1]->children[0];
+    require_state_predicate(premise, "the premise of [](A -> <>B)");
+    require_state_predicate(goal, "the goal of [](A -> <>B)");
+    require_persistent(ta, premise, "the premise A of [](A -> <>B)");
+    ReachQuery query;
+    query.description = "reach a justice-stable configuration with A && !B";
+    query.final_cnf = predicate_to_cnf(premise);
+    query.final_cnf.append(negated_predicate_to_cnf(goal));
+    query.final_cnf.append(stability_constraint(ta, options));
+    property.queries.push_back(std::move(query));
+    property.is_liveness = true;
+    return property;
+  }
+
+  // Shape 6: <>(B).
+  if (formula->kind == FormulaKind::kEventually &&
+      is_state_predicate(formula->children[0])) {
+    const FormulaPtr& goal = formula->children[0];
+    require_persistent(ta, goal, "the goal B of <>(B)");
+    ReachQuery query;
+    query.description = "reach a justice-stable configuration with !B";
+    query.final_cnf = negated_predicate_to_cnf(goal);
+    query.final_cnf.append(stability_constraint(ta, options));
+    property.queries.push_back(std::move(query));
+    property.is_liveness = true;
+    return property;
+  }
+
+  if (formula->kind == FormulaKind::kImplies) {
+    const FormulaPtr& lhs = formula->children[0];
+    const FormulaPtr& rhs = formula->children[1];
+
+    if (rhs->kind == FormulaKind::kGlobally) {
+      const FormulaPtr& safe = rhs->children[0];
+      require_state_predicate(safe, "the conclusion of ... -> [](B)");
+
+      // Shape 3: <>(A) -> [](B). A counterexample witnesses A and !B in
+      // either order; when one of the two is persistent it may be assumed
+      // to hold at the end of the run, collapsing both orders into one
+      // query (and dropping a cut).
+      if (lhs->kind == FormulaKind::kEventually) {
+        const FormulaPtr& witness = lhs->children[0];
+        require_state_predicate(witness, "the premise of <>(A) -> [](B)");
+        if (is_persistent(ta, witness)) {
+          ReachQuery query;
+          query.description = "witness !B, then reach A (A persistent)";
+          query.cuts.push_back(negated_predicate_to_cnf(safe));
+          query.final_cnf = predicate_to_cnf(witness);
+          property.queries.push_back(std::move(query));
+          return property;
+        }
+        if (is_persistent(ta, negation_normal_form(safe, /*negate=*/true))) {
+          ReachQuery query;
+          query.description = "witness A, then reach !B (!B persistent)";
+          query.cuts.push_back(predicate_to_cnf(witness));
+          query.final_cnf = negated_predicate_to_cnf(safe);
+          property.queries.push_back(std::move(query));
+          return property;
+        }
+        ReachQuery first;
+        first.description = "witness A, then reach !B";
+        first.cuts.push_back(predicate_to_cnf(witness));
+        first.final_cnf = negated_predicate_to_cnf(safe);
+        ReachQuery second;
+        second.description = "witness !B, then reach A";
+        second.cuts.push_back(negated_predicate_to_cnf(safe));
+        second.final_cnf = predicate_to_cnf(witness);
+        property.queries.push_back(std::move(first));
+        property.queries.push_back(std::move(second));
+        return property;
+      }
+
+      // Shape 2: [](A) -> [](B) with A a conjunction of emptiness atoms.
+      if (lhs->kind == FormulaKind::kGlobally) {
+        const auto set = as_emptiness_conjunction(ta, lhs->children[0]);
+        if (!set) {
+          throw InvalidArgument(
+              "[](A) -> [](B): A must be a conjunction of kappa[L] == 0 atoms");
+        }
+        ReachQuery query;
+        query.description = "keep the premise locations empty, reach !B";
+        query.initial = emptiness_cnf(ta, *set);
+        query.zero_rules = inflow_rules(ta, *set);
+        query.final_cnf = negated_predicate_to_cnf(safe);
+        property.queries.push_back(std::move(query));
+        return property;
+      }
+
+      // Shape 1: A -> [](B) with A a state predicate on the initial config.
+      if (is_state_predicate(lhs)) {
+        ReachQuery query;
+        query.description = "start with A, reach !B";
+        query.initial = predicate_to_cnf(lhs);
+        query.final_cnf = negated_predicate_to_cnf(safe);
+        property.queries.push_back(std::move(query));
+        return property;
+      }
+      throw InvalidArgument("unsupported premise for ... -> [](B)");
+    }
+
+    if (rhs->kind == FormulaKind::kEventually) {
+      const FormulaPtr& goal = rhs->children[0];
+      require_state_predicate(goal, "the conclusion of ... -> <>(Q)");
+
+      // Shape 8: A -> <>(B) with A evaluated on the initial configuration.
+      if (is_state_predicate(lhs) && lhs->kind != FormulaKind::kEventually) {
+        require_persistent(ta, goal, "the goal B of A -> <>(B)");
+        ReachQuery query;
+        query.description =
+            "start with A, reach a justice-stable configuration with !B";
+        query.initial = predicate_to_cnf(lhs);
+        query.final_cnf = negated_predicate_to_cnf(goal);
+        query.final_cnf.append(stability_constraint(ta, options));
+        property.queries.push_back(std::move(query));
+        property.is_liveness = true;
+        return property;
+      }
+
+      // Shape 7: <>[](P) -> <>(Q), the Appendix F form.
+      if (lhs->kind == FormulaKind::kEventually &&
+          lhs->children[0]->kind == FormulaKind::kGlobally) {
+        const FormulaPtr& fairness = lhs->children[0]->children[0];
+        require_state_predicate(fairness, "the fairness premise of <>[](P) -> <>(Q)");
+        require_persistent(ta, goal, "the goal Q of <>[](P) -> <>(Q)");
+        ReachQuery query;
+        query.description = "reach a configuration satisfying the fairness premise and !Q";
+        query.final_cnf = predicate_to_cnf(fairness);
+        query.final_cnf.append(negated_predicate_to_cnf(goal));
+        property.queries.push_back(std::move(query));
+        property.is_liveness = true;
+        return property;
+      }
+
+      // Shape 5: <>(A) -> <>(B). A persistent witness holds at the stable
+      // configuration too, so its cut folds into the final constraint.
+      if (lhs->kind == FormulaKind::kEventually) {
+        const FormulaPtr& witness = lhs->children[0];
+        require_state_predicate(witness, "the premise of <>(A) -> <>(B)");
+        require_persistent(ta, goal, "the goal B of <>(A) -> <>(B)");
+        ReachQuery query;
+        query.description = "witness A, then reach a justice-stable configuration with !B";
+        if (is_persistent(ta, witness)) {
+          query.final_cnf = predicate_to_cnf(witness);
+        } else {
+          query.cuts.push_back(predicate_to_cnf(witness));
+        }
+        query.final_cnf.append(negated_predicate_to_cnf(goal));
+        query.final_cnf.append(stability_constraint(ta, options));
+        property.queries.push_back(std::move(query));
+        property.is_liveness = true;
+        return property;
+      }
+      throw InvalidArgument("unsupported premise for ... -> <>(Q)");
+    }
+  }
+
+  throw InvalidArgument("LTL formula is outside the supported fragment: " +
+                        property.formula_text);
+}
+
+Property compile(const ta::ThresholdAutomaton& ta, std::string name, std::string_view ltl_text,
+                 const CompileOptions& options) {
+  return compile(ta, std::move(name), parse_ltl(ta, ltl_text), options);
+}
+
+}  // namespace hv::spec

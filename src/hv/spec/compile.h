@@ -1,0 +1,74 @@
+// Compilation of the paper's LTL fragment into reachability queries.
+//
+// ByMC verifies a fragment of LTL on one-round counter systems [POPL'17,
+// CONCUR'19]. For the paper's models — monotone rise guards, DAG-plus-self-
+// loop automata — every infinite fair run eventually stutters at a fixed
+// configuration (shared variables and counters change only finitely often),
+// so liveness counterexamples reduce to the reachability of a
+// *justice-stable* configuration: one where each non-self-loop rule has an
+// empty source or a false guard. Appendix F of the paper writes its
+// termination preconditions in exactly this style; `StabilityOverride`
+// reproduces its gadget substitution (BV properties replacing raw progress
+// on the inner broadcast counters).
+//
+// Supported shapes (A, B, P, Q are state predicates):
+//   1. A -> [](B)                      safety, A evaluated initially
+//   2. [](A) -> [](B)                  A a conjunction of kappa[L] == 0
+//   3. <>(A) -> [](B)                  safety with a witness cut
+//   4. [](A -> <>(B))                  liveness; A must be persistent
+//   5. <>(A) -> <>(B)                  liveness; B must be persistent
+//   6. <>(B)                           liveness; B must be persistent
+//   7. <>[](P) -> <>(Q)                liveness with explicit fairness P
+//                                      (Appendix F form); Q persistent
+//   8. A -> <>(B)                      liveness, A evaluated initially;
+//                                      B persistent
+//
+// Persistence (once true, forever true) is established syntactically:
+// rise-guard atoms over shared variables, emptiness of inflow-free location
+// sets, non-emptiness of outflow-closed location sets. compile() throws
+// InvalidArgument when a shape or persistence requirement is not met —
+// verification never silently weakens a property.
+#ifndef HV_SPEC_COMPILE_H
+#define HV_SPEC_COMPILE_H
+
+#include <string>
+#include <vector>
+
+#include "hv/spec/ltl.h"
+#include "hv/spec/query.h"
+#include "hv/ta/automaton.h"
+
+namespace hv::spec {
+
+/// Replaces the default justice clause of one rule ("source empty or guard
+/// false") by proven-property clauses, per Appendix F's gadget treatment.
+struct StabilityOverride {
+  ta::RuleId rule = -1;
+  /// CNF that must hold at a stable configuration instead of the default
+  /// clause for this rule.
+  Cnf replacement;
+};
+
+struct CompileOptions {
+  std::vector<StabilityOverride> overrides;
+};
+
+/// The default justice-stability constraint of a TA: for every non-self-loop
+/// rule, source empty or guard false (with overrides applied).
+Cnf stability_constraint(const ta::ThresholdAutomaton& ta, const CompileOptions& options = {});
+
+/// Compiles `formula` (one of the supported shapes) into a Property.
+Property compile(const ta::ThresholdAutomaton& ta, std::string name, const FormulaPtr& formula,
+                 const CompileOptions& options = {});
+
+/// Convenience: parse + compile.
+Property compile(const ta::ThresholdAutomaton& ta, std::string name, std::string_view ltl_text,
+                 const CompileOptions& options = {});
+
+/// Syntactic persistence check, exposed for tests: true iff the predicate
+/// can be shown to stay true once true, along any run of `ta`.
+bool is_persistent(const ta::ThresholdAutomaton& ta, const FormulaPtr& predicate);
+
+}  // namespace hv::spec
+
+#endif  // HV_SPEC_COMPILE_H

@@ -1,0 +1,87 @@
+// Linear temporal logic over threshold-automaton configurations — the
+// property language of the paper (Sections 3.2, 5.1, 5.2 and Appendix F).
+//
+// Atomic propositions are linear comparisons over state variables (shared
+// counters, parameters, and location counters kappa[L]); formulas combine
+// them with !, &&, ||, ->, [] (globally) and <> (eventually).
+//
+// The textual syntax follows ByMC/Appendix F:
+//
+//   <>[]( locM == 0 && (locM1 == 0 || bvb0 < T + 1) ) -> <>( locV0 == 0 )
+//   [](locV0 == 0) -> [](locD0 == 0 && locE0x == 0)
+//   kappa[C0] != 0 || bvb0 >= 2*t + 1 - f
+//
+// Identifiers resolve first to TA variables (case-insensitively, so the
+// paper's N/T/F match parameters n/t/f), then `locX`/`kappa[X]` to the
+// counter of location X.
+#ifndef HV_SPEC_LTL_H
+#define HV_SPEC_LTL_H
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "hv/spec/state.h"
+#include "hv/ta/automaton.h"
+
+namespace hv::spec {
+
+enum class FormulaKind {
+  kAtom,        // linear constraint over state variables
+  kNot,         // one child
+  kAnd,         // n children
+  kOr,          // n children
+  kImplies,     // two children
+  kGlobally,    // one child
+  kEventually,  // one child
+};
+
+struct Formula;
+using FormulaPtr = std::shared_ptr<const Formula>;
+
+struct Formula {
+  FormulaKind kind = FormulaKind::kAtom;
+  smt::LinearConstraint atom;       // valid iff kind == kAtom
+  std::vector<FormulaPtr> children;  // operands otherwise
+};
+
+// --- construction helpers ---------------------------------------------------
+FormulaPtr atom(smt::LinearConstraint constraint);
+FormulaPtr negation(FormulaPtr operand);
+FormulaPtr conjunction(std::vector<FormulaPtr> operands);
+FormulaPtr disjunction(std::vector<FormulaPtr> operands);
+FormulaPtr implies(FormulaPtr lhs, FormulaPtr rhs);
+FormulaPtr globally(FormulaPtr operand);
+FormulaPtr eventually(FormulaPtr operand);
+
+/// kappa[location] == 0.
+FormulaPtr loc_empty(const ta::ThresholdAutomaton& ta, ta::LocationId location);
+/// kappa[location] != 0 (i.e. >= 1; counters are non-negative).
+FormulaPtr loc_nonempty(const ta::ThresholdAutomaton& ta, ta::LocationId location);
+
+/// Parses the textual syntax against a TA's symbol table; throws ParseError.
+FormulaPtr parse_ltl(const ta::ThresholdAutomaton& ta, std::string_view text);
+
+/// Pretty-prints in the textual syntax.
+std::string to_string(const ta::ThresholdAutomaton& ta, const FormulaPtr& formula);
+
+/// True iff the formula contains no temporal operator.
+bool is_state_predicate(const FormulaPtr& formula);
+
+/// Negation-normal form of a modal-free formula (optionally of its
+/// negation); negations are resolved into atoms integer-exactly.
+FormulaPtr negation_normal_form(const FormulaPtr& formula, bool negate = false);
+
+/// Converts a modal-free formula into CNF over linear literals. Negations
+/// are pushed to atoms integer-exactly (!(e<=0) becomes e>=1); negated
+/// equalities become two-literal clauses. Throws InvalidArgument if the
+/// formula contains temporal operators.
+Cnf predicate_to_cnf(const FormulaPtr& formula);
+
+/// Negates and converts to CNF (used for "reach a violation of B").
+Cnf negated_predicate_to_cnf(const FormulaPtr& formula);
+
+}  // namespace hv::spec
+
+#endif  // HV_SPEC_LTL_H

@@ -1,0 +1,47 @@
+// Reachability queries — the intermediate representation between LTL
+// specifications and the schema-based checker.
+//
+// A property holds iff *none* of its queries is satisfiable. Each query
+// describes a (finite) execution pattern whose existence would violate the
+// property:
+//
+//   * `initial` constrains the first configuration;
+//   * `zero_rules` lists rules that must never fire (this is how globally-
+//     empty-location premises are enforced: zero inflow);
+//   * `cuts` are configuration constraints that must hold at intermediate
+//     points of the execution, in order;
+//   * `final_cnf` constrains the last configuration. For liveness
+//     properties it contains the justice-stability clauses (per rule:
+//     source empty or guard false, possibly overridden by proven gadget
+//     properties per Appendix F), so that a satisfying finite execution
+//     extends to an infinite fair counterexample by stuttering.
+#ifndef HV_SPEC_QUERY_H
+#define HV_SPEC_QUERY_H
+
+#include <string>
+#include <vector>
+
+#include "hv/spec/state.h"
+#include "hv/ta/automaton.h"
+
+namespace hv::spec {
+
+struct ReachQuery {
+  std::string description;
+  Cnf initial;
+  std::vector<ta::RuleId> zero_rules;
+  std::vector<Cnf> cuts;
+  Cnf final_cnf;
+};
+
+/// A named property compiled into violation queries.
+struct Property {
+  std::string name;
+  std::string formula_text;  // the LTL source, for reports
+  std::vector<ReachQuery> queries;
+  bool is_liveness = false;
+};
+
+}  // namespace hv::spec
+
+#endif  // HV_SPEC_QUERY_H

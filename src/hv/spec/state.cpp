@@ -1,0 +1,132 @@
+#include "hv/spec/state.h"
+
+#include <algorithm>
+
+#include "hv/util/error.h"
+
+namespace hv::spec {
+
+namespace {
+
+// With every variable >= 0: an expression whose coefficients are all
+// non-negative is at least its constant; one with non-positive coefficients
+// is at most its constant.
+bool always_violated(const smt::LinearConstraint& literal) {
+  const auto& terms = literal.expr.terms();
+  const BigInt& constant = literal.expr.constant();
+  switch (literal.relation) {
+    case smt::Relation::kLe:  // expr <= 0 impossible if expr >= constant > 0
+      return constant.is_positive() &&
+             std::all_of(terms.begin(), terms.end(),
+                         [](const auto& term) { return !term.second.is_negative(); });
+    case smt::Relation::kGe:  // expr >= 0 impossible if expr <= constant < 0
+      return constant.is_negative() &&
+             std::all_of(terms.begin(), terms.end(),
+                         [](const auto& term) { return !term.second.is_positive(); });
+    case smt::Relation::kEq:
+      return (constant.is_positive() &&
+              std::all_of(terms.begin(), terms.end(),
+                          [](const auto& term) { return !term.second.is_negative(); })) ||
+             (constant.is_negative() &&
+              std::all_of(terms.begin(), terms.end(),
+                          [](const auto& term) { return !term.second.is_positive(); }));
+  }
+  return false;
+}
+
+bool always_holds(const smt::LinearConstraint& literal) {
+  const auto& terms = literal.expr.terms();
+  const BigInt& constant = literal.expr.constant();
+  switch (literal.relation) {
+    case smt::Relation::kLe:  // expr <= 0 certain if expr <= constant <= 0
+      return !constant.is_positive() &&
+             std::all_of(terms.begin(), terms.end(),
+                         [](const auto& term) { return !term.second.is_positive(); });
+    case smt::Relation::kGe:  // expr >= 0 certain if expr >= constant >= 0
+      return !constant.is_negative() &&
+             std::all_of(terms.begin(), terms.end(),
+                         [](const auto& term) { return !term.second.is_negative(); });
+    case smt::Relation::kEq:
+      return terms.empty() && constant.is_zero();
+  }
+  return false;
+}
+
+}  // namespace
+
+Cnf simplify_cnf(Cnf cnf) {
+  Cnf out;
+  for (Clause& clause : cnf.clauses) {
+    bool satisfied = false;
+    Clause kept;
+    for (auto& literal : clause.literals) {
+      if (always_holds(literal)) {
+        satisfied = true;
+        break;
+      }
+      if (!always_violated(literal)) kept.literals.push_back(std::move(literal));
+    }
+    if (satisfied) continue;
+    if (kept.literals.empty()) {
+      // The whole clause is impossible: keep one false literal so the CNF
+      // stays equivalent (and the solver reports unsat immediately).
+      kept.literals.push_back(clause.literals.empty() ? smt::LinearConstraint{smt::LinearExpr(1), smt::Relation::kLe}
+                                                      : clause.literals[0]);
+    }
+    out.clauses.push_back(std::move(kept));
+  }
+  return out;
+}
+
+std::string state_var_name(const ta::ThresholdAutomaton& ta, smt::VarId var) {
+  if (var < ta.variable_count()) return ta.variable_name(var);
+  const int location = var - ta.variable_count();
+  HV_REQUIRE(location < ta.location_count());
+  return "kappa[" + ta.location(location).name + "]";
+}
+
+std::string to_string(const ta::ThresholdAutomaton& ta, const Cnf& cnf) {
+  if (cnf.is_true()) return "true";
+  const auto namer = [&ta](smt::VarId var) { return state_var_name(ta, var); };
+  std::string out;
+  for (std::size_t c = 0; c < cnf.clauses.size(); ++c) {
+    if (c != 0) out += " && ";
+    const Clause& clause = cnf.clauses[c];
+    if (clause.literals.size() != 1) out += "(";
+    for (std::size_t l = 0; l < clause.literals.size(); ++l) {
+      if (l != 0) out += " || ";
+      out += clause.literals[l].to_string(namer);
+    }
+    if (clause.literals.size() != 1) out += ")";
+  }
+  return out;
+}
+
+bool evaluate(const ta::CounterSystem& system, const smt::LinearConstraint& literal,
+              const ta::Config& config) {
+  const ta::ThresholdAutomaton& ta = system.automaton();
+  const auto value_of = [&](smt::VarId var) -> BigInt {
+    if (var >= ta.variable_count()) {
+      return BigInt(config.counters[var - ta.variable_count()]);
+    }
+    if (ta.is_parameter(var)) return BigInt(system.parameter(var));
+    return BigInt(config.shared[system.shared_index(var)]);
+  };
+  return literal.holds(value_of);
+}
+
+bool evaluate(const ta::CounterSystem& system, const Cnf& cnf, const ta::Config& config) {
+  for (const Clause& clause : cnf.clauses) {
+    bool satisfied = false;
+    for (const auto& literal : clause.literals) {
+      if (evaluate(system, literal, config)) {
+        satisfied = true;
+        break;
+      }
+    }
+    if (!satisfied) return false;
+  }
+  return true;
+}
+
+}  // namespace hv::spec

@@ -1,0 +1,123 @@
+#include "hv/synth/bv_sketch.h"
+
+#include <string>
+
+#include "hv/spec/compile.h"
+#include "hv/spec/ltl.h"
+#include "hv/ta/parser.h"
+#include "hv/util/error.h"
+
+namespace hv::synth {
+
+namespace {
+
+// "b0 >= a*t + b - c*f" for the guard; "b0 < a*t + b" for justice.
+std::string guard_text(const std::string& counter, const Candidate& candidate) {
+  std::string out = counter + " >= ";
+  out += std::to_string(candidate.a) + "*t + " + std::to_string(candidate.b);
+  if (candidate.c != 0) out += " - f";
+  return out;
+}
+
+std::string justice_text(const std::string& location, const std::string& counter,
+                         const Candidate& candidate) {
+  return "loc" + location + " == 0 || " + counter + " < " + std::to_string(candidate.a) +
+         "*t + " + std::to_string(candidate.b);
+}
+
+spec::StabilityOverride override_for(const ta::ThresholdAutomaton& ta, const char* rule_name,
+                                     const std::string& condition) {
+  spec::StabilityOverride entry;
+  entry.rule = -1;
+  for (ta::RuleId id = 0; id < ta.rule_count(); ++id) {
+    if (ta.rule(id).name == rule_name) entry.rule = id;
+  }
+  HV_REQUIRE(entry.rule >= 0);
+  entry.replacement = spec::predicate_to_cnf(spec::parse_ltl(ta, condition));
+  return entry;
+}
+
+}  // namespace
+
+std::optional<Instance> bv_broadcast_sketch(const std::vector<Candidate>& assignment) {
+  HV_REQUIRE(assignment.size() == 2);
+  const Candidate& echo = assignment[0];
+  const Candidate& deliver = assignment[1];
+
+  std::string text = R"(
+ta BvSketch {
+  parameters n, t, f;
+  shared b0, b1;
+  resilience n > 3*t;
+  resilience t >= f;
+  resilience f >= 0;
+  processes n - f;
+  initial V0, V1;
+  locations B0, B1, B01, C0, C1, CB0, CB1, C01;
+  rule r1: V0 -> B0 do b0 += 1;
+  rule r2: V1 -> B1 do b1 += 1;
+  rule r3: B0 -> C0 when DELIVER_B0;
+  rule r4: B0 -> B01 when ECHO_B1 do b1 += 1;
+  rule r5: B1 -> B01 when ECHO_B0 do b0 += 1;
+  rule r6: B1 -> C1 when DELIVER_B1;
+  rule r7: C0 -> CB0 when ECHO_B1 do b1 += 1;
+  rule r8: B01 -> CB0 when DELIVER_B0;
+  rule r9: B01 -> CB1 when DELIVER_B1;
+  rule r10: C1 -> CB1 when ECHO_B0 do b0 += 1;
+  rule r11: CB0 -> C01 when DELIVER_B1;
+  rule r12: CB1 -> C01 when DELIVER_B0;
+  selfloop C01;
+}
+)";
+  const auto substitute = [&text](const std::string& placeholder, const std::string& value) {
+    for (std::size_t pos = text.find(placeholder); pos != std::string::npos;
+         pos = text.find(placeholder)) {
+      text.replace(pos, placeholder.size(), value);
+    }
+  };
+  substitute("DELIVER_B0", guard_text("b0", deliver));
+  substitute("DELIVER_B1", guard_text("b1", deliver));
+  substitute("ECHO_B0", guard_text("b0", echo));
+  substitute("ECHO_B1", guard_text("b1", echo));
+
+  Instance instance{ta::parse_ta(text).one_round_reduction(), {}};
+  const ta::ThresholdAutomaton& ta = instance.automaton;
+
+  spec::CompileOptions liveness;
+  liveness.overrides.push_back(override_for(ta, "r3", justice_text("B0", "b0", deliver)));
+  liveness.overrides.push_back(override_for(ta, "r4", justice_text("B0", "b1", echo)));
+  liveness.overrides.push_back(override_for(ta, "r5", justice_text("B1", "b0", echo)));
+  liveness.overrides.push_back(override_for(ta, "r6", justice_text("B1", "b1", deliver)));
+  liveness.overrides.push_back(override_for(ta, "r7", justice_text("C0", "b1", echo)));
+  liveness.overrides.push_back(override_for(ta, "r8", justice_text("B01", "b0", deliver)));
+  liveness.overrides.push_back(override_for(ta, "r9", justice_text("B01", "b1", deliver)));
+  liveness.overrides.push_back(override_for(ta, "r10", justice_text("C1", "b0", echo)));
+  liveness.overrides.push_back(override_for(ta, "r11", justice_text("CB0", "b1", deliver)));
+  liveness.overrides.push_back(override_for(ta, "r12", justice_text("CB1", "b0", deliver)));
+
+  instance.properties.push_back(spec::compile(
+      ta, "BV-Just0", "locV0 == 0 -> [](locC0 == 0 && locCB0 == 0 && locC01 == 0)"));
+  instance.properties.push_back(spec::compile(
+      ta, "BV-Just1", "locV1 == 0 -> [](locC1 == 0 && locCB1 == 0 && locC01 == 0)"));
+  instance.properties.push_back(spec::compile(
+      ta, "BV-Obl0",
+      "[](b0 >= t + 1 -> <>(locV0 == 0 && locV1 == 0 && locB0 == 0 && locB1 == 0 && "
+      "locB01 == 0 && locC1 == 0 && locCB1 == 0))",
+      liveness));
+  instance.properties.push_back(spec::compile(
+      ta, "BV-Unif0",
+      "<>(locC0 != 0 || locCB0 != 0 || locC01 != 0) -> "
+      "<>(locV0 == 0 && locV1 == 0 && locB0 == 0 && locB1 == 0 && locB01 == 0 && "
+      "locC1 == 0 && locCB1 == 0)",
+      liveness));
+  instance.properties.push_back(spec::compile(
+      ta, "BV-Term",
+      "<>(locV0 == 0 && locV1 == 0 && locB0 == 0 && locB1 == 0 && locB01 == 0)", liveness));
+  return instance;
+}
+
+std::vector<HoleSpace> bv_broadcast_holes(std::vector<Candidate> candidates) {
+  return {{"echo", candidates}, {"deliver", std::move(candidates)}};
+}
+
+}  // namespace hv::synth

@@ -1,0 +1,26 @@
+// The binary-value-broadcast sketch: Figure 2's automaton with the echo and
+// delivery thresholds left open. Hole 0 ("echo") is the threshold at which
+// a value is re-broadcast (the paper: t+1-f); hole 1 ("deliver") is the
+// threshold at which it enters contestants (the paper: 2t+1-f). The
+// instance factory plugs candidates into all twelve guarded rules and
+// derives the matching justice assumptions (guaranteed progress counts
+// correct messages only, i.e. the candidate without its -f slack).
+#ifndef HV_SYNTH_BV_SKETCH_H
+#define HV_SYNTH_BV_SKETCH_H
+
+#include <optional>
+
+#include "hv/synth/synthesis.h"
+
+namespace hv::synth {
+
+/// Instantiates the sketch for {echo, deliver} candidates; the returned
+/// instance carries BV-Just0/1, BV-Obl0, BV-Unif0 and BV-Term.
+std::optional<Instance> bv_broadcast_sketch(const std::vector<Candidate>& assignment);
+
+/// The two holes with the given candidate lattice.
+std::vector<HoleSpace> bv_broadcast_holes(std::vector<Candidate> candidates);
+
+}  // namespace hv::synth
+
+#endif  // HV_SYNTH_BV_SKETCH_H

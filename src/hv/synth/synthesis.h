@@ -1,0 +1,93 @@
+// Synthesis of threshold guards, in the spirit of the methodology the paper
+// uses for its modelling ("using the synthesis methodology [42]" — Lazić et
+// al., OPODIS'17): a *sketch* leaves selected guard thresholds open as
+// holes of the shape
+//
+//     shared >= a*t + b - c*f        (a, b, c small naturals)
+//
+// and the synthesizer searches the candidate lattice for assignments under
+// which every property of the specification is verified — for all
+// parameters, by the parameterized checker. Unlike the cited work we search
+// the (small) lattice exhaustively rather than counterexample-guided, which
+// keeps the tool simple and makes the result complete over the lattice: the
+// returned list is *every* working assignment, so the caller can inspect
+// e.g. whether the paper's thresholds (t+1-f, 2t+1-f) are the weakest ones.
+//
+// The sketch is supplied as a factory that instantiates a concrete
+// automaton + specification for a candidate assignment (returning nullopt
+// for assignments it deems ill-formed). This keeps the library independent
+// of how holes are embedded — guards, justice overrides and even property
+// premises may all depend on the candidate.
+#ifndef HV_SYNTH_SYNTHESIS_H
+#define HV_SYNTH_SYNTHESIS_H
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "hv/checker/parameterized.h"
+#include "hv/spec/query.h"
+#include "hv/ta/automaton.h"
+
+namespace hv::synth {
+
+/// One candidate threshold: shared >= a*t + b - c*f.
+struct Candidate {
+  int a = 0;
+  int b = 0;
+  int c = 0;
+
+  friend bool operator==(const Candidate& lhs, const Candidate& rhs) = default;
+  std::string to_string() const;
+};
+
+/// The candidate values one hole ranges over.
+struct HoleSpace {
+  std::string name;
+  std::vector<Candidate> candidates;
+};
+
+/// Cartesian helper: all (a, b, c) with a in [0, max_a], b in [0, max_b],
+/// c in {0, 1}, excluding the trivially-true threshold (a == b == 0).
+std::vector<Candidate> default_candidates(int max_a = 2, int max_b = 1);
+
+/// A concrete instantiation of the sketch for one assignment.
+struct Instance {
+  ta::ThresholdAutomaton automaton;
+  std::vector<spec::Property> properties;
+};
+
+using InstanceFactory =
+    std::function<std::optional<Instance>(const std::vector<Candidate>&)>;
+
+struct SynthesisOptions {
+  checker::CheckOptions check;
+  /// Stop after this many working assignments (0 = collect all).
+  int max_solutions = 0;
+};
+
+struct Evaluation {
+  std::vector<Candidate> assignment;
+  bool works = false;
+  /// Name of the first property that failed (or was inconclusive).
+  std::string failed_property;
+  checker::Verdict failed_verdict = checker::Verdict::kHolds;
+};
+
+struct SynthesisResult {
+  std::vector<Evaluation> evaluations;  // every candidate tried, in order
+  std::vector<std::vector<Candidate>> solutions;
+  std::int64_t candidates_tried = 0;
+  double seconds = 0.0;
+};
+
+/// Exhaustive lattice search. Every candidate assignment is instantiated
+/// and every property checked with the parameterized checker; an
+/// assignment works iff every property holds.
+SynthesisResult synthesize(const std::vector<HoleSpace>& holes, const InstanceFactory& factory,
+                           const SynthesisOptions& options = {});
+
+}  // namespace hv::synth
+
+#endif  // HV_SYNTH_SYNTHESIS_H

@@ -1,0 +1,239 @@
+#include "hv/ta/automaton.h"
+
+#include <algorithm>
+#include <set>
+
+#include "hv/util/error.h"
+
+namespace hv::ta {
+
+LocationId ThresholdAutomaton::add_location(std::string name, bool initial) {
+  if (find_location(name)) throw InvalidArgument("duplicate location name: " + name);
+  locations_.push_back({std::move(name), initial});
+  return static_cast<LocationId>(locations_.size()) - 1;
+}
+
+VarId ThresholdAutomaton::add_parameter(std::string name) {
+  if (find_variable(name)) throw InvalidArgument("duplicate variable name: " + name);
+  variables_.push_back({std::move(name), VarKind::kParameter});
+  return static_cast<VarId>(variables_.size()) - 1;
+}
+
+VarId ThresholdAutomaton::add_shared(std::string name) {
+  if (find_variable(name)) throw InvalidArgument("duplicate variable name: " + name);
+  variables_.push_back({std::move(name), VarKind::kShared});
+  return static_cast<VarId>(variables_.size()) - 1;
+}
+
+RuleId ThresholdAutomaton::add_rule(std::string name, LocationId from, LocationId to,
+                                    Guard guard, Update update) {
+  if (from < 0 || from >= location_count() || to < 0 || to >= location_count()) {
+    throw InvalidArgument("rule '" + name + "': location id out of range");
+  }
+  rules_.push_back({std::move(name), from, to, std::move(guard), std::move(update)});
+  return static_cast<RuleId>(rules_.size()) - 1;
+}
+
+RuleId ThresholdAutomaton::add_self_loop(LocationId location) {
+  return add_rule("self_" + locations_[location].name, location, location, Guard{}, Update{});
+}
+
+void ThresholdAutomaton::add_resilience(smt::LinearConstraint constraint) {
+  for (const auto& [var, coeff] : constraint.expr.terms()) {
+    if (var < 0 || var >= variable_count() || !is_parameter(var)) {
+      throw InvalidArgument("resilience condition must range over parameters only");
+    }
+  }
+  resilience_.push_back(std::move(constraint));
+}
+
+std::vector<VarId> ThresholdAutomaton::parameters() const {
+  std::vector<VarId> out;
+  for (VarId id = 0; id < variable_count(); ++id) {
+    if (is_parameter(id)) out.push_back(id);
+  }
+  return out;
+}
+
+std::vector<VarId> ThresholdAutomaton::shared_variables() const {
+  std::vector<VarId> out;
+  for (VarId id = 0; id < variable_count(); ++id) {
+    if (is_shared(id)) out.push_back(id);
+  }
+  return out;
+}
+
+std::optional<LocationId> ThresholdAutomaton::find_location(std::string_view name) const {
+  for (LocationId id = 0; id < location_count(); ++id) {
+    if (locations_[id].name == name) return id;
+  }
+  return std::nullopt;
+}
+
+std::optional<VarId> ThresholdAutomaton::find_variable(std::string_view name) const {
+  for (VarId id = 0; id < variable_count(); ++id) {
+    if (variables_[id].name == name) return id;
+  }
+  return std::nullopt;
+}
+
+std::vector<LocationId> ThresholdAutomaton::initial_locations() const {
+  std::vector<LocationId> out;
+  for (LocationId id = 0; id < location_count(); ++id) {
+    if (locations_[id].initial) out.push_back(id);
+  }
+  return out;
+}
+
+std::vector<smt::LinearConstraint> ThresholdAutomaton::unique_guard_atoms() const {
+  std::vector<smt::LinearConstraint> atoms;
+  for (const Rule& rule : rules_) {
+    for (const auto& atom : rule.guard.atoms) {
+      // Atoms over parameters only are static side-conditions, not
+      // threshold guards; skip them like ByMC does.
+      const bool mentions_shared = std::any_of(
+          atom.expr.terms().begin(), atom.expr.terms().end(),
+          [this](const auto& term) { return is_shared(term.first); });
+      if (!mentions_shared) continue;
+      if (std::find(atoms.begin(), atoms.end(), atom) == atoms.end()) atoms.push_back(atom);
+    }
+  }
+  return atoms;
+}
+
+void ThresholdAutomaton::validate() const {
+  if (locations_.empty()) throw InvalidArgument(name_ + ": automaton has no locations");
+  if (initial_locations().empty()) throw InvalidArgument(name_ + ": no initial locations");
+  for (const Rule& rule : rules_) {
+    for (const auto& [var, coeff] : rule.update.increments) {
+      if (var < 0 || var >= variable_count() || !is_shared(var)) {
+        throw InvalidArgument(name_ + ": rule '" + rule.name + "' updates a non-shared variable");
+      }
+      if (coeff.is_negative()) {
+        throw InvalidArgument(name_ + ": rule '" + rule.name +
+                              "' decrements a shared variable; shared variables are monotone");
+      }
+    }
+    for (const auto& atom : rule.guard.atoms) {
+      if (atom.relation == smt::Relation::kEq) {
+        // Equalities over shared variables can flip from true to false as
+        // counters grow; the schema method requires monotone guards.
+        const bool mentions_shared = std::any_of(
+            atom.expr.terms().begin(), atom.expr.terms().end(),
+            [this](const auto& term) { return is_shared(term.first); });
+        if (mentions_shared) {
+          throw InvalidArgument(name_ + ": rule '" + rule.name +
+                                "' uses an equality guard over shared variables (non-monotone)");
+        }
+        continue;
+      }
+      for (const auto& [var, coeff] : atom.expr.terms()) {
+        if (var < 0 || var >= variable_count()) {
+          throw InvalidArgument(name_ + ": rule '" + rule.name + "' guard uses unknown variable");
+        }
+        if (!is_shared(var)) continue;
+        const bool rise_ok = atom.relation == smt::Relation::kGe ? !coeff.is_negative()
+                                                                 : !coeff.is_positive();
+        if (!rise_ok) {
+          throw InvalidArgument(
+              name_ + ": rule '" + rule.name +
+              "' guard is not a rise guard (it could flip from true to false)");
+        }
+      }
+    }
+  }
+  // Acyclicity apart from self-loops, via Kahn's algorithm; also computes
+  // nothing else — rules_in_topological_order throws on cycles.
+  (void)rules_in_topological_order();
+}
+
+std::vector<RuleId> ThresholdAutomaton::rules_in_topological_order() const {
+  // Topologically sort locations ignoring self-loops, then order rules by
+  // source location (ties broken by rule id, which keeps model declaration
+  // order stable).
+  std::vector<int> in_degree(locations_.size(), 0);
+  for (const Rule& rule : rules_) {
+    if (!rule.is_self_loop()) ++in_degree[rule.to];
+  }
+  std::vector<LocationId> order;
+  order.reserve(locations_.size());
+  std::vector<LocationId> frontier;
+  for (LocationId id = 0; id < location_count(); ++id) {
+    if (in_degree[id] == 0) frontier.push_back(id);
+  }
+  while (!frontier.empty()) {
+    // Smallest id first: deterministic order.
+    const auto it = std::min_element(frontier.begin(), frontier.end());
+    const LocationId current = *it;
+    frontier.erase(it);
+    order.push_back(current);
+    for (const Rule& rule : rules_) {
+      if (rule.is_self_loop() || rule.from != current) continue;
+      if (--in_degree[rule.to] == 0) frontier.push_back(rule.to);
+    }
+  }
+  if (order.size() != locations_.size()) {
+    throw InvalidArgument(name_ + ": location graph has a cycle (beyond self-loops)");
+  }
+  std::vector<int> position(locations_.size(), 0);
+  for (std::size_t i = 0; i < order.size(); ++i) position[order[i]] = static_cast<int>(i);
+  std::vector<RuleId> rule_order;
+  for (RuleId id = 0; id < rule_count(); ++id) {
+    if (!rules_[id].is_self_loop()) rule_order.push_back(id);
+  }
+  std::stable_sort(rule_order.begin(), rule_order.end(), [&](RuleId a, RuleId b) {
+    return position[rules_[a].from] < position[rules_[b].from];
+  });
+  return rule_order;
+}
+
+std::string ThresholdAutomaton::guard_to_string(const Guard& guard) const {
+  if (guard.is_true()) return "true";
+  const auto namer = [this](VarId id) { return variable_name(id); };
+  std::string out;
+  for (std::size_t i = 0; i < guard.atoms.size(); ++i) {
+    if (i != 0) out += " && ";
+    out += guard.atoms[i].to_string(namer);
+  }
+  return out;
+}
+
+std::string ThresholdAutomaton::rule_to_string(RuleId id) const {
+  const Rule& rule = rules_[id];
+  std::string out = rule.name + ": " + locations_[rule.from].name + " -> " +
+                    locations_[rule.to].name + " when " + guard_to_string(rule.guard);
+  for (const auto& [var, coeff] : rule.update.increments) {
+    out += "; " + variable_name(var) + " += " + coeff.to_string();
+  }
+  return out;
+}
+
+ThresholdAutomaton MultiRoundTa::one_round_reduction() const {
+  ThresholdAutomaton reduced = body_;
+  // Every round-switch target is a possible round-start location; enlarging
+  // the initial set this way over-approximates every reachable round-initial
+  // configuration (Appendix A / [10, Theorem 6]).
+  std::set<LocationId> targets;
+  for (const RoundSwitch& edge : switches_) targets.insert(edge.to);
+  ThresholdAutomaton rebuilt(reduced.name());
+  for (VarId id = 0; id < reduced.variable_count(); ++id) {
+    if (reduced.is_parameter(id)) {
+      rebuilt.add_parameter(reduced.variable_name(id));
+    } else {
+      rebuilt.add_shared(reduced.variable_name(id));
+    }
+  }
+  for (LocationId id = 0; id < reduced.location_count(); ++id) {
+    const Location& location = reduced.location(id);
+    rebuilt.add_location(location.name, location.initial || targets.contains(id));
+  }
+  for (RuleId id = 0; id < reduced.rule_count(); ++id) {
+    const Rule& rule = reduced.rule(id);
+    rebuilt.add_rule(rule.name, rule.from, rule.to, rule.guard, rule.update);
+  }
+  for (const auto& constraint : reduced.resilience()) rebuilt.add_resilience(constraint);
+  rebuilt.set_process_count(reduced.process_count());
+  return rebuilt;
+}
+
+}  // namespace hv::ta

@@ -1,0 +1,155 @@
+#include "hv/ta/counter_system.h"
+
+#include <algorithm>
+
+#include "hv/util/error.h"
+
+namespace hv::ta {
+
+CounterSystem::CounterSystem(const ThresholdAutomaton& ta, ParamValuation params)
+    : ta_(ta), params_(std::move(params)) {
+  for (const VarId id : ta_.parameters()) {
+    if (!params_.contains(id)) {
+      throw InvalidArgument("missing parameter value for " + ta_.variable_name(id));
+    }
+  }
+  shared_vars_ = ta_.shared_variables();
+  Config empty;
+  empty.counters.assign(ta_.location_count(), 0);
+  empty.shared.assign(shared_vars_.size(), 0);
+  for (const auto& constraint : ta_.resilience()) {
+    if (!constraint_holds(constraint, empty)) {
+      throw InvalidArgument("parameter valuation violates the resilience condition: " +
+                            constraint.to_string([&](VarId v) { return ta_.variable_name(v); }));
+    }
+  }
+  process_count_ = evaluate(ta_.process_count(), empty);
+  if (process_count_ < 0) throw InvalidArgument("negative process count");
+}
+
+std::int64_t CounterSystem::parameter(VarId id) const {
+  const auto it = params_.find(id);
+  HV_REQUIRE(it != params_.end());
+  return it->second;
+}
+
+int CounterSystem::shared_index(VarId id) const {
+  const auto it = std::find(shared_vars_.begin(), shared_vars_.end(), id);
+  HV_REQUIRE(it != shared_vars_.end());
+  return static_cast<int>(it - shared_vars_.begin());
+}
+
+std::int64_t CounterSystem::evaluate(const smt::LinearExpr& expr, const Config& config) const {
+  std::int64_t total = expr.constant().to_int64();
+  for (const auto& [var, coeff] : expr.terms()) {
+    std::int64_t value = 0;
+    if (ta_.is_parameter(var)) {
+      value = parameter(var);
+    } else {
+      value = config.shared[shared_index(var)];
+    }
+    total += coeff.to_int64() * value;
+  }
+  return total;
+}
+
+std::vector<Config> CounterSystem::initial_configs() const {
+  const std::vector<LocationId> initial = ta_.initial_locations();
+  std::vector<Config> configs;
+  Config base;
+  base.counters.assign(ta_.location_count(), 0);
+  base.shared.assign(shared_vars_.size(), 0);
+  // Enumerate all compositions of process_count_ over the initial locations.
+  std::vector<std::int64_t> split(initial.size(), 0);
+  const std::function<void(std::size_t, std::int64_t)> recurse = [&](std::size_t index,
+                                                                     std::int64_t remaining) {
+    if (index + 1 == initial.size()) {
+      split[index] = remaining;
+      Config config = base;
+      for (std::size_t i = 0; i < initial.size(); ++i) config.counters[initial[i]] = split[i];
+      configs.push_back(std::move(config));
+      return;
+    }
+    for (std::int64_t take = 0; take <= remaining; ++take) {
+      split[index] = take;
+      recurse(index + 1, remaining - take);
+    }
+  };
+  if (initial.empty()) return configs;
+  recurse(0, process_count_);
+  return configs;
+}
+
+bool CounterSystem::constraint_holds(const smt::LinearConstraint& atom,
+                                     const Config& config) const {
+  const std::int64_t value = evaluate(atom.expr, config);
+  switch (atom.relation) {
+    case smt::Relation::kLe:
+      return value <= 0;
+    case smt::Relation::kGe:
+      return value >= 0;
+    case smt::Relation::kEq:
+      return value == 0;
+  }
+  throw InternalError("unreachable relation");
+}
+
+bool CounterSystem::guard_holds(const Guard& guard, const Config& config) const {
+  return std::all_of(guard.atoms.begin(), guard.atoms.end(),
+                     [&](const auto& atom) { return constraint_holds(atom, config); });
+}
+
+bool CounterSystem::enabled(RuleId rule_id, const Config& config) const {
+  const Rule& rule = ta_.rule(rule_id);
+  return config.counters[rule.from] > 0 && guard_holds(rule.guard, config);
+}
+
+Config CounterSystem::successor(const Config& config, RuleId rule_id) const {
+  HV_REQUIRE(enabled(rule_id, config));
+  const Rule& rule = ta_.rule(rule_id);
+  Config next = config;
+  --next.counters[rule.from];
+  ++next.counters[rule.to];
+  for (const auto& [var, coeff] : rule.update.increments) {
+    next.shared[shared_index(var)] += coeff.to_int64();
+  }
+  return next;
+}
+
+std::vector<std::pair<RuleId, Config>> CounterSystem::successors(const Config& config) const {
+  std::vector<std::pair<RuleId, Config>> out;
+  for (RuleId id = 0; id < ta_.rule_count(); ++id) {
+    if (ta_.rule(id).is_self_loop()) continue;
+    if (enabled(id, config)) out.emplace_back(id, successor(config, id));
+  }
+  return out;
+}
+
+bool CounterSystem::justice_stable(const Config& config) const {
+  for (RuleId id = 0; id < ta_.rule_count(); ++id) {
+    if (ta_.rule(id).is_self_loop()) continue;
+    if (enabled(id, config)) return false;
+  }
+  return true;
+}
+
+std::string CounterSystem::config_to_string(const Config& config) const {
+  std::string out = "{";
+  bool first = true;
+  for (LocationId id = 0; id < ta_.location_count(); ++id) {
+    if (config.counters[id] == 0) continue;
+    if (!first) out += ", ";
+    first = false;
+    out += ta_.location(id).name + ":" + std::to_string(config.counters[id]);
+  }
+  for (std::size_t i = 0; i < shared_vars_.size(); ++i) {
+    if (config.shared[i] == 0) continue;
+    if (!first) out += ", ";
+    first = false;
+    out += ta_.variable_name(shared_vars_[i]) + "=" + std::to_string(config.shared[i]);
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace hv::ta

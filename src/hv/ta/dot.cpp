@@ -1,0 +1,69 @@
+#include "hv/ta/dot.h"
+
+#include <sstream>
+
+namespace hv::ta {
+
+namespace {
+
+std::string escape(const std::string& text) {
+  std::string out;
+  for (const char c : text) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+void emit_body(std::ostringstream& os, const ThresholdAutomaton& ta, const DotOptions& options) {
+  os << "  rankdir=LR;\n";
+  os << "  node [shape=circle, fontsize=10];\n";
+  for (LocationId id = 0; id < ta.location_count(); ++id) {
+    const Location& location = ta.location(id);
+    os << "  \"" << escape(location.name) << "\"";
+    if (location.initial) os << " [style=bold, peripheries=2]";
+    os << ";\n";
+  }
+  for (RuleId id = 0; id < ta.rule_count(); ++id) {
+    const Rule& rule = ta.rule(id);
+    if (options.hide_self_loops && rule.is_self_loop() && rule.guard.is_true() &&
+        rule.update.empty()) {
+      continue;
+    }
+    std::string label = rule.name;
+    if (!rule.guard.is_true()) label += ": " + ta.guard_to_string(rule.guard);
+    for (const auto& [var, coeff] : rule.update.increments) {
+      label += (rule.guard.is_true() ? ": " : " -> ");
+      label += ta.variable_name(var);
+      label += coeff == BigInt(1) ? "++" : (" += " + coeff.to_string());
+    }
+    os << "  \"" << escape(ta.location(rule.from).name) << "\" -> \""
+       << escape(ta.location(rule.to).name) << "\" [label=\"" << escape(label) << "\"];\n";
+  }
+}
+
+}  // namespace
+
+std::string to_dot(const ThresholdAutomaton& ta, const DotOptions& options) {
+  std::ostringstream os;
+  os << "digraph \"" << escape(ta.name()) << "\" {\n";
+  emit_body(os, ta, options);
+  os << "}\n";
+  return os.str();
+}
+
+std::string to_dot(const MultiRoundTa& ta, const DotOptions& options) {
+  std::ostringstream os;
+  os << "digraph \"" << escape(ta.body().name()) << "\" {\n";
+  emit_body(os, ta.body(), options);
+  if (options.include_round_switches) {
+    for (const RoundSwitch& edge : ta.switches()) {
+      os << "  \"" << escape(ta.body().location(edge.from).name) << "\" -> \""
+         << escape(ta.body().location(edge.to).name) << "\" [style=dotted];\n";
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace hv::ta

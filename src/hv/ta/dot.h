@@ -1,0 +1,28 @@
+// Graphviz DOT rendering of threshold automata — regenerates the paper's
+// Figures 2, 3 and 4 from the model objects.
+#ifndef HV_TA_DOT_H
+#define HV_TA_DOT_H
+
+#include <string>
+
+#include "hv/ta/automaton.h"
+
+namespace hv::ta {
+
+struct DotOptions {
+  /// Omit guard-true self-loops to keep the layout close to the paper's
+  /// figures (which draw them only implicitly).
+  bool hide_self_loops = true;
+  /// Render round-switch edges (dotted in the paper).
+  bool include_round_switches = true;
+};
+
+/// DOT for a one-round automaton.
+std::string to_dot(const ThresholdAutomaton& ta, const DotOptions& options = {});
+
+/// DOT for a multi-round automaton; round switches are dotted edges.
+std::string to_dot(const MultiRoundTa& ta, const DotOptions& options = {});
+
+}  // namespace hv::ta
+
+#endif  // HV_TA_DOT_H

@@ -1,0 +1,381 @@
+#include "hv/ta/parser.h"
+
+#include <cctype>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "hv/util/error.h"
+
+namespace hv::ta {
+
+namespace {
+
+enum class TokenKind {
+  kIdentifier,
+  kNumber,
+  kSymbol,  // punctuation and operators, text holds the exact lexeme
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;
+  int line = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view text) : text_(text) {}
+
+  std::vector<Token> run() {
+    std::vector<Token> tokens;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+        continue;
+      }
+      if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+        ++pos_;
+        continue;
+      }
+      if (c == '#' || (c == '/' && pos_ + 1 < text_.size() && text_[pos_ + 1] == '/')) {
+        while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+        continue;
+      }
+      if (std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_') {
+        std::size_t start = pos_;
+        while (pos_ < text_.size() && (std::isalnum(static_cast<unsigned char>(text_[pos_])) != 0 ||
+                                       text_[pos_] == '_' || text_[pos_] == '\'')) {
+          ++pos_;
+        }
+        tokens.push_back({TokenKind::kIdentifier, std::string(text_.substr(start, pos_ - start)),
+                          line_});
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+        std::size_t start = pos_;
+        while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0) {
+          ++pos_;
+        }
+        tokens.push_back({TokenKind::kNumber, std::string(text_.substr(start, pos_ - start)),
+                          line_});
+        continue;
+      }
+      // Multi-character operators first.
+      static constexpr std::string_view kTwoChar[] = {"->", ">=", "<=", "==", "&&", "+="};
+      bool matched = false;
+      for (const std::string_view op : kTwoChar) {
+        if (text_.substr(pos_, 2) == op) {
+          tokens.push_back({TokenKind::kSymbol, std::string(op), line_});
+          pos_ += 2;
+          matched = true;
+          break;
+        }
+      }
+      if (matched) continue;
+      static constexpr std::string_view kOneChar = "{};,:+-*<>()";
+      if (kOneChar.find(c) != std::string_view::npos) {
+        tokens.push_back({TokenKind::kSymbol, std::string(1, c), line_});
+        ++pos_;
+        continue;
+      }
+      throw ParseError("unexpected character '" + std::string(1, c) + "'", line_);
+    }
+    tokens.push_back({TokenKind::kEnd, "", line_});
+    return tokens;
+  }
+
+ private:
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+};
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  MultiRoundTa run() {
+    expect_identifier("ta");
+    const std::string name = expect(TokenKind::kIdentifier).text;
+    ThresholdAutomaton ta(name);
+    std::vector<RoundSwitch> switches;
+    expect_symbol("{");
+    while (!peek_symbol("}")) {
+      const Token keyword = expect(TokenKind::kIdentifier);
+      if (keyword.text == "parameters") {
+        for (const std::string& id : identifier_list()) ta.add_parameter(id);
+      } else if (keyword.text == "shared") {
+        for (const std::string& id : identifier_list()) ta.add_shared(id);
+      } else if (keyword.text == "resilience") {
+        ta.add_resilience(comparison(ta));
+        expect_symbol(";");
+      } else if (keyword.text == "processes") {
+        ta.set_process_count(expression(ta));
+        expect_symbol(";");
+      } else if (keyword.text == "initial") {
+        for (const std::string& id : identifier_list()) ta.add_location(id, /*initial=*/true);
+      } else if (keyword.text == "locations") {
+        for (const std::string& id : identifier_list()) ta.add_location(id);
+      } else if (keyword.text == "rule") {
+        parse_rule(ta);
+      } else if (keyword.text == "selfloop") {
+        for (const std::string& id : identifier_list()) {
+          ta.add_self_loop(location_id(ta, id, keyword.line));
+        }
+      } else if (keyword.text == "switch") {
+        const Token from = expect(TokenKind::kIdentifier);
+        expect_symbol("->");
+        const Token to = expect(TokenKind::kIdentifier);
+        expect_symbol(";");
+        switches.push_back(
+            {location_id(ta, from.text, from.line), location_id(ta, to.text, to.line)});
+      } else {
+        throw ParseError("unknown section '" + keyword.text + "'", keyword.line);
+      }
+    }
+    expect_symbol("}");
+    expect(TokenKind::kEnd);
+    ta.validate();
+    return MultiRoundTa(std::move(ta), std::move(switches));
+  }
+
+ private:
+  const Token& peek() const { return tokens_[pos_]; }
+
+  Token expect(TokenKind kind) {
+    if (tokens_[pos_].kind != kind) {
+      throw ParseError("unexpected token '" + tokens_[pos_].text + "'", tokens_[pos_].line);
+    }
+    return tokens_[pos_++];
+  }
+
+  void expect_identifier(std::string_view text) {
+    const Token token = expect(TokenKind::kIdentifier);
+    if (token.text != text) {
+      throw ParseError("expected '" + std::string(text) + "', got '" + token.text + "'",
+                       token.line);
+    }
+  }
+
+  void expect_symbol(std::string_view text) {
+    const Token& token = tokens_[pos_];
+    if (token.kind != TokenKind::kSymbol || token.text != text) {
+      throw ParseError("expected '" + std::string(text) + "', got '" + token.text + "'",
+                       token.line);
+    }
+    ++pos_;
+  }
+
+  bool peek_symbol(std::string_view text) const {
+    return peek().kind == TokenKind::kSymbol && peek().text == text;
+  }
+
+  bool accept_symbol(std::string_view text) {
+    if (!peek_symbol(text)) return false;
+    ++pos_;
+    return true;
+  }
+
+  std::vector<std::string> identifier_list() {
+    std::vector<std::string> names;
+    names.push_back(expect(TokenKind::kIdentifier).text);
+    while (accept_symbol(",")) names.push_back(expect(TokenKind::kIdentifier).text);
+    expect_symbol(";");
+    return names;
+  }
+
+  static LocationId location_id(const ThresholdAutomaton& ta, const std::string& name, int line) {
+    const auto id = ta.find_location(name);
+    if (!id) throw ParseError("unknown location '" + name + "'", line);
+    return *id;
+  }
+
+  // primary := NUMBER | IDENTIFIER | NUMBER '*' IDENTIFIER | '(' expr ')'
+  smt::LinearExpr primary(const ThresholdAutomaton& ta) {
+    const Token& token = peek();
+    if (token.kind == TokenKind::kNumber) {
+      ++pos_;
+      const BigInt value = BigInt::from_string(token.text);
+      if (accept_symbol("*")) {
+        const Token var = expect(TokenKind::kIdentifier);
+        return smt::LinearExpr::term(variable_id(ta, var), value);
+      }
+      return smt::LinearExpr(value);
+    }
+    if (token.kind == TokenKind::kIdentifier) {
+      ++pos_;
+      return smt::LinearExpr::variable(variable_id(ta, token));
+    }
+    if (accept_symbol("(")) {
+      smt::LinearExpr inner = expression(ta);
+      expect_symbol(")");
+      return inner;
+    }
+    throw ParseError("expected an expression, got '" + token.text + "'", token.line);
+  }
+
+  static VarId variable_id(const ThresholdAutomaton& ta, const Token& token) {
+    const auto id = ta.find_variable(token.text);
+    if (!id) throw ParseError("unknown variable '" + token.text + "'", token.line);
+    return *id;
+  }
+
+  smt::LinearExpr expression(const ThresholdAutomaton& ta) {
+    smt::LinearExpr expr;
+    bool negate = accept_symbol("-");
+    smt::LinearExpr first = primary(ta);
+    expr = negate ? -first : first;
+    for (;;) {
+      if (accept_symbol("+")) {
+        expr += primary(ta);
+      } else if (accept_symbol("-")) {
+        expr -= primary(ta);
+      } else {
+        return expr;
+      }
+    }
+  }
+
+  smt::LinearConstraint comparison(const ThresholdAutomaton& ta) {
+    const smt::LinearExpr lhs = expression(ta);
+    const Token op = expect(TokenKind::kSymbol);
+    const smt::LinearExpr rhs = expression(ta);
+    if (op.text == ">=") return smt::make_ge(lhs, rhs);
+    if (op.text == "<=") return smt::make_le(lhs, rhs);
+    if (op.text == ">") return smt::make_gt(lhs, rhs);
+    if (op.text == "<") return smt::make_lt(lhs, rhs);
+    if (op.text == "==") return smt::make_eq(lhs, rhs);
+    throw ParseError("expected a comparison operator, got '" + op.text + "'", op.line);
+  }
+
+  void parse_rule(ThresholdAutomaton& ta) {
+    const Token name = expect(TokenKind::kIdentifier);
+    expect_symbol(":");
+    const Token from = expect(TokenKind::kIdentifier);
+    expect_symbol("->");
+    const Token to = expect(TokenKind::kIdentifier);
+    Guard guard;
+    if (peek().kind == TokenKind::kIdentifier && peek().text == "when") {
+      ++pos_;
+      if (peek().kind == TokenKind::kIdentifier && peek().text == "true") {
+        ++pos_;
+      } else {
+        guard.atoms.push_back(comparison(ta));
+        while (accept_symbol("&&")) guard.atoms.push_back(comparison(ta));
+      }
+    }
+    Update update;
+    if (peek().kind == TokenKind::kIdentifier && peek().text == "do") {
+      ++pos_;
+      for (;;) {
+        const Token var = expect(TokenKind::kIdentifier);
+        expect_symbol("+=");
+        const Token amount = expect(TokenKind::kNumber);
+        update.increments.emplace_back(variable_id(ta, var), BigInt::from_string(amount.text));
+        if (!accept_symbol(",")) break;
+      }
+    }
+    expect_symbol(";");
+    ta.add_rule(name.text, location_id(ta, from.text, from.line),
+                location_id(ta, to.text, to.line), std::move(guard), std::move(update));
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+};
+
+std::string constraint_to_text(const ThresholdAutomaton& ta,
+                               const smt::LinearConstraint& atom) {
+  // Render "expr rel 0" as "expr' rel' rhs" with positive terms first when
+  // possible; for simplicity we print the normalized "expr rel 0" moved to
+  // a comparison with the constant on the right.
+  const auto namer = [&ta](VarId id) { return ta.variable_name(id); };
+  smt::LinearExpr lhs = atom.expr;
+  const BigInt constant = lhs.constant();
+  lhs -= smt::LinearExpr(constant);
+  const std::string rhs = (-constant).to_string();
+  const char* op = atom.relation == smt::Relation::kLe   ? "<="
+                   : atom.relation == smt::Relation::kGe ? ">="
+                                                         : "==";
+  return lhs.to_string(namer) + " " + op + " " + rhs;
+}
+
+}  // namespace
+
+MultiRoundTa parse_ta(std::string_view text) {
+  Lexer lexer(text);
+  Parser parser(lexer.run());
+  return parser.run();
+}
+
+std::string to_text(const MultiRoundTa& multi) {
+  const ThresholdAutomaton& ta = multi.body();
+  std::ostringstream os;
+  os << "ta " << ta.name() << " {\n";
+  const auto list = [&os](const char* keyword, const std::vector<std::string>& names) {
+    if (names.empty()) return;
+    os << "  " << keyword << " ";
+    for (std::size_t i = 0; i < names.size(); ++i) {
+      if (i != 0) os << ", ";
+      os << names[i];
+    }
+    os << ";\n";
+  };
+  std::vector<std::string> params;
+  std::vector<std::string> shared;
+  for (VarId id = 0; id < ta.variable_count(); ++id) {
+    (ta.is_parameter(id) ? params : shared).push_back(ta.variable_name(id));
+  }
+  list("parameters", params);
+  list("shared", shared);
+  for (const auto& constraint : ta.resilience()) {
+    os << "  resilience " << constraint_to_text(ta, constraint) << ";\n";
+  }
+  os << "  processes "
+     << ta.process_count().to_string([&ta](VarId id) { return ta.variable_name(id); }) << ";\n";
+  std::vector<std::string> initial;
+  std::vector<std::string> other;
+  for (LocationId id = 0; id < ta.location_count(); ++id) {
+    (ta.location(id).initial ? initial : other).push_back(ta.location(id).name);
+  }
+  list("initial", initial);
+  list("locations", other);
+  for (RuleId id = 0; id < ta.rule_count(); ++id) {
+    const Rule& rule = ta.rule(id);
+    if (rule.is_self_loop() && rule.guard.is_true() && rule.update.empty()) {
+      os << "  selfloop " << ta.location(rule.from).name << ";\n";
+      continue;
+    }
+    os << "  rule " << rule.name << ": " << ta.location(rule.from).name << " -> "
+       << ta.location(rule.to).name;
+    if (!rule.guard.is_true()) {
+      os << " when ";
+      for (std::size_t i = 0; i < rule.guard.atoms.size(); ++i) {
+        if (i != 0) os << " && ";
+        os << constraint_to_text(ta, rule.guard.atoms[i]);
+      }
+    }
+    if (!rule.update.empty()) {
+      os << " do ";
+      for (std::size_t i = 0; i < rule.update.increments.size(); ++i) {
+        if (i != 0) os << ", ";
+        os << ta.variable_name(rule.update.increments[i].first) << " += "
+           << rule.update.increments[i].second.to_string();
+      }
+    }
+    os << ";\n";
+  }
+  for (const RoundSwitch& edge : multi.switches()) {
+    os << "  switch " << ta.location(edge.from).name << " -> " << ta.location(edge.to).name
+       << ";\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace hv::ta

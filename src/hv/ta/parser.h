@@ -1,0 +1,41 @@
+// Text format for threshold automata, in the spirit of ByMC's .ta input.
+//
+// Grammar (informal):
+//
+//   ta <Name> {
+//     parameters n, t, f;
+//     shared b0, b1;
+//     resilience n > 3*t;          // repeatable; conjoined
+//     processes n - f;             // how many processes run the automaton
+//     initial V0, V1;              // initial locations
+//     locations B0, B1, C0;        // further locations
+//     rule r1: V0 -> B0 do b0 += 1;
+//     rule r3: B0 -> C0 when b0 >= 2*t + 1 - f;
+//     rule r4: B0 -> B01 when b1 >= t + 1 - f do b1 += 1;
+//     selfloop C0, C1;             // guard-true self-loops
+//     switch C0 -> V0;             // dotted round-switch edge (multi-round)
+//   }
+//
+// Expressions are linear: sums/differences of optionally scaled variables
+// and integer literals; comparisons are >=, <=, >, <, ==; guards conjoin
+// comparisons with '&&'. Line comments start with '#' or '//'.
+#ifndef HV_TA_PARSER_H
+#define HV_TA_PARSER_H
+
+#include <string_view>
+
+#include "hv/ta/automaton.h"
+
+namespace hv::ta {
+
+/// Parses the textual format; throws hv::ParseError with a line number on
+/// malformed input. Round-switch edges are allowed (and returned) even for
+/// automata that use none.
+MultiRoundTa parse_ta(std::string_view text);
+
+/// Serializes back to the textual format (parse/print round-trips).
+std::string to_text(const MultiRoundTa& ta);
+
+}  // namespace hv::ta
+
+#endif  // HV_TA_PARSER_H

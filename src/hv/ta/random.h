@@ -1,0 +1,47 @@
+// Random threshold-automaton generation, for differential testing.
+//
+// Generates well-formed automata within the class the checker supports:
+// DAG locations (plus optional self-loops), monotone rise guards comparing
+// shared counters against parameter thresholds, non-negative updates, and
+// the standard Byzantine resilience n > 3t && t >= f >= 0 with n - f
+// participating processes.
+//
+// The point of this module is the fuzzing loop in the tests: for a random
+// automaton and a random property, the parameterized verdict must agree
+// with explicit-state enumeration at sampled parameters — "violated" comes
+// with a replayable counterexample whose own parameters must reproduce the
+// violation, and "holds" must survive explicit checking at several
+// valuations.
+#ifndef HV_TA_RANDOM_H
+#define HV_TA_RANDOM_H
+
+#include <cstdint>
+#include <random>
+
+#include "hv/ta/automaton.h"
+
+namespace hv::ta {
+
+struct RandomTaOptions {
+  int min_locations = 3;
+  int max_locations = 6;
+  int shared_variables = 2;
+  int min_rules = 3;
+  int max_rules = 8;
+  /// Probability that a rule carries a threshold guard at all.
+  double guard_probability = 0.6;
+  /// Probability that a guarded rule uses the 2t+1-f threshold instead of
+  /// t+1-f.
+  double high_threshold_probability = 0.4;
+  /// Probability that a rule increments some shared variable.
+  double update_probability = 0.6;
+  /// Probability of a self-loop per location.
+  double self_loop_probability = 0.3;
+};
+
+/// Generates a valid automaton (ta.validate() passes by construction).
+ThresholdAutomaton random_automaton(const RandomTaOptions& options, std::uint64_t seed);
+
+}  // namespace hv::ta
+
+#endif  // HV_TA_RANDOM_H

@@ -1,0 +1,387 @@
+#include "hv/tools/cli.h"
+
+#include <fstream>
+#include <map>
+#include <optional>
+#include <ostream>
+#include <sstream>
+
+#include "hv/checker/explicit_checker.h"
+#include "hv/checker/parameterized.h"
+#include "hv/pipeline/holistic.h"
+#include "hv/sim/lemma7.h"
+#include "hv/sim/runner.h"
+#include "hv/spec/compile.h"
+#include "hv/ta/dot.h"
+#include "hv/ta/parser.h"
+#include "hv/util/error.h"
+#include "hv/util/text.h"
+
+namespace hv::tools {
+
+namespace {
+
+constexpr const char* kUsage = R"(usage:
+  hvc check <model.ta> --prop "<ltl>" [--name N] [--timeout S]
+                       [--max-schemas K] [--workers W] [--no-pruning] [--json]
+  hvc explicit <model.ta> --prop "<ltl>" --params n=4,t=1,f=1 [--max-states K]
+                       [--json]
+  hvc dot <model.ta>
+  hvc print <model.ta>
+  hvc redbelly [--naive]
+  hvc simulate [--n N] [--t T] [--inputs 0,1,1,0] [--byzantine 3]
+               [--scheduler fair|random|fifo] [--seed S] [--max-steps K]
+  hvc simulate --lemma7 [--rounds R]
+
+exit codes: 0 holds / fully verified, 1 violated, 2 usage or input error,
+3 inconclusive (budget or timeout exhausted)
+)";
+
+// Minimal JSON string escaping (the only JSON we emit is flat objects).
+std::string json_escape(const std::string& text) {
+  std::string out;
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+// Simple flag cursor over the argument vector.
+class Args {
+ public:
+  explicit Args(std::vector<std::string> args) : args_(std::move(args)) {}
+
+  bool empty() const noexcept { return position_ >= args_.size(); }
+
+  std::optional<std::string> next_positional() {
+    if (empty()) return std::nullopt;
+    return args_[position_++];
+  }
+
+  /// Consumes "--flag value"; returns nullopt if the next token is not
+  /// this flag. Throws on a flag without its value.
+  std::optional<std::string> option(const std::string& flag) {
+    if (empty() || args_[position_] != flag) return std::nullopt;
+    ++position_;
+    if (empty()) throw InvalidArgument(flag + " requires a value");
+    return args_[position_++];
+  }
+
+  bool boolean(const std::string& flag) {
+    if (empty() || args_[position_] != flag) return false;
+    ++position_;
+    return true;
+  }
+
+  const std::string& peek() const { return args_[position_]; }
+
+ private:
+  std::vector<std::string> args_;
+  std::size_t position_ = 0;
+};
+
+ta::MultiRoundTa load_model(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) throw InvalidArgument("cannot open model file: " + path);
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return ta::parse_ta(buffer.str());
+}
+
+ta::ParamValuation parse_params(const ta::ThresholdAutomaton& ta, const std::string& text) {
+  ta::ParamValuation params;
+  for (const std::string_view assignment : split(text, ',')) {
+    const auto parts = split(assignment, '=');
+    if (parts.size() != 2) {
+      throw InvalidArgument("bad --params entry '" + std::string(assignment) +
+                            "' (expected name=value)");
+    }
+    const auto var = ta.find_variable(std::string(trim(parts[0])));
+    if (!var || !ta.is_parameter(*var)) {
+      throw InvalidArgument("unknown parameter '" + std::string(trim(parts[0])) + "'");
+    }
+    params[*var] = BigInt::from_string(trim(parts[1])).to_int64();
+  }
+  return params;
+}
+
+int exit_code(checker::Verdict verdict) {
+  switch (verdict) {
+    case checker::Verdict::kHolds:
+      return 0;
+    case checker::Verdict::kViolated:
+      return 1;
+    case checker::Verdict::kUnknown:
+      return 3;
+  }
+  return 2;
+}
+
+int command_check(Args& args, std::ostream& out) {
+  const auto model_path = args.next_positional();
+  if (!model_path) throw InvalidArgument("check: missing model file");
+  std::string prop;
+  std::string name = "property";
+  bool json = false;
+  checker::CheckOptions options;
+  while (!args.empty()) {
+    if (const auto value = args.option("--prop")) {
+      prop = *value;
+    } else if (const auto value = args.option("--name")) {
+      name = *value;
+    } else if (const auto value = args.option("--timeout")) {
+      options.timeout_seconds = std::stod(*value);
+    } else if (const auto value = args.option("--max-schemas")) {
+      options.enumeration.max_schemas = std::stoll(*value);
+    } else if (const auto value = args.option("--workers")) {
+      options.workers = std::stoi(*value);
+    } else if (args.boolean("--no-pruning")) {
+      options.property_directed_pruning = false;
+    } else if (args.boolean("--json")) {
+      json = true;
+    } else {
+      throw InvalidArgument("check: unexpected argument '" + args.peek() + "'");
+    }
+  }
+  if (prop.empty()) throw InvalidArgument("check: --prop is required");
+
+  const ta::MultiRoundTa model = load_model(*model_path);
+  const ta::ThresholdAutomaton ta = model.one_round_reduction();
+  const spec::Property property = spec::compile(ta, name, prop);
+  const checker::PropertyResult result = checker::check_property(ta, property, options);
+  if (json) {
+    out << "{\"property\": \"" << json_escape(name) << "\", \"verdict\": \""
+        << checker::to_string(result.verdict) << "\", \"schemas\": "
+        << result.schemas_checked << ", \"pruned\": " << result.schemas_pruned
+        << ", \"seconds\": " << result.seconds << ", \"note\": \""
+        << json_escape(result.note) << "\"";
+    if (result.counterexample) {
+      out << ", \"counterexample\": \""
+          << json_escape(result.counterexample->to_string(ta)) << "\"";
+    }
+    out << "}\n";
+    return exit_code(result.verdict);
+  }
+  out << name << ": " << checker::to_string(result.verdict) << " (" << result.schemas_checked
+      << " schemas, " << result.schemas_pruned << " pruned, " << result.seconds << "s)\n";
+  if (!result.note.empty()) out << "note: " << result.note << "\n";
+  if (result.counterexample) out << result.counterexample->to_string(ta);
+  return exit_code(result.verdict);
+}
+
+int command_explicit(Args& args, std::ostream& out) {
+  const auto model_path = args.next_positional();
+  if (!model_path) throw InvalidArgument("explicit: missing model file");
+  std::string prop;
+  std::string params_text;
+  bool json = false;
+  checker::ExplicitOptions options;
+  while (!args.empty()) {
+    if (const auto value = args.option("--prop")) {
+      prop = *value;
+    } else if (const auto value = args.option("--params")) {
+      params_text = *value;
+    } else if (const auto value = args.option("--max-states")) {
+      options.max_states = std::stoll(*value);
+    } else if (args.boolean("--json")) {
+      json = true;
+    } else {
+      throw InvalidArgument("explicit: unexpected argument '" + args.peek() + "'");
+    }
+  }
+  if (prop.empty() || params_text.empty()) {
+    throw InvalidArgument("explicit: --prop and --params are required");
+  }
+  const ta::MultiRoundTa model = load_model(*model_path);
+  const ta::ThresholdAutomaton ta = model.one_round_reduction();
+  const spec::Property property = spec::compile(ta, "property", prop);
+  const checker::ExplicitResult result =
+      checker::check_explicit(ta, property, parse_params(ta, params_text), options);
+  if (json) {
+    out << "{\"verdict\": \"" << checker::to_string(result.verdict)
+        << "\", \"states\": " << result.states_explored << ", \"seconds\": "
+        << result.seconds << ", \"note\": \"" << json_escape(result.note) << "\"}\n";
+    return exit_code(result.verdict);
+  }
+  out << "explicit: " << checker::to_string(result.verdict) << " ("
+      << result.states_explored << " states, " << result.seconds << "s)";
+  if (!result.note.empty()) out << " [" << result.note << "]";
+  out << "\n";
+  return exit_code(result.verdict);
+}
+
+int command_dot(Args& args, std::ostream& out) {
+  const auto model_path = args.next_positional();
+  if (!model_path) throw InvalidArgument("dot: missing model file");
+  out << ta::to_dot(load_model(*model_path));
+  return 0;
+}
+
+int command_print(Args& args, std::ostream& out) {
+  const auto model_path = args.next_positional();
+  if (!model_path) throw InvalidArgument("print: missing model file");
+  out << ta::to_text(load_model(*model_path));
+  return 0;
+}
+
+int command_simulate(Args& args, std::ostream& out) {
+  sim::RunnerConfig config;
+  config.n = 4;
+  config.t = 1;
+  std::string scheduler_name = "fair";
+  std::string inputs_text;
+  std::string byzantine_text;
+  bool lemma7 = false;
+  int lemma7_rounds = 10;
+  std::int64_t max_steps = 1'000'000;
+  while (!args.empty()) {
+    if (const auto value = args.option("--n")) {
+      config.n = std::stoi(*value);
+    } else if (const auto value = args.option("--t")) {
+      config.t = std::stoi(*value);
+    } else if (const auto value = args.option("--inputs")) {
+      inputs_text = *value;
+    } else if (const auto value = args.option("--byzantine")) {
+      byzantine_text = *value;
+    } else if (const auto value = args.option("--scheduler")) {
+      scheduler_name = *value;
+    } else if (const auto value = args.option("--seed")) {
+      config.seed = std::stoull(*value);
+    } else if (const auto value = args.option("--max-steps")) {
+      max_steps = std::stoll(*value);
+    } else if (args.boolean("--lemma7")) {
+      lemma7 = true;
+    } else if (const auto value = args.option("--rounds")) {
+      lemma7_rounds = std::stoi(*value);
+    } else {
+      throw InvalidArgument("simulate: unexpected argument '" + args.peek() + "'");
+    }
+  }
+
+  if (lemma7) {
+    sim::Lemma7Script script;
+    const std::string diagnostic = script.play_rounds(lemma7_rounds);
+    if (!diagnostic.empty()) {
+      out << "lemma 7 replay diverged: " << diagnostic << "\n";
+      return 1;
+    }
+    out << "lemma 7 oscillation sustained for " << lemma7_rounds
+        << " rounds; no process decided\n";
+    for (const sim::ProcessId id : script.runner().correct_ids()) {
+      const auto& process = script.runner().process(id);
+      out << "  p" << id << ": round=" << process.current_round()
+          << " est=" << process.estimate() << "\n";
+    }
+    return 0;
+  }
+
+  config.inputs.assign(static_cast<std::size_t>(config.n), 0);
+  if (inputs_text.empty()) {
+    for (int i = 0; i < config.n; i += 2) config.inputs[static_cast<std::size_t>(i)] = 1;
+  } else {
+    const auto fields = split(inputs_text, ',');
+    if (static_cast<int>(fields.size()) != config.n) {
+      throw InvalidArgument("simulate: --inputs must list exactly n values");
+    }
+    for (int i = 0; i < config.n; ++i) {
+      config.inputs[static_cast<std::size_t>(i)] =
+          static_cast<int>(BigInt::from_string(trim(fields[static_cast<std::size_t>(i)]))
+                               .to_int64());
+    }
+  }
+  std::unique_ptr<sim::Adversary> adversary;
+  if (!byzantine_text.empty()) {
+    for (const std::string_view field : split(byzantine_text, ',')) {
+      config.byzantine.push_back(
+          static_cast<int>(BigInt::from_string(trim(field)).to_int64()));
+    }
+    adversary = std::make_unique<sim::EquivocatingAdversary>();
+  }
+  std::unique_ptr<sim::Scheduler> scheduler;
+  if (scheduler_name == "fair") {
+    scheduler = std::make_unique<sim::GoodRoundScheduler>();
+  } else if (scheduler_name == "random") {
+    scheduler = std::make_unique<sim::RandomScheduler>();
+  } else if (scheduler_name == "fifo") {
+    scheduler = std::make_unique<sim::FifoScheduler>();
+  } else {
+    throw InvalidArgument("simulate: unknown scheduler '" + scheduler_name + "'");
+  }
+
+  sim::Runner runner(std::move(config), std::move(adversary));
+  runner.start();
+  const std::int64_t steps = runner.run(*scheduler, max_steps);
+  out << "deliveries: " << steps << "\n";
+  for (const sim::ProcessId id : runner.correct_ids()) {
+    const auto& process = runner.process(id);
+    out << "  p" << id << ": round=" << process.current_round()
+        << " est=" << process.estimate() << " decision=";
+    if (process.decision()) {
+      out << *process.decision();
+    } else {
+      out << "-";
+    }
+    out << "\n";
+  }
+  const std::string agreement = runner.agreement_violation();
+  const std::string validity = runner.validity_violation();
+  out << "agreement: " << (agreement.empty() ? "ok" : agreement) << "\n";
+  out << "validity: " << (validity.empty() ? "ok" : validity) << "\n";
+  if (!agreement.empty() || !validity.empty()) return 1;
+  return runner.all_correct_decided() ? 0 : 3;
+}
+
+int command_redbelly(Args& args, std::ostream& out) {
+  pipeline::HolisticOptions options;
+  while (!args.empty()) {
+    if (args.boolean("--naive")) {
+      options.include_naive_attempt = true;
+    } else {
+      throw InvalidArgument("redbelly: unexpected argument '" + args.peek() + "'");
+    }
+  }
+  const pipeline::HolisticReport report = pipeline::verify_red_belly_consensus(options);
+  out << report.to_string();
+  return report.fully_verified() ? 0 : 3;
+}
+
+}  // namespace
+
+int run_cli(const std::vector<std::string>& args, std::ostream& out, std::ostream& err) {
+  Args cursor(args);
+  const auto command = cursor.next_positional();
+  if (!command || *command == "--help" || *command == "help") {
+    out << kUsage;
+    return command ? 0 : 2;
+  }
+  try {
+    if (*command == "check") return command_check(cursor, out);
+    if (*command == "explicit") return command_explicit(cursor, out);
+    if (*command == "dot") return command_dot(cursor, out);
+    if (*command == "print") return command_print(cursor, out);
+    if (*command == "redbelly") return command_redbelly(cursor, out);
+    if (*command == "simulate") return command_simulate(cursor, out);
+    err << "unknown command '" << *command << "'\n" << kUsage;
+    return 2;
+  } catch (const Error& error) {
+    err << "error: " << error.what() << "\n";
+    return 2;
+  }
+}
+
+}  // namespace hv::tools

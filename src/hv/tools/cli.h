@@ -1,0 +1,32 @@
+// The `hvc` command-line front end, as a testable library: every command
+// takes parsed arguments and writes to caller-supplied streams.
+//
+//   hvc check <model.ta> --prop "<ltl>" [--name N] [--timeout S]
+//                        [--max-schemas K] [--workers W] [--no-pruning]
+//   hvc explicit <model.ta> --prop "<ltl>" --params n=4,t=1,f=1
+//                        [--max-states K]
+//   hvc dot <model.ta>
+//   hvc print <model.ta>
+//   hvc redbelly [--naive]
+//
+// `check` verifies the property for every parameter valuation admitted by
+// the model's resilience condition; `explicit` checks one valuation by
+// state enumeration; `dot` renders Graphviz; `print` round-trips the model
+// through the parser (a lint); `redbelly` runs the paper's full pipeline.
+#ifndef HV_TOOLS_CLI_H
+#define HV_TOOLS_CLI_H
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace hv::tools {
+
+/// Entry point used by main() and by the tests. Returns the process exit
+/// code: 0 success/holds, 1 property violated or not fully verified,
+/// 2 usage or input error, 3 inconclusive (budget/timeout).
+int run_cli(const std::vector<std::string>& args, std::ostream& out, std::ostream& err);
+
+}  // namespace hv::tools
+
+#endif  // HV_TOOLS_CLI_H

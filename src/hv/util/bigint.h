@@ -1,0 +1,128 @@
+// Arbitrary-precision signed integers.
+//
+// The SMT layer (hv/smt) needs exact arithmetic: simplex pivots on rationals
+// whose numerators and denominators grow multiplicatively, and branch-and-
+// bound explores integer points whose coordinates are products of guard
+// coefficients. Fixed-width arithmetic would silently overflow, so the whole
+// solver is built on this value type.
+//
+// Representation: a small/big hybrid. Values with |v| <= kSmallMax live in
+// an inline int64 (no allocation — the overwhelmingly common case in the
+// checker's workloads); larger values use sign-magnitude with a little-
+// endian vector of 32-bit limbs and no trailing zeros. The representation
+// is canonical (big values are demoted whenever they fit), so operator==
+// can compare representations directly.
+#ifndef HV_UTIL_BIGINT_H
+#define HV_UTIL_BIGINT_H
+
+#include <compare>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hv {
+
+class BigInt {
+ public:
+  /// Zero.
+  BigInt() = default;
+
+  /// Conversion from a machine integer (implicit by design: the library
+  /// mixes literals and BigInt pervasively, e.g. `x + 1`).
+  BigInt(std::int64_t value);  // NOLINT(google-explicit-constructor)
+
+  /// Parses an optionally signed decimal string; throws InvalidArgument on
+  /// malformed input.
+  static BigInt from_string(std::string_view text);
+
+  bool is_zero() const noexcept { return small_ == 0 && limbs_.empty(); }
+  bool is_negative() const noexcept { return limbs_.empty() ? small_ < 0 : negative_; }
+  bool is_positive() const noexcept { return limbs_.empty() ? small_ > 0 : !negative_; }
+
+  /// Sign as -1, 0, or +1.
+  int sign() const noexcept {
+    if (limbs_.empty()) return small_ < 0 ? -1 : (small_ > 0 ? 1 : 0);
+    return negative_ ? -1 : 1;
+  }
+
+  /// True iff the value fits in int64_t.
+  bool fits_int64() const noexcept;
+
+  /// Converts to int64_t; throws InvalidArgument if out of range.
+  std::int64_t to_int64() const;
+
+  std::string to_string() const;
+
+  BigInt operator-() const;
+  BigInt abs() const;
+
+  BigInt& operator+=(const BigInt& rhs);
+  BigInt& operator-=(const BigInt& rhs);
+  BigInt& operator*=(const BigInt& rhs);
+  /// Truncated division (C++ semantics: quotient rounds toward zero).
+  BigInt& operator/=(const BigInt& rhs);
+  /// Remainder matching truncated division: (a/b)*b + a%b == a.
+  BigInt& operator%=(const BigInt& rhs);
+
+  friend BigInt operator+(BigInt lhs, const BigInt& rhs) { return lhs += rhs; }
+  friend BigInt operator-(BigInt lhs, const BigInt& rhs) { return lhs -= rhs; }
+  friend BigInt operator*(BigInt lhs, const BigInt& rhs) { return lhs *= rhs; }
+  friend BigInt operator/(BigInt lhs, const BigInt& rhs) { return lhs /= rhs; }
+  friend BigInt operator%(BigInt lhs, const BigInt& rhs) { return lhs %= rhs; }
+
+  friend bool operator==(const BigInt& lhs, const BigInt& rhs) noexcept = default;
+  friend std::strong_ordering operator<=>(const BigInt& lhs, const BigInt& rhs) noexcept;
+
+  /// Quotient and remainder of truncated division in one pass.
+  static void div_mod(const BigInt& numerator, const BigInt& denominator, BigInt& quotient,
+                      BigInt& remainder);
+
+  /// Floor division: quotient rounds toward negative infinity.
+  static BigInt floor_div(const BigInt& numerator, const BigInt& denominator);
+  /// Ceiling division: quotient rounds toward positive infinity.
+  static BigInt ceil_div(const BigInt& numerator, const BigInt& denominator);
+
+  /// Greatest common divisor (always non-negative).
+  static BigInt gcd(BigInt a, BigInt b);
+
+  friend std::ostream& operator<<(std::ostream& os, const BigInt& value);
+
+ private:
+  // Small values stay in small_ (limbs_ empty). The bound leaves headroom
+  // so that additions of two small values cannot overflow int64.
+  static constexpr std::int64_t kSmallMax = (std::int64_t{1} << 62) - 1;
+
+  bool is_small() const noexcept { return limbs_.empty(); }
+  static bool fits_small(std::int64_t value) noexcept {
+    return value >= -kSmallMax && value <= kSmallMax;
+  }
+  // Loads the magnitude of a small value into a limb vector.
+  static std::vector<std::uint32_t> small_magnitude(std::int64_t value);
+  void promote();  // small -> big representation (for mixed operations)
+  void trim() noexcept;  // canonicalize: strip zero limbs, demote if small
+
+  // Magnitude helpers ignoring sign (big representation only).
+  static int compare_magnitudes(const std::vector<std::uint32_t>& a,
+                                const std::vector<std::uint32_t>& b) noexcept;
+  static void add_magnitudes(std::vector<std::uint32_t>& acc,
+                             const std::vector<std::uint32_t>& addend);
+  // Requires |acc| >= |subtrahend|.
+  static void subtract_magnitudes(std::vector<std::uint32_t>& acc,
+                                  const std::vector<std::uint32_t>& subtrahend);
+  static std::vector<std::uint32_t> multiply_magnitudes(const std::vector<std::uint32_t>& a,
+                                                        const std::vector<std::uint32_t>& b);
+  static void divide_magnitudes(const std::vector<std::uint32_t>& numerator,
+                                const std::vector<std::uint32_t>& denominator,
+                                std::vector<std::uint32_t>& quotient,
+                                std::vector<std::uint32_t>& remainder);
+
+  std::int64_t small_ = 0;
+  bool negative_ = false;  // big representation only
+  std::vector<std::uint32_t> limbs_;
+};
+
+}  // namespace hv
+
+#endif  // HV_UTIL_BIGINT_H

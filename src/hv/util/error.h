@@ -1,0 +1,53 @@
+// Error types shared across the holistic-verification library.
+#ifndef HV_UTIL_ERROR_H
+#define HV_UTIL_ERROR_H
+
+#include <stdexcept>
+#include <string>
+
+namespace hv {
+
+/// Base class for all errors raised by the library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A malformed model, specification, or query (caller bug).
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// An internal invariant was violated (library bug).
+class InternalError : public Error {
+ public:
+  explicit InternalError(const std::string& what) : Error(what) {}
+};
+
+/// A parse failure in one of the text formats (TA DSL, LTL).
+class ParseError : public Error {
+ public:
+  ParseError(const std::string& what, int line)
+      : Error("line " + std::to_string(line) + ": " + what), line_(line) {}
+
+  int line() const noexcept { return line_; }
+
+ private:
+  int line_;
+};
+
+namespace detail {
+[[noreturn]] inline void require_failed(const char* expr, const char* file, int line) {
+  throw InternalError(std::string("requirement failed: ") + expr + " at " + file + ":" +
+                      std::to_string(line));
+}
+}  // namespace detail
+
+}  // namespace hv
+
+/// Internal invariant check that stays on in release builds.
+#define HV_REQUIRE(expr) \
+  ((expr) ? static_cast<void>(0) : ::hv::detail::require_failed(#expr, __FILE__, __LINE__))
+
+#endif  // HV_UTIL_ERROR_H

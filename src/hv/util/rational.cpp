@@ -1,0 +1,80 @@
+#include "hv/util/rational.h"
+
+#include <ostream>
+#include <utility>
+
+#include "hv/util/error.h"
+
+namespace hv {
+
+Rational::Rational(BigInt numerator, BigInt denominator)
+    : numerator_(std::move(numerator)), denominator_(std::move(denominator)) {
+  if (denominator_.is_zero()) throw InvalidArgument("Rational: zero denominator");
+  normalize();
+}
+
+void Rational::normalize() {
+  if (denominator_.is_negative()) {
+    numerator_ = -numerator_;
+    denominator_ = -denominator_;
+  }
+  if (numerator_.is_zero()) {
+    denominator_ = 1;
+    return;
+  }
+  const BigInt divisor = BigInt::gcd(numerator_, denominator_);
+  if (divisor != BigInt(1)) {
+    numerator_ /= divisor;
+    denominator_ /= divisor;
+  }
+}
+
+BigInt Rational::floor() const { return BigInt::floor_div(numerator_, denominator_); }
+
+BigInt Rational::ceil() const { return BigInt::ceil_div(numerator_, denominator_); }
+
+Rational Rational::operator-() const {
+  Rational result = *this;
+  result.numerator_ = -result.numerator_;
+  return result;
+}
+
+Rational& Rational::operator+=(const Rational& rhs) {
+  numerator_ = numerator_ * rhs.denominator_ + rhs.numerator_ * denominator_;
+  denominator_ *= rhs.denominator_;
+  normalize();
+  return *this;
+}
+
+Rational& Rational::operator-=(const Rational& rhs) { return *this += -rhs; }
+
+Rational& Rational::operator*=(const Rational& rhs) {
+  numerator_ *= rhs.numerator_;
+  denominator_ *= rhs.denominator_;
+  normalize();
+  return *this;
+}
+
+Rational& Rational::operator/=(const Rational& rhs) {
+  if (rhs.is_zero()) throw InvalidArgument("Rational: division by zero");
+  numerator_ *= rhs.denominator_;
+  denominator_ *= rhs.numerator_;
+  normalize();
+  return *this;
+}
+
+std::strong_ordering operator<=>(const Rational& lhs, const Rational& rhs) noexcept {
+  // Cross-multiplication is safe: denominators are positive by invariant.
+  return lhs.numerator_ * rhs.denominator_ <=> rhs.numerator_ * lhs.denominator_;
+}
+
+std::string Rational::to_string() const {
+  if (is_integer()) return numerator_.to_string();
+  return numerator_.to_string() + "/" + denominator_.to_string();
+}
+
+std::ostream& operator<<(std::ostream& os, const Rational& value) {
+  return os << value.to_string();
+}
+
+}  // namespace hv

@@ -1,0 +1,73 @@
+// Exact rational numbers over BigInt, used by the simplex core.
+//
+// Invariants: the denominator is strictly positive and gcd(num, den) == 1;
+// zero is represented as 0/1. Normalization happens on construction and
+// after every mutating operation, so equality is representational.
+#ifndef HV_UTIL_RATIONAL_H
+#define HV_UTIL_RATIONAL_H
+
+#include <compare>
+#include <iosfwd>
+#include <string>
+
+#include "hv/util/bigint.h"
+
+namespace hv {
+
+class Rational {
+ public:
+  /// Zero.
+  Rational() : numerator_(0), denominator_(1) {}
+
+  /// Conversion from an integer (implicit: mixed arithmetic is pervasive).
+  Rational(BigInt value) : numerator_(std::move(value)), denominator_(1) {}  // NOLINT
+  Rational(std::int64_t value) : numerator_(value), denominator_(1) {}       // NOLINT
+
+  /// num / den; throws InvalidArgument if den == 0.
+  Rational(BigInt numerator, BigInt denominator);
+
+  const BigInt& numerator() const noexcept { return numerator_; }
+  const BigInt& denominator() const noexcept { return denominator_; }
+
+  bool is_zero() const noexcept { return numerator_.is_zero(); }
+  bool is_negative() const noexcept { return numerator_.is_negative(); }
+  bool is_positive() const noexcept { return numerator_.is_positive(); }
+  bool is_integer() const noexcept { return denominator_ == BigInt(1); }
+  int sign() const noexcept { return numerator_.sign(); }
+
+  /// Largest integer <= value.
+  BigInt floor() const;
+  /// Smallest integer >= value.
+  BigInt ceil() const;
+
+  Rational operator-() const;
+
+  Rational& operator+=(const Rational& rhs);
+  Rational& operator-=(const Rational& rhs);
+  Rational& operator*=(const Rational& rhs);
+  /// Throws InvalidArgument on division by zero.
+  Rational& operator/=(const Rational& rhs);
+
+  friend Rational operator+(Rational lhs, const Rational& rhs) { return lhs += rhs; }
+  friend Rational operator-(Rational lhs, const Rational& rhs) { return lhs -= rhs; }
+  friend Rational operator*(Rational lhs, const Rational& rhs) { return lhs *= rhs; }
+  friend Rational operator/(Rational lhs, const Rational& rhs) { return lhs /= rhs; }
+
+  friend bool operator==(const Rational& lhs, const Rational& rhs) noexcept = default;
+  friend std::strong_ordering operator<=>(const Rational& lhs, const Rational& rhs) noexcept;
+
+  /// "p" for integers, "p/q" otherwise.
+  std::string to_string() const;
+
+  friend std::ostream& operator<<(std::ostream& os, const Rational& value);
+
+ private:
+  void normalize();
+
+  BigInt numerator_;
+  BigInt denominator_;
+};
+
+}  // namespace hv
+
+#endif  // HV_UTIL_RATIONAL_H

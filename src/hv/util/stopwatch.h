@@ -1,0 +1,32 @@
+// Wall-clock stopwatch used by the checker to report verification times and
+// enforce budgets (the paper's Table 2 reports per-property times).
+#ifndef HV_UTIL_STOPWATCH_H
+#define HV_UTIL_STOPWATCH_H
+
+#include <chrono>
+
+namespace hv {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts the measurement from now.
+  void reset() noexcept { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or last reset.
+  double seconds() const noexcept {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or last reset.
+  double milliseconds() const noexcept { return seconds() * 1000.0; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace hv
+
+#endif  // HV_UTIL_STOPWATCH_H

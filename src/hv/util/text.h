@@ -1,0 +1,29 @@
+// Small string helpers shared by the TA/LTL parsers and table printers.
+#ifndef HV_UTIL_TEXT_H
+#define HV_UTIL_TEXT_H
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hv {
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view trim(std::string_view text) noexcept;
+
+/// Splits on a separator character; empty fields are preserved.
+std::vector<std::string_view> split(std::string_view text, char separator);
+
+/// True iff `text` starts with `prefix`.
+bool starts_with(std::string_view text, std::string_view prefix) noexcept;
+
+/// Joins items with a separator.
+std::string join(const std::vector<std::string>& items, std::string_view separator);
+
+/// Left-pads (align right) or right-pads (align left) to `width` with spaces.
+std::string pad_left(std::string_view text, std::size_t width);
+std::string pad_right(std::string_view text, std::size_t width);
+
+}  // namespace hv
+
+#endif  // HV_UTIL_TEXT_H

@@ -1,0 +1,228 @@
+#include "hv/algo/dbft.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "hv/algo/bv_instance.h"
+
+namespace hv::algo {
+namespace {
+
+TEST(BvInstanceTest, EchoAtTPlusOneDeliverAtTwoTPlusOne) {
+  BvBroadcastInstance instance(/*n=*/4, /*t=*/1);
+  // First sender: nothing happens.
+  auto effects = instance.on_bv(0, 1);
+  EXPECT_FALSE(effects.echo.has_value());
+  EXPECT_FALSE(effects.deliver.has_value());
+  // Second distinct sender: t+1 reached, echo.
+  effects = instance.on_bv(1, 1);
+  ASSERT_TRUE(effects.echo.has_value());
+  EXPECT_EQ(*effects.echo, 1);
+  EXPECT_FALSE(effects.deliver.has_value());
+  // Third: 2t+1 reached, deliver.
+  effects = instance.on_bv(2, 1);
+  EXPECT_FALSE(effects.echo.has_value());
+  ASSERT_TRUE(effects.deliver.has_value());
+  EXPECT_EQ(*effects.deliver, 1);
+  EXPECT_TRUE(instance.delivered().contains(1));
+  EXPECT_FALSE(instance.delivered().contains(0));
+}
+
+TEST(BvInstanceTest, DuplicateSendersIgnored) {
+  BvBroadcastInstance instance(4, 1);
+  instance.on_bv(0, 1);
+  // The same (Byzantine) sender repeating itself must not advance counts.
+  for (int i = 0; i < 10; ++i) {
+    const auto effects = instance.on_bv(0, 1);
+    EXPECT_FALSE(effects.echo.has_value());
+    EXPECT_FALSE(effects.deliver.has_value());
+  }
+  EXPECT_EQ(instance.distinct_senders(1), 1);
+}
+
+TEST(BvInstanceTest, NoReEchoAfterOwnBroadcast) {
+  BvBroadcastInstance instance(4, 1);
+  instance.note_broadcast(1);  // the process already bv-broadcast 1
+  instance.on_bv(0, 1);
+  const auto effects = instance.on_bv(1, 1);
+  EXPECT_FALSE(effects.echo.has_value());  // line 4: "not yet re-broadcast"
+}
+
+TEST(BvInstanceTest, EchoAndDeliverCanCoincideWhenTZero) {
+  BvBroadcastInstance instance(/*n=*/1, /*t=*/0);
+  const auto effects = instance.on_bv(0, 0);
+  EXPECT_TRUE(effects.echo.has_value());
+  EXPECT_TRUE(effects.deliver.has_value());
+}
+
+TEST(BvInstanceTest, TracksValuesIndependently) {
+  BvBroadcastInstance instance(7, 2);
+  for (int sender = 0; sender < 5; ++sender) instance.on_bv(sender, 0);
+  EXPECT_TRUE(instance.delivered().contains(0));
+  EXPECT_EQ(instance.distinct_senders(1), 0);
+  for (int sender = 0; sender < 4; ++sender) instance.on_bv(sender, 1);
+  EXPECT_FALSE(instance.delivered().contains(1));  // 4 < 2t+1 = 5
+  instance.on_bv(4, 1);
+  EXPECT_TRUE(instance.delivered().contains(1));
+}
+
+TEST(BitSetTest, Operations) {
+  sim::BitSet2 set;
+  EXPECT_TRUE(set.empty());
+  set.insert(1);
+  EXPECT_TRUE(set.is_singleton());
+  EXPECT_EQ(set.singleton_value(), 1);
+  EXPECT_TRUE(set.subset_of(sim::BitSet2(3)));
+  EXPECT_FALSE(sim::BitSet2(3).subset_of(set));
+  EXPECT_EQ(set.union_with(sim::BitSet2::single(0)).mask(), 3u);
+  EXPECT_EQ(sim::BitSet2(3).size(), 2);
+  EXPECT_EQ(sim::BitSet2(3).to_string(), "{0,1}");
+}
+
+// Unit-drive a DbftProcess directly, collecting its sends.
+class ProcessHarness {
+ public:
+  ProcessHarness(int input, int n = 4, int t = 1)
+      : process_(0, input, {.n = n, .t = t},
+                 [this](sim::Message m) { sent_.push_back(m); }) {
+    process_.start();
+  }
+
+  DbftProcess process_;
+  std::vector<sim::Message> sent_;
+};
+
+TEST(DbftProcessTest, StartBroadcastsEstimate) {
+  ProcessHarness harness(1);
+  EXPECT_EQ(harness.process_.current_round(), 1);
+  // bv-broadcast of the estimate: one BV(1) to each of 4 processes.
+  ASSERT_EQ(harness.sent_.size(), 4u);
+  for (const auto& message : harness.sent_) {
+    EXPECT_EQ(message.type, sim::MsgType::kBv);
+    EXPECT_EQ(message.round, 1);
+    EXPECT_TRUE(message.payload.contains(1));
+  }
+}
+
+TEST(DbftProcessTest, AuxAfterFirstDelivery) {
+  ProcessHarness harness(1);
+  harness.sent_.clear();
+  // Two more distinct senders of 1 complete delivery (own broadcast counts
+  // as the first sender once received, but note_broadcast only marks the
+  // broadcast; senders accrue via messages).
+  harness.process_.on_message({1, 0, 1, sim::MsgType::kBv, sim::BitSet2::single(1)});
+  harness.process_.on_message({2, 0, 1, sim::MsgType::kBv, sim::BitSet2::single(1)});
+  harness.process_.on_message({3, 0, 1, sim::MsgType::kBv, sim::BitSet2::single(1)});
+  // Delivery of 1 -> aux broadcast with contestants {1}.
+  int aux_count = 0;
+  for (const auto& message : harness.sent_) {
+    if (message.type == sim::MsgType::kAux) {
+      ++aux_count;
+      EXPECT_EQ(message.payload.mask(), 2u);
+    }
+  }
+  EXPECT_EQ(aux_count, 4);
+}
+
+TEST(DbftProcessTest, DecidesWhenQualifiersMatchParity) {
+  ProcessHarness harness(1);
+  // Deliver 1 (three senders), then three aux {1} messages: qualifiers =
+  // {1}, round 1 parity 1 -> decide 1.
+  for (const sim::ProcessId from : {1, 2, 3}) {
+    harness.process_.on_message({from, 0, 1, sim::MsgType::kBv, sim::BitSet2::single(1)});
+  }
+  for (const sim::ProcessId from : {0, 1, 2}) {
+    harness.process_.on_message({from, 0, 1, sim::MsgType::kAux, sim::BitSet2::single(1)});
+  }
+  ASSERT_TRUE(harness.process_.decision().has_value());
+  EXPECT_EQ(*harness.process_.decision(), 1);
+  EXPECT_EQ(harness.process_.current_round(), 2);
+}
+
+TEST(DbftProcessTest, MixedQualifiersAdoptParity) {
+  ProcessHarness harness(0);
+  // Deliver both values, then aux {0}, {1}, {0}: qualifiers {0,1} ->
+  // estimate becomes parity 1, no decision.
+  for (const sim::ProcessId from : {1, 2, 3}) {
+    harness.process_.on_message({from, 0, 1, sim::MsgType::kBv, sim::BitSet2::single(0)});
+  }
+  for (const sim::ProcessId from : {1, 2, 3}) {
+    harness.process_.on_message({from, 0, 1, sim::MsgType::kBv, sim::BitSet2::single(1)});
+  }
+  harness.process_.on_message({0, 0, 1, sim::MsgType::kAux, sim::BitSet2::single(0)});
+  harness.process_.on_message({1, 0, 1, sim::MsgType::kAux, sim::BitSet2::single(1)});
+  harness.process_.on_message({2, 0, 1, sim::MsgType::kAux, sim::BitSet2::single(0)});
+  EXPECT_FALSE(harness.process_.decision().has_value());
+  EXPECT_EQ(harness.process_.current_round(), 2);
+  EXPECT_EQ(harness.process_.estimate(), 1);
+}
+
+TEST(DbftProcessTest, FutureRoundMessagesAreBuffered) {
+  ProcessHarness harness(1);
+  // A round-2 BV message arrives while the process is in round 1.
+  harness.process_.on_message({1, 0, 2, sim::MsgType::kBv, sim::BitSet2::single(1)});
+  EXPECT_EQ(harness.process_.current_round(), 1);
+  // Complete round 1 (qualifiers {1} -> decide and advance).
+  for (const sim::ProcessId from : {1, 2, 3}) {
+    harness.process_.on_message({from, 0, 1, sim::MsgType::kBv, sim::BitSet2::single(1)});
+  }
+  for (const sim::ProcessId from : {0, 1, 2}) {
+    harness.process_.on_message({from, 0, 1, sim::MsgType::kAux, sim::BitSet2::single(1)});
+  }
+  EXPECT_EQ(harness.process_.current_round(), 2);
+  // The buffered message counted: two more senders complete a delivery.
+  harness.sent_.clear();
+  harness.process_.on_message({2, 0, 2, sim::MsgType::kBv, sim::BitSet2::single(1)});
+  harness.process_.on_message({3, 0, 2, sim::MsgType::kBv, sim::BitSet2::single(1)});
+  bool sent_aux = false;
+  for (const auto& message : harness.sent_) {
+    sent_aux = sent_aux || message.type == sim::MsgType::kAux;
+  }
+  EXPECT_TRUE(sent_aux);
+}
+
+TEST(DbftProcessTest, StaleAndMalformedMessagesIgnored) {
+  ProcessHarness harness(1);
+  for (const sim::ProcessId from : {1, 2, 3}) {
+    harness.process_.on_message({from, 0, 1, sim::MsgType::kBv, sim::BitSet2::single(1)});
+  }
+  for (const sim::ProcessId from : {0, 1, 2}) {
+    harness.process_.on_message({from, 0, 1, sim::MsgType::kAux, sim::BitSet2::single(1)});
+  }
+  ASSERT_EQ(harness.process_.current_round(), 2);
+  const auto sent_before = harness.sent_.size();
+  // Stale round-1 message: ignored.
+  harness.process_.on_message({3, 0, 1, sim::MsgType::kBv, sim::BitSet2::single(0)});
+  // Malformed payloads (empty set, both bits in a BV): ignored.
+  harness.process_.on_message({3, 0, 2, sim::MsgType::kBv, sim::BitSet2(3)});
+  harness.process_.on_message({3, 0, 2, sim::MsgType::kBv, sim::BitSet2(0)});
+  harness.process_.on_message({3, 0, 2, sim::MsgType::kAux, sim::BitSet2(0)});
+  EXPECT_EQ(harness.sent_.size(), sent_before);
+  EXPECT_EQ(harness.process_.current_round(), 2);
+}
+
+TEST(DbftProcessTest, HaltsAfterExtraRounds) {
+  DbftConfig config;
+  config.n = 4;
+  config.t = 1;
+  config.extra_rounds_after_decide = 2;
+  std::vector<sim::Message> sent;
+  DbftProcess process(0, 1, config, [&](sim::Message m) { sent.push_back(m); });
+  process.start();
+  // Drive rounds 1..3 to decisions of value matching parity where possible.
+  for (int round = 1; round <= 3; ++round) {
+    const int value = round % 2;
+    for (const sim::ProcessId from : {1, 2, 3}) {
+      process.on_message({from, 0, round, sim::MsgType::kBv, sim::BitSet2::single(value)});
+    }
+    for (const sim::ProcessId from : {0, 1, 2}) {
+      process.on_message({from, 0, round, sim::MsgType::kAux, sim::BitSet2::single(value)});
+    }
+  }
+  EXPECT_TRUE(process.decision().has_value());
+  EXPECT_TRUE(process.halted());
+}
+
+}  // namespace
+}  // namespace hv::algo

@@ -1,0 +1,233 @@
+#include "hv/util/bigint.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <random>
+
+#include "hv/util/error.h"
+
+namespace hv {
+namespace {
+
+TEST(BigIntTest, DefaultIsZero) {
+  BigInt zero;
+  EXPECT_TRUE(zero.is_zero());
+  EXPECT_EQ(zero.sign(), 0);
+  EXPECT_EQ(zero.to_string(), "0");
+  EXPECT_EQ(zero, BigInt(0));
+}
+
+TEST(BigIntTest, Int64RoundTrip) {
+  for (const std::int64_t value :
+       {std::int64_t{0}, std::int64_t{1}, std::int64_t{-1}, std::int64_t{42},
+        std::int64_t{-1000000007}, std::numeric_limits<std::int64_t>::max(),
+        std::numeric_limits<std::int64_t>::min()}) {
+    const BigInt big(value);
+    EXPECT_TRUE(big.fits_int64());
+    EXPECT_EQ(big.to_int64(), value);
+    EXPECT_EQ(big.to_string(), std::to_string(value));
+  }
+}
+
+TEST(BigIntTest, FromStringParsesSigns) {
+  EXPECT_EQ(BigInt::from_string("123"), BigInt(123));
+  EXPECT_EQ(BigInt::from_string("+123"), BigInt(123));
+  EXPECT_EQ(BigInt::from_string("-123"), BigInt(-123));
+  EXPECT_EQ(BigInt::from_string("-0"), BigInt(0));
+  EXPECT_EQ(BigInt::from_string("00042"), BigInt(42));
+}
+
+TEST(BigIntTest, FromStringRejectsGarbage) {
+  EXPECT_THROW(BigInt::from_string(""), InvalidArgument);
+  EXPECT_THROW(BigInt::from_string("-"), InvalidArgument);
+  EXPECT_THROW(BigInt::from_string("12a3"), InvalidArgument);
+  EXPECT_THROW(BigInt::from_string(" 1"), InvalidArgument);
+}
+
+TEST(BigIntTest, LargeValueStringRoundTrip) {
+  const std::string digits = "123456789012345678901234567890123456789012345678901234567890";
+  const BigInt value = BigInt::from_string(digits);
+  EXPECT_FALSE(value.fits_int64());
+  EXPECT_EQ(value.to_string(), digits);
+  EXPECT_EQ((-value).to_string(), "-" + digits);
+}
+
+TEST(BigIntTest, AdditionCarriesAcrossLimbs) {
+  const BigInt a = BigInt::from_string("4294967295");  // 2^32 - 1
+  EXPECT_EQ((a + 1).to_string(), "4294967296");
+  EXPECT_EQ((a + a).to_string(), "8589934590");
+}
+
+TEST(BigIntTest, MixedSignAddition) {
+  EXPECT_EQ(BigInt(7) + BigInt(-10), BigInt(-3));
+  EXPECT_EQ(BigInt(-7) + BigInt(10), BigInt(3));
+  EXPECT_EQ(BigInt(-7) + BigInt(7), BigInt(0));
+  EXPECT_EQ(BigInt(7) - BigInt(10), BigInt(-3));
+}
+
+TEST(BigIntTest, MultiplicationSchoolbook) {
+  const BigInt a = BigInt::from_string("123456789123456789");
+  const BigInt b = BigInt::from_string("987654321987654321");
+  EXPECT_EQ((a * b).to_string(), "121932631356500531347203169112635269");
+  EXPECT_EQ((a * BigInt(0)), BigInt(0));
+  EXPECT_EQ(((-a) * b).sign(), -1);
+  EXPECT_EQ(((-a) * (-b)).sign(), 1);
+}
+
+TEST(BigIntTest, TruncatedDivisionMatchesCpp) {
+  EXPECT_EQ(BigInt(7) / BigInt(2), BigInt(3));
+  EXPECT_EQ(BigInt(-7) / BigInt(2), BigInt(-3));
+  EXPECT_EQ(BigInt(7) / BigInt(-2), BigInt(-3));
+  EXPECT_EQ(BigInt(-7) / BigInt(-2), BigInt(3));
+  EXPECT_EQ(BigInt(7) % BigInt(2), BigInt(1));
+  EXPECT_EQ(BigInt(-7) % BigInt(2), BigInt(-1));
+}
+
+TEST(BigIntTest, DivisionByZeroThrows) {
+  EXPECT_THROW(BigInt(1) / BigInt(0), InvalidArgument);
+  EXPECT_THROW(BigInt(1) % BigInt(0), InvalidArgument);
+}
+
+TEST(BigIntTest, FloorAndCeilDivision) {
+  EXPECT_EQ(BigInt::floor_div(7, 2), BigInt(3));
+  EXPECT_EQ(BigInt::floor_div(-7, 2), BigInt(-4));
+  EXPECT_EQ(BigInt::ceil_div(7, 2), BigInt(4));
+  EXPECT_EQ(BigInt::ceil_div(-7, 2), BigInt(-3));
+  EXPECT_EQ(BigInt::floor_div(6, 3), BigInt(2));
+  EXPECT_EQ(BigInt::ceil_div(6, 3), BigInt(2));
+}
+
+TEST(BigIntTest, MultiLimbDivisionKnuth) {
+  const BigInt numerator = BigInt::from_string("340282366920938463463374607431768211456");  // 2^128
+  const BigInt denominator = BigInt::from_string("18446744073709551617");                   // 2^64+1
+  BigInt quotient;
+  BigInt remainder;
+  BigInt::div_mod(numerator, denominator, quotient, remainder);
+  EXPECT_EQ(quotient * denominator + remainder, numerator);
+  EXPECT_EQ(quotient.to_string(), "18446744073709551615");
+  EXPECT_EQ(remainder.to_string(), "1");
+}
+
+TEST(BigIntTest, Ordering) {
+  EXPECT_LT(BigInt(-2), BigInt(-1));
+  EXPECT_LT(BigInt(-1), BigInt(0));
+  EXPECT_LT(BigInt(0), BigInt(1));
+  EXPECT_LT(BigInt::from_string("99999999999999999999"),
+            BigInt::from_string("100000000000000000000"));
+  EXPECT_GT(BigInt::from_string("-99999999999999999999"),
+            BigInt::from_string("-100000000000000000000"));
+}
+
+TEST(BigIntTest, Gcd) {
+  EXPECT_EQ(BigInt::gcd(12, 18), BigInt(6));
+  EXPECT_EQ(BigInt::gcd(-12, 18), BigInt(6));
+  EXPECT_EQ(BigInt::gcd(0, 5), BigInt(5));
+  EXPECT_EQ(BigInt::gcd(0, 0), BigInt(0));
+  EXPECT_EQ(BigInt::gcd(BigInt::from_string("123456789123456789123456789"),
+                        BigInt::from_string("987654321987654321987654321")),
+            BigInt::from_string("9000000009000000009"));
+}
+
+// Randomized cross-check against __int128 arithmetic.
+TEST(BigIntTest, RandomizedAgainstInt128) {
+  std::mt19937_64 rng(0xC0FFEE);
+  std::uniform_int_distribution<std::int64_t> dist(-1'000'000'000'000LL, 1'000'000'000'000LL);
+  for (int i = 0; i < 2000; ++i) {
+    const std::int64_t a = dist(rng);
+    const std::int64_t b = dist(rng);
+    const __int128 product = static_cast<__int128>(a) * b;
+    BigInt big_product = BigInt(a) * BigInt(b);
+    // Render the __int128 for comparison.
+    __int128 magnitude = product < 0 ? -product : product;
+    std::string expected;
+    if (magnitude == 0) expected = "0";
+    while (magnitude != 0) {
+      expected.insert(expected.begin(), static_cast<char>('0' + static_cast<int>(magnitude % 10)));
+      magnitude /= 10;
+    }
+    if (product < 0) expected.insert(expected.begin(), '-');
+    EXPECT_EQ(big_product.to_string(), expected) << a << " * " << b;
+    if (b != 0) {
+      EXPECT_EQ((BigInt(a) / BigInt(b)).to_int64(), a / b);
+      EXPECT_EQ((BigInt(a) % BigInt(b)).to_int64(), a % b);
+    }
+    EXPECT_EQ((BigInt(a) + BigInt(b)).to_int64(), a + b);
+    EXPECT_EQ((BigInt(a) - BigInt(b)).to_int64(), a - b);
+  }
+}
+
+// Property: div_mod identity on random multi-limb operands.
+TEST(BigIntTest, RandomizedDivModIdentity) {
+  std::mt19937_64 rng(1234);
+  const auto random_big = [&rng](int limbs) {
+    BigInt value = 0;
+    for (int i = 0; i < limbs; ++i) {
+      value *= BigInt::from_string("4294967296");
+      value += static_cast<std::int64_t>(rng() & 0xffffffffu);
+    }
+    return (rng() & 1) != 0 ? -value : value;
+  };
+  for (int i = 0; i < 500; ++i) {
+    const BigInt numerator = random_big(1 + static_cast<int>(rng() % 5));
+    BigInt denominator = random_big(1 + static_cast<int>(rng() % 3));
+    if (denominator.is_zero()) denominator = 1;
+    BigInt quotient;
+    BigInt remainder;
+    BigInt::div_mod(numerator, denominator, quotient, remainder);
+    EXPECT_EQ(quotient * denominator + remainder, numerator);
+    EXPECT_LT(remainder.abs(), denominator.abs());
+    if (!remainder.is_zero()) {
+      EXPECT_EQ(remainder.sign(), numerator.sign());
+    }
+  }
+}
+
+// The hybrid representation promotes to limbs past 2^62 - 1 and demotes
+// back when results shrink; these edges must be seamless and canonical.
+TEST(BigIntTest, SmallBigBoundary) {
+  const std::int64_t edge = (std::int64_t{1} << 62) - 1;
+  const BigInt at_edge(edge);
+  const BigInt above_edge(edge + 1);
+  EXPECT_EQ(at_edge + 1, above_edge);
+  EXPECT_EQ(above_edge - 1, at_edge);
+  EXPECT_LT(at_edge, above_edge);
+  EXPECT_GT(above_edge, at_edge);
+  EXPECT_EQ((above_edge - above_edge), BigInt(0));
+  EXPECT_EQ(at_edge.to_string(), std::to_string(edge));
+  EXPECT_EQ(above_edge.to_string(), std::to_string(edge + 1));
+  // Negative side.
+  const BigInt negative_edge(-edge);
+  EXPECT_EQ(negative_edge - 1, BigInt(-edge - 1));
+  EXPECT_EQ((negative_edge - 1) + 1, negative_edge);
+  EXPECT_LT(negative_edge - 1, negative_edge);
+}
+
+TEST(BigIntTest, CanonicalEqualityAcrossRepresentations) {
+  // The same value computed through a big detour must compare equal to the
+  // directly-constructed small value (representations are canonical).
+  const BigInt big_detour =
+      (BigInt::from_string("123456789012345678901234567890") * 7) / 7 -
+      BigInt::from_string("123456789012345678901234567890") + 42;
+  EXPECT_EQ(big_detour, BigInt(42));
+  EXPECT_EQ(big_detour.to_int64(), 42);
+}
+
+TEST(BigIntTest, MulOverflowPromotes) {
+  const std::int64_t big = std::int64_t{1} << 40;
+  const BigInt product = BigInt(big) * BigInt(big);  // 2^80
+  EXPECT_FALSE(product.fits_int64());
+  EXPECT_EQ(product.to_string(), "1208925819614629174706176");
+  EXPECT_EQ(product / BigInt(big), BigInt(big));
+}
+
+TEST(BigIntTest, GcdAcrossRepresentations) {
+  const BigInt huge = BigInt::from_string("340282366920938463463374607431768211456");  // 2^128
+  EXPECT_EQ(BigInt::gcd(huge, 1024), BigInt(1024));
+  EXPECT_EQ(BigInt::gcd(1024, huge), BigInt(1024));
+  EXPECT_EQ(BigInt::gcd(huge, 3), BigInt(1));
+}
+
+}  // namespace
+}  // namespace hv

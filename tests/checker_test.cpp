@@ -1,0 +1,322 @@
+#include "hv/checker/parameterized.h"
+
+#include <gtest/gtest.h>
+
+#include "hv/checker/explicit_checker.h"
+#include "hv/checker/guard_analysis.h"
+#include "hv/checker/schema.h"
+#include "hv/spec/compile.h"
+#include "hv/models/bv_broadcast.h"
+#include "hv/models/simplified_consensus.h"
+#include "hv/ta/parser.h"
+
+namespace hv::checker {
+namespace {
+
+// An echo automaton: processes either announce (A -> B, x++) or wait
+// (A -> W); waiters proceed to D once x reaches t+1-f (f Byzantine echoes
+// may help them).
+const ta::MultiRoundTa& echo() {
+  static const ta::MultiRoundTa instance = ta::parse_ta(R"(
+    ta Echo {
+      parameters n, t, f;
+      shared x;
+      resilience n > 3*t;
+      resilience t >= f;
+      resilience f >= 0;
+      processes n - f;
+      initial A;
+      locations B, W, D;
+      rule announce: A -> B do x += 1;
+      rule wait: A -> W;
+      rule proceed: W -> D when x >= t + 1 - f;
+      selfloop B;
+      selfloop D;
+    }
+  )");
+  return instance;
+}
+
+TEST(GuardAnalysisTest, UniqueGuardsAndIncrementers) {
+  const GuardAnalysis analysis(echo().body());
+  ASSERT_EQ(analysis.guard_count(), 1);
+  ASSERT_EQ(analysis.incrementers(0).size(), 1u);
+  EXPECT_EQ(echo().body().rule(analysis.incrementers(0)[0]).name, "announce");
+  EXPECT_FALSE(analysis.can_hold_at_zero(0));  // x >= t+1-f needs x >= 1
+  EXPECT_TRUE(analysis.incrementable(0, 0));   // announce fires under empty context
+}
+
+TEST(GuardAnalysisTest, ImplicationsDetected) {
+  const ta::MultiRoundTa two_thresholds = ta::parse_ta(R"(
+    ta Two {
+      parameters n, t, f;
+      shared x;
+      resilience n > 3*t;
+      resilience t >= f;
+      resilience f >= 0;
+      processes n - f;
+      initial A;
+      locations B, C;
+      rule low: A -> B when x >= t + 1 - f do x += 1;
+      rule high: B -> C when x >= 2*t + 1 - f;
+      rule seed: A -> B do x += 1;
+    }
+  )");
+  const GuardAnalysis analysis(two_thresholds.body());
+  ASSERT_EQ(analysis.guard_count(), 2);
+  // x >= 2t+1-f implies x >= t+1-f under t >= 0, but not vice versa.
+  int low = analysis.guard(0).expr.coefficient(*two_thresholds.body().find_variable("t")) ==
+                    BigInt(-1)
+                ? 0
+                : 1;
+  const int high = 1 - low;
+  EXPECT_TRUE(analysis.implies(high, low));
+  EXPECT_FALSE(analysis.implies(low, high));
+}
+
+TEST(SchemaTest, EnumeratesChainsWithCuts) {
+  const GuardAnalysis analysis(echo().body());
+  EnumerationOptions options;
+  // One guard: chains are {} and {g}; with one cut, placements 1 + 2 = 3.
+  EXPECT_EQ(count_chains(analysis, options), 2);
+  std::int64_t with_cut = 0;
+  enumerate_schemas(analysis, 1, options, [&](const Schema&) {
+    ++with_cut;
+    return true;
+  });
+  EXPECT_EQ(with_cut, 3);
+}
+
+TEST(SchemaTest, BudgetStopsEnumeration) {
+  const GuardAnalysis analysis(echo().body());
+  EnumerationOptions options;
+  options.max_schemas = 1;
+  const EnumerationOutcome outcome =
+      enumerate_schemas(analysis, 0, options, [](const Schema&) { return true; });
+  EXPECT_TRUE(outcome.budget_exhausted);
+}
+
+TEST(ParameterizedTest, SafetyViolationFoundAndValidated) {
+  // "D stays empty" is false: waiters can reach D once x >= t+1-f.
+  const auto& ta = echo().body();
+  const spec::Property property = spec::compile(ta, "d_empty", "locA != 0 -> [](locD == 0)");
+  const PropertyResult result = check_property(ta, property);
+  EXPECT_EQ(result.verdict, Verdict::kViolated);
+  ASSERT_TRUE(result.counterexample.has_value());
+  // Counterexamples validate by construction (option on by default); spot
+  // check the replayed text mentions rule applications.
+  const std::string text = result.counterexample->to_string(ta);
+  EXPECT_NE(text.find("proceed"), std::string::npos);
+}
+
+TEST(ParameterizedTest, SafetyHolds) {
+  // Nobody reaches D while x is still below t+1-f... expressed as: if no
+  // process ever announces, D stays empty (announce frozen via premise).
+  const auto& ta = echo().body();
+  const spec::Property property = spec::compile(ta, "no_announce_no_d",
+                                                "[](locB == 0) -> [](locD == 0)");
+  const PropertyResult result = check_property(ta, property);
+  EXPECT_EQ(result.verdict, Verdict::kHolds);
+  // The cone analysis may discharge every schema statically.
+  EXPECT_GT(result.schemas_checked + result.schemas_pruned, 0);
+  CheckOptions unpruned;
+  unpruned.property_directed_pruning = false;
+  const PropertyResult full = check_property(ta, property, unpruned);
+  EXPECT_EQ(full.verdict, Verdict::kHolds);
+  EXPECT_GT(full.schemas_checked, 0);
+  EXPECT_GT(full.avg_schema_length, 0.0);
+}
+
+TEST(ParameterizedTest, LivenessViolatedWhenWaitersStarve) {
+  // <>(A empty and W empty) fails: everyone may wait, so x stays 0 and W
+  // never drains.
+  const auto& ta = echo().body();
+  const spec::Property property = spec::compile(ta, "all_proceed",
+                                                "<>(locA == 0 && locW == 0)");
+  const PropertyResult result = check_property(ta, property);
+  EXPECT_EQ(result.verdict, Verdict::kViolated);
+  ASSERT_TRUE(result.counterexample.has_value());
+}
+
+TEST(ParameterizedTest, LivenessHolds) {
+  // <>(A empty) holds: justice forces the unguarded exits from A to fire.
+  const auto& ta = echo().body();
+  const spec::Property property = spec::compile(ta, "a_drains", "<>(locA == 0)");
+  const PropertyResult result = check_property(ta, property);
+  EXPECT_EQ(result.verdict, Verdict::kHolds);
+}
+
+TEST(ParameterizedTest, CutOrderingBothWays) {
+  // <>(D != 0) -> [](B == 0) is false: both can happen in one run.
+  const auto& ta = echo().body();
+  const spec::Property property =
+      spec::compile(ta, "cut", "<>(locD != 0) -> [](locB == 0)");
+  const PropertyResult result = check_property(ta, property);
+  EXPECT_EQ(result.verdict, Verdict::kViolated);
+}
+
+TEST(ParameterizedTest, BudgetExhaustionIsUnknown) {
+  const auto& ta = echo().body();
+  const spec::Property property = spec::compile(ta, "a_drains", "<>(locA == 0)");
+  CheckOptions options;
+  options.enumeration.max_schemas = 0;
+  const PropertyResult result = check_property(ta, property, options);
+  EXPECT_EQ(result.verdict, Verdict::kUnknown);
+  EXPECT_NE(result.note.find("budget"), std::string::npos);
+}
+
+TEST(ParameterizedTest, WorkerPoolAgreesWithInline) {
+  const auto& ta = echo().body();
+  for (const char* text : {"locA != 0 -> [](locD == 0)", "[](locB == 0) -> [](locD == 0)",
+                           "<>(locA == 0)", "<>(locA == 0 && locW == 0)"}) {
+    const spec::Property property = spec::compile(ta, "p", text);
+    CheckOptions parallel;
+    parallel.workers = 3;
+    const PropertyResult inline_result = check_property(ta, property);
+    const PropertyResult parallel_result = check_property(ta, property, parallel);
+    EXPECT_EQ(inline_result.verdict, parallel_result.verdict) << text;
+  }
+}
+
+// Cross-validation: the parameterized verdict must agree with explicit-state
+// checking at sampled parameters (holds => holds at every sample; violated
+// => the counterexample's own parameters show an explicit violation).
+class CrossValidationTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(CrossValidationTest, ParameterizedAgreesWithExplicit) {
+  const auto& ta = echo().body();
+  const spec::Property property = spec::compile(ta, GetParam(), GetParam());
+  const PropertyResult parameterized = check_property(ta, property);
+  ASSERT_NE(parameterized.verdict, Verdict::kUnknown);
+
+  const auto v = [&](const char* name) { return *ta.find_variable(name); };
+  if (parameterized.verdict == Verdict::kViolated) {
+    const ExplicitResult explicit_result =
+        check_explicit(ta, property, parameterized.counterexample->params);
+    EXPECT_EQ(explicit_result.verdict, Verdict::kViolated) << GetParam();
+  } else {
+    for (const auto& [n, t, f] : std::vector<std::tuple<int, int, int>>{
+             {4, 1, 0}, {4, 1, 1}, {5, 1, 1}, {7, 2, 2}}) {
+      const ta::ParamValuation params{{v("n"), n}, {v("t"), t}, {v("f"), f}};
+      const ExplicitResult explicit_result = check_explicit(ta, property, params);
+      EXPECT_EQ(explicit_result.verdict, Verdict::kHolds)
+          << GetParam() << " at n=" << n << " t=" << t << " f=" << f;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Properties, CrossValidationTest,
+                         ::testing::Values("locA != 0 -> [](locD == 0)",
+                                           "[](locB == 0) -> [](locD == 0)",
+                                           "<>(locA == 0)",
+                                           "<>(locA == 0 && locW == 0)",
+                                           "<>(locD != 0) -> [](locB == 0)",
+                                           "[](x >= t + 1 -> <>(locA == 0))"));
+
+TEST(MinimizeTest, CounterexamplesAreMinimal) {
+  const auto& ta = echo().body();
+  const spec::Property property = spec::compile(ta, "d_empty", "locA != 0 -> [](locD == 0)");
+  const PropertyResult result = check_property(ta, property);
+  ASSERT_EQ(result.verdict, Verdict::kViolated);
+  const Counterexample& cex = *result.counterexample;
+  // Minimal witness: one announcer... actually the guard x >= t+1-f can be
+  // met with f Byzantine echoes alone only if t+1-f <= 0, which resilience
+  // forbids; so at least one announce plus one waiter-proceed is needed,
+  // and "locA != 0" keeps one process in A. Check for tight factors.
+  std::int64_t total = 0;
+  for (const auto& step : cex.steps) total += step.factor;
+  EXPECT_LE(total, 3);
+  // Still valid for its query (re-validated here for belt and braces).
+  bool valid = false;
+  for (const auto& query : property.queries) {
+    valid = valid || validate_counterexample(ta, cex, query).empty();
+  }
+  EXPECT_TRUE(valid);
+}
+
+TEST(MultiRoundTest, CheckPropertyOverloadReduces) {
+  const ta::MultiRoundTa& model = echo();
+  const spec::Property property =
+      spec::compile(model.one_round_reduction(), "drain", "<>(locA == 0)");
+  const PropertyResult result = check_property(model, property);
+  EXPECT_EQ(result.verdict, Verdict::kHolds);
+}
+
+TEST(EncoderTest, ParameterOnlyGuardsAreConditional) {
+  // A rule guarded by a parameter-only atom (t >= 1) is not a threshold
+  // guard: the encoder must allow the rule only when the atom holds.
+  const ta::MultiRoundTa model = ta::parse_ta(R"(
+    ta ParamGuard {
+      parameters n, t, f;
+      shared x;
+      resilience n > 3*t;
+      resilience t >= f;
+      resilience f >= 0;
+      processes n - f;
+      initial A;
+      locations B;
+      rule go: A -> B when t >= 1 do x += 1;
+    }
+  )");
+  const auto& ta = model.body();
+  // Reaching B is possible (choose t >= 1): the no-B property is violated.
+  const spec::Property reach = spec::compile(ta, "reach", "locA != 0 -> [](locB == 0)");
+  const PropertyResult violated = check_property(ta, reach);
+  ASSERT_EQ(violated.verdict, Verdict::kViolated);
+  EXPECT_GE(violated.counterexample->params.at(*ta.find_variable("t")), 1);
+  // But with t forced to 0 in the premise... the fragment has no way to
+  // force parameters, so instead check the liveness dual: <>(locA == 0)
+  // fails because t may be 0, leaving the rule disabled forever.
+  const spec::Property drain = spec::compile(ta, "drain", "<>(locA == 0)");
+  const PropertyResult stuck = check_property(ta, drain);
+  ASSERT_EQ(stuck.verdict, Verdict::kViolated);
+  EXPECT_EQ(stuck.counterexample->params.at(*ta.find_variable("t")), 0);
+}
+
+TEST(GuardAnalysisModelTest, BvBroadcastImplicationsAndIncrementers) {
+  // On the real Fig. 2 automaton: per value v, the delivery guard
+  // (b_v >= 2t+1-f) implies the echo guard (b_v >= t+1-f), and no
+  // cross-value implication exists.
+  const ta::ThresholdAutomaton bv = hv::models::bv_broadcast();
+  const GuardAnalysis analysis(bv);
+  ASSERT_EQ(analysis.guard_count(), 4);
+  int implication_count = 0;
+  for (int a = 0; a < 4; ++a) {
+    for (int b = 0; b < 4; ++b) {
+      if (a != b && analysis.implies(a, b)) ++implication_count;
+    }
+  }
+  EXPECT_EQ(implication_count, 2);  // deliver_v => echo_v, for v in {0,1}
+  for (int g = 0; g < 4; ++g) {
+    EXPECT_FALSE(analysis.can_hold_at_zero(g));
+    EXPECT_FALSE(analysis.incrementers(g).empty());
+  }
+}
+
+TEST(ParameterizedTest, WorkerPoolOnPaperModel) {
+  // The worker pool must reproduce the single-threaded verdict on a real
+  // Table 2 row (SRoundTerm of the simplified consensus: 2116 schemas).
+  const ta::ThresholdAutomaton ta = hv::models::simplified_consensus_one_round();
+  for (const auto& property : hv::models::simplified_properties(ta)) {
+    if (property.name != "SRoundTerm") continue;
+    CheckOptions options;
+    options.workers = 3;
+    const PropertyResult result = check_property(ta, property, options);
+    EXPECT_EQ(result.verdict, Verdict::kHolds);
+    EXPECT_EQ(result.schemas_checked, 2116);
+  }
+}
+
+TEST(ExplicitTest, StateBudget) {
+  const auto& ta = echo().body();
+  const spec::Property property = spec::compile(ta, "a", "locA != 0 -> [](locD == 0)");
+  const auto v = [&](const char* name) { return *ta.find_variable(name); };
+  ExplicitOptions options;
+  options.max_states = 1;
+  const ExplicitResult result =
+      check_explicit(ta, property, {{v("n"), 7}, {v("t"), 2}, {v("f"), 0}}, options);
+  EXPECT_EQ(result.verdict, Verdict::kUnknown);
+}
+
+}  // namespace
+}  // namespace hv::checker

@@ -1,0 +1,186 @@
+#include "hv/tools/cli.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace hv::tools {
+namespace {
+
+constexpr const char* kEchoModel = R"(
+ta Echo {
+  parameters n, t, f;
+  shared x;
+  resilience n > 3*t;
+  resilience t >= f;
+  resilience f >= 0;
+  processes n - f;
+  initial A;
+  locations B, W, D;
+  rule announce: A -> B do x += 1;
+  rule wait: A -> W;
+  rule proceed: W -> D when x >= t + 1 - f;
+  selfloop B;
+  selfloop D;
+}
+)";
+
+class CliTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    model_path_ = ::testing::TempDir() + "echo_model.ta";
+    std::ofstream file(model_path_);
+    file << kEchoModel;
+  }
+
+  void TearDown() override { std::remove(model_path_.c_str()); }
+
+  int run(std::vector<std::string> args) {
+    out_.str("");
+    err_.str("");
+    return run_cli(args, out_, err_);
+  }
+
+  std::string model_path_;
+  std::ostringstream out_;
+  std::ostringstream err_;
+};
+
+TEST_F(CliTest, HelpAndUnknownCommand) {
+  EXPECT_EQ(run({"help"}), 0);
+  EXPECT_NE(out_.str().find("usage:"), std::string::npos);
+  EXPECT_EQ(run({}), 2);
+  EXPECT_EQ(run({"frobnicate"}), 2);
+  EXPECT_NE(err_.str().find("unknown command"), std::string::npos);
+}
+
+TEST_F(CliTest, CheckHoldsReturnsZero) {
+  const int code =
+      run({"check", model_path_, "--prop", "[](locB == 0) -> [](locD == 0)"});
+  EXPECT_EQ(code, 0);
+  EXPECT_NE(out_.str().find("holds"), std::string::npos);
+}
+
+TEST_F(CliTest, CheckViolationReturnsOneWithTrace) {
+  const int code = run({"check", model_path_, "--prop", "<>(locA == 0 && locW == 0)",
+                        "--name", "everyone_proceeds"});
+  EXPECT_EQ(code, 1);
+  EXPECT_NE(out_.str().find("violated"), std::string::npos);
+  EXPECT_NE(out_.str().find("counterexample to everyone_proceeds"), std::string::npos);
+  EXPECT_NE(out_.str().find("parameters:"), std::string::npos);
+}
+
+TEST_F(CliTest, CheckBudgetReturnsThree) {
+  const int code = run({"check", model_path_, "--prop", "<>(locA == 0)",
+                        "--max-schemas", "0"});
+  EXPECT_EQ(code, 3);
+  EXPECT_NE(out_.str().find("budget"), std::string::npos);
+}
+
+TEST_F(CliTest, CheckFlagValidation) {
+  EXPECT_EQ(run({"check", model_path_}), 2);  // missing --prop
+  EXPECT_NE(err_.str().find("--prop is required"), std::string::npos);
+  EXPECT_EQ(run({"check", model_path_, "--prop"}), 2);  // flag without value
+  EXPECT_EQ(run({"check", model_path_, "--prop", "locA == 0", "--bogus", "1"}), 2);
+  EXPECT_EQ(run({"check", "/nonexistent.ta", "--prop", "x >= 1"}), 2);
+}
+
+TEST_F(CliTest, CheckRejectsMalformedProperty) {
+  EXPECT_EQ(run({"check", model_path_, "--prop", "locNowhere == 0"}), 2);
+  EXPECT_EQ(run({"check", model_path_, "--prop", "[](<>(locA == 0))"}), 2);
+}
+
+TEST_F(CliTest, ExplicitChecksOneValuation) {
+  const int code = run({"explicit", model_path_, "--prop",
+                        "[](locB == 0) -> [](locD == 0)", "--params", "n=4,t=1,f=1"});
+  EXPECT_EQ(code, 0);
+  EXPECT_NE(out_.str().find("states"), std::string::npos);
+  EXPECT_EQ(run({"explicit", model_path_, "--prop", "<>(locA == 0 && locW == 0)",
+                 "--params", "n=4,t=1,f=0"}),
+            1);
+}
+
+TEST_F(CliTest, ExplicitValidatesParams) {
+  EXPECT_EQ(run({"explicit", model_path_, "--prop", "locA == 0 -> [](locD == 0)",
+                 "--params", "n=4,zz=1"}),
+            2);
+  EXPECT_EQ(run({"explicit", model_path_, "--prop", "locA == 0 -> [](locD == 0)",
+                 "--params", "n=3,t=1,f=0"}),
+            2);  // violates resilience n > 3t
+  EXPECT_EQ(run({"explicit", model_path_, "--prop", "locA == 0 -> [](locD == 0)",
+                 "--params", "garbage"}),
+            2);
+}
+
+TEST_F(CliTest, JsonOutput) {
+  const int code = run({"check", model_path_, "--prop", "[](locB == 0) -> [](locD == 0)",
+                        "--name", "safe", "--json"});
+  EXPECT_EQ(code, 0);
+  EXPECT_NE(out_.str().find("{\"property\": \"safe\", \"verdict\": \"holds\""),
+            std::string::npos);
+  // A violation embeds the escaped counterexample.
+  const int violated = run({"check", model_path_, "--prop",
+                            "<>(locA == 0 && locW == 0)", "--json"});
+  EXPECT_EQ(violated, 1);
+  EXPECT_NE(out_.str().find("\"verdict\": \"violated\""), std::string::npos);
+  EXPECT_NE(out_.str().find("\"counterexample\": \""), std::string::npos);
+  EXPECT_EQ(out_.str().find('\n'), out_.str().size() - 1);  // single line
+  // explicit --json.
+  const int explicit_code = run({"explicit", model_path_, "--prop",
+                                 "[](locB == 0) -> [](locD == 0)", "--params",
+                                 "n=4,t=1,f=1", "--json"});
+  EXPECT_EQ(explicit_code, 0);
+  EXPECT_NE(out_.str().find("\"states\": "), std::string::npos);
+}
+
+TEST_F(CliTest, SimulateFairDecides) {
+  const int code = run({"simulate", "--n", "4", "--t", "1", "--inputs", "0,1,0,1",
+                        "--scheduler", "fair"});
+  EXPECT_EQ(code, 0);
+  EXPECT_NE(out_.str().find("agreement: ok"), std::string::npos);
+  EXPECT_NE(out_.str().find("decision=1"), std::string::npos);
+}
+
+TEST_F(CliTest, SimulateWithByzantine) {
+  const int code = run({"simulate", "--n", "4", "--t", "1", "--byzantine", "3",
+                        "--scheduler", "random", "--seed", "7"});
+  EXPECT_NE(out_.str().find("agreement: ok"), std::string::npos);
+  EXPECT_TRUE(code == 0 || code == 3);  // safety always; termination typical
+}
+
+TEST_F(CliTest, SimulateLemma7) {
+  const int code = run({"simulate", "--lemma7", "--rounds", "6"});
+  EXPECT_EQ(code, 0);
+  EXPECT_NE(out_.str().find("oscillation sustained"), std::string::npos);
+}
+
+TEST_F(CliTest, SimulateValidatesArguments) {
+  EXPECT_EQ(run({"simulate", "--inputs", "0,1"}), 2);        // wrong arity
+  EXPECT_EQ(run({"simulate", "--scheduler", "warp"}), 2);    // unknown scheduler
+}
+
+TEST_F(CliTest, DotEmitsGraph) {
+  EXPECT_EQ(run({"dot", model_path_}), 0);
+  EXPECT_NE(out_.str().find("digraph \"Echo\""), std::string::npos);
+  EXPECT_NE(out_.str().find("\"A\" -> \"B\""), std::string::npos);
+}
+
+TEST_F(CliTest, PrintRoundTrips) {
+  EXPECT_EQ(run({"print", model_path_}), 0);
+  const std::string printed = out_.str();
+  // The printed form must be parseable again (write it and re-print).
+  const std::string second_path = ::testing::TempDir() + "echo_roundtrip.ta";
+  {
+    std::ofstream file(second_path);
+    file << printed;
+  }
+  EXPECT_EQ(run({"print", second_path}), 0);
+  EXPECT_EQ(out_.str(), printed);
+  std::remove(second_path.c_str());
+}
+
+}  // namespace
+}  // namespace hv::tools

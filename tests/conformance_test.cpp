@@ -1,0 +1,91 @@
+#include "hv/sim/conformance.h"
+
+#include <gtest/gtest.h>
+
+namespace hv::sim {
+namespace {
+
+RunnerConfig config_for(int n, int t, std::vector<int> inputs,
+                        std::vector<ProcessId> byzantine, std::uint64_t seed) {
+  RunnerConfig config;
+  config.n = n;
+  config.t = t;
+  config.inputs = std::move(inputs);
+  config.byzantine = std::move(byzantine);
+  config.seed = seed;
+  return config;
+}
+
+TEST(ConformanceTest, FaultFreeFairRunProjectsOntoTa) {
+  Runner runner(config_for(4, 1, {0, 1, 0, 1}, {}, 3));
+  GoodRoundScheduler scheduler;
+  const ConformanceResult result = check_simplified_ta_conformance(runner, scheduler, 100'000);
+  EXPECT_TRUE(result.ok) << result.diagnostic;
+  EXPECT_GT(result.transitions, 0);
+}
+
+TEST(ConformanceTest, UnanimousRunProjectsOntoTa) {
+  Runner runner(config_for(4, 1, {1, 1, 1, 1}, {}, 5));
+  FifoScheduler scheduler;
+  const ConformanceResult result = check_simplified_ta_conformance(runner, scheduler, 100'000);
+  EXPECT_TRUE(result.ok) << result.diagnostic;
+}
+
+// The load-bearing sweep: random schedules with an equivocating Byzantine
+// process; every projected step must be a legal counter-system move of the
+// simplified TA with f = 1. This empirically justifies the gadget: the
+// pseudocode cannot produce a transition the verified model lacks.
+class ConformanceSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ConformanceSweep, RandomSchedulesWithEquivocatorConform) {
+  for (const auto& inputs : std::vector<std::vector<int>>{
+           {0, 1, 1, 0}, {0, 0, 0, 0}, {1, 1, 1, 0}}) {
+    Runner runner(config_for(4, 1, inputs, {3}, GetParam()),
+                  std::make_unique<EquivocatingAdversary>());
+    RandomScheduler scheduler;
+    const ConformanceResult result =
+        check_simplified_ta_conformance(runner, scheduler, 50'000);
+    EXPECT_TRUE(result.ok) << "seed=" << GetParam() << ": " << result.diagnostic;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ConformanceSweep, ::testing::Range<std::uint64_t>(1, 16));
+
+// Fig. 2 conformance: round 1's broadcast phase projects onto the
+// bv-broadcast automaton via Table 1's (broadcast, delivered) semantics.
+class BvConformanceSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BvConformanceSweep, Round1ProjectsOntoFig2) {
+  for (const auto& inputs : std::vector<std::vector<int>>{
+           {0, 1, 1, 0}, {1, 1, 1, 1}, {0, 0, 1, 0}}) {
+    Runner runner(config_for(4, 1, inputs, {3}, GetParam()),
+                  std::make_unique<EquivocatingAdversary>());
+    RandomScheduler scheduler;
+    const ConformanceResult result =
+        check_bv_broadcast_conformance(runner, scheduler, 20'000);
+    EXPECT_TRUE(result.ok) << "seed=" << GetParam() << ": " << result.diagnostic;
+    EXPECT_GT(result.deliveries, 0) << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BvConformanceSweep, ::testing::Range<std::uint64_t>(1, 11));
+
+TEST(BvConformanceTest, FaultFreeLargerSystem) {
+  Runner runner(config_for(7, 2, {0, 1, 0, 1, 0, 1, 0}, {}, 2));
+  FifoScheduler scheduler;
+  const ConformanceResult result = check_bv_broadcast_conformance(runner, scheduler, 20'000);
+  EXPECT_TRUE(result.ok) << result.diagnostic;
+  EXPECT_GT(result.transitions, 0);
+}
+
+TEST(ConformanceTest, LargerSystemConforms) {
+  Runner runner(config_for(7, 2, {0, 1, 0, 1, 0, 1, 0}, {5, 6}, 11),
+                std::make_unique<EquivocatingAdversary>());
+  RandomScheduler scheduler;
+  const ConformanceResult result = check_simplified_ta_conformance(runner, scheduler, 50'000);
+  EXPECT_TRUE(result.ok) << result.diagnostic;
+  EXPECT_GT(result.deliveries, 0);
+}
+
+}  // namespace
+}  // namespace hv::sim

@@ -1,0 +1,157 @@
+#include "hv/pipeline/holistic.h"
+
+#include <gtest/gtest.h>
+
+#include "hv/checker/parameterized.h"
+#include "hv/models/bv_broadcast.h"
+#include "hv/models/simplified_consensus.h"
+
+namespace hv::pipeline {
+namespace {
+
+using checker::PropertyResult;
+using checker::Verdict;
+
+PropertyResult make_result(const char* name, Verdict verdict) {
+  PropertyResult result;
+  result.property = name;
+  result.verdict = verdict;
+  return result;
+}
+
+HolisticReport synthetic_report(Verdict bv, Verdict inv, Verdict live) {
+  HolisticReport report;
+  for (const char* name :
+       {"BV-Just0", "BV-Just1", "BV-Obl0", "BV-Obl1", "BV-Unif0", "BV-Unif1", "BV-Term"}) {
+    report.bv_results.push_back(make_result(name, bv));
+  }
+  for (const char* name : {"Inv1_0", "Inv1_1", "Inv2_0", "Inv2_1"}) {
+    report.consensus_results.push_back(make_result(name, inv));
+  }
+  for (const char* name : {"Dec_0", "Dec_1", "Good_0", "Good_1", "SRoundTerm"}) {
+    report.consensus_results.push_back(make_result(name, live));
+  }
+  return report;
+}
+
+TEST(ComposeVerdictsTest, AllHoldGivesAllHold) {
+  HolisticReport report = synthetic_report(Verdict::kHolds, Verdict::kHolds, Verdict::kHolds);
+  compose_verdicts(report);
+  EXPECT_EQ(report.agreement, Verdict::kHolds);
+  EXPECT_EQ(report.validity, Verdict::kHolds);
+  EXPECT_EQ(report.termination, Verdict::kHolds);
+  EXPECT_TRUE(report.fully_verified());
+}
+
+TEST(ComposeVerdictsTest, GadgetFailureInvalidatesEverything) {
+  // If a bv-broadcast property is violated, the gadget substitution in the
+  // simplified automaton is unjustified: nothing may be claimed verified.
+  HolisticReport report =
+      synthetic_report(Verdict::kViolated, Verdict::kHolds, Verdict::kHolds);
+  compose_verdicts(report);
+  EXPECT_EQ(report.agreement, Verdict::kViolated);
+  EXPECT_EQ(report.validity, Verdict::kViolated);
+  EXPECT_EQ(report.termination, Verdict::kViolated);
+  EXPECT_FALSE(report.fully_verified());
+}
+
+TEST(ComposeVerdictsTest, SafetyAndLivenessAreIndependent) {
+  HolisticReport report = synthetic_report(Verdict::kHolds, Verdict::kHolds, Verdict::kUnknown);
+  compose_verdicts(report);
+  EXPECT_EQ(report.agreement, Verdict::kHolds);
+  EXPECT_EQ(report.validity, Verdict::kHolds);
+  EXPECT_EQ(report.termination, Verdict::kUnknown);
+}
+
+TEST(ComposeVerdictsTest, MissingResultsAreUnknown) {
+  HolisticReport report;
+  compose_verdicts(report);
+  EXPECT_EQ(report.agreement, Verdict::kUnknown);
+  EXPECT_EQ(report.termination, Verdict::kUnknown);
+  EXPECT_FALSE(report.fully_verified());
+}
+
+// --- model-level regression checks (fast subsets of Table 2) ------------------
+
+TEST(ModelVerificationTest, BvBroadcastSafetyHolds) {
+  const ta::ThresholdAutomaton ta = models::bv_broadcast();
+  for (const auto& property : models::bv_properties(ta)) {
+    if (property.name != "BV-Just0" && property.name != "BV-Just1") continue;
+    const PropertyResult result = checker::check_property(ta, property);
+    EXPECT_EQ(result.verdict, Verdict::kHolds) << property.name;
+  }
+}
+
+TEST(ModelVerificationTest, BvBroadcastLivenessHolds) {
+  const ta::ThresholdAutomaton ta = models::bv_broadcast();
+  for (const auto& property : models::bv_properties(ta)) {
+    if (property.name != "BV-Term" && property.name != "BV-Obl0") continue;
+    const PropertyResult result = checker::check_property(ta, property);
+    EXPECT_EQ(result.verdict, Verdict::kHolds) << property.name;
+  }
+}
+
+TEST(ModelVerificationTest, SimplifiedFastPropertiesHold) {
+  const ta::ThresholdAutomaton ta = models::simplified_consensus_one_round();
+  for (const auto& property : models::simplified_properties(ta)) {
+    if (property.name == "Inv1_0" || property.name == "Inv1_1" ||
+        property.name == "SRoundTerm") {
+      continue;  // covered by the slow suite / table2 bench
+    }
+    const PropertyResult result = checker::check_property(ta, property);
+    EXPECT_EQ(result.verdict, Verdict::kHolds) << property.name;
+  }
+}
+
+TEST(ModelVerificationTest, AgreementInvariantHolds) {
+  // Inv1_0 is the paper's agreement invariant and our heaviest property
+  // (~10s): if a process decides 0 in a superround, no process decided 1.
+  const ta::ThresholdAutomaton ta = models::simplified_consensus_one_round();
+  for (const auto& property : models::simplified_properties(ta)) {
+    if (property.name != "Inv1_0") continue;
+    const PropertyResult result = checker::check_property(ta, property);
+    EXPECT_EQ(result.verdict, Verdict::kHolds);
+    EXPECT_GT(result.schemas_checked, 1000);
+  }
+}
+
+TEST(ModelVerificationTest, WeakenedBvBroadcastLosesUniformity) {
+  const ta::ThresholdAutomaton weak = models::bv_broadcast_weakened();
+  bool justification_held = false;
+  bool uniformity_broken = false;
+  for (const auto& property : models::bv_properties(weak)) {
+    const PropertyResult result = checker::check_property(weak, property);
+    if (property.name == "BV-Just0") {
+      justification_held = result.verdict == Verdict::kHolds;
+    }
+    if (property.name == "BV-Unif0") {
+      uniformity_broken = result.verdict == Verdict::kViolated;
+      ASSERT_TRUE(result.counterexample.has_value());
+      // The witness parameters must themselves violate n > 3t (the paper's
+      // resilience): that is exactly what makes them reachable here.
+      const auto n = *weak.find_variable("n");
+      const auto t = *weak.find_variable("t");
+      EXPECT_LE(result.counterexample->params.at(n), 3 * result.counterexample->params.at(t));
+    }
+  }
+  EXPECT_TRUE(justification_held);
+  EXPECT_TRUE(uniformity_broken);
+}
+
+TEST(ModelVerificationTest, WeakenedConsensusLosesAgreement) {
+  const ta::ThresholdAutomaton weak = models::simplified_consensus_weakened_one_round();
+  for (const auto& property : models::simplified_properties(weak)) {
+    if (property.name != "Inv1_0") continue;
+    const PropertyResult result = checker::check_property(weak, property);
+    EXPECT_EQ(result.verdict, Verdict::kViolated);
+    ASSERT_TRUE(result.counterexample.has_value());
+    // The counterexample reaches both a 1-decision (D1) and a 0-decision
+    // (D0) in one superround.
+    const std::string trace = result.counterexample->to_string(weak);
+    EXPECT_NE(trace.find("D1"), std::string::npos);
+    EXPECT_NE(trace.find("D0"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace hv::pipeline

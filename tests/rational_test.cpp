@@ -1,0 +1,86 @@
+#include "hv/util/rational.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "hv/util/error.h"
+
+namespace hv {
+namespace {
+
+TEST(RationalTest, NormalizationCanonicalizes) {
+  EXPECT_EQ(Rational(BigInt(2), BigInt(4)), Rational(BigInt(1), BigInt(2)));
+  EXPECT_EQ(Rational(BigInt(-2), BigInt(4)), Rational(BigInt(1), BigInt(-2)));
+  EXPECT_EQ(Rational(BigInt(0), BigInt(7)), Rational());
+  const Rational half(BigInt(1), BigInt(2));
+  EXPECT_EQ(half.numerator(), BigInt(1));
+  EXPECT_EQ(half.denominator(), BigInt(2));
+  const Rational negative(BigInt(3), BigInt(-6));
+  EXPECT_EQ(negative.numerator(), BigInt(-1));
+  EXPECT_EQ(negative.denominator(), BigInt(2));
+}
+
+TEST(RationalTest, ZeroDenominatorThrows) {
+  EXPECT_THROW(Rational(BigInt(1), BigInt(0)), InvalidArgument);
+}
+
+TEST(RationalTest, Arithmetic) {
+  const Rational half(BigInt(1), BigInt(2));
+  const Rational third(BigInt(1), BigInt(3));
+  EXPECT_EQ(half + third, Rational(BigInt(5), BigInt(6)));
+  EXPECT_EQ(half - third, Rational(BigInt(1), BigInt(6)));
+  EXPECT_EQ(half * third, Rational(BigInt(1), BigInt(6)));
+  EXPECT_EQ(half / third, Rational(BigInt(3), BigInt(2)));
+  EXPECT_EQ(-half, Rational(BigInt(-1), BigInt(2)));
+  EXPECT_THROW(half / Rational(), InvalidArgument);
+}
+
+TEST(RationalTest, FloorCeil) {
+  EXPECT_EQ(Rational(BigInt(7), BigInt(2)).floor(), BigInt(3));
+  EXPECT_EQ(Rational(BigInt(7), BigInt(2)).ceil(), BigInt(4));
+  EXPECT_EQ(Rational(BigInt(-7), BigInt(2)).floor(), BigInt(-4));
+  EXPECT_EQ(Rational(BigInt(-7), BigInt(2)).ceil(), BigInt(-3));
+  EXPECT_EQ(Rational(BigInt(6)).floor(), BigInt(6));
+  EXPECT_EQ(Rational(BigInt(6)).ceil(), BigInt(6));
+}
+
+TEST(RationalTest, Ordering) {
+  EXPECT_LT(Rational(BigInt(1), BigInt(3)), Rational(BigInt(1), BigInt(2)));
+  EXPECT_LT(Rational(BigInt(-1), BigInt(2)), Rational(BigInt(-1), BigInt(3)));
+  EXPECT_LT(Rational(BigInt(-1), BigInt(2)), Rational());
+  EXPECT_GT(Rational(3), Rational(2));
+}
+
+TEST(RationalTest, IsIntegerAndToString) {
+  EXPECT_TRUE(Rational(BigInt(4), BigInt(2)).is_integer());
+  EXPECT_FALSE(Rational(BigInt(1), BigInt(2)).is_integer());
+  EXPECT_EQ(Rational(BigInt(4), BigInt(2)).to_string(), "2");
+  EXPECT_EQ(Rational(BigInt(-1), BigInt(2)).to_string(), "-1/2");
+}
+
+TEST(RationalTest, RandomizedFieldAxioms) {
+  std::mt19937_64 rng(99);
+  std::uniform_int_distribution<std::int64_t> dist(-1000, 1000);
+  const auto random_rational = [&] {
+    std::int64_t den = dist(rng);
+    if (den == 0) den = 1;
+    return Rational(BigInt(dist(rng)), BigInt(den));
+  };
+  for (int i = 0; i < 500; ++i) {
+    const Rational a = random_rational();
+    const Rational b = random_rational();
+    const Rational c = random_rational();
+    EXPECT_EQ(a + b, b + a);
+    EXPECT_EQ(a * b, b * a);
+    EXPECT_EQ((a + b) + c, a + (b + c));
+    EXPECT_EQ(a * (b + c), a * b + a * c);
+    EXPECT_EQ(a + (-a), Rational());
+    if (!b.is_zero()) {
+      EXPECT_EQ((a / b) * b, a);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hv

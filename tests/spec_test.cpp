@@ -1,0 +1,271 @@
+#include "hv/spec/compile.h"
+
+#include <gtest/gtest.h>
+
+#include "hv/spec/ltl.h"
+#include "hv/spec/state.h"
+#include "hv/smt/linear.h"
+#include "hv/ta/parser.h"
+#include "hv/util/error.h"
+
+namespace hv::spec {
+namespace {
+
+// A chain automaton A -> B -> C with a threshold on the second hop.
+const ta::MultiRoundTa& chain() {
+  static const ta::MultiRoundTa instance = ta::parse_ta(R"(
+    ta Chain {
+      parameters n, t, f;
+      shared x, y;
+      resilience n > 3*t;
+      resilience t >= f;
+      resilience f >= 0;
+      processes n - f;
+      initial A;
+      locations B, C;
+      rule hop: A -> B do x += 1;
+      rule climb: B -> C when x >= t + 1 - f do y += 1;
+      selfloop C;
+    }
+  )");
+  return instance;
+}
+
+TEST(LtlParseTest, ParsesAppendixFStyle) {
+  const auto& ta = chain().body();
+  const FormulaPtr formula = parse_ltl(ta, "[](locA == 0) -> [](locC == 0)");
+  EXPECT_EQ(formula->kind, FormulaKind::kImplies);
+  EXPECT_EQ(formula->children[0]->kind, FormulaKind::kGlobally);
+  // Round-trips through the printer.
+  const std::string text = to_string(ta, formula);
+  EXPECT_NE(text.find("kappa[A]"), std::string::npos);
+}
+
+TEST(LtlParseTest, ResolvesIdentifierStyles) {
+  const auto& ta = chain().body();
+  // kappa[...], locX sugar, case-insensitive parameters.
+  EXPECT_NO_THROW(parse_ltl(ta, "kappa[B] != 0"));
+  EXPECT_NO_THROW(parse_ltl(ta, "locB != 0"));
+  EXPECT_NO_THROW(parse_ltl(ta, "x >= T + 1"));
+  EXPECT_THROW(parse_ltl(ta, "locNowhere == 0"), ParseError);
+  EXPECT_THROW(parse_ltl(ta, "zz >= 1"), ParseError);
+}
+
+TEST(LtlParseTest, OperatorPrecedence) {
+  const auto& ta = chain().body();
+  // -> binds loosest, && tighter than ||.
+  const FormulaPtr formula = parse_ltl(ta, "locA == 0 && locB == 0 -> <> locC != 0");
+  ASSERT_EQ(formula->kind, FormulaKind::kImplies);
+  EXPECT_EQ(formula->children[0]->kind, FormulaKind::kAnd);
+  EXPECT_EQ(formula->children[1]->kind, FormulaKind::kEventually);
+}
+
+TEST(LtlCnfTest, PredicateToCnf) {
+  const auto& ta = chain().body();
+  const Cnf cnf = predicate_to_cnf(parse_ltl(ta, "locA == 0 && (locB == 0 || locC == 0)"));
+  EXPECT_EQ(cnf.clauses.size(), 2u);
+  EXPECT_EQ(cnf.clauses[0].literals.size(), 1u);
+  EXPECT_EQ(cnf.clauses[1].literals.size(), 2u);
+}
+
+TEST(LtlCnfTest, NegationIsIntegerExact) {
+  const auto& ta = chain().body();
+  // !(x >= t+1-f) becomes x <= t-f.
+  const Cnf cnf = negated_predicate_to_cnf(parse_ltl(ta, "x >= t + 1 - f"));
+  ASSERT_EQ(cnf.clauses.size(), 1u);
+  ASSERT_EQ(cnf.clauses[0].literals.size(), 1u);
+  EXPECT_EQ(cnf.clauses[0].literals[0].relation, smt::Relation::kLe);
+}
+
+TEST(LtlCnfTest, NegatedEqualitySimplifiesUnderNonNegativity) {
+  const auto& ta = chain().body();
+  // !(kappa[A] == 0) is (kappa <= -1 || kappa >= 1); the first disjunct is
+  // impossible for non-negative counters and is simplified away.
+  const Cnf cnf = negated_predicate_to_cnf(parse_ltl(ta, "locA == 0"));
+  ASSERT_EQ(cnf.clauses.size(), 1u);
+  ASSERT_EQ(cnf.clauses[0].literals.size(), 1u);
+  EXPECT_EQ(cnf.clauses[0].literals[0].relation, smt::Relation::kGe);
+}
+
+TEST(LtlCnfTest, SimplifyCnfDropsTrivialClauses) {
+  const auto& ta = chain().body();
+  // "x >= 0 || locA != 0" always holds; the clause disappears.
+  const Cnf cnf = predicate_to_cnf(parse_ltl(ta, "x >= 0 || locA != 0"));
+  EXPECT_TRUE(cnf.is_true());
+  // An impossible predicate keeps a falsified clause.
+  const Cnf impossible = predicate_to_cnf(parse_ltl(ta, "x <= -1"));
+  ASSERT_EQ(impossible.clauses.size(), 1u);
+  EXPECT_EQ(impossible.clauses[0].literals.size(), 1u);
+}
+
+TEST(PersistenceTest, RiseGuardsArePersistent) {
+  const auto& ta = chain().body();
+  EXPECT_TRUE(is_persistent(ta, parse_ltl(ta, "x >= t + 1")));
+  EXPECT_TRUE(is_persistent(ta, parse_ltl(ta, "x + y >= 2*t + 1 - f")));
+  // A fall condition over a shared variable is not persistent.
+  EXPECT_FALSE(is_persistent(ta, parse_ltl(ta, "x <= t")));
+}
+
+TEST(PersistenceTest, EmptinessNeedsInflowFreedom) {
+  const auto& ta = chain().body();
+  // A has no inflow: emptiness persists.
+  EXPECT_TRUE(is_persistent(ta, parse_ltl(ta, "locA == 0")));
+  // B has inflow from A: emptiness of {B} alone does not persist.
+  EXPECT_FALSE(is_persistent(ta, parse_ltl(ta, "locB == 0")));
+  // But emptiness of {A, B} together does.
+  EXPECT_TRUE(is_persistent(ta, parse_ltl(ta, "locA == 0 && locB == 0")));
+}
+
+TEST(PersistenceTest, NonEmptinessNeedsOutflowClosure) {
+  const auto& ta = chain().body();
+  // C is a sink.
+  EXPECT_TRUE(is_persistent(ta, parse_ltl(ta, "locC != 0")));
+  // B can drain into C.
+  EXPECT_FALSE(is_persistent(ta, parse_ltl(ta, "locB != 0")));
+  // B-or-C is outflow-closed.
+  EXPECT_TRUE(is_persistent(ta, parse_ltl(ta, "locB != 0 || locC != 0")));
+}
+
+TEST(StabilityTest, DefaultClausesPerRule) {
+  const auto& ta = chain().body();
+  const Cnf stability = stability_constraint(ta);
+  // Two non-self-loop rules -> two clauses.
+  ASSERT_EQ(stability.clauses.size(), 2u);
+  // "hop" is unguarded: its clause is the unit kappa[A] <= 0.
+  EXPECT_EQ(stability.clauses[0].literals.size(), 1u);
+  // "climb": kappa[B] <= 0 or x <= t - f.
+  EXPECT_EQ(stability.clauses[1].literals.size(), 2u);
+}
+
+TEST(StabilityTest, OverridesReplaceRuleClauses) {
+  const auto& ta = chain().body();
+  CompileOptions options;
+  StabilityOverride override_climb;
+  override_climb.rule = 1;  // "climb"
+  Cnf replacement;
+  replacement.add_unit(smt::make_le(counter_expr(ta, *ta.find_location("B")),
+                                    smt::LinearExpr(0)));
+  override_climb.replacement = replacement;
+  options.overrides.push_back(override_climb);
+  const Cnf stability = stability_constraint(ta, options);
+  ASSERT_EQ(stability.clauses.size(), 2u);
+  EXPECT_EQ(stability.clauses[1].literals.size(), 1u);
+}
+
+TEST(CompileTest, Shape1InitialPremise) {
+  const auto& ta = chain().body();
+  const Property property = compile(ta, "just", "locA == 0 -> [](locC == 0)");
+  ASSERT_EQ(property.queries.size(), 1u);
+  EXPECT_FALSE(property.is_liveness);
+  EXPECT_FALSE(property.queries[0].initial.is_true());
+  EXPECT_TRUE(property.queries[0].cuts.empty());
+}
+
+TEST(CompileTest, Shape2GloballyEmptyPremise) {
+  const auto& ta = chain().body();
+  const Property property = compile(ta, "inv2", "[](locB == 0) -> [](locC == 0)");
+  ASSERT_EQ(property.queries.size(), 1u);
+  // B's inflow rule ("hop") must be frozen.
+  ASSERT_EQ(property.queries[0].zero_rules.size(), 1u);
+  EXPECT_EQ(ta.rule(property.queries[0].zero_rules[0]).name, "hop");
+}
+
+TEST(CompileTest, Shape3PersistentWitnessCollapsesToOneQuery) {
+  const auto& ta = chain().body();
+  // locC != 0 is persistent (C is a sink): one query, witness at the end.
+  const Property property = compile(ta, "inv1", "<>(locC != 0) -> [](locA != 0)");
+  ASSERT_EQ(property.queries.size(), 1u);
+  EXPECT_EQ(property.queries[0].cuts.size(), 1u);
+}
+
+TEST(CompileTest, Shape3NonPersistentWitnessNeedsBothOrders) {
+  const auto& ta = chain().body();
+  // locB != 0 can flip back (B drains into C) and !(locC == 0) is
+  // persistent-positive but its negation locC == 0 is not persistent, so
+  // neither side folds: two cut orders.
+  const Property property = compile(ta, "inv1", "<>(locB != 0) -> [](locB == 0)");
+  EXPECT_EQ(property.queries.size(), 2u);
+}
+
+TEST(CompileTest, Shape4LivenessWithPersistentPremise) {
+  const auto& ta = chain().body();
+  const Property property = compile(ta, "obl", "[](x >= t + 1 -> <>(locA == 0 && locB == 0))");
+  ASSERT_EQ(property.queries.size(), 1u);
+  EXPECT_TRUE(property.is_liveness);
+  // Final CNF contains premise + negated goal + stability clauses.
+  EXPECT_GE(property.queries[0].final_cnf.clauses.size(), 4u);
+}
+
+TEST(CompileTest, Shape4RejectsNonPersistentPremise) {
+  const auto& ta = chain().body();
+  EXPECT_THROW(compile(ta, "bad", "[](locB != 0 -> <>(locC != 0))"), InvalidArgument);
+}
+
+TEST(CompileTest, Shape5RequiresPersistentGoal) {
+  const auto& ta = chain().body();
+  const Property property =
+      compile(ta, "unif", "<>(locC != 0) -> <>(locA == 0 && locB == 0)");
+  ASSERT_EQ(property.queries.size(), 1u);
+  // The witness locC != 0 is persistent, so its cut folds into the final
+  // constraint.
+  EXPECT_EQ(property.queries[0].cuts.size(), 0u);
+  EXPECT_TRUE(property.is_liveness);
+  EXPECT_THROW(compile(ta, "bad", "<>(locC != 0) -> <>(locB == 0)"), InvalidArgument);
+}
+
+TEST(CompileTest, Shape6Termination) {
+  const auto& ta = chain().body();
+  const Property property = compile(ta, "term", "<>(locA == 0 && locB == 0)");
+  ASSERT_EQ(property.queries.size(), 1u);
+  EXPECT_TRUE(property.is_liveness);
+}
+
+TEST(CompileTest, Shape7AppendixF) {
+  const auto& ta = chain().body();
+  const Property property = compile(
+      ta, "term_f",
+      "<>[]( locA == 0 && (locB == 0 || x < t + 1) ) -> <>(locA == 0 && locB == 0)");
+  ASSERT_EQ(property.queries.size(), 1u);
+  EXPECT_TRUE(property.is_liveness);
+  // The fairness premise is part of the final constraint; no auto stability
+  // is added beyond it (2 premise clauses + 1-clause-per-goal-atom... just
+  // check it stayed small and has no kappa[A] <= 0 duplicates beyond pre).
+  EXPECT_EQ(property.queries[0].cuts.size(), 0u);
+}
+
+TEST(CompileTest, Shape8InitialPremiseLiveness) {
+  const auto& ta = chain().body();
+  const Property property =
+      compile(ta, "corr", "locA != 0 -> <>(locA == 0 && locB == 0)");
+  ASSERT_EQ(property.queries.size(), 1u);
+  EXPECT_TRUE(property.is_liveness);
+  EXPECT_FALSE(property.queries[0].initial.is_true());
+  EXPECT_TRUE(property.queries[0].cuts.empty());
+  // Goal must be persistent.
+  EXPECT_THROW(compile(ta, "bad", "locA != 0 -> <>(locB == 0)"), InvalidArgument);
+}
+
+TEST(CompileTest, RejectsUnsupportedShapes) {
+  const auto& ta = chain().body();
+  EXPECT_THROW(compile(ta, "x", "[](<>(locA == 0))"), InvalidArgument);
+  EXPECT_THROW(compile(ta, "x", "locA == 0"), InvalidArgument);
+  EXPECT_THROW(compile(ta, "x", "[](locB != 0) -> [](locC == 0)"), InvalidArgument);
+}
+
+TEST(StateEvalTest, EvaluateCnfInConfig) {
+  const auto& multi = chain();
+  const auto& ta = multi.body();
+  ta::ParamValuation params{{*ta.find_variable("n"), 4},
+                            {*ta.find_variable("t"), 1},
+                            {*ta.find_variable("f"), 1}};
+  const ta::CounterSystem system(ta, params);
+  ta::Config config = system.initial_configs()[0];
+  const Cnf all_in_a = predicate_to_cnf(parse_ltl(ta, "locA != 0 && locB == 0 && x == 0"));
+  EXPECT_TRUE(evaluate(system, all_in_a, config));
+  config = system.successor(config, 0);  // hop
+  EXPECT_FALSE(evaluate(system, all_in_a, config));
+  EXPECT_TRUE(evaluate(system, predicate_to_cnf(parse_ltl(ta, "x == 1 && locB == 1")), config));
+}
+
+}  // namespace
+}  // namespace hv::spec

@@ -1,0 +1,74 @@
+#include "hv/synth/synthesis.h"
+
+#include <gtest/gtest.h>
+
+#include "hv/synth/bv_sketch.h"
+
+namespace hv::synth {
+namespace {
+
+TEST(CandidateTest, Rendering) {
+  EXPECT_EQ(Candidate({1, 1, 1}).to_string(), "t + 1 - f");
+  EXPECT_EQ(Candidate({2, 1, 0}).to_string(), "2*t + 1");
+  EXPECT_EQ(Candidate({0, 1, 1}).to_string(), "1 - f");
+  EXPECT_EQ(Candidate({3, 0, 0}).to_string(), "3*t");
+}
+
+TEST(CandidateTest, DefaultLatticeExcludesTrivial) {
+  const auto candidates = default_candidates(2, 1);
+  EXPECT_EQ(candidates.size(), 10u);  // (3*2 - 1) * 2
+  for (const Candidate& candidate : candidates) {
+    EXPECT_FALSE(candidate.a == 0 && candidate.b == 0);
+  }
+}
+
+TEST(SynthesisTest, EnumeratesAndRespectsSolutionCap) {
+  // A toy factory that accepts iff both holes pick a == 1 (no checking).
+  const std::vector<HoleSpace> holes = {{"h0", {{0, 1, 0}, {1, 0, 0}}},
+                                        {"h1", {{0, 1, 0}, {1, 0, 0}}}};
+  const InstanceFactory factory =
+      [](const std::vector<Candidate>& assignment) -> std::optional<Instance> {
+    if (assignment[0].a != 1 || assignment[1].a != 1) return std::nullopt;
+    // A trivial always-true instance: empty property list.
+    ta::ThresholdAutomaton ta("Trivial");
+    ta.add_parameter("n");
+    ta.add_location("A", true);
+    ta.set_process_count(smt::LinearExpr::variable(0));
+    return Instance{std::move(ta), {}};
+  };
+  const SynthesisResult all = synthesize(holes, factory);
+  EXPECT_EQ(all.candidates_tried, 4);
+  ASSERT_EQ(all.solutions.size(), 1u);
+  EXPECT_EQ(all.solutions[0][0].a, 1);
+  SynthesisOptions capped;
+  capped.max_solutions = 1;
+  const SynthesisResult early = synthesize(holes, factory, capped);
+  EXPECT_EQ(early.solutions.size(), 1u);
+}
+
+// The headline synthesis: over the lattice {1-f, t+1-f, 2t+1-f} for both
+// thresholds, exactly the paper's assignment (echo t+1-f, deliver 2t+1-f)
+// satisfies the bv-broadcast specification:
+//   * echo at 1-f forges values (BV-Justification breaks),
+//   * echo at 2t+1-f starves waiters (BV-Obligation breaks),
+//   * delivery at 1-f or t+1-f lets a single delivery stay local
+//     (BV-Uniformity breaks), and delivery at 1-f also forges.
+TEST(SynthesisTest, RecoversThePaperThresholds) {
+  const std::vector<Candidate> lattice = {{0, 1, 1}, {1, 1, 1}, {2, 1, 1}};
+  const SynthesisResult result =
+      synthesize(bv_broadcast_holes(lattice), bv_broadcast_sketch);
+  EXPECT_EQ(result.candidates_tried, 9);
+  ASSERT_EQ(result.solutions.size(), 1u);
+  EXPECT_EQ(result.solutions[0][0], (Candidate{1, 1, 1}));  // echo: t+1-f
+  EXPECT_EQ(result.solutions[0][1], (Candidate{2, 1, 1}));  // deliver: 2t+1-f
+  // Spot-check the failure reasons recorded for two interesting rejects.
+  for (const Evaluation& evaluation : result.evaluations) {
+    if (evaluation.assignment[0] == (Candidate{0, 1, 1})) {
+      EXPECT_FALSE(evaluation.works);
+      EXPECT_EQ(evaluation.failed_property.substr(0, 7), "BV-Just");
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hv::synth

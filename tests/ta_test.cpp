@@ -1,0 +1,268 @@
+#include "hv/ta/automaton.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "hv/ta/counter_system.h"
+#include "hv/ta/dot.h"
+#include "hv/ta/parser.h"
+#include "hv/util/error.h"
+
+namespace hv::ta {
+namespace {
+
+// A toy two-location automaton: processes move from A to B once enough of
+// them have announced (x >= t+1), announcing as they go.
+ThresholdAutomaton make_toy() {
+  ThresholdAutomaton ta("Toy");
+  const VarId n = ta.add_parameter("n");
+  const VarId t = ta.add_parameter("t");
+  const VarId x = ta.add_shared("x");
+  const LocationId a = ta.add_location("A", /*initial=*/true);
+  const LocationId b = ta.add_location("B");
+  ta.add_rule("announce", a, b, Guard{}, Update{{{x, 1}}});
+  Guard threshold;
+  threshold.atoms.push_back(
+      smt::make_ge(smt::LinearExpr::variable(x),
+                   smt::LinearExpr::variable(t) + smt::LinearExpr(1)));
+  ta.add_rule("follow", a, b, threshold, Update{});
+  ta.add_self_loop(b);
+  ta.add_resilience(smt::make_gt(smt::LinearExpr::variable(n),
+                                 smt::LinearExpr::term(t, 3)));
+  ta.set_process_count(smt::LinearExpr::variable(n));
+  ta.validate();
+  return ta;
+}
+
+TEST(AutomatonTest, BasicAccessors) {
+  const ThresholdAutomaton ta = make_toy();
+  EXPECT_EQ(ta.location_count(), 2);
+  EXPECT_EQ(ta.rule_count(), 3);
+  EXPECT_EQ(ta.parameters().size(), 2u);
+  EXPECT_EQ(ta.shared_variables().size(), 1u);
+  EXPECT_EQ(ta.initial_locations().size(), 1u);
+  EXPECT_TRUE(ta.find_location("A").has_value());
+  EXPECT_FALSE(ta.find_location("Z").has_value());
+  EXPECT_TRUE(ta.find_variable("x").has_value());
+  EXPECT_EQ(ta.unique_guard_atoms().size(), 1u);
+  EXPECT_TRUE(ta.rule(2).is_self_loop());
+}
+
+TEST(AutomatonTest, DuplicateNamesRejected) {
+  ThresholdAutomaton ta("Dup");
+  ta.add_parameter("n");
+  EXPECT_THROW(ta.add_parameter("n"), InvalidArgument);
+  EXPECT_THROW(ta.add_shared("n"), InvalidArgument);
+  ta.add_location("A");
+  EXPECT_THROW(ta.add_location("A"), InvalidArgument);
+}
+
+TEST(AutomatonTest, ValidationRejectsDecrements) {
+  ThresholdAutomaton ta("Bad");
+  const VarId n = ta.add_parameter("n");
+  const VarId x = ta.add_shared("x");
+  const LocationId a = ta.add_location("A", true);
+  const LocationId b = ta.add_location("B");
+  ta.add_rule("dec", a, b, Guard{}, Update{{{x, -1}}});
+  ta.set_process_count(smt::LinearExpr::variable(n));
+  EXPECT_THROW(ta.validate(), InvalidArgument);
+}
+
+TEST(AutomatonTest, ValidationRejectsFallGuards) {
+  ThresholdAutomaton ta("Bad");
+  const VarId n = ta.add_parameter("n");
+  const VarId x = ta.add_shared("x");
+  const LocationId a = ta.add_location("A", true);
+  const LocationId b = ta.add_location("B");
+  Guard fall;
+  fall.atoms.push_back(smt::make_le(smt::LinearExpr::variable(x), smt::LinearExpr(3)));
+  ta.add_rule("fall", a, b, fall, Update{});
+  ta.set_process_count(smt::LinearExpr::variable(n));
+  EXPECT_THROW(ta.validate(), InvalidArgument);
+}
+
+TEST(AutomatonTest, ValidationRejectsCycles) {
+  ThresholdAutomaton ta("Cycle");
+  const VarId n = ta.add_parameter("n");
+  const LocationId a = ta.add_location("A", true);
+  const LocationId b = ta.add_location("B");
+  ta.add_rule("ab", a, b, Guard{}, Update{});
+  ta.add_rule("ba", b, a, Guard{}, Update{});
+  ta.set_process_count(smt::LinearExpr::variable(n));
+  EXPECT_THROW(ta.validate(), InvalidArgument);
+}
+
+TEST(AutomatonTest, TopologicalOrderRespectsEdges) {
+  const ThresholdAutomaton ta = make_toy();
+  const auto order = ta.rules_in_topological_order();
+  EXPECT_EQ(order.size(), 2u);  // self-loop excluded
+  for (const RuleId id : order) EXPECT_FALSE(ta.rule(id).is_self_loop());
+}
+
+TEST(CounterSystemTest, RejectsBadParameters) {
+  const ThresholdAutomaton ta = make_toy();
+  EXPECT_THROW(CounterSystem(ta, {}), InvalidArgument);
+  // n=3, t=1 violates n > 3t.
+  ParamValuation bad{{*ta.find_variable("n"), 3}, {*ta.find_variable("t"), 1}};
+  EXPECT_THROW(CounterSystem(ta, bad), InvalidArgument);
+}
+
+TEST(CounterSystemTest, InitialConfigsEnumerateDistributions) {
+  const ThresholdAutomaton ta = make_toy();
+  ParamValuation params{{*ta.find_variable("n"), 4}, {*ta.find_variable("t"), 1}};
+  const CounterSystem system(ta, params);
+  EXPECT_EQ(system.process_count(), 4);
+  const auto configs = system.initial_configs();
+  ASSERT_EQ(configs.size(), 1u);  // single initial location
+  EXPECT_EQ(configs[0].counters[*ta.find_location("A")], 4);
+  EXPECT_EQ(configs[0].shared[0], 0);
+}
+
+TEST(CounterSystemTest, StepSemantics) {
+  const ThresholdAutomaton ta = make_toy();
+  ParamValuation params{{*ta.find_variable("n"), 4}, {*ta.find_variable("t"), 1}};
+  const CounterSystem system(ta, params);
+  Config config = system.initial_configs()[0];
+  // "follow" needs x >= t+1 = 2: disabled initially.
+  EXPECT_FALSE(system.enabled(1, config));
+  EXPECT_TRUE(system.enabled(0, config));
+  config = system.successor(config, 0);
+  config = system.successor(config, 0);
+  EXPECT_EQ(config.shared[0], 2);
+  EXPECT_TRUE(system.enabled(1, config));  // now x = 2 >= 2
+  config = system.successor(config, 1);
+  EXPECT_EQ(config.counters[*ta.find_location("B")], 3);
+  EXPECT_EQ(config.shared[0], 2);  // follow does not announce
+  EXPECT_FALSE(system.justice_stable(config));
+  config = system.successor(config, 1);
+  EXPECT_TRUE(system.justice_stable(config));
+  EXPECT_EQ(system.successors(config).size(), 0u);
+}
+
+TEST(CounterSystemTest, ConfigToStringListsNonZeroEntries) {
+  const ThresholdAutomaton ta = make_toy();
+  ParamValuation params{{*ta.find_variable("n"), 4}, {*ta.find_variable("t"), 1}};
+  const CounterSystem system(ta, params);
+  Config config = system.initial_configs()[0];
+  config = system.successor(config, 0);
+  const std::string text = system.config_to_string(config);
+  EXPECT_NE(text.find("A:3"), std::string::npos);
+  EXPECT_NE(text.find("B:1"), std::string::npos);
+  EXPECT_NE(text.find("x=1"), std::string::npos);
+}
+
+TEST(DotTest, EmitsLocationsAndRules) {
+  const ThresholdAutomaton ta = make_toy();
+  const std::string dot = to_dot(ta);
+  EXPECT_NE(dot.find("digraph \"Toy\""), std::string::npos);
+  EXPECT_NE(dot.find("\"A\" -> \"B\""), std::string::npos);
+  EXPECT_NE(dot.find("announce"), std::string::npos);
+  // Guard-true self-loops hidden by default.
+  EXPECT_EQ(dot.find("\"B\" -> \"B\""), std::string::npos);
+  DotOptions options;
+  options.hide_self_loops = false;
+  EXPECT_NE(to_dot(ta, options).find("\"B\" -> \"B\""), std::string::npos);
+}
+
+TEST(DotTest, MultiRoundRendersDottedSwitches) {
+  const MultiRoundTa multi = parse_ta(R"(
+    ta Rounds {
+      parameters n;
+      shared x;
+      processes n;
+      initial A;
+      locations B;
+      rule go: A -> B do x += 1;
+      switch B -> A;
+    }
+  )");
+  const std::string dot = to_dot(multi);
+  EXPECT_NE(dot.find("style=dotted"), std::string::npos);
+  DotOptions options;
+  options.include_round_switches = false;
+  EXPECT_EQ(to_dot(multi, options).find("style=dotted"), std::string::npos);
+}
+
+constexpr const char* kToyText = R"(
+# A toy automaton in the textual format.
+ta Toy {
+  parameters n, t;
+  shared x;
+  resilience n > 3*t;
+  processes n;
+  initial A;
+  locations B;
+  rule announce: A -> B do x += 1;
+  rule follow: A -> B when x >= t + 1;
+  selfloop B;
+}
+)";
+
+TEST(ParserTest, ParsesToy) {
+  const MultiRoundTa parsed = parse_ta(kToyText);
+  const ThresholdAutomaton& ta = parsed.body();
+  EXPECT_EQ(ta.name(), "Toy");
+  EXPECT_EQ(ta.location_count(), 2);
+  EXPECT_EQ(ta.rule_count(), 3);
+  EXPECT_EQ(ta.unique_guard_atoms().size(), 1u);
+  EXPECT_TRUE(parsed.switches().empty());
+}
+
+TEST(ParserTest, RoundTripThroughText) {
+  const MultiRoundTa parsed = parse_ta(kToyText);
+  const std::string text = to_text(parsed);
+  const MultiRoundTa reparsed = parse_ta(text);
+  EXPECT_EQ(to_text(reparsed), text);
+  EXPECT_EQ(reparsed.body().rule_count(), parsed.body().rule_count());
+  EXPECT_EQ(reparsed.body().location_count(), parsed.body().location_count());
+}
+
+TEST(ParserTest, ParsesRoundSwitches) {
+  const MultiRoundTa parsed = parse_ta(R"(
+    ta Rounds {
+      parameters n;
+      shared x;
+      processes n;
+      initial A;
+      locations B;
+      rule go: A -> B do x += 1;
+      switch B -> A;
+    }
+  )");
+  ASSERT_EQ(parsed.switches().size(), 1u);
+  const ThresholdAutomaton reduced = parsed.one_round_reduction();
+  // A was initial already; reduction keeps one initial location.
+  EXPECT_EQ(reduced.initial_locations().size(), 1u);
+}
+
+TEST(ParserTest, ReductionEnlargesInitialSet) {
+  const MultiRoundTa parsed = parse_ta(R"(
+    ta Rounds {
+      parameters n;
+      shared x;
+      processes n;
+      initial A;
+      locations B, C;
+      rule go: A -> B do x += 1;
+      rule on: B -> C;
+      switch C -> B;
+    }
+  )");
+  const ThresholdAutomaton reduced = parsed.one_round_reduction();
+  EXPECT_EQ(reduced.initial_locations().size(), 2u);  // A and B
+}
+
+TEST(ParserTest, ErrorsCarryLineNumbers) {
+  try {
+    parse_ta("ta X {\n  parameters n;\n  bogus;\n}");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& error) {
+    EXPECT_EQ(error.line(), 3);
+  }
+  EXPECT_THROW(parse_ta("ta X { rule r: A -> B; }"), ParseError);
+  EXPECT_THROW(parse_ta("ta X { parameters n; shared n; }"), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace hv::ta

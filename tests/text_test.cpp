@@ -1,0 +1,47 @@
+#include "hv/util/text.h"
+
+#include <gtest/gtest.h>
+
+namespace hv {
+namespace {
+
+TEST(TextTest, Trim) {
+  EXPECT_EQ(trim("  abc  "), "abc");
+  EXPECT_EQ(trim("abc"), "abc");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("\t a b \n"), "a b");
+}
+
+TEST(TextTest, Split) {
+  const auto fields = split("a,b,,c", ',');
+  ASSERT_EQ(fields.size(), 4u);
+  EXPECT_EQ(fields[0], "a");
+  EXPECT_EQ(fields[1], "b");
+  EXPECT_EQ(fields[2], "");
+  EXPECT_EQ(fields[3], "c");
+  EXPECT_EQ(split("", ',').size(), 1u);
+  EXPECT_EQ(split("abc", ',').size(), 1u);
+}
+
+TEST(TextTest, StartsWith) {
+  EXPECT_TRUE(starts_with("abcdef", "abc"));
+  EXPECT_TRUE(starts_with("abc", ""));
+  EXPECT_FALSE(starts_with("ab", "abc"));
+}
+
+TEST(TextTest, Join) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ", "), "");
+  EXPECT_EQ(join({"solo"}, ", "), "solo");
+}
+
+TEST(TextTest, Padding) {
+  EXPECT_EQ(pad_left("7", 3), "  7");
+  EXPECT_EQ(pad_right("7", 3), "7  ");
+  EXPECT_EQ(pad_left("1234", 3), "1234");
+  EXPECT_EQ(pad_right("1234", 3), "1234");
+}
+
+}  // namespace
+}  // namespace hv
