@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/conformance_check.cpp" "bench-build/CMakeFiles/conformance_check.dir/conformance_check.cpp.o" "gcc" "bench-build/CMakeFiles/conformance_check.dir/conformance_check.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hv/sim/CMakeFiles/hv_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/hv/algo/CMakeFiles/hv_algo.dir/DependInfo.cmake"
+  "/root/repo/build/src/hv/models/CMakeFiles/hv_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/hv/spec/CMakeFiles/hv_spec.dir/DependInfo.cmake"
+  "/root/repo/build/src/hv/ta/CMakeFiles/hv_ta.dir/DependInfo.cmake"
+  "/root/repo/build/src/hv/smt/CMakeFiles/hv_smt.dir/DependInfo.cmake"
+  "/root/repo/build/src/hv/util/CMakeFiles/hv_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/conformance_check"
+  "../bench/conformance_check.pdb"
+  "CMakeFiles/conformance_check.dir/conformance_check.cpp.o"
+  "CMakeFiles/conformance_check.dir/conformance_check.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conformance_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/explicit_vs_param"
+  "../bench/explicit_vs_param.pdb"
+  "CMakeFiles/explicit_vs_param.dir/explicit_vs_param.cpp.o"
+  "CMakeFiles/explicit_vs_param.dir/explicit_vs_param.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/explicit_vs_param.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fairness_sweep"
+  "../bench/fairness_sweep.pdb"
+  "CMakeFiles/fairness_sweep.dir/fairness_sweep.cpp.o"
+  "CMakeFiles/fairness_sweep.dir/fairness_sweep.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fairness_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

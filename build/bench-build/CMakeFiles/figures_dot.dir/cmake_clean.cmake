@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/figures_dot"
+  "../bench/figures_dot.pdb"
+  "CMakeFiles/figures_dot.dir/figures_dot.cpp.o"
+  "CMakeFiles/figures_dot.dir/figures_dot.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figures_dot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/sim_micro"
+  "../bench/sim_micro.pdb"
+  "CMakeFiles/sim_micro.dir/sim_micro.cpp.o"
+  "CMakeFiles/sim_micro.dir/sim_micro.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/smt_micro"
+  "../bench/smt_micro.pdb"
+  "CMakeFiles/smt_micro.dir/smt_micro.cpp.o"
+  "CMakeFiles/smt_micro.dir/smt_micro.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smt_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

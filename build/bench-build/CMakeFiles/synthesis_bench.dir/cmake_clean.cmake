@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/synthesis_bench"
+  "../bench/synthesis_bench.pdb"
+  "CMakeFiles/synthesis_bench.dir/synthesis_bench.cpp.o"
+  "CMakeFiles/synthesis_bench.dir/synthesis_bench.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synthesis_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

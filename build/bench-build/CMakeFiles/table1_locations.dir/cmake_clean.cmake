@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_locations"
+  "../bench/table1_locations.pdb"
+  "CMakeFiles/table1_locations.dir/table1_locations.cpp.o"
+  "CMakeFiles/table1_locations.dir/table1_locations.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_locations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

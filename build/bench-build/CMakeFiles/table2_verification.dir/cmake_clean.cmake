@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_verification"
+  "../bench/table2_verification.pdb"
+  "CMakeFiles/table2_verification.dir/table2_verification.cpp.o"
+  "CMakeFiles/table2_verification.dir/table2_verification.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_verification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table3_rules"
+  "../bench/table3_rules.pdb"
+  "CMakeFiles/table3_rules.dir/table3_rules.cpp.o"
+  "CMakeFiles/table3_rules.dir/table3_rules.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_rules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/find_counterexample.dir/find_counterexample.cpp.o"
+  "CMakeFiles/find_counterexample.dir/find_counterexample.cpp.o.d"
+  "find_counterexample"
+  "find_counterexample.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/find_counterexample.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

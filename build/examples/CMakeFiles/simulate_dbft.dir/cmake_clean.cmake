@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simulate_dbft.dir/simulate_dbft.cpp.o"
+  "CMakeFiles/simulate_dbft.dir/simulate_dbft.cpp.o.d"
+  "simulate_dbft"
+  "simulate_dbft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simulate_dbft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

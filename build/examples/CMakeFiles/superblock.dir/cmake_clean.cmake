@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/superblock.dir/superblock.cpp.o"
+  "CMakeFiles/superblock.dir/superblock.cpp.o.d"
+  "superblock"
+  "superblock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/superblock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/verify_redbelly.dir/verify_redbelly.cpp.o"
+  "CMakeFiles/verify_redbelly.dir/verify_redbelly.cpp.o.d"
+  "verify_redbelly"
+  "verify_redbelly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/verify_redbelly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("hv/util")
+subdirs("hv/smt")
+subdirs("hv/ta")
+subdirs("hv/spec")
+subdirs("hv/checker")
+subdirs("hv/models")
+subdirs("hv/algo")
+subdirs("hv/sim")
+subdirs("hv/pipeline")
+subdirs("hv/tools")
+subdirs("hv/synth")

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hv/algo/bv_instance.cpp" "src/hv/algo/CMakeFiles/hv_algo.dir/bv_instance.cpp.o" "gcc" "src/hv/algo/CMakeFiles/hv_algo.dir/bv_instance.cpp.o.d"
+  "/root/repo/src/hv/algo/dbft.cpp" "src/hv/algo/CMakeFiles/hv_algo.dir/dbft.cpp.o" "gcc" "src/hv/algo/CMakeFiles/hv_algo.dir/dbft.cpp.o.d"
+  "/root/repo/src/hv/algo/reliable_broadcast.cpp" "src/hv/algo/CMakeFiles/hv_algo.dir/reliable_broadcast.cpp.o" "gcc" "src/hv/algo/CMakeFiles/hv_algo.dir/reliable_broadcast.cpp.o.d"
+  "/root/repo/src/hv/algo/vector_consensus.cpp" "src/hv/algo/CMakeFiles/hv_algo.dir/vector_consensus.cpp.o" "gcc" "src/hv/algo/CMakeFiles/hv_algo.dir/vector_consensus.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hv/util/CMakeFiles/hv_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hv_algo.dir/bv_instance.cpp.o"
+  "CMakeFiles/hv_algo.dir/bv_instance.cpp.o.d"
+  "CMakeFiles/hv_algo.dir/dbft.cpp.o"
+  "CMakeFiles/hv_algo.dir/dbft.cpp.o.d"
+  "CMakeFiles/hv_algo.dir/reliable_broadcast.cpp.o"
+  "CMakeFiles/hv_algo.dir/reliable_broadcast.cpp.o.d"
+  "CMakeFiles/hv_algo.dir/vector_consensus.cpp.o"
+  "CMakeFiles/hv_algo.dir/vector_consensus.cpp.o.d"
+  "libhv_algo.a"
+  "libhv_algo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hv_algo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hv/checker/cone.cpp" "src/hv/checker/CMakeFiles/hv_checker.dir/cone.cpp.o" "gcc" "src/hv/checker/CMakeFiles/hv_checker.dir/cone.cpp.o.d"
+  "/root/repo/src/hv/checker/encoder.cpp" "src/hv/checker/CMakeFiles/hv_checker.dir/encoder.cpp.o" "gcc" "src/hv/checker/CMakeFiles/hv_checker.dir/encoder.cpp.o.d"
+  "/root/repo/src/hv/checker/explicit_checker.cpp" "src/hv/checker/CMakeFiles/hv_checker.dir/explicit_checker.cpp.o" "gcc" "src/hv/checker/CMakeFiles/hv_checker.dir/explicit_checker.cpp.o.d"
+  "/root/repo/src/hv/checker/guard_analysis.cpp" "src/hv/checker/CMakeFiles/hv_checker.dir/guard_analysis.cpp.o" "gcc" "src/hv/checker/CMakeFiles/hv_checker.dir/guard_analysis.cpp.o.d"
+  "/root/repo/src/hv/checker/parameterized.cpp" "src/hv/checker/CMakeFiles/hv_checker.dir/parameterized.cpp.o" "gcc" "src/hv/checker/CMakeFiles/hv_checker.dir/parameterized.cpp.o.d"
+  "/root/repo/src/hv/checker/result.cpp" "src/hv/checker/CMakeFiles/hv_checker.dir/result.cpp.o" "gcc" "src/hv/checker/CMakeFiles/hv_checker.dir/result.cpp.o.d"
+  "/root/repo/src/hv/checker/schema.cpp" "src/hv/checker/CMakeFiles/hv_checker.dir/schema.cpp.o" "gcc" "src/hv/checker/CMakeFiles/hv_checker.dir/schema.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hv/spec/CMakeFiles/hv_spec.dir/DependInfo.cmake"
+  "/root/repo/build/src/hv/ta/CMakeFiles/hv_ta.dir/DependInfo.cmake"
+  "/root/repo/build/src/hv/smt/CMakeFiles/hv_smt.dir/DependInfo.cmake"
+  "/root/repo/build/src/hv/util/CMakeFiles/hv_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hv_checker.dir/cone.cpp.o"
+  "CMakeFiles/hv_checker.dir/cone.cpp.o.d"
+  "CMakeFiles/hv_checker.dir/encoder.cpp.o"
+  "CMakeFiles/hv_checker.dir/encoder.cpp.o.d"
+  "CMakeFiles/hv_checker.dir/explicit_checker.cpp.o"
+  "CMakeFiles/hv_checker.dir/explicit_checker.cpp.o.d"
+  "CMakeFiles/hv_checker.dir/guard_analysis.cpp.o"
+  "CMakeFiles/hv_checker.dir/guard_analysis.cpp.o.d"
+  "CMakeFiles/hv_checker.dir/parameterized.cpp.o"
+  "CMakeFiles/hv_checker.dir/parameterized.cpp.o.d"
+  "CMakeFiles/hv_checker.dir/result.cpp.o"
+  "CMakeFiles/hv_checker.dir/result.cpp.o.d"
+  "CMakeFiles/hv_checker.dir/schema.cpp.o"
+  "CMakeFiles/hv_checker.dir/schema.cpp.o.d"
+  "libhv_checker.a"
+  "libhv_checker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hv_checker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hv_models.dir/bv_broadcast.cpp.o"
+  "CMakeFiles/hv_models.dir/bv_broadcast.cpp.o.d"
+  "CMakeFiles/hv_models.dir/naive_consensus.cpp.o"
+  "CMakeFiles/hv_models.dir/naive_consensus.cpp.o.d"
+  "CMakeFiles/hv_models.dir/simplified_consensus.cpp.o"
+  "CMakeFiles/hv_models.dir/simplified_consensus.cpp.o.d"
+  "CMakeFiles/hv_models.dir/st_broadcast.cpp.o"
+  "CMakeFiles/hv_models.dir/st_broadcast.cpp.o.d"
+  "libhv_models.a"
+  "libhv_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hv_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

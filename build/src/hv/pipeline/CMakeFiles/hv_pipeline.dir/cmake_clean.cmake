@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hv_pipeline.dir/holistic.cpp.o"
+  "CMakeFiles/hv_pipeline.dir/holistic.cpp.o.d"
+  "libhv_pipeline.a"
+  "libhv_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hv_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hv/sim/conformance.cpp" "src/hv/sim/CMakeFiles/hv_sim.dir/conformance.cpp.o" "gcc" "src/hv/sim/CMakeFiles/hv_sim.dir/conformance.cpp.o.d"
+  "/root/repo/src/hv/sim/lemma7.cpp" "src/hv/sim/CMakeFiles/hv_sim.dir/lemma7.cpp.o" "gcc" "src/hv/sim/CMakeFiles/hv_sim.dir/lemma7.cpp.o.d"
+  "/root/repo/src/hv/sim/network.cpp" "src/hv/sim/CMakeFiles/hv_sim.dir/network.cpp.o" "gcc" "src/hv/sim/CMakeFiles/hv_sim.dir/network.cpp.o.d"
+  "/root/repo/src/hv/sim/runner.cpp" "src/hv/sim/CMakeFiles/hv_sim.dir/runner.cpp.o" "gcc" "src/hv/sim/CMakeFiles/hv_sim.dir/runner.cpp.o.d"
+  "/root/repo/src/hv/sim/vector_runner.cpp" "src/hv/sim/CMakeFiles/hv_sim.dir/vector_runner.cpp.o" "gcc" "src/hv/sim/CMakeFiles/hv_sim.dir/vector_runner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hv/algo/CMakeFiles/hv_algo.dir/DependInfo.cmake"
+  "/root/repo/build/src/hv/models/CMakeFiles/hv_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/hv/util/CMakeFiles/hv_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/hv/spec/CMakeFiles/hv_spec.dir/DependInfo.cmake"
+  "/root/repo/build/src/hv/ta/CMakeFiles/hv_ta.dir/DependInfo.cmake"
+  "/root/repo/build/src/hv/smt/CMakeFiles/hv_smt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hv_sim.dir/conformance.cpp.o"
+  "CMakeFiles/hv_sim.dir/conformance.cpp.o.d"
+  "CMakeFiles/hv_sim.dir/lemma7.cpp.o"
+  "CMakeFiles/hv_sim.dir/lemma7.cpp.o.d"
+  "CMakeFiles/hv_sim.dir/network.cpp.o"
+  "CMakeFiles/hv_sim.dir/network.cpp.o.d"
+  "CMakeFiles/hv_sim.dir/runner.cpp.o"
+  "CMakeFiles/hv_sim.dir/runner.cpp.o.d"
+  "CMakeFiles/hv_sim.dir/vector_runner.cpp.o"
+  "CMakeFiles/hv_sim.dir/vector_runner.cpp.o.d"
+  "libhv_sim.a"
+  "libhv_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hv_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hv_smt.dir/linear.cpp.o"
+  "CMakeFiles/hv_smt.dir/linear.cpp.o.d"
+  "CMakeFiles/hv_smt.dir/simplex.cpp.o"
+  "CMakeFiles/hv_smt.dir/simplex.cpp.o.d"
+  "CMakeFiles/hv_smt.dir/solver.cpp.o"
+  "CMakeFiles/hv_smt.dir/solver.cpp.o.d"
+  "libhv_smt.a"
+  "libhv_smt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hv_smt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

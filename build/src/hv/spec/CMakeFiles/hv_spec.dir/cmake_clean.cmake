@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hv_spec.dir/compile.cpp.o"
+  "CMakeFiles/hv_spec.dir/compile.cpp.o.d"
+  "CMakeFiles/hv_spec.dir/ltl.cpp.o"
+  "CMakeFiles/hv_spec.dir/ltl.cpp.o.d"
+  "CMakeFiles/hv_spec.dir/state.cpp.o"
+  "CMakeFiles/hv_spec.dir/state.cpp.o.d"
+  "libhv_spec.a"
+  "libhv_spec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hv_spec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hv_synth.dir/bv_sketch.cpp.o"
+  "CMakeFiles/hv_synth.dir/bv_sketch.cpp.o.d"
+  "CMakeFiles/hv_synth.dir/synthesis.cpp.o"
+  "CMakeFiles/hv_synth.dir/synthesis.cpp.o.d"
+  "libhv_synth.a"
+  "libhv_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hv_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

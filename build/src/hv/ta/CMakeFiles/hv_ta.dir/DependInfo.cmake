@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hv/ta/automaton.cpp" "src/hv/ta/CMakeFiles/hv_ta.dir/automaton.cpp.o" "gcc" "src/hv/ta/CMakeFiles/hv_ta.dir/automaton.cpp.o.d"
+  "/root/repo/src/hv/ta/counter_system.cpp" "src/hv/ta/CMakeFiles/hv_ta.dir/counter_system.cpp.o" "gcc" "src/hv/ta/CMakeFiles/hv_ta.dir/counter_system.cpp.o.d"
+  "/root/repo/src/hv/ta/dot.cpp" "src/hv/ta/CMakeFiles/hv_ta.dir/dot.cpp.o" "gcc" "src/hv/ta/CMakeFiles/hv_ta.dir/dot.cpp.o.d"
+  "/root/repo/src/hv/ta/parser.cpp" "src/hv/ta/CMakeFiles/hv_ta.dir/parser.cpp.o" "gcc" "src/hv/ta/CMakeFiles/hv_ta.dir/parser.cpp.o.d"
+  "/root/repo/src/hv/ta/random.cpp" "src/hv/ta/CMakeFiles/hv_ta.dir/random.cpp.o" "gcc" "src/hv/ta/CMakeFiles/hv_ta.dir/random.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hv/smt/CMakeFiles/hv_smt.dir/DependInfo.cmake"
+  "/root/repo/build/src/hv/util/CMakeFiles/hv_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hv_ta.dir/automaton.cpp.o"
+  "CMakeFiles/hv_ta.dir/automaton.cpp.o.d"
+  "CMakeFiles/hv_ta.dir/counter_system.cpp.o"
+  "CMakeFiles/hv_ta.dir/counter_system.cpp.o.d"
+  "CMakeFiles/hv_ta.dir/dot.cpp.o"
+  "CMakeFiles/hv_ta.dir/dot.cpp.o.d"
+  "CMakeFiles/hv_ta.dir/parser.cpp.o"
+  "CMakeFiles/hv_ta.dir/parser.cpp.o.d"
+  "CMakeFiles/hv_ta.dir/random.cpp.o"
+  "CMakeFiles/hv_ta.dir/random.cpp.o.d"
+  "libhv_ta.a"
+  "libhv_ta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hv_ta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hv_tools.dir/cli.cpp.o"
+  "CMakeFiles/hv_tools.dir/cli.cpp.o.d"
+  "libhv_tools.a"
+  "libhv_tools.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hv_tools.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhv_tools.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../../../hvc"
+  "../../../hvc.pdb"
+  "CMakeFiles/hvc.dir/hvc_main.cpp.o"
+  "CMakeFiles/hvc.dir/hvc_main.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hvc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

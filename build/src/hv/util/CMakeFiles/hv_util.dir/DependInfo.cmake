@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hv/util/bigint.cpp" "src/hv/util/CMakeFiles/hv_util.dir/bigint.cpp.o" "gcc" "src/hv/util/CMakeFiles/hv_util.dir/bigint.cpp.o.d"
+  "/root/repo/src/hv/util/rational.cpp" "src/hv/util/CMakeFiles/hv_util.dir/rational.cpp.o" "gcc" "src/hv/util/CMakeFiles/hv_util.dir/rational.cpp.o.d"
+  "/root/repo/src/hv/util/text.cpp" "src/hv/util/CMakeFiles/hv_util.dir/text.cpp.o" "gcc" "src/hv/util/CMakeFiles/hv_util.dir/text.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hv_util.dir/bigint.cpp.o"
+  "CMakeFiles/hv_util.dir/bigint.cpp.o.d"
+  "CMakeFiles/hv_util.dir/rational.cpp.o"
+  "CMakeFiles/hv_util.dir/rational.cpp.o.d"
+  "CMakeFiles/hv_util.dir/text.cpp.o"
+  "CMakeFiles/hv_util.dir/text.cpp.o.d"
+  "libhv_util.a"
+  "libhv_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hv_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

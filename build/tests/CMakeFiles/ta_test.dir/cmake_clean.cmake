@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ta_test.dir/ta_test.cpp.o"
+  "CMakeFiles/ta_test.dir/ta_test.cpp.o.d"
+  "ta_test"
+  "ta_test.pdb"
+  "ta_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ta_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
