@@ -1,0 +1,124 @@
+// Fresh-solver vs incremental (push/pop) SMT solving on Table-2 properties.
+//
+// Both modes run the same checker with the same options except
+// CheckOptions::incremental; verdicts must agree, and the incremental mode
+// must spend significantly fewer simplex pivots (the paper-side claim that
+// schema-based encodings amortize across the DFS enumeration order).
+//
+// Emits a machine-readable JSON array to BENCH_incremental.json (override
+// with --out FILE) so future changes have a perf trajectory to compare
+// against.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "hv/checker/parameterized.h"
+#include "hv/models/bv_broadcast.h"
+#include "hv/models/simplified_consensus.h"
+
+namespace {
+
+struct Row {
+  std::string model;
+  std::string property;
+  hv::checker::PropertyResult fresh;
+  hv::checker::PropertyResult incremental;
+};
+
+Row run_property(const std::string& model, const hv::ta::ThresholdAutomaton& ta,
+                 const hv::spec::Property& property, const hv::checker::CheckOptions& base) {
+  Row row;
+  row.model = model;
+  row.property = property.name;
+  hv::checker::CheckOptions fresh = base;
+  fresh.incremental = false;
+  row.fresh = hv::checker::check_property(ta, property, fresh);
+  hv::checker::CheckOptions incremental = base;
+  incremental.incremental = true;
+  row.incremental = hv::checker::check_property(ta, property, incremental);
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_incremental.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--out FILE]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  hv::checker::CheckOptions options;  // defaults: single worker, pruning on
+
+  std::vector<Row> rows;
+  const hv::ta::ThresholdAutomaton bv = hv::models::bv_broadcast();
+  for (const hv::spec::Property& property : hv::models::bv_properties(bv)) {
+    rows.push_back(run_property("bv_broadcast", bv, property, options));
+  }
+  const hv::ta::ThresholdAutomaton simplified = hv::models::simplified_consensus_one_round();
+  for (const hv::spec::Property& property :
+       hv::models::simplified_table2_properties(simplified)) {
+    rows.push_back(run_property("simplified_consensus", simplified, property, options));
+  }
+
+  std::printf("  %-22s %-12s %8s | %12s %12s %7s | %9s %9s %7s\n", "model", "property",
+              "schemas", "pivots", "pivots", "ratio", "time", "time", "speedup");
+  std::printf("  %-22s %-12s %8s | %12s %12s %7s | %9s %9s %7s\n", "", "", "", "(fresh)",
+              "(incr)", "", "(fresh)", "(incr)", "");
+  bool verdicts_agree = true;
+  for (const Row& row : rows) {
+    verdicts_agree = verdicts_agree && row.fresh.verdict == row.incremental.verdict;
+    const double pivot_ratio =
+        row.incremental.simplex_pivots == 0
+            ? 0.0
+            : static_cast<double>(row.fresh.simplex_pivots) /
+                  static_cast<double>(row.incremental.simplex_pivots);
+    const double speedup =
+        row.incremental.seconds == 0.0 ? 0.0 : row.fresh.seconds / row.incremental.seconds;
+    std::printf("  %-22s %-12s %8lld | %12lld %12lld %6.2fx | %8.3fs %8.3fs %6.2fx\n",
+                row.model.c_str(), row.property.c_str(),
+                static_cast<long long>(row.incremental.schemas_checked),
+                static_cast<long long>(row.fresh.simplex_pivots),
+                static_cast<long long>(row.incremental.simplex_pivots), pivot_ratio,
+                row.fresh.seconds, row.incremental.seconds, speedup);
+  }
+  std::printf("  verdicts agree on every property: %s\n", verdicts_agree ? "yes" : "NO");
+
+  std::FILE* json = std::fopen(out_path.c_str(), "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 2;
+  }
+  std::fputs("[\n", json);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& row = rows[i];
+    const auto& inc = row.incremental.incremental;
+    std::fprintf(json,
+                 "  {\"model\": \"%s\", \"property\": \"%s\", \"verdict\": \"%s\", "
+                 "\"verdicts_agree\": %s, \"schemas\": %lld, "
+                 "\"fresh_pivots\": %lld, \"incremental_pivots\": %lld, "
+                 "\"fresh_seconds\": %.6f, \"incremental_seconds\": %.6f, "
+                 "\"segments_pushed\": %lld, \"segments_reused\": %lld, "
+                 "\"prefix_reuse_ratio\": %.4f}%s\n",
+                 row.model.c_str(), row.property.c_str(),
+                 hv::checker::to_string(row.incremental.verdict).c_str(),
+                 row.fresh.verdict == row.incremental.verdict ? "true" : "false",
+                 static_cast<long long>(row.incremental.schemas_checked),
+                 static_cast<long long>(row.fresh.simplex_pivots),
+                 static_cast<long long>(row.incremental.simplex_pivots),
+                 row.fresh.seconds, row.incremental.seconds,
+                 static_cast<long long>(inc ? inc->segments_pushed : 0),
+                 static_cast<long long>(inc ? inc->segments_reused : 0),
+                 inc ? inc->prefix_reuse_ratio() : 0.0, i + 1 < rows.size() ? "," : "");
+  }
+  std::fputs("]\n", json);
+  std::fclose(json);
+  std::printf("  wrote %s\n", out_path.c_str());
+  return verdicts_agree ? 0 : 1;
+}

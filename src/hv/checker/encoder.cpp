@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <set>
+#include <utility>
 
 #include "hv/smt/solver.h"
 #include "hv/spec/state.h"
@@ -9,29 +10,111 @@
 
 namespace hv::checker {
 
-namespace {
-
-class SchemaEncoder {
+// The encoding walks segments exactly like the one-shot encoder always did,
+// but is split into scopes on the solver's assertion stack:
+//
+//   base scope      parameters, resilience, initial counters, initial CNF
+//   level scope k   segment k's rule applications under context
+//                   {chain[0..k)}, the canonical "chain[k] still false at
+//                   the segment start" assertion, and the boundary
+//                   "chain[k] holds" assertion that opens segment k+1
+//   transient scope everything the current schema does not share with its
+//                   DFS neighbours: segments containing cuts, all segments
+//                   after them, the last segment, the never-unlocked-guard
+//                   assertions and the final CNF
+//
+// A level scope asserts the still-false constraint against the *snapshot*
+// of the symbolic configuration at the segment start (the previous level's
+// end configuration), so emitting it after the segment's rules yields the
+// same conjunction the sequential walk produces.
+class IncrementalSchemaEncoder::Impl {
  public:
-  SchemaEncoder(const GuardAnalysis& analysis, const Schema& schema,
-                const spec::ReachQuery& query, std::int64_t branch_budget,
-                const QueryCone* cone, double time_budget_seconds)
+  Impl(const GuardAnalysis& analysis, const spec::ReachQuery& query,
+       std::int64_t branch_budget, const QueryCone* cone)
       : analysis_(analysis),
         ta_(analysis.automaton()),
-        schema_(schema),
         query_(query),
-        cone_(cone) {
+        cone_(cone),
+        topo_(ta_.rules_in_topological_order()),
+        frozen_(query.zero_rules.begin(), query.zero_rules.end()) {
+    HV_REQUIRE(analysis_.guard_count() <= 63);
     solver_.set_branch_budget(branch_budget);
-    solver_.set_time_budget(time_budget_seconds);
-  }
-
-  EncodeResult run() {
     declare_parameters();
     declare_initial_configuration();
-    add_cnf(query_.initial);
-    walk_segments();
-    assert_never_unlocked_guards_false();
-    add_cnf(query_.final_cnf);
+    add_cnf(query_.initial, base_config_);
+  }
+
+  void set_time_budget(double seconds) noexcept { solver_.set_time_budget(seconds); }
+
+  const IncrementalStats& stats() const noexcept { return stats_; }
+
+  std::int64_t pivots() const noexcept { return solver_.pivots(); }
+
+  EncodeResult check(const Schema& schema) {
+    const std::int64_t pivots_before = solver_.pivots();
+    const auto& chain = schema.unlock_order;
+    const std::size_t length = chain.size();
+
+    // Levels are kept for every cut-free prefix segment: pop the scopes not
+    // shared with this schema's chain, keep the common prefix verbatim, and
+    // push fresh scopes up to the first segment containing a cut (cut
+    // segments are encoded with copies and belong to the transient scope).
+    std::size_t lcp = 0;
+    while (lcp < levels_.size() && lcp < length &&
+           levels_[lcp].guard == chain[lcp]) {
+      ++lcp;
+    }
+    const std::size_t first_cut = schema.cut_positions.empty()
+                                      ? length
+                                      : static_cast<std::size_t>(schema.cut_positions[0]);
+    const std::size_t target = std::min(first_cut, length);
+    const std::size_t keep = std::min(lcp, target);
+    stats_.segments_reused += static_cast<std::int64_t>(keep);
+    while (levels_.size() > keep) pop_level();
+    while (levels_.size() < target) push_level(chain[levels_.size()]);
+
+    // Transient scope: segments target..length with cuts, canonicity and
+    // the final constraint.
+    solver_.push();
+    const std::size_t steps_mark = steps_.size();
+    Config config = top_config();
+    GuardSet unlocked = 0;
+    for (std::size_t k = 0; k < target; ++k) unlocked |= GuardSet{1} << chain[k];
+    for (std::size_t segment = target; segment <= length; ++segment) {
+      if (segment > target) {
+        // The guard unlocking at this boundary holds from here on.
+        const int guard = chain[segment - 1];
+        solver_.add(substitute_state(analysis_.guard(guard), config));
+        unlocked |= GuardSet{1} << guard;
+      }
+      if (segment < length) {
+        // The next guard to unlock is still false at the segment start
+        // (strongest point: monotonicity gives falsity at all earlier
+        // ones). EXCEPT for guards that can hold with all-zero counters
+        // for some parameters: those may be true from time zero — their
+        // executions are covered by the chain that unlocks them over an
+        // empty segment, which must not assert their falsity anywhere.
+        const int guard = chain[segment];
+        if (!analysis_.can_hold_at_zero(guard)) {
+          solver_.add(substitute_state(analysis_.guard(guard).negated(), config));
+        }
+      }
+      // Cut points witnessed inside this segment split it into copies.
+      std::vector<int> cuts_here;
+      for (std::size_t cut = 0; cut < schema.cut_positions.size(); ++cut) {
+        if (schema.cut_positions[cut] == static_cast<int>(segment)) {
+          cuts_here.push_back(static_cast<int>(cut));
+        }
+      }
+      for (int copy = 0; copy <= static_cast<int>(cuts_here.size()); ++copy) {
+        apply_segment_rules(config, unlocked);
+        if (copy < static_cast<int>(cuts_here.size())) {
+          add_cnf(query_.cuts[cuts_here[copy]], config);
+        }
+      }
+    }
+    assert_never_unlocked_guards_false(chain, config);
+    add_cnf(query_.final_cnf, config);
 
     EncodeResult result;
     result.length = static_cast<std::int64_t>(steps_.size());
@@ -39,10 +122,30 @@ class SchemaEncoder {
       result.sat = true;
       result.counterexample = extract_counterexample();
     }
+    solver_.pop();
+    steps_.resize(steps_mark);
+    ++stats_.schemas_encoded;
+    result.pivots = solver_.pivots() - pivots_before;
     return result;
   }
 
  private:
+  struct Config {
+    std::vector<smt::LinearExpr> counters;  // per location
+    std::vector<smt::LinearExpr> shared;    // per shared variable
+  };
+
+  struct Level {
+    int guard = -1;
+    Config end;  // symbolic configuration at the start of the next segment
+    std::size_t steps_mark = 0;  // steps_.size() when the level was pushed
+  };
+
+  struct Step {
+    ta::RuleId rule;
+    smt::VarId delta;
+  };
+
   // --- variable universe -----------------------------------------------------
 
   void declare_parameters() {
@@ -52,13 +155,13 @@ class SchemaEncoder {
       solver_.add_lower_bound(param_vars_[id], 0);
     }
     for (const auto& constraint : ta_.resilience()) {
-      solver_.add(substitute_state(constraint));
+      solver_.add(substitute_state(constraint, base_config_));
     }
   }
 
   void declare_initial_configuration() {
-    counters_.assign(ta_.location_count(), smt::LinearExpr(0));
-    shared_.assign(ta_.shared_variables().size(), smt::LinearExpr(0));
+    base_config_.counters.assign(ta_.location_count(), smt::LinearExpr(0));
+    base_config_.shared.assign(ta_.shared_variables().size(), smt::LinearExpr(0));
     shared_index_.assign(ta_.variable_count(), -1);
     {
       int index = 0;
@@ -70,8 +173,8 @@ class SchemaEncoder {
           solver_.new_variable("k0[" + ta_.location(location).name + "]");
       solver_.add_lower_bound(var, 0);
       initial_counter_vars_.emplace_back(location, var);
-      counters_[location] = smt::LinearExpr::variable(var);
-      total += counters_[location];
+      base_config_.counters[location] = smt::LinearExpr::variable(var);
+      total += base_config_.counters[location];
     }
     // The initial counters partition the processes executing the automaton.
     solver_.add(smt::make_eq(total, substitute_params(ta_.process_count())));
@@ -90,18 +193,19 @@ class SchemaEncoder {
   }
 
   // Rewrites a constraint over *state* variables (TA variables + location
-  // counters) against the current symbolic configuration.
-  smt::LinearConstraint substitute_state(const smt::LinearConstraint& constraint) const {
+  // counters) against the given symbolic configuration.
+  smt::LinearConstraint substitute_state(const smt::LinearConstraint& constraint,
+                                         const Config& config) const {
     smt::LinearExpr out(constraint.expr.constant());
     for (const auto& [var, coeff] : constraint.expr.terms()) {
       if (var >= ta_.variable_count()) {
-        smt::LinearExpr counter = counters_[var - ta_.variable_count()];
+        smt::LinearExpr counter = config.counters[var - ta_.variable_count()];
         counter *= coeff;
         out += counter;
       } else if (ta_.is_parameter(var)) {
         out.add_term(param_vars_[var], coeff);
       } else {
-        smt::LinearExpr value = shared_[shared_index_[var]];
+        smt::LinearExpr value = config.shared[shared_index_[var]];
         value *= coeff;
         out += value;
       }
@@ -109,72 +213,25 @@ class SchemaEncoder {
     return {std::move(out), constraint.relation};
   }
 
-  void add_cnf(const spec::Cnf& cnf) {
+  void add_cnf(const spec::Cnf& cnf, const Config& config) {
     for (const spec::Clause& clause : cnf.clauses) {
       if (clause.literals.size() == 1) {
-        solver_.add(substitute_state(clause.literals[0]));
+        solver_.add(substitute_state(clause.literals[0], config));
         continue;
       }
       std::vector<smt::Literal> literals;
       literals.reserve(clause.literals.size());
       for (const auto& literal : clause.literals) {
-        literals.push_back({solver_.add_atom(substitute_state(literal)), true});
+        literals.push_back({solver_.add_atom(substitute_state(literal, config)), true});
       }
       solver_.add_clause(std::move(literals));
     }
   }
 
-  // --- schema walk -------------------------------------------------------------
+  // --- schema walk -----------------------------------------------------------
 
-  void walk_segments() {
-    const std::vector<ta::RuleId> topo = ta_.rules_in_topological_order();
-    const std::set<ta::RuleId> frozen(query_.zero_rules.begin(), query_.zero_rules.end());
-
-    GuardSet unlocked = 0;
-    for (int segment = 0; segment < schema_.segment_count(); ++segment) {
-      if (segment > 0) {
-        // The guard unlocking at this boundary holds from here on.
-        const int guard = schema_.unlock_order[segment - 1];
-        solver_.add(substitute_state(analysis_.guard(guard)));
-        unlocked |= GuardSet{1} << guard;
-      }
-      if (segment < static_cast<int>(schema_.unlock_order.size())) {
-        // The next guard to unlock is still false at the segment start
-        // (strongest point: monotonicity gives falsity at all earlier ones).
-        // EXCEPT for guards that can hold with all-zero counters for some
-        // parameters (e.g. "b >= 1 - f" with f >= 1): those may be true
-        // from time zero, with no point at which they are false — their
-        // executions are covered by the chain that unlocks them over an
-        // empty segment, which must not assert their falsity anywhere.
-        const int guard = schema_.unlock_order[segment];
-        if (!analysis_.can_hold_at_zero(guard)) {
-          solver_.add(substitute_state(analysis_.guard(guard).negated()));
-        }
-      }
-
-      // Cut points witnessed inside this segment split it into copies.
-      std::vector<int> cuts_here;
-      for (std::size_t cut = 0; cut < schema_.cut_positions.size(); ++cut) {
-        if (schema_.cut_positions[cut] == segment) cuts_here.push_back(static_cast<int>(cut));
-      }
-      const int copies = static_cast<int>(cuts_here.size()) + 1;
-      for (int copy = 0; copy < copies; ++copy) {
-        for (const ta::RuleId rule_id : topo) {
-          if (frozen.contains(rule_id)) continue;
-          if (!rule_enabled_in_context(rule_id, unlocked)) continue;
-          // With a cone: a rule whose source cannot be populated under this
-          // context can never fire here; omitting it shrinks the encoding.
-          if (cone_ != nullptr &&
-              !cone_->reachable(unlocked)[ta_.rule(rule_id).from]) {
-            continue;
-          }
-          apply_rule(rule_id, segment);
-        }
-        if (copy < static_cast<int>(cuts_here.size())) {
-          add_cnf(query_.cuts[cuts_here[copy]]);
-        }
-      }
-    }
+  const Config& top_config() const {
+    return levels_.empty() ? base_config_ : levels_.back().end;
   }
 
   bool rule_enabled_in_context(ta::RuleId rule_id, GuardSet unlocked) const {
@@ -184,7 +241,22 @@ class SchemaEncoder {
     return true;
   }
 
-  void apply_rule(ta::RuleId rule_id, int segment) {
+  // One accelerated topological pass of every rule fireable under the
+  // context — the body of one segment copy.
+  void apply_segment_rules(Config& config, GuardSet unlocked) {
+    for (const ta::RuleId rule_id : topo_) {
+      if (frozen_.contains(rule_id)) continue;
+      if (!rule_enabled_in_context(rule_id, unlocked)) continue;
+      // With a cone: a rule whose source cannot be populated under this
+      // context can never fire here; omitting it shrinks the encoding.
+      if (cone_ != nullptr && !cone_->reachable(unlocked)[ta_.rule(rule_id).from]) {
+        continue;
+      }
+      apply_rule(rule_id, config);
+    }
+  }
+
+  void apply_rule(ta::RuleId rule_id, Config& config) {
     const ta::Rule& rule = ta_.rule(rule_id);
     const smt::VarId delta = solver_.new_variable(
         "d" + std::to_string(steps_.size()) + "[" + rule.name + "]");
@@ -202,35 +274,63 @@ class SchemaEncoder {
       if (tracked) continue;
       const int zero_atom = solver_.add_atom(
           smt::make_le(smt::LinearExpr::variable(delta), smt::LinearExpr(0)));
-      const int guard_atom = solver_.add_atom(substitute_state(atom));
+      const int guard_atom = solver_.add_atom(substitute_state(atom, config));
       solver_.add_clause({{zero_atom, true}, {guard_atom, true}});
     }
 
-    counters_[rule.from] -= smt::LinearExpr::variable(delta);
-    counters_[rule.to] += smt::LinearExpr::variable(delta);
+    config.counters[rule.from] -= smt::LinearExpr::variable(delta);
+    config.counters[rule.to] += smt::LinearExpr::variable(delta);
     for (const auto& [var, amount] : rule.update.increments) {
-      shared_[shared_index_[var]] += smt::LinearExpr::term(delta, amount);
+      config.shared[shared_index_[var]] += smt::LinearExpr::term(delta, amount);
     }
     // Only the source counter decreases; it must stay non-negative.
-    solver_.add(smt::make_ge(counters_[rule.from], smt::LinearExpr(0)));
-    (void)segment;
+    solver_.add(smt::make_ge(config.counters[rule.from], smt::LinearExpr(0)));
   }
 
-  void assert_never_unlocked_guards_false() {
+  void push_level(int guard) {
+    solver_.push();
+    const std::size_t steps_mark = steps_.size();
+    const std::size_t k = levels_.size();  // this level encodes segment k
+    GuardSet unlocked = 0;
+    for (std::size_t i = 0; i < k; ++i) unlocked |= GuardSet{1} << levels_[i].guard;
+    // The snapshot at the segment start, against which the canonical
+    // still-false assertion is made (the sequential walk emits it before
+    // the segment's rules; a conjunction does not care about the order).
+    const Config& start = top_config();
+    Config config = start;
+    apply_segment_rules(config, unlocked);
+    if (!analysis_.can_hold_at_zero(guard)) {
+      solver_.add(substitute_state(analysis_.guard(guard).negated(), start));
+    }
+    // The boundary into segment k+1: the guard holds from here on.
+    solver_.add(substitute_state(analysis_.guard(guard), config));
+    levels_.push_back({guard, std::move(config), steps_mark});
+    ++stats_.segments_pushed;
+  }
+
+  void pop_level() {
+    solver_.pop();
+    steps_.resize(levels_.back().steps_mark);
+    levels_.pop_back();
+    ++stats_.segments_popped;
+  }
+
+  void assert_never_unlocked_guards_false(const std::vector<int>& chain,
+                                          const Config& config) {
     for (int guard = 0; guard < analysis_.guard_count(); ++guard) {
-      const bool unlocked = std::find(schema_.unlock_order.begin(), schema_.unlock_order.end(),
-                                      guard) != schema_.unlock_order.end();
+      const bool unlocked =
+          std::find(chain.begin(), chain.end(), guard) != chain.end();
       if (!unlocked) {
         // Canonicity: the guard never became true in this schema. For
         // guards that may hold at time zero this forces the parameters
         // where they do not (their true-at-zero executions live in the
         // chains that unlock them).
-        solver_.add(substitute_state(analysis_.guard(guard).negated()));
+        solver_.add(substitute_state(analysis_.guard(guard).negated(), config));
       }
     }
   }
 
-  // --- model extraction --------------------------------------------------------
+  // --- model extraction ------------------------------------------------------
 
   Counterexample extract_counterexample() const {
     Counterexample cex;
@@ -239,7 +339,7 @@ class SchemaEncoder {
       cex.params[id] = solver_.model_value(param_vars_[id]).to_int64();
     }
     cex.initial.counters.assign(ta_.location_count(), 0);
-    cex.initial.shared.assign(shared_.size(), 0);
+    cex.initial.shared.assign(base_config_.shared.size(), 0);
     for (const auto& [location, var] : initial_counter_vars_) {
       cex.initial.counters[location] = solver_.model_value(var).to_int64();
     }
@@ -250,32 +350,52 @@ class SchemaEncoder {
     return cex;
   }
 
-  struct Step {
-    ta::RuleId rule;
-    smt::VarId delta;
-  };
-
   const GuardAnalysis& analysis_;
   const ta::ThresholdAutomaton& ta_;
-  const Schema& schema_;
   const spec::ReachQuery& query_;
   const QueryCone* cone_;
+  const std::vector<ta::RuleId> topo_;
+  const std::set<ta::RuleId> frozen_;
   smt::Solver solver_;
   std::vector<smt::VarId> param_vars_;
   std::vector<int> shared_index_;
   std::vector<std::pair<ta::LocationId, smt::VarId>> initial_counter_vars_;
-  std::vector<smt::LinearExpr> counters_;
-  std::vector<smt::LinearExpr> shared_;
+  Config base_config_;
+  std::vector<Level> levels_;
   std::vector<Step> steps_;
+  IncrementalStats stats_;
 };
 
-}  // namespace
+IncrementalSchemaEncoder::IncrementalSchemaEncoder(const GuardAnalysis& analysis,
+                                                   const spec::ReachQuery& query,
+                                                   std::int64_t branch_budget,
+                                                   const QueryCone* cone)
+    : impl_(std::make_unique<Impl>(analysis, query, branch_budget, cone)) {}
+
+IncrementalSchemaEncoder::~IncrementalSchemaEncoder() = default;
+IncrementalSchemaEncoder::IncrementalSchemaEncoder(IncrementalSchemaEncoder&&) noexcept = default;
+
+void IncrementalSchemaEncoder::set_time_budget(double seconds) noexcept {
+  impl_->set_time_budget(seconds);
+}
+
+EncodeResult IncrementalSchemaEncoder::check(const Schema& schema) {
+  return impl_->check(schema);
+}
+
+const IncrementalStats& IncrementalSchemaEncoder::stats() const noexcept {
+  return impl_->stats();
+}
 
 EncodeResult solve_schema(const GuardAnalysis& analysis, const Schema& schema,
                           const spec::ReachQuery& query, std::int64_t branch_budget,
                           const QueryCone* cone, double time_budget_seconds) {
-  SchemaEncoder encoder(analysis, schema, query, branch_budget, cone, time_budget_seconds);
-  return encoder.run();
+  // The one-shot path: a fresh encoder whose level stack is empty, so the
+  // whole schema lands in a single transient scope on a cold solver —
+  // exactly the historical non-incremental encoding.
+  IncrementalSchemaEncoder encoder(analysis, query, branch_budget, cone);
+  encoder.set_time_budget(time_budget_seconds);
+  return encoder.check(schema);
 }
 
 }  // namespace hv::checker

@@ -5,10 +5,26 @@
 // configurations along the schema are *linear expressions* over these, so
 // the whole question "do some parameters and factors realize this schema
 // together with the query?" is a single linear-integer-arithmetic problem.
+//
+// Two entry points:
+//   * solve_schema() — one-shot: builds a fresh solver per schema (the
+//     original, non-incremental path, kept for A/B comparison);
+//   * IncrementalSchemaEncoder — stateful: owns one persistent solver per
+//     query and mirrors the enumerator's DFS over unlock chains. The
+//     encoder keeps one solver scope per chain element; when the next
+//     schema shares a k-segment prefix with the current stack, only the
+//     segments beyond k are (re-)encoded — the shared prefix's constraints,
+//     slack rows and simplex basis are reused verbatim. Segments containing
+//     property cuts, the trailing canonicity assertions and the final
+//     constraint are encoded in one transient scope per schema, popped
+//     right after the check. The asserted constraint set is exactly the
+//     one-shot encoder's (assertion order differs, which is irrelevant for
+//     a conjunction), so verdicts are identical by construction.
 #ifndef HV_CHECKER_ENCODER_H
 #define HV_CHECKER_ENCODER_H
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 
 #include "hv/checker/cone.h"
@@ -24,6 +40,9 @@ struct EncodeResult {
   /// Number of rule applications in the encoded schema (the paper's
   /// "schema length").
   std::int64_t length = 0;
+  /// Simplex pivots spent on this schema (for fresh-vs-incremental
+  /// accounting; cumulative counters are differenced per call).
+  std::int64_t pivots = 0;
   std::optional<Counterexample> counterexample;  // present iff sat
 };
 
@@ -35,6 +54,32 @@ struct EncodeResult {
 EncodeResult solve_schema(const GuardAnalysis& analysis, const Schema& schema,
                           const spec::ReachQuery& query, std::int64_t branch_budget,
                           const QueryCone* cone = nullptr, double time_budget_seconds = 0.0);
+
+/// Stateful encoder for one query, exploiting prefix sharing between the
+/// schemas the enumerator emits in DFS order. Not thread-safe: each worker
+/// owns its encoders. After a check() throws (branch/time budget), the
+/// encoder is poisoned and must be discarded.
+class IncrementalSchemaEncoder {
+ public:
+  IncrementalSchemaEncoder(const GuardAnalysis& analysis, const spec::ReachQuery& query,
+                           std::int64_t branch_budget, const QueryCone* cone = nullptr);
+  ~IncrementalSchemaEncoder();
+  IncrementalSchemaEncoder(IncrementalSchemaEncoder&&) noexcept;
+  IncrementalSchemaEncoder& operator=(IncrementalSchemaEncoder&&) = delete;
+
+  /// Per-check wall-clock budget (seconds; <= 0 disables).
+  void set_time_budget(double seconds) noexcept;
+
+  /// Encodes and solves one schema, reusing whatever prefix of chain-element
+  /// scopes is still valid from the previous call.
+  EncodeResult check(const Schema& schema);
+
+  const IncrementalStats& stats() const noexcept;
+
+ private:
+  class Impl;
+  std::unique_ptr<Impl> impl_;
+};
 
 }  // namespace hv::checker
 

@@ -3,6 +3,8 @@
 #include <atomic>
 #include <condition_variable>
 #include <deque>
+#include <limits>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <thread>
@@ -24,22 +26,38 @@ struct RunState {
   std::mutex mutex;
   std::condition_variable work_available;
   std::condition_variable space_available;
-  std::deque<std::pair<std::size_t, Schema>> queue;  // (query index, schema)
+  std::deque<std::pair<std::size_t, SubtreeTask>> queue;  // (query index, task)
   bool done_producing = false;
 
   std::atomic<bool> stop{false};
+  std::atomic<bool> timed_out{false};
+  std::atomic<bool> budget_exhausted{false};
+  std::atomic<std::int64_t> schemas_enumerated{0};
   std::atomic<std::int64_t> schemas_checked{0};
   std::atomic<std::int64_t> schemas_pruned{0};
   std::atomic<std::int64_t> total_length{0};
+  std::atomic<std::int64_t> simplex_pivots{0};
 
   // First failure wins; guarded by mutex.
   std::optional<Counterexample> counterexample;
   std::string error_note;
+  // Aggregated when workers retire their encoders; guarded by mutex.
+  IncrementalStats incremental;
 };
 
-void solve_task(const GuardAnalysis& analysis, const spec::Property& property,
-                std::size_t query_index, const Schema& schema, const CheckOptions& options,
-                const QueryCone* cone, double remaining_seconds, RunState& state) {
+void accumulate(IncrementalStats& into, const IncrementalStats& from) {
+  into.segments_pushed += from.segments_pushed;
+  into.segments_popped += from.segments_popped;
+  into.segments_reused += from.segments_reused;
+  into.schemas_encoded += from.schemas_encoded;
+}
+
+// Solves one schema, either through the caller's persistent incremental
+// encoder or (encoder == nullptr) with a fresh solver.
+void solve_one(const GuardAnalysis& analysis, const spec::Property& property,
+               std::size_t query_index, const Schema& schema, const CheckOptions& options,
+               const QueryCone* cone, double remaining_seconds, RunState& state,
+               IncrementalSchemaEncoder* encoder) {
   const spec::ReachQuery& query = property.queries[query_index];
   // A non-positive remaining budget would disable the solver deadline;
   // clamp it so a task started at the deadline still aborts promptly.
@@ -48,8 +66,13 @@ void solve_task(const GuardAnalysis& analysis, const spec::Property& property,
   }
   EncodeResult result;
   try {
-    result = solve_schema(analysis, schema, query, options.branch_budget, cone,
-                          remaining_seconds);
+    if (encoder != nullptr) {
+      encoder->set_time_budget(remaining_seconds);
+      result = encoder->check(schema);
+    } else {
+      result = solve_schema(analysis, schema, query, options.branch_budget, cone,
+                            remaining_seconds);
+    }
   } catch (const Error& error) {
     std::lock_guard<std::mutex> lock(state.mutex);
     if (state.error_note.empty()) state.error_note = error.what();
@@ -58,6 +81,7 @@ void solve_task(const GuardAnalysis& analysis, const spec::Property& property,
   }
   state.schemas_checked.fetch_add(1);
   state.total_length.fetch_add(result.length);
+  state.simplex_pivots.fetch_add(result.pivots);
   if (result.sat) {
     result.counterexample->property = property.name;
     if (options.validate_counterexamples) {
@@ -79,6 +103,20 @@ void solve_task(const GuardAnalysis& analysis, const spec::Property& property,
     std::lock_guard<std::mutex> lock(state.mutex);
     if (!state.counterexample) state.counterexample = std::move(*result.counterexample);
     state.stop.store(true);
+  }
+}
+
+// Work units for the pool: DFS subtrees of the chain tree, deep enough to
+// give every worker several tasks, shallow enough that one task spans many
+// schemas sharing a chain prefix (what the incremental encoder feeds on).
+std::vector<SubtreeTask> plan_tasks(const GuardAnalysis& analysis, const CheckOptions& options) {
+  std::vector<SubtreeTask> tasks;
+  for (int depth = 1;; ++depth) {
+    tasks = partition_subtrees(analysis, depth, options.enumeration);
+    if (static_cast<int>(tasks.size()) >= options.workers * 4 ||
+        depth >= analysis.guard_count()) {
+      return tasks;
+    }
   }
 }
 
@@ -105,11 +143,21 @@ PropertyResult check_property(const ta::ThresholdAutomaton& ta, const spec::Prop
   const auto out_of_time = [&] {
     return options.timeout_seconds > 0.0 && stopwatch.seconds() > options.timeout_seconds;
   };
+  const auto remaining_time = [&] {
+    return options.timeout_seconds > 0.0 ? options.timeout_seconds - stopwatch.seconds() : 0.0;
+  };
 
   if (options.workers <= 1) {
-    // Single-threaded: enumerate and solve inline.
+    // Single-threaded: enumerate and solve inline, one persistent encoder
+    // per query (the enumeration order itself is DFS, so consecutive
+    // schemas share maximal chain prefixes).
+    std::vector<std::unique_ptr<IncrementalSchemaEncoder>> encoders(property.queries.size());
     for (std::size_t q = 0; q < property.queries.size() && !state.stop.load(); ++q) {
       const int cut_count = static_cast<int>(property.queries[q].cuts.size());
+      if (options.incremental) {
+        encoders[q] = std::make_unique<IncrementalSchemaEncoder>(
+            analysis, property.queries[q], options.branch_budget, cone_for(q));
+      }
       EnumerationOptions enumeration = options.enumeration;
       enumeration.max_schemas =
           options.enumeration.max_schemas - state.schemas_checked.load();
@@ -123,69 +171,104 @@ PropertyResult check_property(const ta::ThresholdAutomaton& ta, const spec::Prop
               state.schemas_pruned.fetch_add(1);
               return true;
             }
-            const double remaining =
-                options.timeout_seconds > 0.0
-                    ? options.timeout_seconds - stopwatch.seconds()
-                    : 0.0;
-            solve_task(analysis, property, q, schema, options, cone_for(q), remaining, state);
+            solve_one(analysis, property, q, schema, options, cone_for(q), remaining_time(),
+                      state, encoders[q].get());
             return !state.stop.load();
           });
       budget_exhausted = budget_exhausted || outcome.budget_exhausted;
     }
+    for (const auto& encoder : encoders) {
+      if (encoder) accumulate(state.incremental, encoder->stats());
+    }
   } else {
-    // Producer enumerates into a bounded queue; workers drain it.
+    // Producer enumerates chain subtrees into a bounded queue; workers
+    // expand each subtree locally. Handing out subtrees (not single
+    // schemas) keeps a worker's consecutive schemas prefix-related, so its
+    // persistent encoders mostly pop and re-push only the deepest scopes.
     constexpr std::size_t kQueueLimit = 256;
+    const std::vector<SubtreeTask> tasks = plan_tasks(analysis, options);
+    EnumerationOptions per_task = options.enumeration;
+    // The schema budget is enforced globally (schemas_enumerated below),
+    // not per subtree.
+    per_task.max_schemas = std::numeric_limits<std::int64_t>::max();
+
     std::vector<std::jthread> workers;
     workers.reserve(static_cast<std::size_t>(options.workers));
     for (int w = 0; w < options.workers; ++w) {
       workers.emplace_back([&] {
+        std::vector<std::unique_ptr<IncrementalSchemaEncoder>> encoders(property.queries.size());
+        const auto encoder_for = [&](std::size_t q) -> IncrementalSchemaEncoder* {
+          if (!options.incremental) return nullptr;
+          if (!encoders[q]) {
+            encoders[q] = std::make_unique<IncrementalSchemaEncoder>(
+                analysis, property.queries[q], options.branch_budget, cone_for(q));
+          }
+          return encoders[q].get();
+        };
         for (;;) {
-          std::pair<std::size_t, Schema> task;
+          std::pair<std::size_t, SubtreeTask> item;
           {
             std::unique_lock<std::mutex> lock(state.mutex);
             state.work_available.wait(lock, [&] {
               return !state.queue.empty() || state.done_producing || state.stop.load();
             });
-            if (state.stop.load() || (state.queue.empty() && state.done_producing)) return;
-            task = std::move(state.queue.front());
+            if (state.stop.load() || (state.queue.empty() && state.done_producing)) break;
+            item = std::move(state.queue.front());
             state.queue.pop_front();
           }
           state.space_available.notify_one();
-          solve_task(analysis, property, task.first, task.second, options,
-                     cone_for(task.first),
-                     options.timeout_seconds > 0.0
-                         ? options.timeout_seconds - stopwatch.seconds()
-                         : 0.0,
-                     state);
+          const std::size_t q = item.first;
+          enumerate_schemas_under(
+              analysis, item.second, static_cast<int>(property.queries[q].cuts.size()),
+              per_task, [&](const Schema& schema) {
+                if (state.stop.load()) return false;
+                if (out_of_time()) {
+                  state.timed_out.store(true);
+                  return false;
+                }
+                if (state.schemas_enumerated.fetch_add(1) + 1 >
+                    options.enumeration.max_schemas) {
+                  state.budget_exhausted.store(true);
+                  return false;
+                }
+                if (options.property_directed_pruning && !cones[q].schema_feasible(schema)) {
+                  state.schemas_pruned.fetch_add(1);
+                  return true;
+                }
+                solve_one(analysis, property, q, schema, options, cone_for(q),
+                          remaining_time(), state, encoder_for(q));
+                return !state.stop.load();
+              });
           if (state.stop.load()) {
             state.work_available.notify_all();
-            return;
+            break;
           }
+        }
+        std::lock_guard<std::mutex> lock(state.mutex);
+        for (const auto& encoder : encoders) {
+          if (encoder) accumulate(state.incremental, encoder->stats());
         }
       });
     }
-    for (std::size_t q = 0; q < property.queries.size() && !state.stop.load(); ++q) {
-      const int cut_count = static_cast<int>(property.queries[q].cuts.size());
-      const EnumerationOutcome outcome = enumerate_schemas(
-          analysis, cut_count, options.enumeration, [&](const Schema& schema) {
-            if (out_of_time()) {
-              timed_out = true;
-              return false;
-            }
-            if (options.property_directed_pruning && !cones[q].schema_feasible(schema)) {
-              state.schemas_pruned.fetch_add(1);
-              return true;
-            }
-            std::unique_lock<std::mutex> lock(state.mutex);
-            state.space_available.wait(
-                lock, [&] { return state.queue.size() < kQueueLimit || state.stop.load(); });
-            if (state.stop.load()) return false;
-            state.queue.emplace_back(q, schema);
-            lock.unlock();
-            state.work_available.notify_one();
-            return true;
-          });
-      budget_exhausted = budget_exhausted || outcome.budget_exhausted;
+    bool stop_producing = false;
+    for (std::size_t q = 0; q < property.queries.size() && !stop_producing; ++q) {
+      for (const SubtreeTask& task : tasks) {
+        if (state.stop.load() || state.timed_out.load() || state.budget_exhausted.load() ||
+            out_of_time()) {
+          stop_producing = true;
+          break;
+        }
+        std::unique_lock<std::mutex> lock(state.mutex);
+        state.space_available.wait(
+            lock, [&] { return state.queue.size() < kQueueLimit || state.stop.load(); });
+        if (state.stop.load()) {
+          stop_producing = true;
+          break;
+        }
+        state.queue.emplace_back(q, task);
+        lock.unlock();
+        state.work_available.notify_one();
+      }
     }
     {
       std::lock_guard<std::mutex> lock(state.mutex);
@@ -193,6 +276,8 @@ PropertyResult check_property(const ta::ThresholdAutomaton& ta, const spec::Prop
     }
     state.work_available.notify_all();
     workers.clear();  // join
+    budget_exhausted = budget_exhausted || state.budget_exhausted.load();
+    timed_out = timed_out || state.timed_out.load();
   }
 
   result.schemas_checked = state.schemas_checked.load();
@@ -203,6 +288,8 @@ PropertyResult check_property(const ta::ThresholdAutomaton& ta, const spec::Prop
           : static_cast<double>(state.total_length.load()) /
                 static_cast<double>(result.schemas_checked);
   result.seconds = stopwatch.seconds();
+  result.simplex_pivots = state.simplex_pivots.load();
+  if (options.incremental) result.incremental = state.incremental;
 
   if (state.counterexample) {
     result.verdict = Verdict::kViolated;

@@ -25,6 +25,11 @@ struct CheckOptions {
   int workers = 1;
   /// SMT branch-and-bound node budget per schema.
   std::int64_t branch_budget = 1'000'000;
+  /// Incremental (push/pop) SMT solving: every worker keeps one persistent
+  /// solver per query and re-encodes only the schema segments not shared
+  /// with the previous schema's chain prefix. Answer-preserving by
+  /// construction; disable to A/B against the fresh-solver-per-schema path.
+  bool incremental = true;
   /// Property-directed cone pruning (static schema feasibility + encoding
   /// slicing). Sound; disabling it is only useful for ablation studies.
   bool property_directed_pruning = true;

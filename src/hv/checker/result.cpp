@@ -19,6 +19,12 @@ std::string to_string(Verdict verdict) {
   throw InternalError("unreachable verdict");
 }
 
+double IncrementalStats::prefix_reuse_ratio() const noexcept {
+  const std::int64_t total = segments_reused + segments_pushed;
+  if (total == 0) return 0.0;
+  return static_cast<double>(segments_reused) / static_cast<double>(total);
+}
+
 std::string Counterexample::to_string(const ta::ThresholdAutomaton& ta) const {
   std::ostringstream os;
   os << "counterexample to " << property << " (" << query_description << ")\n";

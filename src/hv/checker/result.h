@@ -58,6 +58,22 @@ Counterexample minimize_counterexample(const ta::ThresholdAutomaton& ta,
                                        const Counterexample& cex,
                                        const spec::ReachQuery& query);
 
+/// Observability counters of the incremental (push/pop) encoding path.
+/// Aggregated over all workers and queries of one property run.
+struct IncrementalStats {
+  /// Chain-element scopes pushed onto / popped off persistent solvers.
+  std::int64_t segments_pushed = 0;
+  std::int64_t segments_popped = 0;
+  /// Chain-element scopes reused verbatim from the previous schema (summed
+  /// per schema: its shared-prefix depth).
+  std::int64_t segments_reused = 0;
+  /// Schemas encoded through incremental encoders.
+  std::int64_t schemas_encoded = 0;
+  /// Fraction of segment encodings served from the assertion stack instead
+  /// of being re-encoded; 0 when nothing was encoded.
+  double prefix_reuse_ratio() const noexcept;
+};
+
 struct PropertyResult {
   std::string property;
   Verdict verdict = Verdict::kUnknown;
@@ -66,6 +82,11 @@ struct PropertyResult {
   std::int64_t schemas_pruned = 0;
   double avg_schema_length = 0.0;
   double seconds = 0.0;
+  /// Total simplex pivots spent solving schemas (both encoder paths), the
+  /// currency the incremental mode saves.
+  std::int64_t simplex_pivots = 0;
+  /// Present iff the incremental encoder path ran.
+  std::optional<IncrementalStats> incremental;
   std::optional<Counterexample> counterexample;
   std::string note;  // budget/timeout diagnostics
 };

@@ -1,8 +1,45 @@
 #include "hv/checker/schema.h"
 
+#include <limits>
+
+#include "hv/util/error.h"
+
 namespace hv::checker {
 
 namespace {
+
+// GuardSet is a plain 64-bit mask and the enumerator shifts `1 << guard`;
+// the top bit is kept unusable so `unlocked >> g` never touches the sign
+// boundary of intermediate int arithmetic. Reject oversized automata with a
+// real diagnostic instead of silently aliasing guard bits.
+constexpr int kMaxGuards = std::numeric_limits<GuardSet>::digits - 1;
+
+void check_guard_width(const GuardAnalysis& analysis) {
+  if (analysis.guard_count() > kMaxGuards) {
+    throw InvalidArgument("schema enumeration supports at most " + std::to_string(kMaxGuards) +
+                          " threshold guards (GuardSet is a 64-bit mask); automaton has " +
+                          std::to_string(analysis.guard_count()));
+  }
+}
+
+// Shared between the enumerator and the subtree partitioner so both walk the
+// same pruned chain tree.
+bool may_unlock_next(const GuardAnalysis& analysis, const EnumerationOptions& options,
+                     GuardSet unlocked, int g) {
+  if ((unlocked >> g) & 1) return false;
+  if (options.prune_implications) {
+    // g cannot become true while a guard it implies is still false.
+    for (int h = 0; h < analysis.guard_count(); ++h) {
+      if (h == g || ((unlocked >> h) & 1)) continue;
+      if (analysis.implies(g, h)) return false;
+    }
+  }
+  if (options.prune_dead_unlocks && !analysis.can_hold_at_zero(g) &&
+      !analysis.incrementable(g, unlocked)) {
+    return false;
+  }
+  return true;
+}
 
 class Enumerator {
  public:
@@ -13,6 +50,19 @@ class Enumerator {
   EnumerationOutcome run() {
     Schema schema;
     chain(schema, 0);
+    return outcome_;
+  }
+
+  EnumerationOutcome run_under(const SubtreeTask& task) {
+    Schema schema;
+    schema.unlock_order = task.prefix;
+    GuardSet unlocked = 0;
+    for (const int g : task.prefix) unlocked |= GuardSet{1} << g;
+    if (task.include_extensions) {
+      chain(schema, unlocked);
+    } else {
+      cuts(schema, 0, 0);
+    }
     return outcome_;
   }
 
@@ -28,23 +78,7 @@ class Enumerator {
     cuts(schema, 0, 0);
     if (exhausted()) return;
     for (int g = 0; g < analysis_.guard_count(); ++g) {
-      if ((unlocked >> g) & 1) continue;
-      if (options_.prune_implications) {
-        // g cannot become true while a guard it implies is still false.
-        bool blocked = false;
-        for (int h = 0; h < analysis_.guard_count(); ++h) {
-          if (h == g || ((unlocked >> h) & 1)) continue;
-          if (analysis_.implies(g, h)) {
-            blocked = true;
-            break;
-          }
-        }
-        if (blocked) continue;
-      }
-      if (options_.prune_dead_unlocks && !analysis_.can_hold_at_zero(g) &&
-          !analysis_.incrementable(g, unlocked)) {
-        continue;
-      }
+      if (!may_unlock_next(analysis_, options_, unlocked, g)) continue;
       schema.unlock_order.push_back(g);
       chain(schema, unlocked | (GuardSet{1} << g));
       schema.unlock_order.pop_back();
@@ -84,8 +118,41 @@ class Enumerator {
 EnumerationOutcome enumerate_schemas(const GuardAnalysis& analysis, int cut_count,
                                      const EnumerationOptions& options,
                                      const std::function<bool(const Schema&)>& visit) {
+  check_guard_width(analysis);
   Enumerator enumerator(analysis, cut_count, options, visit);
   return enumerator.run();
+}
+
+std::vector<SubtreeTask> partition_subtrees(const GuardAnalysis& analysis, int depth,
+                                            const EnumerationOptions& options) {
+  check_guard_width(analysis);
+  HV_REQUIRE(depth >= 0);
+  std::vector<SubtreeTask> tasks;
+  std::vector<int> prefix;
+  const auto collect = [&](const auto& self, GuardSet unlocked) -> void {
+    if (static_cast<int>(prefix.size()) == depth) {
+      tasks.push_back({prefix, /*include_extensions=*/true});
+      return;
+    }
+    tasks.push_back({prefix, /*include_extensions=*/false});
+    for (int g = 0; g < analysis.guard_count(); ++g) {
+      if (!may_unlock_next(analysis, options, unlocked, g)) continue;
+      prefix.push_back(g);
+      self(self, unlocked | (GuardSet{1} << g));
+      prefix.pop_back();
+    }
+  };
+  collect(collect, 0);
+  return tasks;
+}
+
+EnumerationOutcome enumerate_schemas_under(const GuardAnalysis& analysis,
+                                           const SubtreeTask& task, int cut_count,
+                                           const EnumerationOptions& options,
+                                           const std::function<bool(const Schema&)>& visit) {
+  check_guard_width(analysis);
+  Enumerator enumerator(analysis, cut_count, options, visit);
+  return enumerator.run_under(task);
 }
 
 std::int64_t count_chains(const GuardAnalysis& analysis, const EnumerationOptions& options) {

@@ -66,6 +66,32 @@ EnumerationOutcome enumerate_schemas(const GuardAnalysis& analysis, int cut_coun
                                      const EnumerationOptions& options,
                                      const std::function<bool(const Schema&)>& visit);
 
+/// A unit of enumeration work: a node of the chain tree. With
+/// `include_extensions` the whole DFS subtree rooted at `prefix` (prefix
+/// included), without it just the chain == prefix itself (its cut
+/// placements). Handing a worker a subtree instead of single schemas keeps
+/// consecutive schemas on one worker sharing long chain prefixes — which is
+/// what the incremental encoder's assertion stack feeds on.
+struct SubtreeTask {
+  std::vector<int> prefix;
+  bool include_extensions = false;
+};
+
+/// Splits the chain tree into DFS-ordered tasks: one node-only task per
+/// admissible chain strictly shorter than `depth`, one full-subtree task per
+/// chain of exactly `depth`. Together the tasks cover every schema exactly
+/// once, in the same DFS order as enumerate_schemas.
+std::vector<SubtreeTask> partition_subtrees(const GuardAnalysis& analysis, int depth,
+                                            const EnumerationOptions& options);
+
+/// Enumerates the schemas of one task, mirroring enumerate_schemas' DFS
+/// order within the subtree. The prefix must be an admissible chain (as
+/// produced by partition_subtrees).
+EnumerationOutcome enumerate_schemas_under(const GuardAnalysis& analysis,
+                                           const SubtreeTask& task, int cut_count,
+                                           const EnumerationOptions& options,
+                                           const std::function<bool(const Schema&)>& visit);
+
 /// Number of chains only (no cut placement), for reporting.
 std::int64_t count_chains(const GuardAnalysis& analysis, const EnumerationOptions& options);
 

@@ -25,6 +25,7 @@ Rational& Simplex::coeff_ref(Row& row, int var) {
 int Simplex::add_variable() {
   // Existing rows keep their width: the new column is implicitly zero.
   columns_.push_back(Column{});
+  trail_.push_back({TrailKind::kAddVar, static_cast<int>(columns_.size()) - 1, std::nullopt});
   return static_cast<int>(columns_.size()) - 1;
 }
 
@@ -85,6 +86,12 @@ void Simplex::pop() {
       trail_.pop_back();
       return;
     }
+    if (entry.kind == TrailKind::kAddVar) {
+      HV_REQUIRE(entry.var == static_cast<int>(columns_.size()) - 1);
+      remove_last_variable();
+      trail_.pop_back();
+      continue;
+    }
     Column& column = columns_[entry.var];
     if (entry.kind == TrailKind::kLower) {
       column.lower = std::move(entry.previous);
@@ -96,6 +103,55 @@ void Simplex::pop() {
     // check() repairs any remaining violations.
   }
   throw InternalError("Simplex::pop without matching push");
+}
+
+void Simplex::remove_row(int row_index) {
+  const int last = static_cast<int>(rows_.size()) - 1;
+  if (row_index != last) {
+    rows_[row_index] = std::move(rows_[last]);
+    columns_[rows_[row_index].basic_var].row = row_index;
+  }
+  rows_.pop_back();
+}
+
+// Deletes the youngest variable. Because deletion runs in reverse creation
+// order, the variable's defining equality (if it is a slack) is the unique
+// surviving one that mentions it, so making it basic and dropping its row
+// removes exactly that equality; a non-slack variable is mentioned by no
+// surviving row by the time it is processed and its column drops silently.
+void Simplex::remove_last_variable() {
+  const int var = static_cast<int>(columns_.size()) - 1;
+  int row_index = columns_[var].row;
+  if (row_index < 0) {
+    // Nonbasic: pivot the variable into some row mentioning it, if any.
+    for (int r = 0; r < static_cast<int>(rows_.size()); ++r) {
+      if (!coeff_at(rows_[r], var).is_zero()) {
+        const int evicted = rows_[r].basic_var;
+        pivot(r, var);
+        ++stats_.pop_pivots;
+        // The evicted variable is nonbasic now and must sit within its
+        // bounds again (check() only ever repairs *basic* violations).
+        if (!within_lower(evicted)) {
+          update_nonbasic(evicted, *columns_[evicted].lower);
+        } else if (!within_upper(evicted)) {
+          update_nonbasic(evicted, *columns_[evicted].upper);
+        }
+        row_index = r;
+        break;
+      }
+    }
+  }
+  if (row_index >= 0) remove_row(row_index);
+  columns_.pop_back();
+  // Surviving rows provably carry zero coefficients on the dropped column
+  // (their equalities range over surviving variables only); shed the tail
+  // entries so the width bookkeeping stays tight.
+  for (Row& row : rows_) {
+    while (row.coeffs.size() > columns_.size()) {
+      HV_REQUIRE(row.coeffs.back().is_zero());
+      row.coeffs.pop_back();
+    }
+  }
 }
 
 void Simplex::update_nonbasic(int var, const Rational& new_value) {
@@ -151,6 +207,7 @@ void Simplex::pivot(int row_index, int entering_var) {
 }
 
 void Simplex::pivot_and_update(int row_index, int entering_var, const Rational& target) {
+  ++stats_.pivots;
   const int leaving_var = rows_[row_index].basic_var;
   const Rational coeff = coeff_at(rows_[row_index], entering_var);
   const Rational theta = (target - columns_[leaving_var].assignment) / coeff;

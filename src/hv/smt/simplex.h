@@ -8,6 +8,17 @@
 // tightens a bound, so backtracking restores bounds from a trail and never
 // has to undo pivots.
 //
+// The trail is also *structural*: variables and rows created after a push()
+// are deleted again by the matching pop(), so the solver layer can expose an
+// incremental assertion stack (scoped constraints, not just scoped bounds).
+// Deletion processes variables in reverse creation order; a to-be-deleted
+// variable that is nonbasic but still mentioned by some row is first pivoted
+// into that row (making it basic), after which its row and column can be
+// dropped without touching the equalities over surviving variables. The
+// surviving basis is left in place — this is the warm start that makes a
+// pop()+push() sequence on a shared prefix cheap compared to refactoring
+// the tableau from scratch.
+//
 // All arithmetic is exact (hv::Rational over BigInt); there is no epsilon
 // and no numerical drift, which matters because the checker's verdicts are
 // claimed for *all* parameter values.
@@ -40,9 +51,22 @@ class Simplex {
   [[nodiscard]] bool assert_lower(int var, const Rational& bound);
   [[nodiscard]] bool assert_upper(int var, const Rational& bound);
 
-  /// Bound-trail checkpointing for DPLL and branch-and-bound.
+  /// Checkpointing for DPLL, branch-and-bound and the solver's assertion
+  /// stack. pop() undoes bound tightenings *and* deletes variables/rows
+  /// created since the matching push().
   void push();
   void pop();
+
+  int row_count() const noexcept { return static_cast<int>(rows_.size()); }
+
+  struct Stats {
+    /// Feasibility-restoring pivots performed by check().
+    std::int64_t pivots = 0;
+    /// Extra pivots spent by pop() evicting to-be-deleted variables from
+    /// the basis (the price of structural backtracking).
+    std::int64_t pop_pivots = 0;
+  };
+  const Stats& stats() const noexcept { return stats_; }
 
   /// Searches for an assignment within all bounds. Returns true iff the
   /// current constraint system is feasible over the rationals.
@@ -78,7 +102,7 @@ class Simplex {
   static const Rational& coeff_at(const Row& row, int var) noexcept;
   static Rational& coeff_ref(Row& row, int var);
 
-  enum class TrailKind { kLower, kUpper, kMark };
+  enum class TrailKind { kLower, kUpper, kAddVar, kMark };
   struct TrailEntry {
     TrailKind kind;
     int var = -1;
@@ -86,6 +110,8 @@ class Simplex {
   };
 
   bool is_basic(int var) const noexcept { return columns_[var].row >= 0; }
+  void remove_last_variable();
+  void remove_row(int row_index);
   void update_nonbasic(int var, const Rational& new_value);
   void pivot(int row_index, int entering_var);
   void pivot_and_update(int row_index, int entering_var, const Rational& target);
@@ -95,6 +121,7 @@ class Simplex {
   std::vector<Column> columns_;
   std::vector<Row> rows_;
   std::vector<TrailEntry> trail_;
+  Stats stats_;
 };
 
 }  // namespace hv::smt

@@ -37,7 +37,32 @@ int Solver::slack_for(const std::vector<std::pair<int, BigInt>>& terms) {
   const int slack = simplex_.add_row(terms);
   names_.push_back("slack#" + std::to_string(slack));
   slack_pool_.emplace(key, slack);
+  // The slack's row dies with the current scope; the pool entry must die
+  // with it, or a later scope would alias a recycled variable index.
+  if (!scopes_.empty()) scopes_.back().slack_keys.push_back(std::move(key));
   return slack;
+}
+
+void Solver::push() {
+  Scope scope;
+  scope.atom_count = atoms_.size();
+  scope.clause_count = clauses_.size();
+  scope.name_count = names_.size();
+  scope.trivially_unsat = trivially_unsat_;
+  scopes_.push_back(std::move(scope));
+  simplex_.push();
+}
+
+void Solver::pop() {
+  if (scopes_.empty()) throw Error("smt: Solver::pop without matching push");
+  const Scope& scope = scopes_.back();
+  simplex_.pop();  // bounds and variables/rows created in the scope
+  atoms_.resize(scope.atom_count);
+  clauses_.resize(scope.clause_count);
+  names_.resize(scope.name_count);
+  trivially_unsat_ = scope.trivially_unsat;
+  for (const std::string& key : scope.slack_keys) slack_pool_.erase(key);
+  scopes_.pop_back();
 }
 
 Solver::NormalizedAtom Solver::normalize(const LinearConstraint& constraint) {

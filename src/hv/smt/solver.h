@@ -18,6 +18,13 @@
 //
 // Integer tightening is applied everywhere (bounds are floored/ceiled after
 // dividing rows by their content), so negation of atoms stays exact.
+//
+// The solver is *incremental*: push() opens a scope and pop() retracts every
+// constraint, atom, clause and variable created since the matching push(),
+// mirroring the assertion stack of industrial SMT backends. The simplex
+// basis is kept warm across pops (see hv/smt/simplex.h), so re-solving a
+// problem that shares a prefix of assertions with the previous one skips
+// most of the pivoting.
 #ifndef HV_SMT_SOLVER_H
 #define HV_SMT_SOLVER_H
 
@@ -64,7 +71,15 @@ class Solver {
   /// Adds a disjunction of literals (empty clause makes the problem unsat).
   void add_clause(std::vector<Literal> literals);
 
-  /// Decides satisfiability; on kSat a model is available.
+  /// Opens a new assertion scope: constraints, atoms, clauses and variables
+  /// created from here on are retracted by the matching pop().
+  void push();
+  /// Closes the innermost scope. Throws hv::Error without a matching push().
+  void pop();
+  int scope_depth() const noexcept { return static_cast<int>(scopes_.size()); }
+
+  /// Decides satisfiability; on kSat a model is available. May be called
+  /// repeatedly, at any scope depth; the assertion stack is unchanged.
   CheckResult check();
 
   /// Value of a variable in the last model (valid after check() == kSat).
@@ -77,6 +92,9 @@ class Solver {
     std::int64_t branch_nodes = 0;
   };
   const Stats& stats() const noexcept { return stats_; }
+  /// Cumulative simplex pivots (feasibility search; excludes the structural
+  /// pivots pop() spends evicting deleted variables from the basis).
+  std::int64_t pivots() const noexcept { return simplex_.stats().pivots; }
 
   /// Branch-and-bound node budget; exceeded budgets throw hv::Error.
   void set_branch_budget(std::int64_t budget) noexcept { branch_budget_ = budget; }
@@ -120,9 +138,20 @@ class Solver {
   void enforce_deadline();
   void capture_model();
 
+  // One assertion scope: everything needed to truncate solver state back to
+  // the moment of the push(). The simplex side is undone by its own trail.
+  struct Scope {
+    std::size_t atom_count = 0;
+    std::size_t clause_count = 0;
+    std::size_t name_count = 0;
+    bool trivially_unsat = false;
+    std::vector<std::string> slack_keys;  // pool entries to evict on pop
+  };
+
   Simplex simplex_;
   std::vector<std::string> names_;
   std::map<std::string, int> slack_pool_;  // canonical term-vector -> slack var
+  std::vector<Scope> scopes_;
   std::vector<NormalizedAtom> atoms_;
   std::vector<std::vector<Literal>> clauses_;
   std::vector<signed char> assignment_;  // -1 unassigned, 0 false, 1 true

@@ -23,7 +23,8 @@ namespace {
 
 constexpr const char* kUsage = R"(usage:
   hvc check <model.ta> --prop "<ltl>" [--name N] [--timeout S]
-                       [--max-schemas K] [--workers W] [--no-pruning] [--json]
+                       [--max-schemas K] [--workers W] [--no-pruning]
+                       [--no-incremental] [--json]
   hvc explicit <model.ta> --prop "<ltl>" --params n=4,t=1,f=1 [--max-states K]
                        [--json]
   hvc dot <model.ta>
@@ -152,6 +153,8 @@ int command_check(Args& args, std::ostream& out) {
       options.workers = std::stoi(*value);
     } else if (args.boolean("--no-pruning")) {
       options.property_directed_pruning = false;
+    } else if (args.boolean("--no-incremental")) {
+      options.incremental = false;
     } else if (args.boolean("--json")) {
       json = true;
     } else {
@@ -168,8 +171,14 @@ int command_check(Args& args, std::ostream& out) {
     out << "{\"property\": \"" << json_escape(name) << "\", \"verdict\": \""
         << checker::to_string(result.verdict) << "\", \"schemas\": "
         << result.schemas_checked << ", \"pruned\": " << result.schemas_pruned
-        << ", \"seconds\": " << result.seconds << ", \"note\": \""
-        << json_escape(result.note) << "\"";
+        << ", \"seconds\": " << result.seconds << ", \"pivots\": " << result.simplex_pivots
+        << ", \"note\": \"" << json_escape(result.note) << "\"";
+    if (result.incremental) {
+      out << ", \"segments_pushed\": " << result.incremental->segments_pushed
+          << ", \"segments_popped\": " << result.incremental->segments_popped
+          << ", \"segments_reused\": " << result.incremental->segments_reused
+          << ", \"prefix_reuse_ratio\": " << result.incremental->prefix_reuse_ratio();
+    }
     if (result.counterexample) {
       out << ", \"counterexample\": \""
           << json_escape(result.counterexample->to_string(ta)) << "\"";
@@ -178,7 +187,14 @@ int command_check(Args& args, std::ostream& out) {
     return exit_code(result.verdict);
   }
   out << name << ": " << checker::to_string(result.verdict) << " (" << result.schemas_checked
-      << " schemas, " << result.schemas_pruned << " pruned, " << result.seconds << "s)\n";
+      << " schemas, " << result.schemas_pruned << " pruned, " << result.simplex_pivots
+      << " pivots, " << result.seconds << "s)\n";
+  if (result.incremental) {
+    out << "incremental: " << result.incremental->segments_pushed << " segments pushed, "
+        << result.incremental->segments_reused << " reused ("
+        << static_cast<int>(result.incremental->prefix_reuse_ratio() * 100.0)
+        << "% prefix reuse)\n";
+  }
   if (!result.note.empty()) out << "note: " << result.note << "\n";
   if (result.counterexample) out << result.counterexample->to_string(ta);
   return exit_code(result.verdict);

@@ -8,6 +8,7 @@
 #include "hv/spec/compile.h"
 #include "hv/models/bv_broadcast.h"
 #include "hv/models/simplified_consensus.h"
+#include "hv/models/st_broadcast.h"
 #include "hv/ta/parser.h"
 
 namespace hv::checker {
@@ -304,6 +305,106 @@ TEST(ParameterizedTest, WorkerPoolOnPaperModel) {
     const PropertyResult result = check_property(ta, property, options);
     EXPECT_EQ(result.verdict, Verdict::kHolds);
     EXPECT_EQ(result.schemas_checked, 2116);
+  }
+}
+
+
+// --- incremental vs one-shot differential ----------------------------------
+//
+// The incremental encoder must be answer-preserving: same verdicts, same
+// schema counts, same average schema length, on every bundled model and
+// property. (The naive consensus model is excluded: it times out by design.)
+
+void expect_paths_agree(const ta::ThresholdAutomaton& ta, const spec::Property& property,
+                        int workers) {
+  CheckOptions incremental;
+  incremental.workers = workers;
+  CheckOptions fresh = incremental;
+  fresh.incremental = false;
+  const PropertyResult a = check_property(ta, property, incremental);
+  const PropertyResult b = check_property(ta, property, fresh);
+  EXPECT_EQ(a.verdict, b.verdict) << property.name;
+  EXPECT_EQ(a.schemas_checked, b.schemas_checked) << property.name;
+  EXPECT_EQ(a.schemas_pruned, b.schemas_pruned) << property.name;
+  EXPECT_EQ(a.avg_schema_length, b.avg_schema_length) << property.name;
+  EXPECT_EQ(a.counterexample.has_value(), b.counterexample.has_value()) << property.name;
+  EXPECT_TRUE(a.incremental.has_value()) << property.name;
+  EXPECT_FALSE(b.incremental.has_value()) << property.name;
+}
+
+TEST(IncrementalTest, DifferentialOnEcho) {
+  const auto& ta = echo().body();
+  for (const char* text : {"locA != 0 -> [](locD == 0)", "[](locB == 0) -> [](locD == 0)",
+                           "<>(locA == 0)", "<>(locA == 0 && locW == 0)",
+                           "<>(locD != 0) -> [](locB == 0)"}) {
+    expect_paths_agree(ta, spec::compile(ta, text, text), /*workers=*/1);
+  }
+}
+
+TEST(IncrementalTest, DifferentialOnBvBroadcast) {
+  const ta::ThresholdAutomaton bv = hv::models::bv_broadcast();
+  for (const spec::Property& property : hv::models::bv_properties(bv)) {
+    expect_paths_agree(bv, property, /*workers=*/1);
+  }
+}
+
+TEST(IncrementalTest, DifferentialOnStBroadcast) {
+  const ta::ThresholdAutomaton st = hv::models::st_broadcast();
+  for (const spec::Property& property : hv::models::st_properties(st)) {
+    expect_paths_agree(st, property, /*workers=*/1);
+  }
+}
+
+TEST(IncrementalTest, DifferentialWithWorkerPool) {
+  const ta::ThresholdAutomaton bv = hv::models::bv_broadcast();
+  for (const spec::Property& property : hv::models::bv_properties(bv)) {
+    expect_paths_agree(bv, property, /*workers=*/3);
+  }
+}
+
+TEST(IncrementalTest, StatsExposePrefixReuse) {
+  // Without cone pruning every schema reaches the solver, so the DFS order
+  // guarantees consecutive schemas share chain prefixes on a multi-guard
+  // model: the reuse counters must be visibly non-zero.
+  const ta::ThresholdAutomaton bv = hv::models::bv_broadcast();
+  const std::vector<spec::Property> properties = hv::models::bv_properties(bv);
+  CheckOptions options;
+  options.property_directed_pruning = false;
+  const PropertyResult result = check_property(bv, properties.front(), options);
+  ASSERT_TRUE(result.incremental.has_value());
+  EXPECT_GT(result.incremental->schemas_encoded, 0);
+  EXPECT_GT(result.incremental->segments_pushed, 0);
+  EXPECT_GT(result.incremental->segments_reused, 0);
+  EXPECT_GT(result.incremental->prefix_reuse_ratio(), 0.0);
+  EXPECT_LE(result.incremental->prefix_reuse_ratio(), 1.0);
+  EXPECT_GT(result.simplex_pivots, 0);
+
+  CheckOptions fresh = options;
+  fresh.incremental = false;
+  const PropertyResult baseline = check_property(bv, properties.front(), fresh);
+  EXPECT_GT(baseline.simplex_pivots, 0);
+  // The prefix sharing must translate into strictly fewer simplex pivots.
+  EXPECT_LT(result.simplex_pivots, baseline.simplex_pivots);
+}
+
+TEST(IncrementalTest, SubtreePartitionCoversChainTreeExactlyOnce) {
+  const ta::ThresholdAutomaton bv = hv::models::bv_broadcast();
+  const GuardAnalysis analysis(bv);
+  const EnumerationOptions options;
+  std::int64_t direct = 0;
+  enumerate_schemas(analysis, /*cut_count=*/1, options, [&](const Schema&) {
+    ++direct;
+    return true;
+  });
+  for (const int depth : {1, 2, 3}) {
+    std::int64_t via_tasks = 0;
+    for (const SubtreeTask& task : partition_subtrees(analysis, depth, options)) {
+      enumerate_schemas_under(analysis, task, /*cut_count=*/1, options, [&](const Schema&) {
+        ++via_tasks;
+        return true;
+      });
+    }
+    EXPECT_EQ(via_tasks, direct) << "depth " << depth;
   }
 }
 

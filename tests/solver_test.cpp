@@ -383,5 +383,139 @@ TEST(SolverTest, TimeBudgetAborts) {
   }
 }
 
+TEST(SolverTest, PushPopRestoresFeasibility) {
+  Solver solver;
+  const VarId x = solver.new_variable("x");
+  solver.add_lower_bound(x, 0);
+  solver.add_upper_bound(x, 10);
+  ASSERT_EQ(solver.check(), CheckResult::kSat);
+  solver.push();
+  EXPECT_EQ(solver.scope_depth(), 1);
+  solver.add(make_ge(var(x), LinearExpr(20)));
+  EXPECT_EQ(solver.check(), CheckResult::kUnsat);
+  solver.pop();
+  EXPECT_EQ(solver.scope_depth(), 0);
+  ASSERT_EQ(solver.check(), CheckResult::kSat);
+  EXPECT_LE(solver.model_value(x), BigInt(10));
+}
+
+TEST(SolverTest, NestedScopesDropVariablesAndRows) {
+  Solver solver;
+  const VarId x = solver.new_variable("x");
+  solver.add_lower_bound(x, 1);
+  solver.push();
+  const VarId y = solver.new_variable("y");
+  solver.add_lower_bound(y, 1);
+  solver.add(make_eq(LinearExpr::term(x, 2) + LinearExpr::term(y, 3), LinearExpr(12)));
+  ASSERT_EQ(solver.check(), CheckResult::kSat);
+  EXPECT_EQ(solver.model_value(x), BigInt(3));
+  solver.push();
+  solver.add(make_ge(var(y), LinearExpr(3)));
+  EXPECT_EQ(solver.check(), CheckResult::kUnsat);
+  solver.pop();
+  ASSERT_EQ(solver.check(), CheckResult::kSat);
+  EXPECT_EQ(solver.model_value(y), BigInt(2));
+  solver.pop();
+  // y and its slack row are gone: nothing may cap x any more.
+  solver.add(make_ge(var(x), LinearExpr(100)));
+  ASSERT_EQ(solver.check(), CheckResult::kSat);
+  EXPECT_GE(solver.model_value(x), BigInt(100));
+}
+
+TEST(SolverTest, PopRemovesClausesAndAtoms) {
+  Solver solver;
+  const VarId x = solver.new_variable("x");
+  solver.add_lower_bound(x, 0);
+  solver.add_upper_bound(x, 10);
+  solver.push();
+  const int high = solver.add_atom(make_ge(var(x), LinearExpr(7)));
+  const int low = solver.add_atom(make_le(var(x), LinearExpr(2)));
+  solver.add_clause({{high, true}, {low, true}});
+  solver.add(make_ge(var(x), LinearExpr(3)));
+  solver.add(make_le(var(x), LinearExpr(6)));
+  EXPECT_EQ(solver.check(), CheckResult::kUnsat);
+  solver.pop();
+  // Both the window bounds and the clause died with the scope.
+  ASSERT_EQ(solver.check(), CheckResult::kSat);
+}
+
+TEST(SolverTest, PopWithoutPushThrows) {
+  Solver solver;
+  EXPECT_THROW(solver.pop(), Error);
+}
+
+TEST(SolverTest, SlackPoolDiesWithItsScope) {
+  Solver solver;
+  const VarId x = solver.new_variable("x");
+  const VarId y = solver.new_variable("y");
+  solver.add_lower_bound(x, 0);
+  solver.add_lower_bound(y, 0);
+  solver.push();
+  solver.add(make_le(var(x) + var(y), LinearExpr(5)));
+  ASSERT_EQ(solver.check(), CheckResult::kSat);
+  solver.pop();
+  // The pooled slack for x+y died with the scope; re-adding the same term
+  // vector must mint a fresh slack, not alias a recycled variable index.
+  solver.add(make_le(var(x) + var(y), LinearExpr(7)));
+  solver.add(make_ge(var(x), LinearExpr(4)));
+  ASSERT_EQ(solver.check(), CheckResult::kSat);
+  EXPECT_LE(solver.model_value(x).to_int64() + solver.model_value(y).to_int64(), 7);
+  EXPECT_GE(solver.model_value(x), BigInt(4));
+}
+
+TEST(SolverTest, ModelValidAfterDeepPopSequence) {
+  // Randomized differential: a persistent solver driven through push/pop
+  // must agree with a fresh solver on every (cumulative) constraint set.
+  std::mt19937 rng(7);
+  Solver persistent;
+  std::vector<VarId> vars;
+  std::vector<LinearConstraint> base;
+  for (int v = 0; v < 4; ++v) {
+    vars.push_back(persistent.new_variable("v" + std::to_string(v)));
+    persistent.add_lower_bound(vars.back(), 0);
+    persistent.add_upper_bound(vars.back(), 20);
+  }
+  const auto random_constraint = [&] {
+    LinearExpr sum;
+    for (const VarId v : vars) {
+      sum += LinearExpr::term(v, static_cast<int>(rng() % 5) - 2);
+    }
+    const LinearExpr bound(static_cast<int>(rng() % 41) - 10);
+    return (rng() % 2 == 0) ? make_le(sum, bound) : make_ge(sum, bound);
+  };
+  std::vector<std::vector<LinearConstraint>> stack;
+  for (int round = 0; round < 40; ++round) {
+    if (!stack.empty() && rng() % 3 == 0) {
+      persistent.pop();
+      stack.pop_back();
+    } else {
+      persistent.push();
+      stack.push_back({random_constraint(), random_constraint()});
+      for (const LinearConstraint& constraint : stack.back()) persistent.add(constraint);
+    }
+    Solver fresh;
+    for (std::size_t v = 0; v < vars.size(); ++v) {
+      const VarId fv = fresh.new_variable("v" + std::to_string(v));
+      fresh.add_lower_bound(fv, 0);
+      fresh.add_upper_bound(fv, 20);
+    }
+    for (const auto& level : stack) {
+      for (const LinearConstraint& constraint : level) fresh.add(constraint);
+    }
+    ASSERT_EQ(persistent.check(), fresh.check()) << "round " << round;
+  }
+}
+
+TEST(SolverTest, PivotCounterAdvances) {
+  Solver solver;
+  const VarId x = solver.new_variable("x");
+  const VarId y = solver.new_variable("y");
+  solver.add_lower_bound(x, 1);
+  solver.add_lower_bound(y, 1);
+  solver.add(make_eq(LinearExpr::term(x, 2) + LinearExpr::term(y, 3), LinearExpr(12)));
+  ASSERT_EQ(solver.check(), CheckResult::kSat);
+  EXPECT_GT(solver.pivots(), 0);
+}
+
 }  // namespace
 }  // namespace hv::smt
