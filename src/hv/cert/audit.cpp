@@ -1,0 +1,864 @@
+#include "hv/cert/audit.h"
+
+#include <algorithm>
+#include <array>
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <sstream>
+#include <utility>
+
+#include "hv/checker/cone.h"
+#include "hv/checker/encoder.h"
+#include "hv/checker/guard_analysis.h"
+#include "hv/checker/schema.h"
+#include "hv/spec/compile.h"
+#include "hv/ta/parser.h"
+#include "hv/util/error.h"
+
+namespace hv::cert {
+
+namespace {
+
+using checker::EncoderMode;
+using checker::GuardAnalysis;
+using checker::IncrementalSchemaEncoder;
+using checker::QueryCone;
+using checker::Schema;
+using smt::Relation;
+using smt::proof::NamedTerms;
+using smt::proof::Node;
+using smt::proof::NodeKind;
+using smt::proof::Premise;
+using smt::proof::PremiseOrigin;
+using smt::proof::Trace;
+using smt::proof::TracedConstraint;
+using smt::proof::TracedLiteral;
+
+constexpr std::size_t kMaxIssues = 200;
+constexpr int kMaxWalkDepth = 6000;
+
+void add_issue(AuditReport& report, const std::string& context, const std::string& message) {
+  if (report.issues.size() > kMaxIssues) return;
+  if (report.issues.size() == kMaxIssues) {
+    report.issues.push_back("... further issues suppressed");
+    return;
+  }
+  report.issues.push_back(context + ": " + message);
+}
+
+// ---------------------------------------------------------------------------
+// Pure arithmetic core: premise normalization, Farkas checking, model
+// evaluation. Everything below this banner uses only hv/util arithmetic.
+// ---------------------------------------------------------------------------
+
+std::string premise_key(const NamedTerms& terms, Relation rel, const BigInt& bound) {
+  std::string key = rel == Relation::kLe ? "<=|" : ">=|";
+  key += bound.to_string();
+  for (const auto& [name, coeff] : terms) {
+    key += '|';
+    key += name;
+    key += ':';
+    key += coeff.to_string();
+  }
+  return key;
+}
+
+/// The auditor's own normalization of a raw (traced) constraint under a
+/// polarity — the mirror of the certifying solver's: divide the term vector
+/// by its content, tighten the bound over the integers, split equalities
+/// into two inequalities, and turn negated bounds into strict complements.
+struct Normalized {
+  bool constant = false;
+  bool value = false;        // when constant
+  bool bad_negation = false; // a negated equality: not expressible as a bound
+  std::vector<Premise> premises;
+};
+
+Normalized normalize(const TracedConstraint& raw, bool positive) {
+  Normalized out;
+  if (raw.terms.empty()) {
+    out.constant = true;
+    const int sign = raw.constant.sign();
+    switch (raw.rel) {
+      case Relation::kLe:
+        out.value = sign <= 0;
+        break;
+      case Relation::kGe:
+        out.value = sign >= 0;
+        break;
+      case Relation::kEq:
+        out.value = sign == 0;
+        break;
+    }
+    if (!positive) out.value = !out.value;
+    return out;
+  }
+
+  BigInt content = 0;
+  for (const auto& [name, coeff] : raw.terms) content = BigInt::gcd(content, coeff);
+  NamedTerms terms;
+  terms.reserve(raw.terms.size());
+  for (const auto& [name, coeff] : raw.terms) terms.emplace_back(name, coeff / content);
+
+  const auto premise = [&terms](Relation rel, BigInt bound) {
+    Premise p;
+    p.terms = terms;
+    p.rel = rel;
+    p.bound = std::move(bound);
+    return p;
+  };
+
+  switch (raw.rel) {
+    case Relation::kLe: {
+      BigInt bound = BigInt::floor_div(-raw.constant, content);
+      out.premises.push_back(positive ? premise(Relation::kLe, std::move(bound))
+                                      : premise(Relation::kGe, bound + BigInt(1)));
+      return out;
+    }
+    case Relation::kGe: {
+      BigInt bound = BigInt::ceil_div(-raw.constant, content);
+      out.premises.push_back(positive ? premise(Relation::kGe, std::move(bound))
+                                      : premise(Relation::kLe, bound - BigInt(1)));
+      return out;
+    }
+    case Relation::kEq: {
+      BigInt quotient;
+      BigInt remainder;
+      BigInt::div_mod(-raw.constant, content, quotient, remainder);
+      if (!remainder.is_zero()) {
+        // The equality can never hold over the integers.
+        out.constant = true;
+        out.value = !positive;
+        return out;
+      }
+      if (!positive) {
+        out.bad_negation = true;
+        return out;
+      }
+      out.premises.push_back(premise(Relation::kGe, quotient));
+      out.premises.push_back(premise(Relation::kLe, std::move(quotient)));
+      return out;
+    }
+  }
+  throw InternalError("unreachable relation");
+}
+
+/// Audits one schema's evidence against its re-encoded trace. Owns the tree
+/// walk's context: the atom bindings made by propagation/decision nodes and
+/// the assumption stack of enclosing integer branches.
+class SchemaAuditor {
+ public:
+  SchemaAuditor(const Trace& trace, AuditReport& report, std::string context)
+      : trace_(trace),
+        report_(report),
+        context_(std::move(context)),
+        assignment_(trace.atoms.size(), -1),
+        atom_cache_(trace.atoms.size()) {
+    for (const TracedConstraint& constraint : trace_.constraints) {
+      const Normalized normalized = normalize(constraint, /*positive=*/true);
+      if (normalized.constant) {
+        if (!normalized.value) constraints_false_ = true;
+        continue;
+      }
+      for (const Premise& premise : normalized.premises) {
+        constraint_keys_.insert(premise_key(premise.terms, premise.rel, premise.bound));
+      }
+    }
+  }
+
+  bool audit_proof(const Node& root) { return verify(root, 0); }
+
+  bool audit_model(const std::vector<std::pair<std::string, BigInt>>& model) {
+    std::map<std::string, BigInt> values;
+    for (const auto& [name, value] : model) {
+      if (!values.emplace(name, value).second) {
+        return fail("model assigns '" + name + "' twice");
+      }
+    }
+    bool ok = true;
+    const auto evaluate = [&](const TracedConstraint& constraint,
+                              bool& truth) -> bool {  // false: missing variable
+      BigInt total = constraint.constant;
+      for (const auto& [name, coeff] : constraint.terms) {
+        const auto it = values.find(name);
+        if (it == values.end()) {
+          fail("model misses variable '" + name + "'");
+          return false;
+        }
+        total += coeff * it->second;
+      }
+      const int sign = total.sign();
+      switch (constraint.rel) {
+        case Relation::kLe:
+          truth = sign <= 0;
+          break;
+        case Relation::kGe:
+          truth = sign >= 0;
+          break;
+        case Relation::kEq:
+          truth = sign == 0;
+          break;
+      }
+      return true;
+    };
+    for (std::size_t i = 0; i < trace_.constraints.size(); ++i) {
+      bool truth = false;
+      if (!evaluate(trace_.constraints[i], truth)) return false;
+      if (!truth) {
+        ok = fail("model violates constraint #" + std::to_string(i));
+      }
+    }
+    for (std::size_t c = 0; c < trace_.clauses.size(); ++c) {
+      bool satisfied = false;
+      for (const TracedLiteral& literal : trace_.clauses[c]) {
+        if (literal.atom < 0 || literal.atom >= static_cast<int>(trace_.atoms.size())) {
+          return fail("clause cites an invalid atom index");
+        }
+        bool truth = false;
+        if (!evaluate(trace_.atoms[static_cast<std::size_t>(literal.atom)], truth)) return false;
+        if (truth == literal.positive) {
+          satisfied = true;
+          break;
+        }
+      }
+      if (!satisfied) {
+        ok = fail("model violates clause #" + std::to_string(c));
+      }
+    }
+    return ok;
+  }
+
+ private:
+  bool fail(const std::string& message) {
+    add_issue(report_, context_, message);
+    return false;
+  }
+
+  const Normalized& normalized_atom(int atom, bool positive) {
+    auto& slot = atom_cache_[static_cast<std::size_t>(atom)][positive ? 1 : 0];
+    if (!slot) slot = normalize(trace_.atoms[static_cast<std::size_t>(atom)], positive);
+    return *slot;
+  }
+
+  bool premise_ok(const Premise& premise) {
+    if (premise.rel == Relation::kEq) return fail("a premise may not be an equality");
+    if (premise.terms.empty()) {
+      // A constant statement: trivially-true ones are always entailed; a
+      // contradictory one must trace back to something that normalizes to
+      // constant falsehood.
+      const bool trivially_true = premise.rel == Relation::kLe ? !premise.bound.is_negative()
+                                                               : !premise.bound.is_positive();
+      if (trivially_true) return true;
+      switch (premise.origin) {
+        case PremiseOrigin::kConstraint:
+          if (constraints_false_) return true;
+          return fail("premise claims a constraint is constant-false, but none is");
+        case PremiseOrigin::kAtom: {
+          if (premise.atom < 0 || premise.atom >= static_cast<int>(trace_.atoms.size())) {
+            return fail("premise cites an invalid atom index");
+          }
+          if (assignment_[static_cast<std::size_t>(premise.atom)] !=
+              (premise.positive ? 1 : 0)) {
+            return fail("premise cites atom #" + std::to_string(premise.atom) +
+                        " with a polarity the path does not bind");
+          }
+          const Normalized& normalized = normalized_atom(premise.atom, premise.positive);
+          if (normalized.constant && !normalized.value) return true;
+          return fail("premise claims atom #" + std::to_string(premise.atom) +
+                      " is constant-false, but it is not");
+        }
+        case PremiseOrigin::kBranch:
+          return fail("branch assumptions are never constant");
+      }
+      return fail("invalid premise origin");
+    }
+
+    switch (premise.origin) {
+      case PremiseOrigin::kConstraint:
+        if (constraint_keys_.count(premise_key(premise.terms, premise.rel, premise.bound)) > 0) {
+          return true;
+        }
+        return fail("premise is not among the asserted constraints");
+      case PremiseOrigin::kAtom: {
+        if (premise.atom < 0 || premise.atom >= static_cast<int>(trace_.atoms.size())) {
+          return fail("premise cites an invalid atom index");
+        }
+        if (assignment_[static_cast<std::size_t>(premise.atom)] != (premise.positive ? 1 : 0)) {
+          return fail("premise cites atom #" + std::to_string(premise.atom) +
+                      " with a polarity the path does not bind");
+        }
+        const Normalized& normalized = normalized_atom(premise.atom, premise.positive);
+        if (normalized.bad_negation) {
+          return fail("premise cites the negation of an equality atom");
+        }
+        if (normalized.constant) {
+          return fail("premise content does not match its constant atom");
+        }
+        for (const Premise& candidate : normalized.premises) {
+          if (candidate.terms == premise.terms && candidate.rel == premise.rel &&
+              candidate.bound == premise.bound) {
+            return true;
+          }
+        }
+        return fail("premise content does not match the auditor's normalization of atom #" +
+                    std::to_string(premise.atom));
+      }
+      case PremiseOrigin::kBranch:
+        for (const Premise& assumption : branch_stack_) {
+          if (assumption.terms == premise.terms && assumption.rel == premise.rel &&
+              assumption.bound == premise.bound) {
+            return true;
+          }
+        }
+        return fail("premise is not among the enclosing branch assumptions");
+    }
+    return fail("invalid premise origin");
+  }
+
+  bool check_farkas(const Node& node) {
+    ++report_.farkas_nodes;
+    if (node.farkas.empty()) return fail("empty Farkas combination");
+    std::map<std::string, Rational> sum;
+    Rational rhs;
+    for (const auto& [premise, multiplier] : node.farkas) {
+      if (!multiplier.is_positive()) return fail("non-positive Farkas multiplier");
+      if (!premise_ok(premise)) return false;
+      // Convert to <=-form: sum(terms) <= bound, negating >= premises.
+      const bool le = premise.rel == Relation::kLe;
+      for (const auto& [name, coeff] : premise.terms) {
+        const Rational scaled = multiplier * Rational(coeff);
+        sum[name] += le ? scaled : -scaled;
+      }
+      const Rational scaled_bound = multiplier * Rational(premise.bound);
+      rhs += le ? scaled_bound : -scaled_bound;
+    }
+    for (const auto& [name, coeff] : sum) {
+      if (!coeff.is_zero()) {
+        return fail("Farkas combination does not cancel variable '" + name + "'");
+      }
+    }
+    if (!rhs.is_negative()) {
+      return fail("Farkas combination is not contradictory (0 <= " + rhs.to_string() + ")");
+    }
+    return true;
+  }
+
+  bool literal_false(const TracedLiteral& literal) {
+    if (literal.atom < 0 || literal.atom >= static_cast<int>(trace_.atoms.size())) return false;
+    const signed char value = assignment_[static_cast<std::size_t>(literal.atom)];
+    if (value != -1) return value == (literal.positive ? 0 : 1);
+    const Normalized& normalized = normalized_atom(literal.atom, literal.positive);
+    return normalized.constant && !normalized.value && !normalized.bad_negation;
+  }
+
+  bool verify(const Node& node, int depth) {
+    if (depth > kMaxWalkDepth) return fail("proof tree too deep");
+    switch (node.kind) {
+      case NodeKind::kFarkas:
+        return check_farkas(node);
+
+      case NodeKind::kClauseConflict: {
+        if (node.clause < 0 || node.clause >= static_cast<int>(trace_.clauses.size())) {
+          return fail("conflict cites an invalid clause index");
+        }
+        for (const TracedLiteral& literal : trace_.clauses[static_cast<std::size_t>(node.clause)]) {
+          if (!literal_false(literal)) {
+            return fail("clause #" + std::to_string(node.clause) +
+                        " is not conflicting: a literal is not false");
+          }
+        }
+        return true;
+      }
+
+      case NodeKind::kPropagation: {
+        if (node.clause < 0 || node.clause >= static_cast<int>(trace_.clauses.size())) {
+          return fail("propagation cites an invalid clause index");
+        }
+        if (node.atom < 0 || node.atom >= static_cast<int>(trace_.atoms.size())) {
+          return fail("propagation cites an invalid atom index");
+        }
+        if (node.first == nullptr) return fail("propagation without a child");
+        bool found_forced = false;
+        for (const TracedLiteral& literal : trace_.clauses[static_cast<std::size_t>(node.clause)]) {
+          if (literal.atom == node.atom && literal.positive == node.positive) {
+            found_forced = true;
+            continue;
+          }
+          if (!literal_false(literal)) {
+            return fail("clause #" + std::to_string(node.clause) +
+                        " does not force the propagated literal: another literal is not false");
+          }
+        }
+        if (!found_forced) {
+          return fail("propagated literal is not in clause #" + std::to_string(node.clause));
+        }
+        const std::size_t slot = static_cast<std::size_t>(node.atom);
+        const signed char saved = assignment_[slot];
+        assignment_[slot] = node.positive ? 1 : 0;
+        const bool ok = verify(*node.first, depth + 1);
+        assignment_[slot] = saved;
+        return ok;
+      }
+
+      case NodeKind::kDecision: {
+        if (node.atom < 0 || node.atom >= static_cast<int>(trace_.atoms.size())) {
+          return fail("decision cites an invalid atom index");
+        }
+        if (node.first == nullptr || node.second == nullptr) {
+          return fail("decision without both children");
+        }
+        const std::size_t slot = static_cast<std::size_t>(node.atom);
+        const signed char saved = assignment_[slot];
+        assignment_[slot] = 1;
+        const bool true_ok = verify(*node.first, depth + 1);
+        assignment_[slot] = 0;
+        const bool false_ok = true_ok && verify(*node.second, depth + 1);
+        assignment_[slot] = saved;
+        return true_ok && false_ok;
+      }
+
+      case NodeKind::kBranch: {
+        // e <= k  \/  e >= k+1 is exhaustive for any integer-valued e; every
+        // named variable is an integer, so any integer combination is.
+        if (node.first == nullptr || node.second == nullptr) {
+          return fail("branch without both children");
+        }
+        Premise low;
+        low.origin = PremiseOrigin::kBranch;
+        low.terms = node.branch_terms;
+        low.rel = Relation::kLe;
+        low.bound = node.branch_bound;
+        branch_stack_.push_back(std::move(low));
+        const bool low_ok = verify(*node.first, depth + 1);
+        branch_stack_.pop_back();
+        if (!low_ok) return false;
+        Premise high;
+        high.origin = PremiseOrigin::kBranch;
+        high.terms = node.branch_terms;
+        high.rel = Relation::kGe;
+        high.bound = node.branch_bound + BigInt(1);
+        branch_stack_.push_back(std::move(high));
+        const bool high_ok = verify(*node.second, depth + 1);
+        branch_stack_.pop_back();
+        return high_ok;
+      }
+    }
+    return fail("invalid proof node kind");
+  }
+
+  const Trace& trace_;
+  AuditReport& report_;
+  std::string context_;
+  std::set<std::string> constraint_keys_;
+  bool constraints_false_ = false;
+  std::vector<signed char> assignment_;
+  std::vector<Premise> branch_stack_;
+  std::vector<std::array<std::optional<Normalized>, 2>> atom_cache_;
+};
+
+// ---------------------------------------------------------------------------
+// Certificate-level driver: model/property reconstruction, re-encoding,
+// coverage, verdict composition.
+// ---------------------------------------------------------------------------
+
+std::string schema_key(std::int64_t query_index, const Schema& schema) {
+  std::string key = "q" + std::to_string(query_index) + "|c";
+  for (const int guard : schema.unlock_order) {
+    key += std::to_string(guard);
+    key += ',';
+  }
+  key += "|k";
+  for (const int cut : schema.cut_positions) {
+    key += std::to_string(cut);
+    key += ',';
+  }
+  return key;
+}
+
+bool schema_shape_ok(const Schema& schema, int guard_count, std::size_t cut_count,
+                     std::string& why) {
+  std::vector<bool> used(static_cast<std::size_t>(guard_count), false);
+  for (const int guard : schema.unlock_order) {
+    if (guard < 0 || guard >= guard_count) {
+      why = "guard index out of range";
+      return false;
+    }
+    if (used[static_cast<std::size_t>(guard)]) {
+      why = "duplicate guard in unlock order";
+      return false;
+    }
+    used[static_cast<std::size_t>(guard)] = true;
+  }
+  if (schema.cut_positions.size() != cut_count) {
+    why = "cut count does not match the query";
+    return false;
+  }
+  int previous = 0;
+  for (const int cut : schema.cut_positions) {
+    if (cut < previous || cut >= schema.segment_count()) {
+      why = "cut positions not non-decreasing within the segments";
+      return false;
+    }
+    previous = cut;
+  }
+  return true;
+}
+
+std::string verdict_combine(const std::vector<std::string>& verdicts) {
+  bool all_hold = !verdicts.empty();
+  for (const std::string& verdict : verdicts) {
+    if (verdict == "violated") return "violated";
+    if (verdict != "holds") all_hold = false;
+  }
+  return all_hold ? "holds" : "unknown";
+}
+
+struct ComponentOutcome {
+  std::string automaton_name;
+  std::map<std::string, std::string> verdicts;  // property -> audited verdict
+};
+
+/// Audits one property certificate; returns the audited verdict ("holds" /
+/// "violated" / "unknown" as claimed when the audit is green, "failed"
+/// otherwise).
+std::string audit_property(const GuardAnalysis& analysis, const spec::Property& property,
+                           const PropertyCert& cert, const std::string& context,
+                           AuditReport& report) {
+  const std::size_t issues_before = report.issues.size();
+  ++report.properties_audited;
+
+  if (cert.verdict != "holds" && cert.verdict != "violated" && cert.verdict != "unknown") {
+    add_issue(report, context, "invalid verdict '" + cert.verdict + "'");
+    return "failed";
+  }
+  if (cert.verdict == "unknown") {
+    report.warnings.push_back(context + ": verdict 'unknown' certifies nothing");
+  }
+  if (cert.verdict == "holds" && !cert.complete) {
+    add_issue(report, context, "verdict 'holds' without a completeness claim");
+  }
+
+  const std::size_t query_count = property.queries.size();
+  std::deque<QueryCone> cones;
+  if (cert.property_directed_pruning) {
+    for (const spec::ReachQuery& query : property.queries) cones.emplace_back(analysis, query);
+  }
+
+  // Validate shapes, then group the covered schemas per query, sorted so
+  // consecutive entries share chain prefixes (the trace encoder reuses them
+  // exactly like the certifying run did).
+  struct Entry {
+    const SchemaCert* cert = nullptr;
+    bool green = false;
+    bool seen_in_enumeration = false;
+  };
+  std::map<std::string, Entry> covered;
+  std::vector<std::vector<const SchemaCert*>> by_query(query_count);
+  bool shapes_ok = true;
+  for (const SchemaCert& entry : cert.schemas) {
+    std::string why;
+    if (entry.query_index >= static_cast<std::int64_t>(query_count)) {
+      add_issue(report, context, "schema evidence cites query #" +
+                                     std::to_string(entry.query_index) + " of " +
+                                     std::to_string(query_count));
+      shapes_ok = false;
+      continue;
+    }
+    const std::size_t q = static_cast<std::size_t>(entry.query_index);
+    if (!schema_shape_ok(entry.schema, analysis.guard_count(), property.queries[q].cuts.size(),
+                         why)) {
+      add_issue(report, context, "malformed schema: " + why);
+      shapes_ok = false;
+      continue;
+    }
+    const std::string key = schema_key(entry.query_index, entry.schema);
+    if (!covered.emplace(key, Entry{&entry, false, false}).second) {
+      add_issue(report, context, "duplicate schema evidence (" + key + ")");
+      shapes_ok = false;
+      continue;
+    }
+    by_query[q].push_back(&entry);
+  }
+  std::map<std::string, bool> pruned;  // key -> seen in enumeration
+  for (const PrunedCert& entry : cert.pruned) {
+    std::string why;
+    if (entry.query_index >= static_cast<std::int64_t>(query_count) ||
+        !schema_shape_ok(entry.schema, analysis.guard_count(),
+                         property.queries[static_cast<std::size_t>(entry.query_index)].cuts.size(),
+                         why)) {
+      add_issue(report, context, "malformed pruned-schema entry");
+      shapes_ok = false;
+      continue;
+    }
+    if (!pruned.emplace(schema_key(entry.query_index, entry.schema), false).second) {
+      add_issue(report, context, "duplicate pruned-schema entry");
+      shapes_ok = false;
+    }
+  }
+
+  // Re-encode and audit every piece of evidence.
+  bool sat_witness_green = false;
+  for (std::size_t q = 0; q < query_count; ++q) {
+    if (by_query[q].empty()) continue;
+    std::sort(by_query[q].begin(), by_query[q].end(),
+              [](const SchemaCert* lhs, const SchemaCert* rhs) {
+                if (lhs->schema.unlock_order != rhs->schema.unlock_order) {
+                  return lhs->schema.unlock_order < rhs->schema.unlock_order;
+                }
+                return lhs->schema.cut_positions < rhs->schema.cut_positions;
+              });
+    const QueryCone* cone = cert.property_directed_pruning ? &cones[q] : nullptr;
+    auto encoder = std::make_unique<IncrementalSchemaEncoder>(
+        analysis, property.queries[q], /*branch_budget=*/1, cone, EncoderMode::kTrace);
+    for (const SchemaCert* entry : by_query[q]) {
+      const std::string entry_context =
+          context + ", " + schema_key(entry->query_index, entry->schema);
+      Trace trace;
+      try {
+        trace = encoder->trace(entry->schema);
+      } catch (const Error& error) {
+        add_issue(report, entry_context, std::string("re-encoding failed: ") + error.what());
+        encoder = std::make_unique<IncrementalSchemaEncoder>(
+            analysis, property.queries[q], /*branch_budget=*/1, cone, EncoderMode::kTrace);
+        continue;
+      }
+      SchemaAuditor auditor(trace, report, entry_context);
+      bool green = false;
+      if (entry->sat) {
+        green = auditor.audit_model(entry->model);
+        ++report.models_checked;
+        if (green) sat_witness_green = true;
+      } else {
+        if (entry->proof == nullptr) {
+          add_issue(report, entry_context, "unsat evidence without a proof");
+        } else {
+          green = auditor.audit_proof(*entry->proof);
+        }
+        ++report.schemas_covered;
+      }
+      covered[schema_key(entry->query_index, entry->schema)].green = green;
+    }
+  }
+
+  // Coverage: a holds verdict claims the audited refutations exhaust the
+  // schema space; re-enumerate and match every schema against the covered
+  // set or a reproduced cone decision.
+  if (cert.verdict == "holds" && shapes_ok) {
+    for (std::size_t q = 0; q < query_count; ++q) {
+      const int cut_count = static_cast<int>(property.queries[q].cuts.size());
+      const checker::EnumerationOutcome outcome = checker::enumerate_schemas(
+          analysis, cut_count, cert.enumeration, [&](const Schema& schema) {
+            const std::string key = schema_key(static_cast<std::int64_t>(q), schema);
+            if (cert.property_directed_pruning && !cones[q].schema_feasible(schema)) {
+              const auto it = pruned.find(key);
+              if (it == pruned.end()) {
+                add_issue(report, context, "cone-pruned schema missing from the manifest (" +
+                                               key + ")");
+              } else {
+                it->second = true;
+                ++report.schemas_pruned;
+              }
+              return true;
+            }
+            const auto it = covered.find(key);
+            if (it == covered.end()) {
+              add_issue(report, context, "schema not covered by any refutation (" + key + ")");
+              return true;
+            }
+            it->second.seen_in_enumeration = true;
+            if (it->second.cert->sat) {
+              add_issue(report, context, "sat evidence under a holds verdict (" + key + ")");
+            } else if (!it->second.green) {
+              // The refutation audit already recorded its own issue.
+            }
+            return true;
+          });
+      if (outcome.budget_exhausted) {
+        add_issue(report, context,
+                  "enumeration budget exhausted while re-deriving coverage of query #" +
+                      std::to_string(q));
+      }
+    }
+    for (const auto& [key, entry] : covered) {
+      if (!entry.seen_in_enumeration) {
+        add_issue(report, context, "evidence for a schema outside the enumerated space (" +
+                                       key + ")");
+      }
+    }
+    for (const auto& [key, seen] : pruned) {
+      if (!seen) {
+        add_issue(report, context,
+                  "pruned entry the auditor's enumeration never produced (" + key + ")");
+      }
+    }
+  } else if (cert.verdict == "violated") {
+    if (!sat_witness_green) {
+      add_issue(report, context, "verdict 'violated' without a validated counterexample model");
+    }
+  }
+
+  const bool green = report.issues.size() == issues_before;
+  return green ? cert.verdict : "failed";
+}
+
+std::string describe_component(const ComponentCert& component, std::size_t index) {
+  if (component.model.kind == "builtin") return "component '" + component.model.key + "'";
+  return "component #" + std::to_string(index);
+}
+
+}  // namespace
+
+AuditReport audit_certificate(const Certificate& certificate) {
+  AuditReport report;
+  std::vector<ComponentOutcome> outcomes;
+
+  for (std::size_t ci = 0; ci < certificate.components.size(); ++ci) {
+    const ComponentCert& component = certificate.components[ci];
+    const std::string component_context = describe_component(component, ci);
+    outcomes.emplace_back();
+    ComponentOutcome& outcome = outcomes.back();
+    for (const PropertyCert& property : component.properties) {
+      outcome.verdicts[property.name] = "failed";
+    }
+
+    std::optional<ta::ThresholdAutomaton> ta;
+    try {
+      if (component.model.kind == "text") {
+        ta = ta::parse_ta(component.model.text).one_round_reduction();
+      } else if (component.model.kind == "builtin") {
+        ta = builtin_model(component.model.key);
+      } else {
+        add_issue(report, component_context,
+                  "invalid model kind '" + component.model.kind + "'");
+        continue;
+      }
+    } catch (const Error& error) {
+      add_issue(report, component_context,
+                std::string("model reconstruction failed: ") + error.what());
+      continue;
+    }
+    outcome.automaton_name = ta->name();
+
+    std::optional<GuardAnalysis> analysis;
+    std::vector<spec::Property> bundled;
+    bool bundled_loaded = false;
+    try {
+      analysis.emplace(*ta);
+    } catch (const Error& error) {
+      add_issue(report, component_context,
+                std::string("guard analysis failed: ") + error.what());
+      continue;
+    }
+
+    for (const PropertyCert& property_cert : component.properties) {
+      const std::string context = component_context + ", property '" + property_cert.name + "'";
+      std::optional<spec::Property> property;
+      try {
+        if (property_cert.source.kind == "ltl") {
+          if (property_cert.source.formula.empty()) {
+            add_issue(report, context, "ltl property source without a formula");
+            continue;
+          }
+          property = spec::compile(*ta, property_cert.name, property_cert.source.formula);
+        } else if (property_cert.source.kind == "bundled") {
+          if (!bundled_loaded) {
+            bundled = bundled_properties(*ta);
+            bundled_loaded = true;
+          }
+          const auto it =
+              std::find_if(bundled.begin(), bundled.end(), [&](const spec::Property& p) {
+                return p.name == property_cert.name;
+              });
+          if (it == bundled.end()) {
+            add_issue(report, context, "not among the automaton's bundled properties");
+            continue;
+          }
+          property = *it;
+        } else {
+          add_issue(report, context,
+                    "invalid property source kind '" + property_cert.source.kind + "'");
+          continue;
+        }
+      } catch (const Error& error) {
+        add_issue(report, context,
+                  std::string("property reconstruction failed: ") + error.what());
+        continue;
+      }
+      outcome.verdicts[property_cert.name] =
+          audit_property(*analysis, *property, property_cert, context, report);
+    }
+  }
+
+  // Recompose the Theorem-6 verdicts from the audited per-property verdicts
+  // (Proposition 2 of [10] + Theorem 6 of the paper), and compare with the
+  // claims. The bv-broadcast gadget verdicts gate everything downstream.
+  if (certificate.theorem6) {
+    const auto component_named = [&](const std::string& name) -> const ComponentOutcome* {
+      for (const ComponentOutcome& outcome : outcomes) {
+        if (outcome.automaton_name == name) return &outcome;
+      }
+      return nullptr;
+    };
+    const ComponentOutcome* bv = component_named("BvBroadcast");
+    const ComponentOutcome* consensus = component_named("SimplifiedConsensus");
+    const auto gather = [&](const std::vector<std::string>& consensus_names) {
+      std::vector<std::string> verdicts;
+      if (bv == nullptr || bv->verdicts.empty()) {
+        verdicts.push_back("unknown");  // gadget not certified
+      } else {
+        for (const auto& [name, verdict] : bv->verdicts) verdicts.push_back(verdict);
+      }
+      for (const std::string& name : consensus_names) {
+        if (consensus == nullptr) {
+          verdicts.push_back("unknown");
+          continue;
+        }
+        const auto it = consensus->verdicts.find(name);
+        verdicts.push_back(it == consensus->verdicts.end() ? "unknown" : it->second);
+      }
+      // An audit failure must never strengthen a claim; treat it as unknown
+      // unless the property claims a violation.
+      for (std::string& verdict : verdicts) {
+        if (verdict == "failed") verdict = "unknown";
+      }
+      return verdicts;
+    };
+    const std::string agreement =
+        verdict_combine(gather({"Inv1_0", "Inv1_1", "Inv2_0", "Inv2_1"}));
+    const std::string validity = verdict_combine(gather({"Inv2_0", "Inv2_1"}));
+    const std::string termination =
+        verdict_combine(gather({"SRoundTerm", "Dec_0", "Dec_1", "Good_0", "Good_1"}));
+    const auto check_claim = [&](const char* what, const std::string& claimed,
+                                 const std::string& recomputed) {
+      if (claimed != recomputed) {
+        add_issue(report, "theorem6", std::string(what) + " claimed '" + claimed +
+                                          "' but the audited properties compose to '" +
+                                          recomputed + "'");
+      }
+    };
+    check_claim("agreement", certificate.theorem6->agreement, agreement);
+    check_claim("validity", certificate.theorem6->validity, validity);
+    check_claim("termination", certificate.theorem6->termination, termination);
+  }
+
+  report.ok = report.issues.empty();
+  return report;
+}
+
+std::string AuditReport::to_string() const {
+  std::ostringstream os;
+  os << (ok ? "audit: PASS" : "audit: FAIL") << "\n";
+  os << "  properties audited:   " << properties_audited << "\n";
+  os << "  refutations checked:  " << schemas_covered << " (" << farkas_nodes
+     << " Farkas leaves)\n";
+  os << "  cone decisions replayed: " << schemas_pruned << "\n";
+  os << "  models evaluated:     " << models_checked << "\n";
+  for (const std::string& warning : warnings) os << "  warning: " << warning << "\n";
+  for (const std::string& issue : issues) os << "  issue: " << issue << "\n";
+  return os.str();
+}
+
+}  // namespace hv::cert

@@ -1,0 +1,62 @@
+// The independent auditor: re-validates a certificate without running any
+// solver.
+//
+// Trust boundary. The audited core is pure bigint/rational arithmetic
+// (hv/util): every Farkas combination is re-derived premise by premise and
+// checked to cancel to a contradictory constant, every case split is
+// checked exhaustive, and every sat model is evaluated against the
+// re-encoded constraints. The auditor does re-run the *deterministic,
+// solver-free* front end to know what the premises are — the .ta parser,
+// the LTL compiler, schema enumeration and the trace-mode encoder (which
+// records assertions but never solves) — plus the guard analysis backing
+// enumeration. Those components are shared with the checker and are trusted
+// analysis; the simplex core, the DPLL search and branch-and-bound — where
+// verification effort is actually spent and where a soundness bug would
+// hide — are entirely out of the audit path.
+//
+// What a green audit establishes, per property:
+//   * verdict "holds": every schema the enumerator produces for every
+//     violation query is either covered by a checked Farkas/DPLL refutation
+//     or excluded by the (re-computed) query cone, the enumeration ran to
+//     completion within its budget, and every refutation is arithmetically
+//     valid — so no execution in schema form violates the property.
+//   * verdict "violated": at least one recorded model satisfies its
+//     re-encoded violation query exactly.
+//   * verdict "unknown": nothing (reported as a warning, not a failure).
+// A theorem6 section is re-composed from the audited per-property verdicts
+// using the paper's composition table (Proposition 2 + Theorem 6).
+#ifndef HV_CERT_AUDIT_H
+#define HV_CERT_AUDIT_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hv/cert/certificate.h"
+
+namespace hv::cert {
+
+struct AuditReport {
+  /// True iff no issue was found (warnings do not fail an audit).
+  bool ok = false;
+  /// Hard failures: each names the component/property/schema it concerns.
+  std::vector<std::string> issues;
+  /// Non-failing observations (e.g. unknown verdicts certify nothing).
+  std::vector<std::string> warnings;
+
+  std::int64_t properties_audited = 0;
+  std::int64_t schemas_covered = 0;   // proof-carrying unsat schemas checked
+  std::int64_t schemas_pruned = 0;    // cone decisions reproduced
+  std::int64_t models_checked = 0;    // sat models evaluated
+  std::int64_t farkas_nodes = 0;      // Farkas leaves arithmetically verified
+
+  std::string to_string() const;
+};
+
+/// Audits a certificate end to end. Never throws on malformed content —
+/// every defect becomes an issue in the report.
+AuditReport audit_certificate(const Certificate& certificate);
+
+}  // namespace hv::cert
+
+#endif  // HV_CERT_AUDIT_H

@@ -1,0 +1,131 @@
+// Proof-carrying certificates: the on-disk format of `hvc check --certify`
+// and `hvc redbelly --certify`, consumed by the solver-free auditor
+// (hv/cert/audit.h).
+//
+// A certificate is self-contained: it embeds (or names) the model, lists
+// the properties with their verdicts, and for every (query, schema) pair of
+// a certified run carries either a Farkas/DPLL proof tree (unsat) or a full
+// named integer model (sat), plus the enumeration manifest needed to
+// re-derive that the covered schema set is complete for the chain tree.
+// The optional theorem6 section records the composed consensus verdicts of
+// the holistic pipeline (Agreement/Validity/Termination); the auditor
+// recomputes them from the audited per-property verdicts using the paper's
+// composition table.
+#ifndef HV_CERT_CERTIFICATE_H
+#define HV_CERT_CERTIFICATE_H
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "hv/cert/json.h"
+#include "hv/checker/result.h"
+#include "hv/checker/schema.h"
+#include "hv/smt/proof.h"
+#include "hv/spec/query.h"
+#include "hv/ta/automaton.h"
+
+namespace hv::cert {
+
+/// How the auditor reconstructs the threshold automaton.
+struct ModelSource {
+  /// "text": `text` holds the complete .ta source (parse + one-round
+  /// reduction reproduce the checked automaton). "builtin": `key` names one
+  /// of the models bundled with the library (see builtin_model()).
+  std::string kind;
+  std::string text;
+  std::string key;
+};
+
+/// How the auditor reconstructs one property's violation queries.
+struct PropertySource {
+  /// "ltl": compile `formula` against the reconstructed automaton.
+  /// "bundled": look the property up by name in the automaton's bundled
+  /// property set (needed when compilation uses justice overrides that have
+  /// no LTL syntax, e.g. the bv-broadcast gadget substitution).
+  std::string kind;
+  std::string formula;  // informational for "bundled"
+};
+
+/// Evidence for one (query, schema) SMT verdict.
+struct SchemaCert {
+  std::int64_t query_index = 0;
+  checker::Schema schema;
+  bool sat = false;
+  std::shared_ptr<const smt::proof::Node> proof;             // iff !sat
+  std::vector<std::pair<std::string, BigInt>> model;         // iff sat
+};
+
+/// A schema the certifying run discarded via the (deterministic) query cone
+/// without an SMT call; the auditor reproduces the decision.
+struct PrunedCert {
+  std::int64_t query_index = 0;
+  checker::Schema schema;
+};
+
+struct PropertyCert {
+  std::string name;
+  PropertySource source;
+  std::string verdict;  // "holds" | "violated" | "unknown"
+  std::string note;
+  checker::EnumerationOptions enumeration;
+  bool property_directed_pruning = true;
+  /// Claimed exhaustive coverage of the schema space (holds verdicts only).
+  bool complete = false;
+  std::vector<SchemaCert> schemas;
+  std::vector<PrunedCert> pruned;
+};
+
+/// One automaton with its certified properties.
+struct ComponentCert {
+  ModelSource model;
+  std::vector<PropertyCert> properties;
+};
+
+/// The composed Theorem-6 verdicts claimed by the holistic pipeline.
+struct Theorem6Claim {
+  std::string agreement;
+  std::string validity;
+  std::string termination;
+};
+
+struct Certificate {
+  int version = 1;
+  std::vector<ComponentCert> components;
+  std::optional<Theorem6Claim> theorem6;
+};
+
+/// JSON (de)serialization. from_json/parse throw hv::InvalidArgument on any
+/// malformed input — a corrupted certificate fails cleanly.
+Json to_json(const Certificate& certificate);
+Certificate certificate_from_json(const Json& json);
+std::string to_json_text(const Certificate& certificate);
+Certificate parse_certificate(std::string_view json_text);
+
+/// Proof-tree (de)serialization, exposed for tests.
+Json proof_to_json(const smt::proof::Node& node);
+std::unique_ptr<smt::proof::Node> proof_from_json(const Json& json);
+
+/// The models bundled with the library, by certificate key:
+/// "bv_broadcast", "st_broadcast", "simplified_consensus" (one-round
+/// reduction), "naive_consensus" (one-round reduction). Throws
+/// InvalidArgument on an unknown key.
+ta::ThresholdAutomaton builtin_model(const std::string& key);
+
+/// True iff bundled_properties() knows the automaton (by its name, e.g.
+/// "SimplifiedConsensus" — the .ta files and the builtin factories agree).
+bool has_bundled_properties(const std::string& automaton_name);
+
+/// The bundled property set for an automaton, compiled against `ta`. With
+/// `table2_defaults`, restricts to the default `hvc check` set (the Table-2
+/// rows for the consensus automata; every property otherwise). Throws
+/// InvalidArgument when the automaton has no bundled set.
+std::vector<spec::Property> bundled_properties(const ta::ThresholdAutomaton& ta,
+                                               bool table2_defaults = false);
+
+}  // namespace hv::cert
+
+#endif  // HV_CERT_CERTIFICATE_H

@@ -30,14 +30,18 @@ namespace hv::checker {
 class IncrementalSchemaEncoder::Impl {
  public:
   Impl(const GuardAnalysis& analysis, const spec::ReachQuery& query,
-       std::int64_t branch_budget, const QueryCone* cone)
+       std::int64_t branch_budget, const QueryCone* cone, EncoderMode mode)
       : analysis_(analysis),
         ta_(analysis.automaton()),
         query_(query),
         cone_(cone),
+        mode_(mode),
         topo_(ta_.rules_in_topological_order()),
         frozen_(query.zero_rules.begin(), query.zero_rules.end()) {
     HV_REQUIRE(analysis_.guard_count() <= 63);
+    // Mode selection must precede the first declaration.
+    if (mode_ == EncoderMode::kCertify) solver_.enable_certificates();
+    if (mode_ == EncoderMode::kTrace) solver_.enable_trace();
     solver_.set_branch_budget(branch_budget);
     declare_parameters();
     declare_initial_configuration();
@@ -51,7 +55,45 @@ class IncrementalSchemaEncoder::Impl {
   std::int64_t pivots() const noexcept { return solver_.pivots(); }
 
   EncodeResult check(const Schema& schema) {
+    HV_REQUIRE(mode_ != EncoderMode::kTrace);
     const std::int64_t pivots_before = solver_.pivots();
+    const std::size_t steps_mark = encode_schema(schema);
+
+    EncodeResult result;
+    result.length = static_cast<std::int64_t>(steps_.size());
+    if (solver_.check() == smt::CheckResult::kSat) {
+      result.sat = true;
+      result.counterexample = extract_counterexample();
+      if (mode_ == EncoderMode::kCertify) {
+        result.model_values = std::make_shared<std::vector<std::pair<std::string, BigInt>>>(
+            solver_.model_assignment());
+      }
+    } else if (mode_ == EncoderMode::kCertify) {
+      result.proof = std::shared_ptr<const smt::proof::Node>(solver_.take_last_proof());
+    }
+    solver_.pop();
+    steps_.resize(steps_mark);
+    ++stats_.schemas_encoded;
+    result.pivots = solver_.pivots() - pivots_before;
+    return result;
+  }
+
+  smt::proof::Trace trace(const Schema& schema) {
+    HV_REQUIRE(mode_ == EncoderMode::kTrace);
+    const std::size_t steps_mark = encode_schema(schema);
+    smt::proof::Trace snapshot = solver_.snapshot_trace();
+    solver_.pop();
+    steps_.resize(steps_mark);
+    ++stats_.schemas_encoded;
+    return snapshot;
+  }
+
+ private:
+  // Syncs the level stack with the schema's chain and encodes everything the
+  // schema does not share with its DFS neighbours into one freshly pushed
+  // transient scope (which the caller pops). Returns the steps_ watermark to
+  // restore after that pop.
+  std::size_t encode_schema(const Schema& schema) {
     const auto& chain = schema.unlock_order;
     const std::size_t length = chain.size();
 
@@ -115,21 +157,9 @@ class IncrementalSchemaEncoder::Impl {
     }
     assert_never_unlocked_guards_false(chain, config);
     add_cnf(query_.final_cnf, config);
-
-    EncodeResult result;
-    result.length = static_cast<std::int64_t>(steps_.size());
-    if (solver_.check() == smt::CheckResult::kSat) {
-      result.sat = true;
-      result.counterexample = extract_counterexample();
-    }
-    solver_.pop();
-    steps_.resize(steps_mark);
-    ++stats_.schemas_encoded;
-    result.pivots = solver_.pivots() - pivots_before;
-    return result;
+    return steps_mark;
   }
 
- private:
   struct Config {
     std::vector<smt::LinearExpr> counters;  // per location
     std::vector<smt::LinearExpr> shared;    // per shared variable
@@ -354,6 +384,7 @@ class IncrementalSchemaEncoder::Impl {
   const ta::ThresholdAutomaton& ta_;
   const spec::ReachQuery& query_;
   const QueryCone* cone_;
+  const EncoderMode mode_;
   const std::vector<ta::RuleId> topo_;
   const std::set<ta::RuleId> frozen_;
   smt::Solver solver_;
@@ -369,8 +400,8 @@ class IncrementalSchemaEncoder::Impl {
 IncrementalSchemaEncoder::IncrementalSchemaEncoder(const GuardAnalysis& analysis,
                                                    const spec::ReachQuery& query,
                                                    std::int64_t branch_budget,
-                                                   const QueryCone* cone)
-    : impl_(std::make_unique<Impl>(analysis, query, branch_budget, cone)) {}
+                                                   const QueryCone* cone, EncoderMode mode)
+    : impl_(std::make_unique<Impl>(analysis, query, branch_budget, cone, mode)) {}
 
 IncrementalSchemaEncoder::~IncrementalSchemaEncoder() = default;
 IncrementalSchemaEncoder::IncrementalSchemaEncoder(IncrementalSchemaEncoder&&) noexcept = default;
@@ -383,17 +414,22 @@ EncodeResult IncrementalSchemaEncoder::check(const Schema& schema) {
   return impl_->check(schema);
 }
 
+smt::proof::Trace IncrementalSchemaEncoder::trace(const Schema& schema) {
+  return impl_->trace(schema);
+}
+
 const IncrementalStats& IncrementalSchemaEncoder::stats() const noexcept {
   return impl_->stats();
 }
 
 EncodeResult solve_schema(const GuardAnalysis& analysis, const Schema& schema,
                           const spec::ReachQuery& query, std::int64_t branch_budget,
-                          const QueryCone* cone, double time_budget_seconds) {
+                          const QueryCone* cone, double time_budget_seconds,
+                          EncoderMode mode) {
   // The one-shot path: a fresh encoder whose level stack is empty, so the
   // whole schema lands in a single transient scope on a cold solver —
   // exactly the historical non-incremental encoding.
-  IncrementalSchemaEncoder encoder(analysis, query, branch_budget, cone);
+  IncrementalSchemaEncoder encoder(analysis, query, branch_budget, cone, mode);
   encoder.set_time_budget(time_budget_seconds);
   return encoder.check(schema);
 }

@@ -44,6 +44,15 @@ struct EncodeResult {
   /// accounting; cumulative counters are differenced per call).
   std::int64_t pivots = 0;
   std::optional<Counterexample> counterexample;  // present iff sat
+  /// Certificate payloads, filled in EncoderMode::kCertify only.
+  std::shared_ptr<const smt::proof::Node> proof;  // iff !sat
+  std::shared_ptr<const std::vector<std::pair<std::string, BigInt>>> model_values;  // iff sat
+};
+
+enum class EncoderMode {
+  kSolve,    // plain solving, no certificate overhead
+  kCertify,  // solving with proof/model emission
+  kTrace,    // auditor's re-encoding: record assertions, never solve
 };
 
 /// Encodes and solves one schema against one query. `branch_budget` bounds
@@ -53,7 +62,8 @@ struct EncodeResult {
 /// never fire there).
 EncodeResult solve_schema(const GuardAnalysis& analysis, const Schema& schema,
                           const spec::ReachQuery& query, std::int64_t branch_budget,
-                          const QueryCone* cone = nullptr, double time_budget_seconds = 0.0);
+                          const QueryCone* cone = nullptr, double time_budget_seconds = 0.0,
+                          EncoderMode mode = EncoderMode::kSolve);
 
 /// Stateful encoder for one query, exploiting prefix sharing between the
 /// schemas the enumerator emits in DFS order. Not thread-safe: each worker
@@ -62,7 +72,8 @@ EncodeResult solve_schema(const GuardAnalysis& analysis, const Schema& schema,
 class IncrementalSchemaEncoder {
  public:
   IncrementalSchemaEncoder(const GuardAnalysis& analysis, const spec::ReachQuery& query,
-                           std::int64_t branch_budget, const QueryCone* cone = nullptr);
+                           std::int64_t branch_budget, const QueryCone* cone = nullptr,
+                           EncoderMode mode = EncoderMode::kSolve);
   ~IncrementalSchemaEncoder();
   IncrementalSchemaEncoder(IncrementalSchemaEncoder&&) noexcept;
   IncrementalSchemaEncoder& operator=(IncrementalSchemaEncoder&&) = delete;
@@ -71,8 +82,17 @@ class IncrementalSchemaEncoder {
   void set_time_budget(double seconds) noexcept;
 
   /// Encodes and solves one schema, reusing whatever prefix of chain-element
-  /// scopes is still valid from the previous call.
+  /// scopes is still valid from the previous call. Not available in
+  /// EncoderMode::kTrace.
   EncodeResult check(const Schema& schema);
+
+  /// Encodes one schema on a trace-mode solver and returns the name-space
+  /// assertion snapshot — the auditor's re-encoding. Only available in
+  /// EncoderMode::kTrace. Prefix sharing works exactly as for check(), and
+  /// because the encoder is deterministic the atom/clause indices of the
+  /// snapshot coincide with the ones the certifying run saw for the same
+  /// schema.
+  smt::proof::Trace trace(const Schema& schema);
 
   const IncrementalStats& stats() const noexcept;
 

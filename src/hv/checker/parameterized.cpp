@@ -43,6 +43,10 @@ struct RunState {
   std::string error_note;
   // Aggregated when workers retire their encoders; guarded by mutex.
   IncrementalStats incremental;
+  // Certificate raw material (certify mode); guarded by mutex. Order is
+  // worker-interleaved — the auditor's coverage check is set-based.
+  std::vector<SchemaEvidence> evidence;
+  std::vector<PrunedSchema> pruned_schemas;
 };
 
 void accumulate(IncrementalStats& into, const IncrementalStats& from) {
@@ -71,7 +75,8 @@ void solve_one(const GuardAnalysis& analysis, const spec::Property& property,
       result = encoder->check(schema);
     } else {
       result = solve_schema(analysis, schema, query, options.branch_budget, cone,
-                            remaining_seconds);
+                            remaining_seconds,
+                            options.certify ? EncoderMode::kCertify : EncoderMode::kSolve);
     }
   } catch (const Error& error) {
     std::lock_guard<std::mutex> lock(state.mutex);
@@ -82,6 +87,16 @@ void solve_one(const GuardAnalysis& analysis, const spec::Property& property,
   state.schemas_checked.fetch_add(1);
   state.total_length.fetch_add(result.length);
   state.simplex_pivots.fetch_add(result.pivots);
+  if (options.certify) {
+    SchemaEvidence item;
+    item.query_index = query_index;
+    item.schema = schema;
+    item.sat = result.sat;
+    item.proof = result.proof;
+    item.model = result.model_values;
+    std::lock_guard<std::mutex> lock(state.mutex);
+    state.evidence.push_back(std::move(item));
+  }
   if (result.sat) {
     result.counterexample->property = property.name;
     if (options.validate_counterexamples) {
@@ -123,7 +138,13 @@ std::vector<SubtreeTask> plan_tasks(const GuardAnalysis& analysis, const CheckOp
 }  // namespace
 
 PropertyResult check_property(const ta::ThresholdAutomaton& ta, const spec::Property& property,
-                              const CheckOptions& options) {
+                              const CheckOptions& options_in) {
+  CheckOptions options = options_in;
+  // Proofs cite atoms/clauses by index in the incremental encoding; the
+  // one-shot path asserts the same set in a different order, so certifying
+  // runs always ride the incremental encoders (verdict-identical either
+  // way, and the auditor re-encodes incrementally).
+  if (options.certify) options.incremental = true;
   const Stopwatch stopwatch;
   PropertyResult result;
   result.property = property.name;
@@ -156,7 +177,8 @@ PropertyResult check_property(const ta::ThresholdAutomaton& ta, const spec::Prop
       const int cut_count = static_cast<int>(property.queries[q].cuts.size());
       if (options.incremental) {
         encoders[q] = std::make_unique<IncrementalSchemaEncoder>(
-            analysis, property.queries[q], options.branch_budget, cone_for(q));
+            analysis, property.queries[q], options.branch_budget, cone_for(q),
+            options.certify ? EncoderMode::kCertify : EncoderMode::kSolve);
       }
       EnumerationOptions enumeration = options.enumeration;
       enumeration.max_schemas =
@@ -169,6 +191,10 @@ PropertyResult check_property(const ta::ThresholdAutomaton& ta, const spec::Prop
             }
             if (options.property_directed_pruning && !cones[q].schema_feasible(schema)) {
               state.schemas_pruned.fetch_add(1);
+              if (options.certify) {
+                std::lock_guard<std::mutex> lock(state.mutex);
+                state.pruned_schemas.push_back({q, schema});
+              }
               return true;
             }
             solve_one(analysis, property, q, schema, options, cone_for(q), remaining_time(),
@@ -201,7 +227,8 @@ PropertyResult check_property(const ta::ThresholdAutomaton& ta, const spec::Prop
           if (!options.incremental) return nullptr;
           if (!encoders[q]) {
             encoders[q] = std::make_unique<IncrementalSchemaEncoder>(
-                analysis, property.queries[q], options.branch_budget, cone_for(q));
+                analysis, property.queries[q], options.branch_budget, cone_for(q),
+                options.certify ? EncoderMode::kCertify : EncoderMode::kSolve);
           }
           return encoders[q].get();
         };
@@ -233,6 +260,10 @@ PropertyResult check_property(const ta::ThresholdAutomaton& ta, const spec::Prop
                 }
                 if (options.property_directed_pruning && !cones[q].schema_feasible(schema)) {
                   state.schemas_pruned.fetch_add(1);
+                  if (options.certify) {
+                    std::lock_guard<std::mutex> lock(state.mutex);
+                    state.pruned_schemas.push_back({q, schema});
+                  }
                   return true;
                 }
                 solve_one(analysis, property, q, schema, options, cone_for(q),
@@ -306,6 +337,17 @@ PropertyResult check_property(const ta::ThresholdAutomaton& ta, const spec::Prop
                   std::to_string(options.enumeration.max_schemas) + ")";
   } else {
     result.verdict = Verdict::kHolds;
+  }
+  if (options.certify) {
+    auto evidence = std::make_shared<PropertyEvidence>();
+    evidence->schemas = std::move(state.evidence);
+    evidence->pruned = std::move(state.pruned_schemas);
+    evidence->enumeration = options.enumeration;
+    evidence->property_directed_pruning = options.property_directed_pruning;
+    // Only a holds verdict claims exhaustive coverage; violated stops at the
+    // first witness and unknown certifies nothing.
+    evidence->complete = result.verdict == Verdict::kHolds;
+    result.evidence = std::move(evidence);
   }
   return result;
 }

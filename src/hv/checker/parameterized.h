@@ -39,6 +39,11 @@ struct CheckOptions {
   /// Greedily shrink reported counterexamples (drop steps, reduce
   /// acceleration factors) while they still replay.
   bool minimize_counterexamples = true;
+  /// Proof-carrying mode: every schema verdict is accompanied by a Farkas
+  /// proof tree (unsat) or a named integer model (sat), collected into
+  /// PropertyResult::evidence together with the enumeration manifest, for
+  /// certificate emission (hv/cert).
+  bool certify = false;
 };
 
 /// Checks one property; never throws on budget/timeout (returns kUnknown

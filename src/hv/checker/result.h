@@ -3,10 +3,14 @@
 #define HV_CHECKER_RESULT_H
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "hv/checker/schema.h"
+#include "hv/smt/proof.h"
 #include "hv/spec/query.h"
 #include "hv/ta/automaton.h"
 #include "hv/ta/counter_system.h"
@@ -74,6 +78,39 @@ struct IncrementalStats {
   double prefix_reuse_ratio() const noexcept;
 };
 
+/// Certificate raw material for one (query, schema) SMT verdict, collected
+/// when CheckOptions::certify is set. UNSAT verdicts carry the solver's
+/// proof tree; SAT verdicts the full named integer model (unlike
+/// Counterexample, which drops zero-factor steps).
+struct SchemaEvidence {
+  std::size_t query_index = 0;
+  Schema schema;
+  bool sat = false;
+  std::shared_ptr<const smt::proof::Node> proof;  // present iff !sat
+  std::shared_ptr<const std::vector<std::pair<std::string, BigInt>>> model;  // iff sat
+};
+
+/// A schema discarded by the property-directed cone without an SMT call.
+/// The auditor reproduces the (deterministic) cone decision.
+struct PrunedSchema {
+  std::size_t query_index = 0;
+  Schema schema;
+};
+
+/// Everything a certificate needs beyond the verdict: per-schema evidence
+/// plus the enumeration manifest (which schema set was covered and under
+/// which options, so the auditor can re-derive its completeness).
+struct PropertyEvidence {
+  std::vector<SchemaEvidence> schemas;
+  std::vector<PrunedSchema> pruned;
+  EnumerationOptions enumeration;
+  bool property_directed_pruning = false;
+  /// True iff the enumeration ran to the end for every query (the holds
+  /// case). Violated verdicts stop early by design; unknown verdicts
+  /// certify nothing.
+  bool complete = false;
+};
+
 struct PropertyResult {
   std::string property;
   Verdict verdict = Verdict::kUnknown;
@@ -89,6 +126,8 @@ struct PropertyResult {
   std::optional<IncrementalStats> incremental;
   std::optional<Counterexample> counterexample;
   std::string note;  // budget/timeout diagnostics
+  /// Present iff the run was certifying (CheckOptions::certify).
+  std::shared_ptr<PropertyEvidence> evidence;
 };
 
 }  // namespace hv::checker

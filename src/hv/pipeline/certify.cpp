@@ -1,0 +1,40 @@
+#include "hv/pipeline/certify.h"
+
+#include "hv/cert/emit.h"
+#include "hv/models/bv_broadcast.h"
+#include "hv/models/naive_consensus.h"
+#include "hv/models/simplified_consensus.h"
+
+namespace hv::pipeline {
+
+cert::Certificate certify_report(const HolisticReport& report) {
+  cert::Certificate certificate;
+
+  if (!report.naive_results.empty()) {
+    const ta::ThresholdAutomaton naive = models::naive_consensus_one_round();
+    certificate.components.push_back(cert::make_component_cert(
+        cert::builtin_model_source("naive_consensus"), models::naive_table2_properties(naive),
+        report.naive_results, "bundled"));
+  }
+  if (!report.bv_results.empty()) {
+    const ta::ThresholdAutomaton bv = models::bv_broadcast();
+    certificate.components.push_back(
+        cert::make_component_cert(cert::builtin_model_source("bv_broadcast"),
+                                  models::bv_properties(bv), report.bv_results, "bundled"));
+  }
+  if (!report.consensus_results.empty()) {
+    const ta::ThresholdAutomaton consensus = models::simplified_consensus_one_round();
+    certificate.components.push_back(cert::make_component_cert(
+        cert::builtin_model_source("simplified_consensus"),
+        models::simplified_properties(consensus), report.consensus_results, "bundled"));
+  }
+
+  cert::Theorem6Claim claim;
+  claim.agreement = checker::to_string(report.agreement);
+  claim.validity = checker::to_string(report.validity);
+  claim.termination = checker::to_string(report.termination);
+  certificate.theorem6 = std::move(claim);
+  return certificate;
+}
+
+}  // namespace hv::pipeline

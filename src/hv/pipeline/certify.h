@@ -1,0 +1,22 @@
+// Theorem-6 certificate assembly: packages a holistic run's per-property
+// evidence into one proof-carrying certificate whose theorem6 section
+// restates the composed Agreement/Validity/Termination verdicts. The run
+// must have been certifying (HolisticOptions::check.certify).
+#ifndef HV_PIPELINE_CERTIFY_H
+#define HV_PIPELINE_CERTIFY_H
+
+#include "hv/cert/certificate.h"
+#include "hv/pipeline/holistic.h"
+
+namespace hv::pipeline {
+
+/// Builds the composite certificate: one component per automaton the
+/// pipeline actually checked (naive attempt when present, bv broadcast,
+/// simplified consensus), all with builtin model sources, plus the
+/// Theorem-6 claim. Throws InvalidArgument when the report carries no
+/// evidence (i.e. the run was not certifying).
+cert::Certificate certify_report(const HolisticReport& report);
+
+}  // namespace hv::pipeline
+
+#endif  // HV_PIPELINE_CERTIFY_H

@@ -1,0 +1,26 @@
+#include "hv/smt/proof.h"
+
+namespace hv::smt::proof {
+
+std::unique_ptr<Node> clone(const Node& node) {
+  auto copy = std::make_unique<Node>();
+  copy->kind = node.kind;
+  copy->farkas = node.farkas;
+  copy->clause = node.clause;
+  copy->atom = node.atom;
+  copy->positive = node.positive;
+  copy->branch_terms = node.branch_terms;
+  copy->branch_bound = node.branch_bound;
+  if (node.first) copy->first = clone(*node.first);
+  if (node.second) copy->second = clone(*node.second);
+  return copy;
+}
+
+std::int64_t node_count(const Node& node) {
+  std::int64_t count = 1;
+  if (node.first) count += node_count(*node.first);
+  if (node.second) count += node_count(*node.second);
+  return count;
+}
+
+}  // namespace hv::smt::proof

@@ -57,22 +57,31 @@ int Simplex::add_row(const std::vector<std::pair<int, BigInt>>& combination) {
   return slack;
 }
 
-bool Simplex::assert_lower(int var, const Rational& bound) {
+bool Simplex::assert_lower(int var, const Rational& bound, int tag) {
   Column& column = columns_[var];
   if (column.lower && *column.lower >= bound) return true;  // not tighter
-  if (column.upper && bound > *column.upper) return false;  // conflict
-  trail_.push_back({TrailKind::kLower, var, column.lower});
+  if (column.upper && bound > *column.upper) {
+    // 1*(terms >= bound) + 1*(terms <= upper) derives 0 <= upper - bound < 0.
+    if (track_conflicts_) last_conflict_ = {{tag, Rational(1)}, {column.upper_tag, Rational(1)}};
+    return false;
+  }
+  trail_.push_back({TrailKind::kLower, var, column.lower, column.lower_tag});
   column.lower = bound;
+  column.lower_tag = tag;
   if (!is_basic(var) && column.assignment < bound) update_nonbasic(var, bound);
   return true;
 }
 
-bool Simplex::assert_upper(int var, const Rational& bound) {
+bool Simplex::assert_upper(int var, const Rational& bound, int tag) {
   Column& column = columns_[var];
   if (column.upper && *column.upper <= bound) return true;
-  if (column.lower && bound < *column.lower) return false;
-  trail_.push_back({TrailKind::kUpper, var, column.upper});
+  if (column.lower && bound < *column.lower) {
+    if (track_conflicts_) last_conflict_ = {{tag, Rational(1)}, {column.lower_tag, Rational(1)}};
+    return false;
+  }
+  trail_.push_back({TrailKind::kUpper, var, column.upper, column.upper_tag});
   column.upper = bound;
+  column.upper_tag = tag;
   if (!is_basic(var) && column.assignment > bound) update_nonbasic(var, bound);
   return true;
 }
@@ -95,8 +104,10 @@ void Simplex::pop() {
     Column& column = columns_[entry.var];
     if (entry.kind == TrailKind::kLower) {
       column.lower = std::move(entry.previous);
+      column.lower_tag = entry.previous_tag;
     } else {
       column.upper = std::move(entry.previous);
+      column.upper_tag = entry.previous_tag;
     }
     trail_.pop_back();
     // Assignments are left as-is: they may violate nothing anymore, and
@@ -269,7 +280,32 @@ bool Simplex::check() {
         break;  // Bland: smallest index.
       }
     }
-    if (entering == -1) return false;  // No way to repair: infeasible.
+    if (entering == -1) {
+      // No way to repair: infeasible. The row of the violating basic var v
+      // reads v = sum a_j x_j with every contributing nonbasic x_j stuck at
+      // the blocking bound. Combining v's violated bound (multiplier 1) with
+      // each blocking bound (multiplier |a_j|) cancels all variables — the
+      // row equality is itself a combination of slack definitions — and
+      // leaves the contradictory constant bound(v) vs sum a_j * block_j.
+      if (track_conflicts_) {
+        last_conflict_.clear();
+        last_conflict_.emplace_back(
+            needs_increase ? columns_[violating].lower_tag : columns_[violating].upper_tag,
+            Rational(1));
+        for (int var = 0; var < static_cast<int>(columns_.size()); ++var) {
+          if (is_basic(var) || var == violating) continue;
+          const Rational& coeff = coeff_at(row, var);
+          if (coeff.is_zero()) continue;
+          // needs_increase: a_j > 0 blocks at upper, a_j < 0 at lower;
+          // mirrored when the violated bound is the upper one.
+          const bool at_upper = coeff.is_positive() == needs_increase;
+          last_conflict_.emplace_back(
+              at_upper ? columns_[var].upper_tag : columns_[var].lower_tag,
+              coeff.is_positive() ? coeff : -coeff);
+        }
+      }
+      return false;
+    }
     pivot_and_update(columns_[violating].row, entering, target);
   }
 }

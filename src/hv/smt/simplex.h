@@ -47,9 +47,21 @@ class Simplex {
 
   /// Tightens bounds; weaker-than-current bounds are ignored. Changes are
   /// recorded on the trail and undone by pop(). Returns false if the new
-  /// bound contradicts the opposite bound (immediate conflict).
-  [[nodiscard]] bool assert_lower(int var, const Rational& bound);
-  [[nodiscard]] bool assert_upper(int var, const Rational& bound);
+  /// bound contradicts the opposite bound (immediate conflict). `tag` is an
+  /// opaque caller-side premise id stored with the bound; conflicts cite the
+  /// tags of the bounds they combine (see last_conflict()).
+  [[nodiscard]] bool assert_lower(int var, const Rational& bound, int tag = -1);
+  [[nodiscard]] bool assert_upper(int var, const Rational& bound, int tag = -1);
+
+  /// When enabled, every infeasibility (immediate bound conflict or a failed
+  /// check()) leaves a Farkas explanation in last_conflict(): pairs of
+  /// (bound tag, strictly positive multiplier) such that the nonnegative
+  /// combination of the tagged bound inequalities is contradictory. The
+  /// extraction itself is O(conflict row width) and only runs on conflicts.
+  void set_conflict_tracking(bool enabled) noexcept { track_conflicts_ = enabled; }
+  const std::vector<std::pair<int, Rational>>& last_conflict() const noexcept {
+    return last_conflict_;
+  }
 
   /// Checkpointing for DPLL, branch-and-bound and the solver's assertion
   /// stack. pop() undoes bound tightenings *and* deletes variables/rows
@@ -83,6 +95,9 @@ class Simplex {
   struct Column {
     std::optional<Rational> lower;
     std::optional<Rational> upper;
+    // Premise ids of the active bounds, for conflict explanations.
+    int lower_tag = -1;
+    int upper_tag = -1;
     Rational assignment;
     // Index into rows_ if basic, -1 if nonbasic.
     int row = -1;
@@ -107,6 +122,7 @@ class Simplex {
     TrailKind kind;
     int var = -1;
     std::optional<Rational> previous;
+    int previous_tag = -1;
   };
 
   bool is_basic(int var) const noexcept { return columns_[var].row >= 0; }
@@ -122,6 +138,8 @@ class Simplex {
   std::vector<Row> rows_;
   std::vector<TrailEntry> trail_;
   Stats stats_;
+  bool track_conflicts_ = false;
+  std::vector<std::pair<int, Rational>> last_conflict_;
 };
 
 }  // namespace hv::smt

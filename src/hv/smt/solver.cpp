@@ -9,19 +9,66 @@ namespace hv::smt {
 
 Solver::Solver() = default;
 
+void Solver::enable_certificates() {
+  HV_REQUIRE(names_.empty() && scopes_.empty() && atoms_.empty() && clauses_.empty());
+  HV_REQUIRE(!trace_);
+  certify_ = true;
+  simplex_.set_conflict_tracking(true);
+}
+
+void Solver::enable_trace() {
+  HV_REQUIRE(names_.empty() && scopes_.empty() && atoms_.empty() && clauses_.empty());
+  HV_REQUIRE(!certify_);
+  trace_ = true;
+}
+
 VarId Solver::new_variable(std::string name) {
+  if (trace_) {
+    names_.push_back(std::move(name));
+    return static_cast<int>(names_.size()) - 1;
+  }
   const int var = simplex_.add_variable();
   HV_REQUIRE(var == static_cast<int>(names_.size()));
   names_.push_back(std::move(name));
+  if (certify_) slack_defs_.emplace_back();
   return var;
 }
 
 void Solver::add_lower_bound(VarId var, const BigInt& bound) {
-  if (!simplex_.assert_lower(var, Rational(bound))) trivially_unsat_ = true;
+  if (trace_) {
+    traced_constraints_.push_back(
+        make_ge(LinearExpr::variable(var), LinearExpr(bound)));
+    return;
+  }
+  int tag = -1;
+  if (certify_) {
+    tag = record_premise(proof::PremiseOrigin::kConstraint, -1, true, var, Relation::kGe, bound);
+  }
+  if (!simplex_.assert_lower(var, Rational(bound), tag)) {
+    mark_trivially_unsat(certify_ ? farkas_from_conflict() : nullptr);
+  }
 }
 
 void Solver::add_upper_bound(VarId var, const BigInt& bound) {
-  if (!simplex_.assert_upper(var, Rational(bound))) trivially_unsat_ = true;
+  if (trace_) {
+    traced_constraints_.push_back(
+        make_le(LinearExpr::variable(var), LinearExpr(bound)));
+    return;
+  }
+  int tag = -1;
+  if (certify_) {
+    tag = record_premise(proof::PremiseOrigin::kConstraint, -1, true, var, Relation::kLe, bound);
+  }
+  if (!simplex_.assert_upper(var, Rational(bound), tag)) {
+    mark_trivially_unsat(certify_ ? farkas_from_conflict() : nullptr);
+  }
+}
+
+void Solver::mark_trivially_unsat(std::unique_ptr<proof::Node> proof) {
+  // First conflict wins: a later scope may re-derive unsatisfiability, but
+  // the active proof must explain the state the flag was first set in.
+  if (certify_ && !trivially_unsat_) trivial_proof_ = std::move(proof);
+  trivially_unsat_ = true;
 }
 
 int Solver::slack_for(const std::vector<std::pair<int, BigInt>>& terms) {
@@ -36,6 +83,7 @@ int Solver::slack_for(const std::vector<std::pair<int, BigInt>>& terms) {
   if (it != slack_pool_.end()) return it->second;
   const int slack = simplex_.add_row(terms);
   names_.push_back("slack#" + std::to_string(slack));
+  if (certify_) slack_defs_.push_back(terms);
   slack_pool_.emplace(key, slack);
   // The slack's row dies with the current scope; the pool entry must die
   // with it, or a later scope would alias a recycled variable index.
@@ -45,22 +93,33 @@ int Solver::slack_for(const std::vector<std::pair<int, BigInt>>& terms) {
 
 void Solver::push() {
   Scope scope;
-  scope.atom_count = atoms_.size();
+  scope.atom_count = trace_ ? traced_atoms_.size() : atoms_.size();
   scope.clause_count = clauses_.size();
   scope.name_count = names_.size();
+  scope.premise_count = premises_.size();
+  scope.trace_constraint_count = traced_constraints_.size();
   scope.trivially_unsat = trivially_unsat_;
+  scope.trivial_proof = trivial_proof_;
   scopes_.push_back(std::move(scope));
-  simplex_.push();
+  if (!trace_) simplex_.push();
 }
 
 void Solver::pop() {
   if (scopes_.empty()) throw Error("smt: Solver::pop without matching push");
   const Scope& scope = scopes_.back();
-  simplex_.pop();  // bounds and variables/rows created in the scope
-  atoms_.resize(scope.atom_count);
+  if (!trace_) simplex_.pop();  // bounds and variables/rows created in the scope
+  if (trace_) {
+    traced_atoms_.resize(scope.atom_count);
+  } else {
+    atoms_.resize(scope.atom_count);
+  }
   clauses_.resize(scope.clause_count);
   names_.resize(scope.name_count);
+  premises_.resize(scope.premise_count);
+  traced_constraints_.resize(scope.trace_constraint_count);
+  if (certify_) slack_defs_.resize(scope.name_count);
   trivially_unsat_ = scope.trivially_unsat;
+  trivial_proof_ = scope.trivial_proof;
   for (const std::string& key : scope.slack_keys) slack_pool_.erase(key);
   scopes_.pop_back();
 }
@@ -132,20 +191,39 @@ Solver::NormalizedAtom Solver::normalize(const LinearConstraint& constraint) {
 }
 
 void Solver::add(const LinearConstraint& constraint) {
-  const NormalizedAtom atom = normalize(constraint);
-  if (atom.constant) {
-    if (!atom.constant_value) trivially_unsat_ = true;
+  if (trace_) {
+    traced_constraints_.push_back(constraint);
     return;
   }
-  if (!assert_atom(atom, /*positive=*/true)) trivially_unsat_ = true;
+  const NormalizedAtom atom = normalize(constraint);
+  if (atom.constant) {
+    if (!atom.constant_value) {
+      mark_trivially_unsat(certify_ ? constant_false_node(-1, true) : nullptr);
+    }
+    return;
+  }
+  if (!assert_atom(atom, /*positive=*/true, proof::PremiseOrigin::kConstraint, -1)) {
+    mark_trivially_unsat(certify_ ? farkas_from_conflict() : nullptr);
+  }
 }
 
 int Solver::add_atom(const LinearConstraint& constraint) {
+  if (trace_) {
+    traced_atoms_.push_back(constraint);
+    return static_cast<int>(traced_atoms_.size()) - 1;
+  }
   atoms_.push_back(normalize(constraint));
   return static_cast<int>(atoms_.size()) - 1;
 }
 
 void Solver::add_clause(std::vector<Literal> literals) {
+  if (trace_) {
+    for (const Literal& literal : literals) {
+      HV_REQUIRE(literal.atom >= 0 && literal.atom < static_cast<int>(traced_atoms_.size()));
+    }
+    clauses_.push_back(std::move(literals));
+    return;
+  }
   for (const Literal& literal : literals) {
     HV_REQUIRE(literal.atom >= 0 && literal.atom < static_cast<int>(atoms_.size()));
     const NormalizedAtom& atom = atoms_[literal.atom];
@@ -156,34 +234,138 @@ void Solver::add_clause(std::vector<Literal> literals) {
   clauses_.push_back(std::move(literals));
 }
 
-bool Solver::assert_atom(const NormalizedAtom& atom, bool positive) {
+int Solver::record_premise(proof::PremiseOrigin origin, int atom, bool positive, int var,
+                           Relation rel, BigInt bound) {
+  premises_.push_back({origin, atom, positive, var, rel, std::move(bound)});
+  return static_cast<int>(premises_.size()) - 1;
+}
+
+proof::NamedTerms Solver::named_terms_for(int var) const {
+  proof::NamedTerms terms;
+  if (var < static_cast<int>(slack_defs_.size()) && !slack_defs_[var].empty()) {
+    terms.reserve(slack_defs_[var].size());
+    for (const auto& [v, coeff] : slack_defs_[var]) terms.emplace_back(names_[v], coeff);
+  } else {
+    terms.emplace_back(names_[var], BigInt(1));
+  }
+  std::sort(terms.begin(), terms.end(),
+            [](const auto& lhs, const auto& rhs) { return lhs.first < rhs.first; });
+  return terms;
+}
+
+std::unique_ptr<proof::Node> Solver::farkas_from_conflict() const {
+  auto node = std::make_unique<proof::Node>();
+  node->kind = proof::NodeKind::kFarkas;
+  for (const auto& [tag, multiplier] : simplex_.last_conflict()) {
+    HV_REQUIRE(tag >= 0 && tag < static_cast<int>(premises_.size()));
+    const PremiseRec& rec = premises_[tag];
+    proof::Premise premise;
+    premise.origin = rec.origin;
+    premise.atom = rec.atom;
+    premise.positive = rec.positive;
+    premise.terms = named_terms_for(rec.var);
+    premise.rel = rec.rel;
+    premise.bound = rec.bound;
+    node->farkas.push_back({std::move(premise), multiplier});
+  }
+  return node;
+}
+
+std::unique_ptr<proof::Node> Solver::constant_false_node(int atom, bool positive) {
+  auto node = std::make_unique<proof::Node>();
+  node->kind = proof::NodeKind::kFarkas;
+  proof::Premise premise;
+  premise.origin = atom < 0 ? proof::PremiseOrigin::kConstraint : proof::PremiseOrigin::kAtom;
+  premise.atom = atom;
+  premise.positive = positive;
+  premise.rel = Relation::kLe;
+  premise.bound = BigInt(-1);  // "0 <= -1"
+  node->farkas.push_back({std::move(premise), Rational(1)});
+  return node;
+}
+
+std::unique_ptr<proof::Node> Solver::take_pending_conflict() {
+  HV_REQUIRE(pending_conflict_ != nullptr);
+  return std::move(pending_conflict_);
+}
+
+std::unique_ptr<proof::Node> Solver::wrap_propagations(
+    std::vector<std::pair<int, Literal>>& props, std::unique_ptr<proof::Node> leaf) {
+  std::unique_ptr<proof::Node> node = std::move(leaf);
+  for (auto it = props.rbegin(); it != props.rend(); ++it) {
+    auto wrapper = std::make_unique<proof::Node>();
+    wrapper->kind = proof::NodeKind::kPropagation;
+    wrapper->clause = it->first;
+    wrapper->atom = it->second.atom;
+    wrapper->positive = it->second.positive;
+    wrapper->first = std::move(node);
+    node = std::move(wrapper);
+  }
+  return node;
+}
+
+bool Solver::assert_atom(const NormalizedAtom& atom, bool positive,
+                         proof::PremiseOrigin origin, int atom_index) {
   HV_REQUIRE(!atom.constant);
   const Rational bound{atom.bound};
+  const auto tag = [&](Relation rel, BigInt premise_bound) {
+    return certify_
+               ? record_premise(origin, atom_index, positive, atom.var, rel,
+                                std::move(premise_bound))
+               : -1;
+  };
   switch (atom.kind) {
     case BoundKind::kLe:
-      return positive ? simplex_.assert_upper(atom.var, bound)
-                      : simplex_.assert_lower(atom.var, bound + Rational(1));
+      return positive
+                 ? simplex_.assert_upper(atom.var, bound, tag(Relation::kLe, atom.bound))
+                 : simplex_.assert_lower(atom.var, bound + Rational(1),
+                                         tag(Relation::kGe, atom.bound + BigInt(1)));
     case BoundKind::kGe:
-      return positive ? simplex_.assert_lower(atom.var, bound)
-                      : simplex_.assert_upper(atom.var, bound - Rational(1));
+      return positive
+                 ? simplex_.assert_lower(atom.var, bound, tag(Relation::kGe, atom.bound))
+                 : simplex_.assert_upper(atom.var, bound - Rational(1),
+                                         tag(Relation::kLe, atom.bound - BigInt(1)));
     case BoundKind::kEq:
       HV_REQUIRE(positive);
-      return simplex_.assert_lower(atom.var, bound) && simplex_.assert_upper(atom.var, bound);
+      return simplex_.assert_lower(atom.var, bound, tag(Relation::kGe, atom.bound)) &&
+             simplex_.assert_upper(atom.var, bound, tag(Relation::kLe, atom.bound));
   }
   throw InternalError("unreachable bound kind");
 }
 
 CheckResult Solver::check() {
+  if (trace_) throw InternalError("smt: trace-mode solver cannot check()");
   check_stopwatch_.reset();
   deadline_poll_counter_ = 0;
-  if (trivially_unsat_) return CheckResult::kUnsat;
+  last_proof_.reset();
+  pending_conflict_.reset();
+  if (trivially_unsat_) {
+    if (certify_) {
+      HV_REQUIRE(trivial_proof_ != nullptr);
+      last_proof_ = proof::clone(*trivial_proof_);
+    }
+    return CheckResult::kUnsat;
+  }
   assignment_.assign(atoms_.size(), -1);
   // Pre-assign constant atoms.
   for (std::size_t i = 0; i < atoms_.size(); ++i) {
     if (atoms_[i].constant) assignment_[i] = atoms_[i].constant_value ? 1 : 0;
   }
   branch_nodes_used_ = 0;
-  return search();
+  // Premises recorded during the search (atom assertions, branch bounds)
+  // are resolved into proof nodes eagerly, so the table rolls back once the
+  // search is over.
+  const std::size_t premise_mark = premises_.size();
+  std::unique_ptr<proof::Node> root;
+  const CheckResult result = search(certify_ ? &root : nullptr);
+  if (certify_) {
+    premises_.resize(premise_mark);
+    if (result == CheckResult::kUnsat) {
+      HV_REQUIRE(root != nullptr);
+      last_proof_ = std::move(root);
+    }
+  }
+  return result;
 }
 
 bool Solver::set_atom(int atom, bool value) {
@@ -191,7 +373,11 @@ bool Solver::set_atom(int atom, bool value) {
   if (slot != -1) return (slot == 1) == value;
   slot = value ? 1 : 0;
   const NormalizedAtom& normalized = atoms_[atom];
-  if (normalized.constant) return normalized.constant_value == value;
+  if (normalized.constant) {
+    if (normalized.constant_value == value) return true;
+    if (certify_) pending_conflict_ = constant_false_node(atom, value);
+    return false;
+  }
   if (!value && !normalized.negatable) {
     // The negation of an equality is a disjunction the theory cannot take
     // as a bound. Leaving it unasserted is sound: negative equality
@@ -199,7 +385,9 @@ bool Solver::set_atom(int atom, bool value) {
     // negation being true — the boolean assignment is bookkeeping only.
     return true;
   }
-  return assert_atom(normalized, value);
+  if (assert_atom(normalized, value, proof::PremiseOrigin::kAtom, atom)) return true;
+  if (certify_) pending_conflict_ = farkas_from_conflict();
+  return false;
 }
 
 void Solver::enforce_deadline() {
@@ -211,7 +399,7 @@ void Solver::enforce_deadline() {
   }
 }
 
-int Solver::propagate_and_select() {
+int Solver::propagate_and_select(std::vector<std::pair<int, Literal>>* props) {
   enforce_deadline();
   for (;;) {
     bool propagated = false;
@@ -232,12 +420,26 @@ int Solver::propagate_and_select() {
         }
       }
       if (satisfied) continue;
-      if (unassigned_count == 0) return -2;  // conflict
+      if (unassigned_count == 0) {
+        if (certify_) {
+          auto node = std::make_unique<proof::Node>();
+          node->kind = proof::NodeKind::kClauseConflict;
+          node->clause = c;
+          pending_conflict_ = std::move(node);
+        }
+        return -2;  // conflict
+      }
       if (unassigned_count == 1) {
         ++stats_.propagations;
+        // Record the forced literal before asserting it, so a conflict
+        // inside set_atom still sits below its propagation in the proof.
+        if (certify_ && props != nullptr) props->emplace_back(c, *unit);
         if (!set_atom(unit->atom, unit->positive)) return -2;
         ++stats_.simplex_checks;
-        if (!simplex_.check()) return -2;
+        if (!simplex_.check()) {
+          if (certify_) pending_conflict_ = farkas_from_conflict();
+          return -2;
+        }
         propagated = true;
       } else if (branch_clause == -1) {
         branch_clause = c;
@@ -247,7 +449,7 @@ int Solver::propagate_and_select() {
   }
 }
 
-CheckResult Solver::search() {
+CheckResult Solver::search(std::unique_ptr<proof::Node>* out) {
   simplex_.push();
   std::vector<signed char> saved_assignment = assignment_;
   const auto restore = [&] {
@@ -255,19 +457,28 @@ CheckResult Solver::search() {
     assignment_ = saved_assignment;
   };
 
-  const int clause_index = propagate_and_select();
+  std::vector<std::pair<int, Literal>> props;
+  const int clause_index = propagate_and_select(&props);
   if (clause_index == -2) {
+    if (certify_) *out = wrap_propagations(props, take_pending_conflict());
     restore();
     return CheckResult::kUnsat;
   }
   if (clause_index == -1) {
     ++stats_.simplex_checks;
-    if (simplex_.check() && branch_and_bound(0)) {
+    if (!simplex_.check()) {
+      if (certify_) *out = wrap_propagations(props, farkas_from_conflict());
+      restore();
+      return CheckResult::kUnsat;
+    }
+    std::unique_ptr<proof::Node> integer_proof;
+    if (branch_and_bound(0, certify_ ? &integer_proof : nullptr)) {
       // Keep the state: the model was captured by branch_and_bound.
       simplex_.pop();
       assignment_ = std::move(saved_assignment);
       return CheckResult::kSat;
     }
+    if (certify_) *out = wrap_propagations(props, std::move(integer_proof));
     restore();
     return CheckResult::kUnsat;
   }
@@ -283,17 +494,23 @@ CheckResult Solver::search() {
     }
   }
   HV_REQUIRE(pick != -1);
+  std::unique_ptr<proof::Node> true_proof;
+  std::unique_ptr<proof::Node> false_proof;
   for (const bool value : {true, false}) {
     enforce_deadline();
     ++stats_.decisions;
     simplex_.push();
     std::vector<signed char> snapshot = assignment_;
+    std::unique_ptr<proof::Node>* child =
+        certify_ ? (value ? &true_proof : &false_proof) : nullptr;
     bool feasible = set_atom(pick, value);
+    if (!feasible && certify_) *child = take_pending_conflict();
     if (feasible) {
       ++stats_.simplex_checks;
       feasible = simplex_.check();
+      if (!feasible && certify_) *child = farkas_from_conflict();
     }
-    if (feasible && search() == CheckResult::kSat) {
+    if (feasible && search(child) == CheckResult::kSat) {
       simplex_.pop();
       assignment_ = std::move(snapshot);
       simplex_.pop();
@@ -303,11 +520,19 @@ CheckResult Solver::search() {
     simplex_.pop();
     assignment_ = std::move(snapshot);
   }
+  if (certify_) {
+    auto node = std::make_unique<proof::Node>();
+    node->kind = proof::NodeKind::kDecision;
+    node->atom = pick;
+    node->first = std::move(true_proof);
+    node->second = std::move(false_proof);
+    *out = wrap_propagations(props, std::move(node));
+  }
   restore();
   return CheckResult::kUnsat;
 }
 
-bool Solver::branch_and_bound(int depth) {
+bool Solver::branch_and_bound(int depth, std::unique_ptr<proof::Node>* out) {
   enforce_deadline();
   ++stats_.branch_nodes;
   if (++branch_nodes_used_ > branch_budget_) {
@@ -328,16 +553,40 @@ bool Solver::branch_and_bound(int depth) {
   }
   const Rational value = simplex_.value(fractional);
   const BigInt floor = value.floor();
+  std::unique_ptr<proof::Node> low_proof;
+  std::unique_ptr<proof::Node> high_proof;
   for (const bool low_side : {true, false}) {
     simplex_.push();
-    const bool ok = low_side ? simplex_.assert_upper(fractional, Rational(floor))
-                             : simplex_.assert_lower(fractional, Rational(floor + 1));
+    int tag = -1;
+    if (certify_) {
+      tag = record_premise(proof::PremiseOrigin::kBranch, -1, true, fractional,
+                           low_side ? Relation::kLe : Relation::kGe,
+                           low_side ? floor : floor + BigInt(1));
+    }
+    std::unique_ptr<proof::Node>* child =
+        certify_ ? (low_side ? &low_proof : &high_proof) : nullptr;
+    bool ok = low_side ? simplex_.assert_upper(fractional, Rational(floor), tag)
+                       : simplex_.assert_lower(fractional, Rational(floor + 1), tag);
+    if (!ok && certify_) *child = farkas_from_conflict();
     ++stats_.simplex_checks;
-    if (ok && simplex_.check() && branch_and_bound(depth + 1)) {
+    if (ok) {
+      ok = simplex_.check();
+      if (!ok && certify_) *child = farkas_from_conflict();
+    }
+    if (ok && branch_and_bound(depth + 1, child)) {
       simplex_.pop();
       return true;
     }
     simplex_.pop();
+  }
+  if (certify_) {
+    auto node = std::make_unique<proof::Node>();
+    node->kind = proof::NodeKind::kBranch;
+    node->branch_terms = named_terms_for(fractional);
+    node->branch_bound = floor;
+    node->first = std::move(low_proof);
+    node->second = std::move(high_proof);
+    *out = std::move(node);
   }
   return false;
 }
@@ -355,6 +604,49 @@ BigInt Solver::model_value(VarId var) const {
   const Rational& value = model_[var];
   HV_REQUIRE(value.is_integer());
   return value.numerator();
+}
+
+std::vector<std::pair<std::string, BigInt>> Solver::model_assignment() const {
+  HV_REQUIRE(certify_);
+  std::vector<std::pair<std::string, BigInt>> out;
+  out.reserve(model_.size());
+  for (std::size_t var = 0; var < model_.size(); ++var) {
+    if (var < slack_defs_.size() && !slack_defs_[var].empty()) continue;  // internal slack
+    HV_REQUIRE(model_[var].is_integer());
+    out.emplace_back(names_[var], model_[var].numerator());
+  }
+  return out;
+}
+
+proof::Trace Solver::snapshot_trace() const {
+  HV_REQUIRE(trace_);
+  proof::Trace trace;
+  const auto render = [&](const LinearConstraint& constraint) {
+    proof::TracedConstraint out;
+    out.constant = constraint.expr.constant();
+    out.rel = constraint.relation;
+    out.terms.reserve(constraint.expr.terms().size());
+    for (const auto& [var, coeff] : constraint.expr.terms()) {
+      out.terms.emplace_back(names_[var], coeff);
+    }
+    std::sort(out.terms.begin(), out.terms.end(),
+              [](const auto& lhs, const auto& rhs) { return lhs.first < rhs.first; });
+    return out;
+  };
+  trace.constraints.reserve(traced_constraints_.size());
+  for (const LinearConstraint& constraint : traced_constraints_) {
+    trace.constraints.push_back(render(constraint));
+  }
+  trace.atoms.reserve(traced_atoms_.size());
+  for (const LinearConstraint& atom : traced_atoms_) trace.atoms.push_back(render(atom));
+  trace.clauses.reserve(clauses_.size());
+  for (const auto& clause : clauses_) {
+    std::vector<proof::TracedLiteral> literals;
+    literals.reserve(clause.size());
+    for (const Literal& literal : clause) literals.push_back({literal.atom, literal.positive});
+    trace.clauses.push_back(std::move(literals));
+  }
+  return trace;
 }
 
 }  // namespace hv::smt

@@ -30,11 +30,13 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "hv/smt/linear.h"
+#include "hv/smt/proof.h"
 #include "hv/smt/simplex.h"
 #include "hv/util/bigint.h"
 #include "hv/util/stopwatch.h"
@@ -104,6 +106,39 @@ class Solver {
   /// inconclusive, never as unsat.
   void set_time_budget(double seconds) noexcept { time_budget_seconds_ = seconds; }
 
+  // --- proof-carrying mode ---------------------------------------------------
+
+  /// Turns on certificate emission. Must be called on a pristine solver
+  /// (before any variable or assertion). Every subsequent kUnsat check()
+  /// leaves a proof tree in last_proof(); kSat leaves the named integer
+  /// model in model_assignment().
+  void enable_certificates();
+  bool certifying() const noexcept { return certify_; }
+
+  /// Proof for the most recent check() == kUnsat (null after kSat or when
+  /// certificates are disabled). Valid until the next check().
+  const proof::Node* last_proof() const noexcept { return last_proof_.get(); }
+  /// Transfers ownership of the last proof to the caller.
+  std::unique_ptr<proof::Node> take_last_proof() noexcept { return std::move(last_proof_); }
+
+  /// The last model as (name, value) pairs over the caller's named
+  /// variables (internal slacks omitted). Valid after check() == kSat in
+  /// certificate mode.
+  std::vector<std::pair<std::string, BigInt>> model_assignment() const;
+
+  // --- trace-only mode -------------------------------------------------------
+
+  /// Turns the solver into a pure assertion recorder for the auditor: no
+  /// simplex, no normalization, no search — add()/add_atom()/add_clause()
+  /// and push()/pop() merely maintain the name-space assertion trace
+  /// returned by snapshot_trace(); check() throws. Must be called on a
+  /// pristine solver; mutually exclusive with enable_certificates().
+  void enable_trace();
+  bool tracing() const noexcept { return trace_; }
+
+  /// Snapshot of all assertions alive on the stack (trace mode only).
+  proof::Trace snapshot_trace() const;
+
  private:
   enum class BoundKind { kLe, kGe, kEq };
 
@@ -118,22 +153,54 @@ class Solver {
     bool negatable = true;  // kEq atoms are not
   };
 
+  // A premise fed to the simplex as a bound, with enough provenance to
+  // reconstruct the name-space inequality a conflict cites. `var` is the
+  // simplex variable carrying the bound (possibly a slack; resolution
+  // substitutes its defining terms).
+  struct PremiseRec {
+    proof::PremiseOrigin origin = proof::PremiseOrigin::kConstraint;
+    int atom = -1;
+    bool positive = true;
+    int var = -1;
+    Relation rel = Relation::kLe;
+    BigInt bound;
+  };
+
   NormalizedAtom normalize(const LinearConstraint& constraint);
   int slack_for(const std::vector<std::pair<int, BigInt>>& terms);
   // Asserts a normalized atom (or its negation) on the simplex; returns
-  // false on immediate bound conflict.
-  [[nodiscard]] bool assert_atom(const NormalizedAtom& atom, bool positive);
+  // false on immediate bound conflict. In certificate mode the asserted
+  // bounds are recorded as premises with the given origin.
+  [[nodiscard]] bool assert_atom(const NormalizedAtom& atom, bool positive,
+                                 proof::PremiseOrigin origin, int atom_index);
 
-  // DPLL over clauses; assignment_ holds per-atom values.
-  CheckResult search();
+  int record_premise(proof::PremiseOrigin origin, int atom, bool positive, int var,
+                     Relation rel, BigInt bound);
+  // The (slack-substituted) named terms the simplex variable stands for.
+  proof::NamedTerms named_terms_for(int var) const;
+  // Farkas leaf from the simplex's last conflict explanation.
+  std::unique_ptr<proof::Node> farkas_from_conflict() const;
+  // Farkas leaf "0 <= -1" citing a constraint/atom that normalizes to
+  // constant falsehood.
+  static std::unique_ptr<proof::Node> constant_false_node(int atom, bool positive);
+  std::unique_ptr<proof::Node> take_pending_conflict();
+  static std::unique_ptr<proof::Node> wrap_propagations(
+      std::vector<std::pair<int, Literal>>& props, std::unique_ptr<proof::Node> leaf);
+  void mark_trivially_unsat(std::unique_ptr<proof::Node> proof);
+
+  // DPLL over clauses; assignment_ holds per-atom values. On kUnsat in
+  // certificate mode, *out receives the proof of the current context.
+  CheckResult search(std::unique_ptr<proof::Node>* out);
   // Returns the clause index to branch on, -1 if all satisfied, -2 on
   // conflict; performs unit propagation as a side effect (returns -2 if a
-  // propagated literal conflicts).
-  int propagate_and_select();
+  // propagated literal conflicts). Propagated literals are appended to
+  // *props (certificate mode); a conflict leaves its node in
+  // pending_conflict_.
+  int propagate_and_select(std::vector<std::pair<int, Literal>>* props);
   [[nodiscard]] bool set_atom(int atom, bool value);
 
   // Integer completion at a full boolean assignment.
-  bool branch_and_bound(int depth);
+  bool branch_and_bound(int depth, std::unique_ptr<proof::Node>* out);
   // Throws hv::Error once the wall-clock budget is exceeded.
   void enforce_deadline();
   void capture_model();
@@ -144,7 +211,12 @@ class Solver {
     std::size_t atom_count = 0;
     std::size_t clause_count = 0;
     std::size_t name_count = 0;
+    std::size_t premise_count = 0;
+    std::size_t trace_constraint_count = 0;
     bool trivially_unsat = false;
+    // The trivial-unsat proof active when the scope opened (shared so the
+    // scope snapshot is a cheap copy).
+    std::shared_ptr<proof::Node> trivial_proof;
     std::vector<std::string> slack_keys;  // pool entries to evict on pop
   };
 
@@ -157,6 +229,22 @@ class Solver {
   std::vector<signed char> assignment_;  // -1 unassigned, 0 false, 1 true
   bool trivially_unsat_ = false;
   std::vector<Rational> model_;
+
+  // Certificate mode.
+  bool certify_ = false;
+  std::vector<PremiseRec> premises_;
+  // Per-variable slack definitions (empty for non-slacks); parallel to
+  // names_ while certifying.
+  std::vector<std::vector<std::pair<VarId, BigInt>>> slack_defs_;
+  std::unique_ptr<proof::Node> last_proof_;
+  std::shared_ptr<proof::Node> trivial_proof_;
+  std::unique_ptr<proof::Node> pending_conflict_;
+
+  // Trace mode.
+  bool trace_ = false;
+  std::vector<LinearConstraint> traced_constraints_;
+  std::vector<LinearConstraint> traced_atoms_;
+
   Stats stats_;
   std::int64_t branch_budget_ = 1'000'000;
   std::int64_t branch_nodes_used_ = 0;

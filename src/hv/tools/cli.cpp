@@ -6,8 +6,12 @@
 #include <ostream>
 #include <sstream>
 
+#include "hv/cert/audit.h"
+#include "hv/cert/emit.h"
+#include "hv/cert/json.h"
 #include "hv/checker/explicit_checker.h"
 #include "hv/checker/parameterized.h"
+#include "hv/pipeline/certify.h"
 #include "hv/pipeline/holistic.h"
 #include "hv/sim/lemma7.h"
 #include "hv/sim/runner.h"
@@ -22,20 +26,28 @@ namespace hv::tools {
 namespace {
 
 constexpr const char* kUsage = R"(usage:
-  hvc check <model.ta> --prop "<ltl>" [--name N] [--timeout S]
+  hvc check <model.ta> [--prop "<ltl>"] [--name N] [--timeout S]
                        [--max-schemas K] [--workers W] [--no-pruning]
                        [--no-incremental] [--json]
+                       [--certify] [--cert-out cert.json]
+       (--certify emits a proof-carrying certificate; without --prop it
+        checks the model's bundled default properties, e.g. the five
+        Table-2 properties of the simplified consensus automaton)
+  hvc audit <cert.json> [--json]
+       (re-validates a certificate with exact arithmetic only; exit 0 iff
+        every verdict is substantiated)
   hvc explicit <model.ta> --prop "<ltl>" --params n=4,t=1,f=1 [--max-states K]
                        [--json]
   hvc dot <model.ta>
   hvc print <model.ta>
-  hvc redbelly [--naive]
+  hvc redbelly [--naive] [--certify] [--cert-out cert.json]
   hvc simulate [--n N] [--t T] [--inputs 0,1,1,0] [--byzantine 3]
                [--scheduler fair|random|fifo] [--seed S] [--max-steps K]
   hvc simulate --lemma7 [--rounds R]
 
-exit codes: 0 holds / fully verified, 1 violated, 2 usage or input error,
-3 inconclusive (budget or timeout exhausted)
+exit codes: 0 holds / fully verified / audit passed, 1 violated or audit
+failed, 2 usage or input error, 3 inconclusive (budget or timeout
+exhausted)
 )";
 
 // Minimal JSON string escaping (the only JSON we emit is flat objects).
@@ -96,13 +108,22 @@ class Args {
   std::size_t position_ = 0;
 };
 
-ta::MultiRoundTa load_model(const std::string& path) {
-  std::ifstream file(path);
-  if (!file) throw InvalidArgument("cannot open model file: " + path);
+std::string read_file(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) throw InvalidArgument("cannot open file: " + path);
   std::ostringstream buffer;
   buffer << file.rdbuf();
-  return ta::parse_ta(buffer.str());
+  return buffer.str();
 }
+
+void write_file(const std::string& path, const std::string& text) {
+  std::ofstream file(path, std::ios::binary);
+  if (!file) throw InvalidArgument("cannot write file: " + path);
+  file << text;
+  if (!file) throw InvalidArgument("failed writing file: " + path);
+}
+
+ta::MultiRoundTa load_model(const std::string& path) { return ta::parse_ta(read_file(path)); }
 
 ta::ParamValuation parse_params(const ta::ThresholdAutomaton& ta, const std::string& text) {
   ta::ParamValuation params;
@@ -133,12 +154,59 @@ int exit_code(checker::Verdict verdict) {
   return 2;
 }
 
+/// Worst verdict across a run: violated dominates, then unknown.
+int exit_code(const std::vector<checker::PropertyResult>& results) {
+  int code = 0;
+  for (const checker::PropertyResult& result : results) {
+    if (result.verdict == checker::Verdict::kViolated) return 1;
+    if (result.verdict == checker::Verdict::kUnknown) code = 3;
+  }
+  return code;
+}
+
+void print_result_json(const ta::ThresholdAutomaton& ta, const checker::PropertyResult& result,
+                       std::ostream& out) {
+  out << "{\"property\": \"" << json_escape(result.property) << "\", \"verdict\": \""
+      << checker::to_string(result.verdict) << "\", \"schemas\": "
+      << result.schemas_checked << ", \"pruned\": " << result.schemas_pruned
+      << ", \"seconds\": " << result.seconds << ", \"pivots\": " << result.simplex_pivots
+      << ", \"note\": \"" << json_escape(result.note) << "\"";
+  if (result.incremental) {
+    out << ", \"segments_pushed\": " << result.incremental->segments_pushed
+        << ", \"segments_popped\": " << result.incremental->segments_popped
+        << ", \"segments_reused\": " << result.incremental->segments_reused
+        << ", \"prefix_reuse_ratio\": " << result.incremental->prefix_reuse_ratio();
+  }
+  if (result.counterexample) {
+    out << ", \"counterexample\": \"" << json_escape(result.counterexample->to_string(ta))
+        << "\"";
+  }
+  out << "}";
+}
+
+void print_result_text(const ta::ThresholdAutomaton& ta, const checker::PropertyResult& result,
+                       std::ostream& out) {
+  out << result.property << ": " << checker::to_string(result.verdict) << " ("
+      << result.schemas_checked << " schemas, " << result.schemas_pruned << " pruned, "
+      << result.simplex_pivots << " pivots, " << result.seconds << "s)\n";
+  if (result.incremental) {
+    out << "incremental: " << result.incremental->segments_pushed << " segments pushed, "
+        << result.incremental->segments_reused << " reused ("
+        << static_cast<int>(result.incremental->prefix_reuse_ratio() * 100.0)
+        << "% prefix reuse)\n";
+  }
+  if (!result.note.empty()) out << "note: " << result.note << "\n";
+  if (result.counterexample) out << result.counterexample->to_string(ta);
+}
+
 int command_check(Args& args, std::ostream& out) {
   const auto model_path = args.next_positional();
   if (!model_path) throw InvalidArgument("check: missing model file");
   std::string prop;
   std::string name = "property";
   bool json = false;
+  bool certify = false;
+  std::optional<std::string> cert_out;
   checker::CheckOptions options;
   while (!args.empty()) {
     if (const auto value = args.option("--prop")) {
@@ -157,47 +225,94 @@ int command_check(Args& args, std::ostream& out) {
       options.incremental = false;
     } else if (args.boolean("--json")) {
       json = true;
+    } else if (args.boolean("--certify")) {
+      certify = true;
+    } else if (const auto value = args.option("--cert-out")) {
+      cert_out = *value;
     } else {
       throw InvalidArgument("check: unexpected argument '" + args.peek() + "'");
     }
   }
-  if (prop.empty()) throw InvalidArgument("check: --prop is required");
+  options.certify = certify;
 
-  const ta::MultiRoundTa model = load_model(*model_path);
-  const ta::ThresholdAutomaton ta = model.one_round_reduction();
-  const spec::Property property = spec::compile(ta, name, prop);
-  const checker::PropertyResult result = checker::check_property(ta, property, options);
+  const std::string model_text = read_file(*model_path);
+  const ta::ThresholdAutomaton ta = ta::parse_ta(model_text).one_round_reduction();
+  std::vector<spec::Property> properties;
+  if (!prop.empty()) {
+    properties.push_back(spec::compile(ta, name, prop));
+  } else if (certify && cert::has_bundled_properties(ta.name())) {
+    // Certify the model's bundled default set (the Table-2 properties for
+    // the simplified consensus automaton).
+    properties = cert::bundled_properties(ta, /*table2_defaults=*/true);
+  } else {
+    throw InvalidArgument(
+        "check: --prop is required" +
+        std::string(certify ? " (no bundled properties for automaton '" + ta.name() + "')"
+                            : ""));
+  }
+
+  const std::vector<checker::PropertyResult> results =
+      checker::check_properties(ta, properties, options);
+
+  std::string cert_path;
+  if (certify) {
+    cert::Certificate certificate;
+    certificate.components.push_back(
+        cert::make_component_cert(cert::text_model_source(model_text), properties, results,
+                                  prop.empty() ? "bundled" : "ltl"));
+    cert_path = cert_out.value_or(*model_path + ".cert.json");
+    write_file(cert_path, cert::to_json_text(certificate));
+  }
+
   if (json) {
-    out << "{\"property\": \"" << json_escape(name) << "\", \"verdict\": \""
-        << checker::to_string(result.verdict) << "\", \"schemas\": "
-        << result.schemas_checked << ", \"pruned\": " << result.schemas_pruned
-        << ", \"seconds\": " << result.seconds << ", \"pivots\": " << result.simplex_pivots
-        << ", \"note\": \"" << json_escape(result.note) << "\"";
-    if (result.incremental) {
-      out << ", \"segments_pushed\": " << result.incremental->segments_pushed
-          << ", \"segments_popped\": " << result.incremental->segments_popped
-          << ", \"segments_reused\": " << result.incremental->segments_reused
-          << ", \"prefix_reuse_ratio\": " << result.incremental->prefix_reuse_ratio();
+    const bool many = results.size() != 1;
+    if (many) out << "[";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      if (i > 0) out << ",\n ";
+      print_result_json(ta, results[i], out);
     }
-    if (result.counterexample) {
-      out << ", \"counterexample\": \""
-          << json_escape(result.counterexample->to_string(ta)) << "\"";
+    if (many) out << "]";
+    out << "\n";
+  } else {
+    for (const checker::PropertyResult& result : results) print_result_text(ta, result, out);
+    if (certify) out << "certificate: " << cert_path << "\n";
+  }
+  return exit_code(results);
+}
+
+int command_audit(Args& args, std::ostream& out) {
+  const auto cert_path = args.next_positional();
+  if (!cert_path) throw InvalidArgument("audit: missing certificate file");
+  bool json = false;
+  while (!args.empty()) {
+    if (args.boolean("--json")) {
+      json = true;
+    } else {
+      throw InvalidArgument("audit: unexpected argument '" + args.peek() + "'");
     }
-    out << "}\n";
-    return exit_code(result.verdict);
   }
-  out << name << ": " << checker::to_string(result.verdict) << " (" << result.schemas_checked
-      << " schemas, " << result.schemas_pruned << " pruned, " << result.simplex_pivots
-      << " pivots, " << result.seconds << "s)\n";
-  if (result.incremental) {
-    out << "incremental: " << result.incremental->segments_pushed << " segments pushed, "
-        << result.incremental->segments_reused << " reused ("
-        << static_cast<int>(result.incremental->prefix_reuse_ratio() * 100.0)
-        << "% prefix reuse)\n";
+  const cert::Certificate certificate = cert::parse_certificate(read_file(*cert_path));
+  const cert::AuditReport report = cert::audit_certificate(certificate);
+  if (json) {
+    cert::Json::Array issues;
+    for (const std::string& issue : report.issues) issues.push_back(issue);
+    cert::Json::Array warnings;
+    for (const std::string& warning : report.warnings) warnings.push_back(warning);
+    const cert::Json summary = cert::Json::Object{
+        {"ok", report.ok},
+        {"properties_audited", report.properties_audited},
+        {"schemas_covered", report.schemas_covered},
+        {"schemas_pruned", report.schemas_pruned},
+        {"models_checked", report.models_checked},
+        {"farkas_nodes", report.farkas_nodes},
+        {"issues", std::move(issues)},
+        {"warnings", std::move(warnings)},
+    };
+    out << summary.to_pretty_string() << "\n";
+  } else {
+    out << report.to_string();
   }
-  if (!result.note.empty()) out << "note: " << result.note << "\n";
-  if (result.counterexample) out << result.counterexample->to_string(ta);
-  return exit_code(result.verdict);
+  return report.ok ? 0 : 1;
 }
 
 int command_explicit(Args& args, std::ostream& out) {
@@ -364,15 +479,27 @@ int command_simulate(Args& args, std::ostream& out) {
 
 int command_redbelly(Args& args, std::ostream& out) {
   pipeline::HolisticOptions options;
+  bool certify = false;
+  std::optional<std::string> cert_out;
   while (!args.empty()) {
     if (args.boolean("--naive")) {
       options.include_naive_attempt = true;
+    } else if (args.boolean("--certify")) {
+      certify = true;
+    } else if (const auto value = args.option("--cert-out")) {
+      cert_out = *value;
     } else {
       throw InvalidArgument("redbelly: unexpected argument '" + args.peek() + "'");
     }
   }
+  options.check.certify = certify;
   const pipeline::HolisticReport report = pipeline::verify_red_belly_consensus(options);
   out << report.to_string();
+  if (certify) {
+    const std::string path = cert_out.value_or("redbelly.cert.json");
+    write_file(path, cert::to_json_text(pipeline::certify_report(report)));
+    out << "certificate: " << path << "\n";
+  }
   return report.fully_verified() ? 0 : 3;
 }
 
@@ -387,6 +514,7 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out, std::ostrea
   }
   try {
     if (*command == "check") return command_check(cursor, out);
+    if (*command == "audit") return command_audit(cursor, out);
     if (*command == "explicit") return command_explicit(cursor, out);
     if (*command == "dot") return command_dot(cursor, out);
     if (*command == "print") return command_print(cursor, out);

@@ -1,0 +1,384 @@
+// Certificate subsystem tests: JSON layer, proof serialization round-trips,
+// end-to-end certify+audit on both verdicts, and — the point of the
+// exercise — tamper rejection: a forged or transplanted certificate must
+// never audit green.
+#include "hv/cert/audit.h"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "hv/cert/certificate.h"
+#include "hv/cert/emit.h"
+#include "hv/cert/json.h"
+#include "hv/checker/parameterized.h"
+#include "hv/models/bv_broadcast.h"
+#include "hv/spec/compile.h"
+#include "hv/ta/parser.h"
+#include "hv/util/error.h"
+
+namespace hv::cert {
+namespace {
+
+constexpr const char* kEchoModel = R"(
+ta Echo {
+  parameters n, t, f;
+  shared x;
+  resilience n > 3*t;
+  resilience t >= f;
+  resilience f >= 0;
+  processes n - f;
+  initial A;
+  locations B, W, D;
+  rule announce: A -> B do x += 1;
+  rule wait: A -> W;
+  rule proceed: W -> D when x >= t + 1 - f;
+  selfloop B;
+  selfloop D;
+}
+)";
+
+/// Certifies one LTL property of a .ta text and packages the certificate
+/// exactly as `hvc check --certify` does.
+Certificate certify_text_model(const std::string& ta_text, const std::string& name,
+                               const std::string& formula) {
+  const ta::ThresholdAutomaton ta = ta::parse_ta(ta_text).one_round_reduction();
+  const spec::Property property = spec::compile(ta, name, formula);
+  checker::CheckOptions options;
+  options.certify = true;
+  const checker::PropertyResult result = checker::check_property(ta, property, options);
+  Certificate certificate;
+  certificate.components.push_back(
+      make_component_cert(text_model_source(ta_text), {property}, {result}, "ltl"));
+  return certificate;
+}
+
+/// Certifies the built-in bv-broadcast once (its properties carry real
+/// Farkas refutations, unlike the tiny Echo model whose holds query is fully
+/// discharged by cone pruning) and caches the serialized form; tamper tests
+/// parse fresh mutable copies from it.
+const std::string& bv_certificate_text() {
+  static const std::string text = [] {
+    const ta::ThresholdAutomaton bv = models::bv_broadcast();
+    const std::vector<spec::Property> properties = bundled_properties(bv);
+    checker::CheckOptions options;
+    options.certify = true;
+    const std::vector<checker::PropertyResult> results =
+        checker::check_properties(bv, properties, options);
+    Certificate certificate;
+    certificate.components.push_back(
+        make_component_cert(builtin_model_source("bv_broadcast"), properties, results, "bundled"));
+    return to_json_text(certificate);
+  }();
+  return text;
+}
+
+/// Walks a certificate's first unsat proof and applies `mutate` to it.
+void mutate_first_proof(Certificate& certificate,
+                        const std::function<void(smt::proof::Node&)>& mutate) {
+  for (ComponentCert& component : certificate.components) {
+    for (PropertyCert& property : component.properties) {
+      for (SchemaCert& schema : property.schemas) {
+        if (!schema.sat) {
+          auto copy = smt::proof::clone(*schema.proof);
+          mutate(*copy);
+          schema.proof = std::move(copy);
+          return;
+        }
+      }
+    }
+  }
+  FAIL() << "certificate has no unsat proof to mutate";
+}
+
+smt::proof::Node* first_farkas(smt::proof::Node& node) {
+  if (node.kind == smt::proof::NodeKind::kFarkas) return &node;
+  if (node.first != nullptr) {
+    if (smt::proof::Node* found = first_farkas(*node.first)) return found;
+  }
+  if (node.second != nullptr) {
+    if (smt::proof::Node* found = first_farkas(*node.second)) return found;
+  }
+  return nullptr;
+}
+
+// --- JSON layer -------------------------------------------------------------
+
+TEST(JsonTest, RoundTripsValues) {
+  const char* text = R"({"a": [1, -2, "x\n\"y\""], "b": {"c": true, "d": null}, "e": 1.5})";
+  const Json parsed = Json::parse(text);
+  EXPECT_EQ(parsed.at("a").as_array()[0].as_int(), 1);
+  EXPECT_EQ(parsed.at("a").as_array()[1].as_int(), -2);
+  EXPECT_EQ(parsed.at("a").as_array()[2].as_string(), "x\n\"y\"");
+  EXPECT_TRUE(parsed.at("b").at("c").as_bool());
+  EXPECT_DOUBLE_EQ(parsed.at("e").as_double(), 1.5);
+  // Serialize + reparse is the identity on the tree.
+  const Json again = Json::parse(parsed.to_string());
+  EXPECT_EQ(again.to_string(), parsed.to_string());
+  EXPECT_EQ(Json::parse(parsed.to_pretty_string()).to_string(), parsed.to_string());
+}
+
+TEST(JsonTest, RejectsMalformedInput) {
+  EXPECT_THROW(Json::parse("{"), InvalidArgument);
+  EXPECT_THROW(Json::parse("{} trailing"), InvalidArgument);
+  EXPECT_THROW(Json::parse("{\"a\": 01}"), InvalidArgument);
+  EXPECT_THROW(Json::parse("\"unterminated"), InvalidArgument);
+  EXPECT_THROW(Json::parse("[1,]"), InvalidArgument);
+  // Hostile nesting fails cleanly instead of overflowing the stack.
+  const std::string deep(100000, '[');
+  EXPECT_THROW(Json::parse(deep), InvalidArgument);
+}
+
+TEST(JsonTest, TypedAccessorsThrowOnMismatch) {
+  const Json parsed = Json::parse(R"({"a": 1})");
+  EXPECT_THROW(parsed.at("a").as_string(), InvalidArgument);
+  EXPECT_THROW(parsed.at("missing"), InvalidArgument);
+  EXPECT_EQ(parsed.find("missing"), nullptr);
+}
+
+// --- proof serialization ----------------------------------------------------
+
+TEST(ProofJsonTest, RoundTripsTree) {
+  using namespace smt::proof;
+  Node root;
+  root.kind = NodeKind::kBranch;
+  root.branch_terms = {{"x", BigInt(2)}, {"y", BigInt(-3)}};
+  root.branch_bound = BigInt(7);
+  auto low = std::make_unique<Node>();
+  low->kind = NodeKind::kFarkas;
+  Premise premise;
+  premise.origin = PremiseOrigin::kAtom;
+  premise.atom = 3;
+  premise.positive = false;
+  premise.terms = {{"x", BigInt(1)}};
+  premise.rel = smt::Relation::kGe;
+  premise.bound = BigInt(-4);
+  low->farkas.push_back({premise, Rational(BigInt(2), BigInt(3))});
+  Premise branch_premise;
+  branch_premise.origin = PremiseOrigin::kBranch;
+  branch_premise.terms = root.branch_terms;
+  branch_premise.rel = smt::Relation::kLe;
+  branch_premise.bound = BigInt(7);
+  low->farkas.push_back({branch_premise, Rational(BigInt(1))});
+  root.first = std::move(low);
+  auto high = std::make_unique<Node>();
+  high->kind = NodeKind::kPropagation;
+  high->clause = 0;
+  high->atom = 1;
+  high->positive = true;
+  auto conflict = std::make_unique<Node>();
+  conflict->kind = NodeKind::kClauseConflict;
+  conflict->clause = 2;
+  high->first = std::move(conflict);
+  root.second = std::move(high);
+
+  const Json json = proof_to_json(root);
+  const auto back = proof_from_json(json);
+  // Same premise pool, same tree: the serialized forms must coincide.
+  EXPECT_EQ(proof_to_json(*back).to_string(), json.to_string());
+  ASSERT_EQ(back->kind, NodeKind::kBranch);
+  ASSERT_EQ(back->first->farkas.size(), 2u);
+  EXPECT_EQ(back->first->farkas[0].premise, premise);
+  EXPECT_EQ(back->first->farkas[1].premise, branch_premise);
+  EXPECT_EQ(back->second->first->clause, 2);
+}
+
+TEST(ProofJsonTest, RejectsCorruptPools) {
+  const Json good = [] {
+    smt::proof::Node node;
+    node.kind = smt::proof::NodeKind::kClauseConflict;
+    node.clause = 0;
+    return proof_to_json(node);
+  }();
+  // A premise index outside the pool must be rejected, not crash.
+  Json bad = Json::parse(R"({"names": [], "premises": [], "tree": ["F", 5, "1"]})");
+  EXPECT_THROW(proof_from_json(bad), InvalidArgument);
+  EXPECT_THROW(proof_from_json(Json::parse(R"({"tree": ["Z"]})")), InvalidArgument);
+  EXPECT_NO_THROW(proof_from_json(good));
+}
+
+// --- end-to-end certify + audit --------------------------------------------
+
+TEST(CertAuditTest, HoldsVerdictAuditsGreen) {
+  const Certificate certificate =
+      certify_text_model(kEchoModel, "safe", "[](locB == 0) -> [](locD == 0)");
+  // Round-trip through the wire format first: the auditor sees exactly what
+  // a file-based consumer would.
+  const Certificate parsed = parse_certificate(to_json_text(certificate));
+  const AuditReport report = audit_certificate(parsed);
+  EXPECT_TRUE(report.ok) << report.to_string();
+  EXPECT_EQ(report.properties_audited, 1);
+  // Echo's holds query is discharged entirely by the query cone; the audit
+  // must replay those pruning decisions rather than trusting them.
+  EXPECT_GT(report.schemas_pruned, 0);
+}
+
+TEST(CertAuditTest, ViolatedVerdictAuditsGreen) {
+  const Certificate certificate =
+      certify_text_model(kEchoModel, "d_empty", "locA != 0 -> [](locD == 0)");
+  const Certificate parsed = parse_certificate(to_json_text(certificate));
+  const AuditReport report = audit_certificate(parsed);
+  EXPECT_TRUE(report.ok) << report.to_string();
+  EXPECT_GE(report.models_checked, 1);
+}
+
+TEST(CertAuditTest, BuiltinModelWithBundledPropertiesAuditsGreen) {
+  const Certificate parsed = parse_certificate(bv_certificate_text());
+  const AuditReport report = audit_certificate(parsed);
+  EXPECT_TRUE(report.ok) << report.to_string();
+  EXPECT_EQ(report.properties_audited,
+            static_cast<std::int64_t>(parsed.components[0].properties.size()));
+  EXPECT_GT(report.schemas_covered, 0);
+  EXPECT_GT(report.farkas_nodes, 0);
+}
+
+// --- tamper rejection -------------------------------------------------------
+
+TEST(CertTamperTest, FlippedMultiplierSignRejected) {
+  Certificate certificate = parse_certificate(bv_certificate_text());
+  mutate_first_proof(certificate, [](smt::proof::Node& root) {
+    smt::proof::Node* farkas = first_farkas(root);
+    ASSERT_NE(farkas, nullptr);
+    ASSERT_FALSE(farkas->farkas.empty());
+    farkas->farkas[0].multiplier = -farkas->farkas[0].multiplier;
+  });
+  const AuditReport report = audit_certificate(parse_certificate(to_json_text(certificate)));
+  EXPECT_FALSE(report.ok);
+}
+
+TEST(CertTamperTest, ForgedPremiseBoundRejected) {
+  Certificate certificate = parse_certificate(bv_certificate_text());
+  mutate_first_proof(certificate, [](smt::proof::Node& root) {
+    smt::proof::Node* farkas = first_farkas(root);
+    ASSERT_NE(farkas, nullptr);
+    ASSERT_FALSE(farkas->farkas.empty());
+    // Loosen the bound: the premise no longer matches anything asserted.
+    farkas->farkas[0].premise.bound = farkas->farkas[0].premise.bound + BigInt(1000);
+  });
+  const AuditReport report = audit_certificate(parse_certificate(to_json_text(certificate)));
+  EXPECT_FALSE(report.ok);
+}
+
+TEST(CertTamperTest, DroppedSchemaRejected) {
+  Certificate certificate = parse_certificate(bv_certificate_text());
+  bool dropped = false;
+  for (PropertyCert& property : certificate.components[0].properties) {
+    if (property.verdict == "holds" && property.schemas.size() > 1) {
+      property.schemas.pop_back();
+      dropped = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(dropped) << "no holds property with enough schemas to drop one";
+  const AuditReport report = audit_certificate(parse_certificate(to_json_text(certificate)));
+  EXPECT_FALSE(report.ok);
+}
+
+TEST(CertTamperTest, EditedModelValueRejected) {
+  Certificate certificate =
+      certify_text_model(kEchoModel, "d_empty", "locA != 0 -> [](locD == 0)");
+  bool edited = false;
+  for (SchemaCert& schema : certificate.components[0].properties[0].schemas) {
+    if (schema.sat) {
+      ASSERT_FALSE(schema.model.empty());
+      schema.model[0].second = schema.model[0].second + BigInt(17);
+      edited = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(edited);
+  const AuditReport report = audit_certificate(parse_certificate(to_json_text(certificate)));
+  EXPECT_FALSE(report.ok);
+}
+
+TEST(CertTamperTest, UpgradedVerdictRejected) {
+  // Claiming "holds" over a counterexample run must fail coverage.
+  Certificate certificate =
+      certify_text_model(kEchoModel, "d_empty", "locA != 0 -> [](locD == 0)");
+  certificate.components[0].properties[0].verdict = "holds";
+  certificate.components[0].properties[0].complete = true;
+  const AuditReport report = audit_certificate(parse_certificate(to_json_text(certificate)));
+  EXPECT_FALSE(report.ok);
+}
+
+TEST(CertTamperTest, CertificateTransplantedOntoMutantModelRejected) {
+  // Certify the real bv-broadcast, then swap the model for the weakened
+  // negative control (resilience n > 2t): the proofs must not transfer.
+  Certificate certificate = parse_certificate(bv_certificate_text());
+
+  std::string weakened = R"(
+ta BvBroadcast {
+  parameters n, t, f;
+  shared b0, b1;
+  resilience n - 2*t >= 1;
+  resilience t - f >= 0;
+  resilience f >= 0;
+  processes n - f;
+  initial V0, V1;
+  locations B0, B1, B01, C0, C1, CB0, CB1, C01;
+  rule r1: V0 -> B0 do b0 += 1;
+  rule r2: V1 -> B1 do b1 += 1;
+  rule r3: B0 -> C0 when -2*t + f + b0 >= 1;
+  rule r4: B0 -> B01 when -t + f + b1 >= 1 do b1 += 1;
+  rule r5: B1 -> B01 when -t + f + b0 >= 1 do b0 += 1;
+  rule r6: B1 -> C1 when -2*t + f + b1 >= 1;
+  rule r7: C0 -> CB0 when -t + f + b1 >= 1 do b1 += 1;
+  rule r8: B01 -> CB0 when -2*t + f + b0 >= 1;
+  rule r9: B01 -> CB1 when -2*t + f + b1 >= 1;
+  rule r10: C1 -> CB1 when -t + f + b0 >= 1 do b0 += 1;
+  rule r11: CB0 -> C01 when -2*t + f + b1 >= 1;
+  rule r12: CB1 -> C01 when -2*t + f + b0 >= 1;
+  selfloop B0;
+  selfloop B1;
+  selfloop C0;
+  selfloop C1;
+  selfloop CB0;
+  selfloop CB1;
+  selfloop C01;
+}
+)";
+  certificate.components[0].model = text_model_source(weakened);
+  const AuditReport report = audit_certificate(parse_certificate(to_json_text(certificate)));
+  EXPECT_FALSE(report.ok) << "proofs for the sound automaton must not certify the mutant";
+}
+
+TEST(CertTamperTest, Theorem6ClaimMustMatchAuditedVerdicts) {
+  // With no audited components, every composed verdict is unknown; a
+  // certificate claiming "holds" overstates what it proves.
+  Certificate certificate;
+  Theorem6Claim claim;
+  claim.agreement = "holds";
+  claim.validity = "holds";
+  claim.termination = "holds";
+  certificate.theorem6 = claim;
+  const AuditReport overclaim = audit_certificate(certificate);
+  EXPECT_FALSE(overclaim.ok);
+
+  certificate.theorem6->agreement = "unknown";
+  certificate.theorem6->validity = "unknown";
+  certificate.theorem6->termination = "unknown";
+  const AuditReport honest = audit_certificate(certificate);
+  EXPECT_TRUE(honest.ok) << honest.to_string();
+}
+
+TEST(CertTamperTest, MalformedCertificateFailsCleanly) {
+  EXPECT_THROW(parse_certificate("not json"), InvalidArgument);
+  EXPECT_THROW(parse_certificate("{\"format\": \"other\"}"), InvalidArgument);
+  EXPECT_THROW(parse_certificate(R"({"format": "hv-cert", "version": 99, "components": []})"),
+               InvalidArgument);
+  // Unknown model kinds and broken automata are audit issues, not throws.
+  Certificate certificate;
+  ComponentCert component;
+  component.model.kind = "text";
+  component.model.text = "ta Broken {";
+  certificate.components.push_back(component);
+  const AuditReport report = audit_certificate(certificate);
+  EXPECT_FALSE(report.ok);
+  ASSERT_FALSE(report.issues.empty());
+  EXPECT_NE(report.issues[0].find("model reconstruction failed"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hv::cert

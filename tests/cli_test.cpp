@@ -4,6 +4,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <regex>
 #include <sstream>
 #include <string>
 
@@ -134,6 +135,66 @@ TEST_F(CliTest, JsonOutput) {
                                  "n=4,t=1,f=1", "--json"});
   EXPECT_EQ(explicit_code, 0);
   EXPECT_NE(out_.str().find("\"states\": "), std::string::npos);
+}
+
+TEST_F(CliTest, JsonOutputMatchesGoldenSchema) {
+  // Golden-file check on the machine-readable schema: field names and order
+  // are a contract; only the numeric values are volatile.
+  const int code = run({"check", model_path_, "--prop", "[](locB == 0) -> [](locD == 0)",
+                        "--name", "safe", "--json"});
+  EXPECT_EQ(code, 0);
+  const std::string normalized =
+      std::regex_replace(out_.str(), std::regex(R"((": )-?[0-9][-+.eE0-9]*)"), "$1#");
+  EXPECT_EQ(normalized,
+            "{\"property\": \"safe\", \"verdict\": \"holds\", \"schemas\": #, "
+            "\"pruned\": #, \"seconds\": #, \"pivots\": #, \"note\": \"\", "
+            "\"segments_pushed\": #, \"segments_popped\": #, \"segments_reused\": #, "
+            "\"prefix_reuse_ratio\": #}\n");
+}
+
+TEST_F(CliTest, CertifyEmitsAuditableCertificate) {
+  const std::string cert_path = ::testing::TempDir() + "echo_cert.json";
+  const int code = run({"check", model_path_, "--prop", "[](locB == 0) -> [](locD == 0)",
+                        "--name", "safe", "--certify", "--cert-out", cert_path});
+  EXPECT_EQ(code, 0);
+  EXPECT_NE(out_.str().find("certificate: " + cert_path), std::string::npos);
+
+  EXPECT_EQ(run({"audit", cert_path}), 0);
+  EXPECT_NE(out_.str().find("audit: PASS"), std::string::npos);
+  EXPECT_EQ(run({"audit", cert_path, "--json"}), 0);
+  EXPECT_NE(out_.str().find("\"ok\": true"), std::string::npos);
+
+  // Tampering with the stored verdict must flip the audit to failure.
+  std::string text;
+  {
+    std::ifstream file(cert_path);
+    std::ostringstream buffer;
+    buffer << file.rdbuf();
+    text = buffer.str();
+  }
+  const std::string needle = "\"verdict\":\"holds\"";
+  const std::size_t at = text.find(needle);
+  ASSERT_NE(at, std::string::npos);
+  text.replace(at, needle.size(), "\"verdict\":\"violated\"");
+  {
+    std::ofstream file(cert_path);
+    file << text;
+  }
+  EXPECT_EQ(run({"audit", cert_path}), 1);
+  EXPECT_NE(out_.str().find("audit: FAIL"), std::string::npos);
+  std::remove(cert_path.c_str());
+}
+
+TEST_F(CliTest, AuditValidatesInput) {
+  EXPECT_EQ(run({"audit"}), 2);
+  EXPECT_EQ(run({"audit", "/nonexistent.cert.json"}), 2);
+  const std::string bad_path = ::testing::TempDir() + "bad_cert.json";
+  {
+    std::ofstream file(bad_path);
+    file << "{\"format\": \"hv-cert\"";
+  }
+  EXPECT_EQ(run({"audit", bad_path}), 2);
+  std::remove(bad_path.c_str());
 }
 
 TEST_F(CliTest, SimulateFairDecides) {
