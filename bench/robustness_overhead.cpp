@@ -1,0 +1,146 @@
+// Cost of the fault-tolerant runtime when nothing goes wrong.
+//
+// Runs the Table-2 properties twice with identical checker options except
+// that the second run arms the full robustness machinery: a progress journal
+// (fsync'd batches), per-schema wall-clock and pivot watchdogs, and the soft
+// memory budget -- all with limits generous enough that they never fire.
+// Verdicts must agree, and the armed run should stay within a few percent of
+// the baseline (target: <5% on the total across properties).
+//
+// Emits a machine-readable JSON array to BENCH_robustness.json (override
+// with --out FILE) so future changes have a perf trajectory to compare
+// against.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "hv/checker/parameterized.h"
+#include "hv/models/bv_broadcast.h"
+#include "hv/models/simplified_consensus.h"
+
+namespace {
+
+struct Row {
+  std::string model;
+  std::string property;
+  hv::checker::PropertyResult baseline;
+  hv::checker::PropertyResult armed;
+};
+
+// Best-of-N wall-clock to damp scheduler noise; verdict/stats come from the
+// last run (they are deterministic across repetitions).
+hv::checker::PropertyResult best_of(const hv::ta::ThresholdAutomaton& ta,
+                                    const hv::spec::Property& property,
+                                    const hv::checker::CheckOptions& options, int reps) {
+  hv::checker::PropertyResult best;
+  for (int i = 0; i < reps; ++i) {
+    hv::checker::PropertyResult result = hv::checker::check_property(ta, property, options);
+    if (i == 0 || result.seconds < best.seconds) best = result;
+  }
+  return best;
+}
+
+Row run_property(const std::string& model, const hv::ta::ThresholdAutomaton& ta,
+                 const hv::spec::Property& property, const std::string& journal_path,
+                 int reps) {
+  Row row;
+  row.model = model;
+  row.property = property.name;
+
+  hv::checker::CheckOptions baseline;  // defaults: single worker, pruning on
+  row.baseline = best_of(ta, property, baseline, reps);
+
+  hv::checker::CheckOptions armed = baseline;
+  armed.journal_path = journal_path;
+  armed.schema_timeout_seconds = 3600.0;  // never fires, but is checked per schema
+  armed.pivot_budget = 1'000'000'000;     // never fires, but is armed per solve
+  armed.memory_budget_mb = 1'000'000;     // never fires, but polls RSS per schema
+  std::remove(journal_path.c_str());
+  row.armed = best_of(ta, property, armed, reps);
+  std::remove(journal_path.c_str());
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_robustness.json";
+  int reps = 3;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc) {
+      reps = std::max(1, std::atoi(argv[++i]));
+    } else {
+      std::fprintf(stderr, "usage: %s [--out FILE] [--reps N]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  const std::string journal_path = out_path + ".journal.jsonl";
+
+  std::vector<Row> rows;
+  const hv::ta::ThresholdAutomaton bv = hv::models::bv_broadcast();
+  for (const hv::spec::Property& property : hv::models::bv_properties(bv)) {
+    rows.push_back(run_property("bv_broadcast", bv, property, journal_path, reps));
+  }
+  const hv::ta::ThresholdAutomaton simplified = hv::models::simplified_consensus_one_round();
+  for (const hv::spec::Property& property :
+       hv::models::simplified_table2_properties(simplified)) {
+    rows.push_back(run_property("simplified_consensus", simplified, property, journal_path, reps));
+  }
+
+  std::printf("  %-22s %-12s %8s | %10s %10s %9s\n", "model", "property", "schemas",
+              "baseline", "armed", "overhead");
+  bool verdicts_agree = true;
+  double total_baseline = 0.0;
+  double total_armed = 0.0;
+  for (const Row& row : rows) {
+    verdicts_agree = verdicts_agree && row.baseline.verdict == row.armed.verdict;
+    total_baseline += row.baseline.seconds;
+    total_armed += row.armed.seconds;
+    const double overhead =
+        row.baseline.seconds == 0.0
+            ? 0.0
+            : (row.armed.seconds - row.baseline.seconds) / row.baseline.seconds * 100.0;
+    std::printf("  %-22s %-12s %8lld | %9.3fs %9.3fs %+8.2f%%\n", row.model.c_str(),
+                row.property.c_str(), static_cast<long long>(row.armed.schemas_checked),
+                row.baseline.seconds, row.armed.seconds, overhead);
+  }
+  const double total_overhead =
+      total_baseline == 0.0 ? 0.0 : (total_armed - total_baseline) / total_baseline * 100.0;
+  std::printf("  total: %.3fs baseline, %.3fs armed, %+.2f%% overhead (target < 5%%)\n",
+              total_baseline, total_armed, total_overhead);
+  std::printf("  verdicts agree on every property: %s\n", verdicts_agree ? "yes" : "NO");
+
+  std::FILE* json = std::fopen(out_path.c_str(), "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 2;
+  }
+  std::fputs("[\n", json);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& row = rows[i];
+    const double overhead =
+        row.baseline.seconds == 0.0
+            ? 0.0
+            : (row.armed.seconds - row.baseline.seconds) / row.baseline.seconds;
+    std::fprintf(json,
+                 "  {\"model\": \"%s\", \"property\": \"%s\", \"verdict\": \"%s\", "
+                 "\"verdicts_agree\": %s, \"schemas\": %lld, "
+                 "\"baseline_seconds\": %.6f, \"armed_seconds\": %.6f, "
+                 "\"overhead_ratio\": %.4f}%s\n",
+                 row.model.c_str(), row.property.c_str(),
+                 hv::checker::to_string(row.armed.verdict).c_str(),
+                 row.baseline.verdict == row.armed.verdict ? "true" : "false",
+                 static_cast<long long>(row.armed.schemas_checked), row.baseline.seconds,
+                 row.armed.seconds, overhead, i + 1 < rows.size() ? "," : "");
+  }
+  std::fputs("]\n", json);
+  std::fclose(json);
+  std::printf("  wrote %s\n", out_path.c_str());
+  return verdicts_agree ? 0 : 1;
+}

@@ -49,6 +49,10 @@ class IncrementalSchemaEncoder::Impl {
   }
 
   void set_time_budget(double seconds) noexcept { solver_.set_time_budget(seconds); }
+  void set_pivot_budget(std::int64_t budget) noexcept { solver_.set_pivot_budget(budget); }
+  void set_cancel_flag(const std::atomic<bool>* cancel) noexcept {
+    solver_.set_cancel_flag(cancel);
+  }
 
   const IncrementalStats& stats() const noexcept { return stats_; }
 
@@ -410,6 +414,14 @@ void IncrementalSchemaEncoder::set_time_budget(double seconds) noexcept {
   impl_->set_time_budget(seconds);
 }
 
+void IncrementalSchemaEncoder::set_pivot_budget(std::int64_t budget) noexcept {
+  impl_->set_pivot_budget(budget);
+}
+
+void IncrementalSchemaEncoder::set_cancel_flag(const std::atomic<bool>* cancel) noexcept {
+  impl_->set_cancel_flag(cancel);
+}
+
 EncodeResult IncrementalSchemaEncoder::check(const Schema& schema) {
   return impl_->check(schema);
 }
@@ -425,12 +437,15 @@ const IncrementalStats& IncrementalSchemaEncoder::stats() const noexcept {
 EncodeResult solve_schema(const GuardAnalysis& analysis, const Schema& schema,
                           const spec::ReachQuery& query, std::int64_t branch_budget,
                           const QueryCone* cone, double time_budget_seconds,
-                          EncoderMode mode) {
+                          EncoderMode mode, std::int64_t pivot_budget,
+                          const std::atomic<bool>* cancel) {
   // The one-shot path: a fresh encoder whose level stack is empty, so the
   // whole schema lands in a single transient scope on a cold solver —
   // exactly the historical non-incremental encoding.
   IncrementalSchemaEncoder encoder(analysis, query, branch_budget, cone, mode);
   encoder.set_time_budget(time_budget_seconds);
+  encoder.set_pivot_budget(pivot_budget);
+  encoder.set_cancel_flag(cancel);
   return encoder.check(schema);
 }
 

@@ -23,6 +23,7 @@
 #ifndef HV_CHECKER_ENCODER_H
 #define HV_CHECKER_ENCODER_H
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -59,11 +60,14 @@ enum class EncoderMode {
 /// the SMT branch-and-bound effort (hv::Error escapes on exhaustion). When a
 /// QueryCone is supplied, rules whose source cannot be populated under the
 /// segment context are omitted from the encoding (sound: such rules can
-/// never fire there).
+/// never fire there). `pivot_budget` (0 disables) and `cancel` mirror the
+/// incremental encoder's per-schema watchdogs.
 EncodeResult solve_schema(const GuardAnalysis& analysis, const Schema& schema,
                           const spec::ReachQuery& query, std::int64_t branch_budget,
                           const QueryCone* cone = nullptr, double time_budget_seconds = 0.0,
-                          EncoderMode mode = EncoderMode::kSolve);
+                          EncoderMode mode = EncoderMode::kSolve,
+                          std::int64_t pivot_budget = 0,
+                          const std::atomic<bool>* cancel = nullptr);
 
 /// Stateful encoder for one query, exploiting prefix sharing between the
 /// schemas the enumerator emits in DFS order. Not thread-safe: each worker
@@ -80,6 +84,13 @@ class IncrementalSchemaEncoder {
 
   /// Per-check wall-clock budget (seconds; <= 0 disables).
   void set_time_budget(double seconds) noexcept;
+
+  /// Per-check simplex pivot budget (0 disables): a runaway schema throws
+  /// hv::Error, poisoning the encoder like any other budget exhaustion.
+  void set_pivot_budget(std::int64_t budget) noexcept;
+
+  /// External cancellation flag polled inside solving (nullptr disables).
+  void set_cancel_flag(const std::atomic<bool>* cancel) noexcept;
 
   /// Encodes and solves one schema, reusing whatever prefix of chain-element
   /// scopes is still valid from the previous call. Not available in

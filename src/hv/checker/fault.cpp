@@ -1,0 +1,80 @@
+#include "hv/checker/fault.h"
+
+#if defined(__linux__)
+#include <unistd.h>
+#endif
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <string>
+#include <thread>
+
+#include "hv/util/error.h"
+
+namespace hv::checker {
+
+FaultPlan fault_plan_from_env() {
+  FaultPlan plan;
+  const char* kind = std::getenv("HV_FAULT_KIND");
+  if (kind == nullptr) return plan;
+  if (std::strcmp(kind, "solver-throw") == 0) {
+    plan.kind = FaultKind::kSolverThrow;
+  } else if (std::strcmp(kind, "bad-alloc") == 0) {
+    plan.kind = FaultKind::kBadAlloc;
+  } else if (std::strcmp(kind, "stall") == 0) {
+    plan.kind = FaultKind::kStall;
+  } else if (std::strcmp(kind, "worker-abort") == 0) {
+    plan.kind = FaultKind::kWorkerAbort;
+  } else {
+    return plan;  // unknown kind: stay disarmed
+  }
+  if (const char* at = std::getenv("HV_FAULT_AT")) plan.at = std::atoll(at);
+  if (const char* every = std::getenv("HV_FAULT_EVERY")) plan.every = std::atoll(every);
+  if (const char* stall = std::getenv("HV_FAULT_STALL_MS")) {
+    plan.stall_seconds = std::atof(stall) / 1000.0;
+  }
+  return plan;
+}
+
+void FaultInjector::before_solve() {
+  if (!plan_.armed()) return;
+  const std::int64_t index = attempts_.fetch_add(1);
+  const bool fire = index == plan_.at ||
+                    (plan_.every > 0 && index > plan_.at &&
+                     (index - plan_.at) % plan_.every == 0);
+  if (!fire) return;
+  injected_.fetch_add(1);
+  switch (plan_.kind) {
+    case FaultKind::kNone:
+      return;
+    case FaultKind::kSolverThrow:
+      throw Error("fault: injected solver failure (attempt " + std::to_string(index) + ")");
+    case FaultKind::kBadAlloc:
+      throw std::bad_alloc();
+    case FaultKind::kStall:
+      std::this_thread::sleep_for(std::chrono::duration<double>(plan_.stall_seconds));
+      return;  // the schema watchdog is expected to cancel the attempt
+    case FaultKind::kWorkerAbort:
+      throw WorkerAbortFault{};
+  }
+}
+
+std::int64_t current_rss_bytes() {
+#if defined(__linux__)
+  std::FILE* statm = std::fopen("/proc/self/statm", "r");
+  if (statm == nullptr) return -1;
+  long long total = 0;
+  long long resident = 0;
+  const int fields = std::fscanf(statm, "%lld %lld", &total, &resident);
+  std::fclose(statm);
+  if (fields != 2) return -1;
+  return resident * static_cast<std::int64_t>(sysconf(_SC_PAGESIZE));
+#else
+  return -1;
+#endif
+}
+
+}  // namespace hv::checker

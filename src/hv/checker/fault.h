@@ -1,0 +1,73 @@
+// Deterministic fault injection for the checking runtime.
+//
+// Every degradation path of the fault-tolerant runtime (solver failure,
+// allocation failure, schema stall caught by the watchdog, worker abort) is
+// exercised by injected faults in tests rather than trusted: the injector
+// fires on chosen solve attempts, counted deterministically across the run.
+// `hvc` arms it from HV_FAULT_* environment variables so the kill/resume CI
+// smoke and manual campaigns can reproduce failures on demand.
+#ifndef HV_CHECKER_FAULT_H
+#define HV_CHECKER_FAULT_H
+
+#include <atomic>
+#include <cstdint>
+
+namespace hv::checker {
+
+enum class FaultKind {
+  kNone,
+  kSolverThrow,  // hv::Error from inside the solve attempt
+  kBadAlloc,     // std::bad_alloc (memory containment path)
+  kStall,        // the attempt sleeps; the schema watchdog must cancel it
+  kWorkerAbort,  // the executing worker dies mid-task
+};
+
+/// Thrown by FaultKind::kWorkerAbort. Deliberately NOT an hv::Error: it
+/// models an unrecoverable worker death, which the pool contains by retiring
+/// the worker, not by retrying the schema.
+struct WorkerAbortFault {};
+
+struct FaultPlan {
+  FaultKind kind = FaultKind::kNone;
+  /// 0-based solve-attempt index of the first injection (fresh-solver
+  /// retries count as attempts of their own).
+  std::int64_t at = 0;
+  /// 0: inject exactly once; k > 0: also every k-th attempt after `at`.
+  std::int64_t every = 0;
+  /// How long FaultKind::kStall blocks the attempt.
+  double stall_seconds = 0.02;
+
+  bool armed() const noexcept { return kind != FaultKind::kNone; }
+};
+
+/// Parses HV_FAULT_KIND (solver-throw | bad-alloc | stall | worker-abort),
+/// HV_FAULT_AT, HV_FAULT_EVERY and HV_FAULT_STALL_MS. Unset or unknown
+/// values leave the plan disarmed.
+FaultPlan fault_plan_from_env();
+
+/// Shared across all workers of one run; attempt counting is a single
+/// atomic, so with one worker the faulting attempt index is exact and with a
+/// pool the *number* of injections is.
+class FaultInjector {
+ public:
+  explicit FaultInjector(const FaultPlan& plan) : plan_(plan) {}
+
+  /// Called once per solve attempt. Throws (or stalls) per the plan.
+  void before_solve();
+
+  std::int64_t attempts() const noexcept { return attempts_.load(); }
+  std::int64_t injected() const noexcept { return injected_.load(); }
+
+ private:
+  FaultPlan plan_;
+  std::atomic<std::int64_t> attempts_{0};
+  std::atomic<std::int64_t> injected_{0};
+};
+
+/// Resident set size of this process in bytes, or -1 where unsupported.
+/// Backs the checker's soft memory budget.
+std::int64_t current_rss_bytes();
+
+}  // namespace hv::checker
+
+#endif  // HV_CHECKER_FAULT_H

@@ -90,9 +90,14 @@ GuardAnalysis::GuardAnalysis(const ta::ThresholdAutomaton& ta) : ta_(ta) {
 }
 
 const std::vector<bool>& GuardAnalysis::reachable_locations(GuardSet unlocked) const {
-  const auto it = reachability_cache_.find(unlocked);
-  if (it != reachability_cache_.end()) return it->second;
+  {
+    const std::lock_guard<std::mutex> lock(reachability_mutex_);
+    const auto it = reachability_cache_.find(unlocked);
+    if (it != reachability_cache_.end()) return it->second;
+  }
 
+  // Compute outside the lock; a concurrent duplicate computation is benign
+  // (emplace keeps the first entry and the reference stays stable).
   std::vector<bool> reachable(ta_.location_count(), false);
   for (const ta::LocationId location : ta_.initial_locations()) reachable[location] = true;
   bool changed = true;
@@ -110,6 +115,7 @@ const std::vector<bool>& GuardAnalysis::reachable_locations(GuardSet unlocked) c
       }
     }
   }
+  const std::lock_guard<std::mutex> lock(reachability_mutex_);
   return reachability_cache_.emplace(unlocked, std::move(reachable)).first->second;
 }
 

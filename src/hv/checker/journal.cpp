@@ -1,0 +1,285 @@
+#include "hv/checker/journal.h"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <utility>
+
+#include "hv/util/error.h"
+
+namespace hv::checker {
+
+namespace {
+
+// For an append-only journal fdatasync gives the same durability as fsync
+// (it flushes the size metadata needed to read the appended data back) at a
+// fraction of the cost on journaling filesystems.
+void sync_to_disk(std::FILE* file) {
+#if defined(__linux__)
+  ::fdatasync(fileno(file));
+#else
+  ::fsync(fileno(file));
+#endif
+}
+
+// The journal only ever quotes identifiers, cursors and error notes, but
+// notes can carry arbitrary text from exception messages.
+std::string escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+// Minimal scanner for the flat one-line objects this file writes. Returns
+// false on malformed input (the torn-tail case) instead of throwing.
+class LineScanner {
+ public:
+  explicit LineScanner(const std::string& line) : line_(line) {}
+
+  // Parses `{"k":v, ...}` into the two output maps.
+  bool parse(std::unordered_map<std::string, std::string>* strings,
+             std::unordered_map<std::string, std::int64_t>* numbers) {
+    skip_space();
+    if (!consume('{')) return false;
+    skip_space();
+    if (consume('}')) return done();
+    for (;;) {
+      std::string key;
+      if (!parse_string(&key)) return false;
+      skip_space();
+      if (!consume(':')) return false;
+      skip_space();
+      if (at_ < line_.size() && line_[at_] == '"') {
+        std::string value;
+        if (!parse_string(&value)) return false;
+        (*strings)[key] = std::move(value);
+      } else {
+        std::int64_t value = 0;
+        if (!parse_number(&value)) return false;
+        (*numbers)[key] = value;
+      }
+      skip_space();
+      if (consume(',')) {
+        skip_space();
+        continue;
+      }
+      if (consume('}')) return done();
+      return false;
+    }
+  }
+
+ private:
+  bool done() {
+    skip_space();
+    return at_ == line_.size();
+  }
+
+  void skip_space() {
+    while (at_ < line_.size() && (line_[at_] == ' ' || line_[at_] == '\t' ||
+                                  line_[at_] == '\r')) {
+      ++at_;
+    }
+  }
+
+  bool consume(char c) {
+    if (at_ < line_.size() && line_[at_] == c) {
+      ++at_;
+      return true;
+    }
+    return false;
+  }
+
+  bool parse_string(std::string* out) {
+    if (!consume('"')) return false;
+    out->clear();
+    while (at_ < line_.size()) {
+      const char c = line_[at_++];
+      if (c == '"') return true;
+      if (c != '\\') {
+        *out += c;
+        continue;
+      }
+      if (at_ >= line_.size()) return false;
+      const char next = line_[at_++];
+      switch (next) {
+        case 'n':
+          *out += '\n';
+          break;
+        case 't':
+          *out += '\t';
+          break;
+        case 'u': {
+          if (at_ + 4 > line_.size()) return false;
+          // Only \u00XX controls are ever written.
+          const std::string hex = line_.substr(at_, 4);
+          at_ += 4;
+          *out += static_cast<char>(std::strtol(hex.c_str(), nullptr, 16));
+          break;
+        }
+        default:
+          *out += next;  // \" and \\ (and pass anything else through)
+      }
+    }
+    return false;  // unterminated: torn line
+  }
+
+  bool parse_number(std::int64_t* out) {
+    const std::size_t start = at_;
+    if (at_ < line_.size() && line_[at_] == '-') ++at_;
+    while (at_ < line_.size() && line_[at_] >= '0' && line_[at_] <= '9') ++at_;
+    if (at_ == start) return false;
+    *out = std::stoll(line_.substr(start, at_ - start));
+    return true;
+  }
+
+  const std::string& line_;
+  std::size_t at_ = 0;
+};
+
+}  // namespace
+
+std::string schema_cursor(std::size_t query_index, const Schema& schema) {
+  std::string out = "q" + std::to_string(query_index) + "|";
+  for (std::size_t i = 0; i < schema.unlock_order.size(); ++i) {
+    if (i > 0) out += ',';
+    out += std::to_string(schema.unlock_order[i]);
+  }
+  out += '|';
+  for (std::size_t i = 0; i < schema.cut_positions.size(); ++i) {
+    if (i > 0) out += ',';
+    out += std::to_string(schema.cut_positions[i]);
+  }
+  return out;
+}
+
+ProgressJournal::ProgressJournal(std::string path, const std::string& automaton,
+                                 int flush_batch)
+    : path_(std::move(path)), flush_batch_(flush_batch < 1 ? 1 : flush_batch) {
+  file_ = std::fopen(path_.c_str(), "ab");
+  if (file_ == nullptr) throw Error("journal: cannot open " + path_ + " for append");
+  std::string header = "{\"hv_journal\":1,\"automaton\":\"" + escape(automaton) + "\"}\n";
+  std::fputs(header.c_str(), file_);
+  flush();
+}
+
+ProgressJournal::~ProgressJournal() {
+  if (file_ != nullptr) {
+    flush();
+    std::fclose(file_);
+  }
+}
+
+void ProgressJournal::append(const JournalRecord& record) {
+  std::string line = "{\"p\":\"" + escape(record.property) + "\",\"c\":\"" +
+                     escape(record.cursor) + "\",\"v\":\"" + escape(record.verdict) + "\"";
+  if (record.length != 0) line += ",\"len\":" + std::to_string(record.length);
+  if (record.pivots != 0) line += ",\"piv\":" + std::to_string(record.pivots);
+  if (!record.note.empty()) line += ",\"note\":\"" + escape(record.note) + "\"";
+  line += "}\n";
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::fputs(line.c_str(), file_);
+  ++records_;
+  if (++unflushed_ >= flush_batch_) {
+    std::fflush(file_);
+    sync_to_disk(file_);
+    unflushed_ = 0;
+  }
+}
+
+void ProgressJournal::flush() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (file_ == nullptr) return;
+  std::fflush(file_);
+  sync_to_disk(file_);
+  unflushed_ = 0;
+}
+
+std::string ResumeState::key(const std::string& property, const std::string& cursor) {
+  return property + '\x1f' + cursor;
+}
+
+const JournalRecord* ResumeState::find(const std::string& property,
+                                       const std::string& cursor) const {
+  const auto it = settled.find(key(property, cursor));
+  return it == settled.end() ? nullptr : &it->second;
+}
+
+ResumeState load_journal(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) throw Error("journal: cannot read " + path);
+  ResumeState state;
+  bool header_seen = false;
+  std::string line;
+  while (std::getline(file, line)) {
+    if (line.empty()) continue;
+    std::unordered_map<std::string, std::string> strings;
+    std::unordered_map<std::string, std::int64_t> numbers;
+    if (!LineScanner(line).parse(&strings, &numbers)) {
+      // Torn tail (or stray corruption): count and move on — the schema the
+      // line described is simply re-solved.
+      ++state.skipped_lines;
+      continue;
+    }
+    if (numbers.contains("hv_journal")) {
+      const auto automaton = strings.find("automaton");
+      if (automaton == strings.end()) {
+        ++state.skipped_lines;
+        continue;
+      }
+      if (header_seen && state.automaton != automaton->second) {
+        throw Error("journal: " + path + " mixes automatons '" + state.automaton +
+                    "' and '" + automaton->second + "'");
+      }
+      state.automaton = automaton->second;
+      header_seen = true;
+      continue;
+    }
+    JournalRecord record;
+    const auto field = [&](const char* name) -> std::string {
+      const auto it = strings.find(name);
+      return it == strings.end() ? std::string() : it->second;
+    };
+    record.property = field("p");
+    record.cursor = field("c");
+    record.verdict = field("v");
+    record.note = field("note");
+    if (const auto it = numbers.find("len"); it != numbers.end()) record.length = it->second;
+    if (const auto it = numbers.find("piv"); it != numbers.end()) record.pivots = it->second;
+    if (record.property.empty() || record.cursor.empty() || record.verdict.empty()) {
+      ++state.skipped_lines;
+      continue;
+    }
+    state.settled[ResumeState::key(record.property, record.cursor)] = std::move(record);
+  }
+  if (!header_seen) throw Error("journal: " + path + " has no valid header line");
+  return state;
+}
+
+}  // namespace hv::checker

@@ -1,0 +1,97 @@
+// Crash-safe progress journal for long checking campaigns.
+//
+// The paper's hardest workloads (the naive multi-round DBFT automaton of
+// Table 2) run for days before timing out; a process kill must not destroy
+// the accumulated schema verdicts. The journal is an append-only JSONL file:
+// one record per settled schema, keyed by a *stable cursor* derived from the
+// schema content (unlock order + cut positions), which the deterministic
+// enumeration order reproduces run after run. Records are buffered and
+// fsync'd in batches, so a kill -9 at any point loses at most one batch; a
+// torn trailing line (the only possible corruption of an append-only file)
+// is skipped on load.
+//
+// Resume (`hvc check --resume`) loads the journal into a ResumeState and the
+// checker skips every already-settled schema, replaying its recorded
+// verdict, length and pivot count into the run statistics — an interrupted
+// run continued this way reports the same verdicts as an uninterrupted one.
+#ifndef HV_CHECKER_JOURNAL_H
+#define HV_CHECKER_JOURNAL_H
+
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "hv/checker/schema.h"
+
+namespace hv::checker {
+
+/// Stable identity of one (query, schema) work unit within a property run:
+/// the enumeration is deterministic, so the cursor names the same schema in
+/// every run over the same automaton and property.
+std::string schema_cursor(std::size_t query_index, const Schema& schema);
+
+/// One journal line. `verdict` is one of "unsat", "sat", "pruned",
+/// "unknown"; sat records exist for completeness but are re-solved on
+/// resume (the counterexample itself is not journaled).
+struct JournalRecord {
+  std::string property;
+  std::string cursor;
+  std::string verdict;
+  std::int64_t length = 0;
+  std::int64_t pivots = 0;
+  std::string note;
+};
+
+/// Append-only JSONL writer shared by all workers of a run. Thread-safe;
+/// flush+fsync every `flush_batch` records and on destruction.
+class ProgressJournal {
+ public:
+  /// Opens `path` for append and writes a header line naming the automaton
+  /// (resume refuses a journal recorded for a different automaton). Throws
+  /// hv::Error if the file cannot be opened.
+  ProgressJournal(std::string path, const std::string& automaton, int flush_batch = 256);
+  ~ProgressJournal();
+  ProgressJournal(const ProgressJournal&) = delete;
+  ProgressJournal& operator=(const ProgressJournal&) = delete;
+
+  void append(const JournalRecord& record);
+  /// Durability point: fflush + fsync.
+  void flush();
+
+  const std::string& path() const noexcept { return path_; }
+  std::int64_t records_written() const noexcept { return records_; }
+
+ private:
+  std::string path_;
+  std::FILE* file_ = nullptr;
+  std::mutex mutex_;
+  int flush_batch_ = 256;
+  int unflushed_ = 0;
+  std::int64_t records_ = 0;
+};
+
+/// Parsed journal contents: settled verdicts keyed by (property, cursor).
+/// Later records for the same key win (a schema re-solved after a degraded
+/// attempt supersedes the earlier record).
+struct ResumeState {
+  std::string automaton;
+  std::unordered_map<std::string, JournalRecord> settled;
+  /// Torn or malformed lines skipped during load (a torn tail is the
+  /// expected signature of a kill between write and fsync).
+  std::int64_t skipped_lines = 0;
+
+  /// The settled record for (property, cursor), or nullptr.
+  const JournalRecord* find(const std::string& property, const std::string& cursor) const;
+
+  static std::string key(const std::string& property, const std::string& cursor);
+};
+
+/// Loads a journal; tolerant of a torn trailing line. Throws hv::Error if
+/// the file cannot be read or contains no valid header.
+ResumeState load_journal(const std::string& path);
+
+}  // namespace hv::checker
+
+#endif  // HV_CHECKER_JOURNAL_H

@@ -1,7 +1,9 @@
 #include "hv/checker/parameterized.h"
 
+#include <algorithm>
 #include <atomic>
 #include <condition_variable>
+#include <cstdio>
 #include <deque>
 #include <limits>
 #include <memory>
@@ -13,6 +15,7 @@
 #include "hv/checker/cone.h"
 #include "hv/checker/encoder.h"
 #include "hv/checker/guard_analysis.h"
+#include "hv/checker/journal.h"
 #include "hv/util/error.h"
 #include "hv/util/stopwatch.h"
 
@@ -28,25 +31,49 @@ struct RunState {
   std::condition_variable space_available;
   std::deque<std::pair<std::size_t, SubtreeTask>> queue;  // (query index, task)
   bool done_producing = false;
+  // Pool workers still running; a producer must not wait for queue space
+  // once every worker has aborted.
+  int workers_alive = 0;
 
   std::atomic<bool> stop{false};
   std::atomic<bool> timed_out{false};
   std::atomic<bool> budget_exhausted{false};
+  std::atomic<bool> interrupted{false};
   std::atomic<std::int64_t> schemas_enumerated{0};
   std::atomic<std::int64_t> schemas_checked{0};
   std::atomic<std::int64_t> schemas_pruned{0};
+  std::atomic<std::int64_t> schemas_unknown{0};
+  std::atomic<std::int64_t> schemas_resumed{0};
+  std::atomic<std::int64_t> retries{0};
+  std::atomic<std::int64_t> workers_aborted{0};
   std::atomic<std::int64_t> total_length{0};
   std::atomic<std::int64_t> simplex_pivots{0};
+  // Counts incremental attempts so the soft memory budget can poll RSS on a
+  // stride (reading /proc per attempt is measurable on schema-heavy runs).
+  std::atomic<std::int64_t> memory_polls{0};
 
   // First failure wins; guarded by mutex.
   std::optional<Counterexample> counterexample;
-  std::string error_note;
+  std::string error_note;    // fatal (stops the run): replay validation only
+  std::string degrade_note;  // first schema degraded to unknown
   // Aggregated when workers retire their encoders; guarded by mutex.
   IncrementalStats incremental;
   // Certificate raw material (certify mode); guarded by mutex. Order is
   // worker-interleaved — the auditor's coverage check is set-based.
   std::vector<SchemaEvidence> evidence;
   std::vector<PrunedSchema> pruned_schemas;
+};
+
+// Run-wide fault-tolerance plumbing, shared read-only across workers
+// (journal/injector are internally synchronized).
+struct RunContext {
+  const Stopwatch* stopwatch = nullptr;
+  FaultInjector* injector = nullptr;
+  ProgressJournal* journal = nullptr;
+  const ResumeState* resume = nullptr;
+  // Re-append resumed records iff they come from a different file than the
+  // one being written (same-file resume already holds them).
+  bool copy_resumed = false;
 };
 
 void accumulate(IncrementalStats& into, const IncrementalStats& from) {
@@ -56,37 +83,175 @@ void accumulate(IncrementalStats& into, const IncrementalStats& from) {
   into.schemas_encoded += from.schemas_encoded;
 }
 
-// Solves one schema, either through the caller's persistent incremental
-// encoder or (encoder == nullptr) with a fresh solver.
+void journal_append(const RunContext& ctx, const std::string& property,
+                    const std::string& cursor, const char* verdict, std::int64_t length = 0,
+                    std::int64_t pivots = 0, const std::string& note = {}) {
+  if (ctx.journal == nullptr) return;
+  JournalRecord record;
+  record.property = property;
+  record.cursor = cursor;
+  record.verdict = verdict;
+  record.length = length;
+  record.pivots = pivots;
+  record.note = note;
+  ctx.journal->append(record);
+}
+
+// Folds a retired encoder's stats into the run and drops it (a thrown
+// budget/fault poisons the encoder; the next schema recreates one).
+void retire_encoder(RunState& state, std::unique_ptr<IncrementalSchemaEncoder>& slot) {
+  if (!slot) return;
+  std::lock_guard<std::mutex> lock(state.mutex);
+  accumulate(state.incremental, slot->stats());
+  slot.reset();
+}
+
+std::string format_seconds(double seconds) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.2f", seconds);
+  return buffer;
+}
+
+// Solves one schema through the retry ladder: the first attempt runs on the
+// caller's persistent incremental encoder (when enabled), a failed or
+// cancelled attempt is retried once on a fresh non-incremental solver, and
+// only then is the schema degraded to a recorded unknown — the run
+// continues. Global timeout and external cancellation are never retried.
 void solve_one(const GuardAnalysis& analysis, const spec::Property& property,
-               std::size_t query_index, const Schema& schema, const CheckOptions& options,
-               const QueryCone* cone, double remaining_seconds, RunState& state,
-               IncrementalSchemaEncoder* encoder) {
+               std::size_t query_index, const Schema& schema, const std::string& cursor,
+               const CheckOptions& options, const QueryCone* cone, double remaining_seconds,
+               RunState& state, const RunContext& ctx,
+               std::unique_ptr<IncrementalSchemaEncoder>* slot) {
   const spec::ReachQuery& query = property.queries[query_index];
   // A non-positive remaining budget would disable the solver deadline;
   // clamp it so a task started at the deadline still aborts promptly.
   if (options.timeout_seconds > 0.0 && remaining_seconds <= 0.0) {
     remaining_seconds = 0.01;
   }
-  EncodeResult result;
-  try {
-    if (encoder != nullptr) {
-      encoder->set_time_budget(remaining_seconds);
-      result = encoder->check(schema);
-    } else {
-      result = solve_schema(analysis, schema, query, options.branch_budget, cone,
-                            remaining_seconds,
-                            options.certify ? EncoderMode::kCertify : EncoderMode::kSolve);
+  const EncoderMode mode = options.certify ? EncoderMode::kCertify : EncoderMode::kSolve;
+
+  const auto run_attempt = [&](bool incremental_attempt) -> EncodeResult {
+    const Stopwatch schema_watch;
+    if (ctx.injector != nullptr) ctx.injector->before_solve();
+    // Schema wall-clock watchdog: an attempt that stalls before reaching the
+    // solver (injected stall, pathological setup) is caught here; once
+    // solving, the solver's own deadline polling enforces the rest.
+    if (options.schema_timeout_seconds > 0.0 &&
+        schema_watch.seconds() > options.schema_timeout_seconds) {
+      throw Error("checker: schema watchdog cancelled a stalled attempt");
     }
+    double budget = remaining_seconds;
+    if (options.schema_timeout_seconds > 0.0) {
+      double left = options.schema_timeout_seconds - schema_watch.seconds();
+      left = std::max(left, 0.001);
+      budget = budget > 0.0 ? std::min(budget, left) : left;
+    }
+    if (incremental_attempt) {
+      // Poll on a stride: the first attempt always, then every 16th. A trip
+      // can lag by at most 15 schemas, which a *soft* budget tolerates.
+      if (options.memory_budget_mb > 0 &&
+          state.memory_polls.fetch_add(1, std::memory_order_relaxed) % 16 == 0) {
+        const std::int64_t rss = current_rss_bytes();
+        if (rss > options.memory_budget_mb * 1024 * 1024) {
+          throw Error("checker: memory budget exceeded (rss " +
+                      std::to_string(rss / (1024 * 1024)) + " MB > " +
+                      std::to_string(options.memory_budget_mb) + " MB)");
+        }
+      }
+      if (!*slot) {
+        *slot = std::make_unique<IncrementalSchemaEncoder>(analysis, query,
+                                                           options.branch_budget, cone, mode);
+      }
+      IncrementalSchemaEncoder* encoder = slot->get();
+      encoder->set_time_budget(budget);
+      encoder->set_pivot_budget(options.pivot_budget);
+      encoder->set_cancel_flag(options.cancel);
+      return encoder->check(schema);
+    }
+    return solve_schema(analysis, schema, query, options.branch_budget, cone, budget, mode,
+                        options.pivot_budget, options.cancel);
+  };
+
+  // True iff the failure is a run-level event (cancel, global timeout) that
+  // must not be retried or recorded against the schema.
+  const auto fatal_interrupt = [&]() -> bool {
+    if (options.cancel != nullptr && options.cancel->load(std::memory_order_relaxed)) {
+      state.interrupted.store(true);
+      state.stop.store(true);
+      return true;
+    }
+    if (options.timeout_seconds > 0.0 &&
+        ctx.stopwatch->seconds() > options.timeout_seconds) {
+      state.timed_out.store(true);
+      return true;
+    }
+    return false;
+  };
+  const auto record_abort = [&](const char* what) {
+    state.schemas_unknown.fetch_add(1);
+    {
+      std::lock_guard<std::mutex> lock(state.mutex);
+      if (state.degrade_note.empty()) state.degrade_note = what;
+    }
+    journal_append(ctx, property.name, cursor, "unknown", 0, 0, what);
+  };
+
+  EncodeResult result;
+  bool solved = false;
+  std::string failure;
+  try {
+    result = run_attempt(options.incremental && slot != nullptr);
+    solved = true;
+  } catch (const WorkerAbortFault&) {
+    record_abort("worker aborted mid-schema");
+    if (slot != nullptr) retire_encoder(state, *slot);
+    throw;  // the pool retires the worker; single-thread ends the run
   } catch (const Error& error) {
-    std::lock_guard<std::mutex> lock(state.mutex);
-    if (state.error_note.empty()) state.error_note = error.what();
-    state.stop.store(true);
+    failure = error.what();
+  } catch (const std::bad_alloc&) {
+    failure = "allocation failure (std::bad_alloc)";
+  }
+
+  if (!solved) {
+    // The throw poisoned any incremental encoder; fold its stats and drop it
+    // (also the release valve of the memory budget).
+    if (slot != nullptr) retire_encoder(state, *slot);
+    if (fatal_interrupt()) return;
+    if (options.retry_fresh) {
+      state.retries.fetch_add(1);
+      try {
+        result = run_attempt(false);
+        solved = true;
+        failure.clear();
+      } catch (const WorkerAbortFault&) {
+        record_abort("worker aborted mid-schema");
+        throw;
+      } catch (const Error& error) {
+        failure = error.what();
+      } catch (const std::bad_alloc&) {
+        failure = "allocation failure (std::bad_alloc)";
+      }
+      if (!solved && fatal_interrupt()) return;
+    }
+  }
+  if (!solved) {
+    // Retry ladder exhausted: record the schema as unknown and keep going.
+    state.schemas_unknown.fetch_add(1);
+    {
+      std::lock_guard<std::mutex> lock(state.mutex);
+      if (state.degrade_note.empty()) {
+        state.degrade_note = "schema degraded to unknown: " + failure;
+      }
+    }
+    journal_append(ctx, property.name, cursor, "unknown", 0, 0, failure);
     return;
   }
+
   state.schemas_checked.fetch_add(1);
   state.total_length.fetch_add(result.length);
   state.simplex_pivots.fetch_add(result.pivots);
+  journal_append(ctx, property.name, cursor, result.sat ? "sat" : "unsat", result.length,
+                 result.pivots);
   if (options.certify) {
     SchemaEvidence item;
     item.query_index = query_index;
@@ -121,6 +286,37 @@ void solve_one(const GuardAnalysis& analysis, const spec::Property& property,
   }
 }
 
+// Resume fast path: when the journal settled this (property, schema), replay
+// its verdict into the statistics and skip the solve. Sat records are
+// re-solved (the counterexample itself is not journaled). Returns true iff
+// the schema was settled here.
+bool try_resume(const spec::Property& property, std::size_t query_index,
+                const std::string& cursor, RunState& state, const RunContext& ctx) {
+  if (ctx.resume == nullptr) return false;
+  const JournalRecord* record = ctx.resume->find(property.name, cursor);
+  if (record == nullptr || record->verdict == "sat") return false;
+  state.schemas_resumed.fetch_add(1);
+  if (record->verdict == "unsat") {
+    state.schemas_checked.fetch_add(1);
+    state.total_length.fetch_add(record->length);
+    state.simplex_pivots.fetch_add(record->pivots);
+  } else if (record->verdict == "pruned") {
+    state.schemas_pruned.fetch_add(1);
+  } else {  // "unknown"
+    state.schemas_unknown.fetch_add(1);
+    std::lock_guard<std::mutex> lock(state.mutex);
+    if (state.degrade_note.empty()) {
+      state.degrade_note = "schema degraded to unknown (resumed): " + record->note;
+    }
+  }
+  if (ctx.copy_resumed) {
+    journal_append(ctx, property.name, cursor, record->verdict.c_str(), record->length,
+                   record->pivots, record->note);
+  }
+  (void)query_index;
+  return true;
+}
+
 // Work units for the pool: DFS subtrees of the chain tree, deep enough to
 // give every worker several tasks, shallow enough that one task spans many
 // schemas sharing a chain prefix (what the incremental encoder feeds on).
@@ -145,9 +341,34 @@ PropertyResult check_property(const ta::ThresholdAutomaton& ta, const spec::Prop
   // runs always ride the incremental encoders (verdict-identical either
   // way, and the auditor re-encodes incrementally).
   if (options.certify) options.incremental = true;
+  if (options.certify && !options.resume_path.empty()) {
+    throw InvalidArgument(
+        "checker: resume is incompatible with certify (resumed schemas carry no proofs)");
+  }
   const Stopwatch stopwatch;
   PropertyResult result;
   result.property = property.name;
+
+  FaultInjector injector(options.fault);
+  std::optional<ResumeState> resume;
+  if (!options.resume_path.empty()) {
+    resume = load_journal(options.resume_path);
+    if (resume->automaton != ta.name()) {
+      throw InvalidArgument("checker: resume journal was recorded for automaton '" +
+                            resume->automaton + "', not '" + ta.name() + "'");
+    }
+  }
+  std::unique_ptr<ProgressJournal> journal;
+  if (!options.journal_path.empty()) {
+    journal = std::make_unique<ProgressJournal>(options.journal_path, ta.name());
+  }
+  RunContext ctx;
+  ctx.stopwatch = &stopwatch;
+  ctx.injector = &injector;
+  ctx.journal = journal.get();
+  ctx.resume = resume ? &*resume : nullptr;
+  ctx.copy_resumed = journal != nullptr && options.journal_path != options.resume_path;
+  const bool need_cursor = ctx.journal != nullptr || ctx.resume != nullptr;
 
   const GuardAnalysis analysis(ta);
   // deque: QueryCone is immovable (it owns a mutex) and references must
@@ -159,13 +380,15 @@ PropertyResult check_property(const ta::ThresholdAutomaton& ta, const spec::Prop
   };
   RunState state;
   bool budget_exhausted = false;
-  bool timed_out = false;
 
   const auto out_of_time = [&] {
     return options.timeout_seconds > 0.0 && stopwatch.seconds() > options.timeout_seconds;
   };
   const auto remaining_time = [&] {
     return options.timeout_seconds > 0.0 ? options.timeout_seconds - stopwatch.seconds() : 0.0;
+  };
+  const auto cancelled = [&] {
+    return options.cancel != nullptr && options.cancel->load(std::memory_order_relaxed);
   };
 
   if (options.workers <= 1) {
@@ -175,37 +398,44 @@ PropertyResult check_property(const ta::ThresholdAutomaton& ta, const spec::Prop
     std::vector<std::unique_ptr<IncrementalSchemaEncoder>> encoders(property.queries.size());
     for (std::size_t q = 0; q < property.queries.size() && !state.stop.load(); ++q) {
       const int cut_count = static_cast<int>(property.queries[q].cuts.size());
-      if (options.incremental) {
-        encoders[q] = std::make_unique<IncrementalSchemaEncoder>(
-            analysis, property.queries[q], options.branch_budget, cone_for(q),
-            options.certify ? EncoderMode::kCertify : EncoderMode::kSolve);
-      }
       EnumerationOptions enumeration = options.enumeration;
       enumeration.max_schemas =
           options.enumeration.max_schemas - state.schemas_checked.load();
-      const EnumerationOutcome outcome =
-          enumerate_schemas(analysis, cut_count, enumeration, [&](const Schema& schema) {
-            if (out_of_time()) {
-              timed_out = true;
-              return false;
-            }
-            if (options.property_directed_pruning && !cones[q].schema_feasible(schema)) {
-              state.schemas_pruned.fetch_add(1);
-              if (options.certify) {
-                std::lock_guard<std::mutex> lock(state.mutex);
-                state.pruned_schemas.push_back({q, schema});
+      try {
+        const EnumerationOutcome outcome =
+            enumerate_schemas(analysis, cut_count, enumeration, [&](const Schema& schema) {
+              if (cancelled()) {
+                state.interrupted.store(true);
+                return false;
               }
-              return true;
-            }
-            solve_one(analysis, property, q, schema, options, cone_for(q), remaining_time(),
-                      state, encoders[q].get());
-            return !state.stop.load();
-          });
-      budget_exhausted = budget_exhausted || outcome.budget_exhausted;
+              if (out_of_time()) {
+                state.timed_out.store(true);
+                return false;
+              }
+              state.schemas_enumerated.fetch_add(1);
+              const std::string cursor = need_cursor ? schema_cursor(q, schema) : std::string();
+              if (try_resume(property, q, cursor, state, ctx)) return true;
+              if (options.property_directed_pruning && !cones[q].schema_feasible(schema)) {
+                state.schemas_pruned.fetch_add(1);
+                journal_append(ctx, property.name, cursor, "pruned");
+                if (options.certify) {
+                  std::lock_guard<std::mutex> lock(state.mutex);
+                  state.pruned_schemas.push_back({q, schema});
+                }
+                return true;
+              }
+              solve_one(analysis, property, q, schema, cursor, options, cone_for(q),
+                        remaining_time(), state, ctx, &encoders[q]);
+              return !state.stop.load();
+            });
+        budget_exhausted = budget_exhausted || outcome.budget_exhausted;
+      } catch (const WorkerAbortFault&) {
+        // Single-threaded: the aborting "worker" is the run itself.
+        state.workers_aborted.fetch_add(1);
+        break;
+      }
     }
-    for (const auto& encoder : encoders) {
-      if (encoder) accumulate(state.incremental, encoder->stats());
-    }
+    for (auto& encoder : encoders) retire_encoder(state, encoder);
   } else {
     // Producer enumerates chain subtrees into a bounded queue; workers
     // expand each subtree locally. Handing out subtrees (not single
@@ -218,21 +448,14 @@ PropertyResult check_property(const ta::ThresholdAutomaton& ta, const spec::Prop
     // not per subtree.
     per_task.max_schemas = std::numeric_limits<std::int64_t>::max();
 
+    state.workers_alive = options.workers;
     std::vector<std::jthread> workers;
     workers.reserve(static_cast<std::size_t>(options.workers));
     for (int w = 0; w < options.workers; ++w) {
       workers.emplace_back([&] {
         std::vector<std::unique_ptr<IncrementalSchemaEncoder>> encoders(property.queries.size());
-        const auto encoder_for = [&](std::size_t q) -> IncrementalSchemaEncoder* {
-          if (!options.incremental) return nullptr;
-          if (!encoders[q]) {
-            encoders[q] = std::make_unique<IncrementalSchemaEncoder>(
-                analysis, property.queries[q], options.branch_budget, cone_for(q),
-                options.certify ? EncoderMode::kCertify : EncoderMode::kSolve);
-          }
-          return encoders[q].get();
-        };
-        for (;;) {
+        bool aborted = false;
+        while (!aborted) {
           std::pair<std::size_t, SubtreeTask> item;
           {
             std::unique_lock<std::mutex> lock(state.mutex);
@@ -245,54 +468,79 @@ PropertyResult check_property(const ta::ThresholdAutomaton& ta, const spec::Prop
           }
           state.space_available.notify_one();
           const std::size_t q = item.first;
-          enumerate_schemas_under(
-              analysis, item.second, static_cast<int>(property.queries[q].cuts.size()),
-              per_task, [&](const Schema& schema) {
-                if (state.stop.load()) return false;
-                if (out_of_time()) {
-                  state.timed_out.store(true);
-                  return false;
-                }
-                if (state.schemas_enumerated.fetch_add(1) + 1 >
-                    options.enumeration.max_schemas) {
-                  state.budget_exhausted.store(true);
-                  return false;
-                }
-                if (options.property_directed_pruning && !cones[q].schema_feasible(schema)) {
-                  state.schemas_pruned.fetch_add(1);
-                  if (options.certify) {
-                    std::lock_guard<std::mutex> lock(state.mutex);
-                    state.pruned_schemas.push_back({q, schema});
+          try {
+            enumerate_schemas_under(
+                analysis, item.second, static_cast<int>(property.queries[q].cuts.size()),
+                per_task, [&](const Schema& schema) {
+                  if (state.stop.load()) return false;
+                  if (cancelled()) {
+                    state.interrupted.store(true);
+                    state.stop.store(true);
+                    return false;
                   }
-                  return true;
-                }
-                solve_one(analysis, property, q, schema, options, cone_for(q),
-                          remaining_time(), state, encoder_for(q));
-                return !state.stop.load();
-              });
+                  if (out_of_time()) {
+                    state.timed_out.store(true);
+                    return false;
+                  }
+                  if (state.schemas_enumerated.fetch_add(1) + 1 >
+                      options.enumeration.max_schemas) {
+                    state.budget_exhausted.store(true);
+                    return false;
+                  }
+                  const std::string cursor =
+                      need_cursor ? schema_cursor(q, schema) : std::string();
+                  if (try_resume(property, q, cursor, state, ctx)) return true;
+                  if (options.property_directed_pruning &&
+                      !cones[q].schema_feasible(schema)) {
+                    state.schemas_pruned.fetch_add(1);
+                    journal_append(ctx, property.name, cursor, "pruned");
+                    if (options.certify) {
+                      std::lock_guard<std::mutex> lock(state.mutex);
+                      state.pruned_schemas.push_back({q, schema});
+                    }
+                    return true;
+                  }
+                  solve_one(analysis, property, q, schema, cursor, options, cone_for(q),
+                            remaining_time(), state, ctx, &encoders[q]);
+                  return !state.stop.load();
+                });
+          } catch (const WorkerAbortFault&) {
+            // Contained: this worker retires; the rest of the pool (and the
+            // producer) keep the run going.
+            state.workers_aborted.fetch_add(1);
+            aborted = true;
+          }
           if (state.stop.load()) {
             state.work_available.notify_all();
             break;
           }
         }
-        std::lock_guard<std::mutex> lock(state.mutex);
-        for (const auto& encoder : encoders) {
-          if (encoder) accumulate(state.incremental, encoder->stats());
+        {
+          std::lock_guard<std::mutex> lock(state.mutex);
+          for (const auto& encoder : encoders) {
+            if (encoder) accumulate(state.incremental, encoder->stats());
+          }
+          --state.workers_alive;
         }
+        // A dead pool must never strand the producer on space_available.
+        state.space_available.notify_all();
+        state.work_available.notify_all();
       });
     }
     bool stop_producing = false;
     for (std::size_t q = 0; q < property.queries.size() && !stop_producing; ++q) {
       for (const SubtreeTask& task : tasks) {
         if (state.stop.load() || state.timed_out.load() || state.budget_exhausted.load() ||
-            out_of_time()) {
+            cancelled() || out_of_time()) {
           stop_producing = true;
           break;
         }
         std::unique_lock<std::mutex> lock(state.mutex);
-        state.space_available.wait(
-            lock, [&] { return state.queue.size() < kQueueLimit || state.stop.load(); });
-        if (state.stop.load()) {
+        state.space_available.wait(lock, [&] {
+          return state.queue.size() < kQueueLimit || state.stop.load() ||
+                 state.workers_alive == 0;
+        });
+        if (state.stop.load() || state.workers_alive == 0) {
           stop_producing = true;
           break;
         }
@@ -308,11 +556,16 @@ PropertyResult check_property(const ta::ThresholdAutomaton& ta, const spec::Prop
     state.work_available.notify_all();
     workers.clear();  // join
     budget_exhausted = budget_exhausted || state.budget_exhausted.load();
-    timed_out = timed_out || state.timed_out.load();
   }
+  if (cancelled()) state.interrupted.store(true);
+  if (journal) journal->flush();
 
   result.schemas_checked = state.schemas_checked.load();
   result.schemas_pruned = state.schemas_pruned.load();
+  result.schemas_unknown = state.schemas_unknown.load();
+  result.schemas_resumed = state.schemas_resumed.load();
+  result.retries = state.retries.load();
+  result.interrupted = state.interrupted.load();
   result.avg_schema_length =
       result.schemas_checked == 0
           ? 0.0
@@ -322,19 +575,43 @@ PropertyResult check_property(const ta::ThresholdAutomaton& ta, const spec::Prop
   result.simplex_pivots = state.simplex_pivots.load();
   if (options.incremental) result.incremental = state.incremental;
 
+  // Every kUnknown note carries the actual elapsed time and how far the run
+  // got, so a stalled campaign is diagnosable from the Table-2 row alone.
+  const auto progress = [&] {
+    return " after " + format_seconds(result.seconds) + "s; solved " +
+           std::to_string(result.schemas_checked) + "/" +
+           std::to_string(state.schemas_enumerated.load()) + " enumerated schemas, " +
+           std::to_string(result.schemas_pruned) + " pruned";
+  };
   if (state.counterexample) {
     result.verdict = Verdict::kViolated;
     result.counterexample = std::move(state.counterexample);
   } else if (!state.error_note.empty()) {
     result.verdict = Verdict::kUnknown;
-    result.note = state.error_note;
-  } else if (timed_out) {
+    result.note = state.error_note + progress();
+  } else if (result.interrupted) {
     result.verdict = Verdict::kUnknown;
-    result.note = "timeout after " + std::to_string(options.timeout_seconds) + "s";
+    result.note = "interrupted" + progress();
+  } else if (state.timed_out.load()) {
+    result.verdict = Verdict::kUnknown;
+    result.note = "timeout (limit " + format_seconds(options.timeout_seconds) + "s)" + progress();
   } else if (budget_exhausted) {
     result.verdict = Verdict::kUnknown;
     result.note = "schema budget exhausted (" +
-                  std::to_string(options.enumeration.max_schemas) + ")";
+                  std::to_string(options.enumeration.max_schemas) + ")" + progress();
+  } else if (state.workers_aborted.load() > 0) {
+    result.verdict = Verdict::kUnknown;
+    result.note = std::to_string(state.workers_aborted.load()) + " worker(s) aborted" +
+                  progress();
+  } else if (result.schemas_unknown > 0) {
+    result.verdict = Verdict::kUnknown;
+    std::string degrade;
+    {
+      std::lock_guard<std::mutex> lock(state.mutex);
+      degrade = state.degrade_note;
+    }
+    result.note = degrade + " (" + std::to_string(result.schemas_unknown) +
+                  " schemas unknown)" + progress();
   } else {
     result.verdict = Verdict::kHolds;
   }
@@ -364,6 +641,9 @@ std::vector<PropertyResult> check_properties(const ta::ThresholdAutomaton& ta,
   results.reserve(properties.size());
   for (const spec::Property& property : properties) {
     results.push_back(check_property(ta, property, options));
+    // A SIGINT/SIGTERM'd run reports what it has instead of starting the
+    // next property.
+    if (results.back().interrupted) break;
   }
   return results;
 }

@@ -8,8 +8,11 @@
 #ifndef HV_CHECKER_PARAMETERIZED_H
 #define HV_CHECKER_PARAMETERIZED_H
 
+#include <atomic>
+#include <string>
 #include <vector>
 
+#include "hv/checker/fault.h"
 #include "hv/checker/result.h"
 #include "hv/checker/schema.h"
 #include "hv/spec/query.h"
@@ -44,6 +47,38 @@ struct CheckOptions {
   /// PropertyResult::evidence together with the enumeration manifest, for
   /// certificate emission (hv/cert).
   bool certify = false;
+
+  // --- fault-tolerant runtime ------------------------------------------------
+
+  /// Append settled schema verdicts to this crash-safe JSONL journal (empty
+  /// disables). Shared across the properties of one run; records are keyed
+  /// by (property, schema cursor).
+  std::string journal_path;
+  /// Load this journal first and skip every schema it settles, replaying
+  /// the recorded verdicts into the statistics (empty disables). Refused in
+  /// certify mode: resumed schemas carry no proofs.
+  std::string resume_path;
+  /// Per-schema wall-clock watchdog (seconds; 0 disables): a schema whose
+  /// solve exceeds it is cancelled and degraded to a recorded unknown; the
+  /// run continues.
+  double schema_timeout_seconds = 0.0;
+  /// Per-schema simplex pivot watchdog (0 disables), same degradation.
+  std::int64_t pivot_budget = 0;
+  /// Soft memory budget (MB; 0 disables): once the resident set exceeds it,
+  /// incremental encoders are dropped before each solve (falling back to
+  /// fresh solving, which frees their assertion stacks). std::bad_alloc is
+  /// contained per schema regardless of this setting.
+  std::int64_t memory_budget_mb = 0;
+  /// Retry ladder: a failed or cancelled incremental solve is retried once
+  /// on a fresh non-incremental solver before the schema is recorded as
+  /// unknown.
+  bool retry_fresh = true;
+  /// External cancellation (SIGINT/SIGTERM in hvc): when the flag turns
+  /// true the run stops at the next cancellation point, flushes the journal
+  /// and reports partial progress. The pointee must outlive the call.
+  const std::atomic<bool>* cancel = nullptr;
+  /// Deterministic fault injection (tests, CI smoke); disarmed by default.
+  FaultPlan fault;
 };
 
 /// Checks one property; never throws on budget/timeout (returns kUnknown

@@ -117,6 +117,16 @@ struct PropertyResult {
   std::int64_t schemas_checked = 0;
   /// Schemas discarded by static (cone) analysis without an SMT call.
   std::int64_t schemas_pruned = 0;
+  /// Schemas degraded to an inconclusive per-schema verdict (watchdog
+  /// cancellation, solver failure, contained bad_alloc) after the retry
+  /// ladder was exhausted. Any nonzero count makes the property kUnknown.
+  std::int64_t schemas_unknown = 0;
+  /// Schemas settled by a resume journal instead of a fresh solve.
+  std::int64_t schemas_resumed = 0;
+  /// Fresh-solver retries taken by the retry ladder.
+  std::int64_t retries = 0;
+  /// True iff the run was stopped by CheckOptions::cancel (SIGINT/SIGTERM).
+  bool interrupted = false;
   double avg_schema_length = 0.0;
   double seconds = 0.0;
   /// Total simplex pivots spent solving schemas (both encoder paths), the

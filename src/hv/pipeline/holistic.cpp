@@ -1,6 +1,7 @@
 #include "hv/pipeline/holistic.h"
 
 #include <algorithm>
+#include <fstream>
 #include <sstream>
 
 #include "hv/models/bv_broadcast.h"
@@ -31,6 +32,22 @@ const PropertyResult* find(const std::vector<PropertyResult>& results, const cha
   const auto it = std::find_if(results.begin(), results.end(),
                                [name](const PropertyResult& r) { return r.property == name; });
   return it == results.end() ? nullptr : &*it;
+}
+
+// Per-stage checker options: each stage checks a different automaton, so it
+// journals (and resumes) its own "<prefix>.<stage>.jsonl" file.
+checker::CheckOptions stage_options(const HolisticOptions& options, const char* stage) {
+  checker::CheckOptions check = options.check;
+  if (options.journal_prefix.empty()) return check;
+  const std::string path = options.journal_prefix + "." + stage + ".jsonl";
+  check.journal_path = path;
+  if (options.resume && std::ifstream(path).good()) check.resume_path = path;
+  return check;
+}
+
+bool any_interrupted(const std::vector<PropertyResult>& results) {
+  return std::any_of(results.begin(), results.end(),
+                     [](const PropertyResult& r) { return r.interrupted; });
 }
 
 }  // namespace
@@ -80,22 +97,25 @@ HolisticReport verify_red_belly_consensus(const HolisticOptions& options) {
 
   if (options.include_naive_attempt) {
     const ta::ThresholdAutomaton naive = models::naive_consensus_one_round();
-    checker::CheckOptions naive_options = options.check;
+    checker::CheckOptions naive_options = stage_options(options, "naive");
     naive_options.timeout_seconds = options.naive_timeout_seconds;
     report.naive_results =
         checker::check_properties(naive, models::naive_table2_properties(naive), naive_options);
   }
 
   const ta::ThresholdAutomaton bv = models::bv_broadcast();
-  report.bv_results = checker::check_properties(bv, models::bv_properties(bv), options.check);
+  report.bv_results = checker::check_properties(bv, models::bv_properties(bv),
+                                                stage_options(options, "bv"));
 
   const bool gadget_justified =
       std::all_of(report.bv_results.begin(), report.bv_results.end(),
                   [](const PropertyResult& r) { return r.verdict == Verdict::kHolds; });
-  if (gadget_justified) {
+  // An interrupted stage already flushed its journal; don't start the next.
+  if (gadget_justified && !any_interrupted(report.naive_results) &&
+      !any_interrupted(report.bv_results)) {
     const ta::ThresholdAutomaton consensus = models::simplified_consensus_one_round();
     report.consensus_results = checker::check_properties(
-        consensus, models::simplified_properties(consensus), options.check);
+        consensus, models::simplified_properties(consensus), stage_options(options, "consensus"));
   }
 
   compose_verdicts(report);

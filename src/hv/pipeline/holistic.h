@@ -31,6 +31,14 @@ struct HolisticOptions {
   /// result); bounded by naive_timeout_seconds.
   bool include_naive_attempt = false;
   double naive_timeout_seconds = 60.0;
+  /// Crash-safe progress journaling (empty disables): each stage writes its
+  /// own file — "<prefix>.naive.jsonl", "<prefix>.bv.jsonl",
+  /// "<prefix>.consensus.jsonl" — because a journal is bound to one
+  /// automaton.
+  std::string journal_prefix;
+  /// Resume from whatever the stage journals already settled (requires
+  /// journal_prefix; stages whose file does not exist yet start fresh).
+  bool resume = false;
 };
 
 struct HolisticReport {

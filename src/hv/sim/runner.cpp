@@ -1,19 +1,48 @@
 #include "hv/sim/runner.h"
 
 #include <algorithm>
+#include <string>
+#include <unordered_set>
 
 #include "hv/util/error.h"
 
 namespace hv::sim {
+
+void validate_runner_config(int n, int t, const std::vector<ProcessId>& byzantine,
+                            std::size_t input_count, const char* input_field) {
+  if (n <= 0) {
+    throw InvalidArgument("runner: n must be positive, got " + std::to_string(n));
+  }
+  if (t < 0) {
+    throw InvalidArgument("runner: t must be non-negative, got " + std::to_string(t));
+  }
+  if (static_cast<int>(input_count) != n) {
+    throw InvalidArgument("runner: " + std::string(input_field) + " must list exactly n=" +
+                          std::to_string(n) + " values, got " + std::to_string(input_count));
+  }
+  if (static_cast<int>(byzantine.size()) > t) {
+    throw InvalidArgument("runner: " + std::to_string(byzantine.size()) +
+                          " byzantine ids exceed t=" + std::to_string(t));
+  }
+  std::unordered_set<ProcessId> seen;
+  for (const ProcessId id : byzantine) {
+    if (id < 0 || id >= n) {
+      throw InvalidArgument("runner: byzantine id " + std::to_string(id) +
+                            " out of range [0, " + std::to_string(n) + ")");
+    }
+    if (!seen.insert(id).second) {
+      throw InvalidArgument("runner: duplicate byzantine id " + std::to_string(id));
+    }
+  }
+}
 
 Runner::Runner(RunnerConfig config, std::unique_ptr<Adversary> adversary)
     : config_(std::move(config)),
       byzantine_(config_.byzantine.begin(), config_.byzantine.end()),
       adversary_(std::move(adversary)),
       rng_(config_.seed) {
-  HV_REQUIRE(config_.n > 0);
-  HV_REQUIRE(static_cast<int>(byzantine_.size()) <= config_.t);
-  HV_REQUIRE(static_cast<int>(config_.inputs.size()) == config_.n);
+  validate_runner_config(config_.n, config_.t, config_.byzantine, config_.inputs.size(),
+                         "inputs");
   config_.dbft.n = config_.n;
   config_.dbft.t = config_.t;
   processes_.resize(config_.n);

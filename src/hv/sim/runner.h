@@ -47,6 +47,13 @@ struct RunnerConfig {
   std::uint64_t seed = 1;
 };
 
+/// Rejects a malformed runner configuration with a message naming the bad
+/// field: n must be positive, `input_field` (inputs/proposals) must list
+/// exactly n values, byzantine ids must be unique, in [0, n) and at most t
+/// many. Shared by Runner and algo::VectorRunner; throws InvalidArgument.
+void validate_runner_config(int n, int t, const std::vector<ProcessId>& byzantine,
+                            std::size_t input_count, const char* input_field);
+
 class Runner {
  public:
   explicit Runner(RunnerConfig config, std::unique_ptr<Adversary> adversary = nullptr);

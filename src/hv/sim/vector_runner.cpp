@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <tuple>
 
+#include "hv/sim/runner.h"
 #include "hv/util/error.h"
 
 namespace hv::algo {
@@ -10,7 +11,8 @@ namespace hv::algo {
 // --- VectorRunner ----------------------------------------------------------------
 
 VectorRunner::VectorRunner(Config config) : config_(std::move(config)), rng_(config_.seed) {
-  HV_REQUIRE(static_cast<int>(config_.proposals.size()) == config_.n);
+  sim::validate_runner_config(config_.n, config_.t, config_.byzantine,
+                              config_.proposals.size(), "proposals");
   config_.dbft.n = config_.n;
   config_.dbft.t = config_.t;
   processes_.resize(static_cast<std::size_t>(config_.n));

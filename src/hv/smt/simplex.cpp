@@ -235,6 +235,9 @@ void Simplex::pivot_and_update(int row_index, int entering_var, const Rational& 
 
 bool Simplex::check() {
   for (;;) {
+    if (pivot_limit_ > 0 && stats_.pivots >= pivot_limit_) {
+      throw Error("smt: simplex pivot budget exceeded");
+    }
     // Bland's rule: the violating basic variable with the smallest index.
     int violating = -1;
     bool needs_increase = false;

@@ -80,6 +80,13 @@ class Simplex {
   };
   const Stats& stats() const noexcept { return stats_; }
 
+  /// Pivot watchdog: check() throws hv::Error once cumulative feasibility
+  /// pivots reach `limit` (0 disables). The caller arms it with an absolute
+  /// value (stats().pivots + its per-task budget), so enforcement spans all
+  /// the simplex checks of one solver-level check. Structural pop() pivots
+  /// are exempt — the watchdog cancels runaway searches, not backtracking.
+  void set_pivot_limit(std::int64_t limit) noexcept { pivot_limit_ = limit; }
+
   /// Searches for an assignment within all bounds. Returns true iff the
   /// current constraint system is feasible over the rationals.
   [[nodiscard]] bool check();
@@ -138,6 +145,7 @@ class Simplex {
   std::vector<Row> rows_;
   std::vector<TrailEntry> trail_;
   Stats stats_;
+  std::int64_t pivot_limit_ = 0;
   bool track_conflicts_ = false;
   std::vector<std::pair<int, Rational>> last_conflict_;
 };

@@ -337,6 +337,10 @@ CheckResult Solver::check() {
   if (trace_) throw InternalError("smt: trace-mode solver cannot check()");
   check_stopwatch_.reset();
   deadline_poll_counter_ = 0;
+  // The pivot watchdog is enforced inside the simplex (pivot granularity),
+  // armed with an absolute limit so it spans every simplex check of this
+  // solver-level check.
+  simplex_.set_pivot_limit(pivot_budget_ > 0 ? simplex_.stats().pivots + pivot_budget_ : 0);
   last_proof_.reset();
   pending_conflict_.reset();
   if (trivially_unsat_) {
@@ -391,6 +395,9 @@ bool Solver::set_atom(int atom, bool value) {
 }
 
 void Solver::enforce_deadline() {
+  if (cancel_ != nullptr && cancel_->load(std::memory_order_relaxed)) {
+    throw Error("smt: cancelled");
+  }
   if (time_budget_seconds_ <= 0.0) return;
   // Poll the clock sparsely; the counter makes the common path cheap.
   if ((++deadline_poll_counter_ & 0xff) != 0) return;

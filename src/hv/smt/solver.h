@@ -28,6 +28,7 @@
 #ifndef HV_SMT_SOLVER_H
 #define HV_SMT_SOLVER_H
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -105,6 +106,16 @@ class Solver {
   /// Exceeding it throws hv::Error — the caller must treat the check as
   /// inconclusive, never as unsat.
   void set_time_budget(double seconds) noexcept { time_budget_seconds_ = seconds; }
+
+  /// Simplex pivot budget for a single check() (0 disables). Exceeding it
+  /// throws hv::Error, with the same inconclusive-only contract as the time
+  /// budget. This is the checker's per-schema pivot watchdog.
+  void set_pivot_budget(std::int64_t budget) noexcept { pivot_budget_ = budget; }
+
+  /// External cancellation point: when the flag turns true, the next budget
+  /// poll inside check() throws hv::Error ("smt: cancelled"). The pointee
+  /// must outlive the solver; nullptr disables.
+  void set_cancel_flag(const std::atomic<bool>* cancel) noexcept { cancel_ = cancel; }
 
   // --- proof-carrying mode ---------------------------------------------------
 
@@ -249,6 +260,8 @@ class Solver {
   std::int64_t branch_budget_ = 1'000'000;
   std::int64_t branch_nodes_used_ = 0;
   double time_budget_seconds_ = 0.0;
+  std::int64_t pivot_budget_ = 0;
+  const std::atomic<bool>* cancel_ = nullptr;
   Stopwatch check_stopwatch_;
   std::int64_t deadline_poll_counter_ = 0;
 };

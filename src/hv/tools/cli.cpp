@@ -1,5 +1,8 @@
 #include "hv/tools/cli.h"
 
+#include <atomic>
+#include <csignal>
+#include <cstdio>
 #include <fstream>
 #include <map>
 #include <optional>
@@ -30,9 +33,20 @@ constexpr const char* kUsage = R"(usage:
                        [--max-schemas K] [--workers W] [--no-pruning]
                        [--no-incremental] [--json]
                        [--certify] [--cert-out cert.json]
+                       [--journal run.jsonl] [--resume run.jsonl]
+                       [--schema-timeout S] [--pivot-budget K]
+                       [--memory-budget MB] [--no-retry]
        (--certify emits a proof-carrying certificate; without --prop it
         checks the model's bundled default properties, e.g. the five
-        Table-2 properties of the simplified consensus automaton)
+        Table-2 properties of the simplified consensus automaton.
+        --journal appends settled schema verdicts to a crash-safe JSONL
+        file; --resume skips the schemas an earlier journal settled and
+        keeps appending to it. --schema-timeout/--pivot-budget are
+        per-schema watchdogs and --memory-budget a soft RSS cap: a schema
+        that trips one is retried on a fresh solver, then recorded as
+        unknown — the run continues. SIGINT/SIGTERM flush the journal and
+        print the partial results. HV_FAULT_KIND/_AT/_EVERY/_STALL_MS arm
+        deterministic fault injection for testing.)
   hvc audit <cert.json> [--json]
        (re-validates a certificate with exact arithmetic only; exit 0 iff
         every verdict is substantiated)
@@ -41,6 +55,10 @@ constexpr const char* kUsage = R"(usage:
   hvc dot <model.ta>
   hvc print <model.ta>
   hvc redbelly [--naive] [--certify] [--cert-out cert.json]
+               [--journal prefix] [--resume]
+       (--journal writes one crash-safe journal per stage: <prefix>.naive
+        .jsonl, <prefix>.bv.jsonl, <prefix>.consensus.jsonl; --resume
+        continues from whatever those files already settled)
   hvc simulate [--n N] [--t T] [--inputs 0,1,1,0] [--byzantine 3]
                [--scheduler fair|random|fifo] [--seed S] [--max-steps K]
   hvc simulate --lemma7 [--rounds R]
@@ -49,6 +67,11 @@ exit codes: 0 holds / fully verified / audit passed, 1 violated or audit
 failed, 2 usage or input error, 3 inconclusive (budget or timeout
 exhausted)
 )";
+
+// Set by SIGINT/SIGTERM; polled by the checker as its cancellation flag.
+std::atomic<bool> g_interrupted{false};
+
+void handle_interrupt(int) { g_interrupted.store(true); }
 
 // Minimal JSON string escaping (the only JSON we emit is flat objects).
 std::string json_escape(const std::string& text) {
@@ -169,6 +192,8 @@ void print_result_json(const ta::ThresholdAutomaton& ta, const checker::Property
   out << "{\"property\": \"" << json_escape(result.property) << "\", \"verdict\": \""
       << checker::to_string(result.verdict) << "\", \"schemas\": "
       << result.schemas_checked << ", \"pruned\": " << result.schemas_pruned
+      << ", \"unknown_schemas\": " << result.schemas_unknown
+      << ", \"resumed\": " << result.schemas_resumed << ", \"retries\": " << result.retries
       << ", \"seconds\": " << result.seconds << ", \"pivots\": " << result.simplex_pivots
       << ", \"note\": \"" << json_escape(result.note) << "\"";
   if (result.incremental) {
@@ -189,6 +214,11 @@ void print_result_text(const ta::ThresholdAutomaton& ta, const checker::Property
   out << result.property << ": " << checker::to_string(result.verdict) << " ("
       << result.schemas_checked << " schemas, " << result.schemas_pruned << " pruned, "
       << result.simplex_pivots << " pivots, " << result.seconds << "s)\n";
+  if (result.schemas_unknown > 0 || result.schemas_resumed > 0 || result.retries > 0) {
+    out << "robustness: " << result.schemas_unknown << " schemas unknown, "
+        << result.schemas_resumed << " resumed from journal, " << result.retries
+        << " fresh-solver retries\n";
+  }
   if (result.incremental) {
     out << "incremental: " << result.incremental->segments_pushed << " segments pushed, "
         << result.incremental->segments_reused << " reused ("
@@ -229,11 +259,33 @@ int command_check(Args& args, std::ostream& out) {
       certify = true;
     } else if (const auto value = args.option("--cert-out")) {
       cert_out = *value;
+    } else if (const auto value = args.option("--journal")) {
+      options.journal_path = *value;
+    } else if (const auto value = args.option("--resume")) {
+      options.resume_path = *value;
+    } else if (const auto value = args.option("--schema-timeout")) {
+      options.schema_timeout_seconds = std::stod(*value);
+    } else if (const auto value = args.option("--pivot-budget")) {
+      options.pivot_budget = std::stoll(*value);
+    } else if (const auto value = args.option("--memory-budget")) {
+      options.memory_budget_mb = std::stoll(*value);
+    } else if (args.boolean("--no-retry")) {
+      options.retry_fresh = false;
     } else {
       throw InvalidArgument("check: unexpected argument '" + args.peek() + "'");
     }
   }
   options.certify = certify;
+  if (!options.resume_path.empty() && options.journal_path.empty()) {
+    // Resuming keeps extending the same journal, so a later resume sees the
+    // whole run.
+    options.journal_path = options.resume_path;
+  } else if (!options.journal_path.empty() && options.journal_path != options.resume_path) {
+    // A fresh journal starts empty; append semantics are for resume only.
+    std::remove(options.journal_path.c_str());
+  }
+  options.cancel = &g_interrupted;
+  options.fault = checker::fault_plan_from_env();
 
   const std::string model_text = read_file(*model_path);
   const ta::ThresholdAutomaton ta = ta::parse_ta(model_text).one_round_reduction();
@@ -488,11 +540,20 @@ int command_redbelly(Args& args, std::ostream& out) {
       certify = true;
     } else if (const auto value = args.option("--cert-out")) {
       cert_out = *value;
+    } else if (const auto value = args.option("--journal")) {
+      options.journal_prefix = *value;
+    } else if (args.boolean("--resume")) {
+      options.resume = true;
     } else {
       throw InvalidArgument("redbelly: unexpected argument '" + args.peek() + "'");
     }
   }
+  if (options.resume && options.journal_prefix.empty()) {
+    throw InvalidArgument("redbelly: --resume requires --journal <prefix>");
+  }
   options.check.certify = certify;
+  options.check.cancel = &g_interrupted;
+  options.check.fault = checker::fault_plan_from_env();
   const pipeline::HolisticReport report = pipeline::verify_red_belly_consensus(options);
   out << report.to_string();
   if (certify) {
@@ -506,6 +567,9 @@ int command_redbelly(Args& args, std::ostream& out) {
 }  // namespace
 
 int run_cli(const std::vector<std::string>& args, std::ostream& out, std::ostream& err) {
+  // A leftover flag from an earlier command in the same process (tests) must
+  // not cancel this one.
+  g_interrupted.store(false);
   Args cursor(args);
   const auto command = cursor.next_positional();
   if (!command || *command == "--help" || *command == "help") {
@@ -526,6 +590,11 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out, std::ostrea
     err << "error: " << error.what() << "\n";
     return 2;
   }
+}
+
+void install_interrupt_handlers() {
+  std::signal(SIGINT, handle_interrupt);
+  std::signal(SIGTERM, handle_interrupt);
 }
 
 }  // namespace hv::tools

@@ -27,6 +27,13 @@ namespace hv::tools {
 /// 2 usage or input error, 3 inconclusive (budget/timeout).
 int run_cli(const std::vector<std::string>& args, std::ostream& out, std::ostream& err);
 
+/// Registers SIGINT/SIGTERM handlers that request a graceful stop of the
+/// running check: the checker flushes its progress journal and reports the
+/// partial results (verdict unknown, note "interrupted"). Called by the hvc
+/// binary's main(); tests drive cancellation through CheckOptions::cancel
+/// directly.
+void install_interrupt_handlers();
+
 }  // namespace hv::tools
 
 #endif  // HV_TOOLS_CLI_H

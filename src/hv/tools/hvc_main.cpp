@@ -5,6 +5,7 @@
 #include "hv/tools/cli.h"
 
 int main(int argc, char** argv) {
+  hv::tools::install_interrupt_handlers();
   std::vector<std::string> args(argv + 1, argv + argc);
   return hv::tools::run_cli(args, std::cout, std::cerr);
 }

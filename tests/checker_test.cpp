@@ -2,7 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cstdio>
+
 #include "hv/checker/explicit_checker.h"
+#include "hv/checker/journal.h"
+#include "hv/util/error.h"
 #include "hv/checker/guard_analysis.h"
 #include "hv/checker/schema.h"
 #include "hv/spec/compile.h"
@@ -406,6 +411,232 @@ TEST(IncrementalTest, SubtreePartitionCoversChainTreeExactlyOnce) {
     }
     EXPECT_EQ(via_tasks, direct) << "depth " << depth;
   }
+}
+
+// --- fault-tolerant runtime -------------------------------------------------
+//
+// Every degradation path is exercised deterministically: watchdogs, fault
+// injection, memory budgets, cancellation and journal resume. The contract
+// under test is uniform — the checker never throws and never hangs; it
+// records what it could not settle and returns kUnknown.
+
+TEST(RobustnessTest, GlobalTimeoutReportsElapsedAndProgress) {
+  const ta::ThresholdAutomaton bv = hv::models::bv_broadcast();
+  const spec::Property property = hv::models::bv_properties(bv).front();
+  CheckOptions options;
+  options.property_directed_pruning = false;  // keep the solver busy
+  options.timeout_seconds = 0.001;
+  const PropertyResult result = check_property(bv, property, options);
+  EXPECT_EQ(result.verdict, Verdict::kUnknown);
+  // The note must name the *actual* elapsed time and the progress made, not
+  // just the configured limit.
+  EXPECT_NE(result.note.find("timeout"), std::string::npos) << result.note;
+  EXPECT_NE(result.note.find(" after "), std::string::npos) << result.note;
+  EXPECT_NE(result.note.find("solved "), std::string::npos) << result.note;
+  EXPECT_NE(result.note.find("pruned"), std::string::npos) << result.note;
+}
+
+TEST(RobustnessTest, PivotBudgetDegradesToRecordedUnknown) {
+  const ta::ThresholdAutomaton bv = hv::models::bv_broadcast();
+  const spec::Property property = hv::models::bv_properties(bv).front();
+  CheckOptions options;
+  options.property_directed_pruning = false;
+  options.pivot_budget = 1;  // far below what the schemas need
+  const PropertyResult result = check_property(bv, property, options);
+  EXPECT_EQ(result.verdict, Verdict::kUnknown);
+  EXPECT_GT(result.schemas_unknown, 0);
+  EXPECT_GT(result.retries, 0);  // each failure was retried on a fresh solver
+  EXPECT_NE(result.note.find("schemas unknown"), std::string::npos) << result.note;
+  EXPECT_NE(result.note.find("solved "), std::string::npos) << result.note;
+}
+
+TEST(RobustnessTest, SchemaWatchdogCancelsInjectedStalls) {
+  const auto& ta = echo().body();
+  const spec::Property property =
+      spec::compile(ta, "no_announce_no_d", "[](locB == 0) -> [](locD == 0)");
+  CheckOptions options;
+  options.property_directed_pruning = false;  // make every schema a solve attempt
+  options.schema_timeout_seconds = 0.005;
+  options.fault.kind = FaultKind::kStall;
+  options.fault.every = 1;  // every attempt stalls past the watchdog
+  options.fault.stall_seconds = 0.02;
+  const PropertyResult result = check_property(ta, property, options);
+  EXPECT_EQ(result.verdict, Verdict::kUnknown);
+  EXPECT_GT(result.schemas_unknown, 0);
+  EXPECT_NE(result.note.find("watchdog"), std::string::npos) << result.note;
+}
+
+TEST(RobustnessTest, EveryFaultClassDegradesAndCompletes) {
+  const auto& ta = echo().body();
+  const spec::Property property =
+      spec::compile(ta, "no_announce_no_d", "[](locB == 0) -> [](locD == 0)");
+  for (const FaultKind kind :
+       {FaultKind::kSolverThrow, FaultKind::kBadAlloc, FaultKind::kWorkerAbort}) {
+    CheckOptions options;
+    options.property_directed_pruning = false;
+    options.fault.kind = kind;
+    options.fault.every = 1;  // fault every attempt, including retries
+    const PropertyResult result = check_property(ta, property, options);
+    EXPECT_EQ(result.verdict, Verdict::kUnknown) << static_cast<int>(kind);
+    EXPECT_GT(result.schemas_unknown, 0) << static_cast<int>(kind);
+    EXPECT_FALSE(result.note.empty()) << static_cast<int>(kind);
+  }
+}
+
+TEST(RobustnessTest, WorkerAbortIsContainedByThePool) {
+  // Every worker dies on its first solve attempt; the producer must notice
+  // the dead pool instead of waiting forever, and the run must return.
+  const ta::ThresholdAutomaton bv = hv::models::bv_broadcast();
+  const spec::Property property = hv::models::bv_properties(bv).front();
+  CheckOptions options;
+  options.property_directed_pruning = false;
+  options.workers = 3;
+  options.fault.kind = FaultKind::kWorkerAbort;
+  options.fault.every = 1;
+  const PropertyResult result = check_property(bv, property, options);
+  EXPECT_EQ(result.verdict, Verdict::kUnknown);
+  EXPECT_NE(result.note.find("aborted"), std::string::npos) << result.note;
+}
+
+TEST(RobustnessTest, SingleFaultIsAbsorbedByTheRetryLadder) {
+  const auto& ta = echo().body();
+  const spec::Property property =
+      spec::compile(ta, "no_announce_no_d", "[](locB == 0) -> [](locD == 0)");
+  CheckOptions no_pruning;
+  no_pruning.property_directed_pruning = false;
+  const PropertyResult baseline = check_property(ta, property, no_pruning);
+  ASSERT_EQ(baseline.verdict, Verdict::kHolds);
+  ASSERT_GT(baseline.schemas_checked, 0);
+  CheckOptions options = no_pruning;
+  options.fault.kind = FaultKind::kSolverThrow;
+  options.fault.at = 0;  // exactly the first solve attempt
+  const PropertyResult result = check_property(ta, property, options);
+  EXPECT_EQ(result.verdict, Verdict::kHolds);
+  EXPECT_EQ(result.retries, 1);
+  EXPECT_EQ(result.schemas_unknown, 0);
+  EXPECT_EQ(result.schemas_checked, baseline.schemas_checked);
+}
+
+TEST(RobustnessTest, RetryLadderCanBeDisabled) {
+  const auto& ta = echo().body();
+  const spec::Property property =
+      spec::compile(ta, "no_announce_no_d", "[](locB == 0) -> [](locD == 0)");
+  CheckOptions options;
+  options.property_directed_pruning = false;
+  options.retry_fresh = false;
+  options.fault.kind = FaultKind::kSolverThrow;
+  options.fault.at = 0;
+  const PropertyResult result = check_property(ta, property, options);
+  EXPECT_EQ(result.verdict, Verdict::kUnknown);
+  EXPECT_EQ(result.retries, 0);
+  EXPECT_GT(result.schemas_unknown, 0);
+}
+
+TEST(RobustnessTest, MemoryBudgetFallsBackToFreshSolving) {
+  // Any running process exceeds 1 MB of RSS, so the budget trips on every
+  // polled incremental attempt (the poll stride includes the very first);
+  // the fresh-solver fallback must still finish the run with the unchanged
+  // verdict.
+  const auto& ta = echo().body();
+  const spec::Property property =
+      spec::compile(ta, "no_announce_no_d", "[](locB == 0) -> [](locD == 0)");
+  CheckOptions no_pruning;
+  no_pruning.property_directed_pruning = false;
+  const PropertyResult baseline = check_property(ta, property, no_pruning);
+  CheckOptions options = no_pruning;
+  options.memory_budget_mb = 1;
+  const PropertyResult result = check_property(ta, property, options);
+  EXPECT_EQ(result.verdict, baseline.verdict);
+  EXPECT_EQ(result.schemas_checked, baseline.schemas_checked);
+  EXPECT_GT(result.retries, 0);
+  EXPECT_EQ(result.schemas_unknown, 0);
+}
+
+TEST(RobustnessTest, CancellationFlagInterruptsTheRun) {
+  const ta::ThresholdAutomaton bv = hv::models::bv_broadcast();
+  const spec::Property property = hv::models::bv_properties(bv).front();
+  std::atomic<bool> cancel{true};  // cancelled before the run even starts
+  CheckOptions options;
+  options.cancel = &cancel;
+  const PropertyResult result = check_property(bv, property, options);
+  EXPECT_EQ(result.verdict, Verdict::kUnknown);
+  EXPECT_TRUE(result.interrupted);
+  EXPECT_NE(result.note.find("interrupted"), std::string::npos) << result.note;
+  EXPECT_EQ(result.schemas_checked, 0);
+}
+
+TEST(RobustnessTest, ResumeMatchesUninterruptedRun) {
+  const ta::ThresholdAutomaton bv = hv::models::bv_broadcast();
+  const spec::Property property = hv::models::bv_properties(bv).front();
+  const std::string dir = ::testing::TempDir();
+  const std::string full_journal = dir + "resume_full.jsonl";
+  const std::string partial_journal = dir + "resume_partial.jsonl";
+  std::remove(full_journal.c_str());
+  std::remove(partial_journal.c_str());
+
+  CheckOptions options;
+  options.property_directed_pruning = false;  // ensure real solve work to resume
+  options.journal_path = full_journal;
+  const PropertyResult uninterrupted = check_property(bv, property, options);
+  ASSERT_EQ(uninterrupted.verdict, Verdict::kHolds);
+  ASSERT_GT(uninterrupted.schemas_checked, 1);
+
+  // An "interrupted" run: the schema budget stops it partway through, with
+  // its progress journaled.
+  CheckOptions partial = options;
+  partial.journal_path = partial_journal;
+  partial.enumeration.max_schemas = uninterrupted.schemas_checked / 2;
+  const PropertyResult first_half = check_property(bv, property, partial);
+  EXPECT_EQ(first_half.verdict, Verdict::kUnknown);
+  EXPECT_GT(first_half.schemas_checked, 0);
+
+  // Resuming from the partial journal must reproduce the uninterrupted
+  // run's verdict and statistics exactly.
+  CheckOptions resumed = options;
+  resumed.journal_path = partial_journal;
+  resumed.resume_path = partial_journal;
+  const PropertyResult second_half = check_property(bv, property, resumed);
+  EXPECT_EQ(second_half.verdict, uninterrupted.verdict);
+  EXPECT_EQ(second_half.schemas_checked, uninterrupted.schemas_checked);
+  EXPECT_EQ(second_half.schemas_pruned, uninterrupted.schemas_pruned);
+  EXPECT_DOUBLE_EQ(second_half.avg_schema_length, uninterrupted.avg_schema_length);
+  // Pivot counts are solver-path dependent (incremental prefix sharing sees a
+  // different push/pop history after a resume), so only require real work.
+  EXPECT_GT(second_half.simplex_pivots, 0);
+  EXPECT_GT(second_half.schemas_resumed, 0);
+
+  // And a third run resuming the now-complete journal settles everything
+  // from the file alone.
+  const PropertyResult replayed = check_property(bv, property, resumed);
+  EXPECT_EQ(replayed.verdict, uninterrupted.verdict);
+  EXPECT_EQ(replayed.schemas_checked, uninterrupted.schemas_checked);
+  EXPECT_EQ(replayed.schemas_resumed,
+            replayed.schemas_checked + replayed.schemas_pruned);
+}
+
+TEST(RobustnessTest, ResumeRefusesWrongAutomaton) {
+  const std::string path = ::testing::TempDir() + "wrong_automaton.jsonl";
+  std::remove(path.c_str());
+  {
+    ProgressJournal journal(path, "SomeOtherAutomaton");
+  }
+  const auto& ta = echo().body();
+  const spec::Property property =
+      spec::compile(ta, "no_announce_no_d", "[](locB == 0) -> [](locD == 0)");
+  CheckOptions options;
+  options.resume_path = path;
+  EXPECT_THROW(check_property(ta, property, options), Error);
+}
+
+TEST(RobustnessTest, CertifyRefusesResume) {
+  const std::string path = ::testing::TempDir() + "certify_resume.jsonl";
+  const auto& ta = echo().body();
+  const spec::Property property =
+      spec::compile(ta, "no_announce_no_d", "[](locB == 0) -> [](locD == 0)");
+  CheckOptions options;
+  options.certify = true;
+  options.resume_path = path;
+  EXPECT_THROW(check_property(ta, property, options), InvalidArgument);
 }
 
 TEST(ExplicitTest, StateBudget) {

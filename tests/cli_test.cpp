@@ -147,9 +147,56 @@ TEST_F(CliTest, JsonOutputMatchesGoldenSchema) {
       std::regex_replace(out_.str(), std::regex(R"((": )-?[0-9][-+.eE0-9]*)"), "$1#");
   EXPECT_EQ(normalized,
             "{\"property\": \"safe\", \"verdict\": \"holds\", \"schemas\": #, "
-            "\"pruned\": #, \"seconds\": #, \"pivots\": #, \"note\": \"\", "
+            "\"pruned\": #, \"unknown_schemas\": #, \"resumed\": #, \"retries\": #, "
+            "\"seconds\": #, \"pivots\": #, \"note\": \"\", "
             "\"segments_pushed\": #, \"segments_popped\": #, \"segments_reused\": #, "
             "\"prefix_reuse_ratio\": #}\n");
+}
+
+TEST_F(CliTest, JournalAndResumeRoundTrip) {
+  const std::string journal = ::testing::TempDir() + "cli_journal.jsonl";
+  std::remove(journal.c_str());
+  const int first = run({"check", model_path_, "--prop", "[](locB == 0) -> [](locD == 0)",
+                         "--name", "safe", "--journal", journal});
+  EXPECT_EQ(first, 0);
+  std::ifstream written(journal);
+  EXPECT_TRUE(written.good());
+
+  // Resuming from the complete journal settles every schema from the file.
+  const int resumed = run({"check", model_path_, "--prop", "[](locB == 0) -> [](locD == 0)",
+                           "--name", "safe", "--resume", journal});
+  EXPECT_EQ(resumed, 0);
+  EXPECT_NE(out_.str().find("resumed from journal"), std::string::npos) << out_.str();
+  std::remove(journal.c_str());
+}
+
+TEST_F(CliTest, SimulateValidatesByzantineIds) {
+  // Ids outside [0, n) used to index out of bounds deep inside the runner.
+  EXPECT_EQ(run({"simulate", "--byzantine", "9"}), 2);
+  EXPECT_NE(err_.str().find("out of range"), std::string::npos) << err_.str();
+  EXPECT_EQ(run({"simulate", "--byzantine", "1,1", "--t", "2"}), 2);
+  EXPECT_NE(err_.str().find("duplicate"), std::string::npos) << err_.str();
+  EXPECT_EQ(run({"simulate", "--byzantine", "0,1", "--t", "1"}), 2);
+  EXPECT_NE(err_.str().find("exceed t"), std::string::npos) << err_.str();
+}
+
+TEST_F(CliTest, FaultInjectionEnvDegradesToUnknown) {
+  // HV_FAULT_* arm the deterministic injector through the CLI: with every
+  // solve attempt failing, the run must finish with exit 3 and report the
+  // degraded schemas rather than crash.
+  ::setenv("HV_FAULT_KIND", "solver-throw", 1);
+  ::setenv("HV_FAULT_EVERY", "1", 1);
+  const int code = run({"check", model_path_, "--prop", "[](locB == 0) -> [](locD == 0)",
+                        "--no-pruning"});
+  ::unsetenv("HV_FAULT_KIND");
+  ::unsetenv("HV_FAULT_EVERY");
+  EXPECT_EQ(code, 3);
+  EXPECT_NE(out_.str().find("unknown"), std::string::npos) << out_.str();
+  EXPECT_NE(out_.str().find("schemas unknown"), std::string::npos) << out_.str();
+  // Watchdog flags validate their values like every other flag.
+  EXPECT_EQ(run({"check", model_path_, "--prop", "locA == 0", "--pivot-budget"}), 2);
+  EXPECT_EQ(run({"check", model_path_, "--prop", "locA == 0", "--schema-timeout"}), 2);
+  EXPECT_EQ(run({"check", model_path_, "--prop", "locA == 0", "--memory-budget"}), 2);
 }
 
 TEST_F(CliTest, CertifyEmitsAuditableCertificate) {

@@ -1,0 +1,164 @@
+#include "hv/checker/journal.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "hv/util/error.h"
+
+namespace hv::checker {
+namespace {
+
+std::string temp_path(const char* name) {
+  const std::string path = ::testing::TempDir() + name;
+  std::remove(path.c_str());
+  return path;
+}
+
+JournalRecord record(const char* property, const char* cursor, const char* verdict,
+                     std::int64_t length = 0, std::int64_t pivots = 0,
+                     const char* note = "") {
+  JournalRecord r;
+  r.property = property;
+  r.cursor = cursor;
+  r.verdict = verdict;
+  r.length = length;
+  r.pivots = pivots;
+  r.note = note;
+  return r;
+}
+
+TEST(JournalTest, SchemaCursorIsStableAndContentBased) {
+  Schema schema;
+  schema.unlock_order = {2, 0, 1};
+  schema.cut_positions = {0, 3};
+  EXPECT_EQ(schema_cursor(1, schema), "q1|2,0,1|0,3");
+  EXPECT_EQ(schema_cursor(1, schema), schema_cursor(1, schema));
+  // Any content difference must produce a different cursor.
+  Schema other = schema;
+  other.cut_positions = {0, 2};
+  EXPECT_NE(schema_cursor(1, schema), schema_cursor(1, other));
+  EXPECT_NE(schema_cursor(0, schema), schema_cursor(1, schema));
+}
+
+TEST(JournalTest, RoundTripsRecords) {
+  const std::string path = temp_path("journal_roundtrip.jsonl");
+  {
+    ProgressJournal journal(path, "Echo", /*flush_batch=*/2);
+    journal.append(record("safe", "q0|0|1", "unsat", 4, 17));
+    journal.append(record("safe", "q0|0|2", "pruned"));
+    journal.append(record("live", "q1||0", "unknown", 0, 0, "injected \"fault\"\n"));
+    EXPECT_EQ(journal.records_written(), 3);
+  }
+  const ResumeState state = load_journal(path);
+  EXPECT_EQ(state.automaton, "Echo");
+  EXPECT_EQ(state.skipped_lines, 0);
+  ASSERT_NE(state.find("safe", "q0|0|1"), nullptr);
+  EXPECT_EQ(state.find("safe", "q0|0|1")->verdict, "unsat");
+  EXPECT_EQ(state.find("safe", "q0|0|1")->length, 4);
+  EXPECT_EQ(state.find("safe", "q0|0|1")->pivots, 17);
+  ASSERT_NE(state.find("safe", "q0|0|2"), nullptr);
+  EXPECT_EQ(state.find("safe", "q0|0|2")->verdict, "pruned");
+  // Notes survive escaping (quotes, newline).
+  ASSERT_NE(state.find("live", "q1||0"), nullptr);
+  EXPECT_EQ(state.find("live", "q1||0")->note, "injected \"fault\"\n");
+  // (property, cursor) is the key: same cursor under another property is
+  // distinct.
+  EXPECT_EQ(state.find("live", "q0|0|1"), nullptr);
+}
+
+TEST(JournalTest, LaterRecordsWin) {
+  const std::string path = temp_path("journal_laterwins.jsonl");
+  {
+    ProgressJournal journal(path, "Echo");
+    journal.append(record("safe", "q0|0|1", "unknown", 0, 0, "first attempt failed"));
+    journal.append(record("safe", "q0|0|1", "unsat", 4, 9));
+  }
+  const ResumeState state = load_journal(path);
+  ASSERT_NE(state.find("safe", "q0|0|1"), nullptr);
+  EXPECT_EQ(state.find("safe", "q0|0|1")->verdict, "unsat");
+}
+
+TEST(JournalTest, ToleratesTornTrailingLine) {
+  // The only corruption an append-only journal can suffer from kill -9 is a
+  // torn last line; loading must skip it and keep every complete record.
+  const std::string path = temp_path("journal_torn.jsonl");
+  {
+    ProgressJournal journal(path, "Echo");
+    journal.append(record("safe", "q0|0|1", "unsat", 4, 9));
+  }
+  {
+    std::ofstream file(path, std::ios::app | std::ios::binary);
+    file << "{\"p\":\"safe\",\"c\":\"q0|0|2\",\"v\":\"uns";  // torn mid-record
+  }
+  const ResumeState state = load_journal(path);
+  EXPECT_EQ(state.skipped_lines, 1);
+  ASSERT_NE(state.find("safe", "q0|0|1"), nullptr);
+  EXPECT_EQ(state.find("safe", "q0|0|2"), nullptr);
+}
+
+TEST(JournalTest, AppendAfterTornTailKeepsBothSides) {
+  // A resumed run appends past the torn tail; a later load must see the old
+  // and the new records and still skip the torn line in the middle.
+  const std::string path = temp_path("journal_torn_append.jsonl");
+  {
+    ProgressJournal journal(path, "Echo");
+    journal.append(record("safe", "q0|0|1", "unsat", 4, 9));
+  }
+  {
+    std::ofstream file(path, std::ios::app | std::ios::binary);
+    file << "{\"p\":\"safe\",\"c\":\"q0|0|2\",\"v\"\n";  // torn, but newline-terminated
+  }
+  {
+    ProgressJournal journal(path, "Echo");
+    journal.append(record("safe", "q0|0|3", "pruned"));
+  }
+  const ResumeState state = load_journal(path);
+  EXPECT_EQ(state.skipped_lines, 1);
+  EXPECT_NE(state.find("safe", "q0|0|1"), nullptr);
+  EXPECT_EQ(state.find("safe", "q0|0|2"), nullptr);
+  EXPECT_NE(state.find("safe", "q0|0|3"), nullptr);
+}
+
+TEST(JournalTest, RejectsMissingHeaderAndMixedAutomatons) {
+  const std::string missing = temp_path("journal_no_header.jsonl");
+  {
+    std::ofstream file(missing, std::ios::binary);
+    file << "{\"p\":\"safe\",\"c\":\"q0|0|1\",\"v\":\"unsat\"}\n";
+  }
+  EXPECT_THROW(load_journal(missing), Error);
+
+  const std::string mixed = temp_path("journal_mixed.jsonl");
+  {
+    ProgressJournal a(mixed, "Echo");
+  }
+  {
+    ProgressJournal b(mixed, "BvBroadcast");
+  }
+  EXPECT_THROW(load_journal(mixed), Error);
+
+  EXPECT_THROW(load_journal(temp_path("journal_absent.jsonl")), Error);
+}
+
+TEST(JournalTest, RepeatedIdenticalHeadersAreFine) {
+  // check_properties re-opens the journal per property; each open appends a
+  // header for the same automaton.
+  const std::string path = temp_path("journal_repeat_header.jsonl");
+  {
+    ProgressJournal journal(path, "Echo");
+    journal.append(record("safe", "q0|0|1", "unsat", 4, 9));
+  }
+  {
+    ProgressJournal journal(path, "Echo");
+    journal.append(record("live", "q0|0|1", "pruned"));
+  }
+  const ResumeState state = load_journal(path);
+  EXPECT_EQ(state.automaton, "Echo");
+  EXPECT_EQ(state.skipped_lines, 0);
+  EXPECT_NE(state.find("safe", "q0|0|1"), nullptr);
+  EXPECT_NE(state.find("live", "q0|0|1"), nullptr);
+}
+
+}  // namespace
+}  // namespace hv::checker
