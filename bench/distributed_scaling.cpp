@@ -1,0 +1,138 @@
+// Wall-clock scaling of the distributed checking service.
+//
+// Runs one naive-consensus Table-2 property (capped by --max-schemas so the
+// slice stays minutes, not days) through `check_distributed_local` with 1, 2,
+// 4 and 8 forked worker processes, against the plain in-process checker as
+// the baseline. Verdicts must agree everywhere; each row reports wall-clock
+// and the speedup over the single-worker run.
+//
+// Honesty note, emitted into the JSON as well: speedup beyond 1x requires
+// spare cores. On a single-core machine the workers time-slice one CPU and
+// the distributed runs pay the protocol overhead with no parallel payoff —
+// the numbers then measure that overhead, which is the honest result. The
+// `cores` field records what the machine offered.
+//
+// Emits BENCH_distributed.json (override with --out FILE).
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "hv/checker/parameterized.h"
+#include "hv/dist/local.h"
+#include "hv/models/naive_consensus.h"
+#include "hv/ta/parser.h"
+#include "hv/util/stopwatch.h"
+
+namespace {
+
+struct Row {
+  int workers = 0;  // 0: in-process baseline
+  double seconds = 0.0;
+  hv::checker::PropertyResult result;
+  hv::dist::DistStats stats;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_distributed.json";
+  std::int64_t max_schemas = 300;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--max-schemas") == 0 && i + 1 < argc) {
+      max_schemas = std::atoll(argv[++i]);
+    } else {
+      std::fprintf(stderr, "usage: %s [--out FILE] [--max-schemas N]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  const hv::ta::MultiRoundTa model = hv::models::naive_consensus();
+  const std::string model_text = hv::ta::to_text(model);
+  const hv::ta::ThresholdAutomaton ta =
+      hv::ta::parse_ta(model_text).one_round_reduction();
+  const std::vector<hv::spec::Property> properties =
+      hv::models::naive_table2_properties(ta);
+  const hv::spec::Property& property = properties.front();
+
+  hv::checker::CheckOptions options;
+  options.enumeration.max_schemas = max_schemas;
+
+  std::vector<Row> rows;
+  {
+    Row row;
+    const hv::Stopwatch watch;
+    const std::vector<hv::spec::Property> one = {property};
+    row.result = hv::checker::check_properties(ta, one, options).front();
+    row.seconds = watch.seconds();
+    rows.push_back(std::move(row));
+  }
+  const std::vector<hv::dist::PropertySpec> specs = {{property.name, "", /*bundled=*/true}};
+  for (const int workers : {1, 2, 4, 8}) {
+    Row row;
+    row.workers = workers;
+    hv::dist::DistOptions dist_options;
+    dist_options.check = options;
+    const hv::Stopwatch watch;
+    row.result = hv::dist::check_distributed_local(model_text, specs, workers, dist_options,
+                                                   &row.stats)
+                     .front();
+    row.seconds = watch.seconds();
+    rows.push_back(std::move(row));
+  }
+
+  const unsigned cores = std::thread::hardware_concurrency();
+  const double one_worker = rows[1].seconds;
+  bool verdicts_agree = true;
+  std::printf("distributed scaling: %s / %s, max %lld schemas, %u core%s\n",
+              ta.name().c_str(), property.name.c_str(),
+              static_cast<long long>(max_schemas), cores, cores == 1 ? "" : "s");
+  std::printf("  %-12s %10s %9s %9s | %s\n", "mode", "wall", "speedup", "schemas",
+              "verdict");
+  for (const Row& row : rows) {
+    verdicts_agree = verdicts_agree && row.result.verdict == rows[0].result.verdict;
+    const std::string mode =
+        row.workers == 0 ? "in-process" : std::to_string(row.workers) + " workers";
+    std::printf("  %-12s %9.3fs %8.2fx %9lld | %s\n", mode.c_str(), row.seconds,
+                row.seconds == 0.0 ? 0.0 : one_worker / row.seconds,
+                static_cast<long long>(row.result.schemas_checked),
+                hv::checker::to_string(row.result.verdict).c_str());
+  }
+  std::printf("  verdicts agree across all modes: %s\n", verdicts_agree ? "yes" : "NO");
+  if (cores < 2) {
+    std::printf("  (single-core machine: rows measure protocol overhead, not "
+                "parallel speedup)\n");
+  }
+
+  std::FILE* json = std::fopen(out_path.c_str(), "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 2;
+  }
+  std::fprintf(json,
+               "{\"model\": \"%s\", \"property\": \"%s\", \"max_schemas\": %lld, "
+               "\"cores\": %u, \"verdicts_agree\": %s,\n \"rows\": [\n",
+               ta.name().c_str(), property.name.c_str(),
+               static_cast<long long>(max_schemas), cores,
+               verdicts_agree ? "true" : "false");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& row = rows[i];
+    std::fprintf(json,
+                 "  {\"workers\": %d, \"seconds\": %.6f, \"speedup_vs_1worker\": %.4f, "
+                 "\"schemas\": %lld, \"verdict\": \"%s\", \"leases_granted\": %lld}%s\n",
+                 row.workers, row.seconds,
+                 row.seconds == 0.0 ? 0.0 : one_worker / row.seconds,
+                 static_cast<long long>(row.result.schemas_checked),
+                 hv::checker::to_string(row.result.verdict).c_str(),
+                 static_cast<long long>(row.stats.leases_granted),
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fputs(" ]}\n", json);
+  std::fclose(json);
+  std::printf("  wrote %s\n", out_path.c_str());
+  return verdicts_agree ? 0 : 1;
+}

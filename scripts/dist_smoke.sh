@@ -1,0 +1,88 @@
+#!/usr/bin/env bash
+# Distributed checking smoke test for the coordinator/worker service:
+#   1. reference run with the plain in-process checker;
+#   2. the same property through `hvc serve` + 3 `hvc work` processes, one
+#      of which is SIGKILLed mid-run — its lease must be reassigned and the
+#      merged verdict must still match the reference exactly;
+#   3. the coordinator itself SIGKILLed mid-run, then restarted with
+#      --resume from its journal; the resumed run must match too.
+# Usage: scripts/dist_smoke.sh [build-dir]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+build="${1:-build}"
+hvc="$build/hvc"
+model="models/simplified_consensus.ta"
+# Table-2 Inv1_0: several seconds of schema solving, a comfortable kill window.
+prop='<>(locD0 != 0) -> [](locD1 == 0 && locE1x == 0)'
+work="$(mktemp -d)"
+sock="$work/coord.sock"
+trap 'kill $(jobs -p) 2>/dev/null || true; rm -rf "$work"' EXIT
+
+# Strip run-dependent fields (timing, solver pivot path, resume/retry
+# counters, incremental-solver accounting, which differs across lease
+# boundaries); what must match is the verdict and the schema accounting.
+normalize() {
+  sed -E 's/"(seconds|pivots|resumed|retries|segments_[a-z]+|prefix_reuse_ratio)": [0-9.]+(, )?//g' "$1"
+}
+
+workers() {  # workers <count> <label-prefix> — starts background hvc work jobs
+  for i in $(seq 1 "$1"); do
+    "$hvc" work --connect "unix:$sock" --label "$2-$i" --retry 10 &
+  done
+}
+
+echo "== reference run (in-process)"
+"$hvc" check "$model" --prop "$prop" --json > "$work/ref.json"
+
+echo "== distributed run: coordinator + 3 workers, one SIGKILLed mid-run"
+"$hvc" serve "$model" --prop "$prop" --listen "unix:$sock" --lease-timeout 2 \
+  --json > "$work/dist.json" &
+coord=$!
+"$hvc" work --connect "unix:$sock" --label doomed --retry 10 &
+doomed=$!
+workers 2 survivor
+sleep 1.5
+if kill -9 "$doomed" 2>/dev/null; then
+  echo "   killed worker $doomed as planned"
+else
+  echo "   worker finished before the kill; reassignment is still exercised by dist_test"
+fi
+wait "$coord"
+wait || true  # surviving workers exit 0 on the coordinator's shutdown
+
+normalize "$work/ref.json" > "$work/ref.norm"
+normalize "$work/dist.json" > "$work/dist.norm"
+if ! diff -u "$work/ref.norm" "$work/dist.norm"; then
+  echo "FAIL: distributed run differs from the in-process run" >&2
+  exit 1
+fi
+echo "OK: distributed run matches the in-process run"
+
+echo "== coordinator SIGKILLed mid-run, restarted with --resume"
+"$hvc" serve "$model" --prop "$prop" --listen "unix:$sock" --lease-timeout 2 \
+  --journal "$work/run.jsonl" --json > /dev/null &
+coord=$!
+workers 3 first
+sleep 1.5
+if kill -9 "$coord" 2>/dev/null; then
+  echo "   killed coordinator $coord as planned;" \
+       "journal kept $(wc -l < "$work/run.jsonl") lines"
+else
+  echo "   run finished before the kill (resume is still exercised)"
+fi
+wait || true  # orphaned workers exit nonzero with "connection lost"
+
+"$hvc" serve "$model" --prop "$prop" --listen "unix:$sock" --lease-timeout 2 \
+  --resume "$work/run.jsonl" --json > "$work/resumed.json" &
+coord=$!
+workers 3 second
+wait "$coord"
+wait || true
+
+normalize "$work/resumed.json" > "$work/resumed.norm"
+if ! diff -u "$work/ref.norm" "$work/resumed.norm"; then
+  echo "FAIL: resumed coordinator run differs from the in-process run" >&2
+  exit 1
+fi
+echo "OK: resumed coordinator run matches the in-process run"

@@ -6,9 +6,11 @@
 #include <cstdlib>
 #include <fstream>
 #include <string>
+#include <string_view>
 #include <utility>
 
 #include "hv/util/error.h"
+#include "hv/util/version.h"
 
 namespace hv::checker {
 
@@ -165,6 +167,108 @@ class LineScanner {
 
 }  // namespace
 
+bool parse_schema_cursor(const std::string& cursor, std::size_t* query_index, Schema* schema) {
+  if (cursor.size() < 2 || cursor[0] != 'q') return false;
+  const std::size_t first_bar = cursor.find('|');
+  const std::size_t second_bar = first_bar == std::string::npos
+                                     ? std::string::npos
+                                     : cursor.find('|', first_bar + 1);
+  if (second_bar == std::string::npos) return false;
+  const auto parse_int_list = [](std::string_view text, std::vector<int>* out) -> bool {
+    out->clear();
+    if (text.empty()) return true;
+    int value = 0;
+    bool in_number = false;
+    for (const char c : text) {
+      if (c == ',') {
+        if (!in_number) return false;
+        out->push_back(value);
+        value = 0;
+        in_number = false;
+      } else if (c >= '0' && c <= '9') {
+        value = value * 10 + (c - '0');
+        in_number = true;
+      } else {
+        return false;
+      }
+    }
+    if (!in_number) return false;
+    out->push_back(value);
+    return true;
+  };
+  const std::string_view index_text = std::string_view(cursor).substr(1, first_bar - 1);
+  if (index_text.empty()) return false;
+  std::size_t index = 0;
+  for (const char c : index_text) {
+    if (c < '0' || c > '9') return false;
+    index = index * 10 + static_cast<std::size_t>(c - '0');
+  }
+  Schema parsed;
+  if (!parse_int_list(
+          std::string_view(cursor).substr(first_bar + 1, second_bar - first_bar - 1),
+          &parsed.unlock_order)) {
+    return false;
+  }
+  if (!parse_int_list(std::string_view(cursor).substr(second_bar + 1),
+                      &parsed.cut_positions)) {
+    return false;
+  }
+  *query_index = index;
+  *schema = std::move(parsed);
+  return true;
+}
+
+std::string model_content_hash(const ta::ThresholdAutomaton& ta) {
+  std::uint64_t hash = 1469598103934665603ull;  // FNV-1a 64 offset basis
+  const auto mix = [&hash](std::string_view text) {
+    for (const char c : text) {
+      hash ^= static_cast<unsigned char>(c);
+      hash *= 1099511628211ull;
+    }
+    // Field separator so "ab"+"c" and "a"+"bc" hash differently.
+    hash ^= 0x1f;
+    hash *= 1099511628211ull;
+  };
+  const auto name_of = [&ta](ta::VarId id) { return ta.variable_name(id); };
+  mix(ta.name());
+  for (const ta::Location& location : ta.locations()) {
+    mix(location.name);
+    mix(location.initial ? "1" : "0");
+  }
+  for (int v = 0; v < ta.variable_count(); ++v) {
+    mix(ta.variable_name(v));
+    mix(ta.is_parameter(v) ? "p" : "s");
+  }
+  for (const ta::Rule& rule : ta.rules()) {
+    mix(rule.name);
+    mix(std::to_string(rule.from));
+    mix(std::to_string(rule.to));
+    mix(ta.guard_to_string(rule.guard));
+    for (const auto& [var, amount] : rule.update.increments) {
+      mix(ta.variable_name(var));
+      mix(amount.to_string());
+    }
+  }
+  for (const smt::LinearConstraint& constraint : ta.resilience()) {
+    mix(constraint.to_string(name_of));
+  }
+  mix(ta.process_count().to_string(name_of));
+  char buffer[17];
+  std::snprintf(buffer, sizeof buffer, "%016llx", static_cast<unsigned long long>(hash));
+  return buffer;
+}
+
+JournalHeader::JournalHeader(std::string automaton_name)
+    : automaton(std::move(automaton_name)), hvc_version(kHvcVersion) {}
+
+JournalHeader::JournalHeader(const char* automaton_name)
+    : JournalHeader(std::string(automaton_name)) {}
+
+JournalHeader::JournalHeader(std::string automaton_name, std::string hash)
+    : automaton(std::move(automaton_name)),
+      model_hash(std::move(hash)),
+      hvc_version(kHvcVersion) {}
+
 std::string schema_cursor(std::size_t query_index, const Schema& schema) {
   std::string out = "q" + std::to_string(query_index) + "|";
   for (std::size_t i = 0; i < schema.unlock_order.size(); ++i) {
@@ -179,13 +283,20 @@ std::string schema_cursor(std::size_t query_index, const Schema& schema) {
   return out;
 }
 
-ProgressJournal::ProgressJournal(std::string path, const std::string& automaton,
+ProgressJournal::ProgressJournal(std::string path, const JournalHeader& header,
                                  int flush_batch)
     : path_(std::move(path)), flush_batch_(flush_batch < 1 ? 1 : flush_batch) {
   file_ = std::fopen(path_.c_str(), "ab");
   if (file_ == nullptr) throw Error("journal: cannot open " + path_ + " for append");
-  std::string header = "{\"hv_journal\":1,\"automaton\":\"" + escape(automaton) + "\"}\n";
-  std::fputs(header.c_str(), file_);
+  std::string line = "{\"hv_journal\":2,\"automaton\":\"" + escape(header.automaton) + "\"";
+  if (!header.model_hash.empty()) {
+    line += ",\"model_hash\":\"" + escape(header.model_hash) + "\"";
+  }
+  if (!header.hvc_version.empty()) {
+    line += ",\"hvc_version\":\"" + escape(header.hvc_version) + "\"";
+  }
+  line += "}\n";
+  std::fputs(line.c_str(), file_);
   flush();
 }
 
@@ -258,6 +369,20 @@ ResumeState load_journal(const std::string& path) {
                     "' and '" + automaton->second + "'");
       }
       state.automaton = automaton->second;
+      // Identity fields appeared with header version 2; a file resumed
+      // across versions keeps the strictest (non-empty) values and refuses
+      // outright contradictions.
+      const auto adopt = [&](const char* key, std::string* slot) {
+        const auto it = strings.find(key);
+        if (it == strings.end()) return;
+        if (!slot->empty() && *slot != it->second) {
+          throw Error("journal: " + path + " mixes " + key + " '" + *slot + "' and '" +
+                      it->second + "'");
+        }
+        *slot = it->second;
+      };
+      adopt("model_hash", &state.model_hash);
+      adopt("hvc_version", &state.hvc_version);
       header_seen = true;
       continue;
     }
@@ -280,6 +405,27 @@ ResumeState load_journal(const std::string& path) {
   }
   if (!header_seen) throw Error("journal: " + path + " has no valid header line");
   return state;
+}
+
+void require_resume_compatible(const ResumeState& resume, const std::string& automaton,
+                               const std::string& model_hash) {
+  if (resume.automaton != automaton) {
+    throw InvalidArgument("checker: resume journal was recorded for automaton '" +
+                          resume.automaton + "', not '" + automaton + "'");
+  }
+  if (!resume.model_hash.empty() && !model_hash.empty() && resume.model_hash != model_hash) {
+    throw InvalidArgument(
+        "checker: resume journal was recorded for a different model: journal model hash " +
+        resume.model_hash + ", current model hash " + model_hash +
+        " — its schema cursors would not line up; re-run against the original model or "
+        "start a fresh journal");
+  }
+  if (!resume.hvc_version.empty() && resume.hvc_version != kHvcVersion) {
+    throw InvalidArgument(
+        "checker: resume journal was written by hvc " + resume.hvc_version +
+        ", but this is hvc " + std::string(kHvcVersion) +
+        " — cursors are only comparable within one version; start a fresh journal");
+  }
 }
 
 }  // namespace hv::checker

@@ -32,6 +32,33 @@ namespace hv::checker {
 /// every run over the same automaton and property.
 std::string schema_cursor(std::size_t query_index, const Schema& schema);
 
+/// Inverse of schema_cursor: parses "q<idx>|a,b,c|d,e" back into the query
+/// index and schema content. Returns false on malformed input. Used by the
+/// distributed coordinator to reconstruct schemas from streamed verdict
+/// records (and by tests).
+bool parse_schema_cursor(const std::string& cursor, std::size_t* query_index, Schema* schema);
+
+/// Stable content hash of an automaton (locations, variables, rules, guards,
+/// resilience, process count), independent of source formatting. Journals
+/// record it so a resume against a *different* model — whose cursors would
+/// silently fail to line up — is refused instead of ignored; the distributed
+/// handshake uses it to verify the worker reconstructed the coordinator's
+/// automaton. 16 lowercase hex digits (FNV-1a 64).
+std::string model_content_hash(const ta::ThresholdAutomaton& ta);
+
+/// Identity block written into a journal's header line. Implicitly
+/// constructible from an automaton name alone (tests, legacy callers); the
+/// checker fills all fields.
+struct JournalHeader {
+  std::string automaton;
+  std::string model_hash;   // empty: not recorded (legacy)
+  std::string hvc_version;  // defaults to the running version
+
+  JournalHeader(std::string automaton_name);  // NOLINT(google-explicit-constructor)
+  JournalHeader(const char* automaton_name);  // NOLINT(google-explicit-constructor)
+  JournalHeader(std::string automaton_name, std::string hash);
+};
+
 /// One journal line. `verdict` is one of "unsat", "sat", "pruned",
 /// "unknown"; sat records exist for completeness but are re-solved on
 /// resume (the counterexample itself is not journaled).
@@ -48,10 +75,11 @@ struct JournalRecord {
 /// flush+fsync every `flush_batch` records and on destruction.
 class ProgressJournal {
  public:
-  /// Opens `path` for append and writes a header line naming the automaton
-  /// (resume refuses a journal recorded for a different automaton). Throws
-  /// hv::Error if the file cannot be opened.
-  ProgressJournal(std::string path, const std::string& automaton, int flush_batch = 256);
+  /// Opens `path` for append and writes a header line recording the
+  /// automaton name, model content hash and hvc version (resume refuses a
+  /// journal recorded for a different model or version). Throws hv::Error if
+  /// the file cannot be opened.
+  ProgressJournal(std::string path, const JournalHeader& header, int flush_batch = 256);
   ~ProgressJournal();
   ProgressJournal(const ProgressJournal&) = delete;
   ProgressJournal& operator=(const ProgressJournal&) = delete;
@@ -77,6 +105,10 @@ class ProgressJournal {
 /// attempt supersedes the earlier record).
 struct ResumeState {
   std::string automaton;
+  /// Model content hash / hvc version from the header; empty when the
+  /// journal predates their introduction.
+  std::string model_hash;
+  std::string hvc_version;
   std::unordered_map<std::string, JournalRecord> settled;
   /// Torn or malformed lines skipped during load (a torn tail is the
   /// expected signature of a kill between write and fsync).
@@ -91,6 +123,14 @@ struct ResumeState {
 /// Loads a journal; tolerant of a torn trailing line. Throws hv::Error if
 /// the file cannot be read or contains no valid header.
 ResumeState load_journal(const std::string& path);
+
+/// Refuses a resume whose journal does not match the run: automaton name,
+/// model content hash (when the journal recorded one) and hvc version (when
+/// recorded) must all agree, each with a precise diagnostic — a journal from
+/// a different model would silently fail to line up cursors otherwise.
+/// Throws hv::InvalidArgument on any mismatch.
+void require_resume_compatible(const ResumeState& resume, const std::string& automaton,
+                               const std::string& model_hash);
 
 }  // namespace hv::checker
 

@@ -16,6 +16,7 @@
 #include "hv/checker/encoder.h"
 #include "hv/checker/guard_analysis.h"
 #include "hv/checker/journal.h"
+#include "hv/checker/schema_solver.h"
 #include "hv/util/error.h"
 #include "hv/util/stopwatch.h"
 
@@ -65,10 +66,8 @@ struct RunState {
 };
 
 // Run-wide fault-tolerance plumbing, shared read-only across workers
-// (journal/injector are internally synchronized).
+// (the journal is internally synchronized).
 struct RunContext {
-  const Stopwatch* stopwatch = nullptr;
-  FaultInjector* injector = nullptr;
   ProgressJournal* journal = nullptr;
   const ResumeState* resume = nullptr;
   // Re-append resumed records iff they come from a different file than the
@@ -97,193 +96,88 @@ void journal_append(const RunContext& ctx, const std::string& property,
   ctx.journal->append(record);
 }
 
-// Folds a retired encoder's stats into the run and drops it (a thrown
-// budget/fault poisons the encoder; the next schema recreates one).
-void retire_encoder(RunState& state, std::unique_ptr<IncrementalSchemaEncoder>& slot) {
-  if (!slot) return;
-  std::lock_guard<std::mutex> lock(state.mutex);
-  accumulate(state.incremental, slot->stats());
-  slot.reset();
-}
-
 std::string format_seconds(double seconds) {
   char buffer[32];
   std::snprintf(buffer, sizeof(buffer), "%.2f", seconds);
   return buffer;
 }
 
-// Solves one schema through the retry ladder: the first attempt runs on the
-// caller's persistent incremental encoder (when enabled), a failed or
-// cancelled attempt is retried once on a fresh non-incremental solver, and
-// only then is the schema degraded to a recorded unknown — the run
-// continues. Global timeout and external cancellation are never retried.
-void solve_one(const GuardAnalysis& analysis, const spec::Property& property,
-               std::size_t query_index, const Schema& schema, const std::string& cursor,
-               const CheckOptions& options, const QueryCone* cone, double remaining_seconds,
-               RunState& state, const RunContext& ctx,
-               std::unique_ptr<IncrementalSchemaEncoder>* slot) {
-  const spec::ReachQuery& query = property.queries[query_index];
-  // A non-positive remaining budget would disable the solver deadline;
-  // clamp it so a task started at the deadline still aborts promptly.
-  if (options.timeout_seconds > 0.0 && remaining_seconds <= 0.0) {
-    remaining_seconds = 0.01;
-  }
-  const EncoderMode mode = options.certify ? EncoderMode::kCertify : EncoderMode::kSolve;
-
-  const auto run_attempt = [&](bool incremental_attempt) -> EncodeResult {
-    const Stopwatch schema_watch;
-    if (ctx.injector != nullptr) ctx.injector->before_solve();
-    // Schema wall-clock watchdog: an attempt that stalls before reaching the
-    // solver (injected stall, pathological setup) is caught here; once
-    // solving, the solver's own deadline polling enforces the rest.
-    if (options.schema_timeout_seconds > 0.0 &&
-        schema_watch.seconds() > options.schema_timeout_seconds) {
-      throw Error("checker: schema watchdog cancelled a stalled attempt");
+// Settles one schema through the shared SchemaSolver retry ladder
+// (schema_solver.h) and applies its outcome to the run: statistics, journal,
+// certificate evidence, counterexample selection. Throws WorkerAbortFault on
+// an injected worker death so the caller's containment (pool: retire the
+// worker; single-thread: end the run) keeps working.
+void settle_unit(SchemaSolver& solver, const spec::Property& property,
+                 std::size_t query_index, const Schema& schema, const std::string& cursor,
+                 const CheckOptions& options, const QueryCone* cone, double remaining_seconds,
+                 RunState& state, const RunContext& ctx) {
+  UnitOutcome outcome = solver.solve(query_index, schema, cone, remaining_seconds);
+  if (outcome.retries > 0) state.retries.fetch_add(outcome.retries);
+  switch (outcome.kind) {
+    case UnitOutcome::Kind::kAborted: {
+      state.schemas_unknown.fetch_add(1);
+      {
+        std::lock_guard<std::mutex> lock(state.mutex);
+        if (state.degrade_note.empty()) state.degrade_note = outcome.note;
+      }
+      journal_append(ctx, property.name, cursor, "unknown", 0, 0, outcome.note);
+      throw WorkerAbortFault{};
     }
-    double budget = remaining_seconds;
-    if (options.schema_timeout_seconds > 0.0) {
-      double left = options.schema_timeout_seconds - schema_watch.seconds();
-      left = std::max(left, 0.001);
-      budget = budget > 0.0 ? std::min(budget, left) : left;
+    case UnitOutcome::Kind::kInterrupted: {
+      if (outcome.note == "cancelled") {
+        state.interrupted.store(true);
+        state.stop.store(true);
+      } else {
+        state.timed_out.store(true);
+      }
+      return;
     }
-    if (incremental_attempt) {
-      // Poll on a stride: the first attempt always, then every 16th. A trip
-      // can lag by at most 15 schemas, which a *soft* budget tolerates.
-      if (options.memory_budget_mb > 0 &&
-          state.memory_polls.fetch_add(1, std::memory_order_relaxed) % 16 == 0) {
-        const std::int64_t rss = current_rss_bytes();
-        if (rss > options.memory_budget_mb * 1024 * 1024) {
-          throw Error("checker: memory budget exceeded (rss " +
-                      std::to_string(rss / (1024 * 1024)) + " MB > " +
-                      std::to_string(options.memory_budget_mb) + " MB)");
+    case UnitOutcome::Kind::kUnknown: {
+      // Retry ladder exhausted: record the schema as unknown and keep going.
+      state.schemas_unknown.fetch_add(1);
+      {
+        std::lock_guard<std::mutex> lock(state.mutex);
+        if (state.degrade_note.empty()) {
+          state.degrade_note = "schema degraded to unknown: " + outcome.note;
         }
       }
-      if (!*slot) {
-        *slot = std::make_unique<IncrementalSchemaEncoder>(analysis, query,
-                                                           options.branch_budget, cone, mode);
-      }
-      IncrementalSchemaEncoder* encoder = slot->get();
-      encoder->set_time_budget(budget);
-      encoder->set_pivot_budget(options.pivot_budget);
-      encoder->set_cancel_flag(options.cancel);
-      return encoder->check(schema);
+      journal_append(ctx, property.name, cursor, "unknown", 0, 0, outcome.note);
+      return;
     }
-    return solve_schema(analysis, schema, query, options.branch_budget, cone, budget, mode,
-                        options.pivot_budget, options.cancel);
-  };
-
-  // True iff the failure is a run-level event (cancel, global timeout) that
-  // must not be retried or recorded against the schema.
-  const auto fatal_interrupt = [&]() -> bool {
-    if (options.cancel != nullptr && options.cancel->load(std::memory_order_relaxed)) {
-      state.interrupted.store(true);
-      state.stop.store(true);
-      return true;
-    }
-    if (options.timeout_seconds > 0.0 &&
-        ctx.stopwatch->seconds() > options.timeout_seconds) {
-      state.timed_out.store(true);
-      return true;
-    }
-    return false;
-  };
-  const auto record_abort = [&](const char* what) {
-    state.schemas_unknown.fetch_add(1);
-    {
-      std::lock_guard<std::mutex> lock(state.mutex);
-      if (state.degrade_note.empty()) state.degrade_note = what;
-    }
-    journal_append(ctx, property.name, cursor, "unknown", 0, 0, what);
-  };
-
-  EncodeResult result;
-  bool solved = false;
-  std::string failure;
-  try {
-    result = run_attempt(options.incremental && slot != nullptr);
-    solved = true;
-  } catch (const WorkerAbortFault&) {
-    record_abort("worker aborted mid-schema");
-    if (slot != nullptr) retire_encoder(state, *slot);
-    throw;  // the pool retires the worker; single-thread ends the run
-  } catch (const Error& error) {
-    failure = error.what();
-  } catch (const std::bad_alloc&) {
-    failure = "allocation failure (std::bad_alloc)";
+    case UnitOutcome::Kind::kUnsat:
+    case UnitOutcome::Kind::kSat:
+      break;
   }
 
-  if (!solved) {
-    // The throw poisoned any incremental encoder; fold its stats and drop it
-    // (also the release valve of the memory budget).
-    if (slot != nullptr) retire_encoder(state, *slot);
-    if (fatal_interrupt()) return;
-    if (options.retry_fresh) {
-      state.retries.fetch_add(1);
-      try {
-        result = run_attempt(false);
-        solved = true;
-        failure.clear();
-      } catch (const WorkerAbortFault&) {
-        record_abort("worker aborted mid-schema");
-        throw;
-      } catch (const Error& error) {
-        failure = error.what();
-      } catch (const std::bad_alloc&) {
-        failure = "allocation failure (std::bad_alloc)";
-      }
-      if (!solved && fatal_interrupt()) return;
-    }
-  }
-  if (!solved) {
-    // Retry ladder exhausted: record the schema as unknown and keep going.
-    state.schemas_unknown.fetch_add(1);
-    {
-      std::lock_guard<std::mutex> lock(state.mutex);
-      if (state.degrade_note.empty()) {
-        state.degrade_note = "schema degraded to unknown: " + failure;
-      }
-    }
-    journal_append(ctx, property.name, cursor, "unknown", 0, 0, failure);
-    return;
-  }
-
+  const bool sat = outcome.kind == UnitOutcome::Kind::kSat;
   state.schemas_checked.fetch_add(1);
-  state.total_length.fetch_add(result.length);
-  state.simplex_pivots.fetch_add(result.pivots);
-  journal_append(ctx, property.name, cursor, result.sat ? "sat" : "unsat", result.length,
-                 result.pivots);
+  state.total_length.fetch_add(outcome.length);
+  state.simplex_pivots.fetch_add(outcome.pivots);
+  journal_append(ctx, property.name, cursor, sat ? "sat" : "unsat", outcome.length,
+                 outcome.pivots);
   if (options.certify) {
     SchemaEvidence item;
     item.query_index = query_index;
     item.schema = schema;
-    item.sat = result.sat;
-    item.proof = result.proof;
-    item.model = result.model_values;
+    item.sat = sat;
+    item.proof = outcome.proof;
+    item.model = outcome.model;
     std::lock_guard<std::mutex> lock(state.mutex);
     state.evidence.push_back(std::move(item));
   }
-  if (result.sat) {
-    result.counterexample->property = property.name;
-    if (options.validate_counterexamples) {
-      const std::string diagnostic = validate_counterexample(
-          analysis.automaton(), *result.counterexample, query);
-      if (!diagnostic.empty()) {
-        std::lock_guard<std::mutex> lock(state.mutex);
-        if (state.error_note.empty()) {
-          state.error_note = "internal: counterexample failed replay validation: " + diagnostic;
-        }
-        state.stop.store(true);
-        return;
-      }
-    }
-    if (options.minimize_counterexamples) {
-      *result.counterexample =
-          minimize_counterexample(analysis.automaton(), *result.counterexample, query);
-    }
+  if (!sat) return;
+  if (!outcome.validation_error.empty()) {
     std::lock_guard<std::mutex> lock(state.mutex);
-    if (!state.counterexample) state.counterexample = std::move(*result.counterexample);
+    if (state.error_note.empty()) {
+      state.error_note =
+          "internal: counterexample failed replay validation: " + outcome.validation_error;
+    }
     state.stop.store(true);
+    return;
   }
+  std::lock_guard<std::mutex> lock(state.mutex);
+  if (!state.counterexample) state.counterexample = std::move(*outcome.counterexample);
+  state.stop.store(true);
 }
 
 // Resume fast path: when the journal settled this (property, schema), replay
@@ -350,21 +244,19 @@ PropertyResult check_property(const ta::ThresholdAutomaton& ta, const spec::Prop
   result.property = property.name;
 
   FaultInjector injector(options.fault);
+  const bool need_identity = !options.resume_path.empty() || !options.journal_path.empty();
+  const std::string model_hash = need_identity ? model_content_hash(ta) : std::string();
   std::optional<ResumeState> resume;
   if (!options.resume_path.empty()) {
     resume = load_journal(options.resume_path);
-    if (resume->automaton != ta.name()) {
-      throw InvalidArgument("checker: resume journal was recorded for automaton '" +
-                            resume->automaton + "', not '" + ta.name() + "'");
-    }
+    require_resume_compatible(*resume, ta.name(), model_hash);
   }
   std::unique_ptr<ProgressJournal> journal;
   if (!options.journal_path.empty()) {
-    journal = std::make_unique<ProgressJournal>(options.journal_path, ta.name());
+    journal = std::make_unique<ProgressJournal>(options.journal_path,
+                                                JournalHeader(ta.name(), model_hash));
   }
   RunContext ctx;
-  ctx.stopwatch = &stopwatch;
-  ctx.injector = &injector;
   ctx.journal = journal.get();
   ctx.resume = resume ? &*resume : nullptr;
   ctx.copy_resumed = journal != nullptr && options.journal_path != options.resume_path;
@@ -391,11 +283,16 @@ PropertyResult check_property(const ta::ThresholdAutomaton& ta, const spec::Prop
     return options.cancel != nullptr && options.cancel->load(std::memory_order_relaxed);
   };
 
+  SolveHooks hooks;
+  hooks.run_watch = &stopwatch;
+  hooks.injector = &injector;
+  hooks.memory_polls = &state.memory_polls;
+
   if (options.workers <= 1) {
     // Single-threaded: enumerate and solve inline, one persistent encoder
     // per query (the enumeration order itself is DFS, so consecutive
     // schemas share maximal chain prefixes).
-    std::vector<std::unique_ptr<IncrementalSchemaEncoder>> encoders(property.queries.size());
+    SchemaSolver solver(analysis, property, options, hooks);
     for (std::size_t q = 0; q < property.queries.size() && !state.stop.load(); ++q) {
       const int cut_count = static_cast<int>(property.queries[q].cuts.size());
       EnumerationOptions enumeration = options.enumeration;
@@ -424,8 +321,8 @@ PropertyResult check_property(const ta::ThresholdAutomaton& ta, const spec::Prop
                 }
                 return true;
               }
-              solve_one(analysis, property, q, schema, cursor, options, cone_for(q),
-                        remaining_time(), state, ctx, &encoders[q]);
+              settle_unit(solver, property, q, schema, cursor, options, cone_for(q),
+                          remaining_time(), state, ctx);
               return !state.stop.load();
             });
         budget_exhausted = budget_exhausted || outcome.budget_exhausted;
@@ -435,7 +332,10 @@ PropertyResult check_property(const ta::ThresholdAutomaton& ta, const spec::Prop
         break;
       }
     }
-    for (auto& encoder : encoders) retire_encoder(state, encoder);
+    {
+      std::lock_guard<std::mutex> lock(state.mutex);
+      accumulate(state.incremental, solver.stats());
+    }
   } else {
     // Producer enumerates chain subtrees into a bounded queue; workers
     // expand each subtree locally. Handing out subtrees (not single
@@ -453,7 +353,7 @@ PropertyResult check_property(const ta::ThresholdAutomaton& ta, const spec::Prop
     workers.reserve(static_cast<std::size_t>(options.workers));
     for (int w = 0; w < options.workers; ++w) {
       workers.emplace_back([&] {
-        std::vector<std::unique_ptr<IncrementalSchemaEncoder>> encoders(property.queries.size());
+        SchemaSolver solver(analysis, property, options, hooks);
         bool aborted = false;
         while (!aborted) {
           std::pair<std::size_t, SubtreeTask> item;
@@ -500,8 +400,8 @@ PropertyResult check_property(const ta::ThresholdAutomaton& ta, const spec::Prop
                     }
                     return true;
                   }
-                  solve_one(analysis, property, q, schema, cursor, options, cone_for(q),
-                            remaining_time(), state, ctx, &encoders[q]);
+                  settle_unit(solver, property, q, schema, cursor, options, cone_for(q),
+                              remaining_time(), state, ctx);
                   return !state.stop.load();
                 });
           } catch (const WorkerAbortFault&) {
@@ -517,9 +417,7 @@ PropertyResult check_property(const ta::ThresholdAutomaton& ta, const spec::Prop
         }
         {
           std::lock_guard<std::mutex> lock(state.mutex);
-          for (const auto& encoder : encoders) {
-            if (encoder) accumulate(state.incremental, encoder->stats());
-          }
+          accumulate(state.incremental, solver.stats());
           --state.workers_alive;
         }
         // A dead pool must never strand the producer on space_available.

@@ -1,0 +1,192 @@
+#include "hv/checker/schema_solver.h"
+
+#include <algorithm>
+
+#include "hv/util/error.h"
+
+namespace hv::checker {
+
+namespace {
+
+void accumulate(IncrementalStats& into, const IncrementalStats& from) {
+  into.segments_pushed += from.segments_pushed;
+  into.segments_popped += from.segments_popped;
+  into.segments_reused += from.segments_reused;
+  into.schemas_encoded += from.schemas_encoded;
+}
+
+}  // namespace
+
+SchemaSolver::SchemaSolver(const GuardAnalysis& analysis, const spec::Property& property,
+                           const CheckOptions& options, SolveHooks hooks)
+    : analysis_(analysis),
+      property_(property),
+      options_(options),
+      hooks_(hooks),
+      mode_(options.certify ? EncoderMode::kCertify : EncoderMode::kSolve),
+      encoders_(property.queries.size()) {}
+
+SchemaSolver::~SchemaSolver() = default;
+
+EncodeResult SchemaSolver::attempt(std::size_t query_index, const Schema& schema,
+                                   const QueryCone* cone, double remaining_seconds,
+                                   bool incremental) {
+  const spec::ReachQuery& query = property_.queries[query_index];
+  const Stopwatch schema_watch;
+  if (hooks_.injector != nullptr) hooks_.injector->before_solve();
+  // Schema wall-clock watchdog: an attempt that stalls before reaching the
+  // solver (injected stall, pathological setup) is caught here; once
+  // solving, the solver's own deadline polling enforces the rest.
+  if (options_.schema_timeout_seconds > 0.0 &&
+      schema_watch.seconds() > options_.schema_timeout_seconds) {
+    throw Error("checker: schema watchdog cancelled a stalled attempt");
+  }
+  double budget = remaining_seconds;
+  if (options_.schema_timeout_seconds > 0.0) {
+    double left = options_.schema_timeout_seconds - schema_watch.seconds();
+    left = std::max(left, 0.001);
+    budget = budget > 0.0 ? std::min(budget, left) : left;
+  }
+  if (incremental) {
+    // Poll the soft RSS budget on a stride: the first attempt always, then
+    // every 16th. A trip can lag by at most 15 schemas, which a *soft*
+    // budget tolerates.
+    if (options_.memory_budget_mb > 0 && hooks_.memory_polls != nullptr &&
+        hooks_.memory_polls->fetch_add(1, std::memory_order_relaxed) % 16 == 0) {
+      const std::int64_t rss = current_rss_bytes();
+      if (rss > options_.memory_budget_mb * 1024 * 1024) {
+        throw Error("checker: memory budget exceeded (rss " +
+                    std::to_string(rss / (1024 * 1024)) + " MB > " +
+                    std::to_string(options_.memory_budget_mb) + " MB)");
+      }
+    }
+    auto& slot = encoders_[query_index];
+    if (!slot) {
+      slot = std::make_unique<IncrementalSchemaEncoder>(analysis_, query,
+                                                        options_.branch_budget, cone, mode_);
+    }
+    slot->set_time_budget(budget);
+    slot->set_pivot_budget(options_.pivot_budget);
+    slot->set_cancel_flag(options_.cancel);
+    return slot->check(schema);
+  }
+  return solve_schema(analysis_, schema, query, options_.branch_budget, cone, budget, mode_,
+                      options_.pivot_budget, options_.cancel);
+}
+
+void SchemaSolver::retire(std::size_t query_index) {
+  auto& slot = encoders_[query_index];
+  if (!slot) return;
+  accumulate(retired_, slot->stats());
+  slot.reset();
+}
+
+UnitOutcome SchemaSolver::solve(std::size_t query_index, const Schema& schema,
+                                const QueryCone* cone, double remaining_seconds) {
+  // A non-positive remaining budget would disable the solver deadline;
+  // clamp it so a unit started at the deadline still aborts promptly.
+  if (options_.timeout_seconds > 0.0 && remaining_seconds <= 0.0) {
+    remaining_seconds = 0.01;
+  }
+  UnitOutcome outcome;
+
+  // True iff the failure is a run-level event (cancel, global timeout) that
+  // must not be retried or recorded against the schema.
+  const auto fatal_interrupt = [&]() -> bool {
+    if (options_.cancel != nullptr && options_.cancel->load(std::memory_order_relaxed)) {
+      outcome.kind = UnitOutcome::Kind::kInterrupted;
+      outcome.note = "cancelled";
+      return true;
+    }
+    if (options_.timeout_seconds > 0.0 && hooks_.run_watch != nullptr &&
+        hooks_.run_watch->seconds() > options_.timeout_seconds) {
+      outcome.kind = UnitOutcome::Kind::kInterrupted;
+      outcome.note = "timeout";
+      return true;
+    }
+    return false;
+  };
+
+  EncodeResult result;
+  bool solved = false;
+  std::string failure;
+  try {
+    result = attempt(query_index, schema, cone, remaining_seconds, options_.incremental);
+    solved = true;
+  } catch (const WorkerAbortFault&) {
+    retire(query_index);
+    outcome.kind = UnitOutcome::Kind::kAborted;
+    outcome.note = "worker aborted mid-schema";
+    return outcome;
+  } catch (const Error& error) {
+    failure = error.what();
+  } catch (const std::bad_alloc&) {
+    failure = "allocation failure (std::bad_alloc)";
+  }
+
+  if (!solved) {
+    // The throw poisoned any incremental encoder; fold its stats and drop it
+    // (also the release valve of the memory budget).
+    retire(query_index);
+    if (fatal_interrupt()) return outcome;
+    if (options_.retry_fresh) {
+      outcome.retries = 1;
+      try {
+        result = attempt(query_index, schema, cone, remaining_seconds, false);
+        solved = true;
+        failure.clear();
+      } catch (const WorkerAbortFault&) {
+        outcome.kind = UnitOutcome::Kind::kAborted;
+        outcome.note = "worker aborted mid-schema";
+        return outcome;
+      } catch (const Error& error) {
+        failure = error.what();
+      } catch (const std::bad_alloc&) {
+        failure = "allocation failure (std::bad_alloc)";
+      }
+      if (!solved && fatal_interrupt()) return outcome;
+    }
+  }
+  if (!solved) {
+    // Retry ladder exhausted: the unit degrades to a recorded unknown.
+    outcome.kind = UnitOutcome::Kind::kUnknown;
+    outcome.note = failure;
+    return outcome;
+  }
+
+  outcome.length = result.length;
+  outcome.pivots = result.pivots;
+  outcome.proof = result.proof;
+  outcome.model = result.model_values;
+  if (!result.sat) {
+    outcome.kind = UnitOutcome::Kind::kUnsat;
+    return outcome;
+  }
+  outcome.kind = UnitOutcome::Kind::kSat;
+  const spec::ReachQuery& query = property_.queries[query_index];
+  result.counterexample->property = property_.name;
+  if (options_.validate_counterexamples) {
+    outcome.validation_error =
+        validate_counterexample(analysis_.automaton(), *result.counterexample, query);
+    if (!outcome.validation_error.empty()) {
+      outcome.counterexample = std::move(*result.counterexample);
+      return outcome;
+    }
+  }
+  if (options_.minimize_counterexamples) {
+    *result.counterexample =
+        minimize_counterexample(analysis_.automaton(), *result.counterexample, query);
+  }
+  outcome.counterexample = std::move(*result.counterexample);
+  return outcome;
+}
+
+IncrementalStats SchemaSolver::stats() const {
+  IncrementalStats total = retired_;
+  for (const auto& encoder : encoders_) {
+    if (encoder) accumulate(total, encoder->stats());
+  }
+  return total;
+}
+
+}  // namespace hv::checker

@@ -1,0 +1,691 @@
+#include "hv/dist/coordinator.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "hv/cert/certificate.h"
+#include "hv/checker/guard_analysis.h"
+#include "hv/checker/journal.h"
+#include "hv/ta/parser.h"
+#include "hv/util/error.h"
+#include "hv/util/stopwatch.h"
+#include "hv/util/version.h"
+
+namespace hv::dist {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+enum class LeaseState { kPending, kActive, kDone, kDropped };
+
+struct Lease {
+  std::size_t property = 0;
+  std::size_t query = 0;
+  checker::SubtreeTask task;
+  LeaseState state = LeaseState::kPending;
+};
+
+// Merge state of one property; mirrors the in-process RunState counters so
+// the final PropertyResult is assembled identically.
+struct PropMerge {
+  std::int64_t checked = 0;
+  std::int64_t pruned = 0;
+  std::int64_t unknown = 0;
+  std::int64_t resumed = 0;
+  std::int64_t retries = 0;
+  std::int64_t enumerated = 0;
+  std::int64_t total_length = 0;
+  std::int64_t pivots = 0;
+  bool stopped = false;           // counterexample or validation failure
+  bool budget_exhausted = false;  // per-property schema budget, as in-process
+  std::optional<checker::Counterexample> counterexample;
+  std::string error_note;
+  std::string degrade_note;
+  checker::IncrementalStats incremental;
+  std::vector<checker::SchemaEvidence> evidence;
+  std::vector<checker::PrunedSchema> pruned_schemas;
+  double seconds = 0.0;
+  bool finished = false;
+};
+
+struct Coord {
+  const std::vector<spec::Property>* properties = nullptr;
+  const DistOptions* options = nullptr;
+  checker::CheckOptions check;  // normalized copy shipped to workers
+  cert::Json welcome;
+
+  std::mutex mutex;
+  std::vector<Lease> leases;
+  std::vector<PropMerge> props;
+  /// Verdict dedup: ResumeState::key(property name, cursor) of everything
+  /// settled (by resume replay or by a worker record). Makes reassignment
+  /// replays idempotent.
+  std::unordered_set<std::string> settled;
+  /// Settled cursors organized for per-lease skip lists:
+  /// (property, query) -> [(unlock_order, cursor)].
+  std::map<std::pair<std::size_t, std::size_t>,
+           std::vector<std::pair<std::vector<int>, std::string>>>
+      settled_by_pq;
+  checker::ProgressJournal* journal = nullptr;
+  bool closing = false;
+  bool timed_out = false;
+  bool interrupted = false;
+  DistStats stats;
+  std::vector<Conn*> open_conns;
+  const Stopwatch* watch = nullptr;
+};
+
+void journal_append(Coord& c, const std::string& property, const std::string& cursor,
+                    const char* verdict, std::int64_t length = 0, std::int64_t pivots = 0,
+                    const std::string& note = {}) {
+  if (c.journal == nullptr) return;
+  checker::JournalRecord record;
+  record.property = property;
+  record.cursor = cursor;
+  record.verdict = verdict;
+  record.length = length;
+  record.pivots = pivots;
+  record.note = note;
+  c.journal->append(record);
+}
+
+std::string format_seconds(double seconds) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.2f", seconds);
+  return buffer;
+}
+
+void accumulate(checker::IncrementalStats& into, const checker::IncrementalStats& from) {
+  into.segments_pushed += from.segments_pushed;
+  into.segments_popped += from.segments_popped;
+  into.segments_reused += from.segments_reused;
+  into.schemas_encoded += from.schemas_encoded;
+}
+
+// Marks a property's remaining pending leases dropped (its verdict is
+// settled — counterexample, validation failure or exhausted budget — so the
+// unvisited subtrees are moot). Active leases drain on their own.
+void drop_pending_leases(Coord& c, std::size_t property) {
+  for (Lease& lease : c.leases) {
+    if (lease.property == property && lease.state == LeaseState::kPending) {
+      lease.state = LeaseState::kDropped;
+    }
+  }
+}
+
+// Stamps the property's wall-clock when its last lease settles (caller
+// holds the mutex).
+void check_property_finished(Coord& c, std::size_t property) {
+  PropMerge& prop = c.props[property];
+  if (prop.finished) return;
+  for (const Lease& lease : c.leases) {
+    if (lease.property != property) continue;
+    if (lease.state == LeaseState::kPending || lease.state == LeaseState::kActive) return;
+  }
+  prop.finished = true;
+  prop.seconds = c.watch->seconds();
+}
+
+bool run_complete(const Coord& c) {
+  for (const Lease& lease : c.leases) {
+    if (lease.state == LeaseState::kPending || lease.state == LeaseState::kActive) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool task_covers(const checker::SubtreeTask& task, const std::vector<int>& unlock_order) {
+  if (task.include_extensions) {
+    return unlock_order.size() >= task.prefix.size() &&
+           std::equal(task.prefix.begin(), task.prefix.end(), unlock_order.begin());
+  }
+  return unlock_order == task.prefix;
+}
+
+// Applies one settled verdict to the merge state (caller holds the mutex).
+// `resumed` distinguishes journal replay from live records. Returns false
+// iff the cursor was already settled (duplicate after a reassignment).
+bool apply_record(Coord& c, std::size_t p, std::size_t q, const checker::Schema& schema,
+                  const std::string& cursor, const std::string& verdict, std::int64_t length,
+                  std::int64_t pivots, std::int64_t retries, const std::string& note,
+                  bool resumed, bool journal_this) {
+  const std::vector<spec::Property>& properties = *c.properties;
+  PropMerge& settled_prop = c.props[p];
+  // A settled property wants no more verdicts: in-flight records from a
+  // worker that has not yet seen its abandon frame are dropped, keeping the
+  // counters identical to an in-process run that stopped enumerating there.
+  if (settled_prop.stopped || settled_prop.budget_exhausted) return false;
+  const std::string key = checker::ResumeState::key(properties[p].name, cursor);
+  if (!c.settled.insert(key).second) return false;
+  c.settled_by_pq[{p, q}].emplace_back(schema.unlock_order, cursor);
+  PropMerge& prop = c.props[p];
+  ++prop.enumerated;
+  prop.retries += retries;
+  if (resumed) ++prop.resumed;
+  if (verdict == "pruned") {
+    ++prop.pruned;
+    if (c.check.certify) prop.pruned_schemas.push_back({q, schema});
+  } else if (verdict == "unsat" || verdict == "sat") {
+    ++prop.checked;
+    prop.total_length += length;
+    prop.pivots += pivots;
+  } else {  // "unknown"
+    ++prop.unknown;
+    if (prop.degrade_note.empty()) {
+      prop.degrade_note = resumed ? "schema degraded to unknown (resumed): " + note
+                                  : "schema degraded to unknown: " + note;
+    }
+  }
+  if (journal_this) {
+    journal_append(c, properties[p].name, cursor, verdict.c_str(), length, pivots, note);
+  }
+  // The schema budget is per property, exactly like an in-process run.
+  if (!prop.budget_exhausted && !prop.stopped &&
+      prop.enumerated >= c.check.enumeration.max_schemas) {
+    prop.budget_exhausted = true;
+    drop_pending_leases(c, p);
+    check_property_finished(c, p);
+  }
+  return true;
+}
+
+// One connection's server side; runs on its own thread. `Coord` outlives
+// every handler (they are joined before serve_fd returns).
+void handle_connection(Coord& c, int fd) {
+  Conn conn(fd);
+  cert::Json hello;
+  if (conn.recv(&hello, 10'000) != FrameStatus::kOk || hello.find("type") == nullptr ||
+      hello.at("type").as_string() != "hello") {
+    return;
+  }
+  const cert::Json* protocol = hello.find("protocol");
+  if (protocol == nullptr || protocol->as_int() != kDistProtocolVersion) {
+    conn.send(cert::Json::Object{
+        {"type", "shutdown"},
+        {"reason", "protocol mismatch (coordinator speaks " +
+                       std::to_string(kDistProtocolVersion) + ")"}});
+    return;
+  }
+  if (!conn.send(c.welcome)) return;
+  {
+    std::lock_guard<std::mutex> lock(c.mutex);
+    ++c.stats.workers_joined;
+    c.open_conns.push_back(&conn);
+  }
+  const std::vector<spec::Property>& properties = *c.properties;
+
+  std::int64_t current = -1;  // lease index held by this worker
+  // Lease id the last "abandon" frame named (one per lease is enough — the
+  // worker reacts after its next streamed record).
+  std::int64_t abandon_sent_for = -2;
+  auto last_activity = Clock::now();
+  bool clean = false;
+
+  const auto release_current = [&] {
+    if (current < 0) return;
+    Lease& lease = c.leases[static_cast<std::size_t>(current)];
+    if (lease.state == LeaseState::kActive) {
+      lease.state = LeaseState::kPending;
+      ++c.stats.leases_reassigned;
+    }
+    current = -1;
+  };
+
+  for (;;) {
+    cert::Json msg;
+    const FrameStatus status = conn.recv(&msg, 250);
+    if (status == FrameStatus::kTimeout) {
+      const double silent =
+          std::chrono::duration<double>(Clock::now() - last_activity).count();
+      std::lock_guard<std::mutex> lock(c.mutex);
+      if (silent > c.options->lease_timeout_seconds) break;  // dead or wedged worker
+      if (c.closing && current < 0) {
+        conn.send(cert::Json::Object{{"type", "shutdown"}, {"reason", "run over"}});
+        clean = true;
+        break;
+      }
+      continue;
+    }
+    if (status != FrameStatus::kOk) break;  // EOF, torn frame, protocol garbage
+    last_activity = Clock::now();
+    const cert::Json* type_field = msg.find("type");
+    if (type_field == nullptr) break;
+    const std::string& type = type_field->as_string();
+
+    if (type == "heartbeat") continue;
+
+    if (type == "next") {
+      cert::Json reply;
+      {
+        std::lock_guard<std::mutex> lock(c.mutex);
+        release_current();  // a worker asking again abandoned any holdover
+        std::int64_t grant = -1;
+        bool work_left = false;
+        if (!c.closing) {
+          for (std::size_t i = 0; i < c.leases.size(); ++i) {
+            const Lease& lease = c.leases[i];
+            if (lease.state == LeaseState::kActive) work_left = true;
+            if (lease.state != LeaseState::kPending) continue;
+            work_left = true;
+            const PropMerge& prop = c.props[lease.property];
+            if (prop.stopped || prop.budget_exhausted) continue;
+            grant = static_cast<std::int64_t>(i);
+            break;
+          }
+        }
+        if (grant >= 0) {
+          Lease& lease = c.leases[static_cast<std::size_t>(grant)];
+          lease.state = LeaseState::kActive;
+          ++c.stats.leases_granted;
+          current = grant;
+          abandon_sent_for = -2;  // a regranted lease may need its own abandon
+          cert::Json::Array prefix;
+          for (const int g : lease.task.prefix) prefix.push_back(g);
+          // Skip list: every settled cursor inside this subtree (resume
+          // replay and partial work of a previous holder).
+          cert::Json::Array skip;
+          const auto it = c.settled_by_pq.find({lease.property, lease.query});
+          if (it != c.settled_by_pq.end()) {
+            for (const auto& [unlock_order, cursor] : it->second) {
+              if (task_covers(lease.task, unlock_order)) skip.push_back(cursor);
+            }
+          }
+          reply = cert::Json::Object{{"type", "lease"},
+                                     {"lease", grant},
+                                     {"property", static_cast<std::int64_t>(lease.property)},
+                                     {"query", static_cast<std::int64_t>(lease.query)},
+                                     {"prefix", std::move(prefix)},
+                                     {"extensions", lease.task.include_extensions},
+                                     {"skip", std::move(skip)}};
+        } else if (work_left) {
+          reply = cert::Json::Object{{"type", "wait"}, {"ms", 300}};
+        } else {
+          reply = cert::Json::Object{{"type", "shutdown"}, {"reason", "run over"}};
+          clean = true;
+        }
+      }
+      if (!conn.send(reply)) break;
+      if (clean) break;
+      continue;
+    }
+
+    if (type == "record") {
+      std::size_t q = 0;
+      checker::Schema schema;
+      const std::string& cursor = msg.at("cursor").as_string();
+      const auto p = static_cast<std::size_t>(msg.at("property").as_int());
+      if (p >= c.props.size() || !checker::parse_schema_cursor(cursor, &q, &schema) ||
+          q >= properties[p].queries.size()) {
+        break;
+      }
+      const std::int64_t cited = msg.at("lease").as_int();
+      bool abandon = false;
+      {
+        std::lock_guard<std::mutex> lock(c.mutex);
+        const std::string& verdict = msg.at("verdict").as_string();
+        if (verdict != "pruned" && verdict != "unsat" && verdict != "unknown") break;
+        if (cited == current &&
+            apply_record(c, p, q, schema, cursor, verdict, msg.at("length").as_int(),
+                         msg.at("pivots").as_int(), msg.at("retries").as_int(),
+                         msg.at("note").as_string(), /*resumed=*/false,
+                         /*journal_this=*/true)) {
+          if (c.check.certify && verdict == "unsat") {
+            checker::SchemaEvidence item;
+            item.query_index = q;
+            item.schema = schema;
+            item.sat = false;
+            if (const cert::Json* proof = msg.find("proof")) {
+              item.proof = std::shared_ptr<const smt::proof::Node>(
+                  cert::proof_from_json(*proof).release());
+            }
+            c.props[p].evidence.push_back(std::move(item));
+          }
+        }
+        // Tell the worker to stop solving a subtree nobody wants: its lease
+        // was expropriated, or the property is already settled (first
+        // witness, exhausted budget).
+        abandon = cited != current || c.props[p].stopped || c.props[p].budget_exhausted;
+      }
+      if (abandon && abandon_sent_for != cited) {
+        abandon_sent_for = cited;
+        if (!conn.send(cert::Json::Object{{"type", "abandon"}, {"lease", cited}})) break;
+      }
+      continue;
+    }
+
+    if (type == "sat") {
+      std::size_t q = 0;
+      checker::Schema schema;
+      const std::string& cursor = msg.at("cursor").as_string();
+      const auto p = static_cast<std::size_t>(msg.at("property").as_int());
+      if (p >= c.props.size() || !checker::parse_schema_cursor(cursor, &q, &schema) ||
+          q >= properties[p].queries.size()) {
+        break;
+      }
+      std::lock_guard<std::mutex> lock(c.mutex);
+      if (apply_record(c, p, q, schema, cursor, "sat", msg.at("length").as_int(),
+                       msg.at("pivots").as_int(), msg.at("retries").as_int(), std::string(),
+                       /*resumed=*/false, /*journal_this=*/true)) {
+        PropMerge& prop = c.props[p];
+        if (c.check.certify) {
+          checker::SchemaEvidence item;
+          item.query_index = q;
+          item.schema = schema;
+          item.sat = true;
+          if (const cert::Json* model = msg.find("model")) {
+            item.model = std::make_shared<const std::vector<std::pair<std::string, BigInt>>>(
+                model_values_from_json(*model));
+          }
+          prop.evidence.push_back(std::move(item));
+        }
+        const std::string& validation_error = msg.at("validation_error").as_string();
+        if (!validation_error.empty()) {
+          if (prop.error_note.empty()) {
+            prop.error_note =
+                "internal: counterexample failed replay validation: " + validation_error;
+          }
+        } else if (const cert::Json* cex = msg.find("counterexample");
+                   cex != nullptr && !prop.counterexample) {
+          prop.counterexample = counterexample_from_json(*cex);
+        }
+        prop.stopped = true;  // first witness wins; stop leasing this property
+        drop_pending_leases(c, p);
+        check_property_finished(c, p);
+      }
+      continue;
+    }
+
+    if (type == "lease_done") {
+      const std::int64_t id = msg.at("lease").as_int();
+      std::lock_guard<std::mutex> lock(c.mutex);
+      if (id == current && id >= 0) {
+        Lease& lease = c.leases[static_cast<std::size_t>(id)];
+        if (lease.state == LeaseState::kActive) lease.state = LeaseState::kDone;
+        if (const cert::Json* stats = msg.find("stats")) {
+          checker::IncrementalStats delta;
+          delta.segments_pushed = stats->at("segments_pushed").as_int();
+          delta.segments_popped = stats->at("segments_popped").as_int();
+          delta.segments_reused = stats->at("segments_reused").as_int();
+          delta.schemas_encoded = stats->at("schemas_encoded").as_int();
+          accumulate(c.props[lease.property].incremental, delta);
+        }
+        current = -1;
+        check_property_finished(c, lease.property);
+      }
+      continue;
+    }
+
+    break;  // unknown message: protocol violation, drop the connection
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(c.mutex);
+    release_current();
+    if (!clean) ++c.stats.workers_lost;
+    c.open_conns.erase(std::find(c.open_conns.begin(), c.open_conns.end(), &conn),
+                       c.open_conns.end());
+  }
+  conn.close();
+}
+
+}  // namespace
+
+std::vector<checker::PropertyResult> serve_fd(int listen_fd, const std::string& model_text,
+                                              const std::vector<PropertySpec>& specs,
+                                              const DistOptions& options, DistStats* stats) {
+  const Stopwatch watch;
+  Coord c;
+  c.options = &options;
+  c.watch = &watch;
+  c.check = options.check;
+  if (c.check.certify) c.check.incremental = true;
+  if (c.check.certify && !c.check.resume_path.empty()) {
+    ::close(listen_fd);
+    throw InvalidArgument(
+        "checker: resume is incompatible with certify (resumed schemas carry no proofs)");
+  }
+
+  const ta::ThresholdAutomaton ta = ta::parse_ta(model_text).one_round_reduction();
+  const std::vector<spec::Property> properties = resolve_properties(ta, specs);
+  c.properties = &properties;
+  const std::string model_hash = checker::model_content_hash(ta);
+
+  std::optional<checker::ResumeState> resume;
+  if (!c.check.resume_path.empty()) {
+    resume = checker::load_journal(c.check.resume_path);
+    checker::require_resume_compatible(*resume, ta.name(), model_hash);
+  }
+  std::unique_ptr<checker::ProgressJournal> journal;
+  if (!c.check.journal_path.empty()) {
+    journal = std::make_unique<checker::ProgressJournal>(
+        c.check.journal_path, checker::JournalHeader(ta.name(), model_hash));
+  }
+  c.journal = journal.get();
+  const bool copy_resumed =
+      journal != nullptr && c.check.journal_path != c.check.resume_path;
+
+  // Workers enumerate their subtrees without a schema cap — the budget is
+  // global, enforced here as records merge (exactly like the in-process
+  // pool, which strips max_schemas from per-task enumeration).
+  checker::CheckOptions wire = c.check;
+  wire.enumeration.max_schemas = std::numeric_limits<std::int64_t>::max();
+  c.welcome = cert::Json::Object{{"type", "welcome"},
+                                 {"protocol", kDistProtocolVersion},
+                                 {"model_hash", model_hash},
+                                 {"model_text", model_text},
+                                 {"properties", specs_to_json(specs)},
+                                 {"options", options_to_json(wire)}};
+
+  // Lease planning: the same DFS chain-subtree partition the in-process
+  // pool uses, deep enough that the expected fleet load-balances.
+  const checker::GuardAnalysis analysis(ta);
+  std::vector<checker::SubtreeTask> tasks;
+  const int want = std::max(1, options.expected_workers) * 4;
+  for (int depth = 1;; ++depth) {
+    tasks = checker::partition_subtrees(analysis, depth, c.check.enumeration);
+    if (static_cast<int>(tasks.size()) >= want || depth >= analysis.guard_count()) break;
+  }
+  c.props.resize(properties.size());
+  for (std::size_t p = 0; p < properties.size(); ++p) {
+    for (std::size_t q = 0; q < properties[p].queries.size(); ++q) {
+      for (const checker::SubtreeTask& task : tasks) {
+        c.leases.push_back({p, q, task, LeaseState::kPending});
+      }
+    }
+  }
+  {
+    // A budget of zero (or below) is exhausted before any schema settles.
+    std::lock_guard<std::mutex> lock(c.mutex);
+    for (std::size_t p = 0; p < properties.size(); ++p) {
+      if (c.props[p].enumerated >= c.check.enumeration.max_schemas) {
+        c.props[p].budget_exhausted = true;
+        drop_pending_leases(c, p);
+        check_property_finished(c, p);
+      }
+    }
+  }
+
+  // Resume replay: settle everything the journal already decided, so leases
+  // ship it as skip lists and the statistics replay exactly like the
+  // in-process resume path. Sat records are re-solved (no counterexample is
+  // journaled), as in-process.
+  if (resume) {
+    std::unordered_map<std::string, std::size_t> by_name;
+    for (std::size_t p = 0; p < properties.size(); ++p) by_name[properties[p].name] = p;
+    std::lock_guard<std::mutex> lock(c.mutex);
+    for (const auto& [key, record] : resume->settled) {
+      if (record.verdict == "sat") continue;
+      const auto it = by_name.find(record.property);
+      if (it == by_name.end()) continue;
+      std::size_t q = 0;
+      checker::Schema schema;
+      if (!checker::parse_schema_cursor(record.cursor, &q, &schema)) continue;
+      if (q >= properties[it->second].queries.size()) continue;
+      apply_record(c, it->second, q, schema, record.cursor, record.verdict, record.length,
+                   record.pivots, /*retries=*/0, record.note, /*resumed=*/true,
+                   /*journal_this=*/copy_resumed);
+    }
+    for (std::size_t p = 0; p < properties.size(); ++p) check_property_finished(c, p);
+  }
+
+  // Accept loop: hand every connection to its own handler thread; watch for
+  // completion, cancellation and the global timeout.
+  std::vector<std::thread> handlers;
+  bool force_close = false;
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lock(c.mutex);
+      if (run_complete(c)) {
+        c.closing = true;
+        break;
+      }
+      if (options.check.cancel != nullptr &&
+          options.check.cancel->load(std::memory_order_relaxed)) {
+        c.interrupted = true;
+        c.closing = true;
+        force_close = true;
+        break;
+      }
+      if (options.check.timeout_seconds > 0.0 &&
+          watch.seconds() > options.check.timeout_seconds) {
+        c.timed_out = true;
+        c.closing = true;
+        force_close = true;
+        break;
+      }
+    }
+    struct pollfd pfd = {listen_fd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, 100);
+    if (ready < 0 && errno != EINTR) break;
+    if (ready <= 0) continue;
+    const int cfd = ::accept(listen_fd, nullptr, nullptr);
+    if (cfd < 0) continue;
+    handlers.emplace_back([&c, cfd] { handle_connection(c, cfd); });
+  }
+  if (force_close) {
+    // Cancellation/timeout: cut every worker loose; their reads fail, the
+    // handlers release the leases and exit.
+    std::lock_guard<std::mutex> lock(c.mutex);
+    for (Conn* conn : c.open_conns) conn->shutdown();
+  }
+  for (std::thread& handler : handlers) handler.join();
+  ::close(listen_fd);
+  if (journal) journal->flush();
+  {
+    // Completion stamps for properties finished by the final lease (or never
+    // finished at all on a forced stop).
+    std::lock_guard<std::mutex> lock(c.mutex);
+    for (std::size_t p = 0; p < properties.size(); ++p) check_property_finished(c, p);
+  }
+
+  // Assemble PropertyResults exactly like the in-process checker.
+  std::vector<checker::PropertyResult> results;
+  results.reserve(properties.size());
+  for (std::size_t p = 0; p < properties.size(); ++p) {
+    PropMerge& prop = c.props[p];
+    checker::PropertyResult result;
+    result.property = properties[p].name;
+    result.schemas_checked = prop.checked;
+    result.schemas_pruned = prop.pruned;
+    result.schemas_unknown = prop.unknown;
+    result.schemas_resumed = prop.resumed;
+    result.retries = prop.retries;
+    result.interrupted = c.interrupted;
+    result.avg_schema_length =
+        prop.checked == 0 ? 0.0
+                          : static_cast<double>(prop.total_length) /
+                                static_cast<double>(prop.checked);
+    result.seconds = prop.finished ? prop.seconds : watch.seconds();
+    result.simplex_pivots = prop.pivots;
+    if (c.check.incremental) result.incremental = prop.incremental;
+
+    const auto progress = [&] {
+      return " after " + format_seconds(result.seconds) + "s; solved " +
+             std::to_string(result.schemas_checked) + "/" + std::to_string(prop.enumerated) +
+             " enumerated schemas, " + std::to_string(result.schemas_pruned) + " pruned";
+    };
+    const bool complete_leases = [&] {
+      for (const Lease& lease : c.leases) {
+        if (lease.property == p && lease.state != LeaseState::kDone) return false;
+      }
+      return true;
+    }();
+    if (prop.counterexample) {
+      result.verdict = checker::Verdict::kViolated;
+      result.counterexample = std::move(prop.counterexample);
+    } else if (!prop.error_note.empty()) {
+      result.verdict = checker::Verdict::kUnknown;
+      result.note = prop.error_note + progress();
+    } else if (c.interrupted) {
+      result.verdict = checker::Verdict::kUnknown;
+      result.note = "interrupted" + progress();
+    } else if (c.timed_out) {
+      result.verdict = checker::Verdict::kUnknown;
+      result.note =
+          "timeout (limit " + format_seconds(options.check.timeout_seconds) + "s)" + progress();
+    } else if (prop.budget_exhausted) {
+      result.verdict = checker::Verdict::kUnknown;
+      result.note = "schema budget exhausted (" +
+                    std::to_string(c.check.enumeration.max_schemas) + ")" + progress();
+    } else if (prop.unknown > 0) {
+      result.verdict = checker::Verdict::kUnknown;
+      result.note = prop.degrade_note + " (" + std::to_string(prop.unknown) +
+                    " schemas unknown)" + progress();
+    } else if (!complete_leases) {
+      result.verdict = checker::Verdict::kUnknown;
+      result.note = "run stopped before full coverage" + progress();
+    } else {
+      result.verdict = checker::Verdict::kHolds;
+    }
+    if (c.check.certify) {
+      auto evidence = std::make_shared<checker::PropertyEvidence>();
+      evidence->schemas = std::move(prop.evidence);
+      evidence->pruned = std::move(prop.pruned_schemas);
+      evidence->enumeration = c.check.enumeration;
+      evidence->property_directed_pruning = c.check.property_directed_pruning;
+      evidence->complete = result.verdict == checker::Verdict::kHolds;
+      result.evidence = std::move(evidence);
+    }
+    results.push_back(std::move(result));
+  }
+  if (stats != nullptr) {
+    std::lock_guard<std::mutex> lock(c.mutex);
+    *stats = c.stats;
+  }
+  return results;
+}
+
+std::vector<checker::PropertyResult> serve(const std::string& model_text,
+                                           const std::vector<PropertySpec>& specs,
+                                           const std::string& listen_address,
+                                           const DistOptions& options, DistStats* stats) {
+  const Address address = parse_address(listen_address);
+  const int listen_fd = listen_on(address);
+  std::vector<checker::PropertyResult> results;
+  try {
+    results = serve_fd(listen_fd, model_text, specs, options, stats);
+  } catch (...) {
+    if (address.unix_domain) ::unlink(address.path.c_str());
+    throw;
+  }
+  if (address.unix_domain) ::unlink(address.path.c_str());
+  return results;
+}
+
+}  // namespace hv::dist

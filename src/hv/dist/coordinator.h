@@ -1,0 +1,76 @@
+// Distributed verification coordinator: shards the schema space of every
+// property into chain-subtree leases (the same DFS partition the in-process
+// pool uses), hands leases to workers over the frame protocol, and merges
+// their streamed verdict records into the usual PropertyResult / journal /
+// certificate paths.
+//
+// Fault model, in one place:
+//   * worker death (EOF, torn frame, SIGKILL) or silence beyond the lease
+//     timeout: its active lease returns to the pending pool and is granted
+//     to the next worker that asks;
+//   * duplicated work after a reassignment (the dead worker had already
+//     streamed part of the subtree): records are deduplicated by
+//     (property, cursor), so replays are idempotent — and the reassigned
+//     lease ships the already-settled cursors as a skip list, so the new
+//     worker does not even re-solve them;
+//   * coordinator death: every merged record was appended to the crash-safe
+//     journal; restarting with --resume replays the journal and leases only
+//     the remainder (sat records are re-solved, as in-process resume does);
+//   * a worker that lies about the model is impossible by construction: the
+//     welcome handshake compares model content hashes before any lease.
+#ifndef HV_DIST_COORDINATOR_H
+#define HV_DIST_COORDINATOR_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hv/checker/parameterized.h"
+#include "hv/checker/result.h"
+#include "hv/dist/protocol.h"
+
+namespace hv::dist {
+
+struct DistOptions {
+  /// Solver settings shipped to every worker (the `workers` field is
+  /// ignored: parallelism is the number of connected worker processes).
+  checker::CheckOptions check;
+  /// A worker whose connection stays silent this long loses its lease
+  /// (heartbeats count as activity, so only dead or wedged workers hit it).
+  double lease_timeout_seconds = 30.0;
+  /// Partition granularity hint: aim for at least 4 leases per expected
+  /// worker so the fleet load-balances.
+  int expected_workers = 2;
+};
+
+struct DistStats {
+  std::int64_t workers_joined = 0;
+  std::int64_t workers_lost = 0;
+  std::int64_t leases_granted = 0;
+  /// Leases returned to the pool after their worker died or timed out.
+  std::int64_t leases_reassigned = 0;
+};
+
+/// Serves one verification run at `listen_address` ("unix:/path" or
+/// "tcp:host:port") until every lease of every property is settled (or the
+/// run stops: counterexamples, timeout, cancellation, schema budget).
+/// Returns one PropertyResult per spec, byte-compatible with
+/// checker::check_properties on the same model and options. Blocks until
+/// workers finish; with no workers it waits until timeout or cancellation.
+std::vector<checker::PropertyResult> serve(const std::string& model_text,
+                                           const std::vector<PropertySpec>& specs,
+                                           const std::string& listen_address,
+                                           const DistOptions& options,
+                                           DistStats* stats = nullptr);
+
+/// Same, on an already-listening socket (fork-local mode binds before
+/// forking its workers so no child can win the race). Takes ownership of
+/// `listen_fd`.
+std::vector<checker::PropertyResult> serve_fd(int listen_fd, const std::string& model_text,
+                                              const std::vector<PropertySpec>& specs,
+                                              const DistOptions& options,
+                                              DistStats* stats = nullptr);
+
+}  // namespace hv::dist
+
+#endif  // HV_DIST_COORDINATOR_H

@@ -1,0 +1,162 @@
+#include "hv/dist/frame.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+
+namespace hv::dist {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// Remaining milliseconds of a deadline, clamped for poll(); -1 = infinite.
+int remaining_ms(int timeout_ms, Clock::time_point start) {
+  if (timeout_ms < 0) return -1;
+  const auto elapsed =
+      std::chrono::duration_cast<std::chrono::milliseconds>(Clock::now() - start).count();
+  const auto left = static_cast<std::int64_t>(timeout_ms) - elapsed;
+  return left > 0 ? static_cast<int>(left) : 0;
+}
+
+enum class ReadStatus { kOk, kEof, kTimeout, kError };
+
+// Reads exactly `size` bytes under the shared deadline. EOF before the
+// first byte is a clean close; the caller distinguishes it from a torn
+// frame by what it had already read.
+ReadStatus read_exact(int fd, void* buffer, std::size_t size, int timeout_ms,
+                      Clock::time_point start) {
+  auto* out = static_cast<char*>(buffer);
+  std::size_t got = 0;
+  while (got < size) {
+    struct pollfd pfd = {fd, POLLIN, 0};
+    const int left = remaining_ms(timeout_ms, start);
+    if (left == 0) return ReadStatus::kTimeout;
+    const int ready = ::poll(&pfd, 1, left);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return ReadStatus::kError;
+    }
+    if (ready == 0) return ReadStatus::kTimeout;
+    const ssize_t n = ::read(fd, out + got, size - got);
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN) continue;
+      return ReadStatus::kError;
+    }
+    if (n == 0) return ReadStatus::kEof;
+    got += static_cast<std::size_t>(n);
+  }
+  return ReadStatus::kOk;
+}
+
+bool write_exact(int fd, const void* buffer, std::size_t size) {
+  const auto* data = static_cast<const char*>(buffer);
+  std::size_t sent = 0;
+  while (sent < size) {
+    // MSG_NOSIGNAL: a worker writing to a dead coordinator must get EPIPE,
+    // not a process-killing SIGPIPE. Falls back to write() for pipe fds
+    // (tests use socketpairs, so the send() path is the one exercised).
+    ssize_t n = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n < 0 && errno == ENOTSOCK) n = ::write(fd, data + sent, size - sent);
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+const char* to_string(FrameStatus status) {
+  switch (status) {
+    case FrameStatus::kOk:
+      return "ok";
+    case FrameStatus::kClosed:
+      return "closed";
+    case FrameStatus::kTimeout:
+      return "timeout";
+    case FrameStatus::kTorn:
+      return "torn";
+    case FrameStatus::kBadMagic:
+      return "bad-magic";
+    case FrameStatus::kOversized:
+      return "oversized";
+    case FrameStatus::kError:
+      return "error";
+  }
+  return "?";
+}
+
+bool write_frame(int fd, std::string_view payload) {
+  char header[8];
+  std::memcpy(header, kFrameMagic, 4);
+  const auto size = static_cast<std::uint32_t>(payload.size());
+  header[4] = static_cast<char>((size >> 24) & 0xff);
+  header[5] = static_cast<char>((size >> 16) & 0xff);
+  header[6] = static_cast<char>((size >> 8) & 0xff);
+  header[7] = static_cast<char>(size & 0xff);
+  if (payload.size() > kMaxFrameBytes) return false;
+  if (!write_exact(fd, header, sizeof header)) return false;
+  return write_exact(fd, payload.data(), payload.size());
+}
+
+FrameStatus read_frame(int fd, std::string* payload, int timeout_ms, std::size_t max_bytes) {
+  payload->clear();
+  const Clock::time_point start = Clock::now();
+  char header[8];
+  switch (read_exact(fd, header, 1, timeout_ms, start)) {
+    case ReadStatus::kOk:
+      break;
+    case ReadStatus::kEof:
+      return FrameStatus::kClosed;  // boundary EOF: clean departure
+    case ReadStatus::kTimeout:
+      return FrameStatus::kTimeout;
+    case ReadStatus::kError:
+      return FrameStatus::kError;
+  }
+  switch (read_exact(fd, header + 1, sizeof(header) - 1, timeout_ms, start)) {
+    case ReadStatus::kOk:
+      break;
+    case ReadStatus::kEof:
+      return FrameStatus::kTorn;
+    case ReadStatus::kTimeout:
+      return FrameStatus::kTimeout;
+    case ReadStatus::kError:
+      return FrameStatus::kError;
+  }
+  if (std::memcmp(header, kFrameMagic, 4) != 0) return FrameStatus::kBadMagic;
+  const std::uint32_t size = (static_cast<std::uint32_t>(static_cast<unsigned char>(header[4]))
+                              << 24) |
+                             (static_cast<std::uint32_t>(static_cast<unsigned char>(header[5]))
+                              << 16) |
+                             (static_cast<std::uint32_t>(static_cast<unsigned char>(header[6]))
+                              << 8) |
+                             static_cast<std::uint32_t>(static_cast<unsigned char>(header[7]));
+  if (size > max_bytes) return FrameStatus::kOversized;
+  payload->resize(size);
+  if (size == 0) return FrameStatus::kOk;
+  switch (read_exact(fd, payload->data(), size, timeout_ms, start)) {
+    case ReadStatus::kOk:
+      return FrameStatus::kOk;
+    case ReadStatus::kEof:
+      payload->clear();
+      return FrameStatus::kTorn;
+    case ReadStatus::kTimeout:
+      payload->clear();
+      return FrameStatus::kTimeout;
+    case ReadStatus::kError:
+      payload->clear();
+      return FrameStatus::kError;
+  }
+  payload->clear();
+  return FrameStatus::kError;
+}
+
+}  // namespace hv::dist

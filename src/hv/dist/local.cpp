@@ -1,0 +1,87 @@
+#include "hv/dist/local.h"
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "hv/dist/worker.h"
+#include "hv/util/error.h"
+
+namespace hv::dist {
+
+std::vector<checker::PropertyResult> check_distributed_local(
+    const std::string& model_text, const std::vector<PropertySpec>& specs, int worker_count,
+    const DistOptions& options, DistStats* stats) {
+  if (worker_count < 1) throw InvalidArgument("dist: worker count must be >= 1");
+  Address address;
+  address.unix_domain = true;
+  address.path = "/tmp/hvc-dist-" + std::to_string(::getpid()) + ".sock";
+
+  // Bind before forking so no child races the listen; children then only
+  // ever see a connectable socket.
+  const int listen_fd = listen_on(address);
+
+  DistOptions coordinator_options = options;
+  coordinator_options.expected_workers = worker_count;
+  WorkerOptions worker_options;
+  worker_options.connect = "unix:" + address.path;
+  worker_options.fault = options.check.fault;
+
+  std::vector<pid_t> children;
+  for (int w = 0; w < worker_count; ++w) {
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      for (const pid_t child : children) ::kill(child, SIGKILL);
+      ::close(listen_fd);
+      ::unlink(address.path.c_str());
+      throw Error("dist: fork failed");
+    }
+    if (pid == 0) {
+      // Child: pure worker process. _exit (not exit) — the parent's stdio
+      // and atexit state are not ours to flush.
+      ::close(listen_fd);
+      WorkerOptions mine = worker_options;
+      mine.label = "local-" + std::to_string(w);
+      int code = 0;
+      try {
+        const WorkerReport report = run_worker(mine);
+        code = report.aborted ? 3 : 0;
+      } catch (...) {
+        code = 2;
+      }
+      ::_exit(code);
+    }
+    children.push_back(pid);
+  }
+
+  std::vector<checker::PropertyResult> results;
+  try {
+    results = serve_fd(listen_fd, model_text, specs, coordinator_options, stats);
+  } catch (...) {
+    for (const pid_t child : children) ::kill(child, SIGKILL);
+    for (const pid_t child : children) ::waitpid(child, nullptr, 0);
+    ::unlink(address.path.c_str());
+    throw;
+  }
+  // Workers exit on the shutdown frame; reap them all (a stuck child would
+  // hang the command, so give stragglers a SIGTERM after the clean wave).
+  for (const pid_t child : children) {
+    int status = 0;
+    bool reaped = false;
+    for (int spins = 0; spins < 100 && !reaped; ++spins) {
+      reaped = ::waitpid(child, &status, WNOHANG) == child;
+      if (!reaped) ::usleep(20'000);
+    }
+    if (!reaped) {
+      ::kill(child, SIGTERM);
+      ::waitpid(child, &status, 0);
+    }
+  }
+  ::unlink(address.path.c_str());
+  return results;
+}
+
+}  // namespace hv::dist

@@ -1,0 +1,27 @@
+// Convenience single-machine mode: `hvc check --workers N` forks N worker
+// processes connected to an in-process coordinator over a private unix
+// socket. Process isolation is the point — a worker taken down by a fault
+// (bad_alloc, injected abort, a SIGKILL from outside) costs its current
+// lease, not the run.
+#ifndef HV_DIST_LOCAL_H
+#define HV_DIST_LOCAL_H
+
+#include <string>
+#include <vector>
+
+#include "hv/checker/result.h"
+#include "hv/dist/coordinator.h"
+
+namespace hv::dist {
+
+/// Runs the coordinator in this process and `worker_count` forked worker
+/// processes, all over a unix socket under the journal's directory (or
+/// /tmp). Blocks until the run completes; reaps every child. Results are
+/// verdict-identical to checker::check_properties on the same inputs.
+std::vector<checker::PropertyResult> check_distributed_local(
+    const std::string& model_text, const std::vector<PropertySpec>& specs, int worker_count,
+    const DistOptions& options, DistStats* stats = nullptr);
+
+}  // namespace hv::dist
+
+#endif  // HV_DIST_LOCAL_H

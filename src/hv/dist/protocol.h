@@ -1,0 +1,146 @@
+// Wire protocol of the distributed verification service: addresses,
+// connection handling and the JSON message vocabulary shared by the
+// coordinator (coordinator.h) and the worker (worker.h).
+//
+// Addresses are "unix:/path/to.sock" or "tcp:host:port" (a bare
+// "host:port" is accepted as TCP). Every message is one JSON object in one
+// frame (frame.h) with a "type" field:
+//
+//   worker -> coordinator
+//     hello      {protocol, label}
+//     next       {}                     request a lease (pull model)
+//     record     {lease, property, cursor, verdict, length, pivots,
+//                 retries, note, proof?, model?}     one settled schema
+//     sat        {lease, property, cursor, length, pivots, retries,
+//                 validation_error, counterexample?, model?}
+//     lease_done {lease, stats{...}}
+//     heartbeat  {}                     liveness only; renews the deadline
+//
+//   coordinator -> worker
+//     welcome    {protocol, model_hash, model_text, properties[], options{}}
+//     lease      {lease, property, query, prefix[], extensions, skip[]}
+//     wait       {ms}                   nothing grantable right now
+//     abandon    {lease}               stop that lease: the property is
+//                                      settled or the lease reassigned; the
+//                                      worker closes it with lease_done
+//     shutdown   {reason}               run over; worker disconnects
+//
+// The pull model keeps the coordinator passive between frames: a worker
+// that dies simply stops asking, and *any* frame (heartbeats included)
+// renews its lease deadline, so only a genuinely dead or wedged worker is
+// expropriated.
+#ifndef HV_DIST_PROTOCOL_H
+#define HV_DIST_PROTOCOL_H
+
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "hv/cert/json.h"
+#include "hv/checker/parameterized.h"
+#include "hv/checker/result.h"
+#include "hv/dist/frame.h"
+#include "hv/spec/query.h"
+#include "hv/ta/automaton.h"
+
+namespace hv::dist {
+
+/// A parsed listen/connect address.
+struct Address {
+  bool unix_domain = false;
+  std::string path;  // unix: socket path
+  std::string host;  // tcp: host (empty = all interfaces when listening)
+  int port = 0;      // tcp
+};
+
+/// Parses "unix:/path", "tcp:host:port" or "host:port". Throws
+/// hv::InvalidArgument on anything else.
+Address parse_address(const std::string& text);
+
+/// Binds and listens; returns the listening fd. Throws hv::Error on
+/// failure (address in use, bad path, ...). Unix sockets unlink a stale
+/// path first.
+int listen_on(const Address& address);
+
+/// Connects; returns the fd or -1 (no throw — workers retry).
+int connect_to(const Address& address);
+
+/// One protocol connection: a frame stream carrying JSON objects. Reads
+/// are single-threaded per connection; writes are serialized internally so
+/// a worker's heartbeat thread can share the fd with its lease loop.
+class Conn {
+ public:
+  explicit Conn(int fd) : fd_(fd) {}
+  ~Conn();
+  Conn(const Conn&) = delete;
+  Conn& operator=(const Conn&) = delete;
+
+  int fd() const noexcept { return fd_; }
+  bool valid() const noexcept { return fd_ >= 0; }
+
+  /// Serializes and sends one message. Returns false on any send failure.
+  bool send(const cert::Json& message);
+
+  /// Receives one message. Returns the frame status; on kOk `*message` is
+  /// the parsed object. A frame that is not valid JSON returns kBadMagic's
+  /// cousin: status kOk is only returned for parseable payloads, anything
+  /// else comes back as kError with the message left null.
+  FrameStatus recv(cert::Json* message, int timeout_ms);
+
+  /// True when at least one byte is waiting, i.e. a frame is in flight (or
+  /// the peer closed). Never consumes data — safe to poll mid-lease.
+  bool readable() const;
+
+  /// Closes the fd (idempotent).
+  void close();
+  /// shutdown(2) both directions without closing: unblocks a reader in
+  /// another thread.
+  void shutdown();
+
+ private:
+  int fd_ = -1;
+  std::mutex write_mutex_;
+};
+
+// --- property resolution ----------------------------------------------------
+
+/// How one property travels in the welcome message. Workers recompile it
+/// against their own parse of the shipped model text, so both sides check
+/// the *same* compiled queries ("ltl": compile `formula`; bundled: look
+/// `name` up in the model's bundled property set).
+struct PropertySpec {
+  std::string name;
+  std::string formula;   // ltl source; informational when bundled
+  bool bundled = false;
+};
+
+/// Resolves specs into compiled properties, identically on the coordinator
+/// and on every worker. Throws hv::InvalidArgument on an unknown bundled
+/// name or an uncompilable formula.
+std::vector<spec::Property> resolve_properties(const ta::ThresholdAutomaton& ta,
+                                               const std::vector<PropertySpec>& specs);
+
+cert::Json specs_to_json(const std::vector<PropertySpec>& specs);
+std::vector<PropertySpec> specs_from_json(const cert::Json& json);
+
+// --- wire conversions -------------------------------------------------------
+
+/// Solver settings a worker needs to reproduce the coordinator's checking
+/// semantics; the subset of checker::CheckOptions that travels.
+cert::Json options_to_json(const checker::CheckOptions& options);
+checker::CheckOptions options_from_json(const cert::Json& json);
+
+/// Counterexamples travel by raw ids (rule, variable, location indices);
+/// the model-hash handshake guarantees both sides numbered the automaton
+/// identically.
+cert::Json counterexample_to_json(const checker::Counterexample& cex);
+checker::Counterexample counterexample_from_json(const cert::Json& json);
+
+/// Certify-mode model values ([name, integer-string] pairs).
+cert::Json model_values_to_json(const std::vector<std::pair<std::string, BigInt>>& values);
+std::vector<std::pair<std::string, BigInt>> model_values_from_json(const cert::Json& json);
+
+}  // namespace hv::dist
+
+#endif  // HV_DIST_PROTOCOL_H

@@ -1,0 +1,372 @@
+#include "hv/dist/worker.h"
+
+#include <chrono>
+#include <deque>
+#include <map>
+#include <memory>
+#include <thread>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "hv/cert/certificate.h"
+#include "hv/checker/cone.h"
+#include "hv/checker/guard_analysis.h"
+#include "hv/checker/journal.h"
+#include "hv/checker/schema_solver.h"
+#include "hv/dist/protocol.h"
+#include "hv/ta/parser.h"
+#include "hv/util/error.h"
+#include "hv/util/stopwatch.h"
+#include "hv/util/version.h"
+
+namespace hv::dist {
+
+namespace {
+
+cert::Json stats_delta(const checker::IncrementalStats& before,
+                       const checker::IncrementalStats& after) {
+  return cert::Json::Object{
+      {"segments_pushed", after.segments_pushed - before.segments_pushed},
+      {"segments_popped", after.segments_popped - before.segments_popped},
+      {"segments_reused", after.segments_reused - before.segments_reused},
+      {"schemas_encoded", after.schemas_encoded - before.schemas_encoded},
+  };
+}
+
+// Why the lease enumeration stopped (beyond "subtree exhausted").
+// kAbandoned: the coordinator no longer wants the subtree (property settled
+// or lease reassigned); closed with a normal lease_done like kComplete.
+enum class LeaseExit {
+  kComplete,
+  kSatFound,
+  kAbandoned,
+  kDropped,
+  kAborted,
+  kInterrupted,
+  kLost,
+};
+
+}  // namespace
+
+WorkerReport run_worker(const WorkerOptions& options) {
+  WorkerReport report;
+  const Address address = parse_address(options.connect);
+
+  // The coordinator may still be binding its socket: retry the connect with
+  // a short backoff until the window closes.
+  int fd = -1;
+  const Stopwatch connect_watch;
+  for (;;) {
+    fd = connect_to(address);
+    if (fd >= 0) break;
+    if (connect_watch.seconds() >= options.connect_retry_seconds) {
+      report.note = "cannot connect to " + options.connect;
+      return report;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  Conn conn(fd);
+
+  if (!conn.send(cert::Json::Object{{"type", "hello"},
+                                    {"protocol", kDistProtocolVersion},
+                                    {"label", options.label}})) {
+    report.note = "handshake send failed";
+    return report;
+  }
+  cert::Json welcome;
+  if (conn.recv(&welcome, options.recv_timeout_ms) != FrameStatus::kOk ||
+      welcome.at("type").as_string() != "welcome") {
+    report.note = "no welcome from coordinator";
+    return report;
+  }
+  if (welcome.at("protocol").as_int() != kDistProtocolVersion) {
+    report.note = "coordinator speaks protocol " +
+                  std::to_string(welcome.at("protocol").as_int()) + ", this worker speaks " +
+                  std::to_string(kDistProtocolVersion);
+    return report;
+  }
+
+  // Reconstruct the run from the welcome message and verify, via the model
+  // content hash, that this worker's parse numbered the automaton exactly
+  // like the coordinator's (ids travel raw on the wire).
+  checker::CheckOptions check = options_from_json(welcome.at("options"));
+  check.fault = options.fault;
+  check.cancel = options.cancel;
+  const ta::ThresholdAutomaton ta =
+      ta::parse_ta(welcome.at("model_text").as_string()).one_round_reduction();
+  const std::string model_hash = checker::model_content_hash(ta);
+  if (model_hash != welcome.at("model_hash").as_string()) {
+    report.note = "model hash mismatch: coordinator " +
+                  welcome.at("model_hash").as_string() + ", local parse " + model_hash;
+    return report;
+  }
+  const std::vector<spec::Property> properties =
+      resolve_properties(ta, specs_from_json(welcome.at("properties")));
+
+  const checker::GuardAnalysis analysis(ta);
+  // deque: QueryCone owns a mutex and must not move.
+  std::map<std::pair<std::size_t, std::size_t>, std::unique_ptr<checker::QueryCone>> cones;
+  const auto cone_for = [&](std::size_t p, std::size_t q) -> const checker::QueryCone* {
+    if (!check.property_directed_pruning) return nullptr;
+    auto& slot = cones[{p, q}];
+    if (!slot) {
+      slot = std::make_unique<checker::QueryCone>(analysis, properties[p].queries[q]);
+    }
+    return slot.get();
+  };
+
+  const Stopwatch run_watch;  // the shipped global timeout counts from the welcome
+  checker::FaultInjector injector(options.fault);
+  std::atomic<std::int64_t> memory_polls{0};
+  checker::SolveHooks hooks;
+  hooks.run_watch = &run_watch;
+  hooks.injector = &injector;
+  hooks.memory_polls = &memory_polls;
+  std::vector<std::unique_ptr<checker::SchemaSolver>> solvers(properties.size());
+  const auto solver_for = [&](std::size_t p) -> checker::SchemaSolver& {
+    if (!solvers[p]) {
+      solvers[p] =
+          std::make_unique<checker::SchemaSolver>(analysis, properties[p], check, hooks);
+    }
+    return *solvers[p];
+  };
+
+  // Liveness heartbeats: the coordinator renews the lease deadline on any
+  // frame, so a long single-schema solve must not look like a dead worker.
+  std::atomic<bool> heartbeat_stop{false};
+  std::thread heartbeat([&] {
+    while (!heartbeat_stop.load(std::memory_order_relaxed)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(options.heartbeat_ms));
+      if (heartbeat_stop.load(std::memory_order_relaxed)) break;
+      if (!conn.send(cert::Json::Object{{"type", "heartbeat"}})) break;
+    }
+  });
+  const auto stop_heartbeat = [&] {
+    heartbeat_stop.store(true);
+    if (heartbeat.joinable()) heartbeat.join();
+  };
+
+  const auto cancelled = [&] {
+    return options.cancel != nullptr && options.cancel->load(std::memory_order_relaxed);
+  };
+  const auto remaining = [&] {
+    return check.timeout_seconds > 0.0 ? check.timeout_seconds - run_watch.seconds() : 0.0;
+  };
+
+  for (;;) {
+    if (cancelled()) {
+      report.note = "cancelled";
+      break;
+    }
+    if (!conn.send(cert::Json::Object{{"type", "next"}})) {
+      // The coordinator may have sent shutdown and closed its end while we
+      // slept in a wait backoff; the frame is still in our receive buffer.
+      cert::Json last;
+      if (conn.recv(&last, 100) == FrameStatus::kOk && last.find("type") != nullptr &&
+          last.at("type").as_string() == "shutdown") {
+        report.completed = true;
+      } else {
+        report.note = "connection lost";
+      }
+      break;
+    }
+    cert::Json reply;
+    FrameStatus status = conn.recv(&reply, options.recv_timeout_ms);
+    // A late "abandon" for a lease that already closed can sit ahead of the
+    // real reply in the byte stream; skip past it.
+    while (status == FrameStatus::kOk && reply.find("type") != nullptr &&
+           reply.at("type").as_string() == "abandon") {
+      status = conn.recv(&reply, options.recv_timeout_ms);
+    }
+    if (status != FrameStatus::kOk) {
+      report.note = "coordinator connection " + std::string(to_string(status));
+      break;
+    }
+    const std::string& type = reply.at("type").as_string();
+    if (type == "shutdown") {
+      report.completed = true;
+      break;
+    }
+    if (type == "wait") {
+      const auto ms = std::min<std::int64_t>(reply.at("ms").as_int(), 2000);
+      std::this_thread::sleep_for(std::chrono::milliseconds(ms > 0 ? ms : 100));
+      continue;
+    }
+    if (type != "lease") {
+      report.note = "unexpected message '" + type + "'";
+      break;
+    }
+
+    // --- execute one lease -------------------------------------------------
+    const std::int64_t lease_id = reply.at("lease").as_int();
+    const auto p = static_cast<std::size_t>(reply.at("property").as_int());
+    const auto q = static_cast<std::size_t>(reply.at("query").as_int());
+    if (p >= properties.size() || q >= properties[p].queries.size()) {
+      report.note = "lease names an unknown property/query";
+      break;
+    }
+    checker::SubtreeTask task;
+    for (const cert::Json& g : reply.at("prefix").as_array()) {
+      task.prefix.push_back(static_cast<int>(g.as_int()));
+    }
+    task.include_extensions = reply.at("extensions").as_bool();
+    std::unordered_set<std::string> skip;
+    for (const cert::Json& cursor : reply.at("skip").as_array()) {
+      skip.insert(cursor.as_string());
+    }
+    ++report.leases;
+
+    const checker::QueryCone* cone = cone_for(p, q);
+    checker::SchemaSolver& solver = solver_for(p);
+    const checker::IncrementalStats before = solver.stats();
+    const int cut_count = static_cast<int>(properties[p].queries[q].cuts.size());
+    LeaseExit exit = LeaseExit::kComplete;
+
+    // The coordinator can cut a lease short mid-stream with an "abandon"
+    // frame — the property settled under another worker (first witness,
+    // exhausted budget) or this lease was reassigned. Poll after every
+    // record so the worker never keeps solving a subtree nobody wants.
+    const auto abandoned = [&] {
+      while (conn.readable()) {
+        cert::Json note;
+        if (conn.recv(&note, options.recv_timeout_ms) != FrameStatus::kOk) {
+          exit = LeaseExit::kLost;
+          return true;
+        }
+        const cert::Json* type = note.find("type");
+        if (type != nullptr && type->as_string() == "abandon") {
+          exit = LeaseExit::kAbandoned;
+          return true;
+        }
+      }
+      return false;
+    };
+
+    const auto stream = [&](cert::Json message) {
+      if (!conn.send(message)) {
+        exit = LeaseExit::kLost;
+        return false;
+      }
+      ++report.records;
+      if (options.drop_after_records > 0 && report.records >= options.drop_after_records) {
+        exit = LeaseExit::kDropped;
+        return false;
+      }
+      return !abandoned();
+    };
+
+    enumerate_schemas_under(
+        analysis, task, cut_count, check.enumeration, [&](const checker::Schema& schema) {
+          if (cancelled()) {
+            exit = LeaseExit::kInterrupted;
+            return false;
+          }
+          const std::string cursor = checker::schema_cursor(q, schema);
+          if (skip.count(cursor) > 0) return true;  // settled before this lease
+          if (cone != nullptr && !cone->schema_feasible(schema)) {
+            return stream(cert::Json::Object{{"type", "record"},
+                                             {"lease", lease_id},
+                                             {"property", static_cast<std::int64_t>(p)},
+                                             {"cursor", cursor},
+                                             {"verdict", "pruned"},
+                                             {"length", 0},
+                                             {"pivots", 0},
+                                             {"retries", 0},
+                                             {"note", ""}});
+          }
+          checker::UnitOutcome outcome = solver.solve(q, schema, cone, remaining());
+          switch (outcome.kind) {
+            case checker::UnitOutcome::Kind::kAborted:
+              exit = LeaseExit::kAborted;
+              return false;
+            case checker::UnitOutcome::Kind::kInterrupted:
+              exit = LeaseExit::kInterrupted;
+              report.note = outcome.note;
+              return false;
+            case checker::UnitOutcome::Kind::kUnknown:
+              return stream(cert::Json::Object{{"type", "record"},
+                                               {"lease", lease_id},
+                                               {"property", static_cast<std::int64_t>(p)},
+                                               {"cursor", cursor},
+                                               {"verdict", "unknown"},
+                                               {"length", 0},
+                                               {"pivots", 0},
+                                               {"retries", outcome.retries},
+                                               {"note", outcome.note}});
+            case checker::UnitOutcome::Kind::kUnsat: {
+              cert::Json record = cert::Json::Object{{"type", "record"},
+                                                     {"lease", lease_id},
+                                                     {"property", static_cast<std::int64_t>(p)},
+                                                     {"cursor", cursor},
+                                                     {"verdict", "unsat"},
+                                                     {"length", outcome.length},
+                                                     {"pivots", outcome.pivots},
+                                                     {"retries", outcome.retries},
+                                                     {"note", ""}};
+              if (check.certify && outcome.proof) {
+                record.set("proof", cert::proof_to_json(*outcome.proof));
+              }
+              return stream(std::move(record));
+            }
+            case checker::UnitOutcome::Kind::kSat: {
+              cert::Json message = cert::Json::Object{{"type", "sat"},
+                                                      {"lease", lease_id},
+                                                      {"property", static_cast<std::int64_t>(p)},
+                                                      {"cursor", cursor},
+                                                      {"length", outcome.length},
+                                                      {"pivots", outcome.pivots},
+                                                      {"retries", outcome.retries},
+                                                      {"validation_error",
+                                                       outcome.validation_error}};
+              if (outcome.counterexample) {
+                message.set("counterexample", counterexample_to_json(*outcome.counterexample));
+              }
+              if (check.certify && outcome.model) {
+                message.set("model", model_values_to_json(*outcome.model));
+              }
+              if (stream(std::move(message))) exit = LeaseExit::kSatFound;
+              // Either way stop this lease: the property is settled (or the
+              // connection is gone).
+              return false;
+            }
+          }
+          return true;
+        });
+
+    if (exit == LeaseExit::kDropped) {
+      // Test hook: die abruptly mid-lease, exactly like a SIGKILL'd process
+      // — no lease_done, no goodbye.
+      report.note = "dropped connection (test hook)";
+      stop_heartbeat();
+      conn.close();
+      return report;
+    }
+    if (exit == LeaseExit::kAborted) {
+      report.aborted = true;
+      report.note = "worker aborted mid-schema";
+      break;
+    }
+    if (exit == LeaseExit::kInterrupted) {
+      if (report.note.empty()) report.note = "interrupted";
+      break;
+    }
+    if (exit == LeaseExit::kLost) {
+      report.note = "connection lost";
+      break;
+    }
+    const checker::IncrementalStats after = solver.stats();
+    if (!conn.send(cert::Json::Object{{"type", "lease_done"},
+                                      {"lease", lease_id},
+                                      {"stats", stats_delta(before, after)}})) {
+      report.note = "connection lost";
+      break;
+    }
+  }
+
+  stop_heartbeat();
+  conn.close();
+  return report;
+}
+
+}  // namespace hv::dist

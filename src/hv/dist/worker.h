@@ -1,0 +1,60 @@
+// Distributed verification worker: connects to a coordinator, reconstructs
+// the automaton and properties from the welcome message, then pulls schema
+// subtree leases and streams back one verdict record per schema, settling
+// every unit through the same SchemaSolver retry ladder as the in-process
+// pool. Runs equally as a process (`hvc work`) or as a plain thread (tests
+// drive coordinator and workers in one process over a unix socket).
+#ifndef HV_DIST_WORKER_H
+#define HV_DIST_WORKER_H
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "hv/checker/fault.h"
+
+namespace hv::dist {
+
+struct WorkerOptions {
+  /// Coordinator address ("unix:/path" or "tcp:host:port").
+  std::string connect;
+  /// Reported in the hello message; shows up in coordinator diagnostics.
+  std::string label = "worker";
+  /// Keep retrying the initial connect for this long (the coordinator may
+  /// still be binding when the worker starts).
+  double connect_retry_seconds = 10.0;
+  /// Liveness heartbeat period; must stay well under the coordinator's
+  /// lease timeout.
+  int heartbeat_ms = 1000;
+  /// Give up when the coordinator goes silent for this long.
+  int recv_timeout_ms = 120'000;
+  /// Deterministic fault injection inside the solving loop (hvc work arms
+  /// it from HV_FAULT_* like hvc check does).
+  checker::FaultPlan fault;
+  /// External cancellation (SIGINT in hvc work); the worker drops the
+  /// connection and returns, and the coordinator reassigns its lease.
+  const std::atomic<bool>* cancel = nullptr;
+  /// Test hook: after streaming this many records, drop the connection
+  /// abruptly mid-lease (simulates a crashed worker; 0 disables).
+  std::int64_t drop_after_records = 0;
+};
+
+struct WorkerReport {
+  /// True iff the coordinator sent a clean shutdown (run complete).
+  bool completed = false;
+  /// True iff an injected WorkerAbortFault killed the solving loop; the
+  /// hosting process should exit nonzero.
+  bool aborted = false;
+  std::int64_t leases = 0;
+  std::int64_t records = 0;
+  std::string note;  // why the worker stopped, when not `completed`
+};
+
+/// Runs the worker loop until shutdown, cancellation, connection loss or an
+/// injected abort. Throws hv::Error only for local misconfiguration (bad
+/// address); everything network-side is reported in the returned note.
+WorkerReport run_worker(const WorkerOptions& options);
+
+}  // namespace hv::dist
+
+#endif  // HV_DIST_WORKER_H

@@ -14,6 +14,9 @@
 #include "hv/cert/json.h"
 #include "hv/checker/explicit_checker.h"
 #include "hv/checker/parameterized.h"
+#include "hv/dist/coordinator.h"
+#include "hv/dist/local.h"
+#include "hv/dist/worker.h"
 #include "hv/pipeline/certify.h"
 #include "hv/pipeline/holistic.h"
 #include "hv/sim/lemma7.h"
@@ -30,8 +33,8 @@ namespace {
 
 constexpr const char* kUsage = R"(usage:
   hvc check <model.ta> [--prop "<ltl>"] [--name N] [--timeout S]
-                       [--max-schemas K] [--workers W] [--no-pruning]
-                       [--no-incremental] [--json]
+                       [--max-schemas K] [--workers N] [--threads W]
+                       [--no-pruning] [--no-incremental] [--json]
                        [--certify] [--cert-out cert.json]
                        [--journal run.jsonl] [--resume run.jsonl]
                        [--schema-timeout S] [--pivot-budget K]
@@ -39,6 +42,9 @@ constexpr const char* kUsage = R"(usage:
        (--certify emits a proof-carrying certificate; without --prop it
         checks the model's bundled default properties, e.g. the five
         Table-2 properties of the simplified consensus automaton.
+        --workers N (N >= 2) forks N local worker *processes* sharding the
+        schema space over a private socket — a crashed worker costs one
+        lease, not the run; --threads W instead uses W in-process threads.
         --journal appends settled schema verdicts to a crash-safe JSONL
         file; --resume skips the schemas an earlier journal settled and
         keeps appending to it. --schema-timeout/--pivot-budget are
@@ -47,6 +53,20 @@ constexpr const char* kUsage = R"(usage:
         unknown — the run continues. SIGINT/SIGTERM flush the journal and
         print the partial results. HV_FAULT_KIND/_AT/_EVERY/_STALL_MS arm
         deterministic fault injection for testing.)
+  hvc serve <model.ta> --listen <addr> [--prop "<ltl>"] [--name N]
+                       [--expected-workers N] [--lease-timeout S]
+                       [... same checking flags as hvc check ...]
+       (distributed coordinator: shards the schema space into subtree
+        leases and merges verdicts streamed by hvc work processes. <addr>
+        is unix:/path or tcp:host:port. Without --prop it checks the
+        model's bundled default properties. A worker that dies loses its
+        lease to the next worker; kill -9 the coordinator and restart with
+        --resume to continue from the journal.)
+  hvc work --connect <addr> [--label NAME] [--retry S]
+       (distributed worker: pulls schema subtree leases from an hvc serve
+        coordinator and streams back per-schema verdicts; runs until the
+        coordinator sends shutdown. The model and properties arrive over
+        the wire — nothing is configured locally.)
   hvc audit <cert.json> [--json]
        (re-validates a certificate with exact arithmetic only; exit 0 iff
         every verdict is substantiated)
@@ -236,6 +256,7 @@ int command_check(Args& args, std::ostream& out) {
   std::string name = "property";
   bool json = false;
   bool certify = false;
+  int fork_workers = 0;
   std::optional<std::string> cert_out;
   checker::CheckOptions options;
   while (!args.empty()) {
@@ -248,6 +269,8 @@ int command_check(Args& args, std::ostream& out) {
     } else if (const auto value = args.option("--max-schemas")) {
       options.enumeration.max_schemas = std::stoll(*value);
     } else if (const auto value = args.option("--workers")) {
+      fork_workers = std::stoi(*value);
+    } else if (const auto value = args.option("--threads")) {
       options.workers = std::stoi(*value);
     } else if (args.boolean("--no-pruning")) {
       options.property_directed_pruning = false;
@@ -303,8 +326,27 @@ int command_check(Args& args, std::ostream& out) {
                             : ""));
   }
 
-  const std::vector<checker::PropertyResult> results =
-      checker::check_properties(ta, properties, options);
+  std::vector<checker::PropertyResult> results;
+  dist::DistStats dist_stats;
+  if (fork_workers >= 2) {
+    // Fork-local distributed mode: N worker processes over a private unix
+    // socket. The specs travel by name/formula; workers recompile them
+    // against their own parse of the model text.
+    std::vector<dist::PropertySpec> specs;
+    if (!prop.empty()) {
+      specs.push_back({name, prop, /*bundled=*/false});
+    } else {
+      for (const spec::Property& property : properties) {
+        specs.push_back({property.name, "", /*bundled=*/true});
+      }
+    }
+    dist::DistOptions dist_options;
+    dist_options.check = options;
+    results = dist::check_distributed_local(model_text, specs, fork_workers, dist_options,
+                                            &dist_stats);
+  } else {
+    results = checker::check_properties(ta, properties, options);
+  }
 
   std::string cert_path;
   if (certify) {
@@ -327,9 +369,151 @@ int command_check(Args& args, std::ostream& out) {
     out << "\n";
   } else {
     for (const checker::PropertyResult& result : results) print_result_text(ta, result, out);
+    if (fork_workers >= 2) {
+      out << "distributed: " << dist_stats.workers_joined << " workers joined, "
+          << dist_stats.workers_lost << " lost, " << dist_stats.leases_granted
+          << " leases granted, " << dist_stats.leases_reassigned << " reassigned\n";
+    }
     if (certify) out << "certificate: " << cert_path << "\n";
   }
   return exit_code(results);
+}
+
+int command_serve(Args& args, std::ostream& out) {
+  const auto model_path = args.next_positional();
+  if (!model_path) throw InvalidArgument("serve: missing model file");
+  std::string listen;
+  std::string prop;
+  std::string name = "property";
+  bool json = false;
+  bool certify = false;
+  std::optional<std::string> cert_out;
+  dist::DistOptions dist_options;
+  checker::CheckOptions& options = dist_options.check;
+  while (!args.empty()) {
+    if (const auto value = args.option("--listen")) {
+      listen = *value;
+    } else if (const auto value = args.option("--prop")) {
+      prop = *value;
+    } else if (const auto value = args.option("--name")) {
+      name = *value;
+    } else if (const auto value = args.option("--timeout")) {
+      options.timeout_seconds = std::stod(*value);
+    } else if (const auto value = args.option("--max-schemas")) {
+      options.enumeration.max_schemas = std::stoll(*value);
+    } else if (const auto value = args.option("--expected-workers")) {
+      dist_options.expected_workers = std::stoi(*value);
+    } else if (const auto value = args.option("--lease-timeout")) {
+      dist_options.lease_timeout_seconds = std::stod(*value);
+    } else if (args.boolean("--no-pruning")) {
+      options.property_directed_pruning = false;
+    } else if (args.boolean("--no-incremental")) {
+      options.incremental = false;
+    } else if (args.boolean("--json")) {
+      json = true;
+    } else if (args.boolean("--certify")) {
+      certify = true;
+    } else if (const auto value = args.option("--cert-out")) {
+      cert_out = *value;
+    } else if (const auto value = args.option("--journal")) {
+      options.journal_path = *value;
+    } else if (const auto value = args.option("--resume")) {
+      options.resume_path = *value;
+    } else if (const auto value = args.option("--schema-timeout")) {
+      options.schema_timeout_seconds = std::stod(*value);
+    } else if (const auto value = args.option("--pivot-budget")) {
+      options.pivot_budget = std::stoll(*value);
+    } else if (const auto value = args.option("--memory-budget")) {
+      options.memory_budget_mb = std::stoll(*value);
+    } else if (args.boolean("--no-retry")) {
+      options.retry_fresh = false;
+    } else {
+      throw InvalidArgument("serve: unexpected argument '" + args.peek() + "'");
+    }
+  }
+  if (listen.empty()) throw InvalidArgument("serve: --listen is required");
+  options.certify = certify;
+  if (!options.resume_path.empty() && options.journal_path.empty()) {
+    options.journal_path = options.resume_path;
+  } else if (!options.journal_path.empty() && options.journal_path != options.resume_path) {
+    std::remove(options.journal_path.c_str());
+  }
+  options.cancel = &g_interrupted;
+
+  const std::string model_text = read_file(*model_path);
+  const ta::ThresholdAutomaton ta = ta::parse_ta(model_text).one_round_reduction();
+  std::vector<dist::PropertySpec> specs;
+  if (!prop.empty()) {
+    specs.push_back({name, prop, /*bundled=*/false});
+  } else if (cert::has_bundled_properties(ta.name())) {
+    for (const spec::Property& property :
+         cert::bundled_properties(ta, /*table2_defaults=*/true)) {
+      specs.push_back({property.name, "", /*bundled=*/true});
+    }
+  } else {
+    throw InvalidArgument("serve: --prop is required (no bundled properties for automaton '" +
+                          ta.name() + "')");
+  }
+
+  dist::DistStats stats;
+  const std::vector<checker::PropertyResult> results =
+      dist::serve(model_text, specs, listen, dist_options, &stats);
+
+  std::string cert_path;
+  if (certify) {
+    const std::vector<spec::Property> properties = dist::resolve_properties(ta, specs);
+    cert::Certificate certificate;
+    certificate.components.push_back(
+        cert::make_component_cert(cert::text_model_source(model_text), properties, results,
+                                  prop.empty() ? "bundled" : "ltl"));
+    cert_path = cert_out.value_or(*model_path + ".cert.json");
+    write_file(cert_path, cert::to_json_text(certificate));
+  }
+
+  if (json) {
+    const bool many = results.size() != 1;
+    if (many) out << "[";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      if (i > 0) out << ",\n ";
+      print_result_json(ta, results[i], out);
+    }
+    if (many) out << "]";
+    out << "\n";
+  } else {
+    for (const checker::PropertyResult& result : results) print_result_text(ta, result, out);
+    out << "distributed: " << stats.workers_joined << " workers joined, "
+        << stats.workers_lost << " lost, " << stats.leases_granted << " leases granted, "
+        << stats.leases_reassigned << " reassigned\n";
+    if (certify) out << "certificate: " << cert_path << "\n";
+  }
+  return exit_code(results);
+}
+
+int command_work(Args& args, std::ostream& out) {
+  dist::WorkerOptions options;
+  while (!args.empty()) {
+    if (const auto value = args.option("--connect")) {
+      options.connect = *value;
+    } else if (const auto value = args.option("--label")) {
+      options.label = *value;
+    } else if (const auto value = args.option("--retry")) {
+      options.connect_retry_seconds = std::stod(*value);
+    } else {
+      throw InvalidArgument("work: unexpected argument '" + args.peek() + "'");
+    }
+  }
+  if (options.connect.empty()) throw InvalidArgument("work: --connect is required");
+  options.fault = checker::fault_plan_from_env();
+  options.cancel = &g_interrupted;
+  const dist::WorkerReport report = dist::run_worker(options);
+  out << "worker '" << options.label << "': " << report.leases << " leases, "
+      << report.records << " records"
+      << (report.completed ? ", run complete" : "") << "\n";
+  if (!report.note.empty()) out << "note: " << report.note << "\n";
+  // 0 only for a clean shutdown from the coordinator; anything else (lost
+  // connection, cancellation, injected abort) is inconclusive for this
+  // worker — the coordinator's exit code is the run's verdict.
+  return report.completed ? 0 : 3;
 }
 
 int command_audit(Args& args, std::ostream& out) {
@@ -578,6 +762,8 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out, std::ostrea
   }
   try {
     if (*command == "check") return command_check(cursor, out);
+    if (*command == "serve") return command_serve(cursor, out);
+    if (*command == "work") return command_work(cursor, out);
     if (*command == "audit") return command_audit(cursor, out);
     if (*command == "explicit") return command_explicit(cursor, out);
     if (*command == "dot") return command_dot(cursor, out);

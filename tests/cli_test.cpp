@@ -270,6 +270,53 @@ TEST_F(CliTest, SimulateValidatesArguments) {
   EXPECT_EQ(run({"simulate", "--scheduler", "warp"}), 2);    // unknown scheduler
 }
 
+TEST_F(CliTest, DistributedFlagValidation) {
+  EXPECT_EQ(run({"serve", model_path_, "--prop", "locA == 0"}), 2);
+  EXPECT_NE(err_.str().find("--listen is required"), std::string::npos) << err_.str();
+  EXPECT_EQ(run({"serve", model_path_, "--listen", "bogus", "--prop", "locA == 0"}), 2);
+  EXPECT_NE(err_.str().find("bad address"), std::string::npos) << err_.str();
+  EXPECT_EQ(run({"work"}), 2);
+  EXPECT_NE(err_.str().find("--connect is required"), std::string::npos) << err_.str();
+  EXPECT_EQ(run({"work", "--connect", "not-an-address"}), 2);
+}
+
+TEST_F(CliTest, WorkReportsUnreachableCoordinator) {
+  // No coordinator listening: the worker retries briefly, then gives up with
+  // the inconclusive exit code (3), not a crash or a usage error.
+  const int code = run({"work", "--connect", "unix:/tmp/hv-nowhere.sock", "--retry", "0.2"});
+  EXPECT_EQ(code, 3);
+  EXPECT_NE(out_.str().find("cannot connect"), std::string::npos) << out_.str();
+}
+
+TEST_F(CliTest, CheckWorkersForksMatchingVerdicts) {
+  // Fork-local distributed mode: same verdict and exit code as in-process.
+  const int holds = run({"check", model_path_, "--prop", "[](locB == 0) -> [](locD == 0)",
+                         "--workers", "2"});
+  EXPECT_EQ(holds, 0);
+  EXPECT_NE(out_.str().find("holds"), std::string::npos) << out_.str();
+  EXPECT_NE(out_.str().find("distributed: 2 workers joined"), std::string::npos)
+      << out_.str();
+
+  const int violated = run({"check", model_path_, "--prop", "<>(locA == 0 && locW == 0)",
+                            "--name", "everyone_proceeds", "--workers", "2"});
+  EXPECT_EQ(violated, 1);
+  EXPECT_NE(out_.str().find("counterexample to everyone_proceeds"), std::string::npos)
+      << out_.str();
+
+  const int budget = run({"check", model_path_, "--prop", "<>(locA == 0)",
+                          "--max-schemas", "0", "--workers", "2"});
+  EXPECT_EQ(budget, 3);
+  EXPECT_NE(out_.str().find("budget"), std::string::npos) << out_.str();
+}
+
+TEST_F(CliTest, CheckThreadsKeepsInProcessPool) {
+  const int code = run({"check", model_path_, "--prop", "[](locB == 0) -> [](locD == 0)",
+                        "--threads", "2"});
+  EXPECT_EQ(code, 0);
+  EXPECT_NE(out_.str().find("holds"), std::string::npos);
+  EXPECT_EQ(out_.str().find("distributed:"), std::string::npos);  // no fork banner
+}
+
 TEST_F(CliTest, DotEmitsGraph) {
   EXPECT_EQ(run({"dot", model_path_}), 0);
   EXPECT_NE(out_.str().find("digraph \"Echo\""), std::string::npos);

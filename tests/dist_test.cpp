@@ -1,0 +1,438 @@
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "hv/checker/journal.h"
+#include "hv/checker/parameterized.h"
+#include "hv/dist/coordinator.h"
+#include "hv/dist/frame.h"
+#include "hv/dist/local.h"
+#include "hv/dist/protocol.h"
+#include "hv/dist/worker.h"
+#include "hv/spec/compile.h"
+#include "hv/ta/parser.h"
+#include "hv/util/error.h"
+
+namespace hv::dist {
+namespace {
+
+constexpr const char* kEchoModel = R"(
+ta Echo {
+  parameters n, t, f;
+  shared x;
+  resilience n > 3*t;
+  resilience t >= f;
+  resilience f >= 0;
+  processes n - f;
+  initial A;
+  locations B, W, D;
+  rule announce: A -> B do x += 1;
+  rule wait: A -> W;
+  rule proceed: W -> D when x >= t + 1 - f;
+  selfloop B;
+  selfloop D;
+}
+)";
+
+constexpr const char* kHoldsFormula = "[](locB == 0) -> [](locD == 0)";
+constexpr const char* kViolatedFormula = "<>(locA == 0 && locW == 0)";
+
+std::string temp_path(const char* name) {
+  const std::string path = ::testing::TempDir() + name;
+  std::remove(path.c_str());
+  return path;
+}
+
+// --- frame codec ------------------------------------------------------------
+
+class FramePair : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds_), 0);
+  }
+  void TearDown() override {
+    if (fds_[0] >= 0) ::close(fds_[0]);
+    if (fds_[1] >= 0) ::close(fds_[1]);
+  }
+  void close_writer() {
+    ::close(fds_[0]);
+    fds_[0] = -1;
+  }
+  int writer() const { return fds_[0]; }
+  int reader() const { return fds_[1]; }
+
+  void raw(const std::string& bytes) {
+    ASSERT_EQ(::write(writer(), bytes.data(), bytes.size()),
+              static_cast<ssize_t>(bytes.size()));
+  }
+
+  int fds_[2] = {-1, -1};
+};
+
+TEST_F(FramePair, RoundTripsPayloads) {
+  for (const std::string payload : {std::string("{\"type\":\"hello\"}"), std::string(),
+                                    std::string(1000, 'x')}) {
+    ASSERT_TRUE(write_frame(writer(), payload));
+    std::string got;
+    ASSERT_EQ(read_frame(reader(), &got, 1000), FrameStatus::kOk);
+    EXPECT_EQ(got, payload);
+  }
+}
+
+TEST_F(FramePair, RoundTripsLargePayloadAcrossThreads) {
+  // Bigger than a socket buffer, so the write blocks until the reader drains.
+  const std::string payload(512 * 1024, 'y');
+  std::thread sender([&] { write_frame(writer(), payload); });
+  std::string got;
+  EXPECT_EQ(read_frame(reader(), &got, 5000), FrameStatus::kOk);
+  sender.join();
+  EXPECT_EQ(got.size(), payload.size());
+  EXPECT_EQ(got, payload);
+}
+
+TEST_F(FramePair, CleanCloseIsClosedNotTorn) {
+  close_writer();
+  std::string got;
+  EXPECT_EQ(read_frame(reader(), &got, 1000), FrameStatus::kClosed);
+  EXPECT_TRUE(got.empty());
+}
+
+TEST_F(FramePair, TruncatedFrameIsTorn) {
+  // Magic + declared length 100, then die after 3 payload bytes.
+  raw(std::string(kFrameMagic, 4) + std::string{0, 0, 0, 100} + "abc");
+  close_writer();
+  std::string got;
+  EXPECT_EQ(read_frame(reader(), &got, 1000), FrameStatus::kTorn);
+  EXPECT_TRUE(got.empty());
+}
+
+TEST_F(FramePair, TruncatedHeaderIsTorn) {
+  raw("HV");  // died two bytes into the magic
+  close_writer();
+  std::string got;
+  EXPECT_EQ(read_frame(reader(), &got, 1000), FrameStatus::kTorn);
+}
+
+TEST_F(FramePair, GarbageMagicIsRejected) {
+  raw(std::string("JUNK\x00\x00\x00\x04psst", 12));
+  std::string got;
+  EXPECT_EQ(read_frame(reader(), &got, 1000), FrameStatus::kBadMagic);
+}
+
+TEST_F(FramePair, OversizedLengthIsRejectedWithoutAllocating) {
+  // Declared length 2^31: must be refused by the cap, not attempted.
+  raw(std::string(kFrameMagic, 4) + std::string{'\x80', 0, 0, 0});
+  std::string got;
+  EXPECT_EQ(read_frame(reader(), &got, 1000), FrameStatus::kOversized);
+  // A tighter caller-supplied cap also applies.
+  ASSERT_TRUE(write_frame(writer(), std::string(64, 'z')));
+  EXPECT_EQ(read_frame(reader(), &got, 1000, /*max_bytes=*/16), FrameStatus::kOversized);
+}
+
+TEST_F(FramePair, SilenceTimesOut) {
+  std::string got;
+  EXPECT_EQ(read_frame(reader(), &got, 50), FrameStatus::kTimeout);
+  // A partial frame that stalls also times out rather than blocking forever.
+  raw(std::string(kFrameMagic, 4) + std::string{0, 0, 0, 100} + "partial");
+  EXPECT_EQ(read_frame(reader(), &got, 50), FrameStatus::kTimeout);
+}
+
+TEST_F(FramePair, FuzzedGarbageNeverReadsAsAFrame) {
+  // Deterministic garbage: whatever the bytes, the codec must classify (not
+  // crash, not hand back a bogus payload). None of these start with the
+  // magic, so every verdict is kBadMagic/kTorn/kTimeout.
+  std::uint64_t state = 0x9e3779b97f4a7c15ull;
+  for (int round = 0; round < 32; ++round) {
+    std::string noise;
+    const int len = 1 + static_cast<int>(state % 200);
+    for (int i = 0; i < len; ++i) {
+      state = state * 6364136223846793005ull + 1442695040888963407ull;
+      char byte = static_cast<char>(state >> 56);
+      if (i < 4 && byte == kFrameMagic[i]) byte ^= 0x55;  // never spell the magic
+      noise += byte;
+    }
+    raw(noise);
+    std::string got;
+    const FrameStatus status = read_frame(reader(), &got, 50);
+    EXPECT_NE(status, FrameStatus::kOk);
+    EXPECT_TRUE(got.empty());
+    // Drain whatever the failed parse left behind so rounds are independent.
+    TearDown();
+    SetUp();
+  }
+}
+
+// --- addresses and wire conversions ----------------------------------------
+
+TEST(DistProtocol, ParsesAddresses) {
+  const Address unix_addr = parse_address("unix:/tmp/x.sock");
+  EXPECT_TRUE(unix_addr.unix_domain);
+  EXPECT_EQ(unix_addr.path, "/tmp/x.sock");
+
+  const Address tcp = parse_address("tcp:127.0.0.1:9999");
+  EXPECT_FALSE(tcp.unix_domain);
+  EXPECT_EQ(tcp.host, "127.0.0.1");
+  EXPECT_EQ(tcp.port, 9999);
+
+  const Address bare = parse_address("localhost:4000");
+  EXPECT_FALSE(bare.unix_domain);
+  EXPECT_EQ(bare.host, "localhost");
+  EXPECT_EQ(bare.port, 4000);
+
+  EXPECT_THROW(parse_address(""), InvalidArgument);
+  EXPECT_THROW(parse_address("unix:"), InvalidArgument);
+  EXPECT_THROW(parse_address("tcp:nohost"), InvalidArgument);
+  EXPECT_THROW(parse_address("tcp:host:notaport"), InvalidArgument);
+  EXPECT_THROW(parse_address("justahost"), InvalidArgument);
+}
+
+TEST(DistProtocol, OptionsSurviveTheWire) {
+  checker::CheckOptions options;
+  options.enumeration.max_schemas = 1234;
+  options.enumeration.prune_implications = false;
+  options.enumeration.prune_dead_unlocks = false;
+  options.timeout_seconds = 7.5;
+  options.branch_budget = 99;
+  options.incremental = false;
+  options.property_directed_pruning = false;
+  options.validate_counterexamples = false;
+  options.minimize_counterexamples = false;
+  options.certify = true;
+  options.schema_timeout_seconds = 3.25;
+  options.pivot_budget = 777;
+  options.memory_budget_mb = 42;
+  options.retry_fresh = false;
+
+  const checker::CheckOptions back = options_from_json(options_to_json(options));
+  EXPECT_EQ(back.enumeration.max_schemas, 1234);
+  EXPECT_FALSE(back.enumeration.prune_implications);
+  EXPECT_FALSE(back.enumeration.prune_dead_unlocks);
+  EXPECT_DOUBLE_EQ(back.timeout_seconds, 7.5);
+  EXPECT_EQ(back.branch_budget, 99);
+  EXPECT_FALSE(back.incremental);
+  EXPECT_FALSE(back.property_directed_pruning);
+  EXPECT_FALSE(back.validate_counterexamples);
+  EXPECT_FALSE(back.minimize_counterexamples);
+  EXPECT_TRUE(back.certify);
+  EXPECT_DOUBLE_EQ(back.schema_timeout_seconds, 3.25);
+  EXPECT_EQ(back.pivot_budget, 777);
+  EXPECT_EQ(back.memory_budget_mb, 42);
+  EXPECT_FALSE(back.retry_fresh);
+}
+
+TEST(DistProtocol, CounterexamplesSurviveTheWire) {
+  checker::Counterexample cex;
+  cex.property = "everyone_proceeds";
+  cex.query_description = "reach a bad configuration";
+  cex.params[0] = 4;
+  cex.params[2] = 1;
+  cex.initial.counters = {3, 0, 0, 1};
+  cex.initial.shared = {0, 7};
+  cex.steps.push_back({1, 3});
+  cex.steps.push_back({0, 1});
+
+  const checker::Counterexample back = counterexample_from_json(counterexample_to_json(cex));
+  EXPECT_EQ(back.property, cex.property);
+  EXPECT_EQ(back.query_description, cex.query_description);
+  EXPECT_EQ(back.params, cex.params);
+  EXPECT_EQ(back.initial.counters, cex.initial.counters);
+  EXPECT_EQ(back.initial.shared, cex.initial.shared);
+  ASSERT_EQ(back.steps.size(), 2u);
+  EXPECT_EQ(back.steps[0].rule, 1u);
+  EXPECT_EQ(back.steps[0].factor, 3);
+  EXPECT_EQ(back.steps[1].rule, 0u);
+  EXPECT_EQ(back.steps[1].factor, 1);
+}
+
+TEST(DistProtocol, PropertySpecsSurviveTheWire) {
+  const std::vector<PropertySpec> specs = {{"safe", kHoldsFormula, false},
+                                           {"Inv1_0", "", true}};
+  const std::vector<PropertySpec> back = specs_from_json(specs_to_json(specs));
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_EQ(back[0].name, "safe");
+  EXPECT_EQ(back[0].formula, kHoldsFormula);
+  EXPECT_FALSE(back[0].bundled);
+  EXPECT_EQ(back[1].name, "Inv1_0");
+  EXPECT_TRUE(back[1].bundled);
+}
+
+// --- end to end over a unix socket ------------------------------------------
+
+struct ServeRun {
+  std::vector<checker::PropertyResult> results;
+  DistStats stats;
+  std::string error;
+  std::thread thread;
+
+  void start(const std::string& address, const std::vector<PropertySpec>& specs,
+             const DistOptions& options) {
+    thread = std::thread([this, address, specs, options] {
+      try {
+        results = serve(kEchoModel, specs, address, options, &stats);
+      } catch (const Error& e) {
+        error = e.what();
+      }
+    });
+  }
+  void join() { thread.join(); }
+};
+
+std::vector<checker::PropertyResult> reference_check(const std::string& name,
+                                                     const std::string& formula,
+                                                     checker::CheckOptions options) {
+  const ta::ThresholdAutomaton ta = ta::parse_ta(kEchoModel).one_round_reduction();
+  const std::vector<spec::Property> properties = {spec::compile(ta, name, formula)};
+  return checker::check_properties(ta, properties, options);
+}
+
+WorkerReport run_one_worker(const std::string& address, const char* label,
+                            std::int64_t drop_after = 0) {
+  WorkerOptions options;
+  options.connect = address;
+  options.label = label;
+  options.drop_after_records = drop_after;
+  return run_worker(options);
+}
+
+TEST(DistEndToEnd, HoldsVerdictMatchesInProcess) {
+  const std::string address = "unix:" + temp_path("dist_holds.sock");
+  ServeRun run;
+  DistOptions options;
+  run.start(address, {{"safe", kHoldsFormula, false}}, options);
+  const WorkerReport report = run_one_worker(address, "t1");
+  run.join();
+  ASSERT_TRUE(run.error.empty()) << run.error;
+  EXPECT_TRUE(report.completed) << report.note;
+  EXPECT_GT(report.records, 0);
+
+  const auto reference = reference_check("safe", kHoldsFormula, options.check);
+  ASSERT_EQ(run.results.size(), 1u);
+  EXPECT_EQ(run.results[0].verdict, checker::Verdict::kHolds);
+  EXPECT_EQ(run.results[0].verdict, reference[0].verdict);
+  EXPECT_EQ(run.results[0].schemas_checked, reference[0].schemas_checked);
+  EXPECT_EQ(run.results[0].schemas_pruned, reference[0].schemas_pruned);
+  EXPECT_EQ(run.results[0].schemas_unknown, reference[0].schemas_unknown);
+  EXPECT_EQ(run.stats.workers_joined, 1);
+  EXPECT_EQ(run.stats.workers_lost, 0);
+}
+
+TEST(DistEndToEnd, ViolationShipsTheCounterexample) {
+  const std::string address = "unix:" + temp_path("dist_sat.sock");
+  ServeRun run;
+  DistOptions options;
+  run.start(address, {{"everyone_proceeds", kViolatedFormula, false}}, options);
+  run_one_worker(address, "t1");
+  run.join();
+  ASSERT_TRUE(run.error.empty()) << run.error;
+
+  const auto reference = reference_check("everyone_proceeds", kViolatedFormula, options.check);
+  ASSERT_EQ(run.results.size(), 1u);
+  EXPECT_EQ(run.results[0].verdict, checker::Verdict::kViolated);
+  EXPECT_EQ(reference[0].verdict, checker::Verdict::kViolated);
+  ASSERT_TRUE(run.results[0].counterexample.has_value());
+  // The single-worker run replays the deterministic enumeration order, so
+  // even the witness matches the in-process one.
+  const ta::ThresholdAutomaton ta = ta::parse_ta(kEchoModel).one_round_reduction();
+  EXPECT_EQ(run.results[0].counterexample->to_string(ta),
+            reference[0].counterexample->to_string(ta));
+}
+
+TEST(DistEndToEnd, DroppedWorkerLosesTheLeaseNotTheRun) {
+  const std::string address = "unix:" + temp_path("dist_drop.sock");
+  ServeRun run;
+  DistOptions options;
+  options.lease_timeout_seconds = 30.0;  // reassignment must come from the EOF, not time
+  run.start(address, {{"safe", kHoldsFormula, false}}, options);
+
+  // Worker one dies abruptly after its first streamed record (no lease_done,
+  // no goodbye — the moral equivalent of kill -9).
+  const WorkerReport dropped = run_one_worker(address, "doomed", /*drop_after=*/1);
+  EXPECT_FALSE(dropped.completed);
+  EXPECT_EQ(dropped.note, "dropped connection (test hook)");
+
+  // Worker two picks up the reassigned lease and finishes the run.
+  const WorkerReport survivor = run_one_worker(address, "survivor");
+  run.join();
+  ASSERT_TRUE(run.error.empty()) << run.error;
+  EXPECT_TRUE(survivor.completed) << survivor.note;
+
+  const auto reference = reference_check("safe", kHoldsFormula, options.check);
+  ASSERT_EQ(run.results.size(), 1u);
+  EXPECT_EQ(run.results[0].verdict, checker::Verdict::kHolds);
+  EXPECT_EQ(run.results[0].schemas_checked, reference[0].schemas_checked);
+  EXPECT_EQ(run.results[0].schemas_pruned, reference[0].schemas_pruned);
+  EXPECT_EQ(run.stats.workers_joined, 2);
+  EXPECT_EQ(run.stats.workers_lost, 1);
+  EXPECT_GE(run.stats.leases_reassigned, 1);
+}
+
+TEST(DistEndToEnd, ResumesFromAJournal) {
+  const std::string journal = temp_path("dist_resume.jsonl");
+  const std::string address1 = "unix:" + temp_path("dist_resume1.sock");
+  {
+    ServeRun first;
+    DistOptions options;
+    options.check.journal_path = journal;
+    first.start(address1, {{"safe", kHoldsFormula, false}}, options);
+    run_one_worker(address1, "t1");
+    first.join();
+    ASSERT_TRUE(first.error.empty()) << first.error;
+    ASSERT_EQ(first.results[0].verdict, checker::Verdict::kHolds);
+  }
+
+  // Restarting from the journal replays every settled schema; the worker has
+  // nothing left to solve, and the verdict is unchanged.
+  const std::string address2 = "unix:" + temp_path("dist_resume2.sock");
+  ServeRun second;
+  DistOptions options;
+  options.check.resume_path = journal;
+  options.check.journal_path = journal;
+  second.start(address2, {{"safe", kHoldsFormula, false}}, options);
+  const WorkerReport report = run_one_worker(address2, "t2");
+  second.join();
+  ASSERT_TRUE(second.error.empty()) << second.error;
+  EXPECT_TRUE(report.completed) << report.note;
+  EXPECT_EQ(second.results[0].verdict, checker::Verdict::kHolds);
+  EXPECT_GT(second.results[0].schemas_resumed, 0);
+
+  const auto reference = reference_check("safe", kHoldsFormula, checker::CheckOptions());
+  EXPECT_EQ(second.results[0].schemas_checked, reference[0].schemas_checked);
+  EXPECT_EQ(second.results[0].schemas_pruned, reference[0].schemas_pruned);
+}
+
+TEST(DistEndToEnd, ResumeRefusesAForeignJournal) {
+  // A journal recorded for a different automaton must be refused up front.
+  const std::string journal = temp_path("dist_foreign.jsonl");
+  {
+    checker::ProgressJournal j(journal, "SomethingElse");
+  }
+  DistOptions options;
+  options.check.resume_path = journal;
+  EXPECT_THROW(
+      serve(kEchoModel, {{"safe", kHoldsFormula, false}},
+            "unix:" + temp_path("dist_foreign.sock"), options),
+      InvalidArgument);
+}
+
+TEST(DistEndToEnd, ForkLocalModeMatchesInProcess) {
+  DistOptions options;
+  DistStats stats;
+  const std::vector<checker::PropertyResult> results = check_distributed_local(
+      kEchoModel, {{"safe", kHoldsFormula, false}}, /*worker_count=*/2, options, &stats);
+  const auto reference = reference_check("safe", kHoldsFormula, options.check);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].verdict, checker::Verdict::kHolds);
+  EXPECT_EQ(results[0].schemas_checked, reference[0].schemas_checked);
+  EXPECT_EQ(results[0].schemas_pruned, reference[0].schemas_pruned);
+  EXPECT_EQ(stats.workers_joined, 2);
+}
+
+}  // namespace
+}  // namespace hv::dist

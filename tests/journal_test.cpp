@@ -6,6 +6,7 @@
 #include <fstream>
 
 #include "hv/util/error.h"
+#include "hv/util/version.h"
 
 namespace hv::checker {
 namespace {
@@ -139,6 +140,93 @@ TEST(JournalTest, RejectsMissingHeaderAndMixedAutomatons) {
   EXPECT_THROW(load_journal(mixed), Error);
 
   EXPECT_THROW(load_journal(temp_path("journal_absent.jsonl")), Error);
+}
+
+TEST(JournalTest, ParseSchemaCursorInvertsSchemaCursor) {
+  Schema schema;
+  schema.unlock_order = {2, 0, 1};
+  schema.cut_positions = {0, 3};
+  std::size_t query = 0;
+  Schema parsed;
+  ASSERT_TRUE(parse_schema_cursor(schema_cursor(7, schema), &query, &parsed));
+  EXPECT_EQ(query, 7u);
+  EXPECT_EQ(parsed.unlock_order, schema.unlock_order);
+  EXPECT_EQ(parsed.cut_positions, schema.cut_positions);
+
+  // Empty unlock order / cut positions survive the roundtrip.
+  Schema empty;
+  ASSERT_TRUE(parse_schema_cursor(schema_cursor(0, empty), &query, &parsed));
+  EXPECT_EQ(query, 0u);
+  EXPECT_TRUE(parsed.unlock_order.empty());
+  EXPECT_TRUE(parsed.cut_positions.empty());
+
+  for (const char* bad : {"", "q", "x0|1|2", "q|1|2", "q0", "q0|1", "q1a|0|1",
+                          "q0|1,|2", "q0|a,b|2", "q0|1|2|3"}) {
+    EXPECT_FALSE(parse_schema_cursor(bad, &query, &parsed)) << bad;
+  }
+}
+
+TEST(JournalTest, ResumeRefusesMismatchedIdentity) {
+  ResumeState resume;
+  resume.automaton = "Echo";
+  resume.model_hash = "aaaaaaaaaaaaaaaa";
+  resume.hvc_version = kHvcVersion;
+
+  // Matching identity passes; legacy journals without hash/version pass too.
+  EXPECT_NO_THROW(require_resume_compatible(resume, "Echo", "aaaaaaaaaaaaaaaa"));
+  ResumeState legacy;
+  legacy.automaton = "Echo";
+  EXPECT_NO_THROW(require_resume_compatible(legacy, "Echo", "aaaaaaaaaaaaaaaa"));
+
+  // Wrong automaton: precise diagnostic naming both.
+  try {
+    require_resume_compatible(resume, "BvBroadcast", "aaaaaaaaaaaaaaaa");
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& error) {
+    EXPECT_NE(std::string(error.what()).find("recorded for automaton 'Echo'"),
+              std::string::npos);
+    EXPECT_NE(std::string(error.what()).find("'BvBroadcast'"), std::string::npos);
+  }
+
+  // Wrong model hash: the cursors would not line up.
+  try {
+    require_resume_compatible(resume, "Echo", "bbbbbbbbbbbbbbbb");
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& error) {
+    EXPECT_NE(std::string(error.what()).find("different model"), std::string::npos);
+    EXPECT_NE(std::string(error.what()).find("aaaaaaaaaaaaaaaa"), std::string::npos);
+    EXPECT_NE(std::string(error.what()).find("bbbbbbbbbbbbbbbb"), std::string::npos);
+  }
+
+  // Wrong hvc version.
+  ResumeState old = resume;
+  old.hvc_version = "0.0.1";
+  try {
+    require_resume_compatible(old, "Echo", "aaaaaaaaaaaaaaaa");
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& error) {
+    EXPECT_NE(std::string(error.what()).find("written by hvc 0.0.1"), std::string::npos);
+    EXPECT_NE(std::string(error.what()).find(kHvcVersion), std::string::npos);
+  }
+}
+
+TEST(JournalTest, HeaderRecordsModelHashAndVersion) {
+  const std::string path = temp_path("journal_identity.jsonl");
+  {
+    ProgressJournal journal(path, JournalHeader("Echo", "cafebabecafebabe"));
+    journal.append(record("safe", "q0|0|1", "unsat", 4, 9));
+  }
+  const ResumeState state = load_journal(path);
+  EXPECT_EQ(state.automaton, "Echo");
+  EXPECT_EQ(state.model_hash, "cafebabecafebabe");
+  EXPECT_EQ(state.hvc_version, kHvcVersion);
+
+  // A journal claiming a different hash in a later header is contradictory.
+  {
+    std::ofstream file(path, std::ios::app | std::ios::binary);
+    file << "{\"hv_journal\":2,\"automaton\":\"Echo\",\"model_hash\":\"deadbeefdeadbeef\"}\n";
+  }
+  EXPECT_THROW(load_journal(path), Error);
 }
 
 TEST(JournalTest, RepeatedIdenticalHeadersAreFine) {
