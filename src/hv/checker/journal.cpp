@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <limits>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -186,6 +187,9 @@ bool parse_schema_cursor(const std::string& cursor, std::size_t* query_index, Sc
         value = 0;
         in_number = false;
       } else if (c >= '0' && c <= '9') {
+        // Reject rather than overflow: a cursor can come from a journal
+        // file or a remote worker, so a long digit run must not be UB.
+        if (value > (std::numeric_limits<int>::max() - (c - '0')) / 10) return false;
         value = value * 10 + (c - '0');
         in_number = true;
       } else {
@@ -201,6 +205,7 @@ bool parse_schema_cursor(const std::string& cursor, std::size_t* query_index, Sc
   std::size_t index = 0;
   for (const char c : index_text) {
     if (c < '0' || c > '9') return false;
+    if (index > (std::numeric_limits<std::size_t>::max() - 9) / 10) return false;
     index = index * 10 + static_cast<std::size_t>(c - '0');
   }
   Schema parsed;

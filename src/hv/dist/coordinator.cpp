@@ -210,17 +210,19 @@ bool apply_record(Coord& c, std::size_t p, std::size_t q, const checker::Schema&
 void handle_connection(Coord& c, int fd) {
   Conn conn(fd);
   cert::Json hello;
-  if (conn.recv(&hello, 10'000) != FrameStatus::kOk || hello.find("type") == nullptr ||
-      hello.at("type").as_string() != "hello") {
-    return;
-  }
-  const cert::Json* protocol = hello.find("protocol");
-  if (protocol == nullptr || protocol->as_int() != kDistProtocolVersion) {
-    conn.send(cert::Json::Object{
-        {"type", "shutdown"},
-        {"reason", "protocol mismatch (coordinator speaks " +
-                       std::to_string(kDistProtocolVersion) + ")"}});
-    return;
+  if (conn.recv(&hello, 10'000) != FrameStatus::kOk) return;
+  try {
+    if (hello.at("type").as_string() != "hello") return;
+    const cert::Json* protocol = hello.find("protocol");
+    if (protocol == nullptr || protocol->as_int() != kDistProtocolVersion) {
+      conn.send(cert::Json::Object{
+          {"type", "shutdown"},
+          {"reason", "protocol mismatch (coordinator speaks " +
+                         std::to_string(kDistProtocolVersion) + ")"}});
+      return;
+    }
+  } catch (const std::exception&) {
+    return;  // mistyped hello fields: not a worker
   }
   if (!conn.send(c.welcome)) return;
   {
@@ -247,199 +249,210 @@ void handle_connection(Coord& c, int fd) {
     current = -1;
   };
 
-  for (;;) {
-    cert::Json msg;
-    const FrameStatus status = conn.recv(&msg, 250);
-    if (status == FrameStatus::kTimeout) {
-      const double silent =
-          std::chrono::duration<double>(Clock::now() - last_activity).count();
-      std::lock_guard<std::mutex> lock(c.mutex);
-      if (silent > c.options->lease_timeout_seconds) break;  // dead or wedged worker
-      if (c.closing && current < 0) {
-        conn.send(cert::Json::Object{{"type", "shutdown"}, {"reason", "run over"}});
-        clean = true;
-        break;
-      }
-      continue;
-    }
-    if (status != FrameStatus::kOk) break;  // EOF, torn frame, protocol garbage
-    last_activity = Clock::now();
-    const cert::Json* type_field = msg.find("type");
-    if (type_field == nullptr) break;
-    const std::string& type = type_field->as_string();
-
-    if (type == "heartbeat") continue;
-
-    if (type == "next") {
-      cert::Json reply;
-      {
+  // The frame codec rejects garbage bytes, but a syntactically valid JSON
+  // frame can still carry missing or mistyped fields (worker bug, version
+  // skew, hostile peer); the throwing Json accessors below must never
+  // escape this thread — that would std::terminate the whole coordinator.
+  // A throw is a protocol violation: drop the connection, release the
+  // lease, exactly like the explicit `break` paths.
+  try {
+    for (;;) {
+      cert::Json msg;
+      const FrameStatus status = conn.recv(&msg, 250);
+      if (status == FrameStatus::kTimeout) {
+        const double silent =
+            std::chrono::duration<double>(Clock::now() - last_activity).count();
         std::lock_guard<std::mutex> lock(c.mutex);
-        release_current();  // a worker asking again abandoned any holdover
-        std::int64_t grant = -1;
-        bool work_left = false;
-        if (!c.closing) {
-          for (std::size_t i = 0; i < c.leases.size(); ++i) {
-            const Lease& lease = c.leases[i];
-            if (lease.state == LeaseState::kActive) work_left = true;
-            if (lease.state != LeaseState::kPending) continue;
-            work_left = true;
-            const PropMerge& prop = c.props[lease.property];
-            if (prop.stopped || prop.budget_exhausted) continue;
-            grant = static_cast<std::int64_t>(i);
-            break;
-          }
+        if (silent > c.options->lease_timeout_seconds) break;  // dead or wedged worker
+        if (c.closing && current < 0) {
+          conn.send(cert::Json::Object{{"type", "shutdown"}, {"reason", "run over"}});
+          clean = true;
+          break;
         }
-        if (grant >= 0) {
-          Lease& lease = c.leases[static_cast<std::size_t>(grant)];
-          lease.state = LeaseState::kActive;
-          ++c.stats.leases_granted;
-          current = grant;
-          abandon_sent_for = -2;  // a regranted lease may need its own abandon
-          cert::Json::Array prefix;
-          for (const int g : lease.task.prefix) prefix.push_back(g);
-          // Skip list: every settled cursor inside this subtree (resume
-          // replay and partial work of a previous holder).
-          cert::Json::Array skip;
-          const auto it = c.settled_by_pq.find({lease.property, lease.query});
-          if (it != c.settled_by_pq.end()) {
-            for (const auto& [unlock_order, cursor] : it->second) {
-              if (task_covers(lease.task, unlock_order)) skip.push_back(cursor);
+        continue;
+      }
+      if (status != FrameStatus::kOk) break;  // EOF, torn frame, protocol garbage
+      last_activity = Clock::now();
+      const cert::Json* type_field = msg.find("type");
+      if (type_field == nullptr) break;
+      const std::string& type = type_field->as_string();
+  
+      if (type == "heartbeat") continue;
+  
+      if (type == "next") {
+        cert::Json reply;
+        {
+          std::lock_guard<std::mutex> lock(c.mutex);
+          release_current();  // a worker asking again abandoned any holdover
+          std::int64_t grant = -1;
+          bool work_left = false;
+          if (!c.closing) {
+            for (std::size_t i = 0; i < c.leases.size(); ++i) {
+              const Lease& lease = c.leases[i];
+              if (lease.state == LeaseState::kActive) work_left = true;
+              if (lease.state != LeaseState::kPending) continue;
+              work_left = true;
+              const PropMerge& prop = c.props[lease.property];
+              if (prop.stopped || prop.budget_exhausted) continue;
+              grant = static_cast<std::int64_t>(i);
+              break;
             }
           }
-          reply = cert::Json::Object{{"type", "lease"},
-                                     {"lease", grant},
-                                     {"property", static_cast<std::int64_t>(lease.property)},
-                                     {"query", static_cast<std::int64_t>(lease.query)},
-                                     {"prefix", std::move(prefix)},
-                                     {"extensions", lease.task.include_extensions},
-                                     {"skip", std::move(skip)}};
-        } else if (work_left) {
-          reply = cert::Json::Object{{"type", "wait"}, {"ms", 300}};
-        } else {
-          reply = cert::Json::Object{{"type", "shutdown"}, {"reason", "run over"}};
-          clean = true;
+          if (grant >= 0) {
+            Lease& lease = c.leases[static_cast<std::size_t>(grant)];
+            lease.state = LeaseState::kActive;
+            ++c.stats.leases_granted;
+            current = grant;
+            abandon_sent_for = -2;  // a regranted lease may need its own abandon
+            cert::Json::Array prefix;
+            for (const int g : lease.task.prefix) prefix.push_back(g);
+            // Skip list: every settled cursor inside this subtree (resume
+            // replay and partial work of a previous holder).
+            cert::Json::Array skip;
+            const auto it = c.settled_by_pq.find({lease.property, lease.query});
+            if (it != c.settled_by_pq.end()) {
+              for (const auto& [unlock_order, cursor] : it->second) {
+                if (task_covers(lease.task, unlock_order)) skip.push_back(cursor);
+              }
+            }
+            reply = cert::Json::Object{{"type", "lease"},
+                                       {"lease", grant},
+                                       {"property", static_cast<std::int64_t>(lease.property)},
+                                       {"query", static_cast<std::int64_t>(lease.query)},
+                                       {"prefix", std::move(prefix)},
+                                       {"extensions", lease.task.include_extensions},
+                                       {"skip", std::move(skip)}};
+          } else if (work_left) {
+            reply = cert::Json::Object{{"type", "wait"}, {"ms", 300}};
+          } else {
+            reply = cert::Json::Object{{"type", "shutdown"}, {"reason", "run over"}};
+            clean = true;
+          }
         }
+        if (!conn.send(reply)) break;
+        if (clean) break;
+        continue;
       }
-      if (!conn.send(reply)) break;
-      if (clean) break;
-      continue;
-    }
-
-    if (type == "record") {
-      std::size_t q = 0;
-      checker::Schema schema;
-      const std::string& cursor = msg.at("cursor").as_string();
-      const auto p = static_cast<std::size_t>(msg.at("property").as_int());
-      if (p >= c.props.size() || !checker::parse_schema_cursor(cursor, &q, &schema) ||
-          q >= properties[p].queries.size()) {
-        break;
+  
+      if (type == "record") {
+        std::size_t q = 0;
+        checker::Schema schema;
+        const std::string& cursor = msg.at("cursor").as_string();
+        const auto p = static_cast<std::size_t>(msg.at("property").as_int());
+        if (p >= c.props.size() || !checker::parse_schema_cursor(cursor, &q, &schema) ||
+            q >= properties[p].queries.size()) {
+          break;
+        }
+        const std::int64_t cited = msg.at("lease").as_int();
+        bool abandon = false;
+        {
+          std::lock_guard<std::mutex> lock(c.mutex);
+          const std::string& verdict = msg.at("verdict").as_string();
+          if (verdict != "pruned" && verdict != "unsat" && verdict != "unknown") break;
+          if (cited == current &&
+              apply_record(c, p, q, schema, cursor, verdict, msg.at("length").as_int(),
+                           msg.at("pivots").as_int(), msg.at("retries").as_int(),
+                           msg.at("note").as_string(), /*resumed=*/false,
+                           /*journal_this=*/true)) {
+            if (c.check.certify && verdict == "unsat") {
+              checker::SchemaEvidence item;
+              item.query_index = q;
+              item.schema = schema;
+              item.sat = false;
+              if (const cert::Json* proof = msg.find("proof")) {
+                item.proof = std::shared_ptr<const smt::proof::Node>(
+                    cert::proof_from_json(*proof).release());
+              }
+              c.props[p].evidence.push_back(std::move(item));
+            }
+          }
+          // Tell the worker to stop solving a subtree nobody wants: its lease
+          // was expropriated, or the property is already settled (first
+          // witness, exhausted budget).
+          abandon = cited != current || c.props[p].stopped || c.props[p].budget_exhausted;
+        }
+        if (abandon && abandon_sent_for != cited) {
+          abandon_sent_for = cited;
+          if (!conn.send(cert::Json::Object{{"type", "abandon"}, {"lease", cited}})) break;
+        }
+        continue;
       }
-      const std::int64_t cited = msg.at("lease").as_int();
-      bool abandon = false;
-      {
+  
+      if (type == "sat") {
+        std::size_t q = 0;
+        checker::Schema schema;
+        const std::string& cursor = msg.at("cursor").as_string();
+        const auto p = static_cast<std::size_t>(msg.at("property").as_int());
+        if (p >= c.props.size() || !checker::parse_schema_cursor(cursor, &q, &schema) ||
+            q >= properties[p].queries.size()) {
+          break;
+        }
         std::lock_guard<std::mutex> lock(c.mutex);
-        const std::string& verdict = msg.at("verdict").as_string();
-        if (verdict != "pruned" && verdict != "unsat" && verdict != "unknown") break;
-        if (cited == current &&
-            apply_record(c, p, q, schema, cursor, verdict, msg.at("length").as_int(),
-                         msg.at("pivots").as_int(), msg.at("retries").as_int(),
-                         msg.at("note").as_string(), /*resumed=*/false,
-                         /*journal_this=*/true)) {
-          if (c.check.certify && verdict == "unsat") {
+        if (apply_record(c, p, q, schema, cursor, "sat", msg.at("length").as_int(),
+                         msg.at("pivots").as_int(), msg.at("retries").as_int(), std::string(),
+                         /*resumed=*/false, /*journal_this=*/true)) {
+          PropMerge& prop = c.props[p];
+          if (c.check.certify) {
             checker::SchemaEvidence item;
             item.query_index = q;
             item.schema = schema;
-            item.sat = false;
-            if (const cert::Json* proof = msg.find("proof")) {
-              item.proof = std::shared_ptr<const smt::proof::Node>(
-                  cert::proof_from_json(*proof).release());
+            item.sat = true;
+            if (const cert::Json* model = msg.find("model")) {
+              item.model = std::make_shared<const std::vector<std::pair<std::string, BigInt>>>(
+                  model_values_from_json(*model));
             }
-            c.props[p].evidence.push_back(std::move(item));
+            prop.evidence.push_back(std::move(item));
           }
-        }
-        // Tell the worker to stop solving a subtree nobody wants: its lease
-        // was expropriated, or the property is already settled (first
-        // witness, exhausted budget).
-        abandon = cited != current || c.props[p].stopped || c.props[p].budget_exhausted;
-      }
-      if (abandon && abandon_sent_for != cited) {
-        abandon_sent_for = cited;
-        if (!conn.send(cert::Json::Object{{"type", "abandon"}, {"lease", cited}})) break;
-      }
-      continue;
-    }
-
-    if (type == "sat") {
-      std::size_t q = 0;
-      checker::Schema schema;
-      const std::string& cursor = msg.at("cursor").as_string();
-      const auto p = static_cast<std::size_t>(msg.at("property").as_int());
-      if (p >= c.props.size() || !checker::parse_schema_cursor(cursor, &q, &schema) ||
-          q >= properties[p].queries.size()) {
-        break;
-      }
-      std::lock_guard<std::mutex> lock(c.mutex);
-      if (apply_record(c, p, q, schema, cursor, "sat", msg.at("length").as_int(),
-                       msg.at("pivots").as_int(), msg.at("retries").as_int(), std::string(),
-                       /*resumed=*/false, /*journal_this=*/true)) {
-        PropMerge& prop = c.props[p];
-        if (c.check.certify) {
-          checker::SchemaEvidence item;
-          item.query_index = q;
-          item.schema = schema;
-          item.sat = true;
-          if (const cert::Json* model = msg.find("model")) {
-            item.model = std::make_shared<const std::vector<std::pair<std::string, BigInt>>>(
-                model_values_from_json(*model));
+          const std::string& validation_error = msg.at("validation_error").as_string();
+          if (!validation_error.empty()) {
+            if (prop.error_note.empty()) {
+              prop.error_note =
+                  "internal: counterexample failed replay validation: " + validation_error;
+            }
+          } else if (const cert::Json* cex = msg.find("counterexample");
+                     cex != nullptr && !prop.counterexample) {
+            prop.counterexample = counterexample_from_json(*cex);
           }
-          prop.evidence.push_back(std::move(item));
+          prop.stopped = true;  // first witness wins; stop leasing this property
+          drop_pending_leases(c, p);
+          check_property_finished(c, p);
         }
-        const std::string& validation_error = msg.at("validation_error").as_string();
-        if (!validation_error.empty()) {
-          if (prop.error_note.empty()) {
-            prop.error_note =
-                "internal: counterexample failed replay validation: " + validation_error;
+        continue;
+      }
+  
+      if (type == "lease_done") {
+        const std::int64_t id = msg.at("lease").as_int();
+        std::lock_guard<std::mutex> lock(c.mutex);
+        if (id == current && id >= 0) {
+          Lease& lease = c.leases[static_cast<std::size_t>(id)];
+          if (lease.state == LeaseState::kActive) lease.state = LeaseState::kDone;
+          if (const cert::Json* stats = msg.find("stats")) {
+            checker::IncrementalStats delta;
+            delta.segments_pushed = stats->at("segments_pushed").as_int();
+            delta.segments_popped = stats->at("segments_popped").as_int();
+            delta.segments_reused = stats->at("segments_reused").as_int();
+            delta.schemas_encoded = stats->at("schemas_encoded").as_int();
+            accumulate(c.props[lease.property].incremental, delta);
           }
-        } else if (const cert::Json* cex = msg.find("counterexample");
-                   cex != nullptr && !prop.counterexample) {
-          prop.counterexample = counterexample_from_json(*cex);
+          current = -1;
+          check_property_finished(c, lease.property);
         }
-        prop.stopped = true;  // first witness wins; stop leasing this property
-        drop_pending_leases(c, p);
-        check_property_finished(c, p);
+        continue;
       }
-      continue;
+  
+      break;  // unknown message: protocol violation, drop the connection
     }
-
-    if (type == "lease_done") {
-      const std::int64_t id = msg.at("lease").as_int();
-      std::lock_guard<std::mutex> lock(c.mutex);
-      if (id == current && id >= 0) {
-        Lease& lease = c.leases[static_cast<std::size_t>(id)];
-        if (lease.state == LeaseState::kActive) lease.state = LeaseState::kDone;
-        if (const cert::Json* stats = msg.find("stats")) {
-          checker::IncrementalStats delta;
-          delta.segments_pushed = stats->at("segments_pushed").as_int();
-          delta.segments_popped = stats->at("segments_popped").as_int();
-          delta.segments_reused = stats->at("segments_reused").as_int();
-          delta.schemas_encoded = stats->at("schemas_encoded").as_int();
-          accumulate(c.props[lease.property].incremental, delta);
-        }
-        current = -1;
-        check_property_finished(c, lease.property);
-      }
-      continue;
-    }
-
-    break;  // unknown message: protocol violation, drop the connection
+  } catch (const std::exception&) {
+    // Malformed message from a peer that passed the handshake; fall through
+    // to the cleanup below — this worker costs only its lease.
   }
 
   {
     std::lock_guard<std::mutex> lock(c.mutex);
     release_current();
     if (!clean) ++c.stats.workers_lost;
-    c.open_conns.erase(std::find(c.open_conns.begin(), c.open_conns.end(), &conn),
-                       c.open_conns.end());
+    const auto it = std::find(c.open_conns.begin(), c.open_conns.end(), &conn);
+    if (it != c.open_conns.end()) c.open_conns.erase(it);
   }
   conn.close();
 }

@@ -16,13 +16,31 @@ std::vector<checker::PropertyResult> check_distributed_local(
     const std::string& model_text, const std::vector<PropertySpec>& specs, int worker_count,
     const DistOptions& options, DistStats* stats) {
   if (worker_count < 1) throw InvalidArgument("dist: worker count must be >= 1");
+  // A private 0700 directory from mkdtemp, not a predictable path in the
+  // world-writable /tmp: a predictable name lets another local user squat
+  // the path (the run fails) or connect as a rogue worker.
+  char dir_template[] = "/tmp/hvc-XXXXXX";
+  if (::mkdtemp(dir_template) == nullptr) {
+    throw Error("dist: cannot create a private socket directory under /tmp");
+  }
+  const std::string socket_dir = dir_template;
   Address address;
   address.unix_domain = true;
-  address.path = "/tmp/hvc-dist-" + std::to_string(::getpid()) + ".sock";
+  address.path = socket_dir + "/dist.sock";
+  const auto cleanup_socket = [&] {
+    ::unlink(address.path.c_str());
+    ::rmdir(socket_dir.c_str());
+  };
 
   // Bind before forking so no child races the listen; children then only
   // ever see a connectable socket.
-  const int listen_fd = listen_on(address);
+  int listen_fd = -1;
+  try {
+    listen_fd = listen_on(address);
+  } catch (...) {
+    ::rmdir(socket_dir.c_str());
+    throw;
+  }
 
   DistOptions coordinator_options = options;
   coordinator_options.expected_workers = worker_count;
@@ -36,7 +54,7 @@ std::vector<checker::PropertyResult> check_distributed_local(
     if (pid < 0) {
       for (const pid_t child : children) ::kill(child, SIGKILL);
       ::close(listen_fd);
-      ::unlink(address.path.c_str());
+      cleanup_socket();
       throw Error("dist: fork failed");
     }
     if (pid == 0) {
@@ -63,7 +81,7 @@ std::vector<checker::PropertyResult> check_distributed_local(
   } catch (...) {
     for (const pid_t child : children) ::kill(child, SIGKILL);
     for (const pid_t child : children) ::waitpid(child, nullptr, 0);
-    ::unlink(address.path.c_str());
+    cleanup_socket();
     throw;
   }
   // Workers exit on the shutdown frame; reap them all (a stuck child would
@@ -80,7 +98,7 @@ std::vector<checker::PropertyResult> check_distributed_local(
       ::waitpid(child, &status, 0);
     }
   }
-  ::unlink(address.path.c_str());
+  cleanup_socket();
   return results;
 }
 

@@ -4,6 +4,7 @@
 #include <deque>
 #include <map>
 #include <memory>
+#include <optional>
 #include <thread>
 #include <unordered_set>
 #include <utility>
@@ -75,34 +76,47 @@ WorkerReport run_worker(const WorkerOptions& options) {
     return report;
   }
   cert::Json welcome;
-  if (conn.recv(&welcome, options.recv_timeout_ms) != FrameStatus::kOk ||
-      welcome.at("type").as_string() != "welcome") {
+  if (conn.recv(&welcome, options.recv_timeout_ms) != FrameStatus::kOk) {
     report.note = "no welcome from coordinator";
-    return report;
-  }
-  if (welcome.at("protocol").as_int() != kDistProtocolVersion) {
-    report.note = "coordinator speaks protocol " +
-                  std::to_string(welcome.at("protocol").as_int()) + ", this worker speaks " +
-                  std::to_string(kDistProtocolVersion);
     return report;
   }
 
   // Reconstruct the run from the welcome message and verify, via the model
   // content hash, that this worker's parse numbered the automaton exactly
-  // like the coordinator's (ids travel raw on the wire).
-  checker::CheckOptions check = options_from_json(welcome.at("options"));
-  check.fault = options.fault;
-  check.cancel = options.cancel;
-  const ta::ThresholdAutomaton ta =
-      ta::parse_ta(welcome.at("model_text").as_string()).one_round_reduction();
-  const std::string model_hash = checker::model_content_hash(ta);
-  if (model_hash != welcome.at("model_hash").as_string()) {
-    report.note = "model hash mismatch: coordinator " +
-                  welcome.at("model_hash").as_string() + ", local parse " + model_hash;
+  // like the coordinator's (ids travel raw on the wire). Missing/mistyped
+  // fields, unparseable model text or uncompilable properties all throw —
+  // per the header contract they become a diagnostic note, never an
+  // exception escaping into the hosting process.
+  checker::CheckOptions check;
+  std::optional<ta::ThresholdAutomaton> parsed;
+  std::vector<spec::Property> properties;
+  try {
+    if (welcome.at("type").as_string() != "welcome") {
+      report.note = "no welcome from coordinator";
+      return report;
+    }
+    if (welcome.at("protocol").as_int() != kDistProtocolVersion) {
+      report.note = "coordinator speaks protocol " +
+                    std::to_string(welcome.at("protocol").as_int()) +
+                    ", this worker speaks " + std::to_string(kDistProtocolVersion);
+      return report;
+    }
+    check = options_from_json(welcome.at("options"));
+    parsed.emplace(ta::parse_ta(welcome.at("model_text").as_string()).one_round_reduction());
+    const std::string model_hash = checker::model_content_hash(*parsed);
+    if (model_hash != welcome.at("model_hash").as_string()) {
+      report.note = "model hash mismatch: coordinator " +
+                    welcome.at("model_hash").as_string() + ", local parse " + model_hash;
+      return report;
+    }
+    properties = resolve_properties(*parsed, specs_from_json(welcome.at("properties")));
+  } catch (const std::exception& e) {
+    report.note = std::string("malformed welcome from coordinator: ") + e.what();
     return report;
   }
-  const std::vector<spec::Property> properties =
-      resolve_properties(ta, specs_from_json(welcome.at("properties")));
+  check.fault = options.fault;
+  check.cancel = options.cancel;
+  const ta::ThresholdAutomaton& ta = *parsed;
 
   const checker::GuardAnalysis analysis(ta);
   // deque: QueryCone owns a mutex and must not move.
@@ -163,58 +177,73 @@ WorkerReport run_worker(const WorkerOptions& options) {
       // The coordinator may have sent shutdown and closed its end while we
       // slept in a wait backoff; the frame is still in our receive buffer.
       cert::Json last;
-      if (conn.recv(&last, 100) == FrameStatus::kOk && last.find("type") != nullptr &&
-          last.at("type").as_string() == "shutdown") {
-        report.completed = true;
-      } else {
-        report.note = "connection lost";
+      if (conn.recv(&last, 100) == FrameStatus::kOk) {
+        const cert::Json* last_type = last.find("type");
+        report.completed = last_type != nullptr &&
+                           last_type->kind() == cert::Json::Kind::kString &&
+                           last_type->as_string() == "shutdown";
       }
+      if (!report.completed) report.note = "connection lost";
       break;
     }
-    cert::Json reply;
-    FrameStatus status = conn.recv(&reply, options.recv_timeout_ms);
-    // A late "abandon" for a lease that already closed can sit ahead of the
-    // real reply in the byte stream; skip past it.
-    while (status == FrameStatus::kOk && reply.find("type") != nullptr &&
-           reply.at("type").as_string() == "abandon") {
-      status = conn.recv(&reply, options.recv_timeout_ms);
-    }
-    if (status != FrameStatus::kOk) {
-      report.note = "coordinator connection " + std::string(to_string(status));
-      break;
-    }
-    const std::string& type = reply.at("type").as_string();
-    if (type == "shutdown") {
-      report.completed = true;
-      break;
-    }
-    if (type == "wait") {
-      const auto ms = std::min<std::int64_t>(reply.at("ms").as_int(), 2000);
-      std::this_thread::sleep_for(std::chrono::milliseconds(ms > 0 ? ms : 100));
-      continue;
-    }
-    if (type != "lease") {
-      report.note = "unexpected message '" + type + "'";
-      break;
-    }
-
-    // --- execute one lease -------------------------------------------------
-    const std::int64_t lease_id = reply.at("lease").as_int();
-    const auto p = static_cast<std::size_t>(reply.at("property").as_int());
-    const auto q = static_cast<std::size_t>(reply.at("query").as_int());
-    if (p >= properties.size() || q >= properties[p].queries.size()) {
-      report.note = "lease names an unknown property/query";
-      break;
-    }
+    // Decode the reply inside try/catch: a missing or mistyped field is a
+    // malformed coordinator message, reported in the note per the header
+    // contract (run-as-a-thread hosts must never see an escaping throw).
+    std::int64_t lease_id = -1;
+    std::size_t p = 0;
+    std::size_t q = 0;
     checker::SubtreeTask task;
-    for (const cert::Json& g : reply.at("prefix").as_array()) {
-      task.prefix.push_back(static_cast<int>(g.as_int()));
-    }
-    task.include_extensions = reply.at("extensions").as_bool();
     std::unordered_set<std::string> skip;
-    for (const cert::Json& cursor : reply.at("skip").as_array()) {
-      skip.insert(cursor.as_string());
+    bool stop = false;
+    bool wait = false;
+    try {
+      cert::Json reply;
+      FrameStatus status = conn.recv(&reply, options.recv_timeout_ms);
+      // A late "abandon" for a lease that already closed can sit ahead of
+      // the real reply in the byte stream; skip past it.
+      while (status == FrameStatus::kOk && reply.find("type") != nullptr &&
+             reply.at("type").as_string() == "abandon") {
+        status = conn.recv(&reply, options.recv_timeout_ms);
+      }
+      if (status != FrameStatus::kOk) {
+        report.note = "coordinator connection " + std::string(to_string(status));
+        break;
+      }
+      const std::string& type = reply.at("type").as_string();
+      if (type == "shutdown") {
+        report.completed = true;
+        break;
+      }
+      if (type == "wait") {
+        const auto ms = std::min<std::int64_t>(reply.at("ms").as_int(), 2000);
+        std::this_thread::sleep_for(std::chrono::milliseconds(ms > 0 ? ms : 100));
+        wait = true;
+      } else if (type != "lease") {
+        report.note = "unexpected message '" + type + "'";
+        break;
+      } else {
+        // --- decode one lease ----------------------------------------------
+        lease_id = reply.at("lease").as_int();
+        p = static_cast<std::size_t>(reply.at("property").as_int());
+        q = static_cast<std::size_t>(reply.at("query").as_int());
+        if (p >= properties.size() || q >= properties[p].queries.size()) {
+          report.note = "lease names an unknown property/query";
+          break;
+        }
+        for (const cert::Json& g : reply.at("prefix").as_array()) {
+          task.prefix.push_back(static_cast<int>(g.as_int()));
+        }
+        task.include_extensions = reply.at("extensions").as_bool();
+        for (const cert::Json& cursor : reply.at("skip").as_array()) {
+          skip.insert(cursor.as_string());
+        }
+      }
+    } catch (const std::exception& e) {
+      report.note = std::string("malformed coordinator message: ") + e.what();
+      stop = true;
     }
+    if (stop) break;
+    if (wait) continue;
     ++report.leases;
 
     const checker::QueryCone* cone = cone_for(p, q);
@@ -235,7 +264,8 @@ WorkerReport run_worker(const WorkerOptions& options) {
           return true;
         }
         const cert::Json* type = note.find("type");
-        if (type != nullptr && type->as_string() == "abandon") {
+        if (type != nullptr && type->kind() == cert::Json::Kind::kString &&
+            type->as_string() == "abandon") {
           exit = LeaseExit::kAbandoned;
           return true;
         }

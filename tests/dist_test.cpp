@@ -3,6 +3,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <string>
@@ -19,6 +20,7 @@
 #include "hv/spec/compile.h"
 #include "hv/ta/parser.h"
 #include "hv/util/error.h"
+#include "hv/util/version.h"
 
 namespace hv::dist {
 namespace {
@@ -373,6 +375,57 @@ TEST(DistEndToEnd, DroppedWorkerLosesTheLeaseNotTheRun) {
   EXPECT_GE(run.stats.leases_reassigned, 1);
 }
 
+TEST(DistEndToEnd, MalformedMessagesCostTheConnectionNotTheRun) {
+  const std::string address = "unix:" + temp_path("dist_malformed.sock");
+  ServeRun run;
+  DistOptions options;
+  options.lease_timeout_seconds = 30.0;
+  run.start(address, {{"safe", kHoldsFormula, false}}, options);
+
+  // Peers that pass the hello handshake and then send syntactically valid
+  // JSON frames with missing or mistyped fields (version skew, worker bug,
+  // hostile client). Each must cost that peer its connection only — never
+  // the coordinator, which used to std::terminate on the escaping throw.
+  const std::vector<std::string> malformed = {
+      R"({"type":"record"})",                          // every field missing
+      R"({"type":"record","lease":0,"property":"zero","cursor":"q0|1|",)"
+      R"("verdict":"unsat","length":0,"pivots":0,"retries":0,"note":""})",
+      R"({"type":"sat","lease":0,"property":0,"cursor":"q0|1|"})",
+      R"({"type":"lease_done","lease":"zero"})",
+      R"({"type":42})",
+  };
+  for (const std::string& payload : malformed) {
+    // The coordinator thread may still be binding; retry like a worker would.
+    int fd = -1;
+    for (int spin = 0; spin < 500 && fd < 0; ++spin) {
+      fd = connect_to(parse_address(address));
+      if (fd < 0) std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    ASSERT_GE(fd, 0);
+    Conn conn(fd);
+    ASSERT_TRUE(conn.send(cert::Json::Object{
+        {"type", "hello"}, {"protocol", kDistProtocolVersion}, {"label", "hostile"}}));
+    cert::Json welcome;
+    ASSERT_EQ(conn.recv(&welcome, 5'000), FrameStatus::kOk);
+    ASSERT_TRUE(write_frame(fd, payload));
+    // The coordinator drops the connection; wait for the EOF (a timeout here
+    // still exercises the survival property below).
+    std::string tail;
+    read_frame(fd, &tail, 2'000);
+    conn.close();
+  }
+
+  // A well-behaved worker still completes the run with the right verdict.
+  const WorkerReport report = run_one_worker(address, "good");
+  run.join();
+  ASSERT_TRUE(run.error.empty()) << run.error;
+  EXPECT_TRUE(report.completed) << report.note;
+  ASSERT_EQ(run.results.size(), 1u);
+  EXPECT_EQ(run.results[0].verdict, checker::Verdict::kHolds);
+  const auto reference = reference_check("safe", kHoldsFormula, options.check);
+  EXPECT_EQ(run.results[0].schemas_checked, reference[0].schemas_checked);
+}
+
 TEST(DistEndToEnd, ResumesFromAJournal) {
   const std::string journal = temp_path("dist_resume.jsonl");
   const std::string address1 = "unix:" + temp_path("dist_resume1.sock");
@@ -419,6 +472,34 @@ TEST(DistEndToEnd, ResumeRefusesAForeignJournal) {
       serve(kEchoModel, {{"safe", kHoldsFormula, false}},
             "unix:" + temp_path("dist_foreign.sock"), options),
       InvalidArgument);
+}
+
+TEST(DistEndToEnd, WorkerReportsAMalformedWelcome) {
+  // worker.h promises network-side problems surface in the report note, not
+  // as exceptions; a welcome with missing fields must honor that (run_worker
+  // also runs as a plain thread, where an escaping throw kills the host).
+  const std::string path = temp_path("dist_badwelcome.sock");
+  Address addr;
+  addr.unix_domain = true;
+  addr.path = path;
+  const int listen_fd = listen_on(addr);
+  std::thread fake([&] {
+    const int cfd = ::accept(listen_fd, nullptr, nullptr);
+    ASSERT_GE(cfd, 0);
+    Conn conn(cfd);
+    cert::Json hello;
+    EXPECT_EQ(conn.recv(&hello, 5'000), FrameStatus::kOk);
+    conn.send(cert::Json::Object{{"type", "welcome"}, {"protocol", kDistProtocolVersion}});
+    conn.close();
+  });
+  WorkerOptions options;
+  options.connect = "unix:" + path;
+  const WorkerReport report = run_worker(options);
+  fake.join();
+  ::close(listen_fd);
+  std::remove(path.c_str());
+  EXPECT_FALSE(report.completed);
+  EXPECT_NE(report.note.find("malformed welcome"), std::string::npos) << report.note;
 }
 
 TEST(DistEndToEnd, ForkLocalModeMatchesInProcess) {

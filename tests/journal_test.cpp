@@ -161,7 +161,13 @@ TEST(JournalTest, ParseSchemaCursorInvertsSchemaCursor) {
   EXPECT_TRUE(parsed.cut_positions.empty());
 
   for (const char* bad : {"", "q", "x0|1|2", "q|1|2", "q0", "q0|1", "q1a|0|1",
-                          "q0|1,|2", "q0|a,b|2", "q0|1|2|3"}) {
+                          "q0|1,|2", "q0|a,b|2", "q0|1|2|3",
+                          // Digit runs past the integer range must be rejected,
+                          // not overflow: cursors arrive from journal files and
+                          // remote workers.
+                          "q99999999999999999999|0|1",
+                          "q0|99999999999999999999|1",
+                          "q0|1|99999999999999999999"}) {
     EXPECT_FALSE(parse_schema_cursor(bad, &query, &parsed)) << bad;
   }
 }
