@@ -48,6 +48,49 @@ void BM_RationalPivotArithmetic(benchmark::State& state) {
 }
 BENCHMARK(BM_RationalPivotArithmetic);
 
+// The same mixed workload as BM_RationalPivotArithmetic, once on the
+// machine-word fast path and once with the escape hatch forcing every value
+// through the BigInt representation — their ratio is the raw win of the
+// hybrid layout before any simplex-level restructuring.
+void BM_RationalFastPath(benchmark::State& state) {
+  const hv::Rational a(hv::BigInt(7), hv::BigInt(3));
+  const hv::Rational b(hv::BigInt(-5), hv::BigInt(11));
+  hv::Rational acc;
+  for (auto _ : state) {
+    acc += a * b;
+    acc -= a / b;
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_RationalFastPath);
+
+void BM_RationalForcedBig(benchmark::State& state) {
+  hv::Rational::set_fast_path_enabled(false);
+  const hv::Rational a(hv::BigInt(7), hv::BigInt(3));
+  const hv::Rational b(hv::BigInt(-5), hv::BigInt(11));
+  hv::Rational acc;
+  for (auto _ : state) {
+    acc += a * b;
+    acc -= a / b;
+    benchmark::DoNotOptimize(acc);
+  }
+  hv::Rational::set_fast_path_enabled(true);
+}
+BENCHMARK(BM_RationalForcedBig);
+
+// The fused accumulate that dominates pivoting: acc += factor * value with
+// no temporary, on typical tableau-sized operands.
+void BM_RationalAddMul(benchmark::State& state) {
+  const hv::Rational factor(hv::BigInt(-9), hv::BigInt(7));
+  const hv::Rational value(hv::BigInt(13), hv::BigInt(6));
+  hv::Rational acc;
+  for (auto _ : state) {
+    acc.add_mul(factor, value);
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_RationalAddMul);
+
 void BM_SimplexThresholdSystem(benchmark::State& state) {
   for (auto _ : state) {
     hv::smt::Simplex simplex;

@@ -20,10 +20,12 @@ sock="$work/coord.sock"
 trap 'kill $(jobs -p) 2>/dev/null || true; rm -rf "$work"' EXIT
 
 # Strip run-dependent fields (timing, solver pivot path, resume/retry
-# counters, incremental-solver accounting, which differs across lease
-# boundaries); what must match is the verdict and the schema accounting.
+# counters, incremental-solver accounting and the rational fast/big op
+# split, all of which differ across lease boundaries and on reassigned or
+# journal-resumed work); what must match is the verdict and the schema
+# accounting.
 normalize() {
-  sed -E 's/"(seconds|pivots|resumed|retries|segments_[a-z]+|prefix_reuse_ratio)": [0-9.]+(, )?//g' "$1"
+  sed -E 's/"(seconds|pivots|resumed|retries|segments_[a-z]+|prefix_reuse_ratio|rational_[a-z_]+)": [0-9.]+(, )?//g' "$1"
 }
 
 workers() {  # workers <count> <label-prefix> — starts background hvc work jobs

@@ -19,9 +19,10 @@ work="$(mktemp -d)"
 trap 'rm -rf "$work"' EXIT
 
 # Strip run-dependent fields (timing, solver pivot path, resume/retry
-# counters); what must match is the verdict and the schema accounting.
+# counters, the rational fast/big op split — resumed schemas contribute no
+# ops); what must match is the verdict and the schema accounting.
 normalize() {
-  sed -E 's/"(seconds|pivots|resumed|retries|segments_[a-z]+|prefix_reuse_ratio)": [0-9.]+(, )?//g' "$1"
+  sed -E 's/"(seconds|pivots|resumed|retries|segments_[a-z]+|prefix_reuse_ratio|rational_[a-z_]+)": [0-9.]+(, )?//g' "$1"
 }
 
 echo "== reference run (uninterrupted)"

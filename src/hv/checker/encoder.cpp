@@ -61,6 +61,8 @@ class IncrementalSchemaEncoder::Impl {
   EncodeResult check(const Schema& schema) {
     HV_REQUIRE(mode_ != EncoderMode::kTrace);
     const std::int64_t pivots_before = solver_.pivots();
+    const std::int64_t fast_before = solver_.rational_fast_ops();
+    const std::int64_t big_before = solver_.rational_big_ops();
     const std::size_t steps_mark = encode_schema(schema);
 
     EncodeResult result;
@@ -79,6 +81,8 @@ class IncrementalSchemaEncoder::Impl {
     steps_.resize(steps_mark);
     ++stats_.schemas_encoded;
     result.pivots = solver_.pivots() - pivots_before;
+    result.rational_fast_ops = solver_.rational_fast_ops() - fast_before;
+    result.rational_big_ops = solver_.rational_big_ops() - big_before;
     return result;
   }
 

@@ -44,6 +44,10 @@ struct EncodeResult {
   /// Simplex pivots spent on this schema (for fresh-vs-incremental
   /// accounting; cumulative counters are differenced per call).
   std::int64_t pivots = 0;
+  /// Rational arithmetic spent on this schema, split by representation
+  /// (machine-word fast path vs BigInt fallback), differenced like pivots.
+  std::int64_t rational_fast_ops = 0;
+  std::int64_t rational_big_ops = 0;
   std::optional<Counterexample> counterexample;  // present iff sat
   /// Certificate payloads, filled in EncoderMode::kCertify only.
   std::shared_ptr<const smt::proof::Node> proof;  // iff !sat

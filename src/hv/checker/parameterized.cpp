@@ -49,6 +49,8 @@ struct RunState {
   std::atomic<std::int64_t> workers_aborted{0};
   std::atomic<std::int64_t> total_length{0};
   std::atomic<std::int64_t> simplex_pivots{0};
+  std::atomic<std::int64_t> rational_fast_ops{0};
+  std::atomic<std::int64_t> rational_big_ops{0};
   // Counts incremental attempts so the soft memory budget can poll RSS on a
   // stride (reading /proc per attempt is measurable on schema-heavy runs).
   std::atomic<std::int64_t> memory_polls{0};
@@ -153,6 +155,8 @@ void settle_unit(SchemaSolver& solver, const spec::Property& property,
   state.schemas_checked.fetch_add(1);
   state.total_length.fetch_add(outcome.length);
   state.simplex_pivots.fetch_add(outcome.pivots);
+  state.rational_fast_ops.fetch_add(outcome.rational_fast_ops);
+  state.rational_big_ops.fetch_add(outcome.rational_big_ops);
   journal_append(ctx, property.name, cursor, sat ? "sat" : "unsat", outcome.length,
                  outcome.pivots);
   if (options.certify) {
@@ -471,6 +475,8 @@ PropertyResult check_property(const ta::ThresholdAutomaton& ta, const spec::Prop
                 static_cast<double>(result.schemas_checked);
   result.seconds = stopwatch.seconds();
   result.simplex_pivots = state.simplex_pivots.load();
+  result.rational_fast_ops = state.rational_fast_ops.load();
+  result.rational_big_ops = state.rational_big_ops.load();
   if (options.incremental) result.incremental = state.incremental;
 
   // Every kUnknown note carries the actual elapsed time and how far the run

@@ -132,6 +132,12 @@ struct PropertyResult {
   /// Total simplex pivots spent solving schemas (both encoder paths), the
   /// currency the incremental mode saves.
   std::int64_t simplex_pivots = 0;
+  /// Rational arithmetic inside the simplex, split by representation: ops
+  /// that stayed on the machine-word fast path vs ops that fell back to
+  /// BigInt. Resumed journal schemas contribute zero (counters are not
+  /// journaled), so a resumed run under-reports totals, never mis-splits.
+  std::int64_t rational_fast_ops = 0;
+  std::int64_t rational_big_ops = 0;
   /// Present iff the incremental encoder path ran.
   std::optional<IncrementalStats> incremental;
   std::optional<Counterexample> counterexample;

@@ -156,6 +156,8 @@ UnitOutcome SchemaSolver::solve(std::size_t query_index, const Schema& schema,
 
   outcome.length = result.length;
   outcome.pivots = result.pivots;
+  outcome.rational_fast_ops = result.rational_fast_ops;
+  outcome.rational_big_ops = result.rational_big_ops;
   outcome.proof = result.proof;
   outcome.model = result.model_values;
   if (!result.sat) {

@@ -47,6 +47,9 @@ struct UnitOutcome {
   Kind kind = Kind::kUnknown;
   std::int64_t length = 0;
   std::int64_t pivots = 0;
+  /// Rational fast-path/BigInt op split for this unit (see EncodeResult).
+  std::int64_t rational_fast_ops = 0;
+  std::int64_t rational_big_ops = 0;
   /// Fresh-solver retries taken while settling this unit (0 or 1).
   std::int64_t retries = 0;
   /// kUnknown: the failure that exhausted the ladder. kInterrupted: "cancelled"

@@ -51,6 +51,8 @@ struct PropMerge {
   std::int64_t enumerated = 0;
   std::int64_t total_length = 0;
   std::int64_t pivots = 0;
+  std::int64_t rational_fast_ops = 0;
+  std::int64_t rational_big_ops = 0;
   bool stopped = false;           // counterexample or validation failure
   bool budget_exhausted = false;  // per-property schema budget, as in-process
   std::optional<checker::Counterexample> counterexample;
@@ -163,8 +165,9 @@ bool task_covers(const checker::SubtreeTask& task, const std::vector<int>& unloc
 // iff the cursor was already settled (duplicate after a reassignment).
 bool apply_record(Coord& c, std::size_t p, std::size_t q, const checker::Schema& schema,
                   const std::string& cursor, const std::string& verdict, std::int64_t length,
-                  std::int64_t pivots, std::int64_t retries, const std::string& note,
-                  bool resumed, bool journal_this) {
+                  std::int64_t pivots, std::int64_t fast_ops, std::int64_t big_ops,
+                  std::int64_t retries, const std::string& note, bool resumed,
+                  bool journal_this) {
   const std::vector<spec::Property>& properties = *c.properties;
   PropMerge& settled_prop = c.props[p];
   // A settled property wants no more verdicts: in-flight records from a
@@ -185,6 +188,8 @@ bool apply_record(Coord& c, std::size_t p, std::size_t q, const checker::Schema&
     ++prop.checked;
     prop.total_length += length;
     prop.pivots += pivots;
+    prop.rational_fast_ops += fast_ops;
+    prop.rational_big_ops += big_ops;
   } else {  // "unknown"
     ++prop.unknown;
     if (prop.degrade_note.empty()) {
@@ -349,10 +354,17 @@ void handle_connection(Coord& c, int fd) {
           std::lock_guard<std::mutex> lock(c.mutex);
           const std::string& verdict = msg.at("verdict").as_string();
           if (verdict != "pruned" && verdict != "unsat" && verdict != "unknown") break;
+          // "fast"/"big" are read tolerantly: pruned/unknown records (and
+          // records from pre-upgrade workers) simply omit them.
+          const cert::Json* fast_field = msg.find("fast");
+          const cert::Json* big_field = msg.find("big");
           if (cited == current &&
               apply_record(c, p, q, schema, cursor, verdict, msg.at("length").as_int(),
-                           msg.at("pivots").as_int(), msg.at("retries").as_int(),
-                           msg.at("note").as_string(), /*resumed=*/false,
+                           msg.at("pivots").as_int(),
+                           fast_field != nullptr ? fast_field->as_int() : 0,
+                           big_field != nullptr ? big_field->as_int() : 0,
+                           msg.at("retries").as_int(), msg.at("note").as_string(),
+                           /*resumed=*/false,
                            /*journal_this=*/true)) {
             if (c.check.certify && verdict == "unsat") {
               checker::SchemaEvidence item;
@@ -388,8 +400,13 @@ void handle_connection(Coord& c, int fd) {
           break;
         }
         std::lock_guard<std::mutex> lock(c.mutex);
+        const cert::Json* sat_fast = msg.find("fast");
+        const cert::Json* sat_big = msg.find("big");
         if (apply_record(c, p, q, schema, cursor, "sat", msg.at("length").as_int(),
-                         msg.at("pivots").as_int(), msg.at("retries").as_int(), std::string(),
+                         msg.at("pivots").as_int(),
+                         sat_fast != nullptr ? sat_fast->as_int() : 0,
+                         sat_big != nullptr ? sat_big->as_int() : 0,
+                         msg.at("retries").as_int(), std::string(),
                          /*resumed=*/false, /*journal_this=*/true)) {
           PropMerge& prop = c.props[p];
           if (c.check.certify) {
@@ -550,9 +567,11 @@ std::vector<checker::PropertyResult> serve_fd(int listen_fd, const std::string& 
       checker::Schema schema;
       if (!checker::parse_schema_cursor(record.cursor, &q, &schema)) continue;
       if (q >= properties[it->second].queries.size()) continue;
+      // Journal records carry no arithmetic counters; resumed schemas
+      // contribute zero to the fast/big split (documented in result.h).
       apply_record(c, it->second, q, schema, record.cursor, record.verdict, record.length,
-                   record.pivots, /*retries=*/0, record.note, /*resumed=*/true,
-                   /*journal_this=*/copy_resumed);
+                   record.pivots, /*fast_ops=*/0, /*big_ops=*/0, /*retries=*/0, record.note,
+                   /*resumed=*/true, /*journal_this=*/copy_resumed);
     }
     for (std::size_t p = 0; p < properties.size(); ++p) check_property_finished(c, p);
   }
@@ -626,6 +645,8 @@ std::vector<checker::PropertyResult> serve_fd(int listen_fd, const std::string& 
                                 static_cast<double>(prop.checked);
     result.seconds = prop.finished ? prop.seconds : watch.seconds();
     result.simplex_pivots = prop.pivots;
+    result.rational_fast_ops = prop.rational_fast_ops;
+    result.rational_big_ops = prop.rational_big_ops;
     if (c.check.incremental) result.incremental = prop.incremental;
 
     const auto progress = [&] {

@@ -332,6 +332,8 @@ WorkerReport run_worker(const WorkerOptions& options) {
                                                      {"verdict", "unsat"},
                                                      {"length", outcome.length},
                                                      {"pivots", outcome.pivots},
+                                                     {"fast", outcome.rational_fast_ops},
+                                                     {"big", outcome.rational_big_ops},
                                                      {"retries", outcome.retries},
                                                      {"note", ""}};
               if (check.certify && outcome.proof) {
@@ -346,6 +348,8 @@ WorkerReport run_worker(const WorkerOptions& options) {
                                                       {"cursor", cursor},
                                                       {"length", outcome.length},
                                                       {"pivots", outcome.pivots},
+                                                      {"fast", outcome.rational_fast_ops},
+                                                      {"big", outcome.rational_big_ops},
                                                       {"retries", outcome.retries},
                                                       {"validation_error",
                                                        outcome.validation_error}};

@@ -1,5 +1,6 @@
 #include "hv/smt/simplex.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "hv/util/error.h"
@@ -7,7 +8,29 @@
 namespace hv::smt {
 
 namespace {
+
 const Rational kZeroRational;
+
+// Folds the delta of the thread-local Rational op counters over a scope into
+// Simplex::Stats. Placed on the mutating entry points (check, pop, add_row,
+// assert_*), which never nest, so each op is attributed exactly once.
+class ArithScope {
+ public:
+  explicit ArithScope(Simplex::Stats& stats) noexcept
+      : stats_(stats), before_(Rational::thread_counters()) {}
+  ~ArithScope() {
+    const Rational::OpCounters& after = Rational::thread_counters();
+    stats_.rational_fast_ops += static_cast<std::int64_t>(after.fast - before_.fast);
+    stats_.rational_big_ops += static_cast<std::int64_t>(after.big - before_.big);
+  }
+  ArithScope(const ArithScope&) = delete;
+  ArithScope& operator=(const ArithScope&) = delete;
+
+ private:
+  Simplex::Stats& stats_;
+  Rational::OpCounters before_;
+};
+
 }  // namespace
 
 const Rational& Simplex::coeff_at(const Row& row, int var) noexcept {
@@ -30,26 +53,34 @@ int Simplex::add_variable() {
 }
 
 int Simplex::add_row(const std::vector<std::pair<int, BigInt>>& combination) {
+  const ArithScope arith(stats_);
   const int slack = add_variable();
   Row row;
   row.basic_var = slack;
+  // Size the row once up front instead of growing it per written column.
+  std::size_t width = 0;
   for (const auto& [var, coeff] : combination) {
     HV_REQUIRE(var >= 0 && var < slack);
+    width = std::max(width, is_basic(var) ? rows_[columns_[var].row].coeffs.size()
+                                          : static_cast<std::size_t>(var) + 1);
+  }
+  row.coeffs.resize(width);
+  for (const auto& [var, coeff] : combination) {
     const Rational factor{coeff};
     if (is_basic(var)) {
       // Substitute the defining row of the basic variable.
       const Row& defining = rows_[columns_[var].row];
       for (int j = 0; j < static_cast<int>(defining.coeffs.size()); ++j) {
-        if (!defining.coeffs[j].is_zero()) coeff_ref(row, j) += factor * defining.coeffs[j];
+        if (!defining.coeffs[j].is_zero()) row.coeffs[j].add_mul(factor, defining.coeffs[j]);
       }
     } else {
-      coeff_ref(row, var) += factor;
+      row.coeffs[var] += factor;
     }
   }
   // The slack starts basic; its assignment is the row value.
   Rational value;
   for (int j = 0; j < static_cast<int>(row.coeffs.size()); ++j) {
-    if (!row.coeffs[j].is_zero()) value += row.coeffs[j] * columns_[j].assignment;
+    if (!row.coeffs[j].is_zero()) value.add_mul(row.coeffs[j], columns_[j].assignment);
   }
   columns_[slack].assignment = std::move(value);
   columns_[slack].row = static_cast<int>(rows_.size());
@@ -58,6 +89,7 @@ int Simplex::add_row(const std::vector<std::pair<int, BigInt>>& combination) {
 }
 
 bool Simplex::assert_lower(int var, const Rational& bound, int tag) {
+  const ArithScope arith(stats_);
   Column& column = columns_[var];
   if (column.lower && *column.lower >= bound) return true;  // not tighter
   if (column.upper && bound > *column.upper) {
@@ -73,6 +105,7 @@ bool Simplex::assert_lower(int var, const Rational& bound, int tag) {
 }
 
 bool Simplex::assert_upper(int var, const Rational& bound, int tag) {
+  const ArithScope arith(stats_);
   Column& column = columns_[var];
   if (column.upper && *column.upper <= bound) return true;
   if (column.lower && bound < *column.lower) {
@@ -89,10 +122,12 @@ bool Simplex::assert_upper(int var, const Rational& bound, int tag) {
 void Simplex::push() { trail_.push_back({TrailKind::kMark, -1, std::nullopt}); }
 
 void Simplex::pop() {
+  const ArithScope arith(stats_);
   while (!trail_.empty()) {
     TrailEntry& entry = trail_.back();
     if (entry.kind == TrailKind::kMark) {
       trail_.pop_back();
+      shed_column_tails();
       return;
     }
     if (entry.kind == TrailKind::kAddVar) {
@@ -155,8 +190,12 @@ void Simplex::remove_last_variable() {
   if (row_index >= 0) remove_row(row_index);
   columns_.pop_back();
   // Surviving rows provably carry zero coefficients on the dropped column
-  // (their equalities range over surviving variables only); shed the tail
-  // entries so the width bookkeeping stays tight.
+  // (their equalities range over surviving variables only). The tail entries
+  // are shed once per pop() rather than per deleted variable — coeff_at
+  // already reads the not-yet-trimmed zeros correctly in the meantime.
+}
+
+void Simplex::shed_column_tails() {
   for (Row& row : rows_) {
     while (row.coeffs.size() > columns_.size()) {
       HV_REQUIRE(row.coeffs.back().is_zero());
@@ -171,7 +210,7 @@ void Simplex::update_nonbasic(int var, const Rational& new_value) {
   for (Row& row : rows_) {
     const Rational& coeff = coeff_at(row, var);
     if (!coeff.is_zero()) {
-      columns_[row.basic_var].assignment += coeff * delta;
+      columns_[row.basic_var].assignment.add_mul(coeff, delta);
     }
   }
   columns_[var].assignment = new_value;
@@ -195,24 +234,32 @@ void Simplex::pivot(int row_index, int entering_var) {
 
   // Rewrite the pivot row to define the entering variable:
   //   leaving = sum a_j x_j  ==>  entering = leaving/a_e - sum_{j!=e} (a_j/a_e) x_j
+  // One reciprocal replaces a division per entry (and the Rational(1)/a_e of
+  // the leaving column): multiplication cross-reduces with machine-word gcds.
+  const Rational recip = pivot_coeff.reciprocal();
+  Rational neg_recip = recip;
+  neg_recip.negate();
   coeff_ref(row, entering_var) = Rational();
   for (Rational& coeff : row.coeffs) {
-    if (!coeff.is_zero()) coeff = -(coeff / pivot_coeff);
+    if (!coeff.is_zero()) coeff *= neg_recip;
   }
-  coeff_ref(row, leaving_var) = Rational(1) / pivot_coeff;
+  coeff_ref(row, leaving_var) = recip;
   row.basic_var = entering_var;
   columns_[entering_var].row = row_index;
   columns_[leaving_var].row = -1;
 
-  // Substitute the entering variable out of all other rows.
+  // Substitute the entering variable out of all other rows. The fused
+  // add_mul avoids a temporary Rational per inner-loop entry, and the row is
+  // widened once up front so the inner loop indexes without bounds upkeep.
   for (int r = 0; r < static_cast<int>(rows_.size()); ++r) {
     if (r == row_index) continue;
     Row& other = rows_[r];
     const Rational factor = coeff_at(other, entering_var);
     if (factor.is_zero()) continue;
-    coeff_ref(other, entering_var) = Rational();
+    if (other.coeffs.size() < row.coeffs.size()) other.coeffs.resize(row.coeffs.size());
+    other.coeffs[entering_var] = Rational();
     for (int j = 0; j < static_cast<int>(row.coeffs.size()); ++j) {
-      if (!row.coeffs[j].is_zero()) coeff_ref(other, j) += factor * row.coeffs[j];
+      if (!row.coeffs[j].is_zero()) other.coeffs[j].add_mul(factor, row.coeffs[j]);
     }
   }
 }
@@ -228,12 +275,13 @@ void Simplex::pivot_and_update(int row_index, int entering_var, const Rational& 
     if (r == row_index) continue;
     const Row& row = rows_[r];
     const Rational& c = coeff_at(row, entering_var);
-    if (!c.is_zero()) columns_[row.basic_var].assignment += c * theta;
+    if (!c.is_zero()) columns_[row.basic_var].assignment.add_mul(c, theta);
   }
   pivot(row_index, entering_var);
 }
 
 bool Simplex::check() {
+  const ArithScope arith(stats_);
   for (;;) {
     if (pivot_limit_ > 0 && stats_.pivots >= pivot_limit_) {
       throw Error("smt: simplex pivot budget exceeded");

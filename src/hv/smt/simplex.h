@@ -77,6 +77,13 @@ class Simplex {
     /// Extra pivots spent by pop() evicting to-be-deleted variables from
     /// the basis (the price of structural backtracking).
     std::int64_t pop_pivots = 0;
+    /// Rational arithmetic performed inside this tableau, split by
+    /// representation: machine-word fast-path ops vs BigInt fallbacks.
+    /// Captured as deltas of the thread-local Rational counters around
+    /// every mutating entry point, so concurrent tableaux on other threads
+    /// don't bleed into each other.
+    std::int64_t rational_fast_ops = 0;
+    std::int64_t rational_big_ops = 0;
   };
   const Stats& stats() const noexcept { return stats_; }
 
@@ -134,6 +141,8 @@ class Simplex {
 
   bool is_basic(int var) const noexcept { return columns_[var].row >= 0; }
   void remove_last_variable();
+  // Trims row widths back to the column count after structural deletion.
+  void shed_column_tails();
   void remove_row(int row_index);
   void update_nonbasic(int var, const Rational& new_value);
   void pivot(int row_index, int entering_var);

@@ -1,6 +1,7 @@
 #include "hv/smt/solver.h"
 
 #include <algorithm>
+#include <charconv>
 #include <utility>
 
 #include "hv/util/error.h"
@@ -72,13 +73,28 @@ void Solver::mark_trivially_unsat(std::unique_ptr<proof::Node> proof) {
 }
 
 int Solver::slack_for(const std::vector<std::pair<int, BigInt>>& terms) {
-  std::string key;
+  // This key is built for every normalized multi-term constraint, so it is
+  // written with to_chars straight into a single allocation sized for the
+  // worst case (11 digits var + ':' + 20 digits coeff + ','); only
+  // coefficients that genuinely exceed int64 (rare) take the allocating
+  // to_string path.
+  std::string key(terms.size() * 33, '\0');
+  char* out = key.data();
   for (const auto& [var, coeff] : terms) {
-    key += std::to_string(var);
-    key += ':';
-    key += coeff.to_string();
-    key += ',';
+    out = std::to_chars(out, out + 11, var).ptr;
+    *out++ = ':';
+    if (coeff.fits_int64()) {
+      out = std::to_chars(out, out + 20, coeff.to_int64()).ptr;
+    } else {
+      const std::size_t used = static_cast<std::size_t>(out - key.data());
+      const std::string digits = coeff.to_string();
+      key.resize(key.size() + digits.size());
+      out = key.data() + used;
+      out = std::copy(digits.begin(), digits.end(), out);
+    }
+    *out++ = ',';
   }
+  key.resize(static_cast<std::size_t>(out - key.data()));
   const auto it = slack_pool_.find(key);
   if (it != slack_pool_.end()) return it->second;
   const int slack = simplex_.add_row(terms);
@@ -150,14 +166,18 @@ Solver::NormalizedAtom Solver::normalize(const LinearConstraint& constraint) {
   for (const auto& [var, coeff] : expr.terms()) content = BigInt::gcd(content, coeff);
   HV_REQUIRE(content.is_positive());
 
-  std::vector<std::pair<int, BigInt>> terms;
-  terms.reserve(expr.terms().size());
-  for (const auto& [var, coeff] : expr.terms()) terms.emplace_back(var, coeff / content);
+  std::vector<std::pair<int, BigInt>> divided;
+  const std::vector<std::pair<int, BigInt>>* terms = &expr.terms();
+  if (!(content == BigInt(1))) {  // the common case copies nothing
+    divided.reserve(expr.terms().size());
+    for (const auto& [var, coeff] : expr.terms()) divided.emplace_back(var, coeff / content);
+    terms = &divided;
+  }
 
-  if (terms.size() == 1 && terms[0].second == BigInt(1)) {
-    atom.var = terms[0].first;
+  if (terms->size() == 1 && (*terms)[0].second == BigInt(1)) {
+    atom.var = (*terms)[0].first;
   } else {
-    atom.var = slack_for(terms);
+    atom.var = slack_for(*terms);
   }
 
   // expr rel 0  <=>  content * slack + constant rel 0  <=>  slack rel' bound.

@@ -98,6 +98,10 @@ class Solver {
   /// Cumulative simplex pivots (feasibility search; excludes the structural
   /// pivots pop() spends evicting deleted variables from the basis).
   std::int64_t pivots() const noexcept { return simplex_.stats().pivots; }
+  /// Cumulative Rational arithmetic inside the simplex tableau, split by
+  /// representation (machine-word fast path vs BigInt fallback).
+  std::int64_t rational_fast_ops() const noexcept { return simplex_.stats().rational_fast_ops; }
+  std::int64_t rational_big_ops() const noexcept { return simplex_.stats().rational_big_ops; }
 
   /// Branch-and-bound node budget; exceeded budgets throw hv::Error.
   void set_branch_budget(std::int64_t budget) noexcept { branch_budget_ = budget; }

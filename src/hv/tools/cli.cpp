@@ -207,6 +207,14 @@ int exit_code(const std::vector<checker::PropertyResult>& results) {
   return code;
 }
 
+// Fraction of simplex Rational ops that stayed on the machine-word fast
+// path (1.0 when no arithmetic ran, e.g. a fully-resumed journal run).
+double rational_fast_ratio(const checker::PropertyResult& result) {
+  const std::int64_t total = result.rational_fast_ops + result.rational_big_ops;
+  if (total == 0) return 1.0;
+  return static_cast<double>(result.rational_fast_ops) / static_cast<double>(total);
+}
+
 void print_result_json(const ta::ThresholdAutomaton& ta, const checker::PropertyResult& result,
                        std::ostream& out) {
   out << "{\"property\": \"" << json_escape(result.property) << "\", \"verdict\": \""
@@ -215,6 +223,9 @@ void print_result_json(const ta::ThresholdAutomaton& ta, const checker::Property
       << ", \"unknown_schemas\": " << result.schemas_unknown
       << ", \"resumed\": " << result.schemas_resumed << ", \"retries\": " << result.retries
       << ", \"seconds\": " << result.seconds << ", \"pivots\": " << result.simplex_pivots
+      << ", \"rational_fast_ops\": " << result.rational_fast_ops
+      << ", \"rational_big_ops\": " << result.rational_big_ops
+      << ", \"rational_fast_ratio\": " << rational_fast_ratio(result)
       << ", \"note\": \"" << json_escape(result.note) << "\"";
   if (result.incremental) {
     out << ", \"segments_pushed\": " << result.incremental->segments_pushed
@@ -234,6 +245,11 @@ void print_result_text(const ta::ThresholdAutomaton& ta, const checker::Property
   out << result.property << ": " << checker::to_string(result.verdict) << " ("
       << result.schemas_checked << " schemas, " << result.schemas_pruned << " pruned, "
       << result.simplex_pivots << " pivots, " << result.seconds << "s)\n";
+  if (result.rational_fast_ops + result.rational_big_ops > 0) {
+    out << "arithmetic: " << result.rational_fast_ops << " fast-path ops, "
+        << result.rational_big_ops << " bigint ops ("
+        << static_cast<int>(rational_fast_ratio(result) * 100.0) << "% fast)\n";
+  }
   if (result.schemas_unknown > 0 || result.schemas_resumed > 0 || result.retries > 0) {
     out << "robustness: " << result.schemas_unknown << " schemas unknown, "
         << result.schemas_resumed << " resumed from journal, " << result.retries

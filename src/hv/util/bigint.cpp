@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <limits>
 #include <ostream>
 #include <utility>
 
@@ -133,7 +134,32 @@ BigInt BigInt::operator-() const {
   return result;
 }
 
+void BigInt::negate() noexcept {
+  if (is_small()) {
+    // |small_| <= kSmallMax < 2^62, so negation cannot overflow.
+    small_ = -small_;
+  } else {
+    negative_ = !negative_;
+  }
+}
+
 BigInt BigInt::abs() const { return is_negative() ? -*this : *this; }
+
+BigInt BigInt::from_int128(__int128 value) {
+  if (value >= static_cast<__int128>(std::numeric_limits<std::int64_t>::min()) &&
+      value <= static_cast<__int128>(std::numeric_limits<std::int64_t>::max())) {
+    return BigInt(static_cast<std::int64_t>(value));
+  }
+  BigInt result;
+  result.negative_ = value < 0;
+  unsigned __int128 magnitude = value < 0 ? -static_cast<unsigned __int128>(value)
+                                          : static_cast<unsigned __int128>(value);
+  while (magnitude != 0) {
+    result.limbs_.push_back(static_cast<std::uint32_t>(magnitude & 0xffffffffu));
+    magnitude >>= 32;
+  }
+  return result;
+}
 
 int BigInt::compare_magnitudes(const std::vector<std::uint32_t>& a,
                                const std::vector<std::uint32_t>& b) noexcept {
@@ -301,10 +327,10 @@ void BigInt::divide_magnitudes(const std::vector<std::uint32_t>& numerator,
   while (!remainder.empty() && remainder.back() == 0) remainder.pop_back();
 }
 
-BigInt& BigInt::operator+=(const BigInt& rhs) {
+BigInt& BigInt::add_signed(const BigInt& rhs, bool negate_rhs) {
   if (is_small() && rhs.is_small()) {
     // Cannot overflow: both magnitudes are at most 2^62 - 1.
-    const std::int64_t sum = small_ + rhs.small_;
+    const std::int64_t sum = negate_rhs ? small_ - rhs.small_ : small_ + rhs.small_;
     if (fits_small(sum)) {
       small_ = sum;
     } else {
@@ -313,23 +339,39 @@ BigInt& BigInt::operator+=(const BigInt& rhs) {
     return *this;
   }
   promote();
-  BigInt big_rhs = rhs;
-  big_rhs.promote();
-  if (negative_ == big_rhs.negative_) {
-    add_magnitudes(limbs_, big_rhs.limbs_);
-  } else if (compare_magnitudes(limbs_, big_rhs.limbs_) >= 0) {
-    subtract_magnitudes(limbs_, big_rhs.limbs_);
+  // Borrow rhs's magnitude without copying it; a small rhs loads its limbs
+  // into a scratch vector. Aliasing (x += x) is safe: once *this is big,
+  // rhs_limbs just points at limbs_ and the magnitude helpers tolerate
+  // acc == addend element-wise.
+  std::vector<std::uint32_t> scratch;
+  const std::vector<std::uint32_t>* rhs_limbs = nullptr;
+  bool rhs_negative = false;
+  if (rhs.is_small()) {
+    scratch = small_magnitude(rhs.small_);
+    rhs_limbs = &scratch;
+    rhs_negative = rhs.small_ < 0;
   } else {
-    std::vector<std::uint32_t> magnitude = std::move(big_rhs.limbs_);
+    rhs_limbs = &rhs.limbs_;
+    rhs_negative = rhs.negative_;
+  }
+  if (negate_rhs) rhs_negative = !rhs_negative;
+  if (negative_ == rhs_negative) {
+    add_magnitudes(limbs_, *rhs_limbs);
+  } else if (compare_magnitudes(limbs_, *rhs_limbs) >= 0) {
+    subtract_magnitudes(limbs_, *rhs_limbs);
+  } else {
+    std::vector<std::uint32_t> magnitude = *rhs_limbs;
     subtract_magnitudes(magnitude, limbs_);
     limbs_ = std::move(magnitude);
-    negative_ = big_rhs.negative_;
+    negative_ = rhs_negative;
   }
   trim();
   return *this;
 }
 
-BigInt& BigInt::operator-=(const BigInt& rhs) { return *this += -rhs; }
+BigInt& BigInt::operator+=(const BigInt& rhs) { return add_signed(rhs, false); }
+
+BigInt& BigInt::operator-=(const BigInt& rhs) { return add_signed(rhs, true); }
 
 BigInt& BigInt::operator*=(const BigInt& rhs) {
   if (is_small() && rhs.is_small()) {

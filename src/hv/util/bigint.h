@@ -57,6 +57,13 @@ class BigInt {
 
   BigInt operator-() const;
   BigInt abs() const;
+  /// In-place sign flip (no limb copy).
+  void negate() noexcept;
+
+  /// Exact conversion from a 128-bit intermediate. This is the bridge the
+  /// Rational fast path uses when an int64 numerator/denominator overflows:
+  /// products of two int64 values always fit in 128 bits.
+  static BigInt from_int128(__int128 value);
 
   BigInt& operator+=(const BigInt& rhs);
   BigInt& operator-=(const BigInt& rhs);
@@ -100,6 +107,9 @@ class BigInt {
   }
   // Loads the magnitude of a small value into a limb vector.
   static std::vector<std::uint32_t> small_magnitude(std::int64_t value);
+  // Shared core of += and -=: adds rhs (sign-flipped when negate_rhs) without
+  // materializing a negated copy of rhs.
+  BigInt& add_signed(const BigInt& rhs, bool negate_rhs);
   void promote();  // small -> big representation (for mixed operations)
   void trim() noexcept;  // canonicalize: strip zero limbs, demote if small
 

@@ -1,76 +1,237 @@
 #include "hv/util/rational.h"
 
+#include <atomic>
+#include <cstdlib>
 #include <ostream>
+#include <string_view>
 #include <utility>
 
 #include "hv/util/error.h"
 
 namespace hv {
 
-Rational::Rational(BigInt numerator, BigInt denominator)
-    : numerator_(std::move(numerator)), denominator_(std::move(denominator)) {
-  if (denominator_.is_zero()) throw InvalidArgument("Rational: zero denominator");
-  normalize();
+namespace {
+
+bool initial_fast_enabled() {
+  const char* value = std::getenv("HV_NO_FAST_RATIONAL");
+  return value == nullptr || value[0] == '\0' || std::string_view(value) == "0";
 }
 
-void Rational::normalize() {
-  if (denominator_.is_negative()) {
-    numerator_ = -numerator_;
-    denominator_ = -denominator_;
-  }
-  if (numerator_.is_zero()) {
-    denominator_ = 1;
+std::atomic<bool> g_fast_rational{initial_fast_enabled()};
+
+constexpr std::int64_t kInt64Min = std::numeric_limits<std::int64_t>::min();
+
+}  // namespace
+
+thread_local Rational::OpCounters Rational::counters_;
+
+bool Rational::fast_path_enabled() noexcept {
+  return g_fast_rational.load(std::memory_order_relaxed);
+}
+
+void Rational::set_fast_path_enabled(bool enabled) noexcept {
+  g_fast_rational.store(enabled, std::memory_order_relaxed);
+}
+
+void Rational::throw_division_by_zero() {
+  throw InvalidArgument("Rational: division by zero");
+}
+
+Rational::Rational(std::int64_t value) {
+  // INT64_MIN is excluded from the small form so negation stays total.
+  if (fast_path_enabled() && value != kInt64Min) {
+    num_ = value;
     return;
   }
-  const BigInt divisor = BigInt::gcd(numerator_, denominator_);
-  if (divisor != BigInt(1)) {
-    numerator_ /= divisor;
-    denominator_ /= divisor;
-  }
+  big_ = std::make_unique<Big>(Big{BigInt(value), BigInt(1)});
 }
 
-BigInt Rational::floor() const { return BigInt::floor_div(numerator_, denominator_); }
+Rational::Rational(BigInt value) {
+  if (fast_path_enabled() && value.fits_int64()) {
+    const std::int64_t small = value.to_int64();
+    if (small != kInt64Min) {
+      num_ = small;
+      return;
+    }
+  }
+  big_ = std::make_unique<Big>(Big{std::move(value), BigInt(1)});
+}
 
-BigInt Rational::ceil() const { return BigInt::ceil_div(numerator_, denominator_); }
+Rational::Rational(BigInt numerator, BigInt denominator) {
+  if (denominator.is_zero()) throw InvalidArgument("Rational: zero denominator");
+  if (fast_path_enabled() && numerator.fits_int64() && denominator.fits_int64()) {
+    std::int64_t num = numerator.to_int64();
+    std::int64_t den = denominator.to_int64();
+    if (num != kInt64Min && den != kInt64Min) {
+      if (den < 0) {
+        num = -num;
+        den = -den;
+      }
+      if (num == 0) {
+        den_ = 1;
+        return;
+      }
+      const std::int64_t divisor = std::gcd(num < 0 ? -num : num, den);
+      num_ = num / divisor;
+      den_ = den / divisor;
+      return;
+    }
+  }
+  big_ = std::make_unique<Big>(Big{std::move(numerator), std::move(denominator)});
+  normalize_big();
+}
 
-Rational Rational::operator-() const {
-  Rational result = *this;
-  result.numerator_ = -result.numerator_;
+void Rational::promote_self() {
+  if (big_) return;
+  big_ = std::make_unique<Big>(Big{BigInt(num_), BigInt(den_)});
+  num_ = 0;
+  den_ = 1;
+}
+
+void Rational::normalize_big() {
+  Big& big = *big_;
+  if (big.den.is_negative()) {
+    big.num.negate();
+    big.den.negate();
+  }
+  if (big.num.is_zero()) {
+    big.den = 1;
+  } else {
+    const BigInt divisor = BigInt::gcd(big.num, big.den);
+    if (divisor != BigInt(1)) {
+      big.num /= divisor;
+      big.den /= divisor;
+    }
+  }
+  maybe_demote();
+}
+
+void Rational::maybe_demote() {
+  if (!fast_path_enabled()) return;
+  const Big& big = *big_;
+  if (!big.num.fits_int64() || !big.den.fits_int64()) return;
+  const std::int64_t num = big.num.to_int64();
+  if (num == kInt64Min) return;
+  num_ = num;
+  den_ = big.den.to_int64();  // positive, so never INT64_MIN
+  big_.reset();
+}
+
+BigInt Rational::floor() const {
+  if (big_) return BigInt::floor_div(big_->num, big_->den);
+  std::int64_t quotient = num_ / den_;
+  if (num_ % den_ != 0 && num_ < 0) --quotient;
+  return BigInt(quotient);
+}
+
+BigInt Rational::ceil() const {
+  if (big_) return BigInt::ceil_div(big_->num, big_->den);
+  std::int64_t quotient = num_ / den_;
+  if (num_ % den_ != 0 && num_ > 0) ++quotient;
+  return BigInt(quotient);
+}
+
+Rational Rational::reciprocal() const {
+  if (is_small()) {
+    if (num_ == 0) throw_division_by_zero();
+    ++counters_.fast;
+    Rational result;
+    // num/den are coprime, so den/num is too: no gcd needed. The sign moves
+    // to the numerator; both magnitudes are <= INT64_MAX by the invariant.
+    if (num_ > 0) {
+      result.num_ = den_;
+      result.den_ = num_;
+    } else {
+      result.num_ = -den_;
+      result.den_ = -num_;
+    }
+    return result;
+  }
+  if (big_->num.is_zero()) throw_division_by_zero();
+  ++counters_.big;
+  Rational result;
+  result.big_ = std::make_unique<Big>(Big{big_->den, big_->num});
+  if (result.big_->den.is_negative()) {
+    result.big_->num.negate();
+    result.big_->den.negate();
+  }
+  result.maybe_demote();
   return result;
 }
 
-Rational& Rational::operator+=(const Rational& rhs) {
-  numerator_ = numerator_ * rhs.denominator_ + rhs.numerator_ * denominator_;
-  denominator_ *= rhs.denominator_;
-  normalize();
+Rational& Rational::big_add(const Rational& rhs, bool negate_rhs) {
+  ++counters_.big;
+  // Copies of rhs's parts are taken before *this mutates, so aliasing
+  // (x += x) is safe.
+  BigInt rhs_num = rhs.big_ ? rhs.big_->num : BigInt(rhs.num_);
+  const BigInt rhs_den = rhs.big_ ? rhs.big_->den : BigInt(rhs.den_);
+  promote_self();
+  rhs_num *= big_->den;    // b.num * a.den
+  big_->num *= rhs_den;    // a.num * b.den
+  if (negate_rhs) {
+    big_->num -= rhs_num;
+  } else {
+    big_->num += rhs_num;
+  }
+  big_->den *= rhs_den;
+  normalize_big();
   return *this;
 }
 
-Rational& Rational::operator-=(const Rational& rhs) { return *this += -rhs; }
-
-Rational& Rational::operator*=(const Rational& rhs) {
-  numerator_ *= rhs.numerator_;
-  denominator_ *= rhs.denominator_;
-  normalize();
+Rational& Rational::big_mul(const Rational& rhs) {
+  ++counters_.big;
+  BigInt rhs_num = rhs.big_ ? rhs.big_->num : BigInt(rhs.num_);
+  BigInt rhs_den = rhs.big_ ? rhs.big_->den : BigInt(rhs.den_);
+  promote_self();
+  big_->num *= rhs_num;
+  big_->den *= rhs_den;
+  normalize_big();
   return *this;
 }
 
-Rational& Rational::operator/=(const Rational& rhs) {
-  if (rhs.is_zero()) throw InvalidArgument("Rational: division by zero");
-  numerator_ *= rhs.denominator_;
-  denominator_ *= rhs.numerator_;
-  normalize();
+Rational& Rational::big_div(const Rational& rhs) {
+  if (rhs.is_zero()) throw_division_by_zero();
+  ++counters_.big;
+  BigInt rhs_num = rhs.big_ ? rhs.big_->num : BigInt(rhs.num_);
+  BigInt rhs_den = rhs.big_ ? rhs.big_->den : BigInt(rhs.den_);
+  promote_self();
+  big_->num *= rhs_den;
+  big_->den *= rhs_num;
+  normalize_big();
   return *this;
 }
 
-std::strong_ordering operator<=>(const Rational& lhs, const Rational& rhs) noexcept {
+void Rational::big_add_mul(const Rational& factor, const Rational& value) {
+  // Fallback for the fused kernel: two ops, each counted by its own path.
+  Rational product = factor;
+  product *= value;
+  *this += product;
+}
+
+bool Rational::big_equal(const Rational& lhs, const Rational& rhs) noexcept {
+  if (lhs.big_ && rhs.big_) {
+    return lhs.big_->num == rhs.big_->num && lhs.big_->den == rhs.big_->den;
+  }
+  // Mixed representations only arise when the escape hatch toggles mid-run;
+  // compare by value so equality stays semantic even then.
+  const Rational& big = lhs.big_ ? lhs : rhs;
+  const Rational& small = lhs.big_ ? rhs : lhs;
+  return big.big_->num == BigInt(small.num_) && big.big_->den == BigInt(small.den_);
+}
+
+std::strong_ordering Rational::big_compare(const Rational& lhs,
+                                           const Rational& rhs) noexcept {
   // Cross-multiplication is safe: denominators are positive by invariant.
-  return lhs.numerator_ * rhs.denominator_ <=> rhs.numerator_ * lhs.denominator_;
+  return lhs.numerator() * rhs.denominator() <=> rhs.numerator() * lhs.denominator();
 }
 
 std::string Rational::to_string() const {
-  if (is_integer()) return numerator_.to_string();
-  return numerator_.to_string() + "/" + denominator_.to_string();
+  if (big_) {
+    if (big_->den == BigInt(1)) return big_->num.to_string();
+    return big_->num.to_string() + "/" + big_->den.to_string();
+  }
+  if (den_ == 1) return std::to_string(num_);
+  return std::to_string(num_) + "/" + std::to_string(den_);
 }
 
 std::ostream& operator<<(std::ostream& os, const Rational& value) {

@@ -1,13 +1,34 @@
-// Exact rational numbers over BigInt, used by the simplex core.
+// Exact rational numbers, used by the simplex core.
+//
+// Representation: a small/big hybrid mirroring BigInt's design one level up.
+// The common case — and the overwhelming majority of values in the checker's
+// threshold-automata workloads — is an inline int64 numerator/denominator
+// pair operated on with __int128 intermediates; values whose canonical form
+// does not fit promote into a heap-allocated BigInt pair and demote back as
+// soon as they fit again. The representation is canonical either way, so
+// operator== can compare representations directly (a defensive value
+// comparison covers the mixed case, which only arises when the escape hatch
+// below toggles mid-run).
 //
 // Invariants: the denominator is strictly positive and gcd(num, den) == 1;
-// zero is represented as 0/1. Normalization happens on construction and
-// after every mutating operation, so equality is representational.
+// zero is represented as 0/1. The small form additionally keeps |numerator|
+// and denominator <= INT64_MAX (INT64_MIN is excluded so negation, magnitude
+// and reciprocal never overflow). Normalization happens on construction and
+// after every mutating operation.
+//
+// Escape hatch: setting the environment variable HV_NO_FAST_RATIONAL (to
+// anything but "0") forces every value through the BigInt representation —
+// the differential test suite uses it (via set_fast_path_enabled) to pin the
+// fast path against the reference arithmetic.
 #ifndef HV_UTIL_RATIONAL_H
 #define HV_UTIL_RATIONAL_H
 
 #include <compare>
+#include <cstdint>
 #include <iosfwd>
+#include <limits>
+#include <memory>
+#include <numeric>
 #include <string>
 
 #include "hv/util/bigint.h"
@@ -16,45 +37,136 @@ namespace hv {
 
 class Rational {
  public:
+  /// Thread-local arithmetic counters (+ - * / add_mul reciprocal; not
+  /// comparisons). `fast` counts operations served entirely by the int64
+  /// path, `big` those that touched the BigInt fallback. The simplex folds
+  /// deltas of these into its Stats so the hit rate is observable end to
+  /// end (CLI JSON, bench output).
+  struct OpCounters {
+    std::uint64_t fast = 0;
+    std::uint64_t big = 0;
+  };
+  static const OpCounters& thread_counters() noexcept { return counters_; }
+  static void reset_thread_counters() noexcept { counters_ = OpCounters{}; }
+
+  /// Process-wide fast-path switch, initialized from HV_NO_FAST_RATIONAL.
+  /// Disabling it only affects values constructed/normalized afterwards;
+  /// tests flip it around complete computations.
+  static bool fast_path_enabled() noexcept;
+  static void set_fast_path_enabled(bool enabled) noexcept;
+
   /// Zero.
-  Rational() : numerator_(0), denominator_(1) {}
+  Rational() noexcept = default;
 
   /// Conversion from an integer (implicit: mixed arithmetic is pervasive).
-  Rational(BigInt value) : numerator_(std::move(value)), denominator_(1) {}  // NOLINT
-  Rational(std::int64_t value) : numerator_(value), denominator_(1) {}       // NOLINT
+  Rational(BigInt value);         // NOLINT(google-explicit-constructor)
+  Rational(std::int64_t value);   // NOLINT(google-explicit-constructor)
 
   /// num / den; throws InvalidArgument if den == 0.
   Rational(BigInt numerator, BigInt denominator);
 
-  const BigInt& numerator() const noexcept { return numerator_; }
-  const BigInt& denominator() const noexcept { return denominator_; }
+  Rational(const Rational& other) : num_(other.num_), den_(other.den_) {
+    if (other.big_) big_ = std::make_unique<Big>(*other.big_);
+  }
+  // Moved-from values hold 0/1 in the small fields: a valid zero.
+  Rational(Rational&& other) noexcept = default;
+  Rational& operator=(const Rational& other) {
+    if (this == &other) return *this;
+    num_ = other.num_;
+    den_ = other.den_;
+    big_ = other.big_ ? std::make_unique<Big>(*other.big_) : nullptr;
+    return *this;
+  }
+  Rational& operator=(Rational&& other) noexcept = default;
+  ~Rational() = default;
 
-  bool is_zero() const noexcept { return numerator_.is_zero(); }
-  bool is_negative() const noexcept { return numerator_.is_negative(); }
-  bool is_positive() const noexcept { return numerator_.is_positive(); }
-  bool is_integer() const noexcept { return denominator_ == BigInt(1); }
-  int sign() const noexcept { return numerator_.sign(); }
+  /// True iff the value lives in the inline int64 representation.
+  bool is_small() const noexcept { return big_ == nullptr; }
+  /// Small-representation accessors; only meaningful when is_small().
+  std::int64_t small_numerator() const noexcept { return num_; }
+  std::int64_t small_denominator() const noexcept { return den_; }
+
+  BigInt numerator() const { return big_ ? big_->num : BigInt(num_); }
+  BigInt denominator() const { return big_ ? big_->den : BigInt(den_); }
+
+  bool is_zero() const noexcept { return big_ ? big_->num.is_zero() : num_ == 0; }
+  bool is_negative() const noexcept { return big_ ? big_->num.is_negative() : num_ < 0; }
+  bool is_positive() const noexcept { return big_ ? big_->num.is_positive() : num_ > 0; }
+  bool is_integer() const noexcept { return big_ ? big_->den == BigInt(1) : den_ == 1; }
+  int sign() const noexcept {
+    if (big_) return big_->num.sign();
+    return num_ < 0 ? -1 : (num_ > 0 ? 1 : 0);
+  }
 
   /// Largest integer <= value.
   BigInt floor() const;
   /// Smallest integer >= value.
   BigInt ceil() const;
 
-  Rational operator-() const;
+  /// In-place sign flip; never changes representation.
+  void negate() noexcept {
+    if (big_) {
+      big_->num.negate();
+    } else {
+      num_ = -num_;  // safe: |num_| <= INT64_MAX by the small invariant
+    }
+  }
 
-  Rational& operator+=(const Rational& rhs);
-  Rational& operator-=(const Rational& rhs);
+  Rational operator-() const {
+    Rational result = *this;
+    result.negate();
+    return result;
+  }
+
+  /// 1/value without any gcd work (num/den are already coprime); throws
+  /// InvalidArgument on zero.
+  Rational reciprocal() const;
+
+  Rational& operator+=(const Rational& rhs) {
+    if (is_small() && rhs.is_small()) return add_small_pair(rhs.num_, rhs.den_);
+    return big_add(rhs, false);
+  }
+
+  Rational& operator-=(const Rational& rhs) {
+    // Subtract in place: the negation happens on the int64 (or inside the
+    // BigInt combination), never by materializing a negated copy of rhs.
+    if (is_small() && rhs.is_small()) return add_small_pair(-rhs.num_, rhs.den_);
+    return big_add(rhs, true);
+  }
+
   Rational& operator*=(const Rational& rhs);
   /// Throws InvalidArgument on division by zero.
   Rational& operator/=(const Rational& rhs);
+
+  /// Fused *this += factor * value, the simplex row-substitution kernel: no
+  /// temporary Rational, and the product is cross-reduced (Knuth's trick)
+  /// before the addition so the gcds stay on machine words.
+  void add_mul(const Rational& factor, const Rational& value);
 
   friend Rational operator+(Rational lhs, const Rational& rhs) { return lhs += rhs; }
   friend Rational operator-(Rational lhs, const Rational& rhs) { return lhs -= rhs; }
   friend Rational operator*(Rational lhs, const Rational& rhs) { return lhs *= rhs; }
   friend Rational operator/(Rational lhs, const Rational& rhs) { return lhs /= rhs; }
 
-  friend bool operator==(const Rational& lhs, const Rational& rhs) noexcept = default;
-  friend std::strong_ordering operator<=>(const Rational& lhs, const Rational& rhs) noexcept;
+  friend bool operator==(const Rational& lhs, const Rational& rhs) noexcept {
+    if (lhs.is_small() && rhs.is_small()) {
+      return lhs.num_ == rhs.num_ && lhs.den_ == rhs.den_;
+    }
+    return big_equal(lhs, rhs);
+  }
+
+  friend std::strong_ordering operator<=>(const Rational& lhs, const Rational& rhs) noexcept {
+    if (lhs.is_small() && rhs.is_small()) {
+      // Cross-multiplication in 128 bits: |num| <= 2^63-1 and den <= 2^63-1,
+      // so each product fits comfortably. Denominators are positive.
+      const __int128 left = static_cast<__int128>(lhs.num_) * rhs.den_;
+      const __int128 right = static_cast<__int128>(rhs.num_) * lhs.den_;
+      if (left < right) return std::strong_ordering::less;
+      if (left > right) return std::strong_ordering::greater;
+      return std::strong_ordering::equal;
+    }
+    return big_compare(lhs, rhs);
+  }
 
   /// "p" for integers, "p/q" otherwise.
   std::string to_string() const;
@@ -62,11 +174,182 @@ class Rational {
   friend std::ostream& operator<<(std::ostream& os, const Rational& value);
 
  private:
-  void normalize();
+  struct Big {
+    BigInt num;
+    BigInt den;
+  };
 
-  BigInt numerator_;
-  BigInt denominator_;
+  // Largest magnitude the small form stores; symmetric so negation is total.
+  static constexpr std::int64_t kMaxSmall = std::numeric_limits<std::int64_t>::max();
+
+  static bool fits_small(__int128 value) noexcept {
+    return value >= -static_cast<__int128>(kMaxSmall) && value <= static_cast<__int128>(kMaxSmall);
+  }
+
+  // Canonicalizes a reduced (den > 0, gcd == 1) 128-bit pair into *this.
+  void assign_reduced(__int128 num, __int128 den);
+  // Shared small-path core of += and -= and add_mul's accumulate step.
+  Rational& add_small_pair(std::int64_t num, std::int64_t den);
+
+  [[noreturn]] static void throw_division_by_zero();
+  // Rebuilds *this as the BigInt representation (no-op when already big).
+  void promote_self();
+
+  // BigInt fallbacks (rational.cpp); also handle mixed representations.
+  Rational& big_add(const Rational& rhs, bool negate_rhs);
+  Rational& big_mul(const Rational& rhs);
+  Rational& big_div(const Rational& rhs);
+  void big_add_mul(const Rational& factor, const Rational& value);
+  static bool big_equal(const Rational& lhs, const Rational& rhs) noexcept;
+  static std::strong_ordering big_compare(const Rational& lhs, const Rational& rhs) noexcept;
+  // Reduces big_ to canonical form and demotes it when it fits the small
+  // representation (and the fast path is enabled).
+  void normalize_big();
+  void maybe_demote();
+
+  static thread_local OpCounters counters_;
+
+  // Small representation (canonical while big_ is null): num_/den_ reduced,
+  // den_ > 0. Kept at 0/1 while big_ is engaged so moves leave a valid zero.
+  std::int64_t num_ = 0;
+  std::int64_t den_ = 1;
+  std::unique_ptr<Big> big_;
 };
+
+// --- inline fast-path kernels ------------------------------------------------
+//
+// __int128 intermediate bounds: |num| <= 2^63-1 and 0 < den <= 2^63-1, so any
+// product of two small fields has magnitude < 2^126 and the sum of two such
+// products stays strictly below 2^127 — always representable. The Knuth
+// cross-gcd trick keeps the gcd calls themselves on machine words.
+
+inline void Rational::assign_reduced(__int128 num, __int128 den) {
+  if (fits_small(num) && fits_small(den)) {
+    num_ = static_cast<std::int64_t>(num);
+    den_ = static_cast<std::int64_t>(den);
+    big_.reset();
+    ++counters_.fast;
+    return;
+  }
+  ++counters_.big;
+  auto big = std::make_unique<Big>();
+  big->num = BigInt::from_int128(num);
+  big->den = BigInt::from_int128(den);
+  big_ = std::move(big);
+  num_ = 0;
+  den_ = 1;
+}
+
+inline Rational& Rational::add_small_pair(std::int64_t rnum, std::int64_t rden) {
+  if ((den_ | rden) == 1) {
+    // Integer + integer, the dominant case in threshold-automata tableaux:
+    // no gcd, no denominator product.
+    assign_reduced(static_cast<__int128>(num_) + rnum, 1);
+    return *this;
+  }
+  const std::int64_t g = std::gcd(den_, rden);  // both strictly positive
+  const std::int64_t right_den = rden / g;
+  const std::int64_t left_den = den_ / g;
+  const __int128 num =
+      static_cast<__int128>(num_) * right_den + static_cast<__int128>(rnum) * left_den;
+  if (num == 0) {
+    num_ = 0;
+    den_ = 1;
+    ++counters_.fast;
+    return *this;
+  }
+  __int128 reduced_num = num;
+  __int128 den = static_cast<__int128>(left_den) * rden;
+  if (g != 1) {
+    // gcd(num, den) == gcd(num, g) here (Knuth 4.5.1): one 128/64 mod brings
+    // the final reduction back onto machine words.
+    const auto magnitude = static_cast<unsigned __int128>(num < 0 ? -num : num);
+    const auto rem = static_cast<std::int64_t>(magnitude % static_cast<std::uint64_t>(g));
+    const std::int64_t g2 = std::gcd(rem, g);
+    if (g2 > 1) {
+      reduced_num /= g2;
+      den /= g2;
+    }
+  }
+  assign_reduced(reduced_num, den);
+  return *this;
+}
+
+inline Rational& Rational::operator*=(const Rational& rhs) {
+  if (is_small() && rhs.is_small()) {
+    if (num_ == 0 || rhs.num_ == 0) {
+      num_ = 0;
+      den_ = 1;
+      ++counters_.fast;
+      return *this;
+    }
+    if ((den_ | rhs.den_) == 1) {  // integer * integer: skip the cross-gcds
+      assign_reduced(static_cast<__int128>(num_) * rhs.num_, 1);
+      return *this;
+    }
+    // Cross-reduce before multiplying (gcd(a.num, b.den) and gcd(b.num,
+    // a.den)): the result is already canonical, no 128-bit gcd needed.
+    const std::int64_t g1 = std::gcd(num_ < 0 ? -num_ : num_, rhs.den_);
+    const std::int64_t g2 = std::gcd(rhs.num_ < 0 ? -rhs.num_ : rhs.num_, den_);
+    const __int128 num = static_cast<__int128>(num_ / g1) * (rhs.num_ / g2);
+    const __int128 den = static_cast<__int128>(den_ / g2) * (rhs.den_ / g1);
+    assign_reduced(num, den);
+    return *this;
+  }
+  return big_mul(rhs);
+}
+
+inline Rational& Rational::operator/=(const Rational& rhs) {
+  if (is_small() && rhs.is_small()) {
+    if (rhs.num_ == 0) throw_division_by_zero();
+    if (num_ == 0) {
+      ++counters_.fast;
+      return *this;
+    }
+    const std::int64_t g1 =
+        std::gcd(num_ < 0 ? -num_ : num_, rhs.num_ < 0 ? -rhs.num_ : rhs.num_);
+    const std::int64_t g2 = std::gcd(den_, rhs.den_);
+    __int128 num = static_cast<__int128>(num_ / g1) * (rhs.den_ / g2);
+    __int128 den = static_cast<__int128>(den_ / g2) * (rhs.num_ / g1);
+    if (den < 0) {
+      num = -num;
+      den = -den;
+    }
+    assign_reduced(num, den);
+    return *this;
+  }
+  return big_div(rhs);
+}
+
+inline void Rational::add_mul(const Rational& factor, const Rational& value) {
+  if (is_small() && factor.is_small() && value.is_small()) {
+    if (factor.num_ == 0 || value.num_ == 0) {
+      ++counters_.fast;
+      return;
+    }
+    if ((factor.den_ | value.den_ | den_) == 1) {
+      // Fused integer multiply-add: a 128-bit product of two int64 values
+      // plus an int64 can never overflow 128 bits, and the result is
+      // already canonical over denominator 1.
+      assign_reduced(static_cast<__int128>(factor.num_) * value.num_ + num_, 1);
+      return;
+    }
+    const std::int64_t g1 =
+        std::gcd(factor.num_ < 0 ? -factor.num_ : factor.num_, value.den_);
+    const std::int64_t g2 =
+        std::gcd(value.num_ < 0 ? -value.num_ : value.num_, factor.den_);
+    const __int128 product_num =
+        static_cast<__int128>(factor.num_ / g1) * (value.num_ / g2);
+    const __int128 product_den =
+        static_cast<__int128>(factor.den_ / g2) * (value.den_ / g1);
+    if (fits_small(product_num) && fits_small(product_den)) {
+      add_small_pair(static_cast<std::int64_t>(product_num),
+                     static_cast<std::int64_t>(product_den));
+      return;
+    }
+  }
+  big_add_mul(factor, value);
+}
 
 }  // namespace hv
 

@@ -148,7 +148,8 @@ TEST_F(CliTest, JsonOutputMatchesGoldenSchema) {
   EXPECT_EQ(normalized,
             "{\"property\": \"safe\", \"verdict\": \"holds\", \"schemas\": #, "
             "\"pruned\": #, \"unknown_schemas\": #, \"resumed\": #, \"retries\": #, "
-            "\"seconds\": #, \"pivots\": #, \"note\": \"\", "
+            "\"seconds\": #, \"pivots\": #, \"rational_fast_ops\": #, "
+            "\"rational_big_ops\": #, \"rational_fast_ratio\": #, \"note\": \"\", "
             "\"segments_pushed\": #, \"segments_popped\": #, \"segments_reused\": #, "
             "\"prefix_reuse_ratio\": #}\n");
 }

@@ -9,6 +9,16 @@
 namespace hv {
 namespace {
 
+// Pins the representation mode for tests that assert on is_small() or the
+// thread counters, so the suite also passes under HV_NO_FAST_RATIONAL=1.
+struct ScopedFastPath {
+  explicit ScopedFastPath(bool enabled) : previous(Rational::fast_path_enabled()) {
+    Rational::set_fast_path_enabled(enabled);
+  }
+  ~ScopedFastPath() { Rational::set_fast_path_enabled(previous); }
+  bool previous;
+};
+
 TEST(RationalTest, NormalizationCanonicalizes) {
   EXPECT_EQ(Rational(BigInt(2), BigInt(4)), Rational(BigInt(1), BigInt(2)));
   EXPECT_EQ(Rational(BigInt(-2), BigInt(4)), Rational(BigInt(1), BigInt(-2)));
@@ -57,6 +67,95 @@ TEST(RationalTest, IsIntegerAndToString) {
   EXPECT_FALSE(Rational(BigInt(1), BigInt(2)).is_integer());
   EXPECT_EQ(Rational(BigInt(4), BigInt(2)).to_string(), "2");
   EXPECT_EQ(Rational(BigInt(-1), BigInt(2)).to_string(), "-1/2");
+}
+
+TEST(RationalTest, SmallRepresentationForMachineWordValues) {
+  const ScopedFastPath fast(true);
+  EXPECT_TRUE(Rational().is_small());
+  EXPECT_TRUE(Rational(42).is_small());
+  EXPECT_TRUE(Rational(BigInt(1), BigInt(3)).is_small());
+  const Rational max64(std::numeric_limits<std::int64_t>::max());
+  EXPECT_TRUE(max64.is_small());
+  EXPECT_EQ(max64.numerator(), BigInt(std::numeric_limits<std::int64_t>::max()));
+}
+
+TEST(RationalTest, Int64MinStaysExactViaPromotion) {
+  // INT64_MIN is excluded from the small form (its negation overflows);
+  // the value itself must still round-trip exactly through the big form.
+  const Rational m(std::numeric_limits<std::int64_t>::min());
+  EXPECT_FALSE(m.is_small());
+  EXPECT_EQ(m.numerator(), BigInt(std::numeric_limits<std::int64_t>::min()));
+  EXPECT_EQ(m.denominator(), BigInt(1));
+  const Rational negated = -m;  // 2^63 exceeds int64 entirely
+  EXPECT_EQ(negated.numerator(), BigInt::from_string("9223372036854775808"));
+  EXPECT_EQ(negated + m, Rational());
+}
+
+TEST(RationalTest, OverflowPromotesAndDemotesCanonically) {
+  const ScopedFastPath fast(true);
+  const Rational big_num(BigInt(std::int64_t{1} << 62));
+  Rational product = big_num;
+  product *= Rational(4);  // 2^64: overflows int64, promotes
+  EXPECT_FALSE(product.is_small());
+  EXPECT_EQ(product.numerator(), BigInt::from_string("18446744073709551616"));
+  Rational back = product;
+  back /= Rational(4);  // fits again: must demote so == stays representational
+  EXPECT_TRUE(back.is_small());
+  EXPECT_EQ(back, big_num);
+}
+
+TEST(RationalTest, MixedRepresentationEqualityIsSemantic) {
+  // Force a big-represented value whose numeric value fits small: only
+  // reachable via the escape hatch, but == must still compare by value.
+  const ScopedFastPath restore(true);
+  Rational::set_fast_path_enabled(false);
+  const Rational big_half(BigInt(1), BigInt(2));
+  EXPECT_FALSE(big_half.is_small());
+  Rational::set_fast_path_enabled(true);
+  const Rational small_half(BigInt(1), BigInt(2));
+  EXPECT_TRUE(small_half.is_small());
+  EXPECT_EQ(big_half, small_half);
+  EXPECT_EQ(small_half, big_half);
+  EXPECT_EQ(big_half <=> small_half, std::strong_ordering::equal);
+}
+
+TEST(RationalTest, ReciprocalSwapsAndKeepsSign) {
+  EXPECT_EQ(Rational(BigInt(3), BigInt(7)).reciprocal(), Rational(BigInt(7), BigInt(3)));
+  EXPECT_EQ(Rational(BigInt(-3), BigInt(7)).reciprocal(), Rational(BigInt(-7), BigInt(3)));
+  EXPECT_THROW(Rational().reciprocal(), InvalidArgument);
+  const Rational huge(BigInt::from_string("18446744073709551616"), BigInt(3));
+  EXPECT_EQ(huge.reciprocal(),
+            Rational(BigInt(3), BigInt::from_string("18446744073709551616")));
+}
+
+TEST(RationalTest, FusedAddMulMatchesSeparateOps) {
+  Rational acc(BigInt(5), BigInt(6));
+  const Rational factor(BigInt(-7), BigInt(4));
+  const Rational value(BigInt(2), BigInt(21));
+  Rational expected = acc + factor * value;
+  acc.add_mul(factor, value);
+  EXPECT_EQ(acc, expected);
+  // Near-overflow product: falls back through the BigInt path.
+  Rational acc2(1);
+  const Rational near_max((std::int64_t{1} << 62) + 12345);
+  Rational expected2 = acc2 + near_max * near_max;
+  acc2.add_mul(near_max, near_max);
+  EXPECT_EQ(acc2, expected2);
+}
+
+TEST(RationalTest, ThreadCountersSplitFastAndBig) {
+  const ScopedFastPath fast(true);
+  Rational::reset_thread_counters();
+  Rational a(BigInt(1), BigInt(2));
+  a += Rational(BigInt(1), BigInt(3));  // pure machine-word op
+  EXPECT_EQ(Rational::thread_counters().fast, 1u);
+  EXPECT_EQ(Rational::thread_counters().big, 0u);
+  Rational b(BigInt::from_string("340282366920938463463374607431768211456"));
+  b *= Rational(2);  // forced through the BigInt path
+  EXPECT_GE(Rational::thread_counters().big, 1u);
+  Rational::reset_thread_counters();
+  EXPECT_EQ(Rational::thread_counters().fast, 0u);
+  EXPECT_EQ(Rational::thread_counters().big, 0u);
 }
 
 TEST(RationalTest, RandomizedFieldAxioms) {
