@@ -2,6 +2,8 @@
 // out as the design choices that make the simplified automaton tractable):
 //
 //   full      implication order + dead-unlock pruning + property cones
+//             + cross-schema learning (Farkas lemma pool, subtree cuts)
+//   -lemma    without cross-schema learning
 //   -cone     without property-directed cone pruning
 //   -dead     without dead-unlock pruning (and no cones)
 //   -impl     without implication-order pruning (and no cones)
@@ -9,8 +11,14 @@
 // Run on representative properties of the two tractable automata. Each
 // configuration is sound; they differ only in how many schemas reach the
 // SMT solver.
+//
+// `--out FILE` additionally emits the rows as a JSON array (CI archives it
+// next to BENCH_table2.json for cross-run comparison).
 
 #include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "hv/checker/parameterized.h"
 #include "hv/models/bv_broadcast.h"
@@ -23,15 +31,30 @@ struct Configuration {
   bool cones;
   bool dead;
   bool implications;
+  bool lemmas;
+};
+
+struct Row {
+  std::string model;
+  std::string property;
+  std::string configuration;
+  std::string verdict;
+  long long schemas = 0;
+  long long pruned = 0;
+  long long cut = 0;
+  long long lemma_hits = 0;
+  long long lemmas_learned = 0;
+  double seconds = 0.0;
 };
 
 void run(const hv::ta::ThresholdAutomaton& ta, const hv::spec::Property& property,
-         double timeout) {
+         double timeout, std::vector<Row>& rows) {
   constexpr Configuration kConfigurations[] = {
-      {"full", true, true, true},
-      {"-cone", false, true, true},
-      {"-dead", false, false, true},
-      {"-impl", false, true, false},
+      {"full", true, true, true, true},
+      {"-lemma", true, true, true, false},
+      {"-cone", false, true, true, true},
+      {"-dead", false, false, true, true},
+      {"-impl", false, true, false, true},
   };
   std::printf("%s / %s\n", ta.name().c_str(), property.name.c_str());
   for (const Configuration& configuration : kConfigurations) {
@@ -39,33 +62,84 @@ void run(const hv::ta::ThresholdAutomaton& ta, const hv::spec::Property& propert
     options.property_directed_pruning = configuration.cones;
     options.enumeration.prune_dead_unlocks = configuration.dead;
     options.enumeration.prune_implications = configuration.implications;
+    options.lemmas = configuration.lemmas;
     options.timeout_seconds = timeout;
     const hv::checker::PropertyResult result =
         hv::checker::check_property(ta, property, options);
-    std::printf("  %-6s verdict=%-9s schemas=%8lld pruned=%8lld time=%7.2fs %s\n",
-                configuration.name, hv::checker::to_string(result.verdict).c_str(),
-                static_cast<long long>(result.schemas_checked),
-                static_cast<long long>(result.schemas_pruned), result.seconds,
-                result.note.c_str());
+    std::printf(
+        "  %-6s verdict=%-9s schemas=%8lld pruned=%8lld cut=%8lld hits=%6lld "
+        "time=%7.2fs %s\n",
+        configuration.name, hv::checker::to_string(result.verdict).c_str(),
+        static_cast<long long>(result.schemas_checked),
+        static_cast<long long>(result.schemas_pruned),
+        static_cast<long long>(result.schemas_cut),
+        static_cast<long long>(result.lemma_hits), result.seconds, result.note.c_str());
+    Row row;
+    row.model = ta.name();
+    row.property = property.name;
+    row.configuration = configuration.name;
+    row.verdict = hv::checker::to_string(result.verdict);
+    row.schemas = result.schemas_checked;
+    row.pruned = result.schemas_pruned;
+    row.cut = result.schemas_cut;
+    row.lemma_hits = result.lemma_hits;
+    row.lemmas_learned = result.lemmas_learned;
+    row.seconds = result.seconds;
+    rows.push_back(std::move(row));
   }
   std::puts("");
 }
 
+bool write_json(const char* path, const std::vector<Row>& rows) {
+  std::FILE* file = std::fopen(path, "w");
+  if (file == nullptr) {
+    std::fprintf(stderr, "ablation_pruning: cannot write %s\n", path);
+    return false;
+  }
+  std::fputs("[\n", file);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& row = rows[i];
+    std::fprintf(file,
+                 "  {\"model\": \"%s\", \"property\": \"%s\", \"configuration\": \"%s\", "
+                 "\"verdict\": \"%s\", \"schemas\": %lld, \"pruned\": %lld, "
+                 "\"cut\": %lld, \"lemma_hits\": %lld, \"lemmas_learned\": %lld, "
+                 "\"seconds\": %.3f}%s\n",
+                 row.model.c_str(), row.property.c_str(), row.configuration.c_str(),
+                 row.verdict.c_str(), row.schemas, row.pruned, row.cut, row.lemma_hits,
+                 row.lemmas_learned, row.seconds, i + 1 < rows.size() ? "," : "");
+  }
+  std::fputs("]\n", file);
+  std::fclose(file);
+  std::printf("wrote %s (%zu rows)\n", path, rows.size());
+  return true;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const char* out_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: ablation_pruning [--out FILE]\n");
+      return 2;
+    }
+  }
   std::puts("Ablation: schema-enumeration prunings (all sound; verdicts must agree)\n");
+  std::vector<Row> rows;
   const hv::ta::ThresholdAutomaton bv = hv::models::bv_broadcast();
   for (const auto& property : hv::models::bv_properties(bv)) {
     if (property.name == "BV-Just0" || property.name == "BV-Unif0") {
-      run(bv, property, /*timeout=*/60.0);
+      run(bv, property, /*timeout=*/60.0, rows);
     }
   }
   const hv::ta::ThresholdAutomaton simplified = hv::models::simplified_consensus_one_round();
   for (const auto& property : hv::models::simplified_properties(simplified)) {
     if (property.name == "Inv2_0" || property.name == "Dec_0") {
-      run(simplified, property, /*timeout=*/60.0);
+      run(simplified, property, /*timeout=*/60.0, rows);
     }
   }
+  if (out_path != nullptr && !write_json(out_path, rows)) return 1;
   return 0;
 }

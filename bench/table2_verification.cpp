@@ -55,6 +55,9 @@ struct Row {
   std::string note;
   long long schemas = 0;
   long long pruned = 0;
+  long long cut = 0;
+  long long lemma_hits = 0;
+  long long lemmas_learned = 0;
   double avg_length = 0.0;
   double seconds = 0.0;
   long long pivots = 0;
@@ -114,6 +117,9 @@ void print_section(const char* ta_name, const char* size_line,
     row.note = result.note;
     row.schemas = static_cast<long long>(result.schemas_checked);
     row.pruned = static_cast<long long>(result.schemas_pruned);
+    row.cut = static_cast<long long>(result.schemas_cut);
+    row.lemma_hits = static_cast<long long>(result.lemma_hits);
+    row.lemmas_learned = static_cast<long long>(result.lemmas_learned);
     row.avg_length = result.avg_schema_length;
     row.seconds = result.seconds;
     row.pivots = static_cast<long long>(result.simplex_pivots);
@@ -178,6 +184,9 @@ int write_json(const std::string& path, const std::vector<Row>& rows) {
     if (!row.note.empty()) item.set("note", row.note);
     item.set("schemas", static_cast<std::int64_t>(row.schemas));
     item.set("pruned", static_cast<std::int64_t>(row.pruned));
+    item.set("cut", static_cast<std::int64_t>(row.cut));
+    item.set("lemma_hits", static_cast<std::int64_t>(row.lemma_hits));
+    item.set("lemmas_learned", static_cast<std::int64_t>(row.lemmas_learned));
     item.set("avg_length", row.avg_length);
     item.set("seconds", row.seconds);
     item.set("pivots", static_cast<std::int64_t>(row.pivots));

@@ -28,6 +28,12 @@ normalize() {
   sed -E 's/"(seconds|pivots|resumed|retries|segments_[a-z]+|prefix_reuse_ratio|rational_[a-z_]+)": [0-9.]+(, )?//g' "$1"
 }
 
+# The strict accounting-parity sections run with cross-schema learning off:
+# which schemas are cut (vs solved or pruned) depends on lease interleaving
+# and journal truncation, so only the verdict is interleaving-independent
+# with learning on. A final section checks exactly that.
+export HV_NO_LEMMAS=1
+
 workers() {  # workers <count> <label-prefix> — starts background hvc work jobs
   for i in $(seq 1 "$1"); do
     "$hvc" work --connect "unix:$sock" --label "$2-$i" --retry 10 &
@@ -88,3 +94,22 @@ if ! diff -u "$work/ref.norm" "$work/resumed.norm"; then
   exit 1
 fi
 echo "OK: resumed coordinator run matches the in-process run"
+
+echo "== distributed run with cross-schema learning on"
+unset HV_NO_LEMMAS
+"$hvc" serve "$model" --prop "$prop" --listen "unix:$sock" --lease-timeout 2 \
+  --json > "$work/learn.json" &
+coord=$!
+workers 3 learner
+wait "$coord"
+wait || true
+
+verdict_of() { grep -o '"verdict": "[a-z]*"' "$1" | head -1; }
+if [ "$(verdict_of "$work/learn.json")" != "$(verdict_of "$work/ref.json")" ]; then
+  echo "FAIL: learning-on distributed verdict differs from the reference" >&2
+  diff -u "$work/ref.json" "$work/learn.json" || true
+  exit 1
+fi
+echo "OK: learning-on distributed run agrees on the verdict" \
+     "($(grep -o '"cut": [0-9]*, "lemma_hits": [0-9]*, "lemmas_learned": [0-9]*' \
+         "$work/learn.json" | head -1))"

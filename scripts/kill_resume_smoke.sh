@@ -25,6 +25,13 @@ normalize() {
   sed -E 's/"(seconds|pivots|resumed|retries|segments_[a-z]+|prefix_reuse_ratio|rational_[a-z_]+)": [0-9.]+(, )?//g' "$1"
 }
 
+# The strict accounting-parity sections run with cross-schema learning off:
+# a resumed run replays journaled verdicts instead of re-solving, so it
+# learns different lemmas than the uninterrupted reference and cuts a
+# different (equally sound) set of schemas. A final section checks the
+# learning-on resume at the verdict level.
+export HV_NO_LEMMAS=1
+
 echo "== reference run (uninterrupted)"
 "$hvc" check "$model" --prop "$prop" --json --journal "$work/ref.jsonl" \
   > "$work/ref.json"
@@ -55,3 +62,26 @@ if ! diff -u "$work/ref.norm" "$work/resumed.norm"; then
   exit 1
 fi
 echo "OK: resumed run matches the uninterrupted run"
+
+echo "== kill and resume with cross-schema learning on"
+unset HV_NO_LEMMAS
+code=0
+timeout -s KILL 0.3 \
+  "$hvc" check "$model" --prop "$prop" --json --journal "$work/learn.jsonl" \
+  > /dev/null || code=$?
+if [ "$code" -eq 137 ]; then
+  echo "   killed as planned; journal kept $(wc -l < "$work/learn.jsonl") lines"
+else
+  echo "   run finished before the kill (exit $code); resume is still exercised"
+fi
+"$hvc" check "$model" --prop "$prop" --json --resume "$work/learn.jsonl" \
+  > "$work/learn_resumed.json"
+
+verdict_of() { grep -o '"verdict": "[a-z]*"' "$1" | head -1; }
+if [ "$(verdict_of "$work/learn_resumed.json")" != "$(verdict_of "$work/ref.json")" ]; then
+  echo "FAIL: learning-on resumed verdict differs from the reference" >&2
+  exit 1
+fi
+echo "OK: learning-on resumed run agrees on the verdict" \
+     "($(grep -o '"cut": [0-9]*, "lemma_hits": [0-9]*, "lemmas_learned": [0-9]*' \
+         "$work/learn_resumed.json" | head -1))"

@@ -30,7 +30,8 @@ namespace hv::checker {
 class IncrementalSchemaEncoder::Impl {
  public:
   Impl(const GuardAnalysis& analysis, const spec::ReachQuery& query,
-       std::int64_t branch_budget, const QueryCone* cone, EncoderMode mode)
+       std::int64_t branch_budget, const QueryCone* cone, EncoderMode mode,
+       smt::LemmaPool* lemmas)
       : analysis_(analysis),
         ta_(analysis.automaton()),
         query_(query),
@@ -42,6 +43,10 @@ class IncrementalSchemaEncoder::Impl {
     // Mode selection must precede the first declaration.
     if (mode_ == EncoderMode::kCertify) solver_.enable_certificates();
     if (mode_ == EncoderMode::kTrace) solver_.enable_trace();
+    if (mode_ == EncoderMode::kSolve && lemmas != nullptr) {
+      solver_.enable_learning(lemmas);
+      learn_ = true;
+    }
     solver_.set_branch_budget(branch_budget);
     declare_parameters();
     declare_initial_configuration();
@@ -63,6 +68,8 @@ class IncrementalSchemaEncoder::Impl {
     const std::int64_t pivots_before = solver_.pivots();
     const std::int64_t fast_before = solver_.rational_fast_ops();
     const std::int64_t big_before = solver_.rational_big_ops();
+    const std::int64_t hits_before = solver_.stats().lemma_hits;
+    const std::int64_t learned_before = solver_.stats().lemmas_learned;
     const std::size_t steps_mark = encode_schema(schema);
 
     EncodeResult result;
@@ -74,8 +81,21 @@ class IncrementalSchemaEncoder::Impl {
         result.model_values = std::make_shared<std::vector<std::pair<std::string, BigInt>>>(
             solver_.model_assignment());
       }
-    } else if (mode_ == EncoderMode::kCertify) {
-      result.proof = std::shared_ptr<const smt::proof::Node>(solver_.take_last_proof());
+    } else {
+      if (mode_ == EncoderMode::kCertify) {
+        result.proof = std::shared_ptr<const smt::proof::Node>(solver_.take_last_proof());
+      }
+      if (learn_) {
+        // Scope layout: base at depth 0, level k (segment k under context
+        // chain[0..k)) at depth k+1, this schema's transient scope at depth
+        // target+1. A refutation confined to depth d <= target therefore
+        // only used the shared chain prefix chain[0..d) — every schema of
+        // this query starting with that prefix is unsat (cut placements
+        // only restrict, and the mover argument folds split segments back
+        // into one accelerated pass).
+        const int depth = solver_.conflict_scope_depth();
+        if (depth <= static_cast<int>(last_target_)) result.cut_prefix = depth;
+      }
     }
     solver_.pop();
     steps_.resize(steps_mark);
@@ -83,6 +103,8 @@ class IncrementalSchemaEncoder::Impl {
     result.pivots = solver_.pivots() - pivots_before;
     result.rational_fast_ops = solver_.rational_fast_ops() - fast_before;
     result.rational_big_ops = solver_.rational_big_ops() - big_before;
+    result.lemma_hits = solver_.stats().lemma_hits - hits_before;
+    result.lemmas_learned = solver_.stats().lemmas_learned - learned_before;
     return result;
   }
 
@@ -119,6 +141,7 @@ class IncrementalSchemaEncoder::Impl {
                                       : static_cast<std::size_t>(schema.cut_positions[0]);
     const std::size_t target = std::min(first_cut, length);
     const std::size_t keep = std::min(lcp, target);
+    last_target_ = target;
     stats_.segments_reused += static_cast<std::int64_t>(keep);
     while (levels_.size() > keep) pop_level();
     while (levels_.size() < target) push_level(chain[levels_.size()]);
@@ -393,6 +416,8 @@ class IncrementalSchemaEncoder::Impl {
   const spec::ReachQuery& query_;
   const QueryCone* cone_;
   const EncoderMode mode_;
+  bool learn_ = false;
+  std::size_t last_target_ = 0;
   const std::vector<ta::RuleId> topo_;
   const std::set<ta::RuleId> frozen_;
   smt::Solver solver_;
@@ -408,8 +433,9 @@ class IncrementalSchemaEncoder::Impl {
 IncrementalSchemaEncoder::IncrementalSchemaEncoder(const GuardAnalysis& analysis,
                                                    const spec::ReachQuery& query,
                                                    std::int64_t branch_budget,
-                                                   const QueryCone* cone, EncoderMode mode)
-    : impl_(std::make_unique<Impl>(analysis, query, branch_budget, cone, mode)) {}
+                                                   const QueryCone* cone, EncoderMode mode,
+                                                   smt::LemmaPool* lemmas)
+    : impl_(std::make_unique<Impl>(analysis, query, branch_budget, cone, mode, lemmas)) {}
 
 IncrementalSchemaEncoder::~IncrementalSchemaEncoder() = default;
 IncrementalSchemaEncoder::IncrementalSchemaEncoder(IncrementalSchemaEncoder&&) noexcept = default;

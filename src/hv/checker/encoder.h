@@ -32,6 +32,7 @@
 #include "hv/checker/guard_analysis.h"
 #include "hv/checker/result.h"
 #include "hv/checker/schema.h"
+#include "hv/smt/lemma.h"
 #include "hv/spec/query.h"
 
 namespace hv::checker {
@@ -49,6 +50,15 @@ struct EncodeResult {
   std::int64_t rational_fast_ops = 0;
   std::int64_t rational_big_ops = 0;
   std::optional<Counterexample> counterexample;  // present iff sat
+  /// Learning mode only, on unsat: the refutation referenced nothing beyond
+  /// the first `cut_prefix` chain elements, so every schema of this query
+  /// whose unlock order starts with that prefix is unsat too (-1: no cut —
+  /// the refutation needed schema-specific constraints).
+  int cut_prefix = -1;
+  /// Lemma-pool activity on this schema (learning mode; differenced like
+  /// pivots).
+  std::int64_t lemma_hits = 0;
+  std::int64_t lemmas_learned = 0;
   /// Certificate payloads, filled in EncoderMode::kCertify only.
   std::shared_ptr<const smt::proof::Node> proof;  // iff !sat
   std::shared_ptr<const std::vector<std::pair<std::string, BigInt>>> model_values;  // iff sat
@@ -77,11 +87,18 @@ EncodeResult solve_schema(const GuardAnalysis& analysis, const Schema& schema,
 /// schemas the enumerator emits in DFS order. Not thread-safe: each worker
 /// owns its encoders. After a check() throws (branch/time budget), the
 /// encoder is poisoned and must be discarded.
+///
+/// When `lemmas` is non-null (kSolve mode only — learning elides work a
+/// certificate would have to cover), the underlying solver runs in learning
+/// mode against that shared pool: pooled Farkas refutations short-circuit
+/// checks, new pure-constraint refutations are banked, and unsat results
+/// report EncodeResult::cut_prefix.
 class IncrementalSchemaEncoder {
  public:
   IncrementalSchemaEncoder(const GuardAnalysis& analysis, const spec::ReachQuery& query,
                            std::int64_t branch_budget, const QueryCone* cone = nullptr,
-                           EncoderMode mode = EncoderMode::kSolve);
+                           EncoderMode mode = EncoderMode::kSolve,
+                           smt::LemmaPool* lemmas = nullptr);
   ~IncrementalSchemaEncoder();
   IncrementalSchemaEncoder(IncrementalSchemaEncoder&&) noexcept;
   IncrementalSchemaEncoder& operator=(IncrementalSchemaEncoder&&) = delete;

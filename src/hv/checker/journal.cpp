@@ -317,6 +317,7 @@ void ProgressJournal::append(const JournalRecord& record) {
                      escape(record.cursor) + "\",\"v\":\"" + escape(record.verdict) + "\"";
   if (record.length != 0) line += ",\"len\":" + std::to_string(record.length);
   if (record.pivots != 0) line += ",\"piv\":" + std::to_string(record.pivots);
+  if (record.cut >= 0) line += ",\"cut\":" + std::to_string(record.cut);
   if (!record.note.empty()) line += ",\"note\":\"" + escape(record.note) + "\"";
   line += "}\n";
   std::lock_guard<std::mutex> lock(mutex_);
@@ -402,6 +403,7 @@ ResumeState load_journal(const std::string& path) {
     record.note = field("note");
     if (const auto it = numbers.find("len"); it != numbers.end()) record.length = it->second;
     if (const auto it = numbers.find("piv"); it != numbers.end()) record.pivots = it->second;
+    if (const auto it = numbers.find("cut"); it != numbers.end()) record.cut = it->second;
     if (record.property.empty() || record.cursor.empty() || record.verdict.empty()) {
       ++state.skipped_lines;
       continue;

@@ -59,15 +59,22 @@ struct JournalHeader {
   JournalHeader(std::string automaton_name, std::string hash);
 };
 
-/// One journal line. `verdict` is one of "unsat", "sat", "pruned",
+/// One journal line. `verdict` is one of "unsat", "sat", "pruned" or
 /// "unknown"; sat records exist for completeness but are re-solved on
-/// resume (the counterexample itself is not journaled).
+/// resume (the counterexample itself is not journaled). An unsat record
+/// whose refutation only referenced the first `cut` elements of the
+/// schema's unlock chain carries `cut >= 0`: the whole subtree below that
+/// prefix is infeasible, and resume rebuilds the subtree-cut index from
+/// the field instead of re-deriving it. Riding on the unsat record (rather
+/// than a separate line) keeps the verdict and the cut atomic — a kill
+/// can lose both, never one without the other.
 struct JournalRecord {
   std::string property;
   std::string cursor;
   std::string verdict;
   std::int64_t length = 0;
   std::int64_t pivots = 0;
+  std::int64_t cut = -1;
   std::string note;
 };
 

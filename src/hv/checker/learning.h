@@ -1,0 +1,75 @@
+// Cross-schema learning state shared by every solver of one property run.
+//
+// Two kinds of facts flow out of an unsat schema in learning mode:
+//
+//   * Subtree cuts — EncodeResult::cut_prefix says the refutation only
+//     referenced the first d chain elements; every schema of the same query
+//     whose unlock order starts with that prefix is unsat (for any cut
+//     placement). The CutIndex records such prefixes and the enumeration
+//     loops skip covered schemas without solving, counting them as
+//     PropertyResult::schemas_cut. Cuts ride on the unsat journal record
+//     (JournalRecord::cut) so a resumed run rebuilds the index instead of
+//     re-deriving it, and travel over the distributed wire so other workers
+//     abandon doomed subtrees.
+//
+//   * Farkas lemmas — pure-constraint refutations banked in the per-query
+//     smt::LemmaPool, replayed by the solver before searching.
+//
+// Both are per-query: a cut prefix or lemma derived against one reach query
+// says nothing about another query's constraint system.
+//
+// Trust boundary: neither kind of learned fact can flip a verdict. A cut
+// only suppresses solving of schemas whose unsat-ness is entailed by an
+// already-solved refutation; a lemma hit only replaces a solver run that
+// would have returned unsat anyway. Certifying runs disable learning
+// entirely (CheckOptions gate) so certificates keep per-schema coverage and
+// stay byte-compatible; the auditor never sees learned facts.
+#ifndef HV_CHECKER_LEARNING_H
+#define HV_CHECKER_LEARNING_H
+
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "hv/smt/lemma.h"
+
+namespace hv::checker {
+
+/// Thread-safe set of unsat chain prefixes for one query.
+class CutIndex {
+ public:
+  /// Records a prefix; returns true iff it is new and not already covered
+  /// by a recorded (shorter or equal) prefix. Prefixes it subsumes are
+  /// dropped.
+  bool add(const std::vector<int>& prefix);
+
+  /// True iff some recorded cut prefix is a prefix of `chain`.
+  bool covers(const std::vector<int>& chain) const;
+
+  std::vector<std::vector<int>> snapshot() const;
+  std::size_t size() const;
+
+ private:
+  static bool is_prefix(const std::vector<int>& prefix, const std::vector<int>& chain);
+
+  mutable std::mutex mutex_;
+  std::vector<std::vector<int>> cuts_;
+};
+
+/// Learning state of one (property, query) pair.
+struct QueryLearning {
+  smt::LemmaPool lemmas;
+  CutIndex cuts;
+};
+
+/// Learning state of one property run, indexed by query. deque: members own
+/// mutexes (immovable) and references must stay stable across workers.
+struct PropertyLearning {
+  explicit PropertyLearning(std::size_t query_count) : queries(query_count) {}
+  std::deque<QueryLearning> queries;
+};
+
+}  // namespace hv::checker
+
+#endif  // HV_CHECKER_LEARNING_H

@@ -4,11 +4,13 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdio>
+#include <cstdlib>
 #include <deque>
 #include <limits>
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <string_view>
 #include <thread>
 #include <utility>
 
@@ -16,6 +18,7 @@
 #include "hv/checker/encoder.h"
 #include "hv/checker/guard_analysis.h"
 #include "hv/checker/journal.h"
+#include "hv/checker/learning.h"
 #include "hv/checker/schema_solver.h"
 #include "hv/util/error.h"
 #include "hv/util/stopwatch.h"
@@ -43,6 +46,9 @@ struct RunState {
   std::atomic<std::int64_t> schemas_enumerated{0};
   std::atomic<std::int64_t> schemas_checked{0};
   std::atomic<std::int64_t> schemas_pruned{0};
+  std::atomic<std::int64_t> schemas_cut{0};
+  std::atomic<std::int64_t> lemma_hits{0};
+  std::atomic<std::int64_t> lemmas_learned{0};
   std::atomic<std::int64_t> schemas_unknown{0};
   std::atomic<std::int64_t> schemas_resumed{0};
   std::atomic<std::int64_t> retries{0};
@@ -86,7 +92,8 @@ void accumulate(IncrementalStats& into, const IncrementalStats& from) {
 
 void journal_append(const RunContext& ctx, const std::string& property,
                     const std::string& cursor, const char* verdict, std::int64_t length = 0,
-                    std::int64_t pivots = 0, const std::string& note = {}) {
+                    std::int64_t pivots = 0, const std::string& note = {},
+                    std::int64_t cut = -1) {
   if (ctx.journal == nullptr) return;
   JournalRecord record;
   record.property = property;
@@ -94,6 +101,7 @@ void journal_append(const RunContext& ctx, const std::string& property,
   record.verdict = verdict;
   record.length = length;
   record.pivots = pivots;
+  record.cut = cut;
   record.note = note;
   ctx.journal->append(record);
 }
@@ -112,9 +120,11 @@ std::string format_seconds(double seconds) {
 void settle_unit(SchemaSolver& solver, const spec::Property& property,
                  std::size_t query_index, const Schema& schema, const std::string& cursor,
                  const CheckOptions& options, const QueryCone* cone, double remaining_seconds,
-                 RunState& state, const RunContext& ctx) {
+                 RunState& state, const RunContext& ctx, PropertyLearning* learning) {
   UnitOutcome outcome = solver.solve(query_index, schema, cone, remaining_seconds);
   if (outcome.retries > 0) state.retries.fetch_add(outcome.retries);
+  state.lemma_hits.fetch_add(outcome.lemma_hits);
+  state.lemmas_learned.fetch_add(outcome.lemmas_learned);
   switch (outcome.kind) {
     case UnitOutcome::Kind::kAborted: {
       state.schemas_unknown.fetch_add(1);
@@ -157,8 +167,20 @@ void settle_unit(SchemaSolver& solver, const spec::Property& property,
   state.simplex_pivots.fetch_add(outcome.pivots);
   state.rational_fast_ops.fetch_add(outcome.rational_fast_ops);
   state.rational_big_ops.fetch_add(outcome.rational_big_ops);
+  // Core-based subtree cut: the refutation only referenced constraints of
+  // the first cut_prefix chain elements, so every schema whose unlock order
+  // extends that prefix (any cut placement) is unsat too. The cut rides on
+  // the unsat journal record itself so a kill can never persist the verdict
+  // without the cut (or vice versa) and a resumed run replays the skip.
+  std::int64_t cut_field = -1;
+  if (!sat && learning != nullptr && outcome.cut_prefix >= 0 &&
+      outcome.cut_prefix <= static_cast<int>(schema.unlock_order.size())) {
+    std::vector<int> prefix(schema.unlock_order.begin(),
+                            schema.unlock_order.begin() + outcome.cut_prefix);
+    if (learning->queries[query_index].cuts.add(prefix)) cut_field = outcome.cut_prefix;
+  }
   journal_append(ctx, property.name, cursor, sat ? "sat" : "unsat", outcome.length,
-                 outcome.pivots);
+                 outcome.pivots, {}, cut_field);
   if (options.certify) {
     SchemaEvidence item;
     item.query_index = query_index;
@@ -209,7 +231,7 @@ bool try_resume(const spec::Property& property, std::size_t query_index,
   }
   if (ctx.copy_resumed) {
     journal_append(ctx, property.name, cursor, record->verdict.c_str(), record->length,
-                   record->pivots, record->note);
+                   record->pivots, record->note, record->cut);
   }
   (void)query_index;
   return true;
@@ -230,6 +252,12 @@ std::vector<SubtreeTask> plan_tasks(const GuardAnalysis& analysis, const CheckOp
 }
 
 }  // namespace
+
+bool lemmas_enabled(const CheckOptions& options) {
+  if (!options.lemmas || !options.incremental || options.certify) return false;
+  const char* value = std::getenv("HV_NO_LEMMAS");
+  return value == nullptr || value[0] == '\0' || std::string_view(value) == "0";
+}
 
 PropertyResult check_property(const ta::ThresholdAutomaton& ta, const spec::Property& property,
                               const CheckOptions& options_in) {
@@ -292,6 +320,33 @@ PropertyResult check_property(const ta::ThresholdAutomaton& ta, const spec::Prop
   hooks.injector = &injector;
   hooks.memory_polls = &state.memory_polls;
 
+  // Cross-schema learning state shared by every worker of this run: one
+  // lemma pool and one subtree-cut index per query.
+  std::optional<PropertyLearning> learning;
+  if (lemmas_enabled(options)) learning.emplace(property.queries.size());
+  PropertyLearning* learn = learning ? &*learning : nullptr;
+  hooks.learning = learn;
+
+  // Replay journaled subtree cuts before solving anything: a resumed run
+  // skips the same subtrees the interrupted run proved infeasible instead of
+  // re-deriving the refutations.
+  if (learn != nullptr && ctx.resume != nullptr) {
+    for (const auto& [key, record] : ctx.resume->settled) {
+      if (record.verdict != "unsat" || record.cut < 0 || record.property != property.name) {
+        continue;
+      }
+      std::size_t q = 0;
+      Schema schema;
+      if (!parse_schema_cursor(record.cursor, &q, &schema) ||
+          q >= property.queries.size() ||
+          record.cut > static_cast<std::int64_t>(schema.unlock_order.size())) {
+        continue;
+      }
+      schema.unlock_order.resize(static_cast<std::size_t>(record.cut));
+      learn->queries[q].cuts.add(schema.unlock_order);
+    }
+  }
+
   if (options.workers <= 1) {
     // Single-threaded: enumerate and solve inline, one persistent encoder
     // per query (the enumeration order itself is DFS, so consecutive
@@ -316,6 +371,10 @@ PropertyResult check_property(const ta::ThresholdAutomaton& ta, const spec::Prop
               state.schemas_enumerated.fetch_add(1);
               const std::string cursor = need_cursor ? schema_cursor(q, schema) : std::string();
               if (try_resume(property, q, cursor, state, ctx)) return true;
+              if (learn != nullptr && learn->queries[q].cuts.covers(schema.unlock_order)) {
+                state.schemas_cut.fetch_add(1);
+                return true;
+              }
               if (options.property_directed_pruning && !cones[q].schema_feasible(schema)) {
                 state.schemas_pruned.fetch_add(1);
                 journal_append(ctx, property.name, cursor, "pruned");
@@ -326,7 +385,7 @@ PropertyResult check_property(const ta::ThresholdAutomaton& ta, const spec::Prop
                 return true;
               }
               settle_unit(solver, property, q, schema, cursor, options, cone_for(q),
-                          remaining_time(), state, ctx);
+                          remaining_time(), state, ctx, learn);
               return !state.stop.load();
             });
         budget_exhausted = budget_exhausted || outcome.budget_exhausted;
@@ -394,6 +453,11 @@ PropertyResult check_property(const ta::ThresholdAutomaton& ta, const spec::Prop
                   const std::string cursor =
                       need_cursor ? schema_cursor(q, schema) : std::string();
                   if (try_resume(property, q, cursor, state, ctx)) return true;
+                  if (learn != nullptr &&
+                      learn->queries[q].cuts.covers(schema.unlock_order)) {
+                    state.schemas_cut.fetch_add(1);
+                    return true;
+                  }
                   if (options.property_directed_pruning &&
                       !cones[q].schema_feasible(schema)) {
                     state.schemas_pruned.fetch_add(1);
@@ -405,7 +469,7 @@ PropertyResult check_property(const ta::ThresholdAutomaton& ta, const spec::Prop
                     return true;
                   }
                   settle_unit(solver, property, q, schema, cursor, options, cone_for(q),
-                              remaining_time(), state, ctx);
+                              remaining_time(), state, ctx, learn);
                   return !state.stop.load();
                 });
           } catch (const WorkerAbortFault&) {
@@ -464,6 +528,9 @@ PropertyResult check_property(const ta::ThresholdAutomaton& ta, const spec::Prop
 
   result.schemas_checked = state.schemas_checked.load();
   result.schemas_pruned = state.schemas_pruned.load();
+  result.schemas_cut = state.schemas_cut.load();
+  result.lemma_hits = state.lemma_hits.load();
+  result.lemmas_learned = state.lemmas_learned.load();
   result.schemas_unknown = state.schemas_unknown.load();
   result.schemas_resumed = state.schemas_resumed.load();
   result.retries = state.retries.load();

@@ -47,6 +47,13 @@ struct CheckOptions {
   /// PropertyResult::evidence together with the enumeration manifest, for
   /// certificate emission (hv/cert).
   bool certify = false;
+  /// Cross-schema learning: pool Farkas refutations per query (replayed as
+  /// cheap learned cuts before full solves) and skip subtrees whose shared
+  /// chain prefix an earlier refutation already proved infeasible
+  /// (PropertyResult::schemas_cut). Verdict-preserving; active only with
+  /// incremental solving and outside certify mode (certificates need
+  /// per-schema coverage). `hvc --no-lemmas` / HV_NO_LEMMAS=1 disable it.
+  bool lemmas = true;
 
   // --- fault-tolerant runtime ------------------------------------------------
 
@@ -80,6 +87,12 @@ struct CheckOptions {
   /// Deterministic fault injection (tests, CI smoke); disarmed by default.
   FaultPlan fault;
 };
+
+/// True iff this run learns lemmas/cuts: options.lemmas, with incremental
+/// solving, outside certify mode, and HV_NO_LEMMAS unset. Shared by the
+/// in-process engines and the distributed worker so every execution path
+/// gates identically.
+bool lemmas_enabled(const CheckOptions& options);
 
 /// Checks one property; never throws on budget/timeout (returns kUnknown
 /// with a note instead).

@@ -117,6 +117,14 @@ struct PropertyResult {
   std::int64_t schemas_checked = 0;
   /// Schemas discarded by static (cone) analysis without an SMT call.
   std::int64_t schemas_pruned = 0;
+  /// Schemas skipped by core-based subtree cuts: an earlier refutation of a
+  /// sibling only referenced the shared chain prefix, proving the whole
+  /// subtree unsat (learning mode; journaled as "cut" records).
+  std::int64_t schemas_cut = 0;
+  /// Lemma-pool activity (learning mode): solver checks short-circuited by
+  /// a pooled Farkas refutation, and refutations banked into the pool.
+  std::int64_t lemma_hits = 0;
+  std::int64_t lemmas_learned = 0;
   /// Schemas degraded to an inconclusive per-schema verdict (watchdog
   /// cancellation, solver failure, contained bad_alloc) after the retry
   /// ladder was exhausted. Any nonzero count makes the property kUnknown.

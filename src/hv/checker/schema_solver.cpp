@@ -62,8 +62,12 @@ EncodeResult SchemaSolver::attempt(std::size_t query_index, const Schema& schema
     }
     auto& slot = encoders_[query_index];
     if (!slot) {
-      slot = std::make_unique<IncrementalSchemaEncoder>(analysis_, query,
-                                                        options_.branch_budget, cone, mode_);
+      smt::LemmaPool* lemmas = nullptr;
+      if (hooks_.learning != nullptr && lemmas_enabled(options_)) {
+        lemmas = &hooks_.learning->queries[query_index].lemmas;
+      }
+      slot = std::make_unique<IncrementalSchemaEncoder>(
+          analysis_, query, options_.branch_budget, cone, mode_, lemmas);
     }
     slot->set_time_budget(budget);
     slot->set_pivot_budget(options_.pivot_budget);
@@ -158,10 +162,13 @@ UnitOutcome SchemaSolver::solve(std::size_t query_index, const Schema& schema,
   outcome.pivots = result.pivots;
   outcome.rational_fast_ops = result.rational_fast_ops;
   outcome.rational_big_ops = result.rational_big_ops;
+  outcome.lemma_hits = result.lemma_hits;
+  outcome.lemmas_learned = result.lemmas_learned;
   outcome.proof = result.proof;
   outcome.model = result.model_values;
   if (!result.sat) {
     outcome.kind = UnitOutcome::Kind::kUnsat;
+    outcome.cut_prefix = result.cut_prefix;
     return outcome;
   }
   outcome.kind = UnitOutcome::Kind::kSat;

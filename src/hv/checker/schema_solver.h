@@ -27,6 +27,7 @@
 
 #include "hv/checker/encoder.h"
 #include "hv/checker/fault.h"
+#include "hv/checker/learning.h"
 #include "hv/checker/parameterized.h"
 #include "hv/checker/result.h"
 #include "hv/checker/schema.h"
@@ -59,6 +60,12 @@ struct UnitOutcome {
   /// kSat only: non-empty iff the counterexample failed replay validation —
   /// an internal encoder bug the run must surface instead of the verdict.
   std::string validation_error;
+  /// kUnsat in learning mode: EncodeResult::cut_prefix — the refutation only
+  /// used the first `cut_prefix` chain elements (-1: no subtree cut).
+  int cut_prefix = -1;
+  /// Lemma-pool activity while settling this unit (learning mode).
+  std::int64_t lemma_hits = 0;
+  std::int64_t lemmas_learned = 0;
   /// Certify mode: proof tree (kUnsat) / named integer model (kSat).
   std::shared_ptr<const smt::proof::Node> proof;
   std::shared_ptr<const std::vector<std::pair<std::string, BigInt>>> model;
@@ -73,6 +80,9 @@ struct SolveHooks {
   FaultInjector* injector = nullptr;
   /// Shared attempt counter striding the soft-RSS polls across workers.
   std::atomic<std::int64_t>* memory_polls = nullptr;
+  /// Cross-schema learning state (per-query lemma pools + cut indexes);
+  /// null disables learning regardless of CheckOptions::lemmas.
+  PropertyLearning* learning = nullptr;
 };
 
 /// One worker's solving state: persistent incremental encoders (one per

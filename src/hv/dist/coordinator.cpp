@@ -45,6 +45,9 @@ struct Lease {
 struct PropMerge {
   std::int64_t checked = 0;
   std::int64_t pruned = 0;
+  std::int64_t cut = 0;
+  std::int64_t lemma_hits = 0;
+  std::int64_t lemmas_learned = 0;
   std::int64_t unknown = 0;
   std::int64_t resumed = 0;
   std::int64_t retries = 0;
@@ -65,15 +68,34 @@ struct PropMerge {
   bool finished = false;
 };
 
+// A connection the coordinator can push frames to; `learn` records whether
+// both sides advertised the "learn" feature.
+struct ConnInfo {
+  Conn* conn = nullptr;
+  bool learn = false;
+};
+
 struct Coord {
   const std::vector<spec::Property>* properties = nullptr;
   const DistOptions* options = nullptr;
   checker::CheckOptions check;  // normalized copy shipped to workers
   cert::Json welcome;
+  /// Coordinator-side learning gate (checker::lemmas_enabled on the run's
+  /// options): when off, learn frames are neither advertised nor folded.
+  bool learn = false;
 
   std::mutex mutex;
   std::vector<Lease> leases;
   std::vector<PropMerge> props;
+  /// Cross-schema learning facts folded from workers (and the resume
+  /// journal), keyed by (property, query). Cuts are unsat chain prefixes;
+  /// lemmas are premise-string lists deduplicated via lemma_keys. Both are
+  /// shipped inside lease grants and broadcast as learn frames so every
+  /// worker abandons subtrees another worker already refuted.
+  std::map<std::pair<std::size_t, std::size_t>, std::vector<std::vector<int>>> cuts_by_pq;
+  std::map<std::pair<std::size_t, std::size_t>, std::vector<std::vector<std::string>>>
+      lemmas_by_pq;
+  std::unordered_set<std::string> lemma_keys;
   /// Verdict dedup: ResumeState::key(property name, cursor) of everything
   /// settled (by resume replay or by a worker record). Makes reassignment
   /// replays idempotent.
@@ -88,13 +110,13 @@ struct Coord {
   bool timed_out = false;
   bool interrupted = false;
   DistStats stats;
-  std::vector<Conn*> open_conns;
+  std::vector<ConnInfo> open_conns;
   const Stopwatch* watch = nullptr;
 };
 
 void journal_append(Coord& c, const std::string& property, const std::string& cursor,
                     const char* verdict, std::int64_t length = 0, std::int64_t pivots = 0,
-                    const std::string& note = {}) {
+                    const std::string& note = {}, std::int64_t cut = -1) {
   if (c.journal == nullptr) return;
   checker::JournalRecord record;
   record.property = property;
@@ -102,6 +124,7 @@ void journal_append(Coord& c, const std::string& property, const std::string& cu
   record.verdict = verdict;
   record.length = length;
   record.pivots = pivots;
+  record.cut = cut;
   record.note = note;
   c.journal->append(record);
 }
@@ -160,14 +183,44 @@ bool task_covers(const checker::SubtreeTask& task, const std::vector<int>& unloc
   return unlock_order == task.prefix;
 }
 
+// True iff a recorded subtree cut proves the whole lease moot: every schema
+// under the task extends task.prefix, so a cut that is a prefix of
+// task.prefix refutes all of them (a *longer* cut only covers part of the
+// subtree and is handled by the worker's local skip instead).
+bool cut_covers_task(const std::vector<int>& cut, const checker::SubtreeTask& task) {
+  return cut.size() <= task.prefix.size() &&
+         std::equal(cut.begin(), cut.end(), task.prefix.begin());
+}
+
+// Folds one subtree cut into the coordinator (caller holds the mutex).
+// Returns true iff the cut is new. The cut itself is not journaled here —
+// it rides on the unsat record of the schema that produced it — but every
+// still-pending lease it fully covers is settled without ever being
+// granted: the subtree is proven unsat wholesale.
+bool fold_cut(Coord& c, std::size_t p, std::size_t q, std::vector<int> prefix) {
+  std::vector<std::vector<int>>& cuts = c.cuts_by_pq[{p, q}];
+  for (const std::vector<int>& existing : cuts) {
+    if (existing == prefix) return false;
+  }
+  for (Lease& lease : c.leases) {
+    if (lease.property != p || lease.query != q) continue;
+    if (lease.state != LeaseState::kPending) continue;
+    if (!cut_covers_task(prefix, lease.task)) continue;
+    lease.state = LeaseState::kDone;
+  }
+  check_property_finished(c, p);
+  cuts.push_back(std::move(prefix));
+  return true;
+}
+
 // Applies one settled verdict to the merge state (caller holds the mutex).
 // `resumed` distinguishes journal replay from live records. Returns false
 // iff the cursor was already settled (duplicate after a reassignment).
 bool apply_record(Coord& c, std::size_t p, std::size_t q, const checker::Schema& schema,
                   const std::string& cursor, const std::string& verdict, std::int64_t length,
-                  std::int64_t pivots, std::int64_t fast_ops, std::int64_t big_ops,
-                  std::int64_t retries, const std::string& note, bool resumed,
-                  bool journal_this) {
+                  std::int64_t pivots, std::int64_t cut, std::int64_t fast_ops,
+                  std::int64_t big_ops, std::int64_t retries, const std::string& note,
+                  bool resumed, bool journal_this) {
   const std::vector<spec::Property>& properties = *c.properties;
   PropMerge& settled_prop = c.props[p];
   // A settled property wants no more verdicts: in-flight records from a
@@ -198,7 +251,7 @@ bool apply_record(Coord& c, std::size_t p, std::size_t q, const checker::Schema&
     }
   }
   if (journal_this) {
-    journal_append(c, properties[p].name, cursor, verdict.c_str(), length, pivots, note);
+    journal_append(c, properties[p].name, cursor, verdict.c_str(), length, pivots, note, cut);
   }
   // The schema budget is per property, exactly like an in-process run.
   if (!prop.budget_exhausted && !prop.stopped &&
@@ -216,6 +269,7 @@ void handle_connection(Coord& c, int fd) {
   Conn conn(fd);
   cert::Json hello;
   if (conn.recv(&hello, 10'000) != FrameStatus::kOk) return;
+  bool peer_learn = false;
   try {
     if (hello.at("type").as_string() != "hello") return;
     const cert::Json* protocol = hello.find("protocol");
@@ -226,14 +280,25 @@ void handle_connection(Coord& c, int fd) {
                          std::to_string(kDistProtocolVersion) + ")"}});
       return;
     }
+    // Feature negotiation: absent/empty means a pre-upgrade worker, which
+    // simply never sees a learn frame (it still solves, without lemmas).
+    if (const cert::Json* features = hello.find("features")) {
+      for (const cert::Json& feature : features->as_array()) {
+        if (feature.kind() == cert::Json::Kind::kString &&
+            feature.as_string() == "learn") {
+          peer_learn = true;
+        }
+      }
+    }
   } catch (const std::exception&) {
     return;  // mistyped hello fields: not a worker
   }
   if (!conn.send(c.welcome)) return;
+  const bool learn = c.learn && peer_learn;
   {
     std::lock_guard<std::mutex> lock(c.mutex);
     ++c.stats.workers_joined;
-    c.open_conns.push_back(&conn);
+    c.open_conns.push_back({&conn, learn});
   }
   const std::vector<spec::Property>& properties = *c.properties;
 
@@ -293,12 +358,32 @@ void handle_connection(Coord& c, int fd) {
           bool work_left = false;
           if (!c.closing) {
             for (std::size_t i = 0; i < c.leases.size(); ++i) {
-              const Lease& lease = c.leases[i];
+              Lease& lease = c.leases[i];
               if (lease.state == LeaseState::kActive) work_left = true;
               if (lease.state != LeaseState::kPending) continue;
               work_left = true;
               const PropMerge& prop = c.props[lease.property];
               if (prop.stopped || prop.budget_exhausted) continue;
+              // A lease returned to pending (expropriation) may have been
+              // covered by a subtree cut since: settle it here instead of
+              // granting doomed work.
+              if (c.learn) {
+                const auto cit = c.cuts_by_pq.find({lease.property, lease.query});
+                if (cit != c.cuts_by_pq.end()) {
+                  bool covered = false;
+                  for (const std::vector<int>& cut : cit->second) {
+                    if (cut_covers_task(cut, lease.task)) {
+                      covered = true;
+                      break;
+                    }
+                  }
+                  if (covered) {
+                    lease.state = LeaseState::kDone;
+                    check_property_finished(c, lease.property);
+                    continue;
+                  }
+                }
+              }
               grant = static_cast<std::int64_t>(i);
               break;
             }
@@ -327,6 +412,34 @@ void handle_connection(Coord& c, int fd) {
                                        {"prefix", std::move(prefix)},
                                        {"extensions", lease.task.include_extensions},
                                        {"skip", std::move(skip)}};
+            // Learning payload: everything known about this (property, query)
+            // rides along so a late-joining worker starts with the fleet's
+            // accumulated cuts and lemmas.
+            if (learn) {
+              const std::pair<std::size_t, std::size_t> pq{lease.property, lease.query};
+              cert::Json::Array cuts;
+              if (const auto cit = c.cuts_by_pq.find(pq); cit != c.cuts_by_pq.end()) {
+                for (const std::vector<int>& cut : cit->second) {
+                  cert::Json::Array cut_prefix;
+                  for (const int g : cut) cut_prefix.push_back(g);
+                  cuts.push_back(cert::Json::Object{
+                      {"q", static_cast<std::int64_t>(lease.query)},
+                      {"prefix", std::move(cut_prefix)}});
+                }
+              }
+              cert::Json::Array lemmas;
+              if (const auto lit = c.lemmas_by_pq.find(pq); lit != c.lemmas_by_pq.end()) {
+                for (const std::vector<std::string>& premises : lit->second) {
+                  cert::Json::Array strings;
+                  for (const std::string& premise : premises) strings.push_back(premise);
+                  lemmas.push_back(cert::Json::Object{
+                      {"q", static_cast<std::int64_t>(lease.query)},
+                      {"premises", std::move(strings)}});
+                }
+              }
+              if (!cuts.empty()) reply.set("cuts", std::move(cuts));
+              if (!lemmas.empty()) reply.set("lemmas", std::move(lemmas));
+            }
           } else if (work_left) {
             reply = cert::Json::Object{{"type", "wait"}, {"ms", 300}};
           } else {
@@ -358,9 +471,11 @@ void handle_connection(Coord& c, int fd) {
           // records from pre-upgrade workers) simply omit them.
           const cert::Json* fast_field = msg.find("fast");
           const cert::Json* big_field = msg.find("big");
+          const cert::Json* cut_field = msg.find("cut");
+          const std::int64_t cut = cut_field != nullptr ? cut_field->as_int() : -1;
           if (cited == current &&
               apply_record(c, p, q, schema, cursor, verdict, msg.at("length").as_int(),
-                           msg.at("pivots").as_int(),
+                           msg.at("pivots").as_int(), cut,
                            fast_field != nullptr ? fast_field->as_int() : 0,
                            big_field != nullptr ? big_field->as_int() : 0,
                            msg.at("retries").as_int(), msg.at("note").as_string(),
@@ -376,6 +491,29 @@ void handle_connection(Coord& c, int fd) {
                     cert::proof_from_json(*proof).release());
               }
               c.props[p].evidence.push_back(std::move(item));
+            }
+          }
+          // A record carrying a subtree cut proves every schema extending
+          // the chain prefix unsat: fold it (settling covered pending
+          // leases) and broadcast a fresh cut to the other learn-capable
+          // workers so they skip the doomed subtrees too.
+          if (learn && verdict == "unsat" && cut >= 0 &&
+              cut <= static_cast<std::int64_t>(schema.unlock_order.size())) {
+            std::vector<int> prefix(schema.unlock_order.begin(),
+                                    schema.unlock_order.begin() + cut);
+            if (fold_cut(c, p, q, prefix)) {
+              cert::Json::Array prefix_json;
+              for (int g : prefix) prefix_json.push_back(static_cast<std::int64_t>(g));
+              const cert::Json frame = cert::Json::Object{
+                  {"type", "learn"},
+                  {"p", static_cast<std::int64_t>(p)},
+                  {"cuts",
+                   cert::Json::Array{cert::Json::Object{
+                       {"q", static_cast<std::int64_t>(q)},
+                       {"prefix", std::move(prefix_json)}}}}};
+              for (const ConnInfo& info : c.open_conns) {
+                if (info.learn && info.conn != &conn) info.conn->send(frame);
+              }
             }
           }
           // Tell the worker to stop solving a subtree nobody wants: its lease
@@ -403,7 +541,7 @@ void handle_connection(Coord& c, int fd) {
         const cert::Json* sat_fast = msg.find("fast");
         const cert::Json* sat_big = msg.find("big");
         if (apply_record(c, p, q, schema, cursor, "sat", msg.at("length").as_int(),
-                         msg.at("pivots").as_int(),
+                         msg.at("pivots").as_int(), /*cut=*/-1,
                          sat_fast != nullptr ? sat_fast->as_int() : 0,
                          sat_big != nullptr ? sat_big->as_int() : 0,
                          msg.at("retries").as_int(), std::string(),
@@ -437,6 +575,57 @@ void handle_connection(Coord& c, int fd) {
         continue;
       }
   
+      if (type == "learn") {
+        // Cross-schema learning facts from this worker. Fold them (deduped)
+        // into the coordinator's pools, journal new cuts, settle pending
+        // leases a cut fully covers, and broadcast fresh facts to every
+        // other learn-capable worker so the whole fleet abandons doomed
+        // subtrees. Silently ignored when this run does not learn.
+        if (!learn) continue;
+        const auto p = static_cast<std::size_t>(msg.at("p").as_int());
+        if (p >= c.props.size()) break;
+        cert::Json::Array fresh_cuts;
+        cert::Json::Array fresh_lemmas;
+        std::lock_guard<std::mutex> lock(c.mutex);
+        if (const cert::Json* cuts = msg.find("cuts")) {
+          for (const cert::Json& entry : cuts->as_array()) {
+            const auto q = static_cast<std::size_t>(entry.at("q").as_int());
+            if (q >= properties[p].queries.size()) continue;
+            std::vector<int> prefix;
+            for (const cert::Json& g : entry.at("prefix").as_array()) {
+              prefix.push_back(static_cast<int>(g.as_int()));
+            }
+            if (fold_cut(c, p, q, prefix)) fresh_cuts.push_back(entry);
+          }
+        }
+        if (const cert::Json* lemmas = msg.find("lemmas")) {
+          for (const cert::Json& entry : lemmas->as_array()) {
+            const auto q = static_cast<std::size_t>(entry.at("q").as_int());
+            if (q >= properties[p].queries.size()) continue;
+            std::vector<std::string> premises;
+            std::string key = std::to_string(p) + '|' + std::to_string(q);
+            for (const cert::Json& premise : entry.at("premises").as_array()) {
+              premises.push_back(premise.as_string());
+              key += '\x1f';
+              key += premises.back();
+            }
+            if (premises.empty() || !c.lemma_keys.insert(key).second) continue;
+            c.lemmas_by_pq[{p, q}].push_back(std::move(premises));
+            fresh_lemmas.push_back(entry);
+          }
+        }
+        if (!fresh_cuts.empty() || !fresh_lemmas.empty()) {
+          cert::Json frame = cert::Json::Object{
+              {"type", "learn"}, {"p", static_cast<std::int64_t>(p)}};
+          if (!fresh_cuts.empty()) frame.set("cuts", std::move(fresh_cuts));
+          if (!fresh_lemmas.empty()) frame.set("lemmas", std::move(fresh_lemmas));
+          for (const ConnInfo& info : c.open_conns) {
+            if (info.learn && info.conn != &conn) info.conn->send(frame);
+          }
+        }
+        continue;
+      }
+
       if (type == "lease_done") {
         const std::int64_t id = msg.at("lease").as_int();
         std::lock_guard<std::mutex> lock(c.mutex);
@@ -450,6 +639,16 @@ void handle_connection(Coord& c, int fd) {
             delta.segments_reused = stats->at("segments_reused").as_int();
             delta.schemas_encoded = stats->at("schemas_encoded").as_int();
             accumulate(c.props[lease.property].incremental, delta);
+          }
+          // Learning counters, read tolerantly (pre-upgrade workers omit
+          // them). Cut counts only cover subtrees a worker enumerated past —
+          // subtrees never granted thanks to a cut are not enumerated at
+          // all, so the distributed count is a documented undercount.
+          PropMerge& prop = c.props[lease.property];
+          if (const cert::Json* cut = msg.find("cut")) prop.cut += cut->as_int();
+          if (const cert::Json* hits = msg.find("hits")) prop.lemma_hits += hits->as_int();
+          if (const cert::Json* learned = msg.find("learned")) {
+            prop.lemmas_learned += learned->as_int();
           }
           current = -1;
           check_property_finished(c, lease.property);
@@ -468,7 +667,8 @@ void handle_connection(Coord& c, int fd) {
     std::lock_guard<std::mutex> lock(c.mutex);
     release_current();
     if (!clean) ++c.stats.workers_lost;
-    const auto it = std::find(c.open_conns.begin(), c.open_conns.end(), &conn);
+    const auto it = std::find_if(c.open_conns.begin(), c.open_conns.end(),
+                                 [&](const ConnInfo& info) { return info.conn == &conn; });
     if (it != c.open_conns.end()) c.open_conns.erase(it);
   }
   conn.close();
@@ -515,12 +715,14 @@ std::vector<checker::PropertyResult> serve_fd(int listen_fd, const std::string& 
   // pool, which strips max_schemas from per-task enumeration).
   checker::CheckOptions wire = c.check;
   wire.enumeration.max_schemas = std::numeric_limits<std::int64_t>::max();
+  c.learn = checker::lemmas_enabled(c.check);
   c.welcome = cert::Json::Object{{"type", "welcome"},
                                  {"protocol", kDistProtocolVersion},
                                  {"model_hash", model_hash},
                                  {"model_text", model_text},
                                  {"properties", specs_to_json(specs)},
                                  {"options", options_to_json(wire)}};
+  if (c.learn) c.welcome.set("features", cert::Json::Array{"learn"});
 
   // Lease planning: the same DFS chain-subtree partition the in-process
   // pool uses, deep enough that the expected fleet load-balances.
@@ -570,8 +772,17 @@ std::vector<checker::PropertyResult> serve_fd(int listen_fd, const std::string& 
       // Journal records carry no arithmetic counters; resumed schemas
       // contribute zero to the fast/big split (documented in result.h).
       apply_record(c, it->second, q, schema, record.cursor, record.verdict, record.length,
-                   record.pivots, /*fast_ops=*/0, /*big_ops=*/0, /*retries=*/0, record.note,
-                   /*resumed=*/true, /*journal_this=*/copy_resumed);
+                   record.pivots, record.cut, /*fast_ops=*/0, /*big_ops=*/0, /*retries=*/0,
+                   record.note, /*resumed=*/true, /*journal_this=*/copy_resumed);
+      // A cut riding on a replayed unsat record re-enters the coordinator's
+      // pool: covered leases settle before ever being granted, and the cut
+      // ships inside lease grants like a live one.
+      if (c.learn && record.verdict == "unsat" && record.cut >= 0 &&
+          record.cut <= static_cast<std::int64_t>(schema.unlock_order.size())) {
+        std::vector<int> prefix(schema.unlock_order.begin(),
+                                schema.unlock_order.begin() + record.cut);
+        fold_cut(c, it->second, q, std::move(prefix));
+      }
     }
     for (std::size_t p = 0; p < properties.size(); ++p) check_property_finished(c, p);
   }
@@ -614,7 +825,7 @@ std::vector<checker::PropertyResult> serve_fd(int listen_fd, const std::string& 
     // Cancellation/timeout: cut every worker loose; their reads fail, the
     // handlers release the leases and exit.
     std::lock_guard<std::mutex> lock(c.mutex);
-    for (Conn* conn : c.open_conns) conn->shutdown();
+    for (const ConnInfo& info : c.open_conns) info.conn->shutdown();
   }
   for (std::thread& handler : handlers) handler.join();
   ::close(listen_fd);
@@ -635,6 +846,9 @@ std::vector<checker::PropertyResult> serve_fd(int listen_fd, const std::string& 
     result.property = properties[p].name;
     result.schemas_checked = prop.checked;
     result.schemas_pruned = prop.pruned;
+    result.schemas_cut = prop.cut;
+    result.lemma_hits = prop.lemma_hits;
+    result.lemmas_learned = prop.lemmas_learned;
     result.schemas_unknown = prop.unknown;
     result.schemas_resumed = prop.resumed;
     result.retries = prop.retries;

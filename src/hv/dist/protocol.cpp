@@ -249,6 +249,7 @@ cert::Json options_to_json(const checker::CheckOptions& options) {
       {"pivot_budget", options.pivot_budget},
       {"memory_budget_mb", options.memory_budget_mb},
       {"retry_fresh", options.retry_fresh},
+      {"lemmas", options.lemmas},
   };
 }
 
@@ -268,6 +269,11 @@ checker::CheckOptions options_from_json(const cert::Json& json) {
   options.pivot_budget = json.at("pivot_budget").as_int();
   options.memory_budget_mb = json.at("memory_budget_mb").as_int();
   options.retry_fresh = json.at("retry_fresh").as_bool();
+  // Tolerant read: a pre-upgrade coordinator omits the field; learning is
+  // additionally gated by the hello/welcome feature negotiation, so the
+  // default here only matters to non-dist callers of this converter.
+  const cert::Json* lemmas = json.find("lemmas");
+  options.lemmas = lemmas == nullptr || lemmas->as_bool();
   return options;
 }
 

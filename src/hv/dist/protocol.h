@@ -7,28 +7,50 @@
 // frame (frame.h) with a "type" field:
 //
 //   worker -> coordinator
-//     hello      {protocol, label}
+//     hello      {protocol, label, features[]?}
 //     next       {}                     request a lease (pull model)
 //     record     {lease, property, cursor, verdict, length, pivots,
-//                 retries, note, proof?, model?}     one settled schema
+//                 retries, note, cut?, proof?, model?} one settled schema;
+//                 cut = subtree-cut prefix length of an unsat refutation
 //     sat        {lease, property, cursor, length, pivots, retries,
 //                 validation_error, counterexample?, model?}
-//     lease_done {lease, stats{...}}
+//     learn      {p, lemmas[]?}           freshly pooled Farkas lemmas
+//                                         (cuts ride on record frames)
+//     lease_done {lease, stats{...}, cut?, hits?, learned?}
 //     heartbeat  {}                     liveness only; renews the deadline
 //
 //   coordinator -> worker
-//     welcome    {protocol, model_hash, model_text, properties[], options{}}
-//     lease      {lease, property, query, prefix[], extensions, skip[]}
+//     welcome    {protocol, model_hash, model_text, properties[], options{},
+//                 features[]?}
+//     lease      {lease, property, query, prefix[], extensions, skip[],
+//                 cuts[]?, lemmas[]?}
 //     wait       {ms}                   nothing grantable right now
 //     abandon    {lease}               stop that lease: the property is
 //                                      settled or the lease reassigned; the
 //                                      worker closes it with lease_done
+//     learn      {p, cuts[]?, lemmas[]?}  facts folded from other workers
 //     shutdown   {reason}               run over; worker disconnects
 //
 // The pull model keeps the coordinator passive between frames: a worker
 // that dies simply stops asking, and *any* frame (heartbeats included)
 // renews its lease deadline, so only a genuinely dead or wedged worker is
 // expropriated.
+//
+// Feature negotiation: the protocol version stays fixed; optional frame
+// kinds are gated by "features" arrays in hello/welcome instead. Both sides
+// read the field tolerantly (absent = no optional features), and a side only
+// *sends* an optional frame kind ("learn", plus the learn-bearing fields of
+// lease and lease_done) when both peers advertised it. A pre-upgrade worker
+// therefore degrades to no-lemma solving instead of being dropped for an
+// unknown frame type; a pre-upgrade coordinator never sees a learn frame
+// or a record "cut" field (records are read field-tolerantly).
+//
+//   learn cuts entries:   {q, prefix[]}       — the chain prefix is unsat,
+//                                               every schema extending it too
+//   learn lemmas entries: {q, premises[]}     — a pooled Farkas refutation,
+//                                               keyed by constraint content
+//   lease_done cut/hits/learned: schemas skipped by cuts, lemma-pool hits,
+//                                and lemmas learned while holding the lease
 #ifndef HV_DIST_PROTOCOL_H
 #define HV_DIST_PROTOCOL_H
 

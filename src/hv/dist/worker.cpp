@@ -14,6 +14,8 @@
 #include "hv/checker/cone.h"
 #include "hv/checker/guard_analysis.h"
 #include "hv/checker/journal.h"
+#include "hv/checker/learning.h"
+#include "hv/checker/parameterized.h"
 #include "hv/checker/schema_solver.h"
 #include "hv/dist/protocol.h"
 #include "hv/ta/parser.h"
@@ -69,9 +71,17 @@ WorkerReport run_worker(const WorkerOptions& options) {
   }
   Conn conn(fd);
 
-  if (!conn.send(cert::Json::Object{{"type", "hello"},
-                                    {"protocol", kDistProtocolVersion},
-                                    {"label", options.label}})) {
+  cert::Json hello = cert::Json::Object{{"type", "hello"},
+                                        {"protocol", kDistProtocolVersion},
+                                        {"label", options.label}};
+  // Advertise cross-schema learning unless disabled locally (HV_NO_LEMMAS):
+  // a coordinator that does not learn simply never echoes the feature, and
+  // this worker degrades to plain no-lemma solving.
+  {
+    checker::CheckOptions probe;
+    if (checker::lemmas_enabled(probe)) hello.set("features", cert::Json::Array{"learn"});
+  }
+  if (!conn.send(hello)) {
     report.note = "handshake send failed";
     return report;
   }
@@ -90,6 +100,7 @@ WorkerReport run_worker(const WorkerOptions& options) {
   checker::CheckOptions check;
   std::optional<ta::ThresholdAutomaton> parsed;
   std::vector<spec::Property> properties;
+  bool peer_learn = false;
   try {
     if (welcome.at("type").as_string() != "welcome") {
       report.note = "no welcome from coordinator";
@@ -110,6 +121,16 @@ WorkerReport run_worker(const WorkerOptions& options) {
       return report;
     }
     properties = resolve_properties(*parsed, specs_from_json(welcome.at("properties")));
+    // Tolerant feature read: a pre-upgrade coordinator omits the array and
+    // this worker solves without lemmas instead of dropping the connection.
+    if (const cert::Json* features = welcome.find("features")) {
+      for (const cert::Json& feature : features->as_array()) {
+        if (feature.kind() == cert::Json::Kind::kString &&
+            feature.as_string() == "learn") {
+          peer_learn = true;
+        }
+      }
+    }
   } catch (const std::exception& e) {
     report.note = std::string("malformed welcome from coordinator: ") + e.what();
     return report;
@@ -137,11 +158,72 @@ WorkerReport run_worker(const WorkerOptions& options) {
   hooks.run_watch = &run_watch;
   hooks.injector = &injector;
   hooks.memory_polls = &memory_polls;
+  // Cross-schema learning, active only when both sides negotiated "learn"
+  // and the shipped options allow it (incremental, not certify, lemmas on,
+  // HV_NO_LEMMAS unset). One pool + cut index per (property, query), fed by
+  // local refutations and by coordinator learn frames/lease payloads.
+  const bool learn_mode = peer_learn && checker::lemmas_enabled(check);
+  std::vector<std::unique_ptr<checker::PropertyLearning>> learning(properties.size());
+  const auto learning_for = [&](std::size_t p) -> checker::PropertyLearning& {
+    auto& slot = learning[p];
+    if (!slot) {
+      slot = std::make_unique<checker::PropertyLearning>(properties[p].queries.size());
+    }
+    return *slot;
+  };
+  // Folds the cuts[]/lemmas[] arrays of a learn frame or lease grant.
+  // Tolerant of malformed entries: learning facts are advisory, a bad one is
+  // dropped rather than dropping the coordinator.
+  const auto apply_learn_arrays = [&](std::size_t p, const cert::Json* cuts,
+                                      const cert::Json* lemmas) {
+    if (!learn_mode || p >= properties.size()) return;
+    checker::PropertyLearning& learn = learning_for(p);
+    try {
+      if (cuts != nullptr) {
+        for (const cert::Json& entry : cuts->as_array()) {
+          const auto q = static_cast<std::size_t>(entry.at("q").as_int());
+          if (q >= properties[p].queries.size()) continue;
+          std::vector<int> prefix;
+          for (const cert::Json& g : entry.at("prefix").as_array()) {
+            prefix.push_back(static_cast<int>(g.as_int()));
+          }
+          learn.queries[q].cuts.add(prefix);
+        }
+      }
+      if (lemmas != nullptr) {
+        for (const cert::Json& entry : lemmas->as_array()) {
+          const auto q = static_cast<std::size_t>(entry.at("q").as_int());
+          if (q >= properties[p].queries.size()) continue;
+          smt::Lemma lemma;
+          for (const cert::Json& premise : entry.at("premises").as_array()) {
+            lemma.premises.push_back(premise.as_string());
+          }
+          if (lemma.premises.empty()) continue;
+          // fresh=false: a remote lemma must not be echoed back by the next
+          // take_fresh() shipment.
+          learn.queries[q].lemmas.insert(std::move(lemma), /*fresh=*/false);
+        }
+      }
+    } catch (const std::exception&) {
+      // Partially applied is fine — every fact stands on its own.
+    }
+  };
+  const auto apply_learn_frame = [&](const cert::Json& msg) {
+    const cert::Json* p_field = msg.find("p");
+    if (p_field == nullptr) return;
+    try {
+      apply_learn_arrays(static_cast<std::size_t>(p_field->as_int()), msg.find("cuts"),
+                         msg.find("lemmas"));
+    } catch (const std::exception&) {
+    }
+  };
   std::vector<std::unique_ptr<checker::SchemaSolver>> solvers(properties.size());
   const auto solver_for = [&](std::size_t p) -> checker::SchemaSolver& {
     if (!solvers[p]) {
+      checker::SolveHooks prop_hooks = hooks;
+      if (learn_mode) prop_hooks.learning = &learning_for(p);
       solvers[p] =
-          std::make_unique<checker::SchemaSolver>(analysis, properties[p], check, hooks);
+          std::make_unique<checker::SchemaSolver>(analysis, properties[p], check, prop_hooks);
     }
     return *solvers[p];
   };
@@ -199,10 +281,13 @@ WorkerReport run_worker(const WorkerOptions& options) {
     try {
       cert::Json reply;
       FrameStatus status = conn.recv(&reply, options.recv_timeout_ms);
-      // A late "abandon" for a lease that already closed can sit ahead of
-      // the real reply in the byte stream; skip past it.
+      // A late "abandon" for a lease that already closed — or a broadcast
+      // "learn" frame — can sit ahead of the real reply in the byte stream;
+      // fold learn frames and skip past both.
       while (status == FrameStatus::kOk && reply.find("type") != nullptr &&
-             reply.at("type").as_string() == "abandon") {
+             (reply.at("type").as_string() == "abandon" ||
+              reply.at("type").as_string() == "learn")) {
+        if (reply.at("type").as_string() == "learn") apply_learn_frame(reply);
         status = conn.recv(&reply, options.recv_timeout_ms);
       }
       if (status != FrameStatus::kOk) {
@@ -237,6 +322,9 @@ WorkerReport run_worker(const WorkerOptions& options) {
         for (const cert::Json& cursor : reply.at("skip").as_array()) {
           skip.insert(cursor.as_string());
         }
+        // Learning payload of the grant: the fleet's accumulated cuts and
+        // lemmas for this (property, query).
+        apply_learn_arrays(p, reply.find("cuts"), reply.find("lemmas"));
       }
     } catch (const std::exception& e) {
       report.note = std::string("malformed coordinator message: ") + e.what();
@@ -251,6 +339,11 @@ WorkerReport run_worker(const WorkerOptions& options) {
     const checker::IncrementalStats before = solver.stats();
     const int cut_count = static_cast<int>(properties[p].queries[q].cuts.size());
     LeaseExit exit = LeaseExit::kComplete;
+    // Per-lease learning accounting, reported in lease_done. New cuts ride
+    // on their unsat record frames; only lemmas travel in learn frames.
+    std::int64_t lease_cut = 0;
+    std::int64_t lease_hits = 0;
+    std::int64_t lease_learned = 0;
 
     // The coordinator can cut a lease short mid-stream with an "abandon"
     // frame — the property settled under another worker (first witness,
@@ -264,11 +357,14 @@ WorkerReport run_worker(const WorkerOptions& options) {
           return true;
         }
         const cert::Json* type = note.find("type");
-        if (type != nullptr && type->kind() == cert::Json::Kind::kString &&
-            type->as_string() == "abandon") {
+        if (type == nullptr || type->kind() != cert::Json::Kind::kString) continue;
+        if (type->as_string() == "abandon") {
           exit = LeaseExit::kAbandoned;
           return true;
         }
+        // Broadcast learning facts from other workers arrive mid-lease and
+        // take effect on the very next schema of this enumeration.
+        if (type->as_string() == "learn") apply_learn_frame(note);
       }
       return false;
     };
@@ -294,6 +390,12 @@ WorkerReport run_worker(const WorkerOptions& options) {
           }
           const std::string cursor = checker::schema_cursor(q, schema);
           if (skip.count(cursor) > 0) return true;  // settled before this lease
+          if (learn_mode && learning_for(p).queries[q].cuts.covers(schema.unlock_order)) {
+            // A recorded subtree cut refutes this schema without a solve (and
+            // without a record frame — the count travels in lease_done).
+            ++lease_cut;
+            return true;
+          }
           if (cone != nullptr && !cone->schema_feasible(schema)) {
             return stream(cert::Json::Object{{"type", "record"},
                                              {"lease", lease_id},
@@ -306,6 +408,18 @@ WorkerReport run_worker(const WorkerOptions& options) {
                                              {"note", ""}});
           }
           checker::UnitOutcome outcome = solver.solve(q, schema, cone, remaining());
+          lease_hits += outcome.lemma_hits;
+          lease_learned += outcome.lemmas_learned;
+          std::int64_t record_cut = -1;
+          if (learn_mode && outcome.kind == checker::UnitOutcome::Kind::kUnsat &&
+              outcome.cut_prefix >= 0 &&
+              outcome.cut_prefix <= static_cast<int>(schema.unlock_order.size())) {
+            std::vector<int> prefix(schema.unlock_order.begin(),
+                                    schema.unlock_order.begin() + outcome.cut_prefix);
+            if (learning_for(p).queries[q].cuts.add(prefix)) {
+              record_cut = outcome.cut_prefix;
+            }
+          }
           switch (outcome.kind) {
             case checker::UnitOutcome::Kind::kAborted:
               exit = LeaseExit::kAborted;
@@ -336,6 +450,9 @@ WorkerReport run_worker(const WorkerOptions& options) {
                                                      {"big", outcome.rational_big_ops},
                                                      {"retries", outcome.retries},
                                                      {"note", ""}};
+              // The cut rides on the record so the coordinator journals the
+              // verdict and the subtree cut in one atomic line.
+              if (record_cut >= 0) record.set("cut", record_cut);
               if (check.certify && outcome.proof) {
                 record.set("proof", cert::proof_to_json(*outcome.proof));
               }
@@ -389,10 +506,43 @@ WorkerReport run_worker(const WorkerOptions& options) {
       report.note = "connection lost";
       break;
     }
+    // Ship freshly learned lemmas before closing the lease, so the
+    // coordinator can fold them into future grants and broadcast them to
+    // the rest of the fleet. take_fresh() only returns locally learned
+    // lemmas — remote ones were inserted fresh=false and are not echoed.
+    // (Cuts already travelled on their unsat record frames.)
+    if (learn_mode) {
+      cert::Json::Array lemma_entries;
+      checker::PropertyLearning& learn = learning_for(p);
+      for (std::size_t lq = 0; lq < learn.queries.size(); ++lq) {
+        for (smt::Lemma& lemma : learn.queries[lq].lemmas.take_fresh()) {
+          cert::Json::Array premises;
+          for (const std::string& premise : lemma.premises) premises.push_back(premise);
+          lemma_entries.push_back(cert::Json::Object{
+              {"q", static_cast<std::int64_t>(lq)}, {"premises", std::move(premises)}});
+        }
+      }
+      if (!lemma_entries.empty()) {
+        cert::Json frame =
+            cert::Json::Object{{"type", "learn"},
+                               {"p", static_cast<std::int64_t>(p)},
+                               {"lemmas", std::move(lemma_entries)}};
+        if (!conn.send(frame)) {
+          report.note = "connection lost";
+          break;
+        }
+      }
+    }
     const checker::IncrementalStats after = solver.stats();
-    if (!conn.send(cert::Json::Object{{"type", "lease_done"},
-                                      {"lease", lease_id},
-                                      {"stats", stats_delta(before, after)}})) {
+    cert::Json done = cert::Json::Object{{"type", "lease_done"},
+                                         {"lease", lease_id},
+                                         {"stats", stats_delta(before, after)}};
+    if (learn_mode) {
+      done.set("cut", lease_cut);
+      done.set("hits", lease_hits);
+      done.set("learned", lease_learned);
+    }
+    if (!conn.send(done)) {
       report.note = "connection lost";
       break;
     }

@@ -12,14 +12,24 @@ Solver::Solver() = default;
 
 void Solver::enable_certificates() {
   HV_REQUIRE(names_.empty() && scopes_.empty() && atoms_.empty() && clauses_.empty());
-  HV_REQUIRE(!trace_);
+  HV_REQUIRE(!trace_ && !learn_);
   certify_ = true;
+  simplex_.set_conflict_tracking(true);
+}
+
+void Solver::enable_learning(LemmaPool* pool) {
+  HV_REQUIRE(names_.empty() && scopes_.empty() && atoms_.empty() && clauses_.empty());
+  HV_REQUIRE(!trace_ && !certify_);
+  learn_ = true;
+  lemmas_ = pool;
+  // Conflict explanations carry the premise tags the depth fold and lemma
+  // extraction read.
   simplex_.set_conflict_tracking(true);
 }
 
 void Solver::enable_trace() {
   HV_REQUIRE(names_.empty() && scopes_.empty() && atoms_.empty() && clauses_.empty());
-  HV_REQUIRE(!certify_);
+  HV_REQUIRE(!certify_ && !learn_);
   trace_ = true;
 }
 
@@ -31,7 +41,7 @@ VarId Solver::new_variable(std::string name) {
   const int var = simplex_.add_variable();
   HV_REQUIRE(var == static_cast<int>(names_.size()));
   names_.push_back(std::move(name));
-  if (certify_) slack_defs_.emplace_back();
+  if (certify_ || learn_) slack_defs_.emplace_back();
   return var;
 }
 
@@ -42,11 +52,12 @@ void Solver::add_lower_bound(VarId var, const BigInt& bound) {
     return;
   }
   int tag = -1;
-  if (certify_) {
+  if (certify_ || learn_) {
     tag = record_premise(proof::PremiseOrigin::kConstraint, -1, true, var, Relation::kGe, bound);
   }
   if (!simplex_.assert_lower(var, Rational(bound), tag)) {
-    mark_trivially_unsat(certify_ ? farkas_from_conflict() : nullptr);
+    mark_trivially_unsat(certify_ ? farkas_from_conflict() : nullptr,
+                         learn_ ? note_simplex_conflict() : 0);
   }
 }
 
@@ -57,18 +68,23 @@ void Solver::add_upper_bound(VarId var, const BigInt& bound) {
     return;
   }
   int tag = -1;
-  if (certify_) {
+  if (certify_ || learn_) {
     tag = record_premise(proof::PremiseOrigin::kConstraint, -1, true, var, Relation::kLe, bound);
   }
   if (!simplex_.assert_upper(var, Rational(bound), tag)) {
-    mark_trivially_unsat(certify_ ? farkas_from_conflict() : nullptr);
+    mark_trivially_unsat(certify_ ? farkas_from_conflict() : nullptr,
+                         learn_ ? note_simplex_conflict() : 0);
   }
 }
 
-void Solver::mark_trivially_unsat(std::unique_ptr<proof::Node> proof) {
+void Solver::mark_trivially_unsat(std::unique_ptr<proof::Node> proof, int depth) {
   // First conflict wins: a later scope may re-derive unsatisfiability, but
-  // the active proof must explain the state the flag was first set in.
-  if (certify_ && !trivially_unsat_) trivial_proof_ = std::move(proof);
+  // the active proof (and its conflict depth) must explain the state the
+  // flag was first set in.
+  if (!trivially_unsat_) {
+    if (certify_) trivial_proof_ = std::move(proof);
+    trivial_depth_ = depth;
+  }
   trivially_unsat_ = true;
 }
 
@@ -99,7 +115,7 @@ int Solver::slack_for(const std::vector<std::pair<int, BigInt>>& terms) {
   if (it != slack_pool_.end()) return it->second;
   const int slack = simplex_.add_row(terms);
   names_.push_back("slack#" + std::to_string(slack));
-  if (certify_) slack_defs_.push_back(terms);
+  if (certify_ || learn_) slack_defs_.push_back(terms);
   slack_pool_.emplace(key, slack);
   // The slack's row dies with the current scope; the pool entry must die
   // with it, or a later scope would alias a recycled variable index.
@@ -115,6 +131,7 @@ void Solver::push() {
   scope.premise_count = premises_.size();
   scope.trace_constraint_count = traced_constraints_.size();
   scope.trivially_unsat = trivially_unsat_;
+  scope.trivial_depth = trivial_depth_;
   scope.trivial_proof = trivial_proof_;
   scopes_.push_back(std::move(scope));
   if (!trace_) simplex_.push();
@@ -130,11 +147,25 @@ void Solver::pop() {
     atoms_.resize(scope.atom_count);
   }
   clauses_.resize(scope.clause_count);
+  clause_depths_.resize(scope.clause_count);
   names_.resize(scope.name_count);
+  if (learn_) {
+    // Retract the signature index entries of the premises dying with this
+    // scope (their depth entries are the suffix of each signature's list).
+    for (std::size_t i = scope.premise_count; i < premises_.size(); ++i) {
+      const PremiseRec& rec = premises_[i];
+      if (rec.sig.empty()) continue;
+      const auto it = asserted_sigs_.find(rec.sig);
+      HV_REQUIRE(it != asserted_sigs_.end() && !it->second.empty());
+      it->second.pop_back();
+      if (it->second.empty()) asserted_sigs_.erase(it);
+    }
+  }
   premises_.resize(scope.premise_count);
   traced_constraints_.resize(scope.trace_constraint_count);
-  if (certify_) slack_defs_.resize(scope.name_count);
+  if (certify_ || learn_) slack_defs_.resize(scope.name_count);
   trivially_unsat_ = scope.trivially_unsat;
+  trivial_depth_ = scope.trivial_depth;
   trivial_proof_ = scope.trivial_proof;
   for (const std::string& key : scope.slack_keys) slack_pool_.erase(key);
   scopes_.pop_back();
@@ -218,12 +249,16 @@ void Solver::add(const LinearConstraint& constraint) {
   const NormalizedAtom atom = normalize(constraint);
   if (atom.constant) {
     if (!atom.constant_value) {
-      mark_trivially_unsat(certify_ ? constant_false_node(-1, true) : nullptr);
+      // The falsehood is the added constraint itself, which lives in the
+      // current scope — that is its conflict depth.
+      mark_trivially_unsat(certify_ ? constant_false_node(-1, true) : nullptr,
+                           static_cast<int>(scopes_.size()));
     }
     return;
   }
   if (!assert_atom(atom, /*positive=*/true, proof::PremiseOrigin::kConstraint, -1)) {
-    mark_trivially_unsat(certify_ ? farkas_from_conflict() : nullptr);
+    mark_trivially_unsat(certify_ ? farkas_from_conflict() : nullptr,
+                         learn_ ? note_simplex_conflict() : 0);
   }
 }
 
@@ -242,6 +277,7 @@ void Solver::add_clause(std::vector<Literal> literals) {
       HV_REQUIRE(literal.atom >= 0 && literal.atom < static_cast<int>(traced_atoms_.size()));
     }
     clauses_.push_back(std::move(literals));
+    clause_depths_.push_back(static_cast<int>(scopes_.size()));
     return;
   }
   for (const Literal& literal : literals) {
@@ -252,11 +288,18 @@ void Solver::add_clause(std::vector<Literal> literals) {
     }
   }
   clauses_.push_back(std::move(literals));
+  clause_depths_.push_back(static_cast<int>(scopes_.size()));
 }
 
 int Solver::record_premise(proof::PremiseOrigin origin, int atom, bool positive, int var,
                            Relation rel, BigInt bound) {
-  premises_.push_back({origin, atom, positive, var, rel, std::move(bound)});
+  PremiseRec rec{origin, atom, positive, var, rel, std::move(bound),
+                 static_cast<int>(scopes_.size()), {}};
+  if (learn_ && origin == proof::PremiseOrigin::kConstraint) {
+    rec.sig = premise_signature(var, rel, rec.bound);
+    asserted_sigs_[rec.sig].push_back(rec.depth);
+  }
+  premises_.push_back(std::move(rec));
   return static_cast<int>(premises_.size()) - 1;
 }
 
@@ -271,6 +314,62 @@ proof::NamedTerms Solver::named_terms_for(int var) const {
   std::sort(terms.begin(), terms.end(),
             [](const auto& lhs, const auto& rhs) { return lhs.first < rhs.first; });
   return terms;
+}
+
+std::string Solver::premise_signature(int var, Relation rel, const BigInt& bound) const {
+  const proof::NamedTerms terms = named_terms_for(var);
+  std::string sig;
+  for (const auto& [name, coeff] : terms) {
+    sig += coeff.to_string();
+    sig += '*';
+    sig += name;
+    sig += '+';
+  }
+  switch (rel) {
+    case Relation::kLe:
+      sig += "<=";
+      break;
+    case Relation::kGe:
+      sig += ">=";
+      break;
+    case Relation::kEq:
+      sig += "==";
+      break;
+  }
+  sig += bound.to_string();
+  return sig;
+}
+
+int Solver::note_simplex_conflict() {
+  // The simplex's explanation is a Farkas combination of asserted bounds.
+  // Cited permanent constraints pin the conflict to the scope they were
+  // asserted in; cited atom bounds are justified by the tautological
+  // decision splits / folded propagation clauses above them, and cited
+  // branch bounds by the integer split x<=c or x>=c+1, so neither deepens
+  // the refutation's scope requirement.
+  int depth = 0;
+  bool pure = true;
+  Lemma lemma;
+  for (const auto& [tag, multiplier] : simplex_.last_conflict()) {
+    HV_REQUIRE(tag >= 0 && tag < static_cast<int>(premises_.size()));
+    const PremiseRec& rec = premises_[tag];
+    if (rec.origin == proof::PremiseOrigin::kConstraint) {
+      depth = std::max(depth, rec.depth);
+      if (lemmas_ != nullptr) lemma.premises.push_back(rec.sig);
+    } else {
+      pure = false;
+    }
+    (void)multiplier;
+  }
+  conflict_scope_depth_ = std::max(conflict_scope_depth_, depth);
+  if (pure && lemmas_ != nullptr && !lemma.premises.empty()) {
+    if (lemmas_->insert(std::move(lemma))) ++stats_.lemmas_learned;
+  }
+  return depth;
+}
+
+void Solver::note_clause_depth(int clause) {
+  conflict_scope_depth_ = std::max(conflict_scope_depth_, clause_depths_[clause]);
 }
 
 std::unique_ptr<proof::Node> Solver::farkas_from_conflict() const {
@@ -329,7 +428,7 @@ bool Solver::assert_atom(const NormalizedAtom& atom, bool positive,
   HV_REQUIRE(!atom.constant);
   const Rational bound{atom.bound};
   const auto tag = [&](Relation rel, BigInt premise_bound) {
-    return certify_
+    return certify_ || learn_
                ? record_premise(origin, atom_index, positive, atom.var, rel,
                                 std::move(premise_bound))
                : -1;
@@ -363,12 +462,31 @@ CheckResult Solver::check() {
   simplex_.set_pivot_limit(pivot_budget_ > 0 ? simplex_.stats().pivots + pivot_budget_ : 0);
   last_proof_.reset();
   pending_conflict_.reset();
+  conflict_scope_depth_ = 0;
   if (trivially_unsat_) {
     if (certify_) {
       HV_REQUIRE(trivial_proof_ != nullptr);
       last_proof_ = proof::clone(*trivial_proof_);
     }
+    conflict_scope_depth_ = trivial_depth_;
     return CheckResult::kUnsat;
+  }
+  if (learn_ && lemmas_ != nullptr) {
+    // A pooled lemma whose premises are all currently asserted refutes this
+    // context without touching the simplex. The depth it reports is the
+    // deepest scope any matched premise needs, so the subtree-cut contract
+    // of conflict_scope_depth() carries over.
+    int depth = -1;
+    const auto min_depth = [&](const std::string& sig) -> int {
+      const auto it = asserted_sigs_.find(sig);
+      if (it == asserted_sigs_.end() || it->second.empty()) return -1;
+      return it->second.front();
+    };
+    if (lemmas_->probe(min_depth, &depth)) {
+      ++stats_.lemma_hits;
+      conflict_scope_depth_ = depth;
+      return CheckResult::kUnsat;
+    }
   }
   assignment_.assign(atoms_.size(), -1);
   // Pre-assign constant atoms.
@@ -382,9 +500,11 @@ CheckResult Solver::check() {
   const std::size_t premise_mark = premises_.size();
   std::unique_ptr<proof::Node> root;
   const CheckResult result = search(certify_ ? &root : nullptr);
-  if (certify_) {
+  if (certify_ || learn_) {
+    // Search-time premises are kAtom/kBranch only, so the learning-mode
+    // signature index (kConstraint premises) is unaffected by the rollback.
     premises_.resize(premise_mark);
-    if (result == CheckResult::kUnsat) {
+    if (certify_ && result == CheckResult::kUnsat) {
       HV_REQUIRE(root != nullptr);
       last_proof_ = std::move(root);
     }
@@ -411,6 +531,7 @@ bool Solver::set_atom(int atom, bool value) {
   }
   if (assert_atom(normalized, value, proof::PremiseOrigin::kAtom, atom)) return true;
   if (certify_) pending_conflict_ = farkas_from_conflict();
+  if (learn_) note_simplex_conflict();
   return false;
 }
 
@@ -454,6 +575,7 @@ int Solver::propagate_and_select(std::vector<std::pair<int, Literal>>* props) {
           node->clause = c;
           pending_conflict_ = std::move(node);
         }
+        if (learn_) note_clause_depth(c);
         return -2;  // conflict
       }
       if (unassigned_count == 1) {
@@ -461,10 +583,14 @@ int Solver::propagate_and_select(std::vector<std::pair<int, Literal>>* props) {
         // Record the forced literal before asserting it, so a conflict
         // inside set_atom still sits below its propagation in the proof.
         if (certify_ && props != nullptr) props->emplace_back(c, *unit);
+        // The refutation below may lean on this forced literal, and the
+        // forcing cites the clause — fold its depth in now.
+        if (learn_) note_clause_depth(c);
         if (!set_atom(unit->atom, unit->positive)) return -2;
         ++stats_.simplex_checks;
         if (!simplex_.check()) {
           if (certify_) pending_conflict_ = farkas_from_conflict();
+          if (learn_) note_simplex_conflict();
           return -2;
         }
         propagated = true;
@@ -495,6 +621,7 @@ CheckResult Solver::search(std::unique_ptr<proof::Node>* out) {
     ++stats_.simplex_checks;
     if (!simplex_.check()) {
       if (certify_) *out = wrap_propagations(props, farkas_from_conflict());
+      if (learn_) note_simplex_conflict();
       restore();
       return CheckResult::kUnsat;
     }
@@ -535,7 +662,10 @@ CheckResult Solver::search(std::unique_ptr<proof::Node>* out) {
     if (feasible) {
       ++stats_.simplex_checks;
       feasible = simplex_.check();
-      if (!feasible && certify_) *child = farkas_from_conflict();
+      if (!feasible) {
+        if (certify_) *child = farkas_from_conflict();
+        if (learn_) note_simplex_conflict();
+      }
     }
     if (feasible && search(child) == CheckResult::kSat) {
       simplex_.pop();
@@ -585,7 +715,7 @@ bool Solver::branch_and_bound(int depth, std::unique_ptr<proof::Node>* out) {
   for (const bool low_side : {true, false}) {
     simplex_.push();
     int tag = -1;
-    if (certify_) {
+    if (certify_ || learn_) {
       tag = record_premise(proof::PremiseOrigin::kBranch, -1, true, fractional,
                            low_side ? Relation::kLe : Relation::kGe,
                            low_side ? floor : floor + BigInt(1));
@@ -594,11 +724,17 @@ bool Solver::branch_and_bound(int depth, std::unique_ptr<proof::Node>* out) {
         certify_ ? (low_side ? &low_proof : &high_proof) : nullptr;
     bool ok = low_side ? simplex_.assert_upper(fractional, Rational(floor), tag)
                        : simplex_.assert_lower(fractional, Rational(floor + 1), tag);
-    if (!ok && certify_) *child = farkas_from_conflict();
+    if (!ok) {
+      if (certify_) *child = farkas_from_conflict();
+      if (learn_) note_simplex_conflict();
+    }
     ++stats_.simplex_checks;
     if (ok) {
       ok = simplex_.check();
-      if (!ok && certify_) *child = farkas_from_conflict();
+      if (!ok) {
+        if (certify_) *child = farkas_from_conflict();
+        if (learn_) note_simplex_conflict();
+      }
     }
     if (ok && branch_and_bound(depth + 1, child)) {
       simplex_.pop();

@@ -34,8 +34,10 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
+#include "hv/smt/lemma.h"
 #include "hv/smt/linear.h"
 #include "hv/smt/proof.h"
 #include "hv/smt/simplex.h"
@@ -93,6 +95,8 @@ class Solver {
     std::int64_t propagations = 0;
     std::int64_t simplex_checks = 0;
     std::int64_t branch_nodes = 0;
+    std::int64_t lemma_hits = 0;       // check()s short-circuited by the pool
+    std::int64_t lemmas_learned = 0;   // pure-Farkas conflicts banked
   };
   const Stats& stats() const noexcept { return stats_; }
   /// Cumulative simplex pivots (feasibility search; excludes the structural
@@ -129,6 +133,29 @@ class Solver {
   /// model in model_assignment().
   void enable_certificates();
   bool certifying() const noexcept { return certify_; }
+
+  // --- learning mode ---------------------------------------------------------
+
+  /// Turns on cross-check learning against a shared Farkas lemma pool. Must
+  /// be called on a pristine solver; mutually exclusive with
+  /// enable_certificates()/enable_trace() (learning elides work, which
+  /// would leave coverage holes in a certificate). The pool must outlive
+  /// the solver; nullptr keeps conflict-depth tracking without a pool.
+  ///
+  /// Effects: pure-Farkas conflicts (every cited premise a permanent
+  /// constraint) are banked into the pool; check() probes the pool against
+  /// the currently asserted constraints and short-circuits to kUnsat on a
+  /// hit; every kUnsat check() additionally reports conflict_scope_depth().
+  void enable_learning(LemmaPool* pool);
+  bool learning() const noexcept { return learn_; }
+
+  /// After check() == kUnsat in learning mode: the smallest scope depth d
+  /// such that the refutation only used permanent constraints recorded at
+  /// depth <= d and clauses created at depth <= d (decision splits on atoms
+  /// and integer branch bounds are tautological, so they never deepen it).
+  /// The assertion stack truncated to its first d scopes — plus the base
+  /// scope — is therefore already unsatisfiable.
+  int conflict_scope_depth() const noexcept { return conflict_scope_depth_; }
 
   /// Proof for the most recent check() == kUnsat (null after kSat or when
   /// certificates are disabled). Valid until the next check().
@@ -179,6 +206,11 @@ class Solver {
     int var = -1;
     Relation rel = Relation::kLe;
     BigInt bound;
+    // Learning mode: scope depth the premise was asserted at, and (for
+    // kConstraint premises) the canonical name-space inequality string used
+    // as its lemma-pool signature.
+    int depth = 0;
+    std::string sig;
   };
 
   NormalizedAtom normalize(const LinearConstraint& constraint);
@@ -193,6 +225,15 @@ class Solver {
                      Relation rel, BigInt bound);
   // The (slack-substituted) named terms the simplex variable stands for.
   proof::NamedTerms named_terms_for(int var) const;
+  // Canonical name-space rendering of "terms(var) rel bound" (lemma-pool
+  // signature; learning mode only).
+  std::string premise_signature(int var, Relation rel, const BigInt& bound) const;
+  // Learning mode, called at every simplex conflict: folds the depth of the
+  // cited permanent constraints into conflict_scope_depth_, banks the
+  // conflict as a lemma when it is a pure Farkas combination of permanent
+  // constraints, and returns the conflict's own depth contribution.
+  int note_simplex_conflict();
+  void note_clause_depth(int clause);
   // Farkas leaf from the simplex's last conflict explanation.
   std::unique_ptr<proof::Node> farkas_from_conflict() const;
   // Farkas leaf "0 <= -1" citing a constraint/atom that normalizes to
@@ -201,7 +242,7 @@ class Solver {
   std::unique_ptr<proof::Node> take_pending_conflict();
   static std::unique_ptr<proof::Node> wrap_propagations(
       std::vector<std::pair<int, Literal>>& props, std::unique_ptr<proof::Node> leaf);
-  void mark_trivially_unsat(std::unique_ptr<proof::Node> proof);
+  void mark_trivially_unsat(std::unique_ptr<proof::Node> proof, int depth = 0);
 
   // DPLL over clauses; assignment_ holds per-atom values. On kUnsat in
   // certificate mode, *out receives the proof of the current context.
@@ -229,6 +270,7 @@ class Solver {
     std::size_t premise_count = 0;
     std::size_t trace_constraint_count = 0;
     bool trivially_unsat = false;
+    int trivial_depth = 0;
     // The trivial-unsat proof active when the scope opened (shared so the
     // scope snapshot is a cheap copy).
     std::shared_ptr<proof::Node> trivial_proof;
@@ -241,8 +283,10 @@ class Solver {
   std::vector<Scope> scopes_;
   std::vector<NormalizedAtom> atoms_;
   std::vector<std::vector<Literal>> clauses_;
+  std::vector<int> clause_depths_;  // scope depth each clause was created at
   std::vector<signed char> assignment_;  // -1 unassigned, 0 false, 1 true
   bool trivially_unsat_ = false;
+  int trivial_depth_ = 0;
   std::vector<Rational> model_;
 
   // Certificate mode.
@@ -254,6 +298,15 @@ class Solver {
   std::unique_ptr<proof::Node> last_proof_;
   std::shared_ptr<proof::Node> trivial_proof_;
   std::unique_ptr<proof::Node> pending_conflict_;
+
+  // Learning mode.
+  bool learn_ = false;
+  LemmaPool* lemmas_ = nullptr;
+  int conflict_scope_depth_ = 0;
+  // Canonical inequality string -> ascending scope depths currently
+  // asserting it (premises are recorded/retracted stack-wise, so each
+  // vector stays sorted and pop() trims a suffix).
+  std::unordered_map<std::string, std::vector<int>> asserted_sigs_;
 
   // Trace mode.
   bool trace_ = false;

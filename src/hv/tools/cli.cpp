@@ -34,8 +34,8 @@ namespace {
 constexpr const char* kUsage = R"(usage:
   hvc check <model.ta> [--prop "<ltl>"] [--name N] [--timeout S]
                        [--max-schemas K] [--workers N] [--threads W]
-                       [--no-pruning] [--no-incremental] [--json]
-                       [--certify] [--cert-out cert.json]
+                       [--no-pruning] [--no-incremental] [--no-lemmas]
+                       [--json] [--certify] [--cert-out cert.json]
                        [--journal run.jsonl] [--resume run.jsonl]
                        [--schema-timeout S] [--pivot-budget K]
                        [--memory-budget MB] [--no-retry]
@@ -51,8 +51,10 @@ constexpr const char* kUsage = R"(usage:
         per-schema watchdogs and --memory-budget a soft RSS cap: a schema
         that trips one is retried on a fresh solver, then recorded as
         unknown — the run continues. SIGINT/SIGTERM flush the journal and
-        print the partial results. HV_FAULT_KIND/_AT/_EVERY/_STALL_MS arm
-        deterministic fault injection for testing.)
+        print the partial results. --no-lemmas (or HV_NO_LEMMAS=1) disables
+        cross-schema learning — the Farkas lemma pool and core-based
+        subtree cuts; verdicts are identical either way. HV_FAULT_KIND/
+        _AT/_EVERY/_STALL_MS arm deterministic fault injection for testing.)
   hvc serve <model.ta> --listen <addr> [--prop "<ltl>"] [--name N]
                        [--expected-workers N] [--lease-timeout S]
                        [... same checking flags as hvc check ...]
@@ -220,6 +222,9 @@ void print_result_json(const ta::ThresholdAutomaton& ta, const checker::Property
   out << "{\"property\": \"" << json_escape(result.property) << "\", \"verdict\": \""
       << checker::to_string(result.verdict) << "\", \"schemas\": "
       << result.schemas_checked << ", \"pruned\": " << result.schemas_pruned
+      << ", \"cut\": " << result.schemas_cut
+      << ", \"lemma_hits\": " << result.lemma_hits
+      << ", \"lemmas_learned\": " << result.lemmas_learned
       << ", \"unknown_schemas\": " << result.schemas_unknown
       << ", \"resumed\": " << result.schemas_resumed << ", \"retries\": " << result.retries
       << ", \"seconds\": " << result.seconds << ", \"pivots\": " << result.simplex_pivots
@@ -249,6 +254,10 @@ void print_result_text(const ta::ThresholdAutomaton& ta, const checker::Property
     out << "arithmetic: " << result.rational_fast_ops << " fast-path ops, "
         << result.rational_big_ops << " bigint ops ("
         << static_cast<int>(rational_fast_ratio(result) * 100.0) << "% fast)\n";
+  }
+  if (result.schemas_cut > 0 || result.lemma_hits > 0 || result.lemmas_learned > 0) {
+    out << "learning: " << result.schemas_cut << " schemas cut, " << result.lemma_hits
+        << " lemma hits, " << result.lemmas_learned << " lemmas learned\n";
   }
   if (result.schemas_unknown > 0 || result.schemas_resumed > 0 || result.retries > 0) {
     out << "robustness: " << result.schemas_unknown << " schemas unknown, "
@@ -292,6 +301,8 @@ int command_check(Args& args, std::ostream& out) {
       options.property_directed_pruning = false;
     } else if (args.boolean("--no-incremental")) {
       options.incremental = false;
+    } else if (args.boolean("--no-lemmas")) {
+      options.lemmas = false;
     } else if (args.boolean("--json")) {
       json = true;
     } else if (args.boolean("--certify")) {
@@ -425,6 +436,8 @@ int command_serve(Args& args, std::ostream& out) {
       options.property_directed_pruning = false;
     } else if (args.boolean("--no-incremental")) {
       options.incremental = false;
+    } else if (args.boolean("--no-lemmas")) {
+      options.lemmas = false;
     } else if (args.boolean("--json")) {
       json = true;
     } else if (args.boolean("--certify")) {

@@ -147,7 +147,8 @@ TEST_F(CliTest, JsonOutputMatchesGoldenSchema) {
       std::regex_replace(out_.str(), std::regex(R"((": )-?[0-9][-+.eE0-9]*)"), "$1#");
   EXPECT_EQ(normalized,
             "{\"property\": \"safe\", \"verdict\": \"holds\", \"schemas\": #, "
-            "\"pruned\": #, \"unknown_schemas\": #, \"resumed\": #, \"retries\": #, "
+            "\"pruned\": #, \"cut\": #, \"lemma_hits\": #, \"lemmas_learned\": #, "
+            "\"unknown_schemas\": #, \"resumed\": #, \"retries\": #, "
             "\"seconds\": #, \"pivots\": #, \"rational_fast_ops\": #, "
             "\"rational_big_ops\": #, \"rational_fast_ratio\": #, \"note\": \"\", "
             "\"segments_pushed\": #, \"segments_popped\": #, \"segments_reused\": #, "

@@ -426,6 +426,66 @@ TEST(DistEndToEnd, MalformedMessagesCostTheConnectionNotTheRun) {
   EXPECT_EQ(run.results[0].schemas_checked, reference[0].schemas_checked);
 }
 
+TEST(DistEndToEnd, LegacyPeerWithoutFeaturesDegrades) {
+  // Feature negotiation: a pre-learning peer sends a hello with no
+  // "features" array. The coordinator must serve it anyway — grant leases
+  // without learning payloads and never push learn frames at it — while
+  // modern workers on the same run still finish with the right verdict.
+  const std::string address = "unix:" + temp_path("dist_legacy.sock");
+  ServeRun run;
+  DistOptions options;
+  options.lease_timeout_seconds = 30.0;  // reassignment must come from the EOF
+  if (!checker::lemmas_enabled(options.check)) {
+    GTEST_SKIP() << "learning disabled (HV_NO_LEMMAS)";
+  }
+  run.start(address, {{"safe", kHoldsFormula, false}}, options);
+
+  int fd = -1;
+  for (int spin = 0; spin < 500 && fd < 0; ++spin) {
+    fd = connect_to(parse_address(address));
+    if (fd < 0) std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ASSERT_GE(fd, 0);
+  {
+    Conn conn(fd);
+    ASSERT_TRUE(conn.send(cert::Json::Object{
+        {"type", "hello"}, {"protocol", kDistProtocolVersion}, {"label", "legacy"}}));
+    cert::Json welcome;
+    ASSERT_EQ(conn.recv(&welcome, 5'000), FrameStatus::kOk);
+    ASSERT_EQ(welcome.at("type").as_string(), "welcome");
+    // The coordinator advertises its own features regardless; an old peer
+    // simply ignores the unknown field.
+    const cert::Json* features = welcome.find("features");
+    ASSERT_NE(features, nullptr);
+    bool advertises_learn = false;
+    for (const cert::Json& feature : features->as_array()) {
+      advertises_learn = advertises_learn || feature.as_string() == "learn";
+    }
+    EXPECT_TRUE(advertises_learn);
+
+    // The legacy peer is granted a lease like anyone else, but the grant
+    // must not carry fields it cannot parse.
+    ASSERT_TRUE(conn.send(cert::Json::Object{{"type", "next"}}));
+    cert::Json reply;
+    ASSERT_EQ(conn.recv(&reply, 5'000), FrameStatus::kOk);
+    ASSERT_EQ(reply.at("type").as_string(), "lease");
+    EXPECT_EQ(reply.find("cuts"), nullptr);
+    EXPECT_EQ(reply.find("lemmas"), nullptr);
+    conn.close();  // dies holding the lease; the EOF returns it to the pool
+  }
+
+  const WorkerReport survivor = run_one_worker(address, "modern");
+  run.join();
+  ASSERT_TRUE(run.error.empty()) << run.error;
+  EXPECT_TRUE(survivor.completed) << survivor.note;
+  ASSERT_EQ(run.results.size(), 1u);
+  EXPECT_EQ(run.results[0].verdict, checker::Verdict::kHolds);
+  const auto reference = reference_check("safe", kHoldsFormula, options.check);
+  EXPECT_EQ(run.results[0].schemas_checked, reference[0].schemas_checked);
+  EXPECT_EQ(run.stats.workers_joined, 2);
+  EXPECT_EQ(run.stats.workers_lost, 1);
+}
+
 TEST(DistEndToEnd, ResumesFromAJournal) {
   const std::string journal = temp_path("dist_resume.jsonl");
   const std::string address1 = "unix:" + temp_path("dist_resume1.sock");

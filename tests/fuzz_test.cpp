@@ -205,6 +205,48 @@ TEST_P(DifferentialFuzz, CertificateAuditsGreen) {
   EXPECT_EQ(report.properties_audited, expected);
 }
 
+TEST_P(DifferentialFuzz, LearningOnAndOffAgree) {
+  // Cross-schema learning (Farkas lemma pool + core-based subtree cuts) must
+  // be verdict-preserving on arbitrary automata: a learned fact only ever
+  // skips solver work whose unsat outcome is already entailed, so the
+  // verdict, and for complete runs the schema accounting, must agree with a
+  // learning-free run.
+  std::mt19937_64 rng(GetParam() * 31337 + 3);
+  const ta::ThresholdAutomaton automaton = ta::random_automaton({}, GetParam() + 2000);
+  for (int round = 0; round < 4; ++round) {
+    const std::string text = random_safety_property(automaton, rng);
+    spec::Property property;
+    try {
+      property = spec::compile(automaton, "learned", text);
+    } catch (const hv::InvalidArgument&) {
+      continue;
+    }
+    CheckOptions learning;
+    learning.enumeration.max_schemas = 200'000;
+    learning.timeout_seconds = 20.0;
+    CheckOptions plain = learning;
+    plain.lemmas = false;
+    const PropertyResult on = check_property(automaton, property, learning);
+    const PropertyResult off = check_property(automaton, property, plain);
+    if (on.verdict == Verdict::kUnknown || off.verdict == Verdict::kUnknown) continue;
+    EXPECT_EQ(on.verdict, off.verdict) << "seed=" << GetParam() << " property=" << text;
+    // The learning-free run must not report learning activity.
+    EXPECT_EQ(off.schemas_cut, 0) << text;
+    EXPECT_EQ(off.lemma_hits, 0) << text;
+    EXPECT_EQ(off.lemmas_learned, 0) << text;
+    // Learning only skips solves; it can never add them.
+    EXPECT_LE(on.schemas_checked, off.schemas_checked)
+        << "seed=" << GetParam() << " property=" << text;
+    if (on.verdict == Verdict::kHolds) {
+      // Both runs enumerate the identical schema sequence to completion, so
+      // every schema is either solved, cone-pruned or cut.
+      EXPECT_EQ(on.schemas_checked + on.schemas_pruned + on.schemas_cut,
+                off.schemas_checked + off.schemas_pruned)
+          << "seed=" << GetParam() << " property=" << text;
+    }
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialFuzz, ::testing::Range<std::uint64_t>(1, 26));
 
 }  // namespace

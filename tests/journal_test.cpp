@@ -5,6 +5,8 @@
 #include <cstdio>
 #include <fstream>
 
+#include "hv/checker/parameterized.h"
+#include "hv/models/simplified_consensus.h"
 #include "hv/util/error.h"
 #include "hv/util/version.h"
 
@@ -233,6 +235,71 @@ TEST(JournalTest, HeaderRecordsModelHashAndVersion) {
     file << "{\"hv_journal\":2,\"automaton\":\"Echo\",\"model_hash\":\"deadbeefdeadbeef\"}\n";
   }
   EXPECT_THROW(load_journal(path), Error);
+}
+
+TEST(JournalTest, CutFieldRoundTrips) {
+  // An unsat record may carry a subtree-cut prefix length; it rides on the
+  // record itself so a kill can never separate the verdict from the cut.
+  const std::string path = temp_path("journal_cut.jsonl");
+  {
+    ProgressJournal journal(path, "Echo");
+    JournalRecord with_cut = record("safe", "q0|2,0,1|", "unsat", 4, 17);
+    with_cut.cut = 2;
+    journal.append(with_cut);
+    journal.append(record("safe", "q0|0|2", "unsat", 3, 5));
+  }
+  const ResumeState state = load_journal(path);
+  ASSERT_NE(state.find("safe", "q0|2,0,1|"), nullptr);
+  EXPECT_EQ(state.find("safe", "q0|2,0,1|")->cut, 2);
+  // Records without the field load as "no cut".
+  ASSERT_NE(state.find("safe", "q0|0|2"), nullptr);
+  EXPECT_EQ(state.find("safe", "q0|0|2")->cut, -1);
+}
+
+TEST(JournalTest, ResumeReplaysRecordedSubtreeCuts) {
+  // A run interrupted after journaling cut-bearing unsat records must, on
+  // resume, replay those cuts: the subtrees they cover are skipped without
+  // re-solving, and the verdict matches an uninterrupted run.
+  const ta::ThresholdAutomaton ta = hv::models::simplified_consensus_one_round();
+  spec::Property property;
+  bool found = false;
+  for (const auto& candidate : hv::models::simplified_properties(ta)) {
+    if (candidate.name == "Inv2_0") {
+      property = candidate;
+      found = true;
+    }
+  }
+  ASSERT_TRUE(found);
+
+  CheckOptions options;
+  options.property_directed_pruning = false;  // cuts, not cone prunes
+  if (!lemmas_enabled(options)) GTEST_SKIP() << "learning disabled (HV_NO_LEMMAS)";
+  options.journal_path = temp_path("journal_cut_full.jsonl");
+  const PropertyResult reference = check_property(ta, property, options);
+  ASSERT_EQ(reference.verdict, Verdict::kHolds);
+  ASSERT_GT(reference.schemas_cut, 0);
+
+  // An "interrupted" run: the schema budget stops it partway through, after
+  // at least one cut-bearing unsat record reached the journal.
+  CheckOptions partial = options;
+  partial.journal_path = temp_path("journal_cut_partial.jsonl");
+  partial.enumeration.max_schemas = reference.schemas_checked / 2;
+  const PropertyResult first_half = check_property(ta, property, partial);
+  EXPECT_EQ(first_half.verdict, Verdict::kUnknown);
+  bool journaled_cut = false;
+  for (const auto& [key, settled] : load_journal(partial.journal_path).settled) {
+    journaled_cut = journaled_cut || (settled.verdict == "unsat" && settled.cut >= 0);
+  }
+  ASSERT_TRUE(journaled_cut) << "interrupted run recorded no subtree cut";
+
+  CheckOptions resumed = options;
+  resumed.journal_path = partial.journal_path;
+  resumed.resume_path = partial.journal_path;
+  const PropertyResult second_half = check_property(ta, property, resumed);
+  EXPECT_EQ(second_half.verdict, reference.verdict);
+  EXPECT_GT(second_half.schemas_resumed, 0);
+  // The replayed cuts keep pruning past the resume point.
+  EXPECT_GT(second_half.schemas_cut, 0);
 }
 
 TEST(JournalTest, RepeatedIdenticalHeadersAreFine) {

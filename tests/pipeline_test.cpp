@@ -111,7 +111,9 @@ TEST(ModelVerificationTest, AgreementInvariantHolds) {
     if (property.name != "Inv1_0") continue;
     const PropertyResult result = checker::check_property(ta, property);
     EXPECT_EQ(result.verdict, Verdict::kHolds);
-    EXPECT_GT(result.schemas_checked, 1000);
+    // Cross-schema learning cuts most of the subtrees; the enumerated space
+    // (solved + cut) is still the paper-scale workload.
+    EXPECT_GT(result.schemas_checked + result.schemas_cut, 1000);
   }
 }
 

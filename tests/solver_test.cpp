@@ -517,5 +517,93 @@ TEST(SolverTest, PivotCounterAdvances) {
   EXPECT_GT(solver.pivots(), 0);
 }
 
+TEST(LemmaPoolTest, DedupCapacityAndFreshness) {
+  LemmaPool pool(/*capacity=*/2);
+  EXPECT_TRUE(pool.insert(Lemma{{"b>=1", "a<=0"}}));
+  EXPECT_FALSE(pool.insert(Lemma{{"a<=0", "b>=1"}}));  // same set, other order
+  EXPECT_TRUE(pool.insert(Lemma{{"c<=0"}}, /*fresh=*/false));  // imported
+  EXPECT_FALSE(pool.insert(Lemma{{"d>=9"}}));  // over capacity: dropped
+  EXPECT_FALSE(pool.insert(Lemma{}));          // empty premise set: meaningless
+  EXPECT_EQ(pool.size(), 2u);
+  // Only the locally derived lemma ships; a second drain is empty.
+  const std::vector<Lemma> fresh = pool.take_fresh();
+  ASSERT_EQ(fresh.size(), 1u);
+  EXPECT_EQ(fresh[0].premises, (std::vector<std::string>{"a<=0", "b>=1"}));
+  EXPECT_TRUE(pool.take_fresh().empty());
+  // A probe hits iff every premise of some lemma is asserted; the reported
+  // depth is that lemma's deepest premise.
+  int depth = -1;
+  const auto depths = [](const std::string& sig) {
+    if (sig == "a<=0") return 1;
+    if (sig == "b>=1") return 3;
+    return -1;  // "c<=0" not asserted
+  };
+  EXPECT_TRUE(pool.probe(depths, &depth));
+  EXPECT_EQ(depth, 3);
+  EXPECT_FALSE(pool.probe([](const std::string&) { return -1; }, &depth));
+}
+
+TEST(SolverTest, LearningFoldsConflictScopeDepth) {
+  LemmaPool pool;
+  Solver solver;
+  solver.enable_learning(&pool);
+  const VarId x = solver.new_variable("x");
+  solver.add(make_ge(var(x), LinearExpr(3)));  // scope depth 0
+  solver.push();
+  solver.add(make_le(var(x), LinearExpr(5)));  // scope depth 1
+  EXPECT_EQ(solver.check(), CheckResult::kSat);
+  solver.push();
+  solver.add(make_le(var(x), LinearExpr(2)));  // scope depth 2
+  EXPECT_EQ(solver.check(), CheckResult::kUnsat);
+  // The refutation cites x>=3 (scope 0) and x<=2 (scope 2): every context
+  // extending scope 2 is infeasible, nothing shallower is implicated.
+  EXPECT_EQ(solver.conflict_scope_depth(), 2);
+  EXPECT_GE(solver.stats().lemmas_learned, 1);
+  solver.pop();
+  EXPECT_EQ(solver.check(), CheckResult::kSat);
+}
+
+TEST(SolverTest, LemmaPoolShortCircuitsContentEqualConflicts) {
+  // The conflict must need simplex pivoting (a direct bound clash on one
+  // variable is caught eagerly at add() time, before the pool is probed):
+  // x + y <= 2 against x >= 2, y >= 1.
+  LemmaPool pool;
+  {
+    Solver first;
+    first.enable_learning(&pool);
+    const VarId x = first.new_variable("x");
+    const VarId y = first.new_variable("y");
+    first.add(make_le(var(x) + var(y), LinearExpr(2)));
+    first.push();
+    first.add(make_ge(var(x), LinearExpr(2)));
+    first.add(make_ge(var(y), LinearExpr(1)));
+    EXPECT_EQ(first.check(), CheckResult::kUnsat);
+    EXPECT_EQ(first.stats().lemma_hits, 0);  // nothing pooled yet: real solve
+    EXPECT_GE(first.stats().lemmas_learned, 1);
+  }
+  ASSERT_GE(pool.size(), 1u);
+  // A different solver asserting content-equal constraints (the canonical
+  // signatures are name-based, and multi-term bounds expand their slack
+  // definitions) is refuted straight from the pool, with the depth the
+  // premises need in *its* scope layout.
+  Solver second;
+  second.enable_learning(&pool);
+  const VarId x = second.new_variable("x");
+  const VarId y = second.new_variable("y");
+  second.add(make_le(var(x) + var(y), LinearExpr(2)));  // scope depth 0
+  second.push();
+  second.add(make_ge(var(x), LinearExpr(2)));  // scope depth 1
+  second.push();
+  second.add(make_ge(var(y), LinearExpr(1)));  // scope depth 2
+  EXPECT_EQ(second.check(), CheckResult::kUnsat);
+  EXPECT_EQ(second.stats().lemma_hits, 1);
+  EXPECT_EQ(second.pivots(), 0);  // refuted without touching the simplex
+  EXPECT_EQ(second.conflict_scope_depth(), 2);
+  // Popping the deepest premise removes the match: the pool no longer
+  // applies and the context is satisfiable again.
+  second.pop();
+  EXPECT_EQ(second.check(), CheckResult::kSat);
+}
+
 }  // namespace
 }  // namespace hv::smt
