@@ -1,0 +1,201 @@
+// Throughput and cache-hit latency of the multi-tenant verification
+// service.
+//
+// Runs an in-process daemon (unix socket, scratch state directory) and
+// drives it with frame-speaking clients, the same path `hvc submit` takes:
+//
+//   fresh phase   N distinct jobs (distinct property names force distinct
+//                 cache keys) submitted concurrently by M tenant threads;
+//                 reports end-to-end jobs/min through admission, fair-share
+//                 dispatch, solving and the fsync'd event log;
+//   cached phase  K identical resubmissions of one finished job; each is
+//                 answered from the content-addressed cache with zero
+//                 schemas solved — reports the median and maximum
+//                 submit-to-result round-trip in milliseconds.
+//
+// The model is the small Echo automaton (one schema per property), so the
+// fresh phase measures service overhead per job, not solver depth — the
+// honest denominator for a queueing benchmark. Emits BENCH_service.json
+// (override with --out FILE).
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "hv/service/client.h"
+#include "hv/service/daemon.h"
+#include "hv/util/error.h"
+#include "hv/util/stopwatch.h"
+
+namespace {
+
+constexpr const char* kEchoModel = R"(
+ta Echo {
+  parameters n, t, f;
+  shared x;
+  resilience n > 3*t;
+  resilience t >= f;
+  resilience f >= 0;
+  processes n - f;
+  initial A;
+  locations B, W, D;
+  rule announce: A -> B do x += 1;
+  rule wait: A -> W;
+  rule proceed: W -> D when x >= t + 1 - f;
+  selfloop B;
+  selfloop D;
+}
+)";
+
+constexpr const char* kFormula = "[](locB == 0) -> [](locD == 0)";
+
+hv::service::SubmitRequest request_for(const std::string& tenant, const std::string& name) {
+  hv::service::SubmitRequest request;
+  request.tenant = tenant;
+  request.model_text = kEchoModel;
+  request.specs = {{name, kFormula, /*bundled=*/false}};
+  return request;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_service.json";
+  int fresh_jobs = 24;
+  int tenants = 4;
+  int cached_round_trips = 100;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      fresh_jobs = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--tenants") == 0 && i + 1 < argc) {
+      tenants = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--hits") == 0 && i + 1 < argc) {
+      cached_round_trips = std::atoi(argv[++i]);
+    } else {
+      std::fprintf(stderr, "usage: %s [--out FILE] [--jobs N] [--tenants M] [--hits K]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  char state_template[] = "/tmp/hv_service_bench_XXXXXX";
+  if (::mkdtemp(state_template) == nullptr) {
+    std::fprintf(stderr, "cannot create scratch state directory\n");
+    return 2;
+  }
+  const std::string state_dir = state_template;
+  const std::string address = "unix:" + state_dir + "/daemon.sock";
+
+  hv::service::DaemonOptions options;
+  options.state_dir = state_dir + "/state";
+  options.limits.max_running = 2;
+  options.limits.tenant_max_running = 2;
+  options.limits.tenant_max_queued = 1024;
+  std::atomic<bool> stop{false};
+  options.stop = &stop;
+  hv::service::DaemonStats stats;
+  std::ostringstream daemon_log;
+  std::thread daemon([&] {
+    try {
+      hv::service::run_daemon(address, options, daemon_log, &stats);
+    } catch (const hv::Error& error) {
+      std::fprintf(stderr, "daemon: %s\n", error.what());
+    }
+  });
+
+  // Fresh phase: M tenant threads split N distinct jobs between them, each
+  // submitting and then blocking on the result like `hvc submit --wait`.
+  std::atomic<int> next_job{0};
+  std::atomic<int> completed{0};
+  const hv::Stopwatch fresh_watch;
+  std::vector<std::thread> fleet;
+  for (int t = 0; t < tenants; ++t) {
+    fleet.emplace_back([&, t] {
+      try {
+        hv::service::Client client(address);
+        for (;;) {
+          const int i = next_job.fetch_add(1);
+          if (i >= fresh_jobs) return;
+          const auto submitted = client.submit(
+              request_for("tenant" + std::to_string(t), "p" + std::to_string(i)));
+          const auto result = client.result(submitted.at("job").as_int(), /*wait=*/true);
+          if (result.at("type").as_string() == "result") ++completed;
+        }
+      } catch (const hv::Error& error) {
+        std::fprintf(stderr, "tenant %d: %s\n", t, error.what());
+      }
+    });
+  }
+  for (std::thread& thread : fleet) thread.join();
+  const double fresh_seconds = fresh_watch.seconds();
+  const double jobs_per_min =
+      fresh_seconds == 0.0 ? 0.0 : 60.0 * static_cast<double>(completed) / fresh_seconds;
+
+  // Cached phase: one tenant resubmits the first job's exact content K
+  // times; every round trip is submit + result, answered from the cache.
+  std::vector<double> hit_ms;
+  hit_ms.reserve(static_cast<std::size_t>(cached_round_trips));
+  bool all_cached = true;
+  try {
+    hv::service::Client client(address);
+    for (int i = 0; i < cached_round_trips; ++i) {
+      const hv::Stopwatch trip;
+      const auto submitted = client.submit(request_for("replayer", "p0"));
+      const auto result = client.result(submitted.at("job").as_int(), /*wait=*/true);
+      hit_ms.push_back(trip.seconds() * 1000.0);
+      all_cached = all_cached && submitted.at("cached").as_bool() &&
+                   result.at("cached").as_bool();
+    }
+  } catch (const hv::Error& error) {
+    std::fprintf(stderr, "cached phase: %s\n", error.what());
+    all_cached = false;
+  }
+  std::sort(hit_ms.begin(), hit_ms.end());
+  const double median_ms = hit_ms.empty() ? 0.0 : hit_ms[hit_ms.size() / 2];
+  const double max_ms = hit_ms.empty() ? 0.0 : hit_ms.back();
+
+  stop.store(true);
+  daemon.join();
+
+  const bool ok = completed == fresh_jobs && all_cached && stats.jobs_failed == 0;
+  std::printf("service throughput: %d fresh jobs over %d tenants, %d cached round trips\n",
+              fresh_jobs, tenants, cached_round_trips);
+  std::printf("  fresh:  %.3fs total, %.1f jobs/min (%d completed)\n", fresh_seconds,
+              jobs_per_min, completed.load());
+  std::printf("  cached: %.3f ms median round trip, %.3f ms max (all cached: %s)\n",
+              median_ms, max_ms, all_cached ? "yes" : "NO");
+  std::printf("  daemon: %lld submitted, %lld done, %lld cache hits, %lld failed\n",
+              static_cast<long long>(stats.jobs_submitted),
+              static_cast<long long>(stats.jobs_done),
+              static_cast<long long>(stats.cache_hits),
+              static_cast<long long>(stats.jobs_failed));
+
+  std::FILE* json = std::fopen(out_path.c_str(), "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 2;
+  }
+  std::fprintf(json,
+               "{\"fresh_jobs\": %d, \"tenants\": %d, \"fresh_seconds\": %.6f,\n"
+               " \"jobs_per_min\": %.2f, \"cached_round_trips\": %d,\n"
+               " \"cache_hit_median_ms\": %.4f, \"cache_hit_max_ms\": %.4f,\n"
+               " \"all_cached\": %s, \"jobs_done\": %lld, \"cache_hits\": %lld,\n"
+               " \"jobs_failed\": %lld, \"ok\": %s}\n",
+               fresh_jobs, tenants, fresh_seconds, jobs_per_min, cached_round_trips,
+               median_ms, max_ms, all_cached ? "true" : "false",
+               static_cast<long long>(stats.jobs_done),
+               static_cast<long long>(stats.cache_hits),
+               static_cast<long long>(stats.jobs_failed), ok ? "true" : "false");
+  std::fclose(json);
+  std::printf("  wrote %s\n", out_path.c_str());
+  return ok ? 0 : 1;
+}

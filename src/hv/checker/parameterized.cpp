@@ -21,6 +21,7 @@
 #include "hv/checker/learning.h"
 #include "hv/checker/schema_solver.h"
 #include "hv/util/error.h"
+#include "hv/util/rational.h"
 #include "hv/util/stopwatch.h"
 
 namespace hv::checker {
@@ -81,7 +82,14 @@ struct RunContext {
   // Re-append resumed records iff they come from a different file than the
   // one being written (same-file resume already holds them).
   bool copy_resumed = false;
+  // Live observer counters (CheckOptions::progress); null when nobody is
+  // watching.
+  ProgressCounters* progress = nullptr;
 };
+
+void bump(std::atomic<std::int64_t> ProgressCounters::* counter, const RunContext& ctx) {
+  if (ctx.progress != nullptr) (ctx.progress->*counter).fetch_add(1, std::memory_order_relaxed);
+}
 
 void accumulate(IncrementalStats& into, const IncrementalStats& from) {
   into.segments_pushed += from.segments_pushed;
@@ -128,6 +136,7 @@ void settle_unit(SchemaSolver& solver, const spec::Property& property,
   switch (outcome.kind) {
     case UnitOutcome::Kind::kAborted: {
       state.schemas_unknown.fetch_add(1);
+      bump(&ProgressCounters::unknown, ctx);
       {
         std::lock_guard<std::mutex> lock(state.mutex);
         if (state.degrade_note.empty()) state.degrade_note = outcome.note;
@@ -147,6 +156,7 @@ void settle_unit(SchemaSolver& solver, const spec::Property& property,
     case UnitOutcome::Kind::kUnknown: {
       // Retry ladder exhausted: record the schema as unknown and keep going.
       state.schemas_unknown.fetch_add(1);
+      bump(&ProgressCounters::unknown, ctx);
       {
         std::lock_guard<std::mutex> lock(state.mutex);
         if (state.degrade_note.empty()) {
@@ -163,6 +173,7 @@ void settle_unit(SchemaSolver& solver, const spec::Property& property,
 
   const bool sat = outcome.kind == UnitOutcome::Kind::kSat;
   state.schemas_checked.fetch_add(1);
+  bump(&ProgressCounters::solved, ctx);
   state.total_length.fetch_add(outcome.length);
   state.simplex_pivots.fetch_add(outcome.pivots);
   state.rational_fast_ops.fetch_add(outcome.rational_fast_ops);
@@ -216,14 +227,18 @@ bool try_resume(const spec::Property& property, std::size_t query_index,
   const JournalRecord* record = ctx.resume->find(property.name, cursor);
   if (record == nullptr || record->verdict == "sat") return false;
   state.schemas_resumed.fetch_add(1);
+  bump(&ProgressCounters::resumed, ctx);
   if (record->verdict == "unsat") {
     state.schemas_checked.fetch_add(1);
     state.total_length.fetch_add(record->length);
     state.simplex_pivots.fetch_add(record->pivots);
+    bump(&ProgressCounters::solved, ctx);
   } else if (record->verdict == "pruned") {
     state.schemas_pruned.fetch_add(1);
+    bump(&ProgressCounters::pruned, ctx);
   } else {  // "unknown"
     state.schemas_unknown.fetch_add(1);
+    bump(&ProgressCounters::unknown, ctx);
     std::lock_guard<std::mutex> lock(state.mutex);
     if (state.degrade_note.empty()) {
       state.degrade_note = "schema degraded to unknown (resumed): " + record->note;
@@ -285,13 +300,14 @@ PropertyResult check_property(const ta::ThresholdAutomaton& ta, const spec::Prop
   }
   std::unique_ptr<ProgressJournal> journal;
   if (!options.journal_path.empty()) {
-    journal = std::make_unique<ProgressJournal>(options.journal_path,
-                                                JournalHeader(ta.name(), model_hash));
+    journal = std::make_unique<ProgressJournal>(
+        options.journal_path, JournalHeader(ta.name(), model_hash), options.journal_flush_batch);
   }
   RunContext ctx;
   ctx.journal = journal.get();
   ctx.resume = resume ? &*resume : nullptr;
   ctx.copy_resumed = journal != nullptr && options.journal_path != options.resume_path;
+  ctx.progress = options.progress;
   const bool need_cursor = ctx.journal != nullptr || ctx.resume != nullptr;
 
   const GuardAnalysis analysis(ta);
@@ -369,14 +385,17 @@ PropertyResult check_property(const ta::ThresholdAutomaton& ta, const spec::Prop
                 return false;
               }
               state.schemas_enumerated.fetch_add(1);
+              bump(&ProgressCounters::enumerated, ctx);
               const std::string cursor = need_cursor ? schema_cursor(q, schema) : std::string();
               if (try_resume(property, q, cursor, state, ctx)) return true;
               if (learn != nullptr && learn->queries[q].cuts.covers(schema.unlock_order)) {
                 state.schemas_cut.fetch_add(1);
+                bump(&ProgressCounters::cut, ctx);
                 return true;
               }
               if (options.property_directed_pruning && !cones[q].schema_feasible(schema)) {
                 state.schemas_pruned.fetch_add(1);
+                bump(&ProgressCounters::pruned, ctx);
                 journal_append(ctx, property.name, cursor, "pruned");
                 if (options.certify) {
                   std::lock_guard<std::mutex> lock(state.mutex);
@@ -450,17 +469,20 @@ PropertyResult check_property(const ta::ThresholdAutomaton& ta, const spec::Prop
                     state.budget_exhausted.store(true);
                     return false;
                   }
+                  bump(&ProgressCounters::enumerated, ctx);
                   const std::string cursor =
                       need_cursor ? schema_cursor(q, schema) : std::string();
                   if (try_resume(property, q, cursor, state, ctx)) return true;
                   if (learn != nullptr &&
                       learn->queries[q].cuts.covers(schema.unlock_order)) {
                     state.schemas_cut.fetch_add(1);
+                    bump(&ProgressCounters::cut, ctx);
                     return true;
                   }
                   if (options.property_directed_pruning &&
                       !cones[q].schema_feasible(schema)) {
                     state.schemas_pruned.fetch_add(1);
+                    bump(&ProgressCounters::pruned, ctx);
                     journal_append(ctx, property.name, cursor, "pruned");
                     if (options.certify) {
                       std::lock_guard<std::mutex> lock(state.mutex);
@@ -612,11 +634,54 @@ std::vector<PropertyResult> check_properties(const ta::ThresholdAutomaton& ta,
   results.reserve(properties.size());
   for (const spec::Property& property : properties) {
     results.push_back(check_property(ta, property, options));
+    if (options.progress != nullptr) {
+      options.progress->properties_done.fetch_add(1, std::memory_order_relaxed);
+    }
     // A SIGINT/SIGTERM'd run reports what it has instead of starting the
     // next property.
     if (results.back().interrupted) break;
   }
   return results;
+}
+
+std::string options_fingerprint(const CheckOptions& options) {
+  std::string fp;
+  const auto field = [&](const char* key, const std::string& value) {
+    fp += key;
+    fp += '=';
+    fp += value;
+    fp += ';';
+  };
+  const auto num = [&](const char* key, std::int64_t value) {
+    field(key, std::to_string(value));
+  };
+  const auto flag = [&](const char* key, bool value) { field(key, value ? "1" : "0"); };
+  num("max_schemas", options.enumeration.max_schemas);
+  flag("prune_implications", options.enumeration.prune_implications);
+  flag("prune_dead_unlocks", options.enumeration.prune_dead_unlocks);
+  field("timeout", std::to_string(options.timeout_seconds));
+  num("workers", options.workers);
+  num("branch_budget", options.branch_budget);
+  flag("incremental", options.incremental);
+  flag("pdp", options.property_directed_pruning);
+  flag("validate", options.validate_counterexamples);
+  flag("minimize", options.minimize_counterexamples);
+  flag("certify", options.certify);
+  // The *effective* mode, not the raw switch: folds incremental/certify
+  // interactions and HV_NO_LEMMAS, so env-only changes get their own key.
+  flag("lemmas", lemmas_enabled(options));
+  field("schema_timeout", std::to_string(options.schema_timeout_seconds));
+  num("pivot_budget", options.pivot_budget);
+  num("memory_budget_mb", options.memory_budget_mb);
+  flag("retry_fresh", options.retry_fresh);
+  flag("fast_rational", Rational::fast_path_enabled());
+  if (options.fault.armed()) {
+    num("fault_kind", static_cast<std::int64_t>(options.fault.kind));
+    num("fault_at", options.fault.at);
+    num("fault_every", options.fault.every);
+    field("fault_stall", std::to_string(options.fault.stall_seconds));
+  }
+  return fp;
 }
 
 }  // namespace hv::checker

@@ -86,6 +86,15 @@ struct CheckOptions {
   const std::atomic<bool>* cancel = nullptr;
   /// Deterministic fault injection (tests, CI smoke); disarmed by default.
   FaultPlan fault;
+  /// Live progress counters shared with an observer thread (the service
+  /// daemon's status frames); null disables. Local only: the distributed
+  /// wire never serializes the pointer — remote progress arrives through
+  /// record frames instead.
+  ProgressCounters* progress = nullptr;
+  /// Journal durability batch: records per flush+fsync. The default trades
+  /// throughput for at most 256 lost records on kill -9; the service daemon
+  /// lowers it so a restarted job resumes close to the kill point.
+  int journal_flush_batch = 256;
 };
 
 /// True iff this run learns lemmas/cuts: options.lemmas, with incremental
@@ -93,6 +102,17 @@ struct CheckOptions {
 /// in-process engines and the distributed worker so every execution path
 /// gates identically.
 bool lemmas_enabled(const CheckOptions& options);
+
+/// Canonical fingerprint of every option that can change a run's verdicts
+/// or its reported accounting: a deterministic "key=value;" concatenation
+/// covering budgets, pruning/validation/certify switches, watchdogs, the
+/// fault plan, and the *effective* state of environment-gated modes
+/// (lemmas_enabled() folds HV_NO_LEMMAS; the rational fast path folds
+/// HV_NO_FAST_RATIONAL). Excludes pure plumbing — journal/resume paths,
+/// cancel/progress pointers, flush batching — which never changes what a
+/// run computes. The service result cache keys on it: two submissions share
+/// a cache entry iff their fingerprints (and model and properties) agree.
+std::string options_fingerprint(const CheckOptions& options);
 
 /// Checks one property; never throws on budget/timeout (returns kUnknown
 /// with a note instead).

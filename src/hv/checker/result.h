@@ -2,6 +2,7 @@
 #ifndef HV_CHECKER_RESULT_H
 #define HV_CHECKER_RESULT_H
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -109,6 +110,25 @@ struct PropertyEvidence {
   /// case). Violated verdicts stop early by design; unknown verdicts
   /// certify nothing.
   bool complete = false;
+};
+
+/// Live cross-thread observability of an in-flight run, for callers that
+/// stream progress while check_properties() is still solving (the service
+/// daemon's status frames). Every field is monotone over the run; readers
+/// see a consistent-enough snapshot with relaxed loads. The pointee must
+/// outlive the call. Resumed schemas count into `resumed` *and* into the
+/// counter their replayed verdict lands in, mirroring PropertyResult.
+struct ProgressCounters {
+  std::atomic<std::int64_t> enumerated{0};
+  std::atomic<std::int64_t> solved{0};
+  std::atomic<std::int64_t> pruned{0};
+  std::atomic<std::int64_t> cut{0};
+  std::atomic<std::int64_t> unknown{0};
+  std::atomic<std::int64_t> resumed{0};
+  /// Properties fully settled so far (feeds the daemon's ETA heuristic).
+  std::atomic<std::int64_t> properties_done{0};
+  /// Distributed runs only: workers currently connected to the coordinator.
+  std::atomic<std::int64_t> workers{0};
 };
 
 struct PropertyResult {

@@ -114,6 +114,13 @@ struct Coord {
   const Stopwatch* watch = nullptr;
 };
 
+void bump(Coord& c, std::atomic<std::int64_t> checker::ProgressCounters::* counter,
+          std::int64_t delta = 1) {
+  if (c.check.progress != nullptr) {
+    (c.check.progress->*counter).fetch_add(delta, std::memory_order_relaxed);
+  }
+}
+
 void journal_append(Coord& c, const std::string& property, const std::string& cursor,
                     const char* verdict, std::int64_t length = 0, std::int64_t pivots = 0,
                     const std::string& note = {}, std::int64_t cut = -1) {
@@ -164,6 +171,7 @@ void check_property_finished(Coord& c, std::size_t property) {
   }
   prop.finished = true;
   prop.seconds = c.watch->seconds();
+  bump(c, &checker::ProgressCounters::properties_done);
 }
 
 bool run_complete(const Coord& c) {
@@ -232,19 +240,26 @@ bool apply_record(Coord& c, std::size_t p, std::size_t q, const checker::Schema&
   c.settled_by_pq[{p, q}].emplace_back(schema.unlock_order, cursor);
   PropMerge& prop = c.props[p];
   ++prop.enumerated;
+  bump(c, &checker::ProgressCounters::enumerated);
   prop.retries += retries;
-  if (resumed) ++prop.resumed;
+  if (resumed) {
+    ++prop.resumed;
+    bump(c, &checker::ProgressCounters::resumed);
+  }
   if (verdict == "pruned") {
     ++prop.pruned;
+    bump(c, &checker::ProgressCounters::pruned);
     if (c.check.certify) prop.pruned_schemas.push_back({q, schema});
   } else if (verdict == "unsat" || verdict == "sat") {
     ++prop.checked;
+    bump(c, &checker::ProgressCounters::solved);
     prop.total_length += length;
     prop.pivots += pivots;
     prop.rational_fast_ops += fast_ops;
     prop.rational_big_ops += big_ops;
   } else {  // "unknown"
     ++prop.unknown;
+    bump(c, &checker::ProgressCounters::unknown);
     if (prop.degrade_note.empty()) {
       prop.degrade_note = resumed ? "schema degraded to unknown (resumed): " + note
                                   : "schema degraded to unknown: " + note;
@@ -299,6 +314,7 @@ void handle_connection(Coord& c, int fd) {
     std::lock_guard<std::mutex> lock(c.mutex);
     ++c.stats.workers_joined;
     c.open_conns.push_back({&conn, learn});
+    bump(c, &checker::ProgressCounters::workers);
   }
   const std::vector<spec::Property>& properties = *c.properties;
 
@@ -645,7 +661,10 @@ void handle_connection(Coord& c, int fd) {
           // subtrees never granted thanks to a cut are not enumerated at
           // all, so the distributed count is a documented undercount.
           PropMerge& prop = c.props[lease.property];
-          if (const cert::Json* cut = msg.find("cut")) prop.cut += cut->as_int();
+          if (const cert::Json* cut = msg.find("cut")) {
+            prop.cut += cut->as_int();
+            bump(c, &checker::ProgressCounters::cut, cut->as_int());
+          }
           if (const cert::Json* hits = msg.find("hits")) prop.lemma_hits += hits->as_int();
           if (const cert::Json* learned = msg.find("learned")) {
             prop.lemmas_learned += learned->as_int();
@@ -669,7 +688,10 @@ void handle_connection(Coord& c, int fd) {
     if (!clean) ++c.stats.workers_lost;
     const auto it = std::find_if(c.open_conns.begin(), c.open_conns.end(),
                                  [&](const ConnInfo& info) { return info.conn == &conn; });
-    if (it != c.open_conns.end()) c.open_conns.erase(it);
+    if (it != c.open_conns.end()) {
+      c.open_conns.erase(it);
+      bump(c, &checker::ProgressCounters::workers, -1);
+    }
   }
   conn.close();
 }
@@ -703,8 +725,9 @@ std::vector<checker::PropertyResult> serve_fd(int listen_fd, const std::string& 
   }
   std::unique_ptr<checker::ProgressJournal> journal;
   if (!c.check.journal_path.empty()) {
-    journal = std::make_unique<checker::ProgressJournal>(
-        c.check.journal_path, checker::JournalHeader(ta.name(), model_hash));
+    journal = std::make_unique<checker::ProgressJournal>(c.check.journal_path,
+                                                         checker::JournalHeader(ta.name(), model_hash),
+                                                         c.check.journal_flush_batch);
   }
   c.journal = journal.get();
   const bool copy_resumed =

@@ -1,5 +1,6 @@
 #include "hv/dist/worker.h"
 
+#include <algorithm>
 #include <chrono>
 #include <deque>
 #include <map>
@@ -50,9 +51,9 @@ enum class LeaseExit {
   kLost,
 };
 
-}  // namespace
-
-WorkerReport run_worker(const WorkerOptions& options) {
+// One full worker lifecycle: connect, handshake, lease loop. run_worker
+// layers the reconnect policy on top.
+WorkerReport run_worker_attempt(const WorkerOptions& options) {
   WorkerReport report;
   const Address address = parse_address(options.connect);
 
@@ -551,6 +552,55 @@ WorkerReport run_worker(const WorkerOptions& options) {
   stop_heartbeat();
   conn.close();
   return report;
+}
+
+// True iff the attempt ended at the connection layer (the coordinator was
+// unreachable or went away), the only failures a reconnect can cure.
+// Semantic stops — protocol/model mismatch, malformed frames, abort,
+// cancellation, a clean shutdown — are deterministic and terminal.
+bool connection_level_failure(const WorkerReport& report) {
+  if (report.completed || report.aborted) return false;
+  return report.note.rfind("cannot connect", 0) == 0 ||
+         report.note == "connection lost" ||
+         report.note == "handshake send failed" ||
+         report.note == "no welcome from coordinator" ||
+         report.note.rfind("coordinator connection", 0) == 0;
+}
+
+}  // namespace
+
+WorkerReport run_worker(const WorkerOptions& options) {
+  if (options.reconnect_seconds <= 0.0) return run_worker_attempt(options);
+
+  const auto cancelled = [&] {
+    return options.cancel != nullptr && options.cancel->load(std::memory_order_relaxed);
+  };
+  WorkerReport total;
+  Stopwatch window;  // time since the last successful attempt start
+  std::int64_t backoff_ms = 50;
+  for (;;) {
+    WorkerOptions attempt = options;
+    // The inner connect-retry loop must not outlive the reconnect budget.
+    attempt.connect_retry_seconds =
+        std::min(options.connect_retry_seconds,
+                 std::max(0.0, options.reconnect_seconds - window.seconds()));
+    WorkerReport report = run_worker_attempt(attempt);
+    total.leases += report.leases;
+    total.records += report.records;
+    total.completed = report.completed;
+    total.aborted = report.aborted;
+    total.note = report.note;
+    if (!connection_level_failure(report) || cancelled()) return total;
+    // An attempt that made it onto the coordinator resets the budget (and
+    // the backoff): only *consecutive* unreachable time counts against it.
+    if (report.leases > 0 || report.records > 0) {
+      window.reset();
+      backoff_ms = 50;
+    }
+    if (window.seconds() >= options.reconnect_seconds) return total;
+    std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+    backoff_ms = std::min<std::int64_t>(backoff_ms * 2, 2000);
+  }
 }
 
 }  // namespace hv::dist

@@ -23,6 +23,16 @@ struct WorkerOptions {
   /// Keep retrying the initial connect for this long (the coordinator may
   /// still be binding when the worker starts).
   double connect_retry_seconds = 10.0;
+  /// Reconnect budget (seconds; 0 disables): after a *connection-level*
+  /// failure — connect refused, lost mid-run, handshake that never arrived —
+  /// keep re-running the whole worker lifecycle (connect, handshake, lease
+  /// loop) with exponential backoff (50ms doubling, capped at 2s) until this
+  /// much time passes without a successful connection, so a restarting
+  /// coordinator (the service daemon bouncing between jobs) never strands
+  /// its fleet. Semantic stops — clean shutdown, cancellation, an injected
+  /// abort, protocol or model-hash mismatch — never reconnect. Lease/record
+  /// totals accumulate across attempts.
+  double reconnect_seconds = 0.0;
   /// Liveness heartbeat period; must stay well under the coordinator's
   /// lease timeout.
   int heartbeat_ms = 1000;

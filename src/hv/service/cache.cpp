@@ -1,0 +1,45 @@
+#include "hv/service/cache.h"
+
+#include <utility>
+
+namespace hv::service {
+
+const ResultCache::Entry* ResultCache::find(const std::string& key) {
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return &*it->second;
+}
+
+bool ResultCache::insert(const std::string& key, int code, std::string response) {
+  const std::int64_t cost = charge(key, response);
+  if (cost > max_bytes_) return false;
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    // Refresh in place (a re-run of a definitive request produced the same
+    // bytes; keep the newer insertion most-recently-used).
+    bytes_ -= charge(it->second->key, it->second->response);
+    it->second->code = code;
+    it->second->response = std::move(response);
+    bytes_ += charge(it->second->key, it->second->response);
+    lru_.splice(lru_.begin(), lru_, it->second);
+  } else {
+    lru_.push_front(Entry{key, code, std::move(response)});
+    index_[key] = lru_.begin();
+    bytes_ += cost;
+  }
+  while (bytes_ > max_bytes_ && !lru_.empty()) {
+    const Entry& victim = lru_.back();
+    bytes_ -= charge(victim.key, victim.response);
+    index_.erase(victim.key);
+    lru_.pop_back();
+    ++evictions_;
+  }
+  return true;
+}
+
+}  // namespace hv::service

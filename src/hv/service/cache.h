@@ -1,0 +1,80 @@
+// Content-addressed result cache of the verification service.
+//
+// A cache entry maps a *semantic request identity* — model content hash,
+// the resolved property set, and the canonical options fingerprint
+// (checker::options_fingerprint, which folds environment-gated modes like
+// HV_NO_LEMMAS and HV_NO_FAST_RATIONAL) — to the verbatim response bytes a
+// fresh run produced, plus its exit code. Identical resubmissions are
+// answered from the entry with zero schemas solved, byte-identical to the
+// original run.
+//
+// Trust boundary: only *definitive* runs are cached — exit code 0 (holds)
+// or 1 (violated, with its validated counterexample embedded in the
+// response). Inconclusive runs (unknown verdicts, cancellation, timeouts)
+// are never inserted: their outcome depends on budgets and wall-clock, not
+// just the keyed inputs. Certify-mode responses are cacheable like any
+// other (the certificate file itself is written by the original run; a
+// cache hit re-serves the verdict JSON, and auditing remains the caller's
+// re-check of record).
+//
+// Eviction is byte-size-bounded LRU: every entry is charged its key +
+// response bytes plus a fixed overhead, and inserts evict least-recently
+// -used entries until the budget holds. An entry larger than the whole
+// budget is not cached at all.
+#ifndef HV_SERVICE_CACHE_H
+#define HV_SERVICE_CACHE_H
+
+#include <cstdint>
+#include <list>
+#include <string>
+#include <unordered_map>
+
+namespace hv::service {
+
+class ResultCache {
+ public:
+  struct Entry {
+    std::string key;
+    int code = 0;
+    std::string response;
+  };
+
+  /// `max_bytes` <= 0 disables caching entirely (every find misses).
+  explicit ResultCache(std::int64_t max_bytes) : max_bytes_(max_bytes) {}
+
+  /// Looks the key up and, on a hit, marks the entry most-recently-used.
+  /// The pointer stays valid until the next insert().
+  const Entry* find(const std::string& key);
+
+  /// Inserts (or refreshes) an entry and evicts LRU entries until the byte
+  /// budget holds again. Returns false iff the entry alone exceeds the
+  /// budget (it is then not cached — correct, just never instant).
+  bool insert(const std::string& key, int code, std::string response);
+
+  std::int64_t bytes() const noexcept { return bytes_; }
+  std::int64_t entries() const noexcept { return static_cast<std::int64_t>(lru_.size()); }
+  std::int64_t hits() const noexcept { return hits_; }
+  std::int64_t misses() const noexcept { return misses_; }
+  std::int64_t evictions() const noexcept { return evictions_; }
+
+  /// What an entry costs against the byte budget.
+  static std::int64_t charge(const std::string& key, const std::string& response) {
+    return static_cast<std::int64_t>(key.size() + response.size()) + kEntryOverhead;
+  }
+
+ private:
+  static constexpr std::int64_t kEntryOverhead = 64;
+
+  std::int64_t max_bytes_ = 0;
+  std::int64_t bytes_ = 0;
+  std::int64_t hits_ = 0;
+  std::int64_t misses_ = 0;
+  std::int64_t evictions_ = 0;
+  /// Front = most recently used.
+  std::list<Entry> lru_;
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+};
+
+}  // namespace hv::service
+
+#endif  // HV_SERVICE_CACHE_H

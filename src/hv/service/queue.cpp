@@ -1,0 +1,141 @@
+#include "hv/service/queue.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace hv::service {
+
+const char* to_string(JobState state) {
+  switch (state) {
+    case JobState::kQueued:
+      return "queued";
+    case JobState::kRunning:
+      return "running";
+    case JobState::kDone:
+      return "done";
+    case JobState::kFailed:
+      return "failed";
+    case JobState::kCancelled:
+      return "cancelled";
+  }
+  return "unknown";
+}
+
+int JobQueue::tenant_in_flight(const std::string& tenant) const {
+  int count = 0;
+  for (const auto& job : jobs_) {
+    if (job->tenant != tenant) continue;
+    if (job->state == JobState::kQueued || job->state == JobState::kRunning) ++count;
+  }
+  return count;
+}
+
+int JobQueue::tenant_running(const std::string& tenant) const {
+  int count = 0;
+  for (const auto& job : jobs_) {
+    if (job->tenant == tenant && job->state == JobState::kRunning) ++count;
+  }
+  return count;
+}
+
+std::int64_t JobQueue::tenant_schemas_in_flight(const std::string& tenant) const {
+  std::int64_t total = 0;
+  for (const auto& job : jobs_) {
+    if (job->tenant != tenant) continue;
+    if (job->state == JobState::kQueued || job->state == JobState::kRunning) {
+      total += job->options.enumeration.max_schemas;
+    }
+  }
+  return total;
+}
+
+std::string JobQueue::admit(const std::string& tenant, std::int64_t requested_schemas) const {
+  if (tenant.empty()) return "submission names no tenant";
+  if (tenant_in_flight(tenant) >= limits_.tenant_max_queued) {
+    return "tenant '" + tenant + "' is at its queue quota (" +
+           std::to_string(limits_.tenant_max_queued) + " jobs in flight)";
+  }
+  if (limits_.tenant_schema_budget > 0 &&
+      tenant_schemas_in_flight(tenant) + requested_schemas > limits_.tenant_schema_budget) {
+    return "tenant '" + tenant + "' is at its schema budget (" +
+           std::to_string(limits_.tenant_schema_budget) + " schemas in flight)";
+  }
+  return {};
+}
+
+Job* JobQueue::enqueue(std::unique_ptr<Job> job) {
+  jobs_.push_back(std::move(job));
+  return jobs_.back().get();
+}
+
+Job* JobQueue::dispatch(double now_seconds) {
+  if (running_ >= limits_.max_running) return nullptr;
+  const auto stamp_of = [&](const std::string& tenant) {
+    for (const auto& [name, at] : last_dispatch_) {
+      if (name == tenant) return at;
+    }
+    return -1.0;  // never dispatched: beats every stamped tenant
+  };
+  // Fair share, pass 1: among tenants with queued work and headroom under
+  // their running quota, pick the one with the fewest running jobs;
+  // tie-break by least-recent dispatch so equally loaded tenants
+  // round-robin.
+  const Job* chosen_tenant = nullptr;
+  int chosen_running = std::numeric_limits<int>::max();
+  double chosen_stamp = std::numeric_limits<double>::max();
+  for (const auto& job : jobs_) {
+    if (job->state != JobState::kQueued) continue;
+    if (chosen_tenant != nullptr && job->tenant == chosen_tenant->tenant) continue;
+    const int running_count = tenant_running(job->tenant);
+    if (running_count >= limits_.tenant_max_running) continue;
+    const double stamp = stamp_of(job->tenant);
+    if (running_count < chosen_running ||
+        (running_count == chosen_running && stamp < chosen_stamp)) {
+      chosen_tenant = job.get();
+      chosen_running = running_count;
+      chosen_stamp = stamp;
+    }
+  }
+  if (chosen_tenant == nullptr) return nullptr;
+  // Pass 2: the chosen tenant's best queued job — highest priority, then
+  // FIFO by id (the scan runs in id order).
+  Job* best = nullptr;
+  for (const auto& job : jobs_) {
+    if (job->state != JobState::kQueued || job->tenant != chosen_tenant->tenant) continue;
+    if (best == nullptr || job->priority > best->priority) best = job.get();
+  }
+  best->state = JobState::kRunning;
+  best->started_seconds = now_seconds;
+  ++running_;
+  bool stamped = false;
+  for (auto& [tenant, at] : last_dispatch_) {
+    if (tenant == best->tenant) {
+      at = now_seconds;
+      stamped = true;
+    }
+  }
+  if (!stamped) last_dispatch_.emplace_back(best->tenant, now_seconds);
+  return best;
+}
+
+void JobQueue::finished(const Job& job) {
+  (void)job;
+  if (running_ > 0) --running_;
+}
+
+Job* JobQueue::find(std::int64_t id) {
+  for (const auto& job : jobs_) {
+    if (job->id == id) return job.get();
+  }
+  return nullptr;
+}
+
+int JobQueue::queued() const {
+  int count = 0;
+  for (const auto& job : jobs_) {
+    if (job->state == JobState::kQueued) ++count;
+  }
+  return count;
+}
+
+}  // namespace hv::service

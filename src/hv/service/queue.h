@@ -1,0 +1,119 @@
+// Admission control and scheduling of the verification service.
+//
+// A Job is one submitted check/certify request: model text, property
+// specs, semantic CheckOptions, a tenant, a priority and the cache key its
+// result will be stored under. The queue enforces per-tenant quotas at
+// admission (max queued+running, and an optional cap on the total schema
+// budget a tenant may have in flight) and dispatches fairly across
+// tenants: the tenant with the fewest running jobs goes first, ties broken
+// round-robin by least-recent dispatch, and within a tenant higher
+// priority wins, then FIFO by job id. A tenant at its max_running quota is
+// skipped even when the global running limit has room — one tenant's burst
+// cannot monopolize the fleet.
+//
+// The queue itself is a plain data structure; the daemon serializes access
+// under its own mutex (and is the only writer of Job fields after
+// dispatch, except for the atomics, which progress observers read live).
+#ifndef HV_SERVICE_QUEUE_H
+#define HV_SERVICE_QUEUE_H
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hv/checker/parameterized.h"
+#include "hv/checker/result.h"
+#include "hv/dist/protocol.h"
+
+namespace hv::service {
+
+enum class JobState { kQueued, kRunning, kDone, kFailed, kCancelled };
+
+const char* to_string(JobState state);
+
+/// One submission. Not movable once enqueued (progress/cancel are atomics
+/// observed concurrently); the queue owns jobs via unique_ptr.
+struct Job {
+  std::int64_t id = 0;
+  std::string tenant;
+  int priority = 0;
+  std::string model_text;
+  std::vector<dist::PropertySpec> specs;
+  checker::CheckOptions options;  // semantic fields only; plumbing is daemon-set
+  /// Content-addressed identity: model hash + specs + options fingerprint
+  /// (+ the daemon's per-job worker mode). See cache.h.
+  std::string key;
+
+  JobState state = JobState::kQueued;
+  /// True iff the response was served from the result cache (zero schemas
+  /// solved by this job).
+  bool cached = false;
+  int code = -1;                // CLI exit-code convention, valid when done
+  std::string response;         // rendered results JSON, valid when done
+  std::string error;            // valid when failed
+  std::size_t properties = 0;   // resolved property count (ETA denominator)
+  double submitted_seconds = 0.0;  // daemon clock
+  double started_seconds = 0.0;
+  double finished_seconds = 0.0;
+
+  checker::ProgressCounters progress;
+  std::atomic<bool> cancel{false};
+};
+
+struct QueueLimits {
+  /// Global cap on concurrently running jobs.
+  int max_running = 2;
+  /// Per-tenant cap on jobs admitted but not yet finished (queued+running).
+  int tenant_max_queued = 64;
+  /// Per-tenant cap on concurrently running jobs.
+  int tenant_max_running = 2;
+  /// Per-tenant cap on the summed enumeration budget (max_schemas) of its
+  /// queued+running jobs; 0 disables. Admission-time: a submission that
+  /// would push the tenant's in-flight schema budget past the cap is
+  /// rejected, bounding worst-case solver work a tenant can stage.
+  std::int64_t tenant_schema_budget = 0;
+};
+
+class JobQueue {
+ public:
+  explicit JobQueue(QueueLimits limits) : limits_(limits) {}
+
+  /// Admission check for a prospective job (before enqueue). Returns the
+  /// empty string to admit, else a precise rejection reason.
+  std::string admit(const std::string& tenant, std::int64_t requested_schemas) const;
+
+  /// Takes ownership; the job must be in kQueued state.
+  Job* enqueue(std::unique_ptr<Job> job);
+
+  /// Picks the next job to run under the fair-share policy and marks it
+  /// kRunning; nullptr when nothing is runnable (empty queue, global limit,
+  /// or every queued tenant at its running quota).
+  Job* dispatch(double now_seconds);
+
+  /// Bookkeeping when a running job reaches a terminal state (the caller
+  /// already set job.state).
+  void finished(const Job& job);
+
+  Job* find(std::int64_t id);
+  const std::vector<std::unique_ptr<Job>>& jobs() const noexcept { return jobs_; }
+
+  int running() const noexcept { return running_; }
+  int queued() const;
+
+ private:
+  int tenant_in_flight(const std::string& tenant) const;
+  int tenant_running(const std::string& tenant) const;
+  std::int64_t tenant_schemas_in_flight(const std::string& tenant) const;
+
+  QueueLimits limits_;
+  std::vector<std::unique_ptr<Job>> jobs_;  // insertion order = id order
+  int running_ = 0;
+  /// tenant -> last dispatch stamp (fair-share tie-break).
+  std::vector<std::pair<std::string, double>> last_dispatch_;
+};
+
+}  // namespace hv::service
+
+#endif  // HV_SERVICE_QUEUE_H

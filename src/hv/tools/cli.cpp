@@ -19,6 +19,9 @@
 #include "hv/dist/worker.h"
 #include "hv/pipeline/certify.h"
 #include "hv/pipeline/holistic.h"
+#include "hv/service/client.h"
+#include "hv/service/daemon.h"
+#include "hv/service/response.h"
 #include "hv/sim/lemma7.h"
 #include "hv/sim/runner.h"
 #include "hv/spec/compile.h"
@@ -32,7 +35,7 @@ namespace hv::tools {
 namespace {
 
 constexpr const char* kUsage = R"(usage:
-  hvc check <model.ta> [--prop "<ltl>"] [--name N] [--timeout S]
+  hvc check <model.ta> [--prop "<ltl>"]... [--name N]... [--timeout S]
                        [--max-schemas K] [--workers N] [--threads W]
                        [--no-pruning] [--no-incremental] [--no-lemmas]
                        [--json] [--certify] [--cert-out cert.json]
@@ -54,8 +57,9 @@ constexpr const char* kUsage = R"(usage:
         print the partial results. --no-lemmas (or HV_NO_LEMMAS=1) disables
         cross-schema learning — the Farkas lemma pool and core-based
         subtree cuts; verdicts are identical either way. HV_FAULT_KIND/
-        _AT/_EVERY/_STALL_MS arm deterministic fault injection for testing.)
-  hvc serve <model.ta> --listen <addr> [--prop "<ltl>"] [--name N]
+        _AT/_EVERY/_STALL_MS arm deterministic fault injection for testing.
+        --prop may repeat; the i-th --name names the i-th property.)
+  hvc serve <model.ta> --listen <addr> [--prop "<ltl>"]... [--name N]...
                        [--expected-workers N] [--lease-timeout S]
                        [... same checking flags as hvc check ...]
        (distributed coordinator: shards the schema space into subtree
@@ -64,11 +68,39 @@ constexpr const char* kUsage = R"(usage:
         model's bundled default properties. A worker that dies loses its
         lease to the next worker; kill -9 the coordinator and restart with
         --resume to continue from the journal.)
-  hvc work --connect <addr> [--label NAME] [--retry S]
+  hvc work --connect <addr> [--label NAME] [--retry S] [--reconnect S]
        (distributed worker: pulls schema subtree leases from an hvc serve
         coordinator and streams back per-schema verdicts; runs until the
         coordinator sends shutdown. The model and properties arrive over
-        the wire — nothing is configured locally.)
+        the wire — nothing is configured locally. --reconnect S keeps
+        retrying lost/refused connections with exponential backoff for up
+        to S idle seconds, so a worker fleet survives coordinator restarts.)
+  hvc daemon --listen <addr> --state <dir> [--cache-mb MB] [--job-workers N]
+             [--max-running N] [--tenant-max-queued N]
+             [--tenant-max-running N] [--tenant-schema-budget K]
+       (multi-tenant verification service: accepts hvc submit jobs from
+        many clients, schedules them fairly under per-tenant quotas, and
+        answers repeated submissions from a content-addressed result cache
+        with zero schemas solved. The queue lives in <dir> as a crash-safe
+        event log plus one schema journal per job: kill -9 the daemon and
+        restart it with the same --state to resume queued and running jobs
+        and re-serve finished ones from the cache. SIGINT/SIGTERM shut
+        down gracefully (interrupted jobs re-run on the next start).
+        --job-workers N >= 2 runs every job on N forked worker processes.)
+  hvc submit <model.ta> --connect <addr> --tenant NAME [--priority P]
+             [--wait] [--json] [--prop "<ltl>"]... [--name N]...
+             [... same checking flags as hvc check ...]
+       (submits a job to an hvc daemon and prints its id; --wait streams
+        progress and exits with the job's own exit code, printing the same
+        --json output hvc check would have. Without --prop the model's
+        bundled default properties are submitted.)
+  hvc status --connect <addr> [--job ID] [--json]
+       (queue, per-job progress/ETA and cache statistics of a daemon)
+  hvc result <job-id> --connect <addr> [--wait]
+       (fetches a finished job's result — byte-identical to hvc check
+        --json — and exits with the job's exit code; --wait blocks)
+  hvc cancel <job-id> --connect <addr>
+       (cancels a queued or running job; idempotent)
   hvc audit <cert.json> [--json]
        (re-validates a certificate with exact arithmetic only; exit 0 iff
         every verdict is substantiated)
@@ -217,32 +249,23 @@ double rational_fast_ratio(const checker::PropertyResult& result) {
   return static_cast<double>(result.rational_fast_ops) / static_cast<double>(total);
 }
 
-void print_result_json(const ta::ThresholdAutomaton& ta, const checker::PropertyResult& result,
-                       std::ostream& out) {
-  out << "{\"property\": \"" << json_escape(result.property) << "\", \"verdict\": \""
-      << checker::to_string(result.verdict) << "\", \"schemas\": "
-      << result.schemas_checked << ", \"pruned\": " << result.schemas_pruned
-      << ", \"cut\": " << result.schemas_cut
-      << ", \"lemma_hits\": " << result.lemma_hits
-      << ", \"lemmas_learned\": " << result.lemmas_learned
-      << ", \"unknown_schemas\": " << result.schemas_unknown
-      << ", \"resumed\": " << result.schemas_resumed << ", \"retries\": " << result.retries
-      << ", \"seconds\": " << result.seconds << ", \"pivots\": " << result.simplex_pivots
-      << ", \"rational_fast_ops\": " << result.rational_fast_ops
-      << ", \"rational_big_ops\": " << result.rational_big_ops
-      << ", \"rational_fast_ratio\": " << rational_fast_ratio(result)
-      << ", \"note\": \"" << json_escape(result.note) << "\"";
-  if (result.incremental) {
-    out << ", \"segments_pushed\": " << result.incremental->segments_pushed
-        << ", \"segments_popped\": " << result.incremental->segments_popped
-        << ", \"segments_reused\": " << result.incremental->segments_reused
-        << ", \"prefix_reuse_ratio\": " << result.incremental->prefix_reuse_ratio();
+/// Pairs repeated --prop values with their --name values: the i-th --name
+/// names the i-th --prop; unnamed properties default to "property",
+/// "property2", "property3", ... (the first keeps the historical name, so
+/// single-property invocations are unchanged).
+std::vector<dist::PropertySpec> ltl_specs(const std::vector<std::string>& props,
+                                          const std::vector<std::string>& names) {
+  if (names.size() > props.size()) {
+    throw InvalidArgument("more --name values than --prop values");
   }
-  if (result.counterexample) {
-    out << ", \"counterexample\": \"" << json_escape(result.counterexample->to_string(ta))
-        << "\"";
+  std::vector<dist::PropertySpec> specs;
+  for (std::size_t i = 0; i < props.size(); ++i) {
+    std::string name = i < names.size()
+                           ? names[i]
+                           : (i == 0 ? "property" : "property" + std::to_string(i + 1));
+    specs.push_back({std::move(name), props[i], /*bundled=*/false});
   }
-  out << "}";
+  return specs;
 }
 
 void print_result_text(const ta::ThresholdAutomaton& ta, const checker::PropertyResult& result,
@@ -277,8 +300,8 @@ void print_result_text(const ta::ThresholdAutomaton& ta, const checker::Property
 int command_check(Args& args, std::ostream& out) {
   const auto model_path = args.next_positional();
   if (!model_path) throw InvalidArgument("check: missing model file");
-  std::string prop;
-  std::string name = "property";
+  std::vector<std::string> props;
+  std::vector<std::string> names;
   bool json = false;
   bool certify = false;
   int fork_workers = 0;
@@ -286,9 +309,9 @@ int command_check(Args& args, std::ostream& out) {
   checker::CheckOptions options;
   while (!args.empty()) {
     if (const auto value = args.option("--prop")) {
-      prop = *value;
+      props.push_back(*value);
     } else if (const auto value = args.option("--name")) {
-      name = *value;
+      names.push_back(*value);
     } else if (const auto value = args.option("--timeout")) {
       options.timeout_seconds = std::stod(*value);
     } else if (const auto value = args.option("--max-schemas")) {
@@ -339,9 +362,12 @@ int command_check(Args& args, std::ostream& out) {
 
   const std::string model_text = read_file(*model_path);
   const ta::ThresholdAutomaton ta = ta::parse_ta(model_text).one_round_reduction();
+  const std::vector<dist::PropertySpec> ltl = ltl_specs(props, names);
   std::vector<spec::Property> properties;
-  if (!prop.empty()) {
-    properties.push_back(spec::compile(ta, name, prop));
+  if (!ltl.empty()) {
+    for (const dist::PropertySpec& spec : ltl) {
+      properties.push_back(spec::compile(ta, spec.name, spec.formula));
+    }
   } else if (certify && cert::has_bundled_properties(ta.name())) {
     // Certify the model's bundled default set (the Table-2 properties for
     // the simplified consensus automaton).
@@ -359,10 +385,8 @@ int command_check(Args& args, std::ostream& out) {
     // Fork-local distributed mode: N worker processes over a private unix
     // socket. The specs travel by name/formula; workers recompile them
     // against their own parse of the model text.
-    std::vector<dist::PropertySpec> specs;
-    if (!prop.empty()) {
-      specs.push_back({name, prop, /*bundled=*/false});
-    } else {
+    std::vector<dist::PropertySpec> specs = ltl;
+    if (specs.empty()) {
       for (const spec::Property& property : properties) {
         specs.push_back({property.name, "", /*bundled=*/true});
       }
@@ -380,20 +404,13 @@ int command_check(Args& args, std::ostream& out) {
     cert::Certificate certificate;
     certificate.components.push_back(
         cert::make_component_cert(cert::text_model_source(model_text), properties, results,
-                                  prop.empty() ? "bundled" : "ltl"));
+                                  props.empty() ? "bundled" : "ltl"));
     cert_path = cert_out.value_or(*model_path + ".cert.json");
     write_file(cert_path, cert::to_json_text(certificate));
   }
 
   if (json) {
-    const bool many = results.size() != 1;
-    if (many) out << "[";
-    for (std::size_t i = 0; i < results.size(); ++i) {
-      if (i > 0) out << ",\n ";
-      print_result_json(ta, results[i], out);
-    }
-    if (many) out << "]";
-    out << "\n";
+    out << service::render_results_json(ta, results);
   } else {
     for (const checker::PropertyResult& result : results) print_result_text(ta, result, out);
     if (fork_workers >= 2) {
@@ -410,8 +427,8 @@ int command_serve(Args& args, std::ostream& out) {
   const auto model_path = args.next_positional();
   if (!model_path) throw InvalidArgument("serve: missing model file");
   std::string listen;
-  std::string prop;
-  std::string name = "property";
+  std::vector<std::string> props;
+  std::vector<std::string> names;
   bool json = false;
   bool certify = false;
   std::optional<std::string> cert_out;
@@ -421,9 +438,9 @@ int command_serve(Args& args, std::ostream& out) {
     if (const auto value = args.option("--listen")) {
       listen = *value;
     } else if (const auto value = args.option("--prop")) {
-      prop = *value;
+      props.push_back(*value);
     } else if (const auto value = args.option("--name")) {
-      name = *value;
+      names.push_back(*value);
     } else if (const auto value = args.option("--timeout")) {
       options.timeout_seconds = std::stod(*value);
     } else if (const auto value = args.option("--max-schemas")) {
@@ -471,9 +488,9 @@ int command_serve(Args& args, std::ostream& out) {
 
   const std::string model_text = read_file(*model_path);
   const ta::ThresholdAutomaton ta = ta::parse_ta(model_text).one_round_reduction();
-  std::vector<dist::PropertySpec> specs;
-  if (!prop.empty()) {
-    specs.push_back({name, prop, /*bundled=*/false});
+  std::vector<dist::PropertySpec> specs = ltl_specs(props, names);
+  if (!specs.empty()) {
+    // LTL properties from the command line travel by formula.
   } else if (cert::has_bundled_properties(ta.name())) {
     for (const spec::Property& property :
          cert::bundled_properties(ta, /*table2_defaults=*/true)) {
@@ -494,20 +511,13 @@ int command_serve(Args& args, std::ostream& out) {
     cert::Certificate certificate;
     certificate.components.push_back(
         cert::make_component_cert(cert::text_model_source(model_text), properties, results,
-                                  prop.empty() ? "bundled" : "ltl"));
+                                  props.empty() ? "bundled" : "ltl"));
     cert_path = cert_out.value_or(*model_path + ".cert.json");
     write_file(cert_path, cert::to_json_text(certificate));
   }
 
   if (json) {
-    const bool many = results.size() != 1;
-    if (many) out << "[";
-    for (std::size_t i = 0; i < results.size(); ++i) {
-      if (i > 0) out << ",\n ";
-      print_result_json(ta, results[i], out);
-    }
-    if (many) out << "]";
-    out << "\n";
+    out << service::render_results_json(ta, results);
   } else {
     for (const checker::PropertyResult& result : results) print_result_text(ta, result, out);
     out << "distributed: " << stats.workers_joined << " workers joined, "
@@ -527,6 +537,8 @@ int command_work(Args& args, std::ostream& out) {
       options.label = *value;
     } else if (const auto value = args.option("--retry")) {
       options.connect_retry_seconds = std::stod(*value);
+    } else if (const auto value = args.option("--reconnect")) {
+      options.reconnect_seconds = std::stod(*value);
     } else {
       throw InvalidArgument("work: unexpected argument '" + args.peek() + "'");
     }
@@ -543,6 +555,256 @@ int command_work(Args& args, std::ostream& out) {
   // connection, cancellation, injected abort) is inconclusive for this
   // worker — the coordinator's exit code is the run's verdict.
   return report.completed ? 0 : 3;
+}
+
+int command_daemon(Args& args, std::ostream& out) {
+  std::string listen;
+  service::DaemonOptions options;
+  while (!args.empty()) {
+    if (const auto value = args.option("--listen")) {
+      listen = *value;
+    } else if (const auto value = args.option("--state")) {
+      options.state_dir = *value;
+    } else if (const auto value = args.option("--cache-mb")) {
+      options.cache_bytes = std::stoll(*value) * 1024 * 1024;
+    } else if (const auto value = args.option("--job-workers")) {
+      options.job_workers = std::stoi(*value);
+    } else if (const auto value = args.option("--max-running")) {
+      options.limits.max_running = std::stoi(*value);
+    } else if (const auto value = args.option("--tenant-max-queued")) {
+      options.limits.tenant_max_queued = std::stoi(*value);
+    } else if (const auto value = args.option("--tenant-max-running")) {
+      options.limits.tenant_max_running = std::stoi(*value);
+    } else if (const auto value = args.option("--tenant-schema-budget")) {
+      options.limits.tenant_schema_budget = std::stoll(*value);
+    } else {
+      throw InvalidArgument("daemon: unexpected argument '" + args.peek() + "'");
+    }
+  }
+  if (listen.empty()) throw InvalidArgument("daemon: --listen is required");
+  if (options.state_dir.empty()) throw InvalidArgument("daemon: --state is required");
+  options.stop = &g_interrupted;
+  return service::run_daemon(listen, options, out);
+}
+
+/// Shared by submit/status/result/cancel: prints a daemon progress frame
+/// as a one-line human summary.
+void print_progress(const cert::Json& frame, std::ostream& out) {
+  out << "job " << frame.at("job").as_int() << " " << frame.at("state").as_string() << ": "
+      << frame.at("solved").as_int() << " solved / " << frame.at("enumerated").as_int()
+      << " enumerated, " << frame.at("properties_done").as_int() << "/"
+      << frame.at("properties").as_int() << " properties";
+  const double eta = frame.at("eta_seconds").as_double();
+  if (eta >= 0.0) out << ", eta " << eta << "s";
+  out << "\n";
+}
+
+int command_submit(Args& args, std::ostream& out) {
+  const auto model_path = args.next_positional();
+  if (!model_path) throw InvalidArgument("submit: missing model file");
+  std::string connect;
+  std::vector<std::string> props;
+  std::vector<std::string> names;
+  bool wait = false;
+  bool json = false;
+  service::SubmitRequest request;
+  checker::CheckOptions& options = request.options;
+  while (!args.empty()) {
+    if (const auto value = args.option("--connect")) {
+      connect = *value;
+    } else if (const auto value = args.option("--tenant")) {
+      request.tenant = *value;
+    } else if (const auto value = args.option("--priority")) {
+      request.priority = std::stoi(*value);
+    } else if (args.boolean("--wait")) {
+      wait = true;
+    } else if (const auto value = args.option("--prop")) {
+      props.push_back(*value);
+    } else if (const auto value = args.option("--name")) {
+      names.push_back(*value);
+    } else if (const auto value = args.option("--timeout")) {
+      options.timeout_seconds = std::stod(*value);
+    } else if (const auto value = args.option("--max-schemas")) {
+      options.enumeration.max_schemas = std::stoll(*value);
+    } else if (const auto value = args.option("--threads")) {
+      options.workers = std::stoi(*value);
+    } else if (args.boolean("--no-pruning")) {
+      options.property_directed_pruning = false;
+    } else if (args.boolean("--no-incremental")) {
+      options.incremental = false;
+    } else if (args.boolean("--no-lemmas")) {
+      options.lemmas = false;
+    } else if (args.boolean("--json")) {
+      json = true;
+    } else if (args.boolean("--certify")) {
+      options.certify = true;
+    } else if (const auto value = args.option("--schema-timeout")) {
+      options.schema_timeout_seconds = std::stod(*value);
+    } else if (const auto value = args.option("--pivot-budget")) {
+      options.pivot_budget = std::stoll(*value);
+    } else if (const auto value = args.option("--memory-budget")) {
+      options.memory_budget_mb = std::stoll(*value);
+    } else if (args.boolean("--no-retry")) {
+      options.retry_fresh = false;
+    } else {
+      throw InvalidArgument("submit: unexpected argument '" + args.peek() + "'");
+    }
+  }
+  if (connect.empty()) throw InvalidArgument("submit: --connect is required");
+  if (request.tenant.empty()) throw InvalidArgument("submit: --tenant is required");
+
+  request.model_text = read_file(*model_path);
+  request.specs = ltl_specs(props, names);
+  if (request.specs.empty()) {
+    const ta::ThresholdAutomaton ta = ta::parse_ta(request.model_text).one_round_reduction();
+    if (!cert::has_bundled_properties(ta.name())) {
+      throw InvalidArgument("submit: --prop is required (no bundled properties for automaton '" +
+                            ta.name() + "')");
+    }
+    for (const spec::Property& property :
+         cert::bundled_properties(ta, /*table2_defaults=*/true)) {
+      request.specs.push_back({property.name, "", /*bundled=*/true});
+    }
+  }
+
+  service::Client client(connect);
+  const cert::Json submitted = client.submit(request);
+  const std::int64_t job = submitted.at("job").as_int();
+  const bool cached = submitted.at("cached").as_bool();
+  if (!wait) {
+    if (json) {
+      out << submitted.to_string() << "\n";
+    } else {
+      out << "job " << job << " " << submitted.at("state").as_string()
+          << (cached ? " (cache hit)" : "") << "\n";
+    }
+    return 0;
+  }
+  const cert::Json final_frame =
+      client.result(job, /*wait=*/true, [&](const cert::Json& frame) {
+        if (!json) print_progress(frame, out);
+      });
+  const cert::Json* type = final_frame.find("type");
+  if (type == nullptr || type->as_string() != "result") {
+    throw Error("submit: " + final_frame.at("message").as_string());
+  }
+  const std::string& state = final_frame.at("state").as_string();
+  if (state == "done") {
+    // The daemon's response is the byte-identical `hvc check --json`
+    // output; in human mode it still tells the whole story compactly.
+    out << final_frame.at("response").as_string();
+    if (!json && cached) out << "(served from result cache)\n";
+    return static_cast<int>(final_frame.at("code").as_int());
+  }
+  out << "job " << job << " " << state << ": " << final_frame.at("response").as_string()
+      << "\n";
+  return static_cast<int>(final_frame.at("code").as_int());
+}
+
+int command_status(Args& args, std::ostream& out) {
+  std::string connect;
+  std::int64_t job = -1;
+  bool json = false;
+  while (!args.empty()) {
+    if (const auto value = args.option("--connect")) {
+      connect = *value;
+    } else if (const auto value = args.option("--job")) {
+      job = std::stoll(*value);
+    } else if (args.boolean("--json")) {
+      json = true;
+    } else {
+      throw InvalidArgument("status: unexpected argument '" + args.peek() + "'");
+    }
+  }
+  if (connect.empty()) throw InvalidArgument("status: --connect is required");
+  service::Client client(connect);
+  const cert::Json status = client.status(job);
+  const cert::Json* type = status.find("type");
+  if (type == nullptr || type->as_string() != "status") {
+    throw Error("status: " + status.at("message").as_string());
+  }
+  if (json) {
+    out << status.to_string() << "\n";
+    return 0;
+  }
+  const cert::Json& cache = status.at("cache");
+  out << "daemon: " << status.at("running").as_int() << " running, "
+      << status.at("queued").as_int() << " queued; cache " << cache.at("entries").as_int()
+      << " entries / " << cache.at("bytes").as_int() << " bytes ("
+      << cache.at("hits").as_int() << " hits, " << cache.at("misses").as_int()
+      << " misses, " << cache.at("evictions").as_int() << " evictions)\n";
+  for (const cert::Json& row : status.at("jobs").as_array()) {
+    out << "  job " << row.at("job").as_int() << " [" << row.at("tenant").as_string()
+        << "] " << row.at("state").as_string();
+    if (row.at("cached").as_bool()) out << " (cache hit)";
+    if (const cert::Json* code = row.find("code")) out << " exit " << code->as_int();
+    if (row.at("state").as_string() == "running") {
+      out << ": " << row.at("solved").as_int() << " solved / "
+          << row.at("enumerated").as_int() << " enumerated, "
+          << row.at("properties_done").as_int() << "/" << row.at("properties").as_int()
+          << " properties, " << row.at("workers").as_int() << " workers";
+      const double eta = row.at("eta_seconds").as_double();
+      if (eta >= 0.0) out << ", eta " << eta << "s";
+    }
+    out << "\n";
+  }
+  return 0;
+}
+
+int command_result(Args& args, std::ostream& out) {
+  const auto job_text = args.next_positional();
+  if (!job_text) throw InvalidArgument("result: missing job id");
+  std::string connect;
+  bool wait = false;
+  while (!args.empty()) {
+    if (const auto value = args.option("--connect")) {
+      connect = *value;
+    } else if (args.boolean("--wait")) {
+      wait = true;
+    } else {
+      throw InvalidArgument("result: unexpected argument '" + args.peek() + "'");
+    }
+  }
+  if (connect.empty()) throw InvalidArgument("result: --connect is required");
+  service::Client client(connect);
+  const cert::Json frame = client.result(std::stoll(*job_text), wait);
+  const cert::Json* type = frame.find("type");
+  if (type == nullptr) throw Error("result: malformed reply");
+  if (type->as_string() == "error") throw Error("result: " + frame.at("message").as_string());
+  if (type->as_string() == "progress") {
+    print_progress(frame, out);
+    return 3;  // still running: inconclusive, like a budget-exhausted check
+  }
+  const std::string& state = frame.at("state").as_string();
+  if (state == "done") {
+    out << frame.at("response").as_string();
+  } else {
+    out << "job " << frame.at("job").as_int() << " " << state << ": "
+        << frame.at("response").as_string() << "\n";
+  }
+  return static_cast<int>(frame.at("code").as_int());
+}
+
+int command_cancel(Args& args, std::ostream& out) {
+  const auto job_text = args.next_positional();
+  if (!job_text) throw InvalidArgument("cancel: missing job id");
+  std::string connect;
+  while (!args.empty()) {
+    if (const auto value = args.option("--connect")) {
+      connect = *value;
+    } else {
+      throw InvalidArgument("cancel: unexpected argument '" + args.peek() + "'");
+    }
+  }
+  if (connect.empty()) throw InvalidArgument("cancel: --connect is required");
+  service::Client client(connect);
+  const cert::Json reply = client.cancel(std::stoll(*job_text));
+  const cert::Json* type = reply.find("type");
+  if (type == nullptr || type->as_string() != "ok") {
+    throw Error("cancel: " + reply.at("message").as_string());
+  }
+  out << "job " << reply.at("job").as_int() << " " << reply.at("state").as_string() << "\n";
+  return 0;
 }
 
 int command_audit(Args& args, std::ostream& out) {
@@ -793,6 +1055,11 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out, std::ostrea
     if (*command == "check") return command_check(cursor, out);
     if (*command == "serve") return command_serve(cursor, out);
     if (*command == "work") return command_work(cursor, out);
+    if (*command == "daemon") return command_daemon(cursor, out);
+    if (*command == "submit") return command_submit(cursor, out);
+    if (*command == "status") return command_status(cursor, out);
+    if (*command == "result") return command_result(cursor, out);
+    if (*command == "cancel") return command_cancel(cursor, out);
     if (*command == "audit") return command_audit(cursor, out);
     if (*command == "explicit") return command_explicit(cursor, out);
     if (*command == "dot") return command_dot(cursor, out);

@@ -14,6 +14,12 @@ inline constexpr const char* kHvcVersion = "1.0.0";
 /// refuse to pair across revisions.
 inline constexpr int kDistProtocolVersion = 1;
 
+/// Wire-protocol revision of the multi-tenant verification service
+/// (hv/service): the client frames of hvc submit/status/result/cancel.
+/// Bumped on any message-format change; the daemon rejects mismatched
+/// clients with a precise error frame instead of undefined behavior.
+inline constexpr int kServiceProtocolVersion = 1;
+
 }  // namespace hv
 
 #endif  // HV_UTIL_VERSION_H

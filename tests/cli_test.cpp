@@ -94,6 +94,45 @@ TEST_F(CliTest, CheckRejectsMalformedProperty) {
   EXPECT_EQ(run({"check", model_path_, "--prop", "[](<>(locA == 0))"}), 2);
 }
 
+TEST_F(CliTest, CheckAcceptsRepeatedProps) {
+  // Several --prop flags check in one run; the i-th --name labels the i-th
+  // property. The exit code aggregates: any violation wins over all-holds.
+  const int code = run({"check", model_path_,
+                        "--prop", "[](locB == 0) -> [](locD == 0)", "--name", "safe",
+                        "--prop", "<>(locA == 0 && locW == 0)", "--name", "everyone"});
+  EXPECT_EQ(code, 1);
+  EXPECT_NE(out_.str().find("safe: holds"), std::string::npos) << out_.str();
+  EXPECT_NE(out_.str().find("everyone: violated"), std::string::npos) << out_.str();
+  EXPECT_NE(out_.str().find("counterexample to everyone"), std::string::npos);
+
+  // JSON mode renders an array for several properties, in submission order.
+  const int json = run({"check", model_path_,
+                        "--prop", "[](locB == 0) -> [](locD == 0)", "--name", "safe",
+                        "--prop", "<>(locA == 0 && locW == 0)", "--name", "everyone",
+                        "--json"});
+  EXPECT_EQ(json, 1);
+  const std::string text = out_.str();
+  const std::size_t safe_at = text.find("\"property\": \"safe\"");
+  const std::size_t everyone_at = text.find("\"property\": \"everyone\"");
+  ASSERT_NE(safe_at, std::string::npos) << text;
+  ASSERT_NE(everyone_at, std::string::npos) << text;
+  EXPECT_LT(safe_at, everyone_at);
+  EXPECT_EQ(text.front(), '[');
+
+  // Unnamed extra properties get positional default names.
+  const int unnamed = run({"check", model_path_,
+                           "--prop", "[](locB == 0) -> [](locD == 0)",
+                           "--prop", "[](locB == 0) -> [](locD == 0)"});
+  EXPECT_EQ(unnamed, 0);
+  EXPECT_NE(out_.str().find("property: holds"), std::string::npos) << out_.str();
+  EXPECT_NE(out_.str().find("property2: holds"), std::string::npos) << out_.str();
+
+  // More --name flags than --prop flags is a usage error.
+  EXPECT_EQ(run({"check", model_path_, "--prop", "locA == 0",
+                 "--name", "a", "--name", "b"}),
+            2);
+}
+
 TEST_F(CliTest, ExplicitChecksOneValuation) {
   const int code = run({"explicit", model_path_, "--prop",
                         "[](locB == 0) -> [](locD == 0)", "--params", "n=4,t=1,f=1"});

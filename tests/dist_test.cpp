@@ -79,7 +79,7 @@ class FramePair : public ::testing::Test {
 };
 
 TEST_F(FramePair, RoundTripsPayloads) {
-  for (const std::string payload : {std::string("{\"type\":\"hello\"}"), std::string(),
+  for (const std::string& payload : {std::string("{\"type\":\"hello\"}"), std::string(),
                                     std::string(1000, 'x')}) {
     ASSERT_TRUE(write_frame(writer(), payload));
     std::string got;
@@ -554,6 +554,74 @@ TEST(DistEndToEnd, WorkerReportsAMalformedWelcome) {
   });
   WorkerOptions options;
   options.connect = "unix:" + path;
+  const WorkerReport report = run_worker(options);
+  fake.join();
+  ::close(listen_fd);
+  std::remove(path.c_str());
+  EXPECT_FALSE(report.completed);
+  EXPECT_NE(report.note.find("malformed welcome"), std::string::npos) << report.note;
+}
+
+TEST(DistReconnect, WorkerStartedBeforeTheCoordinatorEventuallyCompletes) {
+  // `hvc work --reconnect`: the whole lifecycle retries, so a worker fleet
+  // can be brought up before the coordinator exists. The worker spins on
+  // connect-refused until serve() binds, then completes normally.
+  const std::string address = "unix:" + temp_path("dist_reconn.sock");
+  WorkerOptions options;
+  options.connect = address;
+  options.label = "early";
+  options.connect_retry_seconds = 0.2;  // each attempt gives up fast...
+  options.reconnect_seconds = 20.0;     // ...but the budget keeps re-trying
+  WorkerReport report;
+  std::thread worker([&] { report = run_worker(options); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+
+  ServeRun run;
+  run.start(address, {{"safe", kHoldsFormula, false}}, DistOptions{});
+  worker.join();
+  run.join();
+  ASSERT_TRUE(run.error.empty()) << run.error;
+  EXPECT_TRUE(report.completed) << report.note;
+  EXPECT_GT(report.records, 0);
+  ASSERT_EQ(run.results.size(), 1u);
+  EXPECT_EQ(run.results[0].verdict, checker::Verdict::kHolds);
+}
+
+TEST(DistReconnect, BudgetExpiryReportsTheConnectFailure) {
+  // Nothing ever listens: the reconnect loop must give up once the budget
+  // elapses without a successful connection and surface the transport note.
+  WorkerOptions options;
+  options.connect = "unix:" + temp_path("dist_noone.sock");
+  options.connect_retry_seconds = 0.05;
+  options.reconnect_seconds = 0.3;
+  const WorkerReport report = run_worker(options);
+  EXPECT_FALSE(report.completed);
+  EXPECT_NE(report.note.find("cannot connect"), std::string::npos) << report.note;
+}
+
+TEST(DistReconnect, SemanticStopsNeverRetry) {
+  // A malformed welcome is a protocol-level (semantic) stop: retrying would
+  // hammer a coordinator that will never speak our dialect. With a generous
+  // reconnect budget the worker must still stop after ONE attempt — the
+  // fake below accepts exactly once, so a retry would stall until the 30s
+  // budget drained; returning promptly with the same note proves it didn't.
+  const std::string path = temp_path("dist_reconn_bad.sock");
+  Address addr;
+  addr.unix_domain = true;
+  addr.path = path;
+  const int listen_fd = listen_on(addr);
+  std::thread fake([&] {
+    const int cfd = ::accept(listen_fd, nullptr, nullptr);
+    ASSERT_GE(cfd, 0);
+    Conn conn(cfd);
+    cert::Json hello;
+    EXPECT_EQ(conn.recv(&hello, 5'000), FrameStatus::kOk);
+    conn.send(cert::Json::Object{{"type", "welcome"}, {"protocol", kDistProtocolVersion}});
+    conn.close();
+  });
+  WorkerOptions options;
+  options.connect = "unix:" + path;
+  options.reconnect_seconds = 30.0;
   const WorkerReport report = run_worker(options);
   fake.join();
   ::close(listen_fd);
