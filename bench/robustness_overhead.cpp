@@ -7,6 +7,14 @@
 // Verdicts must agree, and the armed run should stay within a few percent of
 // the baseline (target: <5% on the total across properties).
 //
+// A second section measures the Byzantine-defense spot-checker on the
+// fork-local worker fleet: the Table-2 properties of the simplified
+// consensus automaton through `check_distributed_local` with 2 workers,
+// once trusting the fleet (--spot-check-rate 0) and once re-solving a 5%
+// sample of reported verdicts in-process (R=0.05, the documented
+// deployment default for untrusted fleets). Verdicts must agree; the
+// overhead column is the price of distrust.
+//
 // Emits a machine-readable JSON array to BENCH_robustness.json (override
 // with --out FILE) so future changes have a perf trajectory to compare
 // against.
@@ -18,8 +26,11 @@
 #include <vector>
 
 #include "hv/checker/parameterized.h"
+#include "hv/dist/local.h"
 #include "hv/models/bv_broadcast.h"
 #include "hv/models/simplified_consensus.h"
+#include "hv/ta/parser.h"
+#include "hv/util/stopwatch.h"
 
 namespace {
 
@@ -41,6 +52,52 @@ hv::checker::PropertyResult best_of(const hv::ta::ThresholdAutomaton& ta,
     if (i == 0 || result.seconds < best.seconds) best = result;
   }
   return best;
+}
+
+// One property through the fork-local 2-worker fleet, spot-checker off vs
+// armed at R=0.05. Cross-schema learning is off in both modes (arming the
+// spot-checker disables it anyway), so the column isolates the re-solve
+// cost.
+struct SpotRow {
+  std::string property;
+  hv::checker::PropertyResult trusted;
+  hv::checker::PropertyResult spot;
+  double trusted_seconds = 0.0;
+  double spot_seconds = 0.0;
+  std::int64_t spot_checks = 0;
+};
+
+SpotRow run_spot_property(const std::string& model_text, const std::string& name,
+                          std::int64_t max_schemas, int reps) {
+  SpotRow row;
+  row.property = name;
+  const std::vector<hv::dist::PropertySpec> specs = {{name, "", /*bundled=*/true}};
+  hv::dist::DistOptions options;
+  options.check.lemmas = false;
+  options.check.enumeration.max_schemas = max_schemas;
+  for (int i = 0; i < reps; ++i) {
+    const hv::Stopwatch watch;
+    hv::checker::PropertyResult result =
+        hv::dist::check_distributed_local(model_text, specs, /*worker_count=*/2, options)
+            .front();
+    const double seconds = watch.seconds();
+    if (i == 0 || seconds < row.trusted_seconds) row.trusted_seconds = seconds;
+    row.trusted = std::move(result);
+  }
+  options.spot_check_rate = 0.05;
+  for (int i = 0; i < reps; ++i) {
+    hv::dist::DistStats stats;
+    const hv::Stopwatch watch;
+    hv::checker::PropertyResult result =
+        hv::dist::check_distributed_local(model_text, specs, /*worker_count=*/2, options,
+                                          &stats)
+            .front();
+    const double seconds = watch.seconds();
+    if (i == 0 || seconds < row.spot_seconds) row.spot_seconds = seconds;
+    row.spot = std::move(result);
+    row.spot_checks = stats.spot_checks;
+  }
+  return row;
 }
 
 Row run_property(const std::string& model, const hv::ta::ThresholdAutomaton& ta,
@@ -69,13 +126,17 @@ Row run_property(const std::string& model, const hv::ta::ThresholdAutomaton& ta,
 int main(int argc, char** argv) {
   std::string out_path = "BENCH_robustness.json";
   int reps = 3;
+  std::int64_t spot_max_schemas = 300;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out_path = argv[++i];
     } else if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc) {
       reps = std::max(1, std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--spot-max-schemas") == 0 && i + 1 < argc) {
+      spot_max_schemas = std::atoll(argv[++i]);
     } else {
-      std::fprintf(stderr, "usage: %s [--out FILE] [--reps N]\n", argv[0]);
+      std::fprintf(stderr, "usage: %s [--out FILE] [--reps N] [--spot-max-schemas K]\n",
+                   argv[0]);
       return 2;
     }
   }
@@ -116,6 +177,31 @@ int main(int argc, char** argv) {
               total_baseline, total_armed, total_overhead);
   std::printf("  verdicts agree on every property: %s\n", verdicts_agree ? "yes" : "NO");
 
+  // Spot-check overhead on the fork-local fleet (2 workers, learning off).
+  const std::string simplified_text = hv::ta::to_text(hv::models::simplified_consensus());
+  std::vector<SpotRow> spot_rows;
+  for (const hv::spec::Property& property :
+       hv::models::simplified_table2_properties(simplified)) {
+    spot_rows.push_back(
+        run_spot_property(simplified_text, property.name, spot_max_schemas, reps));
+  }
+  std::printf("\n  spot-check overhead (2 forked workers, <=%lld schemas, R=0.05 vs off)\n",
+              static_cast<long long>(spot_max_schemas));
+  std::printf("  %-22s %-12s %8s | %10s %10s %9s\n", "model", "property", "checks",
+              "trusted", "spot", "overhead");
+  for (const SpotRow& row : spot_rows) {
+    verdicts_agree = verdicts_agree && row.trusted.verdict == row.spot.verdict;
+    const double overhead =
+        row.trusted_seconds == 0.0
+            ? 0.0
+            : (row.spot_seconds - row.trusted_seconds) / row.trusted_seconds * 100.0;
+    std::printf("  %-22s %-12s %8lld | %9.3fs %9.3fs %+8.2f%%\n", "simplified_consensus",
+                row.property.c_str(), static_cast<long long>(row.spot_checks),
+                row.trusted_seconds, row.spot_seconds, overhead);
+  }
+  std::printf("  spot-check verdicts agree on every property: %s\n",
+              verdicts_agree ? "yes" : "NO");
+
   std::FILE* json = std::fopen(out_path.c_str(), "w");
   if (json == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
@@ -129,15 +215,32 @@ int main(int argc, char** argv) {
             ? 0.0
             : (row.armed.seconds - row.baseline.seconds) / row.baseline.seconds;
     std::fprintf(json,
-                 "  {\"model\": \"%s\", \"property\": \"%s\", \"verdict\": \"%s\", "
+                 "  {\"mode\": \"journal_watchdogs\", \"model\": \"%s\", "
+                 "\"property\": \"%s\", \"verdict\": \"%s\", "
                  "\"verdicts_agree\": %s, \"schemas\": %lld, "
                  "\"baseline_seconds\": %.6f, \"armed_seconds\": %.6f, "
-                 "\"overhead_ratio\": %.4f}%s\n",
+                 "\"overhead_ratio\": %.4f},\n",
                  row.model.c_str(), row.property.c_str(),
                  hv::checker::to_string(row.armed.verdict).c_str(),
                  row.baseline.verdict == row.armed.verdict ? "true" : "false",
                  static_cast<long long>(row.armed.schemas_checked), row.baseline.seconds,
-                 row.armed.seconds, overhead, i + 1 < rows.size() ? "," : "");
+                 row.armed.seconds, overhead);
+  }
+  for (std::size_t i = 0; i < spot_rows.size(); ++i) {
+    const SpotRow& row = spot_rows[i];
+    const double overhead = row.trusted_seconds == 0.0
+                                ? 0.0
+                                : (row.spot_seconds - row.trusted_seconds) / row.trusted_seconds;
+    std::fprintf(json,
+                 "  {\"mode\": \"spot_check\", \"model\": \"simplified_consensus\", "
+                 "\"property\": \"%s\", \"verdict\": \"%s\", "
+                 "\"verdicts_agree\": %s, \"spot_checks\": %lld, "
+                 "\"baseline_seconds\": %.6f, \"spot_seconds\": %.6f, "
+                 "\"overhead_ratio\": %.4f}%s\n",
+                 row.property.c_str(), hv::checker::to_string(row.spot.verdict).c_str(),
+                 row.trusted.verdict == row.spot.verdict ? "true" : "false",
+                 static_cast<long long>(row.spot_checks), row.trusted_seconds,
+                 row.spot_seconds, overhead, i + 1 < spot_rows.size() ? "," : "");
   }
   std::fputs("]\n", json);
   std::fclose(json);

@@ -408,6 +408,13 @@ ResumeState load_journal(const std::string& path) {
       ++state.skipped_lines;
       continue;
     }
+    if (record.verdict == "revoked") {
+      // Compensating record from the distributed coordinator: the original
+      // verdict came from a worker later caught lying, so a resumed run must
+      // re-solve this cursor as if it had never been settled.
+      state.settled.erase(ResumeState::key(record.property, record.cursor));
+      continue;
+    }
     state.settled[ResumeState::key(record.property, record.cursor)] = std::move(record);
   }
   if (!header_seen) throw Error("journal: " + path + " has no valid header line");

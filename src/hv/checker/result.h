@@ -166,6 +166,13 @@ struct PropertyResult {
   /// journaled), so a resumed run under-reports totals, never mis-splits.
   std::int64_t rational_fast_ops = 0;
   std::int64_t rational_big_ops = 0;
+  /// Byzantine-defense accounting of the distributed coordinator
+  /// (dist/coordinator.h): worker-reported verdicts it re-solved in-process,
+  /// and how many of those disagreed (each disagreement bans the worker and
+  /// revokes its contributions; the run's verdict never rests on one).
+  /// Always zero for in-process runs and when --spot-check-rate is off.
+  std::int64_t schemas_spot_checked = 0;
+  std::int64_t spot_check_disagreements = 0;
   /// Present iff the incremental encoder path ran.
   std::optional<IncrementalStats> incremental;
   std::optional<Counterexample> counterexample;

@@ -1,0 +1,82 @@
+// Deterministic network-chaos layer for the distributed verification
+// service.
+//
+// A ChaosLink sits between a Conn and its socket and injects frame-level
+// faults from a seeded plan (mirroring checker/fault.h's FaultInjector for
+// solver faults): delivery delay, frame drop, duplication, reordering,
+// truncation mid-frame, and one-sided partitions. The plan is read from the
+// environment (HV_NET_FAULT_KIND / HV_NET_FAULT_RATE / HV_NET_FAULT_SEED)
+// so smoke tests and CI can torture `hvc serve`/`hvc work` and the daemon's
+// fork-local job workers without code changes.
+//
+// Fault semantics are chosen so the injection stays *honest about TCP*: a
+// reliable byte stream can only lose or corrupt data by dying, so `drop`
+// and `truncate` also shut the connection down, and a one-sided `partition`
+// half-closes the write side (the peer sees a prompt EOF instead of a
+// two-minute recv stall). `delay`, `dup` and `reorder` are the faults a
+// real network can deliver on a live connection, and the coordinator's
+// cursor-keyed idempotent record handling is what makes them harmless —
+// which is exactly the property chaos_smoke.sh asserts.
+#ifndef HV_DIST_CHAOS_H
+#define HV_DIST_CHAOS_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace hv::dist {
+
+enum class NetFaultKind {
+  kNone,
+  kDelay,      // hold the frame 1-25 ms before sending
+  kDrop,       // lose the frame; the stream dies with it (shutdown RDWR)
+  kDup,        // deliver the frame twice
+  kReorder,    // hold the frame; the next send (or recv) overtakes it
+  kTruncate,   // send the header and half the payload, then die
+  kPartition,  // one-sided: silently swallow all future sends, half-close
+  kMix,        // pick one of the above per fired event
+};
+
+struct NetFaultPlan {
+  NetFaultKind kind = NetFaultKind::kNone;
+  double rate = 0.0;       // per-frame fire probability in [0, 1]
+  std::uint64_t seed = 1;  // base seed; each link derives its own stream
+  bool armed() const { return kind != NetFaultKind::kNone && rate > 0.0; }
+};
+
+/// Reads HV_NET_FAULT_KIND ("delay"|"drop"|"dup"|"reorder"|"truncate"|
+/// "partition"|"mix"), HV_NET_FAULT_RATE (default 0.02) and
+/// HV_NET_FAULT_SEED (default 1). Unknown kinds stay disarmed. Parsed per
+/// connection, so tests can re-arm between runs in one process.
+NetFaultPlan net_fault_plan_from_env();
+
+/// Per-connection fault injector. NOT internally synchronized: the owning
+/// Conn must call send()/flush() under its write lock (heartbeat threads
+/// share the write side with the main loop).
+class ChaosLink {
+ public:
+  /// `link_serial` decorrelates the per-link PRNG streams while keeping
+  /// the whole process deterministic for a fixed plan seed.
+  ChaosLink(const NetFaultPlan& plan, std::uint64_t link_serial);
+
+  /// Sends one frame through the fault plan. Returns false only on a real
+  /// write failure; an injected loss reports success, like a network would.
+  bool send(int fd, std::string_view payload);
+
+  /// Delivers a held (reordered) frame before the owner blocks on a read,
+  /// so a request/reply exchange can never deadlock on a held request.
+  void flush(int fd);
+
+ private:
+  NetFaultKind next_fault();
+
+  NetFaultPlan plan_;
+  std::uint64_t state_;
+  std::optional<std::string> held_;
+  bool partitioned_ = false;
+};
+
+}  // namespace hv::dist
+
+#endif  // HV_DIST_CHAOS_H

@@ -18,8 +18,10 @@
 #include <utility>
 
 #include "hv/cert/certificate.h"
+#include "hv/checker/fault.h"
 #include "hv/checker/guard_analysis.h"
 #include "hv/checker/journal.h"
+#include "hv/checker/schema_solver.h"
 #include "hv/ta/parser.h"
 #include "hv/util/error.h"
 #include "hv/util/stopwatch.h"
@@ -66,7 +68,61 @@ struct PropMerge {
   std::vector<checker::PrunedSchema> pruned_schemas;
   double seconds = 0.0;
   bool finished = false;
+  /// Origin (connection serial) of the sat record that stopped this
+  /// property, so a revocation knows whether the witness came from the
+  /// revoked worker (-1: in-process / resume).
+  int sat_origin = -1;
+  /// Spot-check accounting and the first disagreement diagnostic.
+  std::int64_t spot_checks = 0;
+  std::int64_t spot_failures = 0;
+  std::string disagreement;
 };
+
+// --- worker health ----------------------------------------------------------
+//
+// Per-label scores feed an escalating quarantine ladder. Points: a
+// spot-check disagreement is an instant ban; hostile frames, chronic lease
+// timeouts and reconnect churn accumulate toward a cool-down, and a label
+// that keeps earning quarantines is banned for the run. The thresholds are
+// deliberately coarse — the defense against a *wrong verdict* is the
+// validation and spot-checking, not the score; the score only bounds how
+// much time a misbehaving peer can waste.
+constexpr double kSpotFailPenalty = 100.0;
+constexpr double kHostilePenalty = 40.0;
+constexpr double kTimeoutPenalty = 25.0;
+constexpr double kChurnPenalty = 10.0;
+constexpr std::int64_t kFreeRejoins = 3;  // reconnects before churn costs points
+constexpr double kQuarantineScore = 40.0;
+constexpr double kBanScore = 100.0;
+constexpr int kQuarantinesBeforeBan = 3;
+
+struct WorkerHealth {
+  double score = 0.0;
+  std::int64_t joins = 0;
+  int quarantines = 0;
+  Clock::time_point quarantined_until{};
+  bool banned = false;
+};
+
+/// One applied record of an untrusted origin, remembered (only while
+/// spot-checking is armed) so a later disagreement can revoke everything
+/// that origin contributed.
+struct AppliedRecord {
+  std::size_t p = 0;
+  std::size_t q = 0;
+  std::string key;
+  std::string cursor;
+  std::string verdict;
+  std::int64_t length = 0;
+  std::int64_t pivots = 0;
+  std::int64_t fast_ops = 0;
+  std::int64_t big_ops = 0;
+  std::int64_t retries = 0;
+};
+
+bool definitive_verdict(const std::string& verdict) {
+  return verdict == "pruned" || verdict == "unsat" || verdict == "sat";
+}
 
 // A connection the coordinator can push frames to; `learn` records whether
 // both sides advertised the "learn" feature.
@@ -96,10 +152,12 @@ struct Coord {
   std::map<std::pair<std::size_t, std::size_t>, std::vector<std::vector<std::string>>>
       lemmas_by_pq;
   std::unordered_set<std::string> lemma_keys;
-  /// Verdict dedup: ResumeState::key(property name, cursor) of everything
-  /// settled (by resume replay or by a worker record). Makes reassignment
-  /// replays idempotent.
-  std::unordered_set<std::string> settled;
+  /// Verdict dedup and conflict detection: ResumeState::key(property name,
+  /// cursor) -> verdict of everything settled (by resume replay, a worker
+  /// record or an in-process solve). Makes reassignment replays idempotent
+  /// and lets the handlers reject a definitive verdict that contradicts an
+  /// already-settled one.
+  std::unordered_map<std::string, std::string> settled;
   /// Settled cursors organized for per-lease skip lists:
   /// (property, query) -> [(unlock_order, cursor)].
   std::map<std::pair<std::size_t, std::size_t>,
@@ -112,7 +170,71 @@ struct Coord {
   DistStats stats;
   std::vector<ConnInfo> open_conns;
   const Stopwatch* watch = nullptr;
+
+  /// Byzantine defense: per-label health, per-origin applied-record logs
+  /// (spot-check mode only) and the next connection serial.
+  std::unordered_map<std::string, WorkerHealth> health;
+  std::unordered_map<int, std::vector<AppliedRecord>> applied_by_origin;
+  int next_origin = 0;
+  /// Spot checks currently running outside the mutex; run_complete waits
+  /// for zero so a pending revocation can never race the run's completion.
+  int spot_inflight = 0;
+
+  /// In-process solving (spot checks and fleet-exhausted degradation).
+  /// `solve_mutex` serializes all use of the lazily built solvers/cones;
+  /// never acquire it while holding `mutex` from a handler thread (the
+  /// self-solve path takes solve_mutex first, then mutex per schema).
+  const checker::GuardAnalysis* analysis = nullptr;
+  std::mutex solve_mutex;
+  std::vector<std::unique_ptr<checker::SchemaSolver>> inline_solvers;
+  std::map<std::pair<std::size_t, std::size_t>, std::unique_ptr<checker::QueryCone>>
+      inline_cones;
+  checker::FaultInjector inline_injector{checker::FaultPlan{}};  // never armed
+  std::atomic<std::int64_t> inline_memory_polls{0};
 };
+
+/// Caller holds solve_mutex.
+const checker::QueryCone* inline_cone_for(Coord& c, std::size_t p, std::size_t q) {
+  if (!c.check.property_directed_pruning) return nullptr;
+  auto& slot = c.inline_cones[{p, q}];
+  if (!slot) {
+    slot = std::make_unique<checker::QueryCone>(*c.analysis, (*c.properties)[p].queries[q]);
+  }
+  return slot.get();
+}
+
+/// Caller holds solve_mutex. The coordinator's solvers never learn: the
+/// lemma pool is worker-facing state, and a spot check must reproduce an
+/// honest worker's verdict, which learning cannot change, only accelerate.
+checker::SchemaSolver& inline_solver_for(Coord& c, std::size_t p) {
+  if (c.inline_solvers.empty()) c.inline_solvers.resize(c.properties->size());
+  auto& slot = c.inline_solvers[p];
+  if (!slot) {
+    checker::SolveHooks hooks;
+    hooks.run_watch = c.watch;
+    hooks.injector = &c.inline_injector;
+    hooks.memory_polls = &c.inline_memory_polls;
+    slot = std::make_unique<checker::SchemaSolver>(*c.analysis, (*c.properties)[p], c.check,
+                                                   hooks);
+  }
+  return *slot;
+}
+
+double inline_remaining(const Coord& c) {
+  return c.check.timeout_seconds > 0.0 ? c.check.timeout_seconds - c.watch->seconds() : 0.0;
+}
+
+/// Raises one label's score (caller holds the mutex); crossing the ban
+/// threshold is recorded immediately so a hello can be rejected even before
+/// the next quarantine evaluation.
+void penalize(Coord& c, const std::string& label, double points) {
+  WorkerHealth& health = c.health[label];
+  health.score += points;
+  if (!health.banned && health.score >= kBanScore) {
+    health.banned = true;
+    ++c.stats.workers_banned;
+  }
+}
 
 void bump(Coord& c, std::atomic<std::int64_t> checker::ProgressCounters::* counter,
           std::int64_t delta = 1) {
@@ -175,6 +297,10 @@ void check_property_finished(Coord& c, std::size_t property) {
 }
 
 bool run_complete(const Coord& c) {
+  // An in-flight spot check can still revoke the record that "finished" the
+  // run (a forged sat stops its property the moment it merges); declaring
+  // completion under it would race the revocation and ship a lie.
+  if (c.spot_inflight > 0) return false;
   for (const Lease& lease : c.leases) {
     if (lease.state == LeaseState::kPending || lease.state == LeaseState::kActive) {
       return false;
@@ -222,13 +348,15 @@ bool fold_cut(Coord& c, std::size_t p, std::size_t q, std::vector<int> prefix) {
 }
 
 // Applies one settled verdict to the merge state (caller holds the mutex).
-// `resumed` distinguishes journal replay from live records. Returns false
-// iff the cursor was already settled (duplicate after a reassignment).
+// `resumed` distinguishes journal replay from live records; `origin` is the
+// reporting connection's serial (-1: resume replay or in-process solve) and
+// feeds the revocation log while spot-checking is armed. Returns false iff
+// the cursor was already settled (duplicate after a reassignment).
 bool apply_record(Coord& c, std::size_t p, std::size_t q, const checker::Schema& schema,
                   const std::string& cursor, const std::string& verdict, std::int64_t length,
                   std::int64_t pivots, std::int64_t cut, std::int64_t fast_ops,
                   std::int64_t big_ops, std::int64_t retries, const std::string& note,
-                  bool resumed, bool journal_this) {
+                  bool resumed, bool journal_this, int origin = -1) {
   const std::vector<spec::Property>& properties = *c.properties;
   PropMerge& settled_prop = c.props[p];
   // A settled property wants no more verdicts: in-flight records from a
@@ -236,8 +364,12 @@ bool apply_record(Coord& c, std::size_t p, std::size_t q, const checker::Schema&
   // counters identical to an in-process run that stopped enumerating there.
   if (settled_prop.stopped || settled_prop.budget_exhausted) return false;
   const std::string key = checker::ResumeState::key(properties[p].name, cursor);
-  if (!c.settled.insert(key).second) return false;
+  if (!c.settled.emplace(key, verdict).second) return false;
   c.settled_by_pq[{p, q}].emplace_back(schema.unlock_order, cursor);
+  if (origin >= 0 && c.options->spot_check_rate > 0.0) {
+    c.applied_by_origin[origin].push_back(
+        {p, q, key, cursor, verdict, length, pivots, fast_ops, big_ops, retries});
+  }
   PropMerge& prop = c.props[p];
   ++prop.enumerated;
   bump(c, &checker::ProgressCounters::enumerated);
@@ -278,13 +410,152 @@ bool apply_record(Coord& c, std::size_t p, std::size_t q, const checker::Schema&
   return true;
 }
 
+// --- verdict spot-checking --------------------------------------------------
+
+/// Deterministic content-based sampling: the same (cursor, seed) pair is
+/// always sampled or never, independent of arrival order, so a lying worker
+/// cannot learn which of its records escape scrutiny by replaying the run.
+/// Sat claims are always re-checked — a single forged witness flips the
+/// headline verdict.
+bool spot_sampled(const Coord& c, const std::string& cursor, const std::string& verdict) {
+  const double rate = c.options->spot_check_rate;
+  if (rate <= 0.0) return false;
+  if (verdict == "unknown") return false;  // inconclusive either way
+  if (verdict == "sat" || rate >= 1.0) return true;
+  std::uint64_t h = 1469598103934665603ull ^ c.options->spot_check_seed;
+  for (const char ch : cursor) {
+    h ^= static_cast<unsigned char>(ch);
+    h *= 1099511628211ull;
+  }
+  h += 0x9e3779b97f4a7c15ull;
+  h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ull;
+  h = (h ^ (h >> 27)) * 0x94d049bb133111ebull;
+  h ^= h >> 31;
+  return static_cast<double>(h >> 11) * 0x1.0p-53 < rate;
+}
+
+/// Re-solves one reported schema in-process and compares. Returns an empty
+/// string on agreement (or an inconclusive re-solve — honest watchdog
+/// nondeterminism must not cost anyone a connection), else a description of
+/// the disagreement. Call WITHOUT the coordinator mutex: the solve can take
+/// as long as any schema takes.
+std::string spot_disagreement(Coord& c, std::size_t p, std::size_t q,
+                              const checker::Schema& schema, const std::string& verdict) {
+  std::lock_guard<std::mutex> solve_lock(c.solve_mutex);
+  const checker::QueryCone* cone = inline_cone_for(c, p, q);
+  if (verdict == "pruned") {
+    if (cone == nullptr) return "pruned a schema with property-directed pruning disabled";
+    return cone->schema_feasible(schema) ? "pruned a cone-feasible schema" : std::string();
+  }
+  if (cone != nullptr && !cone->schema_feasible(schema)) {
+    return "solved ('" + verdict + "') a schema the coordinator's cone statically prunes";
+  }
+  const checker::UnitOutcome outcome =
+      inline_solver_for(c, p).solve(q, schema, cone, inline_remaining(c));
+  if (outcome.kind == checker::UnitOutcome::Kind::kUnsat && verdict == "sat") {
+    return "reported sat where the coordinator re-solves unsat";
+  }
+  if (outcome.kind == checker::UnitOutcome::Kind::kSat && verdict == "unsat") {
+    return "reported unsat where the coordinator re-solves sat";
+  }
+  return std::string();
+}
+
+/// A spot check disagreed: nothing `origin` ever reported can be trusted.
+/// Bans the label, reverses every merge contribution of that origin
+/// (journaling compensating "revoked" records so --resume re-solves them),
+/// and re-pends every lease the connection touched so honest workers — or
+/// the coordinator itself, once the fleet is exhausted — re-solve the lot.
+/// Caller holds the mutex.
+void revoke_origin(Coord& c, int origin, const std::string& label,
+                   const std::unordered_set<std::int64_t>& lease_history, std::size_t p_hint,
+                   const std::string& cursor, const std::string& why) {
+  ++c.stats.spot_check_failures;
+  ++c.props[p_hint].spot_failures;
+  penalize(c, label, kSpotFailPenalty);
+  if (c.props[p_hint].disagreement.empty()) {
+    c.props[p_hint].disagreement = "worker_disagreement: worker '" + label + "' " + why +
+                                   " at cursor " + cursor +
+                                   "; its records were revoked and re-solved";
+  }
+  const std::vector<spec::Property>& properties = *c.properties;
+  std::unordered_set<std::size_t> touched;
+  const auto it = c.applied_by_origin.find(origin);
+  if (it != c.applied_by_origin.end()) {
+    for (const AppliedRecord& rec : it->second) {
+      if (c.settled.erase(rec.key) == 0) continue;
+      auto& cursors = c.settled_by_pq[{rec.p, rec.q}];
+      for (auto cit = cursors.begin(); cit != cursors.end(); ++cit) {
+        if (cit->second == rec.cursor) {
+          cursors.erase(cit);
+          break;
+        }
+      }
+      PropMerge& prop = c.props[rec.p];
+      --prop.enumerated;
+      bump(c, &checker::ProgressCounters::enumerated, -1);
+      prop.retries -= rec.retries;
+      if (rec.verdict == "pruned") {
+        --prop.pruned;
+        bump(c, &checker::ProgressCounters::pruned, -1);
+      } else if (rec.verdict == "unsat" || rec.verdict == "sat") {
+        --prop.checked;
+        bump(c, &checker::ProgressCounters::solved, -1);
+        prop.total_length -= rec.length;
+        prop.pivots -= rec.pivots;
+        prop.rational_fast_ops -= rec.fast_ops;
+        prop.rational_big_ops -= rec.big_ops;
+      } else {
+        --prop.unknown;
+        bump(c, &checker::ProgressCounters::unknown, -1);
+      }
+      if (rec.verdict == "sat" && prop.sat_origin == origin) {
+        // The revoked worker's witness was what stopped this property;
+        // un-stop it so coverage completes honestly.
+        prop.stopped = false;
+        prop.counterexample.reset();
+        prop.error_note.clear();
+        prop.sat_origin = -1;
+      }
+      journal_append(c, properties[rec.p].name, rec.cursor, "revoked");
+      touched.insert(rec.p);
+    }
+    c.applied_by_origin.erase(it);
+  }
+  for (const std::int64_t id : lease_history) {
+    Lease& lease = c.leases[static_cast<std::size_t>(id)];
+    if (lease.state == LeaseState::kActive || lease.state == LeaseState::kDone) {
+      lease.state = LeaseState::kPending;
+      ++c.stats.leases_reassigned;
+    }
+    touched.insert(lease.property);
+  }
+  for (const std::size_t p : touched) {
+    PropMerge& prop = c.props[p];
+    if (prop.budget_exhausted && !prop.stopped &&
+        prop.enumerated < c.check.enumeration.max_schemas) {
+      prop.budget_exhausted = false;
+    }
+    if (!prop.stopped && !prop.budget_exhausted) {
+      for (Lease& lease : c.leases) {
+        if (lease.property == p && lease.state == LeaseState::kDropped) {
+          lease.state = LeaseState::kPending;
+        }
+      }
+    }
+    prop.finished = false;
+    check_property_finished(c, p);
+  }
+}
+
 // One connection's server side; runs on its own thread. `Coord` outlives
 // every handler (they are joined before serve_fd returns).
 void handle_connection(Coord& c, int fd) {
-  Conn conn(fd);
+  Conn conn(fd, /*subject_to_chaos=*/true);
   cert::Json hello;
   if (conn.recv(&hello, 10'000) != FrameStatus::kOk) return;
   bool peer_learn = false;
+  std::string label = "worker";
   try {
     if (hello.at("type").as_string() != "hello") return;
     const cert::Json* protocol = hello.find("protocol");
@@ -294,6 +565,12 @@ void handle_connection(Coord& c, int fd) {
           {"reason", "protocol mismatch (coordinator speaks " +
                          std::to_string(kDistProtocolVersion) + ")"}});
       return;
+    }
+    if (const cert::Json* label_field = hello.find("label")) {
+      if (label_field->kind() == cert::Json::Kind::kString &&
+          !label_field->as_string().empty()) {
+        label = label_field->as_string();
+      }
     }
     // Feature negotiation: absent/empty means a pre-upgrade worker, which
     // simply never sees a learn frame (it still solves, without lemmas).
@@ -308,10 +585,53 @@ void handle_connection(Coord& c, int fd) {
   } catch (const std::exception&) {
     return;  // mistyped hello fields: not a worker
   }
+  {
+    // Health gate: a banned or cooling-down label is refused before any
+    // lease; a label whose score crossed the quarantine threshold starts
+    // (or escalates) its cool-down here. Rejections carry a reason so the
+    // worker exits with a message instead of reconnect-spinning.
+    std::lock_guard<std::mutex> lock(c.mutex);
+    WorkerHealth& health = c.health[label];
+    ++health.joins;
+    if (health.joins > kFreeRejoins) penalize(c, label, kChurnPenalty);
+    std::string reason;
+    if (health.banned) {
+      reason = "worker '" + label + "' is banned for this run (health score " +
+               format_seconds(health.score) + ")";
+    } else if (Clock::now() < health.quarantined_until) {
+      reason = "worker '" + label + "' is quarantined; retry after the cool-down";
+    } else if (health.score >= kQuarantineScore) {
+      ++health.quarantines;
+      if (health.quarantines >= kQuarantinesBeforeBan) {
+        health.banned = true;
+        ++c.stats.workers_banned;
+        reason = "worker '" + label + "' is banned for this run (quarantine ladder exhausted)";
+      } else {
+        ++c.stats.workers_quarantined;
+        const double cool_seconds =
+            c.options->lease_timeout_seconds * static_cast<double>(1 << (health.quarantines - 1));
+        health.quarantined_until =
+            Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                               std::chrono::duration<double>(cool_seconds));
+        // Residual suspicion: the label may return after the cool-down, but
+        // the next offense re-quarantines (longer), and the ladder ends in
+        // a ban.
+        health.score = kQuarantineScore / 2;
+        reason = "worker '" + label + "' is quarantined for " + format_seconds(cool_seconds) +
+                 "s (health score crossed " + format_seconds(kQuarantineScore) + ")";
+      }
+    }
+    if (!reason.empty()) {
+      conn.send(cert::Json::Object{{"type", "shutdown"}, {"reason", reason}});
+      return;
+    }
+  }
   if (!conn.send(c.welcome)) return;
   const bool learn = c.learn && peer_learn;
+  int origin = -1;
   {
     std::lock_guard<std::mutex> lock(c.mutex);
+    origin = c.next_origin++;
     ++c.stats.workers_joined;
     c.open_conns.push_back({&conn, learn});
     bump(c, &checker::ProgressCounters::workers);
@@ -319,6 +639,11 @@ void handle_connection(Coord& c, int fd) {
   const std::vector<spec::Property>& properties = *c.properties;
 
   std::int64_t current = -1;  // lease index held by this worker
+  /// Every lease ever granted on THIS connection: the trust set a record or
+  /// sat frame must cite from. A late record for an expropriated lease of
+  /// our own is honest (and deduplicated); a record citing anyone else's
+  /// lease is hostile.
+  std::unordered_set<std::int64_t> lease_history;
   // Lease id the last "abandon" frame named (one per lease is enough — the
   // worker reacts after its next streamed record).
   std::int64_t abandon_sent_for = -2;
@@ -335,6 +660,18 @@ void handle_connection(Coord& c, int fd) {
     current = -1;
   };
 
+  // A protocol violation (hostile or malformed frame) costs health points on
+  // top of the connection; EOFs, torn frames and timeouts are deaths, not
+  // hostility. Inline under the mutex, wrapped for the unlocked break paths.
+  const auto mark_hostile_locked = [&] {
+    ++c.stats.hostile_frames;
+    penalize(c, label, kHostilePenalty);
+  };
+  const auto punish_violation = [&] {
+    std::lock_guard<std::mutex> lock(c.mutex);
+    mark_hostile_locked();
+  };
+
   // The frame codec rejects garbage bytes, but a syntactically valid JSON
   // frame can still carry missing or mistyped fields (worker bug, version
   // skew, hostile peer); the throwing Json accessors below must never
@@ -349,7 +686,15 @@ void handle_connection(Coord& c, int fd) {
         const double silent =
             std::chrono::duration<double>(Clock::now() - last_activity).count();
         std::lock_guard<std::mutex> lock(c.mutex);
-        if (silent > c.options->lease_timeout_seconds) break;  // dead or wedged worker
+        if (silent > c.options->lease_timeout_seconds) {
+          // Dead or wedged worker. Expropriating a lease feeds the label's
+          // health: a chronically timing-out worker ends up quarantined.
+          if (current >= 0) {
+            ++c.stats.lease_timeouts;
+            penalize(c, label, kTimeoutPenalty);
+          }
+          break;
+        }
         if (c.closing && current < 0) {
           conn.send(cert::Json::Object{{"type", "shutdown"}, {"reason", "run over"}});
           clean = true;
@@ -357,14 +702,22 @@ void handle_connection(Coord& c, int fd) {
         }
         continue;
       }
-      if (status != FrameStatus::kOk) break;  // EOF, torn frame, protocol garbage
+      if (status == FrameStatus::kBadMagic || status == FrameStatus::kOversized ||
+          status == FrameStatus::kError) {
+        punish_violation();  // malformed frame, not a death
+        break;
+      }
+      if (status != FrameStatus::kOk) break;  // EOF or torn frame
       last_activity = Clock::now();
       const cert::Json* type_field = msg.find("type");
-      if (type_field == nullptr) break;
+      if (type_field == nullptr) {
+        punish_violation();
+        break;
+      }
       const std::string& type = type_field->as_string();
-  
+
       if (type == "heartbeat") continue;
-  
+
       if (type == "next") {
         cert::Json reply;
         {
@@ -409,6 +762,7 @@ void handle_connection(Coord& c, int fd) {
             lease.state = LeaseState::kActive;
             ++c.stats.leases_granted;
             current = grant;
+            lease_history.insert(grant);
             abandon_sent_for = -2;  // a regranted lease may need its own abandon
             cert::Json::Array prefix;
             for (const int g : lease.task.prefix) prefix.push_back(g);
@@ -467,7 +821,7 @@ void handle_connection(Coord& c, int fd) {
         if (clean) break;
         continue;
       }
-  
+
       if (type == "record") {
         std::size_t q = 0;
         checker::Schema schema;
@@ -475,29 +829,55 @@ void handle_connection(Coord& c, int fd) {
         const auto p = static_cast<std::size_t>(msg.at("property").as_int());
         if (p >= c.props.size() || !checker::parse_schema_cursor(cursor, &q, &schema) ||
             q >= properties[p].queries.size()) {
+          punish_violation();
           break;
         }
         const std::int64_t cited = msg.at("lease").as_int();
+        const std::string verdict = msg.at("verdict").as_string();
         bool abandon = false;
+        bool hostile = false;
+        bool applied = false;
         {
           std::lock_guard<std::mutex> lock(c.mutex);
-          const std::string& verdict = msg.at("verdict").as_string();
-          if (verdict != "pruned" && verdict != "unsat" && verdict != "unknown") break;
-          // "fast"/"big" are read tolerantly: pruned/unknown records (and
-          // records from pre-upgrade workers) simply omit them.
-          const cert::Json* fast_field = msg.find("fast");
-          const cert::Json* big_field = msg.find("big");
-          const cert::Json* cut_field = msg.find("cut");
-          const std::int64_t cut = cut_field != nullptr ? cut_field->as_int() : -1;
-          if (cited == current &&
-              apply_record(c, p, q, schema, cursor, verdict, msg.at("length").as_int(),
-                           msg.at("pivots").as_int(), cut,
-                           fast_field != nullptr ? fast_field->as_int() : 0,
-                           big_field != nullptr ? big_field->as_int() : 0,
-                           msg.at("retries").as_int(), msg.at("note").as_string(),
-                           /*resumed=*/false,
-                           /*journal_this=*/true)) {
-            if (c.check.certify && verdict == "unsat") {
+          // Trust gate: the frame must carry a known verdict, cite a lease
+          // granted on THIS connection whose (property, query) match and
+          // whose subtree covers the cursor, and must not contradict an
+          // already-settled definitive verdict. (A late record for our own
+          // expropriated lease is honest — dedup absorbs it.)
+          const Lease* cited_lease =
+              cited >= 0 && cited < static_cast<std::int64_t>(c.leases.size()) &&
+                      lease_history.count(cited) > 0
+                  ? &c.leases[static_cast<std::size_t>(cited)]
+                  : nullptr;
+          if (verdict != "pruned" && verdict != "unsat" && verdict != "unknown") {
+            hostile = true;
+          } else if (cited_lease == nullptr || cited_lease->property != p ||
+                     cited_lease->query != q ||
+                     !task_covers(cited_lease->task, schema.unlock_order)) {
+            hostile = true;
+          } else if (const auto settled_it =
+                         c.settled.find(checker::ResumeState::key(properties[p].name, cursor));
+                     settled_it != c.settled.end() && settled_it->second != verdict &&
+                     definitive_verdict(settled_it->second) && definitive_verdict(verdict)) {
+            hostile = true;  // conflicting duplicate: someone is lying
+          }
+          if (hostile) {
+            mark_hostile_locked();
+          } else {
+            // "fast"/"big" are read tolerantly: pruned/unknown records (and
+            // records from pre-upgrade workers) simply omit them.
+            const cert::Json* fast_field = msg.find("fast");
+            const cert::Json* big_field = msg.find("big");
+            const cert::Json* cut_field = msg.find("cut");
+            const std::int64_t cut = cut_field != nullptr ? cut_field->as_int() : -1;
+            applied = apply_record(c, p, q, schema, cursor, verdict, msg.at("length").as_int(),
+                                   msg.at("pivots").as_int(), cut,
+                                   fast_field != nullptr ? fast_field->as_int() : 0,
+                                   big_field != nullptr ? big_field->as_int() : 0,
+                                   msg.at("retries").as_int(), msg.at("note").as_string(),
+                                   /*resumed=*/false,
+                                   /*journal_this=*/true, origin);
+            if (applied && c.check.certify && verdict == "unsat") {
               checker::SchemaEvidence item;
               item.query_index = q;
               item.schema = schema;
@@ -508,34 +888,54 @@ void handle_connection(Coord& c, int fd) {
               }
               c.props[p].evidence.push_back(std::move(item));
             }
-          }
-          // A record carrying a subtree cut proves every schema extending
-          // the chain prefix unsat: fold it (settling covered pending
-          // leases) and broadcast a fresh cut to the other learn-capable
-          // workers so they skip the doomed subtrees too.
-          if (learn && verdict == "unsat" && cut >= 0 &&
-              cut <= static_cast<std::int64_t>(schema.unlock_order.size())) {
-            std::vector<int> prefix(schema.unlock_order.begin(),
-                                    schema.unlock_order.begin() + cut);
-            if (fold_cut(c, p, q, prefix)) {
-              cert::Json::Array prefix_json;
-              for (int g : prefix) prefix_json.push_back(static_cast<std::int64_t>(g));
-              const cert::Json frame = cert::Json::Object{
-                  {"type", "learn"},
-                  {"p", static_cast<std::int64_t>(p)},
-                  {"cuts",
-                   cert::Json::Array{cert::Json::Object{
-                       {"q", static_cast<std::int64_t>(q)},
-                       {"prefix", std::move(prefix_json)}}}}};
-              for (const ConnInfo& info : c.open_conns) {
-                if (info.learn && info.conn != &conn) info.conn->send(frame);
+            // A record carrying a subtree cut proves every schema extending
+            // the chain prefix unsat: fold it (settling covered pending
+            // leases) and broadcast a fresh cut to the other learn-capable
+            // workers so they skip the doomed subtrees too.
+            if (learn && verdict == "unsat" && cut >= 0 &&
+                cut <= static_cast<std::int64_t>(schema.unlock_order.size())) {
+              std::vector<int> prefix(schema.unlock_order.begin(),
+                                      schema.unlock_order.begin() + cut);
+              if (fold_cut(c, p, q, prefix)) {
+                cert::Json::Array prefix_json;
+                for (int g : prefix) prefix_json.push_back(static_cast<std::int64_t>(g));
+                const cert::Json frame = cert::Json::Object{
+                    {"type", "learn"},
+                    {"p", static_cast<std::int64_t>(p)},
+                    {"cuts",
+                     cert::Json::Array{cert::Json::Object{
+                         {"q", static_cast<std::int64_t>(q)},
+                         {"prefix", std::move(prefix_json)}}}}};
+                for (const ConnInfo& info : c.open_conns) {
+                  if (info.learn && info.conn != &conn) info.conn->send(frame);
+                }
               }
             }
+            // Tell the worker to stop solving a subtree nobody wants: its
+            // lease was expropriated, or the property is already settled
+            // (first witness, exhausted budget).
+            abandon = cited != current || c.props[p].stopped || c.props[p].budget_exhausted;
           }
-          // Tell the worker to stop solving a subtree nobody wants: its lease
-          // was expropriated, or the property is already settled (first
-          // witness, exhausted budget).
-          abandon = cited != current || c.props[p].stopped || c.props[p].budget_exhausted;
+        }
+        if (hostile) break;
+        if (applied && spot_sampled(c, cursor, verdict)) {
+          {
+            std::lock_guard<std::mutex> lock(c.mutex);
+            ++c.stats.spot_checks;
+            ++c.props[p].spot_checks;
+            ++c.spot_inflight;  // holds run_complete open until the verdict
+          }
+          // Re-solve WITHOUT the coordinator mutex — the run keeps merging
+          // other workers' records while this one is audited.
+          const std::string why = spot_disagreement(c, p, q, schema, verdict);
+          bool lying = false;
+          {
+            std::lock_guard<std::mutex> lock(c.mutex);
+            --c.spot_inflight;
+            lying = !why.empty();
+            if (lying) revoke_origin(c, origin, label, lease_history, p, cursor, why);
+          }
+          if (lying) break;  // the lying connection dies with its records
         }
         if (abandon && abandon_sent_for != cited) {
           abandon_sent_for = cited;
@@ -543,7 +943,7 @@ void handle_connection(Coord& c, int fd) {
         }
         continue;
       }
-  
+
       if (type == "sat") {
         std::size_t q = 0;
         checker::Schema schema;
@@ -551,46 +951,96 @@ void handle_connection(Coord& c, int fd) {
         const auto p = static_cast<std::size_t>(msg.at("property").as_int());
         if (p >= c.props.size() || !checker::parse_schema_cursor(cursor, &q, &schema) ||
             q >= properties[p].queries.size()) {
+          punish_violation();
           break;
         }
-        std::lock_guard<std::mutex> lock(c.mutex);
-        const cert::Json* sat_fast = msg.find("fast");
-        const cert::Json* sat_big = msg.find("big");
-        if (apply_record(c, p, q, schema, cursor, "sat", msg.at("length").as_int(),
-                         msg.at("pivots").as_int(), /*cut=*/-1,
-                         sat_fast != nullptr ? sat_fast->as_int() : 0,
-                         sat_big != nullptr ? sat_big->as_int() : 0,
-                         msg.at("retries").as_int(), std::string(),
-                         /*resumed=*/false, /*journal_this=*/true)) {
-          PropMerge& prop = c.props[p];
-          if (c.check.certify) {
-            checker::SchemaEvidence item;
-            item.query_index = q;
-            item.schema = schema;
-            item.sat = true;
-            if (const cert::Json* model = msg.find("model")) {
-              item.model = std::make_shared<const std::vector<std::pair<std::string, BigInt>>>(
-                  model_values_from_json(*model));
-            }
-            prop.evidence.push_back(std::move(item));
+        const std::int64_t cited = msg.at("lease").as_int();
+        bool hostile = false;
+        bool applied = false;
+        {
+          std::lock_guard<std::mutex> lock(c.mutex);
+          // Same trust gate as record frames. A sat frame is the single
+          // highest-leverage lie a worker can tell — it used to be applied
+          // unconditionally; now a forged witness for a never-granted or
+          // foreign lease costs the connection instead of the verdict.
+          const Lease* cited_lease =
+              cited >= 0 && cited < static_cast<std::int64_t>(c.leases.size()) &&
+                      lease_history.count(cited) > 0
+                  ? &c.leases[static_cast<std::size_t>(cited)]
+                  : nullptr;
+          if (cited_lease == nullptr || cited_lease->property != p ||
+              cited_lease->query != q ||
+              !task_covers(cited_lease->task, schema.unlock_order)) {
+            hostile = true;
+          } else if (const auto settled_it =
+                         c.settled.find(checker::ResumeState::key(properties[p].name, cursor));
+                     settled_it != c.settled.end() && settled_it->second != "sat" &&
+                     definitive_verdict(settled_it->second)) {
+            hostile = true;  // this cursor already settled definitively non-sat
           }
-          const std::string& validation_error = msg.at("validation_error").as_string();
-          if (!validation_error.empty()) {
-            if (prop.error_note.empty()) {
-              prop.error_note =
-                  "internal: counterexample failed replay validation: " + validation_error;
+          if (hostile) {
+            mark_hostile_locked();
+          } else {
+            const cert::Json* sat_fast = msg.find("fast");
+            const cert::Json* sat_big = msg.find("big");
+            applied = apply_record(c, p, q, schema, cursor, "sat", msg.at("length").as_int(),
+                                   msg.at("pivots").as_int(), /*cut=*/-1,
+                                   sat_fast != nullptr ? sat_fast->as_int() : 0,
+                                   sat_big != nullptr ? sat_big->as_int() : 0,
+                                   msg.at("retries").as_int(), std::string(),
+                                   /*resumed=*/false, /*journal_this=*/true, origin);
+            if (applied) {
+              PropMerge& prop = c.props[p];
+              prop.sat_origin = origin;
+              if (c.check.certify) {
+                checker::SchemaEvidence item;
+                item.query_index = q;
+                item.schema = schema;
+                item.sat = true;
+                if (const cert::Json* model = msg.find("model")) {
+                  item.model =
+                      std::make_shared<const std::vector<std::pair<std::string, BigInt>>>(
+                          model_values_from_json(*model));
+                }
+                prop.evidence.push_back(std::move(item));
+              }
+              const std::string& validation_error = msg.at("validation_error").as_string();
+              if (!validation_error.empty()) {
+                if (prop.error_note.empty()) {
+                  prop.error_note =
+                      "internal: counterexample failed replay validation: " + validation_error;
+                }
+              } else if (const cert::Json* cex = msg.find("counterexample");
+                         cex != nullptr && !prop.counterexample) {
+                prop.counterexample = counterexample_from_json(*cex);
+              }
+              prop.stopped = true;  // first witness wins; stop leasing this property
+              drop_pending_leases(c, p);
+              check_property_finished(c, p);
             }
-          } else if (const cert::Json* cex = msg.find("counterexample");
-                     cex != nullptr && !prop.counterexample) {
-            prop.counterexample = counterexample_from_json(*cex);
           }
-          prop.stopped = true;  // first witness wins; stop leasing this property
-          drop_pending_leases(c, p);
-          check_property_finished(c, p);
+        }
+        if (hostile) break;
+        if (applied && spot_sampled(c, cursor, "sat")) {
+          {
+            std::lock_guard<std::mutex> lock(c.mutex);
+            ++c.stats.spot_checks;
+            ++c.props[p].spot_checks;
+            ++c.spot_inflight;  // a forged sat must not win the completion race
+          }
+          const std::string why = spot_disagreement(c, p, q, schema, "sat");
+          bool lying = false;
+          {
+            std::lock_guard<std::mutex> lock(c.mutex);
+            --c.spot_inflight;
+            lying = !why.empty();
+            if (lying) revoke_origin(c, origin, label, lease_history, p, cursor, why);
+          }
+          if (lying) break;
         }
         continue;
       }
-  
+
       if (type == "learn") {
         // Cross-schema learning facts from this worker. Fold them (deduped)
         // into the coordinator's pools, journal new cuts, settle pending
@@ -599,7 +1049,10 @@ void handle_connection(Coord& c, int fd) {
         // subtrees. Silently ignored when this run does not learn.
         if (!learn) continue;
         const auto p = static_cast<std::size_t>(msg.at("p").as_int());
-        if (p >= c.props.size()) break;
+        if (p >= c.props.size()) {
+          punish_violation();
+          break;
+        }
         cert::Json::Array fresh_cuts;
         cert::Json::Array fresh_lemmas;
         std::lock_guard<std::mutex> lock(c.mutex);
@@ -674,12 +1127,15 @@ void handle_connection(Coord& c, int fd) {
         }
         continue;
       }
-  
+
+      punish_violation();
       break;  // unknown message: protocol violation, drop the connection
     }
   } catch (const std::exception&) {
     // Malformed message from a peer that passed the handshake; fall through
-    // to the cleanup below — this worker costs only its lease.
+    // to the cleanup below — this worker costs only its lease (plus health
+    // points: malformed frames feed the quarantine ladder).
+    punish_violation();
   }
 
   {
@@ -694,6 +1150,162 @@ void handle_connection(Coord& c, int fd) {
     }
   }
   conn.close();
+}
+
+// Graceful degradation: claims ONE pending lease and solves it on the
+// accept-loop thread, exactly like a worker would (same enumeration, cone
+// pruning, solver and budget merging — apply_record dedups against anything
+// already settled). Called only when the fleet is exhausted; one lease at a
+// time so the loop re-checks for fresh connections, cancellation and the
+// global timeout between subtrees. Returns false when nothing is grantable.
+bool self_solve_one_lease(Coord& c) {
+  std::int64_t grant = -1;
+  std::size_t p = 0;
+  std::size_t q = 0;
+  checker::SubtreeTask task;
+  {
+    std::lock_guard<std::mutex> lock(c.mutex);
+    for (std::size_t i = 0; i < c.leases.size(); ++i) {
+      Lease& lease = c.leases[i];
+      if (lease.state != LeaseState::kPending) continue;
+      const PropMerge& prop = c.props[lease.property];
+      if (prop.stopped || prop.budget_exhausted) continue;
+      if (c.learn) {
+        const auto cit = c.cuts_by_pq.find({lease.property, lease.query});
+        if (cit != c.cuts_by_pq.end()) {
+          bool covered = false;
+          for (const std::vector<int>& cut : cit->second) {
+            if (cut_covers_task(cut, lease.task)) {
+              covered = true;
+              break;
+            }
+          }
+          if (covered) {
+            lease.state = LeaseState::kDone;
+            check_property_finished(c, lease.property);
+            continue;
+          }
+        }
+      }
+      grant = static_cast<std::int64_t>(i);
+      lease.state = LeaseState::kActive;
+      ++c.stats.leases_granted;
+      ++c.stats.leases_self_solved;
+      p = lease.property;
+      q = lease.query;
+      task = lease.task;
+      break;
+    }
+  }
+  if (grant < 0) return false;
+  const std::vector<spec::Property>& properties = *c.properties;
+  bool bail = false;  // cancel/timeout/abort: the lease goes back to pending
+  {
+    std::lock_guard<std::mutex> solve_lock(c.solve_mutex);
+    const checker::QueryCone* cone = inline_cone_for(c, p, q);
+    checker::SchemaSolver& solver = inline_solver_for(c, p);
+    const int cut_count = static_cast<int>(properties[p].queries[q].cuts.size());
+    // The global schema budget is enforced as records merge, like workers.
+    checker::EnumerationOptions enumeration = c.check.enumeration;
+    enumeration.max_schemas = std::numeric_limits<std::int64_t>::max();
+    enumerate_schemas_under(
+        *c.analysis, task, cut_count, enumeration, [&](const checker::Schema& schema) {
+          {
+            std::lock_guard<std::mutex> lock(c.mutex);
+            if (c.props[p].stopped || c.props[p].budget_exhausted) return false;
+          }
+          if (c.check.cancel != nullptr && c.check.cancel->load(std::memory_order_relaxed)) {
+            bail = true;
+            return false;
+          }
+          if (c.check.timeout_seconds > 0.0 && c.watch->seconds() > c.check.timeout_seconds) {
+            bail = true;
+            return false;
+          }
+          const std::string cursor = checker::schema_cursor(q, schema);
+          if (cone != nullptr && !cone->schema_feasible(schema)) {
+            std::lock_guard<std::mutex> lock(c.mutex);
+            if (apply_record(c, p, q, schema, cursor, "pruned", 0, 0, /*cut=*/-1, 0, 0, 0,
+                             std::string(), /*resumed=*/false, /*journal_this=*/true) &&
+                c.check.certify) {
+              // apply_record already filed the pruned schema for certify.
+            }
+            return true;
+          }
+          {
+            // Skip without counting anything a worker already settled.
+            std::lock_guard<std::mutex> lock(c.mutex);
+            if (c.settled.count(checker::ResumeState::key(properties[p].name, cursor)) > 0) {
+              return true;
+            }
+          }
+          checker::UnitOutcome outcome = solver.solve(q, schema, cone, inline_remaining(c));
+          std::lock_guard<std::mutex> lock(c.mutex);
+          switch (outcome.kind) {
+            case checker::UnitOutcome::Kind::kAborted:
+            case checker::UnitOutcome::Kind::kInterrupted:
+              bail = true;
+              return false;
+            case checker::UnitOutcome::Kind::kUnknown:
+              apply_record(c, p, q, schema, cursor, "unknown", 0, 0, /*cut=*/-1, 0, 0,
+                           outcome.retries, outcome.note, /*resumed=*/false,
+                           /*journal_this=*/true);
+              return true;
+            case checker::UnitOutcome::Kind::kUnsat:
+              if (apply_record(c, p, q, schema, cursor, "unsat", outcome.length,
+                               outcome.pivots, /*cut=*/-1, outcome.rational_fast_ops,
+                               outcome.rational_big_ops, outcome.retries, std::string(),
+                               /*resumed=*/false, /*journal_this=*/true) &&
+                  c.check.certify) {
+                checker::SchemaEvidence item;
+                item.query_index = q;
+                item.schema = schema;
+                item.sat = false;
+                item.proof = outcome.proof;
+                c.props[p].evidence.push_back(std::move(item));
+              }
+              return true;
+            case checker::UnitOutcome::Kind::kSat:
+              if (apply_record(c, p, q, schema, cursor, "sat", outcome.length, outcome.pivots,
+                               /*cut=*/-1, outcome.rational_fast_ops, outcome.rational_big_ops,
+                               outcome.retries, std::string(), /*resumed=*/false,
+                               /*journal_this=*/true)) {
+                PropMerge& prop = c.props[p];
+                prop.sat_origin = -1;
+                if (c.check.certify) {
+                  checker::SchemaEvidence item;
+                  item.query_index = q;
+                  item.schema = schema;
+                  item.sat = true;
+                  item.model = outcome.model;
+                  prop.evidence.push_back(std::move(item));
+                }
+                if (!outcome.validation_error.empty()) {
+                  if (prop.error_note.empty()) {
+                    prop.error_note = "internal: counterexample failed replay validation: " +
+                                      outcome.validation_error;
+                  }
+                } else if (outcome.counterexample && !prop.counterexample) {
+                  prop.counterexample = std::move(outcome.counterexample);
+                }
+                prop.stopped = true;
+                drop_pending_leases(c, p);
+                check_property_finished(c, p);
+              }
+              return false;  // the property is settled (or a dup raced us)
+          }
+          return true;
+        });
+  }
+  {
+    std::lock_guard<std::mutex> lock(c.mutex);
+    Lease& lease = c.leases[static_cast<std::size_t>(grant)];
+    if (lease.state == LeaseState::kActive) {
+      lease.state = bail ? LeaseState::kPending : LeaseState::kDone;
+    }
+    check_property_finished(c, lease.property);
+  }
+  return true;
 }
 
 }  // namespace
@@ -711,6 +1323,12 @@ std::vector<checker::PropertyResult> serve_fd(int listen_fd, const std::string& 
     ::close(listen_fd);
     throw InvalidArgument(
         "checker: resume is incompatible with certify (resumed schemas carry no proofs)");
+  }
+  if (c.check.certify && options.spot_check_rate > 0.0) {
+    ::close(listen_fd);
+    throw InvalidArgument(
+        "dist: --spot-check-rate is redundant under --certify (the audit re-validates every "
+        "verdict offline); drop one of the two");
   }
 
   const ta::ThresholdAutomaton ta = ta::parse_ta(model_text).one_round_reduction();
@@ -738,18 +1356,23 @@ std::vector<checker::PropertyResult> serve_fd(int listen_fd, const std::string& 
   // pool, which strips max_schemas from per-task enumeration).
   checker::CheckOptions wire = c.check;
   wire.enumeration.max_schemas = std::numeric_limits<std::int64_t>::max();
-  c.learn = checker::lemmas_enabled(c.check);
+  // Spot-checking disables cross-schema learning: a forged lemma or subtree
+  // cut from an untrusted worker would poison honest workers in ways no
+  // per-record re-solve can detect.
+  c.learn = checker::lemmas_enabled(c.check) && options.spot_check_rate <= 0.0;
   c.welcome = cert::Json::Object{{"type", "welcome"},
                                  {"protocol", kDistProtocolVersion},
                                  {"model_hash", model_hash},
                                  {"model_text", model_text},
                                  {"properties", specs_to_json(specs)},
-                                 {"options", options_to_json(wire)}};
+                                 {"options", options_to_json(wire)},
+                                 {"lease_timeout", options.lease_timeout_seconds}};
   if (c.learn) c.welcome.set("features", cert::Json::Array{"learn"});
 
   // Lease planning: the same DFS chain-subtree partition the in-process
   // pool uses, deep enough that the expected fleet load-balances.
   const checker::GuardAnalysis analysis(ta);
+  c.analysis = &analysis;
   std::vector<checker::SubtreeTask> tasks;
   const int want = std::max(1, options.expected_workers) * 4;
   for (int depth = 1;; ++depth) {
@@ -814,7 +1437,10 @@ std::vector<checker::PropertyResult> serve_fd(int listen_fd, const std::string& 
   // completion, cancellation and the global timeout.
   std::vector<std::thread> handlers;
   bool force_close = false;
+  bool fleet_was_missing = false;
+  double fleet_missing_since = 0.0;
   for (;;) {
+    bool degrade = false;
     {
       std::lock_guard<std::mutex> lock(c.mutex);
       if (run_complete(c)) {
@@ -835,7 +1461,26 @@ std::vector<checker::PropertyResult> serve_fd(int listen_fd, const std::string& 
         force_close = true;
         break;
       }
+      // Graceful degradation: once the fleet has existed and then vanished
+      // (banned, quarantined, crashed, partitioned away) for longer than a
+      // lease timeout, start solving pending leases in-process. One lease
+      // per pass, so a worker that comes back mid-degradation is handed the
+      // remainder immediately. A self-hosted (fork-local) fleet degrades
+      // even with zero joins: the coordinator forked every worker it will
+      // ever have, so if none survived long enough to join, waiting is a
+      // hang, not patience.
+      if ((c.stats.workers_joined > 0 || options.self_hosted_fleet) && c.open_conns.empty()) {
+        if (!fleet_was_missing) {
+          fleet_was_missing = true;
+          fleet_missing_since = watch.seconds();
+        } else if (watch.seconds() - fleet_missing_since > options.lease_timeout_seconds) {
+          degrade = true;
+        }
+      } else {
+        fleet_was_missing = false;
+      }
     }
+    if (degrade && self_solve_one_lease(c)) continue;
     struct pollfd pfd = {listen_fd, POLLIN, 0};
     const int ready = ::poll(&pfd, 1, 100);
     if (ready < 0 && errno != EINTR) break;
@@ -884,6 +1529,8 @@ std::vector<checker::PropertyResult> serve_fd(int listen_fd, const std::string& 
     result.simplex_pivots = prop.pivots;
     result.rational_fast_ops = prop.rational_fast_ops;
     result.rational_big_ops = prop.rational_big_ops;
+    result.schemas_spot_checked = prop.spot_checks;
+    result.spot_check_disagreements = prop.spot_failures;
     if (c.check.incremental) result.incremental = prop.incremental;
 
     const auto progress = [&] {
@@ -923,6 +1570,10 @@ std::vector<checker::PropertyResult> serve_fd(int listen_fd, const std::string& 
       result.note = "run stopped before full coverage" + progress();
     } else {
       result.verdict = checker::Verdict::kHolds;
+    }
+    if (!prop.disagreement.empty()) {
+      result.note =
+          result.note.empty() ? prop.disagreement : result.note + "; " + prop.disagreement;
     }
     if (c.check.certify) {
       auto evidence = std::make_shared<checker::PropertyEvidence>();

@@ -17,7 +17,24 @@
 //     journal; restarting with --resume replays the journal and leases only
 //     the remainder (sat records are re-solved, as in-process resume does);
 //   * a worker that lies about the model is impossible by construction: the
-//     welcome handshake compares model content hashes before any lease.
+//     welcome handshake compares model content hashes before any lease;
+//   * a worker that lies about *verdicts* (or speaks garbage) is a
+//     Byzantine peer. Every record/sat frame must cite a lease granted on
+//     its own connection whose subtree covers the reported cursor, and a
+//     definitive verdict conflicting with an already-settled one is
+//     rejected — violations cost the connection and feed a per-label
+//     health score (spot-check failures, hostile frames, chronic lease
+//     timeouts, reconnect churn) that escalates from cool-down quarantine
+//     to a permanent ban for the run. With spot_check_rate > 0 the
+//     coordinator re-solves a deterministic sample of reported schemas
+//     in-process (sat claims are always re-solved); a disagreement bans
+//     the worker, revokes everything it contributed (journaled as
+//     "revoked" records so --resume re-solves them) and re-pends its
+//     leases. When the fleet is exhausted — everyone banned, quarantined
+//     or gone — the coordinator degrades to solving pending leases itself:
+//     the run slows down, it never wrongs. Verdict lying that slips past
+//     an unarmed spot-checker is still caught offline by --certify +
+//     `hvc audit`, which re-validates every Farkas leaf.
 #ifndef HV_DIST_COORDINATOR_H
 #define HV_DIST_COORDINATOR_H
 
@@ -41,6 +58,23 @@ struct DistOptions {
   /// Partition granularity hint: aim for at least 4 leases per expected
   /// worker so the fleet load-balances.
   int expected_workers = 2;
+  /// Fraction of worker-reported verdicts the coordinator re-solves
+  /// in-process (deterministically sampled by cursor content; sat claims
+  /// are always re-checked when armed). 0 disables spot-checking. Rejected
+  /// under --certify, where the auditor already re-validates every
+  /// verdict. Arming it also disables cross-schema learning for the run: a
+  /// forged lemma or subtree cut from an untrusted worker would poison
+  /// honest workers in ways no per-record check can see.
+  double spot_check_rate = 0.0;
+  /// Mixed into the spot-check sampling hash, so repeated runs can sample
+  /// different subsets of the schema space.
+  std::uint64_t spot_check_seed = 0;
+  /// The coordinator forked its own fleet (fork-local mode): nobody else
+  /// will ever connect, so graceful degradation arms even if no worker
+  /// managed to join at all (e.g. every child lost its handshake to
+  /// injected network chaos). A serve-mode coordinator keeps waiting
+  /// instead — its workers may legitimately arrive much later.
+  bool self_hosted_fleet = false;
 };
 
 struct DistStats {
@@ -49,6 +83,20 @@ struct DistStats {
   std::int64_t leases_granted = 0;
   /// Leases returned to the pool after their worker died or timed out.
   std::int64_t leases_reassigned = 0;
+  /// Byzantine-defense accounting.
+  std::int64_t spot_checks = 0;
+  std::int64_t spot_check_failures = 0;
+  /// Frames that violated the lease/verdict trust rules (each costs its
+  /// connection).
+  std::int64_t hostile_frames = 0;
+  /// Lease expropriations caused by silence beyond the lease timeout.
+  std::int64_t lease_timeouts = 0;
+  /// Quarantine cool-downs imposed / permanent bans issued (per label).
+  std::int64_t workers_quarantined = 0;
+  std::int64_t workers_banned = 0;
+  /// Leases the coordinator solved in-process after the fleet was
+  /// exhausted (graceful degradation).
+  std::int64_t leases_self_solved = 0;
 };
 
 /// Serves one verification run at `listen_address` ("unix:/path" or
@@ -56,7 +104,9 @@ struct DistStats {
 /// run stops: counterexamples, timeout, cancellation, schema budget).
 /// Returns one PropertyResult per spec, byte-compatible with
 /// checker::check_properties on the same model and options. Blocks until
-/// workers finish; with no workers it waits until timeout or cancellation.
+/// workers finish; with no workers it waits until timeout or cancellation
+/// (once at least one worker has joined, an exhausted fleet degrades to
+/// in-process solving instead of waiting forever).
 std::vector<checker::PropertyResult> serve(const std::string& model_text,
                                            const std::vector<PropertySpec>& specs,
                                            const std::string& listen_address,

@@ -4,8 +4,11 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <sys/un.h>
+
 #include <cstdlib>
 #include <string>
+#include <vector>
 
 #include "hv/dist/worker.h"
 #include "hv/util/error.h"
@@ -17,13 +20,32 @@ std::vector<checker::PropertyResult> check_distributed_local(
     const DistOptions& options, DistStats* stats) {
   if (worker_count < 1) throw InvalidArgument("dist: worker count must be >= 1");
   // A private 0700 directory from mkdtemp, not a predictable path in the
-  // world-writable /tmp: a predictable name lets another local user squat
-  // the path (the run fails) or connect as a rogue worker.
-  char dir_template[] = "/tmp/hvc-XXXXXX";
-  if (::mkdtemp(dir_template) == nullptr) {
-    throw Error("dist: cannot create a private socket directory under /tmp");
+  // world-writable temp root: a predictable name lets another local user
+  // squat the path (the run fails) or connect as a rogue worker. TMPDIR is
+  // honored (sandboxes and CI point it at per-job scratch space), falling
+  // back to /tmp.
+  std::string tmp_root = "/tmp";
+  if (const char* env = std::getenv("TMPDIR"); env != nullptr && *env != '\0') {
+    tmp_root = env;
+    while (tmp_root.size() > 1 && tmp_root.back() == '/') tmp_root.pop_back();
   }
-  const std::string socket_dir = dir_template;
+  const std::string templ = tmp_root + "/hvc-XXXXXX";
+  // The socket path must fit sockaddr_un; check before mkdtemp so the error
+  // names the culprit instead of a bind(2) failing with a truncated path.
+  const std::size_t path_len = templ.size() + std::string("/dist.sock").size();
+  const std::size_t path_max = sizeof(sockaddr_un{}.sun_path) - 1;
+  if (path_len > path_max) {
+    throw InvalidArgument("dist: socket path '" + templ + "/dist.sock' (" +
+                          std::to_string(path_len) + " bytes) exceeds the unix-socket limit of " +
+                          std::to_string(path_max) +
+                          " bytes; point TMPDIR at a shorter path");
+  }
+  std::vector<char> dir_template(templ.begin(), templ.end());
+  dir_template.push_back('\0');
+  if (::mkdtemp(dir_template.data()) == nullptr) {
+    throw Error("dist: cannot create a private socket directory under " + tmp_root);
+  }
+  const std::string socket_dir = dir_template.data();
   Address address;
   address.unix_domain = true;
   address.path = socket_dir + "/dist.sock";
@@ -44,9 +66,15 @@ std::vector<checker::PropertyResult> check_distributed_local(
 
   DistOptions coordinator_options = options;
   coordinator_options.expected_workers = worker_count;
+  coordinator_options.self_hosted_fleet = true;
   WorkerOptions worker_options;
   worker_options.connect = "unix:" + address.path;
   worker_options.fault = options.check.fault;
+  // A forked worker that loses its connection (injected chaos, a flaky
+  // veth) rejoins instead of dying for good; run-complete shutdowns are
+  // semantic stops, so clean exits are unaffected. Stragglers still
+  // reconnect-spinning after the run get the SIGTERM below.
+  worker_options.reconnect_seconds = 60.0;
 
   std::vector<pid_t> children;
   for (int w = 0; w < worker_count; ++w) {

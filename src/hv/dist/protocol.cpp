@@ -6,10 +6,12 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cstring>
 #include <utility>
 
 #include "hv/cert/certificate.h"
+#include "hv/dist/chaos.h"
 #include "hv/spec/compile.h"
 #include "hv/util/error.h"
 
@@ -136,18 +138,35 @@ int connect_to(const Address& address) {
   return fd;
 }
 
+Conn::Conn(int fd, bool subject_to_chaos) : fd_(fd) {
+  if (!subject_to_chaos || fd < 0) return;
+  const NetFaultPlan plan = net_fault_plan_from_env();
+  if (!plan.armed()) return;
+  // Each link gets its own PRNG stream; the serial keeps a multi-connection
+  // process deterministic for a fixed seed.
+  static std::atomic<std::uint64_t> link_serial{0};
+  chaos_ = std::make_unique<ChaosLink>(plan, link_serial.fetch_add(1));
+}
+
 Conn::~Conn() { close(); }
 
 bool Conn::send(const cert::Json& message) {
   if (fd_ < 0) return false;
   const std::string payload = message.to_string();
   std::lock_guard<std::mutex> lock(write_mutex_);
+  if (chaos_ != nullptr) return chaos_->send(fd_, payload);
   return write_frame(fd_, payload);
 }
 
 FrameStatus Conn::recv(cert::Json* message, int timeout_ms) {
   *message = cert::Json();
   if (fd_ < 0) return FrameStatus::kClosed;
+  if (chaos_ != nullptr) {
+    // Deliver any held (reordered) frame before blocking: a request/reply
+    // exchange must never deadlock on its own held request.
+    std::lock_guard<std::mutex> lock(write_mutex_);
+    chaos_->flush(fd_);
+  }
   std::string payload;
   const FrameStatus status = read_frame(fd_, &payload, timeout_ms);
   if (status != FrameStatus::kOk) return status;

@@ -21,7 +21,7 @@
 //
 //   coordinator -> worker
 //     welcome    {protocol, model_hash, model_text, properties[], options{},
-//                 features[]?}
+//                 lease_timeout?, features[]?}
 //     lease      {lease, property, query, prefix[], extensions, skip[],
 //                 cuts[]?, lemmas[]?}
 //     wait       {ms}                   nothing grantable right now
@@ -29,12 +29,24 @@
 //                                      settled or the lease reassigned; the
 //                                      worker closes it with lease_done
 //     learn      {p, cuts[]?, lemmas[]?}  facts folded from other workers
-//     shutdown   {reason}               run over; worker disconnects
+//     shutdown   {reason}               run over; worker disconnects. Also
+//                                      sent *instead of* welcome when the
+//                                      worker's label is quarantined or
+//                                      banned for this run (coordinator.h)
 //
 // The pull model keeps the coordinator passive between frames: a worker
 // that dies simply stops asking, and *any* frame (heartbeats included)
 // renews its lease deadline, so only a genuinely dead or wedged worker is
 // expropriated.
+//
+// The coordinator does not trust worker frames. A record or sat frame must
+// cite a lease that was actually granted on its own connection, whose
+// (property, query) matches and whose subtree covers the reported cursor;
+// a definitive verdict that conflicts with an already-settled one is
+// equally hostile. Any violation costs the connection (never the run) and
+// feeds the sender's health score. The welcome's `lease_timeout` (seconds,
+// read tolerantly) lets the worker refuse heartbeat periods that the
+// coordinator would mistake for death.
 //
 // Feature negotiation: the protocol version stays fixed; optional frame
 // kinds are gated by "features" arrays in hello/welcome instead. Both sides
@@ -54,6 +66,7 @@
 #ifndef HV_DIST_PROTOCOL_H
 #define HV_DIST_PROTOCOL_H
 
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -67,6 +80,8 @@
 #include "hv/ta/automaton.h"
 
 namespace hv::dist {
+
+class ChaosLink;
 
 /// A parsed listen/connect address.
 struct Address {
@@ -93,7 +108,11 @@ int connect_to(const Address& address);
 /// a worker's heartbeat thread can share the fd with its lease loop.
 class Conn {
  public:
-  explicit Conn(int fd) : fd_(fd) {}
+  /// `subject_to_chaos` opts this connection into the deterministic
+  /// network-fault plan from the environment (chaos.h). Only the
+  /// coordinator/worker data path passes true; the daemon's tenant RPC and
+  /// raw test fixtures stay fault-free.
+  explicit Conn(int fd, bool subject_to_chaos = false);
   ~Conn();
   Conn(const Conn&) = delete;
   Conn& operator=(const Conn&) = delete;
@@ -123,6 +142,7 @@ class Conn {
  private:
   int fd_ = -1;
   std::mutex write_mutex_;
+  std::unique_ptr<ChaosLink> chaos_;  // armed only via the env fault plan
 };
 
 // --- property resolution ----------------------------------------------------

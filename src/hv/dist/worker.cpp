@@ -70,7 +70,7 @@ WorkerReport run_worker_attempt(const WorkerOptions& options) {
     }
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
   }
-  Conn conn(fd);
+  Conn conn(fd, /*subject_to_chaos=*/true);
 
   cert::Json hello = cert::Json::Object{{"type", "hello"},
                                         {"protocol", kDistProtocolVersion},
@@ -103,6 +103,17 @@ WorkerReport run_worker_attempt(const WorkerOptions& options) {
   std::vector<spec::Property> properties;
   bool peer_learn = false;
   try {
+    if (welcome.at("type").as_string() == "shutdown") {
+      // The coordinator refused this label before granting anything
+      // (quarantined or banned for the run). A semantic stop: reconnecting
+      // under the same label would only be refused again.
+      const cert::Json* reason = welcome.find("reason");
+      report.note = "coordinator refused: " +
+                    (reason != nullptr && reason->kind() == cert::Json::Kind::kString
+                         ? reason->as_string()
+                         : std::string("(no reason given)"));
+      return report;
+    }
     if (welcome.at("type").as_string() != "welcome") {
       report.note = "no welcome from coordinator";
       return report;
@@ -129,6 +140,24 @@ WorkerReport run_worker_attempt(const WorkerOptions& options) {
         if (feature.kind() == cert::Json::Kind::kString &&
             feature.as_string() == "learn") {
           peer_learn = true;
+        }
+      }
+    }
+    // Tolerant lease-timeout read: refuse a heartbeat period the
+    // coordinator would mistake for death. A period above half the lease
+    // timeout leaves no slack for a slow schema between beats; the stop is
+    // semantic (reconnecting cannot fix a misconfiguration).
+    if (const cert::Json* lease_timeout = welcome.find("lease_timeout")) {
+      if (lease_timeout->kind() == cert::Json::Kind::kDouble ||
+          lease_timeout->kind() == cert::Json::Kind::kInt) {
+        const double lease_ms = lease_timeout->as_double() * 1000.0;
+        if (lease_ms > 0.0 && static_cast<double>(options.heartbeat_ms) > lease_ms / 2.0) {
+          report.note = "heartbeat period " + std::to_string(options.heartbeat_ms) +
+                        "ms exceeds half the coordinator's lease timeout (" +
+                        std::to_string(static_cast<std::int64_t>(lease_ms)) +
+                        "ms): the coordinator would expropriate this worker's leases "
+                        "mid-solve; lower --heartbeat-ms or raise --lease-timeout";
+          return report;
         }
       }
     }
@@ -284,10 +313,13 @@ WorkerReport run_worker_attempt(const WorkerOptions& options) {
       FrameStatus status = conn.recv(&reply, options.recv_timeout_ms);
       // A late "abandon" for a lease that already closed — or a broadcast
       // "learn" frame — can sit ahead of the real reply in the byte stream;
-      // fold learn frames and skip past both.
+      // fold learn frames and skip past both. A duplicated "welcome" (the
+      // chaos layer can double any frame) is equally benign: the handshake
+      // already ran, skip the echo.
       while (status == FrameStatus::kOk && reply.find("type") != nullptr &&
              (reply.at("type").as_string() == "abandon" ||
-              reply.at("type").as_string() == "learn")) {
+              reply.at("type").as_string() == "learn" ||
+              reply.at("type").as_string() == "welcome")) {
         if (reply.at("type").as_string() == "learn") apply_learn_frame(reply);
         status = conn.recv(&reply, options.recv_timeout_ms);
       }
@@ -440,6 +472,24 @@ WorkerReport run_worker_attempt(const WorkerOptions& options) {
                                                {"retries", outcome.retries},
                                                {"note", outcome.note}});
             case checker::UnitOutcome::Kind::kUnsat: {
+              if (options.lie_about_verdicts) {
+                // Byzantine test hook: forge a counterexample-free "sat" for
+                // a schema the solver just refuted, then stop the lease like
+                // an honest witness-finder would. Spot-checking must catch
+                // this; --certify would catch it offline.
+                cert::Json forged = cert::Json::Object{{"type", "sat"},
+                                                       {"lease", lease_id},
+                                                       {"property", static_cast<std::int64_t>(p)},
+                                                       {"cursor", cursor},
+                                                       {"length", outcome.length},
+                                                       {"pivots", outcome.pivots},
+                                                       {"fast", outcome.rational_fast_ops},
+                                                       {"big", outcome.rational_big_ops},
+                                                       {"retries", outcome.retries},
+                                                       {"validation_error", ""}};
+                if (stream(std::move(forged))) exit = LeaseExit::kSatFound;
+                return false;
+              }
               cert::Json record = cert::Json::Object{{"type", "record"},
                                                      {"lease", lease_id},
                                                      {"property", static_cast<std::int64_t>(p)},
@@ -569,15 +619,38 @@ bool connection_level_failure(const WorkerReport& report) {
 
 }  // namespace
 
+std::int64_t jittered_backoff_ms(std::int64_t base_ms, std::uint64_t seed, int attempt) {
+  // splitmix64 over (seed, attempt): stateless, so the test can recompute
+  // any draw. The jitter stays within ±25% of the base by construction.
+  std::uint64_t z = seed + 0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(attempt + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  z ^= z >> 31;
+  const double unit = static_cast<double>(z >> 11) * 0x1.0p-53;  // [0,1)
+  const double factor = 0.75 + 0.5 * unit;                       // [0.75, 1.25)
+  const auto jittered =
+      static_cast<std::int64_t>(static_cast<double>(base_ms) * factor);
+  return std::max<std::int64_t>(1, jittered);
+}
+
 WorkerReport run_worker(const WorkerOptions& options) {
   if (options.reconnect_seconds <= 0.0) return run_worker_attempt(options);
 
   const auto cancelled = [&] {
     return options.cancel != nullptr && options.cancel->load(std::memory_order_relaxed);
   };
+  // Jitter seed from the label (FNV-1a): deterministic per worker, different
+  // across a fleet of distinctly labelled workers, so a coordinator restart
+  // does not see the whole fleet reconnect in lockstep.
+  std::uint64_t jitter_seed = 1469598103934665603ULL;
+  for (const char ch : options.label) {
+    jitter_seed ^= static_cast<unsigned char>(ch);
+    jitter_seed *= 1099511628211ULL;
+  }
   WorkerReport total;
   Stopwatch window;  // time since the last successful attempt start
   std::int64_t backoff_ms = 50;
+  int attempt_index = 0;
   for (;;) {
     WorkerOptions attempt = options;
     // The inner connect-retry loop must not outlive the reconnect budget.
@@ -598,7 +671,14 @@ WorkerReport run_worker(const WorkerOptions& options) {
       backoff_ms = 50;
     }
     if (window.seconds() >= options.reconnect_seconds) return total;
-    std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+    // Bounded jitter (±25%), clamped to the remaining budget so the total
+    // sleep can never push the worker past its own reconnect window.
+    const double remaining_budget_ms =
+        (options.reconnect_seconds - window.seconds()) * 1000.0;
+    const std::int64_t sleep_ms = std::min<std::int64_t>(
+        jittered_backoff_ms(backoff_ms, jitter_seed, attempt_index++),
+        std::max<std::int64_t>(1, static_cast<std::int64_t>(remaining_budget_ms)));
+    std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
     backoff_ms = std::min<std::int64_t>(backoff_ms * 2, 2000);
   }
 }

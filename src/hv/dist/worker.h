@@ -33,8 +33,12 @@ struct WorkerOptions {
   /// abort, protocol or model-hash mismatch — never reconnect. Lease/record
   /// totals accumulate across attempts.
   double reconnect_seconds = 0.0;
-  /// Liveness heartbeat period; must stay well under the coordinator's
-  /// lease timeout.
+  /// Liveness heartbeat period (`hvc work --heartbeat-ms`); must stay well
+  /// under the coordinator's lease timeout or a long single-schema solve
+  /// looks like a dead worker. The welcome message carries the
+  /// coordinator's lease timeout, and the worker refuses to run when the
+  /// period exceeds half of it (a semantic stop — reconnecting cannot fix
+  /// a misconfiguration).
   int heartbeat_ms = 1000;
   /// Give up when the coordinator goes silent for this long.
   int recv_timeout_ms = 120'000;
@@ -47,6 +51,11 @@ struct WorkerOptions {
   /// Test hook: after streaming this many records, drop the connection
   /// abruptly mid-lease (simulates a crashed worker; 0 disables).
   std::int64_t drop_after_records = 0;
+  /// Test hook (HV_LIE_VERDICTS=1 under `hvc work`): report every unsat
+  /// schema as a forged counterexample-free "sat" — a Byzantine worker the
+  /// coordinator's spot-checking must catch. Never enable outside
+  /// adversarial testing.
+  bool lie_about_verdicts = false;
 };
 
 struct WorkerReport {
@@ -64,6 +73,12 @@ struct WorkerReport {
 /// injected abort. Throws hv::Error only for local misconfiguration (bad
 /// address); everything network-side is reported in the returned note.
 WorkerReport run_worker(const WorkerOptions& options);
+
+/// Reconnect backoff with deterministic bounded jitter: `base_ms` ±25%,
+/// drawn from (seed, attempt) so a restarted fleet of identically
+/// configured workers spreads its reconnect storm instead of hammering the
+/// coordinator in lockstep. Exposed for tests (the bound is asserted).
+std::int64_t jittered_backoff_ms(std::int64_t base_ms, std::uint64_t seed, int attempt);
 
 }  // namespace hv::dist
 

@@ -2,7 +2,9 @@
 
 #include <atomic>
 #include <csignal>
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <map>
 #include <optional>
@@ -48,6 +50,8 @@ constexpr const char* kUsage = R"(usage:
         --workers N (N >= 2) forks N local worker *processes* sharding the
         schema space over a private socket — a crashed worker costs one
         lease, not the run; --threads W instead uses W in-process threads.
+        --spot-check-rate R applies the same verdict spot-checking as hvc
+        serve to the forked fleet.
         --journal appends settled schema verdicts to a crash-safe JSONL
         file; --resume skips the schemas an earlier journal settled and
         keeps appending to it. --schema-timeout/--pivot-budget are
@@ -61,23 +65,40 @@ constexpr const char* kUsage = R"(usage:
         --prop may repeat; the i-th --name names the i-th property.)
   hvc serve <model.ta> --listen <addr> [--prop "<ltl>"]... [--name N]...
                        [--expected-workers N] [--lease-timeout S]
+                       [--spot-check-rate R] [--spot-check-seed S]
                        [... same checking flags as hvc check ...]
        (distributed coordinator: shards the schema space into subtree
         leases and merges verdicts streamed by hvc work processes. <addr>
         is unix:/path or tcp:host:port. Without --prop it checks the
         model's bundled default properties. A worker that dies loses its
         lease to the next worker; kill -9 the coordinator and restart with
-        --resume to continue from the journal.)
+        --resume to continue from the journal. --spot-check-rate R re-solves
+        a deterministic fraction R of worker-reported verdicts in-process
+        (sat claims always): a disagreement bans the worker and revokes its
+        records. Hostile frames, chronic lease timeouts and reconnect churn
+        feed a per-label health score that escalates from cool-down
+        quarantine to a permanent ban; with the fleet exhausted the
+        coordinator solves the remainder itself. Incompatible with
+        --certify, where hvc audit already re-validates every verdict.
+        HV_NET_FAULT_KIND/_RATE/_SEED (delay, drop, dup, reorder, truncate,
+        partition, mix) arm deterministic network-fault injection on every
+        coordinator/worker connection for testing.)
   hvc work --connect <addr> [--label NAME] [--retry S] [--reconnect S]
+           [--heartbeat-ms MS]
        (distributed worker: pulls schema subtree leases from an hvc serve
         coordinator and streams back per-schema verdicts; runs until the
         coordinator sends shutdown. The model and properties arrive over
         the wire — nothing is configured locally. --reconnect S keeps
-        retrying lost/refused connections with exponential backoff for up
-        to S idle seconds, so a worker fleet survives coordinator restarts.)
+        retrying lost/refused connections with jittered exponential backoff
+        for up to S idle seconds, so a worker fleet survives coordinator
+        restarts. --heartbeat-ms must stay under half the coordinator's
+        lease timeout (refused otherwise). HV_LIE_VERDICTS=1 makes the
+        worker forge sat verdicts — an adversarial test hook for the
+        coordinator's spot-checking.)
   hvc daemon --listen <addr> --state <dir> [--cache-mb MB] [--job-workers N]
              [--max-running N] [--tenant-max-queued N]
              [--tenant-max-running N] [--tenant-schema-budget K]
+             [--spot-check-rate R]
        (multi-tenant verification service: accepts hvc submit jobs from
         many clients, schedules them fairly under per-tenant quotas, and
         answers repeated submissions from a content-addressed result cache
@@ -126,6 +147,30 @@ exhausted)
 std::atomic<bool> g_interrupted{false};
 
 void handle_interrupt(int) { g_interrupted.store(true); }
+
+double parse_spot_check_rate(const std::string& command, const std::string& value) {
+  const double rate = std::stod(value);
+  if (rate < 0.0 || rate > 1.0) {
+    throw InvalidArgument(command + ": --spot-check-rate must be in [0, 1], got " + value);
+  }
+  return rate;
+}
+
+/// One extra human-output line for the Byzantine-defense counters; printed
+/// only when something actually happened, so trusted-fleet runs keep their
+/// exact pre-existing output.
+void print_byzantine_stats(const dist::DistStats& stats, std::ostream& out) {
+  if (stats.spot_checks == 0 && stats.hostile_frames == 0 && stats.lease_timeouts == 0 &&
+      stats.workers_quarantined == 0 && stats.workers_banned == 0 &&
+      stats.leases_self_solved == 0) {
+    return;
+  }
+  out << "byzantine: " << stats.spot_checks << " spot checks (" << stats.spot_check_failures
+      << " disagreements), " << stats.hostile_frames << " hostile frames, "
+      << stats.lease_timeouts << " lease timeouts, " << stats.workers_quarantined
+      << " quarantined, " << stats.workers_banned << " banned, " << stats.leases_self_solved
+      << " leases self-solved\n";
+}
 
 // Minimal JSON string escaping (the only JSON we emit is flat objects).
 std::string json_escape(const std::string& text) {
@@ -305,6 +350,8 @@ int command_check(Args& args, std::ostream& out) {
   bool json = false;
   bool certify = false;
   int fork_workers = 0;
+  double spot_check_rate = 0.0;
+  std::uint64_t spot_check_seed = 0;
   std::optional<std::string> cert_out;
   checker::CheckOptions options;
   while (!args.empty()) {
@@ -320,6 +367,10 @@ int command_check(Args& args, std::ostream& out) {
       fork_workers = std::stoi(*value);
     } else if (const auto value = args.option("--threads")) {
       options.workers = std::stoi(*value);
+    } else if (const auto value = args.option("--spot-check-rate")) {
+      spot_check_rate = parse_spot_check_rate("check", *value);
+    } else if (const auto value = args.option("--spot-check-seed")) {
+      spot_check_seed = std::stoull(*value);
     } else if (args.boolean("--no-pruning")) {
       options.property_directed_pruning = false;
     } else if (args.boolean("--no-incremental")) {
@@ -359,6 +410,11 @@ int command_check(Args& args, std::ostream& out) {
   }
   options.cancel = &g_interrupted;
   options.fault = checker::fault_plan_from_env();
+  if (spot_check_rate > 0.0 && fork_workers < 2) {
+    throw InvalidArgument(
+        "check: --spot-check-rate needs --workers N (N >= 2): in-process verdicts are "
+        "trusted by construction");
+  }
 
   const std::string model_text = read_file(*model_path);
   const ta::ThresholdAutomaton ta = ta::parse_ta(model_text).one_round_reduction();
@@ -393,6 +449,8 @@ int command_check(Args& args, std::ostream& out) {
     }
     dist::DistOptions dist_options;
     dist_options.check = options;
+    dist_options.spot_check_rate = spot_check_rate;
+    dist_options.spot_check_seed = spot_check_seed;
     results = dist::check_distributed_local(model_text, specs, fork_workers, dist_options,
                                             &dist_stats);
   } else {
@@ -417,6 +475,7 @@ int command_check(Args& args, std::ostream& out) {
       out << "distributed: " << dist_stats.workers_joined << " workers joined, "
           << dist_stats.workers_lost << " lost, " << dist_stats.leases_granted
           << " leases granted, " << dist_stats.leases_reassigned << " reassigned\n";
+      print_byzantine_stats(dist_stats, out);
     }
     if (certify) out << "certificate: " << cert_path << "\n";
   }
@@ -449,6 +508,10 @@ int command_serve(Args& args, std::ostream& out) {
       dist_options.expected_workers = std::stoi(*value);
     } else if (const auto value = args.option("--lease-timeout")) {
       dist_options.lease_timeout_seconds = std::stod(*value);
+    } else if (const auto value = args.option("--spot-check-rate")) {
+      dist_options.spot_check_rate = parse_spot_check_rate("serve", *value);
+    } else if (const auto value = args.option("--spot-check-seed")) {
+      dist_options.spot_check_seed = std::stoull(*value);
     } else if (args.boolean("--no-pruning")) {
       options.property_directed_pruning = false;
     } else if (args.boolean("--no-incremental")) {
@@ -523,6 +586,7 @@ int command_serve(Args& args, std::ostream& out) {
     out << "distributed: " << stats.workers_joined << " workers joined, "
         << stats.workers_lost << " lost, " << stats.leases_granted << " leases granted, "
         << stats.leases_reassigned << " reassigned\n";
+    print_byzantine_stats(stats, out);
     if (certify) out << "certificate: " << cert_path << "\n";
   }
   return exit_code(results);
@@ -539,6 +603,11 @@ int command_work(Args& args, std::ostream& out) {
       options.connect_retry_seconds = std::stod(*value);
     } else if (const auto value = args.option("--reconnect")) {
       options.reconnect_seconds = std::stod(*value);
+    } else if (const auto value = args.option("--heartbeat-ms")) {
+      options.heartbeat_ms = std::stoi(*value);
+      if (options.heartbeat_ms <= 0) {
+        throw InvalidArgument("work: --heartbeat-ms must be a positive period, got " + *value);
+      }
     } else {
       throw InvalidArgument("work: unexpected argument '" + args.peek() + "'");
     }
@@ -546,6 +615,11 @@ int command_work(Args& args, std::ostream& out) {
   if (options.connect.empty()) throw InvalidArgument("work: --connect is required");
   options.fault = checker::fault_plan_from_env();
   options.cancel = &g_interrupted;
+  // Adversarial test hook: forge sat verdicts so a spot-checking
+  // coordinator can be exercised end-to-end from the shell.
+  if (const char* lie = std::getenv("HV_LIE_VERDICTS"); lie != nullptr && *lie == '1') {
+    options.lie_about_verdicts = true;
+  }
   const dist::WorkerReport report = dist::run_worker(options);
   out << "worker '" << options.label << "': " << report.leases << " leases, "
       << report.records << " records"
@@ -577,6 +651,8 @@ int command_daemon(Args& args, std::ostream& out) {
       options.limits.tenant_max_running = std::stoi(*value);
     } else if (const auto value = args.option("--tenant-schema-budget")) {
       options.limits.tenant_schema_budget = std::stoll(*value);
+    } else if (const auto value = args.option("--spot-check-rate")) {
+      options.spot_check_rate = parse_spot_check_rate("daemon", *value);
     } else {
       throw InvalidArgument("daemon: unexpected argument '" + args.peek() + "'");
     }

@@ -1,11 +1,13 @@
 #include <gtest/gtest.h>
 
 #include <sys/socket.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <thread>
 #include <vector>
@@ -303,6 +305,91 @@ WorkerReport run_one_worker(const std::string& address, const char* label,
   return run_worker(options);
 }
 
+/// The coordinator thread may still be binding when a test connects; retry
+/// like a worker would.
+int connect_with_retry(const std::string& address) {
+  int fd = -1;
+  for (int spin = 0; spin < 500 && fd < 0; ++spin) {
+    fd = connect_to(parse_address(address));
+    if (fd < 0) std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return fd;
+}
+
+void hello_and_welcome(Conn& conn, const std::string& label) {
+  ASSERT_TRUE(conn.send(cert::Json::Object{
+      {"type", "hello"}, {"protocol", kDistProtocolVersion}, {"label", label}}));
+  cert::Json welcome;
+  ASSERT_EQ(conn.recv(&welcome, 5'000), FrameStatus::kOk);
+  ASSERT_EQ(welcome.at("type").as_string(), "welcome");
+}
+
+/// One frame from a freshly helloed connection, then wait for the
+/// coordinator to drop us (a timeout still exercises the survival property
+/// the caller asserts afterwards).
+void send_hostile_frame(const std::string& address, const std::string& label,
+                        const cert::Json& frame) {
+  const int fd = connect_with_retry(address);
+  ASSERT_GE(fd, 0);
+  Conn conn(fd);
+  ASSERT_NO_FATAL_FAILURE(hello_and_welcome(conn, label));
+  ASSERT_TRUE(conn.send(frame));
+  cert::Json reply;
+  conn.recv(&reply, 2'000);
+  conn.close();
+}
+
+struct LeaseGrant {
+  std::int64_t id = -1;
+  std::int64_t property = 0;
+  std::int64_t query = 0;
+  std::vector<std::int64_t> prefix;
+  bool extensions = false;
+};
+
+bool acquire_lease(Conn& conn, LeaseGrant* grant) {
+  for (int spin = 0; spin < 100; ++spin) {
+    if (!conn.send(cert::Json::Object{{"type", "next"}})) return false;
+    cert::Json reply;
+    if (conn.recv(&reply, 5'000) != FrameStatus::kOk) return false;
+    const std::string& type = reply.at("type").as_string();
+    if (type == "wait") {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      continue;
+    }
+    if (type != "lease") return false;
+    grant->id = reply.at("lease").as_int();
+    grant->property = reply.at("property").as_int();
+    grant->query = reply.at("query").as_int();
+    grant->prefix.clear();
+    for (const cert::Json& g : reply.at("prefix").as_array()) {
+      grant->prefix.push_back(g.as_int());
+    }
+    grant->extensions = reply.at("extensions").as_bool();
+    return true;
+  }
+  return false;
+}
+
+std::string chain_cursor(std::int64_t query, const std::vector<std::int64_t>& unlock_order) {
+  std::string cursor = "q" + std::to_string(query) + "|";
+  for (std::size_t i = 0; i < unlock_order.size(); ++i) {
+    if (i > 0) cursor += ',';
+    cursor += std::to_string(unlock_order[i]);
+  }
+  cursor += '|';
+  return cursor;
+}
+
+cert::Json record_frame(std::int64_t lease, std::int64_t property, const std::string& cursor,
+                        const char* verdict) {
+  return cert::Json::Object{{"type", "record"},      {"lease", lease},
+                            {"property", property},  {"cursor", cursor},
+                            {"verdict", verdict},    {"length", std::int64_t{1}},
+                            {"pivots", std::int64_t{0}}, {"retries", std::int64_t{0}},
+                            {"note", ""}};
+}
+
 TEST(DistEndToEnd, HoldsVerdictMatchesInProcess) {
   const std::string address = "unix:" + temp_path("dist_holds.sock");
   ServeRun run;
@@ -394,7 +481,8 @@ TEST(DistEndToEnd, MalformedMessagesCostTheConnectionNotTheRun) {
       R"({"type":"lease_done","lease":"zero"})",
       R"({"type":42})",
   };
-  for (const std::string& payload : malformed) {
+  for (std::size_t i = 0; i < malformed.size(); ++i) {
+    const std::string& payload = malformed[i];
     // The coordinator thread may still be binding; retry like a worker would.
     int fd = -1;
     for (int spin = 0; spin < 500 && fd < 0; ++spin) {
@@ -403,10 +491,14 @@ TEST(DistEndToEnd, MalformedMessagesCostTheConnectionNotTheRun) {
     }
     ASSERT_GE(fd, 0);
     Conn conn(fd);
-    ASSERT_TRUE(conn.send(cert::Json::Object{
-        {"type", "hello"}, {"protocol", kDistProtocolVersion}, {"label", "hostile"}}));
+    // Distinct labels: a repeat offender under one label would trip the
+    // health quarantine (its own test below) and be refused the welcome.
+    ASSERT_TRUE(conn.send(cert::Json::Object{{"type", "hello"},
+                                             {"protocol", kDistProtocolVersion},
+                                             {"label", "hostile-" + std::to_string(i)}}));
     cert::Json welcome;
     ASSERT_EQ(conn.recv(&welcome, 5'000), FrameStatus::kOk);
+    ASSERT_EQ(welcome.at("type").as_string(), "welcome");
     ASSERT_TRUE(write_frame(fd, payload));
     // The coordinator drops the connection; wait for the EOF (a timeout here
     // still exercises the survival property below).
@@ -641,6 +733,427 @@ TEST(DistEndToEnd, ForkLocalModeMatchesInProcess) {
   EXPECT_EQ(results[0].schemas_checked, reference[0].schemas_checked);
   EXPECT_EQ(results[0].schemas_pruned, reference[0].schemas_pruned);
   EXPECT_EQ(stats.workers_joined, 2);
+}
+
+// --- Byzantine workers ------------------------------------------------------
+
+TEST(DistByzantine, FramesCitingNeverGrantedLeasesAreHostile) {
+  const std::string address = "unix:" + temp_path("dist_forged.sock");
+  ServeRun run;
+  DistOptions options;
+  options.lease_timeout_seconds = 30.0;
+  run.start(address, {{"safe", kHoldsFormula, false}}, options);
+
+  // A verdict record citing lease 0 — a real lease, but never granted on
+  // this connection — and a forged sat citing a lease that cannot exist.
+  // Each costs exactly its connection; the forged witness must not flip the
+  // headline verdict of a property that holds.
+  ASSERT_NO_FATAL_FAILURE(send_hostile_frame(
+      address, "forger-record", record_frame(0, 0, "q0||", "unsat")));
+  ASSERT_NO_FATAL_FAILURE(send_hostile_frame(
+      address, "forger-sat",
+      cert::Json::Object{{"type", "sat"},
+                         {"lease", std::int64_t{-1}},
+                         {"property", std::int64_t{0}},
+                         {"cursor", "q0||"}}));
+
+  const WorkerReport survivor = run_one_worker(address, "honest");
+  run.join();
+  ASSERT_TRUE(run.error.empty()) << run.error;
+  EXPECT_TRUE(survivor.completed) << survivor.note;
+  ASSERT_EQ(run.results.size(), 1u);
+  EXPECT_EQ(run.results[0].verdict, checker::Verdict::kHolds);
+  EXPECT_EQ(run.stats.hostile_frames, 2);
+  const auto reference = reference_check("safe", kHoldsFormula, options.check);
+  EXPECT_EQ(run.results[0].schemas_checked, reference[0].schemas_checked);
+}
+
+TEST(DistByzantine, ConflictingDuplicateVerdictsAreHostile) {
+  const std::string address = "unix:" + temp_path("dist_conflict.sock");
+  ServeRun run;
+  DistOptions options;
+  options.lease_timeout_seconds = 30.0;
+  run.start(address, {{"safe", kHoldsFormula, false}}, options);
+
+  const int fd = connect_with_retry(address);
+  ASSERT_GE(fd, 0);
+  {
+    Conn conn(fd);
+    ASSERT_NO_FATAL_FAILURE(hello_and_welcome(conn, "twister"));
+    LeaseGrant grant;
+    ASSERT_TRUE(acquire_lease(conn, &grant));
+    // A cursor the granted subtree definitely covers: the chain prefix
+    // itself (exact match passes both the node-only and the extensions
+    // variants of task_covers).
+    const std::string cursor = chain_cursor(grant.query, grant.prefix);
+    // First record lands (in-lease, covered); the second reports a
+    // conflicting definitive verdict for the very same cursor — someone is
+    // lying, and it costs the connection.
+    ASSERT_TRUE(conn.send(record_frame(grant.id, grant.property, cursor, "unsat")));
+    ASSERT_TRUE(conn.send(record_frame(grant.id, grant.property, cursor, "pruned")));
+    cert::Json reply;
+    conn.recv(&reply, 2'000);
+    conn.close();
+  }
+
+  const WorkerReport survivor = run_one_worker(address, "honest");
+  run.join();
+  ASSERT_TRUE(run.error.empty()) << run.error;
+  EXPECT_TRUE(survivor.completed) << survivor.note;
+  ASSERT_EQ(run.results.size(), 1u);
+  EXPECT_EQ(run.results[0].verdict, checker::Verdict::kHolds);
+  EXPECT_GE(run.stats.hostile_frames, 1);
+  EXPECT_GE(run.stats.leases_reassigned, 1);
+}
+
+TEST(DistByzantine, CursorOutsideTheGrantedSubtreeIsHostile) {
+  const std::string address = "unix:" + temp_path("dist_stray.sock");
+  ServeRun run;
+  DistOptions options;
+  options.lease_timeout_seconds = 30.0;
+  run.start(address, {{"safe", kHoldsFormula, false}}, options);
+
+  const int fd = connect_with_retry(address);
+  ASSERT_GE(fd, 0);
+  {
+    Conn conn(fd);
+    ASSERT_NO_FATAL_FAILURE(hello_and_welcome(conn, "strayer"));
+    LeaseGrant grant;
+    ASSERT_TRUE(acquire_lease(conn, &grant));
+    // Escape the subtree: a node-only lease covers exactly its chain, so
+    // any extension strays; a full-subtree lease is escaped by mutating the
+    // last prefix element.
+    std::vector<std::int64_t> stray = grant.prefix;
+    if (!grant.extensions) {
+      stray.push_back(999);
+    } else if (!stray.empty()) {
+      ++stray.back();
+    } else {
+      GTEST_SKIP() << "single all-covering lease; no stray cursor exists";
+    }
+    const std::string cursor = chain_cursor(grant.query, stray);
+    ASSERT_TRUE(conn.send(record_frame(grant.id, grant.property, cursor, "unsat")));
+    cert::Json reply;
+    conn.recv(&reply, 2'000);
+    conn.close();
+  }
+
+  const WorkerReport survivor = run_one_worker(address, "honest");
+  run.join();
+  ASSERT_TRUE(run.error.empty()) << run.error;
+  EXPECT_TRUE(survivor.completed) << survivor.note;
+  ASSERT_EQ(run.results.size(), 1u);
+  EXPECT_EQ(run.results[0].verdict, checker::Verdict::kHolds);
+  EXPECT_EQ(run.stats.hostile_frames, 1);
+  const auto reference = reference_check("safe", kHoldsFormula, options.check);
+  EXPECT_EQ(run.results[0].schemas_checked, reference[0].schemas_checked);
+}
+
+TEST(DistByzantine, RepeatOffendersAreQuarantinedOnRejoin) {
+  const std::string address = "unix:" + temp_path("dist_quarantine.sock");
+  ServeRun run;
+  DistOptions options;
+  options.lease_timeout_seconds = 30.0;
+  run.start(address, {{"safe", kHoldsFormula, false}}, options);
+
+  // One hostile frame pushes the label's health score to the quarantine
+  // threshold...
+  ASSERT_NO_FATAL_FAILURE(send_hostile_frame(
+      address, "repeat", record_frame(0, 0, "q0||", "unsat")));
+
+  // ...so the rejoin under the same label is refused before any lease.
+  const int fd = connect_with_retry(address);
+  ASSERT_GE(fd, 0);
+  {
+    Conn conn(fd);
+    ASSERT_TRUE(conn.send(cert::Json::Object{
+        {"type", "hello"}, {"protocol", kDistProtocolVersion}, {"label", "repeat"}}));
+    cert::Json reply;
+    ASSERT_EQ(conn.recv(&reply, 5'000), FrameStatus::kOk);
+    EXPECT_EQ(reply.at("type").as_string(), "shutdown");
+    EXPECT_NE(reply.at("reason").as_string().find("quarantined"), std::string::npos)
+        << reply.at("reason").as_string();
+    conn.close();
+  }
+
+  const WorkerReport survivor = run_one_worker(address, "honest");
+  run.join();
+  ASSERT_TRUE(run.error.empty()) << run.error;
+  EXPECT_TRUE(survivor.completed) << survivor.note;
+  ASSERT_EQ(run.results.size(), 1u);
+  EXPECT_EQ(run.results[0].verdict, checker::Verdict::kHolds);
+  EXPECT_EQ(run.stats.workers_quarantined, 1);
+}
+
+TEST(DistByzantine, LyingWorkerIsCaughtBannedAndTheRunSelfHeals) {
+  // The full Byzantine story end to end: a worker that forges a
+  // counterexample-free "sat" for an unsat schema is caught by the armed
+  // spot-checker, everything it contributed is revoked, its label is
+  // banned, and — the fleet now exhausted — the coordinator degrades to
+  // solving the re-pended leases itself. The run slows down; it never
+  // wrongs.
+  const std::string address = "unix:" + temp_path("dist_liar.sock");
+  ServeRun run;
+  DistOptions options;
+  options.spot_check_rate = 1.0;
+  options.lease_timeout_seconds = 0.75;  // also paces the degradation probe
+  // With the cone armed every schema of this property is statically pruned
+  // and an unsat solve — the thing the liar forges a sat for — never
+  // happens; disable it so the worker actually solves (and lies).
+  options.check.property_directed_pruning = false;
+  run.start(address, {{"safe", kHoldsFormula, false}}, options);
+
+  WorkerOptions liar;
+  liar.connect = address;
+  liar.label = "liar";
+  liar.heartbeat_ms = 100;  // pass the heartbeat-vs-lease-timeout gate
+  liar.lie_about_verdicts = true;
+  const WorkerReport report = run_worker(liar);
+  run.join();
+
+  ASSERT_TRUE(run.error.empty()) << run.error;
+  EXPECT_FALSE(report.completed);
+  ASSERT_EQ(run.results.size(), 1u);
+  EXPECT_EQ(run.results[0].verdict, checker::Verdict::kHolds);
+  EXPECT_NE(run.results[0].note.find("worker_disagreement"), std::string::npos)
+      << run.results[0].note;
+  EXPECT_GE(run.results[0].schemas_spot_checked, 1);
+  EXPECT_GE(run.results[0].spot_check_disagreements, 1);
+  EXPECT_GE(run.stats.spot_check_failures, 1);
+  EXPECT_EQ(run.stats.workers_banned, 1);
+  EXPECT_GE(run.stats.leases_self_solved, 1);
+
+  // Revoke-and-re-solve must land on exactly the in-process coverage
+  // (spot-checking disarms cross-schema learning, so compare against a
+  // learning-free reference).
+  checker::CheckOptions ref = options.check;
+  ref.lemmas = false;
+  const auto reference = reference_check("safe", kHoldsFormula, ref);
+  EXPECT_EQ(run.results[0].schemas_checked, reference[0].schemas_checked);
+  EXPECT_EQ(run.results[0].schemas_pruned, reference[0].schemas_pruned);
+}
+
+TEST(DistByzantine, HonestFleetPassesSpotChecksWithCountersIntact) {
+  const std::string address = "unix:" + temp_path("dist_spot_honest.sock");
+  ServeRun run;
+  DistOptions options;
+  options.spot_check_rate = 1.0;
+  options.check.lemmas = false;  // what arming the spot-checker implies anyway
+  run.start(address, {{"safe", kHoldsFormula, false}}, options);
+  const WorkerReport report = run_one_worker(address, "honest");
+  run.join();
+
+  ASSERT_TRUE(run.error.empty()) << run.error;
+  EXPECT_TRUE(report.completed) << report.note;
+  ASSERT_EQ(run.results.size(), 1u);
+  EXPECT_EQ(run.results[0].verdict, checker::Verdict::kHolds);
+  EXPECT_GT(run.stats.spot_checks, 0);
+  EXPECT_EQ(run.stats.spot_check_failures, 0);
+  EXPECT_EQ(run.stats.workers_banned, 0);
+  EXPECT_GT(run.results[0].schemas_spot_checked, 0);
+  EXPECT_EQ(run.results[0].spot_check_disagreements, 0);
+  EXPECT_TRUE(run.results[0].note.empty()) << run.results[0].note;
+
+  const auto reference = reference_check("safe", kHoldsFormula, options.check);
+  EXPECT_EQ(run.results[0].schemas_checked, reference[0].schemas_checked);
+  EXPECT_EQ(run.results[0].schemas_pruned, reference[0].schemas_pruned);
+  EXPECT_EQ(run.results[0].schemas_unknown, reference[0].schemas_unknown);
+}
+
+// --- reconnect jitter and heartbeat validation ------------------------------
+
+TEST(DistReconnect, BackoffJitterStaysWithinBounds) {
+  // base_ms +/- 25%, deterministic in (seed, attempt), never below 1ms.
+  bool seeds_differ = false;
+  for (const std::uint64_t seed : {1ull, 0x9e37ull}) {
+    for (int attempt = 0; attempt < 100; ++attempt) {
+      const std::int64_t ms = jittered_backoff_ms(400, seed, attempt);
+      EXPECT_GE(ms, 300) << "seed " << seed << " attempt " << attempt;
+      EXPECT_LE(ms, 500) << "seed " << seed << " attempt " << attempt;
+      EXPECT_EQ(ms, jittered_backoff_ms(400, seed, attempt));  // deterministic
+      seeds_differ =
+          seeds_differ || ms != jittered_backoff_ms(400, seed ^ 0xffffull, attempt);
+    }
+  }
+  EXPECT_TRUE(seeds_differ) << "jitter ignores the seed";
+  // Tiny bases round toward zero; the floor keeps the loop from spinning.
+  EXPECT_GE(jittered_backoff_ms(1, 7, 0), 1);
+}
+
+TEST(DistReconnect, JitteredSleepsStayWithinTheReconnectBudget) {
+  // Nothing ever listens; the jittered backoff must still respect the total
+  // reconnect budget (each sleep is clamped to the remaining budget), so
+  // the worker returns promptly instead of overshooting by a jittered tail.
+  WorkerOptions options;
+  options.connect = "unix:" + temp_path("dist_jitter_budget.sock");
+  options.connect_retry_seconds = 0.05;
+  options.reconnect_seconds = 0.4;
+  const auto before = std::chrono::steady_clock::now();
+  const WorkerReport report = run_worker(options);
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - before).count();
+  EXPECT_FALSE(report.completed);
+  EXPECT_NE(report.note.find("cannot connect"), std::string::npos) << report.note;
+  EXPECT_LT(elapsed, 2.5) << "reconnect loop overshot its budget";
+}
+
+TEST(DistEndToEnd, OversizedHeartbeatPeriodIsRefused) {
+  // The welcome carries the coordinator's lease timeout; a worker whose
+  // heartbeat period exceeds half of it would look dead mid-solve, so it
+  // refuses to run (a semantic stop — reconnecting cannot fix it).
+  const std::string address = "unix:" + temp_path("dist_heartbeat.sock");
+  ServeRun run;
+  DistOptions options;
+  options.lease_timeout_seconds = 1.0;
+  run.start(address, {{"safe", kHoldsFormula, false}}, options);
+
+  WorkerOptions slow;
+  slow.connect = address;
+  slow.label = "slow-heart";
+  slow.heartbeat_ms = 600;  // > 1000ms / 2
+  const WorkerReport refused = run_worker(slow);
+  EXPECT_FALSE(refused.completed);
+  EXPECT_NE(refused.note.find("exceeds half"), std::string::npos) << refused.note;
+  EXPECT_EQ(refused.leases, 0);
+
+  WorkerOptions fast;
+  fast.connect = address;
+  fast.label = "fast-heart";
+  fast.heartbeat_ms = 100;
+  const WorkerReport report = run_worker(fast);
+  run.join();
+  ASSERT_TRUE(run.error.empty()) << run.error;
+  EXPECT_TRUE(report.completed) << report.note;
+  ASSERT_EQ(run.results.size(), 1u);
+  EXPECT_EQ(run.results[0].verdict, checker::Verdict::kHolds);
+}
+
+// --- network chaos ----------------------------------------------------------
+
+TEST(DistChaos, MixedFaultsPreserveVerdictAndAccounting) {
+  // Frame-level chaos on every coordinator and worker connection: delays,
+  // drops, duplication, reordering, truncation, one-sided partitions. With
+  // a reconnecting worker (and the coordinator's graceful degradation as
+  // the backstop) the run must land on exactly the in-process verdict and
+  // accounting.
+  ASSERT_EQ(::setenv("HV_NET_FAULT_KIND", "mix", 1), 0);
+  ASSERT_EQ(::setenv("HV_NET_FAULT_RATE", "0.05", 1), 0);
+  ASSERT_EQ(::setenv("HV_NET_FAULT_SEED", "1234", 1), 0);
+
+  const std::string address = "unix:" + temp_path("dist_chaos.sock");
+  ServeRun run;
+  DistOptions options;
+  options.lease_timeout_seconds = 2.0;
+  options.check.lemmas = false;  // learning replay depends on connection order
+  run.start(address, {{"safe", kHoldsFormula, false}}, options);
+
+  WorkerOptions worker;
+  worker.connect = address;
+  worker.label = "chaotic";
+  worker.connect_retry_seconds = 0.2;
+  worker.reconnect_seconds = 30.0;  // chaos kills connections; keep rejoining
+  const WorkerReport report = run_worker(worker);
+  run.join();
+
+  ASSERT_EQ(::unsetenv("HV_NET_FAULT_KIND"), 0);
+  ASSERT_EQ(::unsetenv("HV_NET_FAULT_RATE"), 0);
+  ASSERT_EQ(::unsetenv("HV_NET_FAULT_SEED"), 0);
+  (void)report;  // the worker may end refused (churn quarantine) or clean
+
+  ASSERT_TRUE(run.error.empty()) << run.error;
+  ASSERT_EQ(run.results.size(), 1u);
+  EXPECT_EQ(run.results[0].verdict, checker::Verdict::kHolds);
+  const auto reference = reference_check("safe", kHoldsFormula, options.check);
+  EXPECT_EQ(run.results[0].schemas_checked, reference[0].schemas_checked);
+  EXPECT_EQ(run.results[0].schemas_pruned, reference[0].schemas_pruned);
+  EXPECT_EQ(run.results[0].schemas_unknown, reference[0].schemas_unknown);
+  EXPECT_GE(run.stats.workers_joined, 1);
+}
+
+TEST(DistChaos, FleetThatNeverJoinsDegradesToInProcessSolving) {
+  // drop at rate 1.0 tears every connection on its first frame, so no forked
+  // worker ever survives the hello/welcome handshake. A fork-local run owns
+  // its fleet: with nobody left to wait for, it must degrade to in-process
+  // solving and terminate with the right verdict instead of hanging forever.
+  ASSERT_EQ(::setenv("HV_NET_FAULT_KIND", "drop", 1), 0);
+  ASSERT_EQ(::setenv("HV_NET_FAULT_RATE", "1.0", 1), 0);
+  ASSERT_EQ(::setenv("HV_NET_FAULT_SEED", "5", 1), 0);
+
+  DistOptions options;
+  options.lease_timeout_seconds = 0.5;  // degradation arms after this long
+  options.check.property_directed_pruning = false;  // leave schemas to solve
+  DistStats stats;
+  std::vector<checker::PropertyResult> results;
+  try {
+    results = check_distributed_local(kEchoModel, {{"safe", kHoldsFormula, false}},
+                                      /*worker_count=*/2, options, &stats);
+  } catch (...) {
+    ::unsetenv("HV_NET_FAULT_KIND");
+    ::unsetenv("HV_NET_FAULT_RATE");
+    ::unsetenv("HV_NET_FAULT_SEED");
+    throw;
+  }
+  ASSERT_EQ(::unsetenv("HV_NET_FAULT_KIND"), 0);
+  ASSERT_EQ(::unsetenv("HV_NET_FAULT_RATE"), 0);
+  ASSERT_EQ(::unsetenv("HV_NET_FAULT_SEED"), 0);
+
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].verdict, checker::Verdict::kHolds);
+  EXPECT_EQ(stats.workers_joined, 0);
+  EXPECT_GE(stats.leases_self_solved, 1);
+  const auto reference = reference_check("safe", kHoldsFormula, options.check);
+  EXPECT_EQ(results[0].schemas_checked, reference[0].schemas_checked);
+  EXPECT_EQ(results[0].schemas_pruned, reference[0].schemas_pruned);
+}
+
+// --- TMPDIR handling in fork-local mode -------------------------------------
+
+TEST(DistLocal, HonorsTmpdirForThePrivateSocketDirectory) {
+  const char* old = std::getenv("TMPDIR");
+  const std::string saved = old != nullptr ? old : "";
+  const std::string scratch = ::testing::TempDir() + "hv_tmpdir_scratch";
+  ::mkdir(scratch.c_str(), 0700);
+  // Trailing slashes must not produce "//hvc-XXXXXX" paths.
+  ASSERT_EQ(::setenv("TMPDIR", (scratch + "/").c_str(), 1), 0);
+
+  DistOptions options;
+  std::vector<checker::PropertyResult> results;
+  try {
+    results = check_distributed_local(kEchoModel, {{"safe", kHoldsFormula, false}},
+                                      /*worker_count=*/2, options);
+  } catch (...) {
+    if (old != nullptr) ::setenv("TMPDIR", saved.c_str(), 1);
+    else ::unsetenv("TMPDIR");
+    throw;
+  }
+  if (old != nullptr) ::setenv("TMPDIR", saved.c_str(), 1);
+  else ::unsetenv("TMPDIR");
+
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].verdict, checker::Verdict::kHolds);
+  // The private mkdtemp directory was cleaned up after the run.
+  ASSERT_EQ(::rmdir(scratch.c_str()), 0) << "socket directory left behind in TMPDIR";
+}
+
+TEST(DistLocal, OverlongTmpdirIsRefusedWithAPreciseError) {
+  const char* old = std::getenv("TMPDIR");
+  const std::string saved = old != nullptr ? old : "";
+  const std::string overlong = "/" + std::string(200, 'x');
+  ASSERT_EQ(::setenv("TMPDIR", overlong.c_str(), 1), 0);
+
+  std::string message;
+  try {
+    check_distributed_local(kEchoModel, {{"safe", kHoldsFormula, false}},
+                            /*worker_count=*/1, DistOptions{});
+  } catch (const InvalidArgument& error) {
+    message = error.what();
+  }
+  if (old != nullptr) ::setenv("TMPDIR", saved.c_str(), 1);
+  else ::unsetenv("TMPDIR");
+
+  // Refused before mkdtemp/bind, with the culprit and the fix named.
+  EXPECT_NE(message.find("unix-socket limit"), std::string::npos) << message;
+  EXPECT_NE(message.find("TMPDIR"), std::string::npos) << message;
 }
 
 }  // namespace

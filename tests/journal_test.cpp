@@ -83,6 +83,33 @@ TEST(JournalTest, LaterRecordsWin) {
   EXPECT_EQ(state.find("safe", "q0|0|1")->verdict, "unsat");
 }
 
+TEST(JournalTest, RevokedRecordsEraseEarlierVerdictsOnLoad) {
+  // The distributed coordinator journals a compensating "revoked" record
+  // when spot-checking catches a lying worker. Loading must forget the
+  // revoked cursor (so --resume re-solves it) while unrelated records — and
+  // a later honest re-solve of the same cursor — survive.
+  const std::string path = temp_path("journal_revoked.jsonl");
+  {
+    ProgressJournal journal(path, "Echo");
+    journal.append(record("safe", "q0|0|1", "unsat", 4, 9));
+    journal.append(record("safe", "q0|0|2", "unsat", 3, 5));
+    journal.append(record("safe", "q0|0|1", "revoked"));
+  }
+  const ResumeState revoked = load_journal(path);
+  EXPECT_EQ(revoked.find("safe", "q0|0|1"), nullptr);
+  ASSERT_NE(revoked.find("safe", "q0|0|2"), nullptr);
+  EXPECT_EQ(revoked.find("safe", "q0|0|2")->verdict, "unsat");
+
+  // Later-wins still applies past the revocation: the honest re-solve lands.
+  {
+    ProgressJournal journal(path, "Echo");
+    journal.append(record("safe", "q0|0|1", "pruned"));
+  }
+  const ResumeState resolved = load_journal(path);
+  ASSERT_NE(resolved.find("safe", "q0|0|1"), nullptr);
+  EXPECT_EQ(resolved.find("safe", "q0|0|1")->verdict, "pruned");
+}
+
 TEST(JournalTest, ToleratesTornTrailingLine) {
   // The only corruption an append-only journal can suffer from kill -9 is a
   // torn last line; loading must skip it and keep every complete record.
