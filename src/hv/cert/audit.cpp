@@ -14,6 +14,7 @@
 #include "hv/checker/encoder.h"
 #include "hv/checker/guard_analysis.h"
 #include "hv/checker/schema.h"
+#include "hv/pipeline/dag/scheduler.h"
 #include "hv/spec/compile.h"
 #include "hv/ta/parser.h"
 #include "hv/util/error.h"
@@ -47,6 +48,20 @@ void add_issue(AuditReport& report, const std::string& context, const std::strin
     return;
   }
   report.issues.push_back(context + ": " + message);
+}
+
+/// Merge-time twin of add_issue: the issue string already carries its
+/// context (it came out of a shard's own report), but the suppression cap
+/// must behave as if the issue had been added to the merged report
+/// directly — that is what keeps a merged shard audit byte-equivalent to
+/// the single-process one even past the cap.
+void merge_issue(AuditReport& report, const std::string& issue) {
+  if (report.issues.size() > kMaxIssues) return;
+  if (report.issues.size() == kMaxIssues) {
+    report.issues.push_back("... further issues suppressed");
+    return;
+  }
+  report.issues.push_back(issue);
 }
 
 // ---------------------------------------------------------------------------
@@ -461,7 +476,10 @@ class SchemaAuditor {
 
 // ---------------------------------------------------------------------------
 // Certificate-level driver: model/property reconstruction, re-encoding,
-// coverage, verdict composition.
+// coverage, verdict composition. Split into phases so the sharded audit
+// (AuditOptions::jobs > 1) schedules the *same* code the single-process
+// audit runs inline — a shard boundary is just a fresh trace encoder, which
+// the error-recovery path below always allowed mid-list anyway.
 // ---------------------------------------------------------------------------
 
 std::string schema_key(std::int64_t query_index, const Schema& schema) {
@@ -521,187 +539,301 @@ struct ComponentOutcome {
   std::map<std::string, std::string> verdicts;  // property -> audited verdict
 };
 
-/// Audits one property certificate; returns the audited verdict ("holds" /
-/// "violated" / "unknown" as claimed when the audit is green, "failed"
-/// otherwise).
-std::string audit_property(const GuardAnalysis& analysis, const spec::Property& property,
-                           const PropertyCert& cert, const std::string& context,
-                           AuditReport& report) {
-  const std::size_t issues_before = report.issues.size();
-  ++report.properties_audited;
+/// Everything one component audit shares across its property audits.
+struct ComponentState {
+  const ComponentCert* cert = nullptr;
+  std::string context;
+  std::optional<ta::ThresholdAutomaton> ta;
+  std::optional<GuardAnalysis> analysis;
+};
 
-  if (cert.verdict != "holds" && cert.verdict != "violated" && cert.verdict != "unknown") {
-    add_issue(report, context, "invalid verdict '" + cert.verdict + "'");
-    return "failed";
+/// Reconstructs the component's model and guard analysis; issues land in
+/// `sink`. Returns true iff property audits can proceed.
+bool reconstruct_component(ComponentState& state, AuditReport& sink) {
+  const ComponentCert& component = *state.cert;
+  try {
+    if (component.model.kind == "text") {
+      state.ta = ta::parse_ta(component.model.text).one_round_reduction();
+    } else if (component.model.kind == "builtin") {
+      state.ta = builtin_model(component.model.key);
+    } else {
+      add_issue(sink, state.context, "invalid model kind '" + component.model.kind + "'");
+      return false;
+    }
+  } catch (const Error& error) {
+    add_issue(sink, state.context, std::string("model reconstruction failed: ") + error.what());
+    return false;
   }
-  if (cert.verdict == "unknown") {
-    report.warnings.push_back(context + ": verdict 'unknown' certifies nothing");
+  try {
+    state.analysis.emplace(*state.ta);
+  } catch (const Error& error) {
+    add_issue(sink, state.context, std::string("guard analysis failed: ") + error.what());
+    return false;
   }
-  if (cert.verdict == "holds" && !cert.complete) {
-    add_issue(report, context, "verdict 'holds' without a completeness claim");
-  }
+  return true;
+}
 
-  const std::size_t query_count = property.queries.size();
+/// Everything one property audit accumulates across its phases.
+struct PropertyAuditState {
+  const PropertyCert* cert = nullptr;
+  std::string context;
+  std::optional<spec::Property> property;
+  /// Reconstruction succeeded and the audit ran at all; false means the
+  /// audited verdict is "failed" no matter what the shards found.
+  bool audited = false;
+  /// The claimed verdict itself was invalid — "failed" even when the issue
+  /// cap swallowed the diagnostic.
+  bool hard_failed = false;
+  bool shapes_ok = true;
+  std::size_t query_count = 0;
   std::deque<QueryCone> cones;
-  if (cert.property_directed_pruning) {
-    for (const spec::ReachQuery& query : property.queries) cones.emplace_back(analysis, query);
-  }
 
-  // Validate shapes, then group the covered schemas per query, sorted so
-  // consecutive entries share chain prefixes (the trace encoder reuses them
-  // exactly like the certifying run did).
   struct Entry {
     const SchemaCert* cert = nullptr;
     bool green = false;
     bool seen_in_enumeration = false;
   };
   std::map<std::string, Entry> covered;
-  std::vector<std::vector<const SchemaCert*>> by_query(query_count);
-  bool shapes_ok = true;
+  std::map<std::string, bool> pruned;  // key -> seen in enumeration
+  /// Covered schemas grouped per query, sorted so consecutive entries share
+  /// chain prefixes (the trace encoder reuses them exactly like the
+  /// certifying run did). Shards slice these lists contiguously.
+  std::vector<std::vector<const SchemaCert*>> by_query;
+};
+
+/// Phase 1: property reconstruction, verdict/shape validation, evidence
+/// grouping, cone construction. Returns true iff the evidence and coverage
+/// phases should run.
+bool prepare_property(const GuardAnalysis& analysis, const ta::ThresholdAutomaton& ta,
+                      PropertyAuditState& state, AuditReport& sink) {
+  const PropertyCert& cert = *state.cert;
+  const std::string& context = state.context;
+
+  try {
+    if (cert.source.kind == "ltl") {
+      if (cert.source.formula.empty()) {
+        add_issue(sink, context, "ltl property source without a formula");
+        return false;
+      }
+      state.property = spec::compile(ta, cert.name, cert.source.formula);
+    } else if (cert.source.kind == "bundled") {
+      const std::vector<spec::Property> bundled = bundled_properties(ta);
+      const auto it = std::find_if(bundled.begin(), bundled.end(), [&](const spec::Property& p) {
+        return p.name == cert.name;
+      });
+      if (it == bundled.end()) {
+        add_issue(sink, context, "not among the automaton's bundled properties");
+        return false;
+      }
+      state.property = *it;
+    } else {
+      add_issue(sink, context, "invalid property source kind '" + cert.source.kind + "'");
+      return false;
+    }
+  } catch (const Error& error) {
+    add_issue(sink, context, std::string("property reconstruction failed: ") + error.what());
+    return false;
+  }
+  state.audited = true;
+  ++sink.properties_audited;
+
+  if (cert.verdict != "holds" && cert.verdict != "violated" && cert.verdict != "unknown") {
+    add_issue(sink, context, "invalid verdict '" + cert.verdict + "'");
+    state.hard_failed = true;
+    return false;
+  }
+  if (cert.verdict == "unknown") {
+    sink.warnings.push_back(context + ": verdict 'unknown' certifies nothing");
+  }
+  if (cert.verdict == "holds" && !cert.complete) {
+    add_issue(sink, context, "verdict 'holds' without a completeness claim");
+  }
+
+  const spec::Property& property = *state.property;
+  state.query_count = property.queries.size();
+  if (cert.property_directed_pruning) {
+    for (const spec::ReachQuery& query : property.queries) {
+      state.cones.emplace_back(analysis, query);
+    }
+  }
+
+  // Validate shapes, then group the covered schemas per query.
+  state.by_query.resize(state.query_count);
   for (const SchemaCert& entry : cert.schemas) {
     std::string why;
-    if (entry.query_index >= static_cast<std::int64_t>(query_count)) {
-      add_issue(report, context, "schema evidence cites query #" +
-                                     std::to_string(entry.query_index) + " of " +
-                                     std::to_string(query_count));
-      shapes_ok = false;
+    if (entry.query_index >= static_cast<std::int64_t>(state.query_count)) {
+      add_issue(sink, context, "schema evidence cites query #" +
+                                   std::to_string(entry.query_index) + " of " +
+                                   std::to_string(state.query_count));
+      state.shapes_ok = false;
       continue;
     }
     const std::size_t q = static_cast<std::size_t>(entry.query_index);
     if (!schema_shape_ok(entry.schema, analysis.guard_count(), property.queries[q].cuts.size(),
                          why)) {
-      add_issue(report, context, "malformed schema: " + why);
-      shapes_ok = false;
+      add_issue(sink, context, "malformed schema: " + why);
+      state.shapes_ok = false;
       continue;
     }
     const std::string key = schema_key(entry.query_index, entry.schema);
-    if (!covered.emplace(key, Entry{&entry, false, false}).second) {
-      add_issue(report, context, "duplicate schema evidence (" + key + ")");
-      shapes_ok = false;
+    if (!state.covered.emplace(key, PropertyAuditState::Entry{&entry, false, false}).second) {
+      add_issue(sink, context, "duplicate schema evidence (" + key + ")");
+      state.shapes_ok = false;
       continue;
     }
-    by_query[q].push_back(&entry);
+    state.by_query[q].push_back(&entry);
   }
-  std::map<std::string, bool> pruned;  // key -> seen in enumeration
   for (const PrunedCert& entry : cert.pruned) {
     std::string why;
-    if (entry.query_index >= static_cast<std::int64_t>(query_count) ||
+    if (entry.query_index >= static_cast<std::int64_t>(state.query_count) ||
         !schema_shape_ok(entry.schema, analysis.guard_count(),
                          property.queries[static_cast<std::size_t>(entry.query_index)].cuts.size(),
                          why)) {
-      add_issue(report, context, "malformed pruned-schema entry");
-      shapes_ok = false;
+      add_issue(sink, context, "malformed pruned-schema entry");
+      state.shapes_ok = false;
       continue;
     }
-    if (!pruned.emplace(schema_key(entry.query_index, entry.schema), false).second) {
-      add_issue(report, context, "duplicate pruned-schema entry");
-      shapes_ok = false;
+    if (!state.pruned.emplace(schema_key(entry.query_index, entry.schema), false).second) {
+      add_issue(sink, context, "duplicate pruned-schema entry");
+      state.shapes_ok = false;
     }
   }
-
-  // Re-encode and audit every piece of evidence.
-  bool sat_witness_green = false;
-  for (std::size_t q = 0; q < query_count; ++q) {
-    if (by_query[q].empty()) continue;
-    std::sort(by_query[q].begin(), by_query[q].end(),
+  for (std::size_t q = 0; q < state.query_count; ++q) {
+    std::sort(state.by_query[q].begin(), state.by_query[q].end(),
               [](const SchemaCert* lhs, const SchemaCert* rhs) {
                 if (lhs->schema.unlock_order != rhs->schema.unlock_order) {
                   return lhs->schema.unlock_order < rhs->schema.unlock_order;
                 }
                 return lhs->schema.cut_positions < rhs->schema.cut_positions;
               });
-    const QueryCone* cone = cert.property_directed_pruning ? &cones[q] : nullptr;
-    auto encoder = std::make_unique<IncrementalSchemaEncoder>(
-        analysis, property.queries[q], /*branch_budget=*/1, cone, EncoderMode::kTrace);
-    for (const SchemaCert* entry : by_query[q]) {
-      const std::string entry_context =
-          context + ", " + schema_key(entry->query_index, entry->schema);
-      Trace trace;
-      try {
-        trace = encoder->trace(entry->schema);
-      } catch (const Error& error) {
-        add_issue(report, entry_context, std::string("re-encoding failed: ") + error.what());
-        encoder = std::make_unique<IncrementalSchemaEncoder>(
-            analysis, property.queries[q], /*branch_budget=*/1, cone, EncoderMode::kTrace);
-        continue;
-      }
-      SchemaAuditor auditor(trace, report, entry_context);
-      bool green = false;
-      if (entry->sat) {
-        green = auditor.audit_model(entry->model);
-        ++report.models_checked;
-        if (green) sat_witness_green = true;
-      } else {
-        if (entry->proof == nullptr) {
-          add_issue(report, entry_context, "unsat evidence without a proof");
-        } else {
-          green = auditor.audit_proof(*entry->proof);
-        }
-        ++report.schemas_covered;
-      }
-      covered[schema_key(entry->query_index, entry->schema)].green = green;
-    }
   }
+  return true;
+}
 
-  // Coverage: a holds verdict claims the audited refutations exhaust the
-  // schema space; re-enumerate and match every schema against the covered
-  // set or a reproduced cone decision.
-  if (cert.verdict == "holds" && shapes_ok) {
-    for (std::size_t q = 0; q < query_count; ++q) {
+/// Phase 2: re-encode and audit one contiguous range of one query's sorted
+/// evidence list. Ranges over the same query may run concurrently: each
+/// gets its own trace encoder (re-encoding is deterministic per schema —
+/// the error-recovery path below restarts the encoder mid-list and always
+/// has), and each covered-map entry belongs to exactly one range.
+void audit_entry_range(const GuardAnalysis& analysis, PropertyAuditState& state, std::size_t q,
+                       std::size_t lo, std::size_t hi, AuditReport& sink) {
+  if (lo >= hi) return;
+  const spec::Property& property = *state.property;
+  const QueryCone* cone = state.cert->property_directed_pruning ? &state.cones[q] : nullptr;
+  auto encoder = std::make_unique<IncrementalSchemaEncoder>(
+      analysis, property.queries[q], /*branch_budget=*/1, cone, EncoderMode::kTrace);
+  for (std::size_t i = lo; i < hi; ++i) {
+    const SchemaCert* entry = state.by_query[q][i];
+    const std::string entry_context =
+        state.context + ", " + schema_key(entry->query_index, entry->schema);
+    Trace trace;
+    try {
+      trace = encoder->trace(entry->schema);
+    } catch (const Error& error) {
+      add_issue(sink, entry_context, std::string("re-encoding failed: ") + error.what());
+      encoder = std::make_unique<IncrementalSchemaEncoder>(
+          analysis, property.queries[q], /*branch_budget=*/1, cone, EncoderMode::kTrace);
+      continue;
+    }
+    SchemaAuditor auditor(trace, sink, entry_context);
+    bool green = false;
+    if (entry->sat) {
+      green = auditor.audit_model(entry->model);
+      ++sink.models_checked;
+    } else {
+      if (entry->proof == nullptr) {
+        add_issue(sink, entry_context, "unsat evidence without a proof");
+      } else {
+        green = auditor.audit_proof(*entry->proof);
+      }
+      ++sink.schemas_covered;
+    }
+    state.covered[schema_key(entry->query_index, entry->schema)].green = green;
+  }
+}
+
+/// Phase 3: coverage. A holds verdict claims the audited refutations
+/// exhaust the schema space; re-enumerate and match every schema against
+/// the covered set or a reproduced cone decision. A violated verdict needs
+/// one validated counterexample model.
+void audit_coverage(const GuardAnalysis& analysis, PropertyAuditState& state,
+                    AuditReport& sink) {
+  const PropertyCert& cert = *state.cert;
+  const std::string& context = state.context;
+  const spec::Property& property = *state.property;
+
+  if (cert.verdict == "holds" && state.shapes_ok) {
+    for (std::size_t q = 0; q < state.query_count; ++q) {
       const int cut_count = static_cast<int>(property.queries[q].cuts.size());
       const checker::EnumerationOutcome outcome = checker::enumerate_schemas(
           analysis, cut_count, cert.enumeration, [&](const Schema& schema) {
             const std::string key = schema_key(static_cast<std::int64_t>(q), schema);
-            if (cert.property_directed_pruning && !cones[q].schema_feasible(schema)) {
-              const auto it = pruned.find(key);
-              if (it == pruned.end()) {
-                add_issue(report, context, "cone-pruned schema missing from the manifest (" +
-                                               key + ")");
+            if (cert.property_directed_pruning && !state.cones[q].schema_feasible(schema)) {
+              const auto it = state.pruned.find(key);
+              if (it == state.pruned.end()) {
+                add_issue(sink, context, "cone-pruned schema missing from the manifest (" +
+                                             key + ")");
               } else {
                 it->second = true;
-                ++report.schemas_pruned;
+                ++sink.schemas_pruned;
               }
               return true;
             }
-            const auto it = covered.find(key);
-            if (it == covered.end()) {
-              add_issue(report, context, "schema not covered by any refutation (" + key + ")");
+            const auto it = state.covered.find(key);
+            if (it == state.covered.end()) {
+              add_issue(sink, context, "schema not covered by any refutation (" + key + ")");
               return true;
             }
             it->second.seen_in_enumeration = true;
             if (it->second.cert->sat) {
-              add_issue(report, context, "sat evidence under a holds verdict (" + key + ")");
+              add_issue(sink, context, "sat evidence under a holds verdict (" + key + ")");
             } else if (!it->second.green) {
               // The refutation audit already recorded its own issue.
             }
             return true;
           });
       if (outcome.budget_exhausted) {
-        add_issue(report, context,
+        add_issue(sink, context,
                   "enumeration budget exhausted while re-deriving coverage of query #" +
                       std::to_string(q));
       }
     }
-    for (const auto& [key, entry] : covered) {
+    for (const auto& [key, entry] : state.covered) {
       if (!entry.seen_in_enumeration) {
-        add_issue(report, context, "evidence for a schema outside the enumerated space (" +
-                                       key + ")");
+        add_issue(sink, context, "evidence for a schema outside the enumerated space (" +
+                                     key + ")");
       }
     }
-    for (const auto& [key, seen] : pruned) {
+    for (const auto& [key, seen] : state.pruned) {
       if (!seen) {
-        add_issue(report, context,
+        add_issue(sink, context,
                   "pruned entry the auditor's enumeration never produced (" + key + ")");
       }
     }
   } else if (cert.verdict == "violated") {
+    // The witness flag is derived from the covered map (a sat entry whose
+    // model audit came back green), so it is the same whatever schedule ran
+    // the evidence phase.
+    bool sat_witness_green = false;
+    for (const auto& [key, entry] : state.covered) {
+      if (entry.cert->sat && entry.green) {
+        sat_witness_green = true;
+        break;
+      }
+    }
     if (!sat_witness_green) {
-      add_issue(report, context, "verdict 'violated' without a validated counterexample model");
+      add_issue(sink, context, "verdict 'violated' without a validated counterexample model");
     }
   }
+}
 
-  const bool green = report.issues.size() == issues_before;
-  return green ? cert.verdict : "failed";
+/// The audited verdict of one property after all its phases settled. The
+/// `green` flag must reflect the *merged, capped* report — the sequential
+/// audit derives it the same way, so both schedules agree even past the
+/// issue cap.
+std::string audited_verdict(const PropertyAuditState& state, bool green) {
+  if (!state.audited || state.hard_failed) return "failed";
+  return green ? state.cert->verdict : "failed";
 }
 
 std::string describe_component(const ComponentCert& component, std::size_t index) {
@@ -709,143 +841,235 @@ std::string describe_component(const ComponentCert& component, std::size_t index
   return "component #" + std::to_string(index);
 }
 
-}  // namespace
+/// Recomposes the Theorem-6 verdicts from the audited per-property verdicts
+/// (Proposition 2 of [10] + Theorem 6 of the paper), and compares with the
+/// claims. The bv-broadcast gadget verdicts gate everything downstream.
+void recompose_theorem6(const Certificate& certificate,
+                        const std::vector<ComponentOutcome>& outcomes, AuditReport& report) {
+  if (!certificate.theorem6) return;
+  const auto component_named = [&](const std::string& name) -> const ComponentOutcome* {
+    for (const ComponentOutcome& outcome : outcomes) {
+      if (outcome.automaton_name == name) return &outcome;
+    }
+    return nullptr;
+  };
+  const ComponentOutcome* bv = component_named("BvBroadcast");
+  const ComponentOutcome* consensus = component_named("SimplifiedConsensus");
+  const auto gather = [&](const std::vector<std::string>& consensus_names) {
+    std::vector<std::string> verdicts;
+    if (bv == nullptr || bv->verdicts.empty()) {
+      verdicts.push_back("unknown");  // gadget not certified
+    } else {
+      for (const auto& [name, verdict] : bv->verdicts) verdicts.push_back(verdict);
+    }
+    for (const std::string& name : consensus_names) {
+      if (consensus == nullptr) {
+        verdicts.push_back("unknown");
+        continue;
+      }
+      const auto it = consensus->verdicts.find(name);
+      verdicts.push_back(it == consensus->verdicts.end() ? "unknown" : it->second);
+    }
+    // An audit failure must never strengthen a claim; treat it as unknown
+    // unless the property claims a violation.
+    for (std::string& verdict : verdicts) {
+      if (verdict == "failed") verdict = "unknown";
+    }
+    return verdicts;
+  };
+  const std::string agreement =
+      verdict_combine(gather({"Inv1_0", "Inv1_1", "Inv2_0", "Inv2_1"}));
+  const std::string validity = verdict_combine(gather({"Inv2_0", "Inv2_1"}));
+  const std::string termination =
+      verdict_combine(gather({"SRoundTerm", "Dec_0", "Dec_1", "Good_0", "Good_1"}));
+  const auto check_claim = [&](const char* what, const std::string& claimed,
+                               const std::string& recomputed) {
+    if (claimed != recomputed) {
+      add_issue(report, "theorem6", std::string(what) + " claimed '" + claimed +
+                                        "' but the audited properties compose to '" +
+                                        recomputed + "'");
+    }
+  };
+  check_claim("agreement", certificate.theorem6->agreement, agreement);
+  check_claim("validity", certificate.theorem6->validity, validity);
+  check_claim("termination", certificate.theorem6->termination, termination);
+}
 
-AuditReport audit_certificate(const Certificate& certificate) {
+/// Sums one phase report into the merged report, re-applying the issue cap
+/// as if every issue had been added directly.
+void merge_report(AuditReport& report, const AuditReport& part) {
+  for (const std::string& issue : part.issues) merge_issue(report, issue);
+  for (const std::string& warning : part.warnings) report.warnings.push_back(warning);
+  report.properties_audited += part.properties_audited;
+  report.schemas_covered += part.schemas_covered;
+  report.schemas_pruned += part.schemas_pruned;
+  report.models_checked += part.models_checked;
+  report.farkas_nodes += part.farkas_nodes;
+}
+
+/// The single-process audit: every phase runs inline, in canonical order.
+AuditReport audit_sequential(const Certificate& certificate) {
   AuditReport report;
   std::vector<ComponentOutcome> outcomes;
 
   for (std::size_t ci = 0; ci < certificate.components.size(); ++ci) {
     const ComponentCert& component = certificate.components[ci];
-    const std::string component_context = describe_component(component, ci);
     outcomes.emplace_back();
     ComponentOutcome& outcome = outcomes.back();
     for (const PropertyCert& property : component.properties) {
       outcome.verdicts[property.name] = "failed";
     }
 
-    std::optional<ta::ThresholdAutomaton> ta;
-    try {
-      if (component.model.kind == "text") {
-        ta = ta::parse_ta(component.model.text).one_round_reduction();
-      } else if (component.model.kind == "builtin") {
-        ta = builtin_model(component.model.key);
-      } else {
-        add_issue(report, component_context,
-                  "invalid model kind '" + component.model.kind + "'");
-        continue;
-      }
-    } catch (const Error& error) {
-      add_issue(report, component_context,
-                std::string("model reconstruction failed: ") + error.what());
-      continue;
-    }
-    outcome.automaton_name = ta->name();
-
-    std::optional<GuardAnalysis> analysis;
-    std::vector<spec::Property> bundled;
-    bool bundled_loaded = false;
-    try {
-      analysis.emplace(*ta);
-    } catch (const Error& error) {
-      add_issue(report, component_context,
-                std::string("guard analysis failed: ") + error.what());
-      continue;
-    }
+    ComponentState comp;
+    comp.cert = &component;
+    comp.context = describe_component(component, ci);
+    const bool model_ok = reconstruct_component(comp, report);
+    if (comp.ta) outcome.automaton_name = comp.ta->name();
+    if (!model_ok) continue;
 
     for (const PropertyCert& property_cert : component.properties) {
-      const std::string context = component_context + ", property '" + property_cert.name + "'";
-      std::optional<spec::Property> property;
-      try {
-        if (property_cert.source.kind == "ltl") {
-          if (property_cert.source.formula.empty()) {
-            add_issue(report, context, "ltl property source without a formula");
-            continue;
-          }
-          property = spec::compile(*ta, property_cert.name, property_cert.source.formula);
-        } else if (property_cert.source.kind == "bundled") {
-          if (!bundled_loaded) {
-            bundled = bundled_properties(*ta);
-            bundled_loaded = true;
-          }
-          const auto it =
-              std::find_if(bundled.begin(), bundled.end(), [&](const spec::Property& p) {
-                return p.name == property_cert.name;
-              });
-          if (it == bundled.end()) {
-            add_issue(report, context, "not among the automaton's bundled properties");
-            continue;
-          }
-          property = *it;
-        } else {
-          add_issue(report, context,
-                    "invalid property source kind '" + property_cert.source.kind + "'");
-          continue;
+      PropertyAuditState state;
+      state.cert = &property_cert;
+      state.context = comp.context + ", property '" + property_cert.name + "'";
+      const std::size_t issues_before = report.issues.size();
+      if (prepare_property(*comp.analysis, *comp.ta, state, report)) {
+        for (std::size_t q = 0; q < state.query_count; ++q) {
+          audit_entry_range(*comp.analysis, state, q, 0, state.by_query[q].size(), report);
         }
-      } catch (const Error& error) {
-        add_issue(report, context,
-                  std::string("property reconstruction failed: ") + error.what());
-        continue;
+        audit_coverage(*comp.analysis, state, report);
       }
-      outcome.verdicts[property_cert.name] =
-          audit_property(*analysis, *property, property_cert, context, report);
+      const bool green = report.issues.size() == issues_before;
+      outcome.verdicts[property_cert.name] = audited_verdict(state, green);
     }
   }
 
-  // Recompose the Theorem-6 verdicts from the audited per-property verdicts
-  // (Proposition 2 of [10] + Theorem 6 of the paper), and compare with the
-  // claims. The bv-broadcast gadget verdicts gate everything downstream.
-  if (certificate.theorem6) {
-    const auto component_named = [&](const std::string& name) -> const ComponentOutcome* {
-      for (const ComponentOutcome& outcome : outcomes) {
-        if (outcome.automaton_name == name) return &outcome;
-      }
-      return nullptr;
-    };
-    const ComponentOutcome* bv = component_named("BvBroadcast");
-    const ComponentOutcome* consensus = component_named("SimplifiedConsensus");
-    const auto gather = [&](const std::vector<std::string>& consensus_names) {
-      std::vector<std::string> verdicts;
-      if (bv == nullptr || bv->verdicts.empty()) {
-        verdicts.push_back("unknown");  // gadget not certified
-      } else {
-        for (const auto& [name, verdict] : bv->verdicts) verdicts.push_back(verdict);
-      }
-      for (const std::string& name : consensus_names) {
-        if (consensus == nullptr) {
-          verdicts.push_back("unknown");
-          continue;
-        }
-        const auto it = consensus->verdicts.find(name);
-        verdicts.push_back(it == consensus->verdicts.end() ? "unknown" : it->second);
-      }
-      // An audit failure must never strengthen a claim; treat it as unknown
-      // unless the property claims a violation.
-      for (std::string& verdict : verdicts) {
-        if (verdict == "failed") verdict = "unknown";
-      }
-      return verdicts;
-    };
-    const std::string agreement =
-        verdict_combine(gather({"Inv1_0", "Inv1_1", "Inv2_0", "Inv2_1"}));
-    const std::string validity = verdict_combine(gather({"Inv2_0", "Inv2_1"}));
-    const std::string termination =
-        verdict_combine(gather({"SRoundTerm", "Dec_0", "Dec_1", "Good_0", "Good_1"}));
-    const auto check_claim = [&](const char* what, const std::string& claimed,
-                                 const std::string& recomputed) {
-      if (claimed != recomputed) {
-        add_issue(report, "theorem6", std::string(what) + " claimed '" + claimed +
-                                          "' but the audited properties compose to '" +
-                                          recomputed + "'");
-      }
-    };
-    check_claim("agreement", certificate.theorem6->agreement, agreement);
-    check_claim("validity", certificate.theorem6->validity, validity);
-    check_claim("termination", certificate.theorem6->termination, termination);
-  }
-
+  recompose_theorem6(certificate, outcomes, report);
   report.ok = report.issues.empty();
   return report;
+}
+
+/// The sharded audit: the same phases, scheduled as a DAG and merged back
+/// in canonical (component, property, shard) order.
+AuditReport audit_sharded(const Certificate& certificate, int jobs) {
+  namespace dag = hv::pipeline::dag;
+
+  struct PropTask {
+    PropertyAuditState state;
+    AuditReport prep;
+    std::vector<AuditReport> shards;
+    AuditReport coverage;
+  };
+  struct CompTask {
+    ComponentState state;
+    AuditReport sink;
+    std::deque<PropTask> props;  // deque: PropTask is move-only, never relocated
+  };
+
+  // deque: node lambdas hold references into the tasks, which must stay
+  // stable while later tasks are appended.
+  std::deque<CompTask> comps;
+  dag::Graph graph;
+  for (std::size_t ci = 0; ci < certificate.components.size(); ++ci) {
+    const ComponentCert& component = certificate.components[ci];
+    comps.emplace_back();
+    CompTask& comp = comps.back();
+    comp.state.cert = &component;
+    comp.state.context = describe_component(component, ci);
+    for (std::size_t pi = 0; pi < component.properties.size(); ++pi) comp.props.emplace_back();
+    const dag::NodeId comp_node =
+        graph.add("component#" + std::to_string(ci),
+                  [&comp] { return reconstruct_component(comp.state, comp.sink); });
+    for (std::size_t pi = 0; pi < component.properties.size(); ++pi) {
+      const PropertyCert& property_cert = component.properties[pi];
+      PropTask& prop = comp.props[pi];
+      prop.state.cert = &property_cert;
+      prop.state.context = comp.state.context + ", property '" + property_cert.name + "'";
+      prop.shards.resize(static_cast<std::size_t>(jobs));
+      const std::string id = std::to_string(ci) + "." + std::to_string(pi);
+      const dag::NodeId prep_node = graph.add(
+          "prepare#" + id,
+          [&comp, &prop] {
+            return prepare_property(*comp.state.analysis, *comp.state.ta, prop.state,
+                                    prop.prep);
+          },
+          {comp_node});
+      std::vector<dag::NodeId> shard_nodes;
+      for (int k = 0; k < jobs; ++k) {
+        shard_nodes.push_back(graph.add(
+            "shard#" + id + "." + std::to_string(k),
+            [&comp, &prop, k, jobs] {
+              // Shard k audits the k-th contiguous slice of the
+              // concatenated (query-grouped, prefix-sorted) evidence list.
+              std::size_t total = 0;
+              for (const auto& entries : prop.state.by_query) total += entries.size();
+              const std::size_t lo =
+                  total * static_cast<std::size_t>(k) / static_cast<std::size_t>(jobs);
+              const std::size_t hi =
+                  total * static_cast<std::size_t>(k + 1) / static_cast<std::size_t>(jobs);
+              std::size_t base = 0;
+              for (std::size_t q = 0; q < prop.state.by_query.size(); ++q) {
+                const std::size_t n = prop.state.by_query[q].size();
+                const std::size_t a = std::max(lo, base);
+                const std::size_t b = std::min(hi, base + n);
+                if (a < b) {
+                  audit_entry_range(*comp.state.analysis, prop.state, q, a - base, b - base,
+                                    prop.shards[static_cast<std::size_t>(k)]);
+                }
+                base += n;
+              }
+              return true;
+            },
+            {prep_node}));
+      }
+      graph.add(
+          "coverage#" + id,
+          [&comp, &prop] {
+            audit_coverage(*comp.state.analysis, prop.state, prop.coverage);
+            return true;
+          },
+          shard_nodes);
+    }
+  }
+
+  dag::RunOptions run_options;
+  run_options.lanes = jobs;
+  dag::run(graph, run_options);
+
+  AuditReport report;
+  std::vector<ComponentOutcome> outcomes;
+  for (std::size_t ci = 0; ci < comps.size(); ++ci) {
+    CompTask& comp = comps[ci];
+    outcomes.emplace_back();
+    ComponentOutcome& outcome = outcomes.back();
+    for (const PropertyCert& property : comp.state.cert->properties) {
+      outcome.verdicts[property.name] = "failed";
+    }
+    if (comp.state.ta) outcome.automaton_name = comp.state.ta->name();
+    merge_report(report, comp.sink);
+    for (PropTask& prop : comp.props) {
+      const std::size_t issues_before = report.issues.size();
+      merge_report(report, prop.prep);
+      for (const AuditReport& shard : prop.shards) merge_report(report, shard);
+      merge_report(report, prop.coverage);
+      const bool green = report.issues.size() == issues_before;
+      outcome.verdicts[prop.state.cert->name] = audited_verdict(prop.state, green);
+    }
+  }
+
+  recompose_theorem6(certificate, outcomes, report);
+  report.ok = report.issues.empty();
+  return report;
+}
+
+}  // namespace
+
+AuditReport audit_certificate(const Certificate& certificate) {
+  return audit_sequential(certificate);
+}
+
+AuditReport audit_certificate(const Certificate& certificate, const AuditOptions& options) {
+  if (options.jobs <= 1) return audit_sequential(certificate);
+  return audit_sharded(certificate, options.jobs);
 }
 
 std::string AuditReport::to_string() const {

@@ -53,9 +53,26 @@ struct AuditReport {
   std::string to_string() const;
 };
 
+struct AuditOptions {
+  /// Concurrent audit lanes. 1 is the classic single-process walk. N >= 2
+  /// schedules the audit as a DAG (hv/pipeline/dag): per-component model
+  /// reconstruction gates per-property shape validation, which gates N
+  /// contiguous shards of that property's (query-grouped, prefix-sorted)
+  /// evidence list — each shard re-encodes with its own trace encoder —
+  /// which gate the property's coverage re-enumeration. Shard reports are
+  /// merged back in canonical (component, property, shard) order, so the
+  /// merged report is byte-equivalent to the single-process one: same
+  /// issues in the same order (including the suppression cap), same
+  /// warnings, same counters, same ok. The trust boundary is unchanged —
+  /// every leaf is still checked by the same pure-arithmetic core, only
+  /// scheduled differently.
+  int jobs = 1;
+};
+
 /// Audits a certificate end to end. Never throws on malformed content —
 /// every defect becomes an issue in the report.
 AuditReport audit_certificate(const Certificate& certificate);
+AuditReport audit_certificate(const Certificate& certificate, const AuditOptions& options);
 
 }  // namespace hv::cert
 

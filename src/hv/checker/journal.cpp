@@ -300,6 +300,9 @@ ProgressJournal::ProgressJournal(std::string path, const JournalHeader& header,
   if (!header.hvc_version.empty()) {
     line += ",\"hvc_version\":\"" + escape(header.hvc_version) + "\"";
   }
+  if (!header.node.empty()) {
+    line += ",\"node\":\"" + escape(header.node) + "\"";
+  }
   line += "}\n";
   std::fputs(line.c_str(), file_);
   flush();
@@ -389,6 +392,7 @@ ResumeState load_journal(const std::string& path) {
       };
       adopt("model_hash", &state.model_hash);
       adopt("hvc_version", &state.hvc_version);
+      adopt("node", &state.node);
       header_seen = true;
       continue;
     }
@@ -422,7 +426,7 @@ ResumeState load_journal(const std::string& path) {
 }
 
 void require_resume_compatible(const ResumeState& resume, const std::string& automaton,
-                               const std::string& model_hash) {
+                               const std::string& model_hash, const std::string& node) {
   if (resume.automaton != automaton) {
     throw InvalidArgument("checker: resume journal was recorded for automaton '" +
                           resume.automaton + "', not '" + automaton + "'");
@@ -439,6 +443,12 @@ void require_resume_compatible(const ResumeState& resume, const std::string& aut
         "checker: resume journal was written by hvc " + resume.hvc_version +
         ", but this is hvc " + std::string(kHvcVersion) +
         " — cursors are only comparable within one version; start a fresh journal");
+  }
+  if (!resume.node.empty() && !node.empty() && resume.node != node) {
+    throw InvalidArgument("checker: resume journal belongs to pipeline node '" + resume.node +
+                          "', not '" + node +
+                          "' — per-node journals are not interchangeable even within one "
+                          "automaton; point --resume at this node's own journal");
   }
 }
 

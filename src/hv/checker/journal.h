@@ -53,6 +53,12 @@ struct JournalHeader {
   std::string automaton;
   std::string model_hash;   // empty: not recorded (legacy)
   std::string hvc_version;  // defaults to the running version
+  /// DAG node identity ("<stage>.<property>#<options-fingerprint-hash>")
+  /// when the journal belongs to one pipeline node; empty for whole-run
+  /// journals. Resume refuses to feed one node's journal to another —
+  /// two nodes of the same automaton share cursors, so the mixup would be
+  /// silent otherwise.
+  std::string node;
 
   JournalHeader(std::string automaton_name);  // NOLINT(google-explicit-constructor)
   JournalHeader(const char* automaton_name);  // NOLINT(google-explicit-constructor)
@@ -116,10 +122,12 @@ class ProgressJournal {
 /// attempt supersedes the earlier record).
 struct ResumeState {
   std::string automaton;
-  /// Model content hash / hvc version from the header; empty when the
-  /// journal predates their introduction.
+  /// Model content hash / hvc version / DAG node identity from the header;
+  /// empty when the journal predates their introduction (or, for `node`,
+  /// when it was not a per-node journal).
   std::string model_hash;
   std::string hvc_version;
+  std::string node;
   std::unordered_map<std::string, JournalRecord> settled;
   /// Torn or malformed lines skipped during load (a torn tail is the
   /// expected signature of a kill between write and fsync).
@@ -139,9 +147,12 @@ ResumeState load_journal(const std::string& path);
 /// model content hash (when the journal recorded one) and hvc version (when
 /// recorded) must all agree, each with a precise diagnostic — a journal from
 /// a different model would silently fail to line up cursors otherwise.
-/// Throws hv::InvalidArgument on any mismatch.
+/// When both the run and the journal carry a DAG node identity, those must
+/// agree too (two nodes over the same automaton share cursor space, so the
+/// name/hash checks alone cannot catch the mixup). Throws
+/// hv::InvalidArgument on any mismatch.
 void require_resume_compatible(const ResumeState& resume, const std::string& automaton,
-                               const std::string& model_hash);
+                               const std::string& model_hash, const std::string& node = {});
 
 }  // namespace hv::checker
 

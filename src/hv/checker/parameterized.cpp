@@ -296,12 +296,14 @@ PropertyResult check_property(const ta::ThresholdAutomaton& ta, const spec::Prop
   std::optional<ResumeState> resume;
   if (!options.resume_path.empty()) {
     resume = load_journal(options.resume_path);
-    require_resume_compatible(*resume, ta.name(), model_hash);
+    require_resume_compatible(*resume, ta.name(), model_hash, options.journal_node);
   }
   std::unique_ptr<ProgressJournal> journal;
   if (!options.journal_path.empty()) {
-    journal = std::make_unique<ProgressJournal>(
-        options.journal_path, JournalHeader(ta.name(), model_hash), options.journal_flush_batch);
+    JournalHeader header(ta.name(), model_hash);
+    header.node = options.journal_node;
+    journal = std::make_unique<ProgressJournal>(options.journal_path, header,
+                                                options.journal_flush_batch);
   }
   RunContext ctx;
   ctx.journal = journal.get();

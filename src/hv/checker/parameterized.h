@@ -65,6 +65,12 @@ struct CheckOptions {
   /// the recorded verdicts into the statistics (empty disables). Refused in
   /// certify mode: resumed schemas carry no proofs.
   std::string resume_path;
+  /// Pipeline-DAG node identity stamped into the journal header (empty for
+  /// whole-run journals). Resume cross-checks it: per-node journals of the
+  /// same automaton share cursor space, so feeding one node's file to
+  /// another would replay wrong verdicts silently. Pure plumbing — never
+  /// part of options_fingerprint(), like the journal paths themselves.
+  std::string journal_node;
   /// Per-schema wall-clock watchdog (seconds; 0 disables): a schema whose
   /// solve exceeds it is cancelled and degraded to a recorded unknown; the
   /// run continues.

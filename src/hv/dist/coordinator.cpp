@@ -726,6 +726,18 @@ void handle_connection(Coord& c, int fd) {
           std::int64_t grant = -1;
           bool work_left = false;
           if (!c.closing) {
+            // Fair-share grant: with several live properties queued (a DAG
+            // pipeline multiplexing property-queries onto one fleet), first-fit
+            // would drain property 0's leases before touching property 1,
+            // serializing what the scheduler meant to interleave. Grant the
+            // pending lease whose property has the fewest workers on it; ties
+            // fall to the lowest lease index, which is exactly the old
+            // first-fit order within one property.
+            std::vector<std::size_t> active_by_prop(c.props.size(), 0);
+            for (const Lease& lease : c.leases) {
+              if (lease.state == LeaseState::kActive) ++active_by_prop[lease.property];
+            }
+            std::size_t grant_active = 0;
             for (std::size_t i = 0; i < c.leases.size(); ++i) {
               Lease& lease = c.leases[i];
               if (lease.state == LeaseState::kActive) work_left = true;
@@ -753,8 +765,11 @@ void handle_connection(Coord& c, int fd) {
                   }
                 }
               }
-              grant = static_cast<std::int64_t>(i);
-              break;
+              if (grant < 0 || active_by_prop[lease.property] < grant_active) {
+                grant = static_cast<std::int64_t>(i);
+                grant_active = active_by_prop[lease.property];
+                if (grant_active == 0) break;  // an idle property: can't do better
+              }
             }
           }
           if (grant >= 0) {

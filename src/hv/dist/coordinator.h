@@ -2,7 +2,11 @@
 // property into chain-subtree leases (the same DFS partition the in-process
 // pool uses), hands leases to workers over the frame protocol, and merges
 // their streamed verdict records into the usual PropertyResult / journal /
-// certificate paths.
+// certificate paths. With several live properties, grants are fair-shared:
+// a "next" request gets the pending lease whose property currently has the
+// fewest active leases (ties to the lowest index, which preserves the
+// single-property first-fit order exactly), so one fleet multiplexes all
+// properties instead of draining them one at a time.
 //
 // Fault model, in one place:
 //   * worker death (EOF, torn frame, SIGKILL) or silence beyond the lease

@@ -1,0 +1,69 @@
+#include "hv/pipeline/dag/graph.h"
+
+#include <unordered_set>
+#include <utility>
+
+#include "hv/util/error.h"
+
+namespace hv::pipeline::dag {
+
+std::string to_string(NodeStatus status) {
+  switch (status) {
+    case NodeStatus::kPending:
+      return "pending";
+    case NodeStatus::kRunning:
+      return "running";
+    case NodeStatus::kDone:
+      return "done";
+    case NodeStatus::kFailed:
+      return "failed";
+    case NodeStatus::kCancelled:
+      return "cancelled";
+  }
+  return "invalid";
+}
+
+NodeId Graph::add(Node node) {
+  if (node.key.empty()) throw InvalidArgument("dag: node key must not be empty");
+  if (node.run == nullptr) throw InvalidArgument("dag: node '" + node.key + "' has no work");
+  for (const Node& existing : nodes_) {
+    if (existing.key == node.key) {
+      throw InvalidArgument("dag: duplicate node key '" + node.key + "'");
+    }
+  }
+  const NodeId id = static_cast<NodeId>(nodes_.size());
+  std::unordered_set<NodeId> seen;
+  for (const NodeId dep : node.deps) {
+    if (dep < 0 || dep >= id) {
+      throw InvalidArgument("dag: node '" + node.key + "' depends on #" + std::to_string(dep) +
+                            ", which is not an earlier node");
+    }
+    if (!seen.insert(dep).second) {
+      throw InvalidArgument("dag: node '" + node.key + "' lists dependency #" +
+                            std::to_string(dep) + " twice");
+    }
+  }
+  node.status = NodeStatus::kPending;
+  node.seconds = 0.0;
+  nodes_.push_back(std::move(node));
+  return id;
+}
+
+NodeId Graph::add(std::string key, std::function<bool()> run, std::vector<NodeId> deps,
+                  bool gated) {
+  Node node;
+  node.key = std::move(key);
+  node.run = std::move(run);
+  node.deps = std::move(deps);
+  node.gated = gated;
+  return add(std::move(node));
+}
+
+const Node& Graph::node(NodeId id) const {
+  if (id < 0 || static_cast<std::size_t>(id) >= nodes_.size()) {
+    throw InvalidArgument("dag: invalid node id #" + std::to_string(id));
+  }
+  return nodes_[static_cast<std::size_t>(id)];
+}
+
+}  // namespace hv::pipeline::dag

@@ -1,12 +1,17 @@
 #include "hv/pipeline/holistic.h"
 
 #include <algorithm>
+#include <cstdint>
+#include <cstdio>
 #include <fstream>
+#include <optional>
 #include <sstream>
+#include <utility>
 
 #include "hv/models/bv_broadcast.h"
 #include "hv/models/naive_consensus.h"
 #include "hv/models/simplified_consensus.h"
+#include "hv/pipeline/dag/scheduler.h"
 #include "hv/util/stopwatch.h"
 
 namespace hv::pipeline {
@@ -45,9 +50,209 @@ checker::CheckOptions stage_options(const HolisticOptions& options, const char* 
   return check;
 }
 
+// The naive attempt's budget used to replace the run timeout wholesale — a
+// second watchdog layered over the one the schema solver's retry ladder
+// already owns. Instead it *tightens* the shared CheckOptions deadline:
+// the tightened timeout flows through check_property's single
+// deadline/cancellation path (per-schema remaining-time clamps, watchdog
+// degradation, the cancel flag), so an outer --timeout, DAG cancellation
+// and this budget compose through one mechanism.
+void apply_naive_budget(checker::CheckOptions& check, double budget_seconds) {
+  if (budget_seconds <= 0.0) return;
+  if (check.timeout_seconds <= 0.0 || budget_seconds < check.timeout_seconds) {
+    check.timeout_seconds = budget_seconds;
+  }
+}
+
 bool any_interrupted(const std::vector<PropertyResult>& results) {
   return std::any_of(results.begin(), results.end(),
                      [](const PropertyResult& r) { return r.interrupted; });
+}
+
+double sum_seconds(const HolisticReport& report) {
+  double total = 0.0;
+  for (const auto* results :
+       {&report.naive_results, &report.bv_results, &report.consensus_results}) {
+    for (const PropertyResult& result : *results) total += result.seconds;
+  }
+  return total;
+}
+
+// ---------------------------------------------------------------------------
+// DAG scheduling (dag_workers >= 1).
+// ---------------------------------------------------------------------------
+
+/// 16-hex-digit FNV-1a of the options fingerprint: the node identity stays
+/// readable in journal headers while still pinning every verdict-relevant
+/// option.
+std::string fingerprint_hash(const checker::CheckOptions& check) {
+  std::uint64_t hash = 1469598103934665603ull;
+  for (const char c : checker::options_fingerprint(check)) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ull;
+  }
+  char buffer[17];
+  std::snprintf(buffer, sizeof buffer, "%016llx", static_cast<unsigned long long>(hash));
+  return buffer;
+}
+
+/// Node identity: stage, property and the fingerprint of every option that
+/// can change what the node computes. Two runs produce the same key iff
+/// their nodes are interchangeable — this is what per-node journals are
+/// keyed on.
+std::string node_key(const char* stage, const std::string& property,
+                     const checker::CheckOptions& check) {
+  return std::string(stage) + "." + property + "#" + fingerprint_hash(check);
+}
+
+/// Per-node checker options: one journal per node, bound to the node
+/// identity so --resume cannot feed one node's cursors to another.
+checker::CheckOptions dag_node_options(const HolisticOptions& options, const char* stage,
+                                       const std::string& property) {
+  checker::CheckOptions check = options.check;
+  check.journal_node = node_key(stage, property, check);
+  if (!options.journal_prefix.empty()) {
+    const std::string path =
+        options.journal_prefix + "." + stage + "." + property + ".jsonl";
+    check.journal_path = path;
+    if (options.resume && std::ifstream(path).good()) check.resume_path = path;
+  }
+  return check;
+}
+
+std::string format_eta(const dag::Progress& progress) {
+  if (progress.eta_seconds < 0.0) return "";
+  std::ostringstream os;
+  os << ", eta " << progress.eta_seconds << "s";
+  return os.str();
+}
+
+HolisticReport verify_dag(const HolisticOptions& options) {
+  const Stopwatch stopwatch;
+  HolisticReport report;
+  report.dag_lanes = std::max(1, options.dag_workers);
+
+  const ta::ThresholdAutomaton bv = models::bv_broadcast();
+  const std::vector<spec::Property> bv_props = models::bv_properties(bv);
+  const ta::ThresholdAutomaton consensus = models::simplified_consensus_one_round();
+  const std::vector<spec::Property> consensus_props = models::simplified_properties(consensus);
+  std::optional<ta::ThresholdAutomaton> naive;
+  std::vector<spec::Property> naive_props;
+  if (options.include_naive_attempt) {
+    naive.emplace(models::naive_consensus_one_round());
+    naive_props = models::naive_table2_properties(*naive);
+  }
+
+  // Results land in pre-allocated slots indexed like the property lists, so
+  // the report (and any certificate emitted from it) is ordered exactly as
+  // the sequential pipeline orders it, whatever the completion order was.
+  // Unfilled slots (cancelled nodes) are compacted away — the sequential
+  // pipeline would not have started those properties either.
+  std::vector<std::optional<PropertyResult>> naive_slots(naive_props.size());
+  std::vector<std::optional<PropertyResult>> bv_slots(bv_props.size());
+  std::vector<std::optional<PropertyResult>> consensus_slots(consensus_props.size());
+
+  dag::Graph graph;
+  std::vector<dag::NodeId> all_nodes;
+  const auto property_node = [&](const char* stage, const ta::ThresholdAutomaton& automaton,
+                                 const spec::Property& property,
+                                 std::optional<PropertyResult>& slot,
+                                 checker::CheckOptions check, std::vector<dag::NodeId> deps,
+                                 bool ok_needs_holds) {
+    const dag::NodeId id = graph.add(
+        check.journal_node,
+        [&automaton, &property, &slot, check, ok_needs_holds] {
+          PropertyResult result = checker::check_property(automaton, property, check);
+          const bool ok =
+              !result.interrupted && (!ok_needs_holds || result.verdict == Verdict::kHolds);
+          slot = std::move(result);
+          return ok;
+        },
+        std::move(deps));
+    all_nodes.push_back(id);
+    return id;
+  };
+
+  // The naive attempt is free-floating: nothing depends on it (the paper
+  // uses it only as the negative result motivating the decomposition).
+  for (std::size_t i = 0; i < naive_props.size(); ++i) {
+    checker::CheckOptions check = dag_node_options(options, "naive", naive_props[i].name);
+    apply_naive_budget(check, options.naive_timeout_seconds);
+    // Re-stamp the identity: the budget tightened the timeout, and the node
+    // key must fingerprint the options the node actually runs under.
+    check.journal_node = node_key("naive", naive_props[i].name, check);
+    property_node("naive", *naive, naive_props[i], naive_slots[i], std::move(check), {},
+                  /*ok_needs_holds=*/false);
+  }
+
+  // The eight bv-broadcast nodes gate the gadget justification: every
+  // consensus node depends on all of them, so one refuted bv property
+  // cancels the entire consensus stage before it starts.
+  std::vector<dag::NodeId> gadget;
+  for (std::size_t i = 0; i < bv_props.size(); ++i) {
+    gadget.push_back(property_node("bv", bv, bv_props[i], bv_slots[i],
+                                   dag_node_options(options, "bv", bv_props[i].name), {},
+                                   /*ok_needs_holds=*/true));
+  }
+  for (std::size_t i = 0; i < consensus_props.size(); ++i) {
+    property_node("consensus", consensus, consensus_props[i], consensus_slots[i],
+                  dag_node_options(options, "consensus", consensus_props[i].name), gadget,
+                  /*ok_needs_holds=*/true);
+  }
+
+  const auto compact = [](std::vector<std::optional<PropertyResult>>& slots) {
+    std::vector<PropertyResult> results;
+    results.reserve(slots.size());
+    for (std::optional<PropertyResult>& slot : slots) {
+      if (slot) results.push_back(std::move(*slot));
+    }
+    return results;
+  };
+  bool composed = false;
+  const auto finalize = [&] {
+    report.naive_results = compact(naive_slots);
+    report.bv_results = compact(bv_slots);
+    report.consensus_results = compact(consensus_slots);
+    compose_verdicts(report);
+    composed = true;
+  };
+  // Theorem-6 recomposition is ordering-only: it waits for every node but
+  // runs whatever the outcomes were — a partially failed pipeline still
+  // reports its composed (unknown) verdicts, like the sequential one.
+  graph.add(node_key("compose", "theorem6", options.check),
+            [&finalize] {
+              finalize();
+              return true;
+            },
+            all_nodes, /*gated=*/false);
+
+  dag::RunOptions run_options;
+  run_options.lanes = report.dag_lanes;
+  run_options.cancel = options.check.cancel;
+  if (options.on_progress) {
+    run_options.observer = [&options](dag::Event event, const dag::Node& node,
+                                      const dag::Progress& progress) {
+      std::ostringstream os;
+      os << "[dag " << progress.settled << "/" << progress.total << "] " << node.key;
+      if (event == dag::Event::kStart) {
+        os << ": start";
+      } else {
+        os << ": " << dag::to_string(node.status);
+        if (node.status != dag::NodeStatus::kCancelled) os << " (" << node.seconds << "s)";
+      }
+      os << format_eta(progress);
+      options.on_progress(os.str());
+    };
+  }
+  const dag::RunStats stats = dag::run(graph, run_options);
+  // An interrupted run cancels the compose node with everything else; the
+  // report still owes whatever verdicts settled before the interrupt.
+  if (!composed) finalize();
+
+  report.nodes_cancelled = stats.nodes_cancelled;
+  report.total_seconds = stopwatch.seconds();
+  report.cpu_seconds = sum_seconds(report);
+  return report;
 }
 
 }  // namespace
@@ -92,13 +297,15 @@ void compose_verdicts(HolisticReport& report) {
 }
 
 HolisticReport verify_red_belly_consensus(const HolisticOptions& options) {
+  if (options.dag_workers >= 1) return verify_dag(options);
+
   const Stopwatch stopwatch;
   HolisticReport report;
 
   if (options.include_naive_attempt) {
     const ta::ThresholdAutomaton naive = models::naive_consensus_one_round();
     checker::CheckOptions naive_options = stage_options(options, "naive");
-    naive_options.timeout_seconds = options.naive_timeout_seconds;
+    apply_naive_budget(naive_options, options.naive_timeout_seconds);
     report.naive_results =
         checker::check_properties(naive, models::naive_table2_properties(naive), naive_options);
   }
@@ -120,6 +327,7 @@ HolisticReport verify_red_belly_consensus(const HolisticOptions& options) {
 
   compose_verdicts(report);
   report.total_seconds = stopwatch.seconds();
+  report.cpu_seconds = sum_seconds(report);
   return report;
 }
 
@@ -143,7 +351,12 @@ std::string HolisticReport::to_string() const {
   os << "  Validity:   " << checker::to_string(validity) << "\n";
   os << "  Termination (under Definition 3 fairness): " << checker::to_string(termination)
      << "\n";
-  os << "total time: " << total_seconds << "s\n";
+  if (dag_lanes > 0) {
+    os << "dag: " << dag_lanes << " lane(s)";
+    if (nodes_cancelled > 0) os << ", " << nodes_cancelled << " node(s) cancelled";
+    os << "\n";
+  }
+  os << "total time: " << total_seconds << "s wall, " << cpu_seconds << "s cpu\n";
   return os.str();
 }
 

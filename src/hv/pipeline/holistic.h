@@ -14,9 +14,18 @@
 //
 // The composition logic is ordinary code — exactly the glue proof of
 // Theorem 6 — and is itself unit-tested.
+//
+// The property-queries inside each stage are logically independent, and the
+// stages relate only through the gating edges above — so the pipeline is
+// really a DAG, not a sequence. With dag_workers >= 1 it is scheduled as
+// one (hv/pipeline/dag): every property becomes its own node with its own
+// journal, ready nodes run concurrently, a refuted bv property cancels the
+// whole consensus stage without starting it, and the composition step is an
+// ordering-only node that reports whatever verdicts survived.
 #ifndef HV_PIPELINE_HOLISTIC_H
 #define HV_PIPELINE_HOLISTIC_H
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -28,17 +37,30 @@ namespace hv::pipeline {
 struct HolisticOptions {
   checker::CheckOptions check;
   /// Also attempt the naive composite automaton first (Table 2's negative
-  /// result); bounded by naive_timeout_seconds.
+  /// result); bounded by naive_timeout_seconds. The budget *tightens* the
+  /// shared CheckOptions deadline (it never loosens an outer --timeout), so
+  /// it flows through the schema solver's own watchdog/retry path and
+  /// composes with DAG cancellation instead of stacking a second watchdog.
   bool include_naive_attempt = false;
   double naive_timeout_seconds = 60.0;
-  /// Crash-safe progress journaling (empty disables): each stage writes its
-  /// own file — "<prefix>.naive.jsonl", "<prefix>.bv.jsonl",
-  /// "<prefix>.consensus.jsonl" — because a journal is bound to one
-  /// automaton.
+  /// Crash-safe progress journaling (empty disables). The sequential
+  /// pipeline writes one file per stage — "<prefix>.naive.jsonl",
+  /// "<prefix>.bv.jsonl", "<prefix>.consensus.jsonl" — because a journal is
+  /// bound to one automaton. A DAG run (dag_workers >= 1) journals per
+  /// *node* instead: "<prefix>.<stage>.<property>.jsonl", each header
+  /// stamped with the node identity so files cannot be cross-resumed.
   std::string journal_prefix;
-  /// Resume from whatever the stage journals already settled (requires
-  /// journal_prefix; stages whose file does not exist yet start fresh).
+  /// Resume from whatever the stage (or node) journals already settled
+  /// (requires journal_prefix; files that do not exist yet start fresh).
   bool resume = false;
+  /// DAG scheduling: >= 1 runs the property DAG on that many concurrent
+  /// lanes (1 lane executes the exact sequential order, with per-node
+  /// journals). 0 keeps the classic sequential per-stage pipeline.
+  int dag_workers = 0;
+  /// DAG progress sink: one line per node start/settle, with aggregate
+  /// counts and a whole-DAG ETA. May be called from any scheduler lane
+  /// (serialized by the scheduler lock); null disables.
+  std::function<void(const std::string& line)> on_progress;
 };
 
 struct HolisticReport {
@@ -51,7 +73,17 @@ struct HolisticReport {
   /// Termination under the fairness assumption of Definition 3.
   checker::Verdict termination = checker::Verdict::kUnknown;
 
+  /// End-to-end wall-clock of the run.
   double total_seconds = 0.0;
+  /// Sum of per-property solve times. Equal to wall-clock (minus glue) for
+  /// a sequential run; a concurrent DAG run's wall-clock under-reports the
+  /// work actually spent, so both are reported.
+  double cpu_seconds = 0.0;
+  /// Lanes the DAG was scheduled on; 0 for the sequential pipeline.
+  int dag_lanes = 0;
+  /// DAG nodes cancelled before running (an upstream property failed, or
+  /// the run was interrupted).
+  int nodes_cancelled = 0;
 
   /// True iff every checked property of both automata holds.
   bool fully_verified() const;
@@ -63,7 +95,9 @@ struct HolisticReport {
 HolisticReport verify_red_belly_consensus(const HolisticOptions& options = {});
 
 /// The composition step alone (exposed for tests): derives the consensus
-/// verdicts from per-property results named as in the paper.
+/// verdicts from per-property results named as in the paper. Pure in the
+/// order-insensitive sense: verdicts depend only on the *set* of results,
+/// never on the completion order that produced them.
 void compose_verdicts(HolisticReport& report);
 
 }  // namespace hv::pipeline

@@ -122,18 +122,27 @@ constexpr const char* kUsage = R"(usage:
         --json — and exits with the job's exit code; --wait blocks)
   hvc cancel <job-id> --connect <addr>
        (cancels a queued or running job; idempotent)
-  hvc audit <cert.json> [--json]
+  hvc audit <cert.json> [--json] [--jobs N]
        (re-validates a certificate with exact arithmetic only; exit 0 iff
-        every verdict is substantiated)
+        every verdict is substantiated. --jobs N (alias --workers) shards
+        the evidence lists across N concurrent audit lanes on the pipeline
+        DAG scheduler; the merged report is byte-identical to --jobs 1.)
   hvc explicit <model.ta> --prop "<ltl>" --params n=4,t=1,f=1 [--max-states K]
                        [--json]
   hvc dot <model.ta>
   hvc print <model.ta>
   hvc redbelly [--naive] [--certify] [--cert-out cert.json]
-               [--journal prefix] [--resume]
+               [--journal prefix] [--resume] [--dag-workers N]
        (--journal writes one crash-safe journal per stage: <prefix>.naive
         .jsonl, <prefix>.bv.jsonl, <prefix>.consensus.jsonl; --resume
-        continues from whatever those files already settled)
+        continues from whatever those files already settled.
+        --dag-workers N schedules the pipeline as a property DAG on N
+        concurrent lanes: a refuted bv property cancels the consensus
+        stage before it starts, node progress and a whole-DAG ETA stream
+        to stderr, and --journal switches to one journal per *node*
+        (<prefix>.<stage>.<property>.jsonl) so --resume is per-node.
+        Verdicts, accounting and certificates are identical to the
+        sequential pipeline.)
   hvc simulate [--n N] [--t T] [--inputs 0,1,1,0] [--byzantine 3]
                [--scheduler fair|random|fifo] [--seed S] [--max-steps K]
   hvc simulate --lemma7 [--rounds R]
@@ -887,15 +896,23 @@ int command_audit(Args& args, std::ostream& out) {
   const auto cert_path = args.next_positional();
   if (!cert_path) throw InvalidArgument("audit: missing certificate file");
   bool json = false;
+  cert::AuditOptions audit_options;
   while (!args.empty()) {
     if (args.boolean("--json")) {
       json = true;
+    } else if (const auto value = args.option("--jobs")) {
+      audit_options.jobs = std::stoi(*value);
+    } else if (const auto value = args.option("--workers")) {
+      audit_options.jobs = std::stoi(*value);  // alias, mirrors hvc check
     } else {
       throw InvalidArgument("audit: unexpected argument '" + args.peek() + "'");
     }
   }
+  if (audit_options.jobs < 1) {
+    throw InvalidArgument("audit: --jobs must be >= 1");
+  }
   const cert::Certificate certificate = cert::parse_certificate(read_file(*cert_path));
-  const cert::AuditReport report = cert::audit_certificate(certificate);
+  const cert::AuditReport report = cert::audit_certificate(certificate, audit_options);
   if (json) {
     cert::Json::Array issues;
     for (const std::string& issue : report.issues) issues.push_back(issue);
@@ -1080,7 +1097,7 @@ int command_simulate(Args& args, std::ostream& out) {
   return runner.all_correct_decided() ? 0 : 3;
 }
 
-int command_redbelly(Args& args, std::ostream& out) {
+int command_redbelly(Args& args, std::ostream& out, std::ostream& err) {
   pipeline::HolisticOptions options;
   bool certify = false;
   std::optional<std::string> cert_out;
@@ -1095,6 +1112,11 @@ int command_redbelly(Args& args, std::ostream& out) {
       options.journal_prefix = *value;
     } else if (args.boolean("--resume")) {
       options.resume = true;
+    } else if (const auto value = args.option("--dag-workers")) {
+      options.dag_workers = std::stoi(*value);
+      if (options.dag_workers < 1) {
+        throw InvalidArgument("redbelly: --dag-workers must be >= 1");
+      }
     } else {
       throw InvalidArgument("redbelly: unexpected argument '" + args.peek() + "'");
     }
@@ -1105,6 +1127,11 @@ int command_redbelly(Args& args, std::ostream& out) {
   options.check.certify = certify;
   options.check.cancel = &g_interrupted;
   options.check.fault = checker::fault_plan_from_env();
+  if (options.dag_workers >= 1) {
+    // Node progress goes to stderr so stdout stays the stable report that
+    // scripts diff against the sequential pipeline.
+    options.on_progress = [&err](const std::string& line) { err << line << "\n"; };
+  }
   const pipeline::HolisticReport report = pipeline::verify_red_belly_consensus(options);
   out << report.to_string();
   if (certify) {
@@ -1140,7 +1167,7 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out, std::ostrea
     if (*command == "explicit") return command_explicit(cursor, out);
     if (*command == "dot") return command_dot(cursor, out);
     if (*command == "print") return command_print(cursor, out);
-    if (*command == "redbelly") return command_redbelly(cursor, out);
+    if (*command == "redbelly") return command_redbelly(cursor, out, err);
     if (*command == "simulate") return command_simulate(cursor, out);
     err << "unknown command '" << *command << "'\n" << kUsage;
     return 2;

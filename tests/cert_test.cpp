@@ -303,6 +303,95 @@ TEST(CertTamperTest, UpgradedVerdictRejected) {
   EXPECT_FALSE(report.ok);
 }
 
+// --- sharded audit ----------------------------------------------------------
+
+AuditReport audit_with_jobs(const Certificate& certificate, int jobs) {
+  AuditOptions options;
+  options.jobs = jobs;
+  return audit_certificate(certificate, options);
+}
+
+/// Byte-equivalence of every field the report carries (to_string subsumes
+/// ordering of the capped issue list).
+void expect_identical_reports(const AuditReport& single, const AuditReport& sharded) {
+  EXPECT_EQ(single.ok, sharded.ok);
+  EXPECT_EQ(single.issues, sharded.issues);
+  EXPECT_EQ(single.warnings, sharded.warnings);
+  EXPECT_EQ(single.properties_audited, sharded.properties_audited);
+  EXPECT_EQ(single.schemas_covered, sharded.schemas_covered);
+  EXPECT_EQ(single.schemas_pruned, sharded.schemas_pruned);
+  EXPECT_EQ(single.models_checked, sharded.models_checked);
+  EXPECT_EQ(single.farkas_nodes, sharded.farkas_nodes);
+  EXPECT_EQ(single.to_string(), sharded.to_string());
+}
+
+TEST(CertShardedAuditTest, GreenCertificateMatchesSingleProcessAtAnyJobCount) {
+  const Certificate parsed = parse_certificate(bv_certificate_text());
+  const AuditReport single = audit_certificate(parsed);
+  EXPECT_TRUE(single.ok);
+  // More shards than evidence entries is fine: surplus shards audit an
+  // empty slice and merge to nothing.
+  for (const int jobs : {2, 3, 8, 64}) {
+    expect_identical_reports(single, audit_with_jobs(parsed, jobs));
+  }
+}
+
+TEST(CertShardedAuditTest, ExplicitJobsOneIsTheSequentialAudit) {
+  const Certificate parsed = parse_certificate(bv_certificate_text());
+  expect_identical_reports(audit_certificate(parsed), audit_with_jobs(parsed, 1));
+}
+
+TEST(CertShardedAuditTest, ViolatedAndMalformedCertificatesMatchToo) {
+  // The sat-witness path and the reconstruction-failure path (issues before
+  // any shard runs) must merge identically as well.
+  const Certificate violated =
+      certify_text_model(kEchoModel, "d_empty", "locA != 0 -> [](locD == 0)");
+  expect_identical_reports(audit_certificate(violated), audit_with_jobs(violated, 4));
+
+  Certificate broken = parse_certificate(bv_certificate_text());
+  broken.components[0].model.key = "no_such_builtin";
+  const Certificate parsed = parse_certificate(to_json_text(broken));
+  const AuditReport single = audit_certificate(parsed);
+  EXPECT_FALSE(single.ok);
+  expect_identical_reports(single, audit_with_jobs(parsed, 4));
+}
+
+TEST(CertShardedAuditTest, TamperedLeafIsCaughtWhicheverShardItLandsIn) {
+  // Corrupt the FIRST, a MIDDLE and the LAST unsat proof in turn: across
+  // jobs = 2..5 the bad leaf falls into different shards of the partition,
+  // and every schedule must reject with the exact single-process report.
+  std::vector<std::pair<std::size_t, std::size_t>> unsat_positions;  // (property, schema)
+  {
+    const Certificate scan = parse_certificate(bv_certificate_text());
+    const auto& properties = scan.components[0].properties;
+    for (std::size_t p = 0; p < properties.size(); ++p) {
+      for (std::size_t s = 0; s < properties[p].schemas.size(); ++s) {
+        if (!properties[p].schemas[s].sat) unsat_positions.emplace_back(p, s);
+      }
+    }
+  }
+  ASSERT_GE(unsat_positions.size(), 3u);
+  const std::size_t targets[] = {0, unsat_positions.size() / 2, unsat_positions.size() - 1};
+  for (const std::size_t target : targets) {
+    Certificate certificate = parse_certificate(bv_certificate_text());
+    const auto [p, s] = unsat_positions[target];
+    SchemaCert& schema = certificate.components[0].properties[p].schemas[s];
+    auto copy = smt::proof::clone(*schema.proof);
+    smt::proof::Node* farkas = first_farkas(*copy);
+    ASSERT_NE(farkas, nullptr);
+    ASSERT_FALSE(farkas->farkas.empty());
+    farkas->farkas[0].multiplier = -farkas->farkas[0].multiplier;
+    schema.proof = std::move(copy);
+
+    const Certificate parsed = parse_certificate(to_json_text(certificate));
+    const AuditReport single = audit_certificate(parsed);
+    EXPECT_FALSE(single.ok);
+    for (const int jobs : {2, 3, 5}) {
+      expect_identical_reports(single, audit_with_jobs(parsed, jobs));
+    }
+  }
+}
+
 TEST(CertTamperTest, CertificateTransplantedOntoMutantModelRejected) {
   // Certify the real bv-broadcast, then swap the model for the weakened
   // negative control (resilience n > 2t): the proofs must not transfer.

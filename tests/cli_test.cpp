@@ -282,7 +282,60 @@ TEST_F(CliTest, AuditValidatesInput) {
     file << "{\"format\": \"hv-cert\"";
   }
   EXPECT_EQ(run({"audit", bad_path}), 2);
+  EXPECT_EQ(run({"audit", bad_path, "--jobs", "0"}), 2);  // validated before parsing
   std::remove(bad_path.c_str());
+}
+
+TEST_F(CliTest, AuditJobsShardsWithIdenticalOutput) {
+  const std::string cert_path = ::testing::TempDir() + "echo_jobs_cert.json";
+  ASSERT_EQ(run({"check", model_path_, "--prop", "[](locB == 0) -> [](locD == 0)",
+                 "--name", "safe", "--certify", "--cert-out", cert_path}),
+            0);
+
+  ASSERT_EQ(run({"audit", cert_path}), 0);
+  const std::string single = out_.str();
+  EXPECT_EQ(run({"audit", cert_path, "--jobs", "3"}), 0);
+  EXPECT_EQ(out_.str(), single);
+  // --workers is an alias (mirroring hvc check), and --json shards too.
+  EXPECT_EQ(run({"audit", cert_path, "--workers", "2"}), 0);
+  EXPECT_EQ(out_.str(), single);
+  ASSERT_EQ(run({"audit", cert_path, "--json"}), 0);
+  const std::string single_json = out_.str();
+  EXPECT_EQ(run({"audit", cert_path, "--json", "--jobs", "4"}), 0);
+  EXPECT_EQ(out_.str(), single_json);
+  std::remove(cert_path.c_str());
+}
+
+TEST_F(CliTest, RedbellyDagFlagValidation) {
+  EXPECT_EQ(run({"redbelly", "--dag-workers", "0"}), 2);
+  EXPECT_NE(err_.str().find("--dag-workers"), std::string::npos);
+  EXPECT_EQ(run({"redbelly", "--resume"}), 2);  // still needs --journal
+}
+
+TEST_F(CliTest, RedbellyDagMatchesSequentialStdout) {
+  // The stable report (verdicts, schema counts, composition) must be
+  // byte-identical between schedules; only the timing lines and the DAG
+  // accounting line may differ, and node progress goes to stderr only.
+  const auto normalize = [](const std::string& text) {
+    std::string out;
+    for (std::istringstream lines(text); !lines.eof();) {
+      std::string line;
+      std::getline(lines, line);
+      if (line.rfind("total time:", 0) == 0 || line.rfind("dag:", 0) == 0) continue;
+      // Strip the per-property timing suffix "(N schemas, Xs)" -> "(N schemas)".
+      const std::size_t at = line.rfind(", ");
+      if (at != std::string::npos && line.back() == ')') line = line.substr(0, at) + ")";
+      out += line + "\n";
+    }
+    return out;
+  };
+  ASSERT_EQ(run({"redbelly"}), 0);
+  const std::string sequential = normalize(out_.str());
+  EXPECT_TRUE(err_.str().empty());
+  ASSERT_EQ(run({"redbelly", "--dag-workers", "2"}), 0);
+  EXPECT_EQ(normalize(out_.str()), sequential);
+  EXPECT_NE(err_.str().find("[dag "), std::string::npos);  // progress on stderr
+  EXPECT_NE(err_.str().find("eta"), std::string::npos);
 }
 
 TEST_F(CliTest, SimulateFairDecides) {

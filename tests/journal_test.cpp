@@ -245,6 +245,66 @@ TEST(JournalTest, ResumeRefusesMismatchedIdentity) {
   }
 }
 
+TEST(JournalTest, NodeIdentityRoundTripsThroughHeader) {
+  // A pipeline-DAG per-node journal stamps the node key into its header and
+  // gets it back on load; a whole-run journal has no node field at all.
+  const std::string path = temp_path("journal_node.jsonl");
+  {
+    JournalHeader header("SimplifiedConsensus", "cafebabecafebabe");
+    header.node = "consensus.Inv1_0#0123456789abcdef";
+    ProgressJournal journal(path, header);
+    journal.append(record("Inv1_0", "q0|0|1", "unsat", 3, 5));
+  }
+  const ResumeState state = load_journal(path);
+  EXPECT_EQ(state.automaton, "SimplifiedConsensus");
+  EXPECT_EQ(state.node, "consensus.Inv1_0#0123456789abcdef");
+  ASSERT_NE(state.find("Inv1_0", "q0|0|1"), nullptr);
+
+  const std::string plain = temp_path("journal_nonode.jsonl");
+  { ProgressJournal journal(plain, JournalHeader("Echo", "cafebabecafebabe")); }
+  EXPECT_TRUE(load_journal(plain).node.empty());
+}
+
+TEST(JournalTest, ResumeRefusesCrossNodeJournals) {
+  // Two nodes of the same automaton share cursor space (same property
+  // names, same schema cursors under different options fingerprints), so a
+  // cross-node resume would silently replay wrong verdicts — it must be
+  // refused with a diagnostic naming both nodes.
+  ResumeState resume;
+  resume.automaton = "SimplifiedConsensus";
+  resume.model_hash = "aaaaaaaaaaaaaaaa";
+  resume.hvc_version = kHvcVersion;
+  resume.node = "consensus.Inv1_0#1111111111111111";
+
+  EXPECT_NO_THROW(require_resume_compatible(resume, "SimplifiedConsensus", "aaaaaaaaaaaaaaaa",
+                                            "consensus.Inv1_0#1111111111111111"));
+  // A whole-run resume (no node requested) accepts legacy and per-node
+  // journals alike; a per-node resume accepts a node-less journal (the
+  // automaton/hash checks still guard it).
+  EXPECT_NO_THROW(
+      require_resume_compatible(resume, "SimplifiedConsensus", "aaaaaaaaaaaaaaaa"));
+  ResumeState nodeless = resume;
+  nodeless.node.clear();
+  EXPECT_NO_THROW(require_resume_compatible(nodeless, "SimplifiedConsensus",
+                                            "aaaaaaaaaaaaaaaa",
+                                            "consensus.Inv1_0#1111111111111111"));
+
+  try {
+    require_resume_compatible(resume, "SimplifiedConsensus", "aaaaaaaaaaaaaaaa",
+                              "consensus.Inv2_0#1111111111111111");
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& error) {
+    EXPECT_NE(std::string(error.what()).find("consensus.Inv1_0#1111111111111111"),
+              std::string::npos);
+    EXPECT_NE(std::string(error.what()).find("consensus.Inv2_0#1111111111111111"),
+              std::string::npos);
+  }
+  // Same property, different options fingerprint: still refused.
+  EXPECT_THROW(require_resume_compatible(resume, "SimplifiedConsensus", "aaaaaaaaaaaaaaaa",
+                                         "consensus.Inv1_0#2222222222222222"),
+               InvalidArgument);
+}
+
 TEST(JournalTest, HeaderRecordsModelHashAndVersion) {
   const std::string path = temp_path("journal_identity.jsonl");
   {

@@ -1,5 +1,9 @@
 #include "hv/pipeline/holistic.h"
 
+#include <algorithm>
+#include <random>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "hv/checker/parameterized.h"
@@ -69,6 +73,141 @@ TEST(ComposeVerdictsTest, MissingResultsAreUnknown) {
   EXPECT_EQ(report.agreement, Verdict::kUnknown);
   EXPECT_EQ(report.termination, Verdict::kUnknown);
   EXPECT_FALSE(report.fully_verified());
+}
+
+// --- out-of-order completion (the DAG scheduler's arrival orders) -------------
+
+struct ComposedVerdicts {
+  Verdict agreement;
+  Verdict validity;
+  Verdict termination;
+};
+
+ComposedVerdicts compose(HolisticReport report) {
+  compose_verdicts(report);
+  return {report.agreement, report.validity, report.termination};
+}
+
+bool same(const ComposedVerdicts& a, const ComposedVerdicts& b) {
+  return a.agreement == b.agreement && a.validity == b.validity &&
+         a.termination == b.termination;
+}
+
+TEST(ComposeVerdictsTest, InvariantUnderEveryArrivalInterleaving) {
+  // Concurrent lanes settle property nodes in arbitrary order; the report's
+  // result vectors record completion order. The composition must depend only
+  // on the *set* of results. Exhaustively permute a mixed five-element
+  // liveness suffix (120 interleavings of holds/violated/unknown arrivals)
+  // against the sequential baseline.
+  HolisticReport base =
+      synthetic_report(Verdict::kHolds, Verdict::kHolds, Verdict::kHolds);
+  base.consensus_results[4].verdict = Verdict::kUnknown;   // Dec_0
+  base.consensus_results[6].verdict = Verdict::kViolated;  // Good_0
+  const ComposedVerdicts sequential = compose(base);
+
+  std::vector<PropertyResult> tail(base.consensus_results.begin() + 4,
+                                   base.consensus_results.end());
+  std::sort(tail.begin(), tail.end(),
+            [](const PropertyResult& a, const PropertyResult& b) {
+              return a.property < b.property;
+            });
+  int interleavings = 0;
+  do {
+    HolisticReport permuted = base;
+    std::copy(tail.begin(), tail.end(), permuted.consensus_results.begin() + 4);
+    EXPECT_TRUE(same(compose(permuted), sequential)) << "interleaving " << interleavings;
+    ++interleavings;
+  } while (std::next_permutation(
+      tail.begin(), tail.end(), [](const PropertyResult& a, const PropertyResult& b) {
+        return a.property < b.property;
+      }));
+  EXPECT_EQ(interleavings, 120);
+}
+
+TEST(ComposeVerdictsTest, InvariantUnderSeededFullShuffles) {
+  // Full-width randomized interleavings of all sixteen results, covering
+  // every verdict mix the exhaustive suffix test cannot afford.
+  const Verdict verdicts[] = {Verdict::kHolds, Verdict::kViolated, Verdict::kUnknown};
+  std::mt19937 rng(20220725);  // the paper's PODC year-month-day, fixed
+  for (const Verdict bv : verdicts) {
+    for (const Verdict inv : verdicts) {
+      for (const Verdict live : verdicts) {
+        HolisticReport base = synthetic_report(bv, inv, live);
+        base.consensus_results[0].verdict = Verdict::kUnknown;  // break uniformity
+        const ComposedVerdicts sequential = compose(base);
+        for (int round = 0; round < 25; ++round) {
+          HolisticReport shuffled = base;
+          std::shuffle(shuffled.bv_results.begin(), shuffled.bv_results.end(), rng);
+          std::shuffle(shuffled.consensus_results.begin(), shuffled.consensus_results.end(),
+                       rng);
+          EXPECT_TRUE(same(compose(shuffled), sequential));
+        }
+      }
+    }
+  }
+}
+
+TEST(ComposeVerdictsTest, RacedConsensusArrivalsCannotOutrunGadgetFailure) {
+  // Upstream-failure cancellation: when a bv property is refuted, the DAG
+  // cancels the consensus nodes — but a consensus node that settled *before*
+  // the refutation arrived legitimately left its result behind. Either way
+  // (results raced in, or cancelled and absent) the composition must match
+  // the sequential pipeline, which never starts the consensus stage at all.
+  HolisticReport cancelled =
+      synthetic_report(Verdict::kViolated, Verdict::kHolds, Verdict::kHolds);
+  cancelled.consensus_results.clear();  // nothing ran
+  const ComposedVerdicts gate_first = compose(cancelled);
+
+  HolisticReport raced = synthetic_report(Verdict::kViolated, Verdict::kHolds, Verdict::kHolds);
+  // Partial arrivals: only some consensus nodes settled before cancellation.
+  raced.consensus_results.resize(3);
+  EXPECT_TRUE(same(compose(raced), gate_first));
+  // A missing (cancelled) ingredient degrades each composed verdict to
+  // unknown — never to holds; the violated-dominates case with all inputs
+  // present is GadgetFailureInvalidatesEverything above.
+  EXPECT_EQ(gate_first.agreement, Verdict::kUnknown);
+  EXPECT_EQ(gate_first.validity, Verdict::kUnknown);
+  EXPECT_EQ(gate_first.termination, Verdict::kUnknown);
+  EXPECT_FALSE(HolisticReport(cancelled).fully_verified());
+}
+
+// --- DAG pipeline end-to-end parity -------------------------------------------
+
+TEST(HolisticDagTest, DagRunMatchesSequentialPipeline) {
+  HolisticOptions sequential;
+  sequential.include_naive_attempt = true;
+  sequential.naive_timeout_seconds = 0.3;  // Table 2's negative result, shrunk
+  const HolisticReport seq = verify_red_belly_consensus(sequential);
+
+  HolisticOptions dag = sequential;
+  dag.dag_workers = 2;
+  const HolisticReport par = verify_red_belly_consensus(dag);
+
+  EXPECT_EQ(par.dag_lanes, 2);
+  EXPECT_EQ(seq.agreement, par.agreement);
+  EXPECT_EQ(seq.validity, par.validity);
+  EXPECT_EQ(seq.termination, par.termination);
+  EXPECT_EQ(seq.fully_verified(), par.fully_verified());
+
+  const auto match = [](const std::vector<PropertyResult>& a,
+                        const std::vector<PropertyResult>& b) {
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].property, b[i].property);
+      EXPECT_EQ(a[i].verdict, b[i].verdict) << a[i].property;
+      EXPECT_EQ(a[i].schemas_checked, b[i].schemas_checked) << a[i].property;
+    }
+  };
+  match(seq.bv_results, par.bv_results);
+  match(seq.consensus_results, par.consensus_results);
+  ASSERT_EQ(seq.naive_results.size(), par.naive_results.size());
+  for (std::size_t i = 0; i < seq.naive_results.size(); ++i) {
+    // The naive attempt's budget now flows through the shared timeout path
+    // in both pipelines; a budget that small is exhausted in both.
+    EXPECT_EQ(seq.naive_results[i].verdict, par.naive_results[i].verdict);
+  }
+  EXPECT_GT(par.cpu_seconds, 0.0);
+  EXPECT_GT(seq.cpu_seconds, 0.0);
 }
 
 // --- model-level regression checks (fast subsets of Table 2) ------------------
